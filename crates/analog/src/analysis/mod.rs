@@ -1,0 +1,4 @@
+//! Circuit analyses: DC operating point and transient simulation.
+
+pub(crate) mod dcop;
+pub(crate) mod transient;

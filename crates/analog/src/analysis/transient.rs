@@ -1,0 +1,499 @@
+//! Transient analysis.
+//!
+//! The engine takes fixed base steps, snaps to waveform breakpoints so
+//! pulse edges are never stepped over, starts each discontinuity with a
+//! backward-Euler step (damping trapezoidal ringing), and integrates with
+//! the trapezoidal rule elsewhere.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::elements::Element;
+use crate::error::Error;
+use crate::solver::mna::{CapState, Method, System};
+use crate::waveform::Trace;
+
+/// Configuration of a transient run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TranConfig {
+    /// Base time step, seconds. In adaptive mode this is the *maximum*
+    /// step; the controller shrinks below it as the local truncation
+    /// error demands.
+    pub step: f64,
+    /// Stop time, seconds (simulation spans `[0, stop]`).
+    pub stop: f64,
+    /// Integration method inside smooth intervals.
+    pub integrator: Integrator,
+    /// Maximum Newton iterations per time point.
+    pub max_newton: usize,
+    /// Enable local-truncation-error step control.
+    pub adaptive: bool,
+    /// Node-voltage LTE tolerance for the adaptive controller, volts.
+    pub lte_tol: f64,
+}
+
+/// Companion-model integration method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Integrator {
+    /// Trapezoidal rule (second order); the default.
+    #[default]
+    Trapezoidal,
+    /// Backward Euler (first order, maximally damped). Useful as an
+    /// accuracy/robustness ablation.
+    BackwardEuler,
+}
+
+impl TranConfig {
+    /// A transient run with `step` resolution up to `stop`, using the
+    /// default trapezoidal integrator at fixed step.
+    pub fn new(step: f64, stop: f64) -> Self {
+        TranConfig {
+            step,
+            stop,
+            integrator: Integrator::Trapezoidal,
+            max_newton: 60,
+            adaptive: false,
+            lte_tol: 2e-3,
+        }
+    }
+
+    /// Same, but selecting the integrator.
+    pub fn with_integrator(step: f64, stop: f64, integrator: Integrator) -> Self {
+        TranConfig {
+            integrator,
+            ..TranConfig::new(step, stop)
+        }
+    }
+
+    /// An adaptive run: steps grow toward `max_step` in quiet intervals
+    /// and shrink (down to `max_step / 1024`) wherever the estimated
+    /// local truncation error exceeds `lte_tol` (default 2 mV).
+    pub fn adaptive(max_step: f64, stop: f64) -> Self {
+        TranConfig {
+            adaptive: true,
+            ..TranConfig::new(max_step, stop)
+        }
+    }
+
+    fn validate(&self) -> Result<(), Error> {
+        if !(self.step.is_finite() && self.step > 0.0) {
+            return Err(Error::InvalidTranConfig {
+                reason: "step must be positive and finite",
+            });
+        }
+        if !(self.stop.is_finite() && self.stop > 0.0) {
+            return Err(Error::InvalidTranConfig {
+                reason: "stop must be positive and finite",
+            });
+        }
+        if self.step > self.stop {
+            return Err(Error::InvalidTranConfig {
+                reason: "step must not exceed stop",
+            });
+        }
+        if self.max_newton == 0 {
+            return Err(Error::InvalidTranConfig {
+                reason: "max_newton must be at least 1",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Result of a transient run: sampled node voltages over time.
+#[derive(Debug, Clone)]
+pub struct TranResult {
+    times: Vec<f64>,
+    /// `voltages[node_index]` is the sample series of that node.
+    voltages: Vec<Vec<f64>>,
+}
+
+impl TranResult {
+    /// Simulated time points (strictly increasing, starting at 0).
+    pub fn times(&self) -> &[f64] {
+        &self.times
+    }
+
+    /// Borrowing view of one node's waveform, ready for measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the simulated circuit.
+    pub fn trace(&self, node: NodeId) -> Trace<'_> {
+        Trace::new(&self.times, &self.voltages[node.index()])
+    }
+
+    /// Number of accepted time points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// True when the run produced no samples (never the case on success).
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+}
+
+impl Circuit {
+    /// Runs a transient analysis over `[0, cfg.stop]`.
+    ///
+    /// The initial condition is the DC operating point at `t = 0` with all
+    /// capacitor currents zero (quiescent start).
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC-op failures, Newton non-convergence at a time point
+    /// (after step-halving retries), invalid configurations and singular
+    /// matrices.
+    pub fn transient(&self, cfg: &TranConfig) -> Result<TranResult, Error> {
+        cfg.validate()?;
+        let dc = self.dc_op()?;
+        let mut sys = System::new(self);
+        let mut x = dc.x;
+
+        // Companion-model states, one per capacitive branch.
+        let branches = sys.cap_branches();
+        let mut caps: Vec<CapState> = branches
+            .iter()
+            .map(|&(a, b, _)| CapState {
+                v_prev: System::node_voltage(&x, a) - System::node_voltage(&x, b),
+                i_prev: 0.0,
+            })
+            .collect();
+
+        // Breakpoints: all waveform corners, sorted and deduplicated.
+        let mut breakpoints: Vec<f64> = Vec::new();
+        for e in self.elements() {
+            match e {
+                Element::Vsource { wave, .. } | Element::Isource { wave, .. } => {
+                    breakpoints.extend(wave.breakpoints(cfg.stop));
+                }
+                _ => {}
+            }
+        }
+        breakpoints.sort_by(|a, b| a.total_cmp(b));
+        breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
+        let mut next_bp = 0usize;
+
+        let capacity = (cfg.stop / cfg.step) as usize + breakpoints.len() + 2;
+        let mut times = Vec::with_capacity(capacity);
+        let mut voltages: Vec<Vec<f64>> = vec![Vec::with_capacity(capacity); self.node_count()];
+        let record = |t: f64, x: &[f64], times: &mut Vec<f64>, voltages: &mut Vec<Vec<f64>>| {
+            times.push(t);
+            for (n, column) in voltages.iter_mut().enumerate() {
+                column.push(System::node_voltage(x, NodeId(n)));
+            }
+        };
+        record(0.0, &x, &mut times, &mut voltages);
+
+        let mut t = 0.0;
+        // Force a BE step right after t=0 and after every breakpoint.
+        let mut after_discontinuity = true;
+        // Adaptive-control state: current step and predictor history.
+        let h_min = cfg.step / 1024.0;
+        let mut h_cur = if cfg.adaptive {
+            cfg.step / 8.0
+        } else {
+            cfg.step
+        };
+        let mut prev: Option<(f64, Vec<f64>)> = None; // (h of last step, x before it)
+        let nn = self.node_count() - 1;
+
+        while t < cfg.stop - 1e-18 {
+            // Next target time: current step, clipped to breakpoint/stop.
+            let mut tn = t + h_cur;
+            let mut hit_bp = false;
+            while next_bp < breakpoints.len() && breakpoints[next_bp] <= t + 1e-18 {
+                next_bp += 1;
+            }
+            if next_bp < breakpoints.len() && breakpoints[next_bp] < tn - 1e-18 {
+                tn = breakpoints[next_bp];
+                hit_bp = true;
+            }
+            if tn > cfg.stop {
+                tn = cfg.stop;
+            }
+
+            let method = match cfg.integrator {
+                Integrator::BackwardEuler => Method::BackwardEuler,
+                Integrator::Trapezoidal => {
+                    if after_discontinuity {
+                        Method::BackwardEuler
+                    } else {
+                        Method::Trapezoidal
+                    }
+                }
+            };
+
+            // Solve at tn, halving the step on Newton failure (up to 6x)
+            // or, in adaptive mode, on an LTE violation.
+            let mut sub_t = tn;
+            let mut attempts = 0;
+            let mut xn = x.clone();
+            let mut lte = 0.0_f64;
+            loop {
+                let h = sub_t - t;
+                match sys.solve_newton(
+                    &mut xn,
+                    sub_t,
+                    Some((&caps, h, method)),
+                    1.0,
+                    0.0,
+                    cfg.max_newton,
+                    "transient",
+                ) {
+                    Ok(()) => {
+                        // LTE estimate: deviation from the linear
+                        // predictor built on the previous accepted step.
+                        if cfg.adaptive && !after_discontinuity {
+                            if let Some((h_prev, ref x_prev)) = prev {
+                                lte = 0.0;
+                                for i in 0..nn {
+                                    let slope = (x[i] - x_prev[i]) / h_prev;
+                                    let pred = x[i] + slope * h;
+                                    lte = lte.max((xn[i] - pred).abs());
+                                }
+                                if lte > cfg.lte_tol && h > h_min && attempts <= 10 {
+                                    attempts += 1;
+                                    sub_t = t + h / 2.0;
+                                    xn.copy_from_slice(&x);
+                                    continue;
+                                }
+                            }
+                        }
+                        break;
+                    }
+                    Err(e @ Error::SingularMatrix { .. }) => return Err(e),
+                    Err(e) => {
+                        attempts += 1;
+                        if attempts > 10 {
+                            return Err(e);
+                        }
+                        sub_t = t + (sub_t - t) / 2.0;
+                        xn.copy_from_slice(&x);
+                    }
+                }
+            }
+
+            // Accept the (possibly shortened) step: update companion states.
+            let h = sub_t - t;
+            if cfg.adaptive {
+                // Grow in quiet intervals, shrink when the error crowds
+                // the tolerance.
+                if lte < 0.25 * cfg.lte_tol {
+                    h_cur = (h * 1.6).min(cfg.step);
+                } else if lte > 0.75 * cfg.lte_tol {
+                    h_cur = (h / 1.5).max(h_min);
+                } else {
+                    h_cur = h.min(cfg.step);
+                }
+            }
+            prev = Some((h, x.clone()));
+            for (st, &(a, b, c)) in caps.iter_mut().zip(&branches) {
+                let v_now = System::node_voltage(&xn, a) - System::node_voltage(&xn, b);
+                let i_now = match method {
+                    Method::BackwardEuler => c / h * (v_now - st.v_prev),
+                    Method::Trapezoidal => 2.0 * c / h * (v_now - st.v_prev) - st.i_prev,
+                };
+                st.v_prev = v_now;
+                st.i_prev = i_now;
+            }
+            x = xn;
+            t = sub_t;
+            record(t, &x, &mut times, &mut voltages);
+            after_discontinuity = hit_bp && (sub_t - tn).abs() < 1e-18;
+        }
+
+        Ok(TranResult { times, voltages })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::Waveform;
+
+    /// RC charging must match the analytic exponential.
+    #[test]
+    fn rc_step_response_matches_analytic() {
+        let r = 1e3;
+        let c = 1e-12;
+        let tau = r * c; // 1 ns
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 0.1e-9, 1e-12),
+        );
+        ckt.resistor(vin, out, r);
+        ckt.capacitor(out, Circuit::GROUND, c);
+
+        let res = ckt.transient(&TranConfig::new(5e-12, 6e-9)).unwrap();
+        let trace = res.trace(out);
+        for k in 1..=4 {
+            let t = 0.1e-9 + k as f64 * tau;
+            let expect = 1.0 - (-(k as f64)).exp();
+            let got = trace.value_at(t);
+            assert!(
+                (got - expect).abs() < 5e-3,
+                "at t={k}τ expected {expect:.4}, got {got:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn rc_with_backward_euler_also_converges() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(vin, Circuit::GROUND, Waveform::step(0.0, 1.0, 0.0, 1e-12));
+        ckt.resistor(vin, out, 1e3);
+        ckt.capacitor(out, Circuit::GROUND, 1e-12);
+
+        let cfg = TranConfig::with_integrator(2e-12, 10e-9, Integrator::BackwardEuler);
+        let res = ckt.transient(&cfg).unwrap();
+        assert!((res.trace(out).last_value() - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn pulse_passes_through_rc_and_returns() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::single_pulse(0.0, 1.0, 1e-9, 50e-12, 50e-12, 2e-9),
+        );
+        ckt.resistor(vin, out, 1e3);
+        ckt.capacitor(out, Circuit::GROUND, 0.2e-12);
+
+        let res = ckt.transient(&TranConfig::new(10e-12, 8e-9)).unwrap();
+        let tr = res.trace(out);
+        // The output peaks near 1 V during the pulse and decays after.
+        let peak = tr.max_value();
+        assert!(peak > 0.98, "peak {peak}");
+        assert!(
+            tr.last_value() < 0.02,
+            "should discharge, got {}",
+            tr.last_value()
+        );
+    }
+
+    #[test]
+    fn breakpoints_are_sampled_exactly() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::single_pulse(0.0, 1.0, 1.0e-9, 0.1e-9, 0.1e-9, 0.5e-9),
+        );
+        ckt.resistor(vin, Circuit::GROUND, 1e3);
+
+        // Base step of 0.3 ns would step over the 1.0 ns edge without
+        // breakpoint snapping.
+        let res = ckt.transient(&TranConfig::new(0.3e-9, 3e-9)).unwrap();
+        for bp in [1.0e-9, 1.1e-9, 1.6e-9, 1.7e-9] {
+            assert!(
+                res.times().iter().any(|&t| (t - bp).abs() < 1e-15),
+                "breakpoint {bp:e} not sampled"
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.resistor(a, Circuit::GROUND, 1.0);
+
+        assert!(ckt.transient(&TranConfig::new(-1.0, 1.0)).is_err());
+        assert!(ckt.transient(&TranConfig::new(1.0, -1.0)).is_err());
+        assert!(ckt.transient(&TranConfig::new(2.0, 1.0)).is_err());
+        let mut cfg = TranConfig::new(1e-12, 1e-9);
+        cfg.max_newton = 0;
+        assert!(ckt.transient(&cfg).is_err());
+    }
+
+    #[test]
+    fn adaptive_matches_fixed_step_accuracy_with_fewer_points() {
+        let r = 1e3;
+        let c = 1e-12;
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 0.1e-9, 1e-12),
+        );
+        ckt.resistor(vin, out, r);
+        ckt.capacitor(out, Circuit::GROUND, c);
+
+        let fixed = ckt.transient(&TranConfig::new(2e-12, 8e-9)).unwrap();
+        let adapt = ckt.transient(&TranConfig::adaptive(200e-12, 8e-9)).unwrap();
+        assert!(
+            adapt.len() < fixed.len() / 4,
+            "adaptive should need far fewer points: {} vs {}",
+            adapt.len(),
+            fixed.len()
+        );
+        // Accuracy against the analytic exponential at several times.
+        let tau = r * c;
+        for k in 1..=4 {
+            let t = 0.1e-9 + k as f64 * tau;
+            let expect = 1.0 - (-(k as f64)).exp();
+            let got = adapt.trace(out).value_at(t);
+            assert!((got - expect).abs() < 1e-2, "at {k}τ: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn adaptive_still_resolves_short_pulses() {
+        // A 150 ps pulse must not be smeared away by large steps: the
+        // breakpoint snapping + LTE control keep it sharp.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::single_pulse(0.0, 1.0, 1e-9, 20e-12, 20e-12, 150e-12),
+        );
+        ckt.resistor(vin, out, 1e3);
+        ckt.capacitor(out, Circuit::GROUND, 20e-15); // τ = 20 ps
+
+        let res = ckt.transient(&TranConfig::adaptive(500e-12, 3e-9)).unwrap();
+        let w = res
+            .trace(out)
+            .widest_pulse_width(0.5, crate::waveform::Polarity::PositiveGoing);
+        assert!(
+            (w - 170e-12).abs() < 25e-12,
+            "pulse width distorted by adaptive stepping: {w:e}"
+        );
+    }
+
+    #[test]
+    fn coupling_capacitor_divider() {
+        // Two series capacitors from a stepped source: the middle node
+        // settles at the capacitive divider voltage right after the edge.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let mid = ckt.node("mid");
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 0.5e-9, 1e-12),
+        );
+        ckt.capacitor(vin, mid, 3e-15);
+        ckt.capacitor(mid, Circuit::GROUND, 1e-15);
+
+        let res = ckt.transient(&TranConfig::new(5e-12, 1.0e-9)).unwrap();
+        let v = res.trace(mid).value_at(0.6e-9);
+        // Divider: 3f/(3f+1f) = 0.75 (slowly discharged by the gmin floor,
+        // negligible at this time scale).
+        assert!((v - 0.75).abs() < 0.01, "capacitive divider voltage {v}");
+    }
+}

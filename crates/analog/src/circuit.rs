@@ -1,0 +1,309 @@
+use crate::elements::{Element, Mosfet, Waveform};
+use crate::error::Error;
+
+/// Handle to a circuit node.
+///
+/// `NodeId`s are produced by [`Circuit::node`]; the distinguished
+/// [`Circuit::GROUND`] node is the 0 V reference of every analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) usize);
+
+impl NodeId {
+    /// Raw index of this node inside its circuit (0 is ground).
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// True for the ground reference node.
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// A flat netlist of electrical elements connecting named nodes.
+///
+/// A circuit is built imperatively (`node`, `resistor`, `capacitor`,
+/// `vsource`, `add_mosfet`, ...) and then analyzed with
+/// [`Circuit::dc_op`](crate::Circuit::dc_op) or
+/// [`Circuit::transient`](crate::Circuit::transient).
+///
+/// # Example
+///
+/// ```
+/// use pulsar_analog::{Circuit, Waveform};
+///
+/// let mut ckt = Circuit::new();
+/// let a = ckt.node("a");
+/// ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+/// ckt.resistor(a, Circuit::GROUND, 50.0);
+/// assert_eq!(ckt.node_count(), 2); // ground + "a"
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Circuit {
+    node_names: Vec<String>,
+    elements: Vec<Element>,
+}
+
+impl Circuit {
+    /// The 0 V reference node, implicitly present in every circuit.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// Creates an empty circuit containing only the ground node.
+    pub fn new() -> Self {
+        Circuit {
+            node_names: vec!["0".to_owned()],
+            elements: Vec::new(),
+        }
+    }
+
+    /// Creates a fresh node with a diagnostic name and returns its handle.
+    ///
+    /// Names are not required to be unique; they only appear in debug
+    /// output and trace labels.
+    pub fn node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.node_names.len());
+        self.node_names.push(name.into());
+        id
+    }
+
+    /// Looks up the first node carrying `name`, if any.
+    pub fn find_node(&self, name: &str) -> Option<NodeId> {
+        self.node_names.iter().position(|n| n == name).map(NodeId)
+    }
+
+    /// Diagnostic name of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to this circuit.
+    pub fn node_name(&self, node: NodeId) -> &str {
+        &self.node_names[node.0]
+    }
+
+    /// Number of nodes including ground.
+    pub fn node_count(&self) -> usize {
+        self.node_names.len()
+    }
+
+    /// All non-ground nodes, in creation order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        (1..self.node_names.len()).map(NodeId).collect()
+    }
+
+    /// All elements added so far, in insertion order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Adds a linear resistor of `ohms` between `a` and `b`.
+    ///
+    /// Returns the element index (useful to later identify e.g. an injected
+    /// fault resistance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ohms` is not strictly positive and finite; resistive
+    /// defect sweeps must stay in the physical domain.
+    pub fn resistor(&mut self, a: NodeId, b: NodeId, ohms: f64) -> usize {
+        assert!(
+            ohms.is_finite() && ohms > 0.0,
+            "resistance must be positive, got {ohms}"
+        );
+        self.check_nodes(&[a, b]);
+        self.push(Element::Resistor { a, b, ohms })
+    }
+
+    /// Adds a linear capacitor of `farads` between `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `farads` is negative or not finite.
+    pub fn capacitor(&mut self, a: NodeId, b: NodeId, farads: f64) -> usize {
+        assert!(
+            farads.is_finite() && farads >= 0.0,
+            "capacitance must be >= 0, got {farads}"
+        );
+        self.check_nodes(&[a, b]);
+        self.push(Element::Capacitor { a, b, farads })
+    }
+
+    /// Adds an independent voltage source; `p` is the positive terminal.
+    pub fn vsource(&mut self, p: NodeId, n: NodeId, wave: Waveform) -> usize {
+        self.check_nodes(&[p, n]);
+        self.push(Element::Vsource { p, n, wave })
+    }
+
+    /// Adds an independent current source pushing current from `p` to `n`
+    /// through the external circuit.
+    pub fn isource(&mut self, p: NodeId, n: NodeId, wave: Waveform) -> usize {
+        self.check_nodes(&[p, n]);
+        self.push(Element::Isource { p, n, wave })
+    }
+
+    /// Adds a MOSFET.
+    pub fn add_mosfet(&mut self, m: Mosfet) -> usize {
+        self.check_nodes(&[m.d, m.g, m.s]);
+        self.push(Element::Mosfet(m))
+    }
+
+    /// Replaces the value of the resistor at element index `idx`.
+    ///
+    /// This is the hook used by resistance sweeps: build the faulty circuit
+    /// once, then re-simulate while varying only the defect resistance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `idx` does not refer to a
+    /// resistor or `ohms` is out of domain.
+    pub fn set_resistance(&mut self, idx: usize, ohms: f64) -> Result<(), Error> {
+        if !(ohms.is_finite() && ohms > 0.0) {
+            return Err(Error::InvalidParameter {
+                element: "resistor",
+                parameter: "ohms",
+                value: ohms,
+            });
+        }
+        match self.elements.get_mut(idx) {
+            Some(Element::Resistor { ohms: r, .. }) => {
+                *r = ohms;
+                Ok(())
+            }
+            _ => Err(Error::InvalidParameter {
+                element: "resistor",
+                parameter: "index",
+                value: idx as f64,
+            }),
+        }
+    }
+
+    /// Replaces the waveform of the voltage source at element index `idx`.
+    ///
+    /// Stimulus sweeps (pulse-width searches, transition direction flips)
+    /// reuse one built circuit and only swap the input waveform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidParameter`] if `idx` does not refer to a
+    /// voltage source.
+    pub fn set_vsource_wave(&mut self, idx: usize, wave: Waveform) -> Result<(), Error> {
+        match self.elements.get_mut(idx) {
+            Some(Element::Vsource { wave: w, .. }) => {
+                *w = wave;
+                Ok(())
+            }
+            _ => Err(Error::InvalidParameter {
+                element: "vsource",
+                parameter: "index",
+                value: idx as f64,
+            }),
+        }
+    }
+
+    /// Number of extra MNA unknowns (one branch current per voltage source).
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by unit tests
+    pub(crate) fn vsource_count(&self) -> usize {
+        self.elements
+            .iter()
+            .filter(|e| matches!(e, Element::Vsource { .. }))
+            .count()
+    }
+
+    /// Total number of MNA unknowns: node voltages (minus ground) plus
+    /// voltage-source branch currents.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by unit tests
+    pub(crate) fn unknown_count(&self) -> usize {
+        self.node_count() - 1 + self.vsource_count()
+    }
+
+    fn push(&mut self, e: Element) -> usize {
+        self.elements.push(e);
+        self.elements.len() - 1
+    }
+
+    fn check_nodes(&self, nodes: &[NodeId]) {
+        for n in nodes {
+            assert!(
+                n.0 < self.node_names.len(),
+                "node index {} is not in this circuit (have {} nodes)",
+                n.0,
+                self.node_names.len()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_node_zero() {
+        let ckt = Circuit::new();
+        assert!(Circuit::GROUND.is_ground());
+        assert_eq!(ckt.node_count(), 1);
+        assert_eq!(ckt.node_name(Circuit::GROUND), "0");
+    }
+
+    #[test]
+    fn nodes_are_sequential_and_named() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        assert_eq!(a.index(), 1);
+        assert_eq!(b.index(), 2);
+        assert_eq!(ckt.node_name(b), "b");
+        assert_eq!(ckt.find_node("a"), Some(a));
+        assert_eq!(ckt.find_node("zz"), None);
+    }
+
+    #[test]
+    fn unknown_count_includes_vsource_branches() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.resistor(a, b, 10.0);
+        ckt.resistor(b, Circuit::GROUND, 10.0);
+        // 2 node voltages + 1 branch current
+        assert_eq!(ckt.unknown_count(), 3);
+    }
+
+    #[test]
+    fn set_resistance_replaces_value() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let idx = ckt.resistor(a, Circuit::GROUND, 100.0);
+        ckt.set_resistance(idx, 250.0).unwrap();
+        match ckt.elements()[idx] {
+            Element::Resistor { ohms, .. } => assert_eq!(ohms, 250.0),
+            _ => panic!("expected resistor"),
+        }
+    }
+
+    #[test]
+    fn set_resistance_rejects_bad_inputs() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let r = ckt.resistor(a, Circuit::GROUND, 100.0);
+        let c = ckt.capacitor(a, Circuit::GROUND, 1e-15);
+        assert!(ckt.set_resistance(r, -5.0).is_err());
+        assert!(ckt.set_resistance(r, f64::NAN).is_err());
+        assert!(ckt.set_resistance(c, 10.0).is_err());
+        assert!(ckt.set_resistance(999, 10.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "resistance must be positive")]
+    fn negative_resistor_panics() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.resistor(a, Circuit::GROUND, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node index")]
+    fn foreign_node_panics() {
+        let mut ckt = Circuit::new();
+        ckt.resistor(NodeId(42), Circuit::GROUND, 1.0);
+    }
+}

@@ -1,0 +1,480 @@
+//! A SPICE-flavoured netlist deck parser.
+//!
+//! Lets users drive the simulator from text instead of the builder API —
+//! handy for regression decks and for importing small circuits from other
+//! tools. The supported subset covers what this engine simulates:
+//!
+//! ```text
+//! * title / comment lines
+//! V1 in 0 DC 1.8
+//! VIN a 0 PULSE(0 1.8 1n 0.1n 0.1n 0.5n)
+//! R1 in out 4.7k
+//! C1 out 0 12f
+//! I1 0 out DC 1m
+//! M1 out in 0 NMOS W=0.9u L=0.18u
+//! .model NMOS nmos VT0=0.4 KP=170u LAMBDA=0.06 CGS=1f CGD=1f CDB=1f
+//! .tran 4p 8n
+//! .end
+//! ```
+//!
+//! Node `0` (or `gnd`) is ground. Engineering suffixes `f p n u m k meg g
+//! t` are accepted on all numbers. Elements may reference `.model` cards
+//! defined later in the deck.
+
+use crate::analysis::transient::TranConfig;
+use crate::circuit::{Circuit, NodeId};
+use crate::elements::{MosType, Mosfet, MosfetParams, Waveform};
+use crate::error::Error;
+use std::collections::HashMap;
+
+/// A parsed deck: the circuit, named-node lookup and the `.tran`
+/// directive if one was present.
+#[derive(Debug, Clone)]
+pub struct Deck {
+    /// The assembled circuit.
+    pub circuit: Circuit,
+    /// The `.tran` configuration, when the deck contained one.
+    pub tran: Option<TranConfig>,
+}
+
+impl Deck {
+    /// Resolves a node by its deck name.
+    pub fn node(&self, name: &str) -> Option<NodeId> {
+        if is_ground(name) {
+            Some(Circuit::GROUND)
+        } else {
+            self.circuit.find_node(name)
+        }
+    }
+}
+
+/// Parses a deck; see the module docs for the supported subset.
+///
+/// # Errors
+///
+/// [`Error::InvalidParameter`] with the element kind for malformed cards;
+/// the message names the failing construct. Line numbers are carried in
+/// the panic-free API via the `parameter` field (`"line"`).
+pub fn parse_deck(text: &str) -> Result<Deck, Error> {
+    let mut circuit = Circuit::new();
+    let mut nodes: HashMap<String, NodeId> = HashMap::new();
+    let mut models: HashMap<String, MosfetParams> = HashMap::new();
+    let mut mosfets: Vec<(NodeId, NodeId, NodeId, String, f64, f64, usize)> = Vec::new();
+    let mut tran = None;
+
+    let mut node = |circuit: &mut Circuit, name: &str| -> NodeId {
+        if is_ground(name) {
+            return Circuit::GROUND;
+        }
+        *nodes
+            .entry(name.to_lowercase())
+            .or_insert_with(|| circuit.node(name.to_lowercase()))
+    };
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        // SPICE convention: the first line is always the title.
+        if line.is_empty() || line.starts_with('*') || line_no == 1 {
+            continue;
+        }
+        let lower = line.to_lowercase();
+        let toks: Vec<&str> = tokenize(&lower);
+        if toks.is_empty() {
+            continue;
+        }
+
+        let fail = |why: &'static str| Error::InvalidParameter {
+            element: why,
+            parameter: "line",
+            value: line_no as f64,
+        };
+
+        match toks[0].chars().next().expect("non-empty token") {
+            'r' => {
+                let [_, a, b, v] = toks.as_slice() else {
+                    return Err(fail("resistor card"));
+                };
+                let ohms = number(v).ok_or_else(|| fail("resistor value"))?;
+                let (na, nb) = (node(&mut circuit, a), node(&mut circuit, b));
+                if !(ohms.is_finite() && ohms > 0.0) {
+                    return Err(fail("resistor value"));
+                }
+                circuit.resistor(na, nb, ohms);
+            }
+            'c' => {
+                let [_, a, b, v] = toks.as_slice() else {
+                    return Err(fail("capacitor card"));
+                };
+                let farads = number(v).ok_or_else(|| fail("capacitor value"))?;
+                let (na, nb) = (node(&mut circuit, a), node(&mut circuit, b));
+                if !(farads.is_finite() && farads >= 0.0) {
+                    return Err(fail("capacitor value"));
+                }
+                circuit.capacitor(na, nb, farads);
+            }
+            'v' | 'i' => {
+                if toks.len() < 4 {
+                    return Err(fail("source card"));
+                }
+                let (p, n) = (node(&mut circuit, toks[1]), node(&mut circuit, toks[2]));
+                let wave = parse_source(&toks[3..]).ok_or_else(|| fail("source waveform"))?;
+                if toks[0].starts_with('v') {
+                    circuit.vsource(p, n, wave);
+                } else {
+                    circuit.isource(p, n, wave);
+                }
+            }
+            'm' => {
+                // M<name> d g s <model> [W=..] [L=..]
+                if toks.len() < 5 {
+                    return Err(fail("mosfet card"));
+                }
+                let d = node(&mut circuit, toks[1]);
+                let g = node(&mut circuit, toks[2]);
+                let s = node(&mut circuit, toks[3]);
+                let model = toks[4].to_owned();
+                let mut w = 1e-6;
+                let mut l = 0.18e-6;
+                for t in &toks[5..] {
+                    if let Some(v) = t.strip_prefix("w=").and_then(number) {
+                        w = v;
+                    } else if let Some(v) = t.strip_prefix("l=").and_then(number) {
+                        l = v;
+                    } else {
+                        return Err(fail("mosfet parameter"));
+                    }
+                }
+                mosfets.push((d, g, s, model, w, l, line_no));
+            }
+            '.' => match toks[0] {
+                ".model" => {
+                    if toks.len() < 3 {
+                        return Err(fail(".model card"));
+                    }
+                    let name = toks[1].to_owned();
+                    let kind = toks[2];
+                    if kind != "nmos" && kind != "pmos" {
+                        return Err(fail(".model kind"));
+                    }
+                    let mut p = MosfetParams {
+                        vt0: if kind == "nmos" { 0.4 } else { -0.4 },
+                        kp: if kind == "nmos" { 170e-6 } else { 60e-6 },
+                        lambda: 0.06,
+                        w: 1e-6,
+                        l: 0.18e-6,
+                        cgs: 0.0,
+                        cgd: 0.0,
+                        cdb: 0.0,
+                    };
+                    for t in &toks[3..] {
+                        let Some((k, v)) = t.split_once('=') else {
+                            return Err(fail(".model parameter"));
+                        };
+                        let v = number(v).ok_or_else(|| fail(".model value"))?;
+                        match k {
+                            "vt0" => p.vt0 = v,
+                            "kp" => p.kp = v,
+                            "lambda" => p.lambda = v,
+                            "cgs" => p.cgs = v,
+                            "cgd" => p.cgd = v,
+                            "cdb" => p.cdb = v,
+                            _ => return Err(fail(".model parameter")),
+                        }
+                    }
+                    // Encode the polarity in the sign convention of vt0
+                    // plus an explicit marker entry.
+                    models.insert(format!("{name}:{kind}"), p);
+                    models.insert(name, p);
+                    if kind == "pmos" {
+                        models.insert(format!("{}:pmos-flag", toks[1]), p);
+                    }
+                }
+                ".tran" => {
+                    let [_, step, stop] = toks.as_slice() else {
+                        return Err(fail(".tran card"));
+                    };
+                    let step = number(step).ok_or_else(|| fail(".tran step"))?;
+                    let stop = number(stop).ok_or_else(|| fail(".tran stop"))?;
+                    tran = Some(TranConfig::new(step, stop));
+                }
+                ".end" => break,
+                _ => return Err(fail("directive")),
+            },
+            _ => return Err(fail("card")),
+        }
+    }
+
+    // Second pass: instantiate MOSFETs now that all models are known.
+    for (d, g, s, model, w, l, line_no) in mosfets {
+        let params = models.get(&model).ok_or(Error::InvalidParameter {
+            element: "mosfet model reference",
+            parameter: "line",
+            value: line_no as f64,
+        })?;
+        let kind = if models.contains_key(&format!("{model}:pmos-flag")) {
+            MosType::Pmos
+        } else {
+            MosType::Nmos
+        };
+        let params = MosfetParams { w, l, ..*params };
+        circuit.add_mosfet(Mosfet {
+            kind,
+            d,
+            g,
+            s,
+            params,
+        });
+    }
+
+    Ok(Deck { circuit, tran })
+}
+
+fn is_ground(name: &str) -> bool {
+    name == "0" || name.eq_ignore_ascii_case("gnd")
+}
+
+/// Splits a card into tokens, keeping `PULSE(...)`-style groups together.
+fn tokenize(line: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None;
+    for (i, ch) in line.char_indices() {
+        match ch {
+            '(' => {
+                depth += 1;
+                if start.is_none() {
+                    start = Some(i);
+                }
+            }
+            ')' => depth = depth.saturating_sub(1),
+            c if c.is_whitespace() && depth == 0 => {
+                if let Some(s) = start.take() {
+                    out.push(&line[s..i]);
+                }
+            }
+            _ => {
+                if start.is_none() {
+                    start = Some(i);
+                }
+            }
+        }
+    }
+    if let Some(s) = start {
+        out.push(&line[s..]);
+    }
+    out
+}
+
+/// Parses a number with engineering suffix (`4.7k`, `12f`, `3meg`).
+fn number(s: &str) -> Option<f64> {
+    let s = s.trim();
+    let (digits, mult) = if let Some(p) = s.to_lowercase().strip_suffix("meg").map(|p| p.len()) {
+        (&s[..p], 1e6)
+    } else {
+        match s.chars().last()? {
+            't' | 'T' => (&s[..s.len() - 1], 1e12),
+            'g' | 'G' => (&s[..s.len() - 1], 1e9),
+            'k' | 'K' => (&s[..s.len() - 1], 1e3),
+            'm' | 'M' => (&s[..s.len() - 1], 1e-3),
+            'u' | 'U' => (&s[..s.len() - 1], 1e-6),
+            'n' | 'N' => (&s[..s.len() - 1], 1e-9),
+            'p' | 'P' => (&s[..s.len() - 1], 1e-12),
+            'f' | 'F' => (&s[..s.len() - 1], 1e-15),
+            _ => (s, 1.0),
+        }
+    };
+    digits.parse::<f64>().ok().map(|v| v * mult)
+}
+
+/// Parses the source-value part of a V/I card.
+fn parse_source(toks: &[&str]) -> Option<Waveform> {
+    let first = toks.first()?;
+    if let Some(rest) = first.strip_prefix("pulse(") {
+        let inner = rest.strip_suffix(')')?;
+        let vals: Vec<f64> = inner
+            .split([',', ' '])
+            .filter(|s| !s.is_empty())
+            .map(number)
+            .collect::<Option<_>>()?;
+        if vals.len() < 6 {
+            return None;
+        }
+        return Some(Waveform::Pulse {
+            v1: vals[0],
+            v2: vals[1],
+            delay: vals[2],
+            rise: vals[3],
+            fall: vals[4],
+            width: vals[5],
+            period: vals.get(6).copied().unwrap_or(f64::INFINITY),
+        });
+    }
+    if let Some(rest) = first.strip_prefix("pwl(") {
+        let inner = rest.strip_suffix(')')?;
+        let vals: Vec<f64> = inner
+            .split([',', ' '])
+            .filter(|s| !s.is_empty())
+            .map(number)
+            .collect::<Option<_>>()?;
+        if !vals.len().is_multiple_of(2) || vals.is_empty() {
+            return None;
+        }
+        return Some(Waveform::Pwl(
+            vals.chunks(2).map(|c| (c[0], c[1])).collect(),
+        ));
+    }
+    if *first == "dc" {
+        return Some(Waveform::Dc(number(toks.get(1)?)?));
+    }
+    // Bare value = DC.
+    Some(Waveform::Dc(number(first)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_with_suffixes() {
+        let close = |got: Option<f64>, want: f64| {
+            let got = got.expect("parses");
+            assert!((got - want).abs() <= 1e-12 * want.abs(), "{got} vs {want}");
+        };
+        close(number("4.7k"), 4700.0);
+        close(number("12f"), 12e-15);
+        close(number("3meg"), 3e6);
+        close(number("100"), 100.0);
+        close(number("1.5n"), 1.5e-9);
+        close(number("2u"), 2e-6);
+        assert_eq!(number("bogus"), None);
+    }
+
+    #[test]
+    fn rc_divider_deck_simulates() {
+        let deck = parse_deck(
+            "rc divider test\n\
+             V1 in 0 DC 2.0\n\
+             R1 in mid 1k\n\
+             R2 mid 0 1k\n\
+             .end\n",
+        )
+        .unwrap();
+        let dc = deck.circuit.dc_op().unwrap();
+        let mid = deck.node("mid").unwrap();
+        assert!((dc.voltage(mid) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pulse_source_and_tran_directive() {
+        let deck = parse_deck(
+            "pulse deck\n\
+             V1 in 0 PULSE(0 1.8 1n 0.1n 0.1n 0.5n)\n\
+             R1 in out 1k\n\
+             C1 out 0 0.1p\n\
+             .tran 4p 4n\n\
+             .end\n",
+        )
+        .unwrap();
+        let cfg = deck.tran.clone().expect(".tran parsed");
+        assert_eq!(cfg.step, 4e-12);
+        let res = deck.circuit.transient(&cfg).unwrap();
+        let out = deck.node("out").unwrap();
+        assert!(
+            res.trace(out).max_value() > 1.5,
+            "pulse must reach the output"
+        );
+    }
+
+    #[test]
+    fn mosfet_inverter_deck() {
+        let deck = parse_deck(
+            "cmos inverter\n\
+             V1 vdd 0 DC 1.8\n\
+             V2 in 0 DC 0\n\
+             M1 out in vdd PCH W=2u L=0.18u\n\
+             M2 out in 0 NCH W=1u L=0.18u\n\
+             C1 out 0 10f\n\
+             .model NCH nmos VT0=0.4 KP=170u LAMBDA=0.06\n\
+             .model PCH pmos VT0=-0.42 KP=60u LAMBDA=0.08\n\
+             .end\n",
+        )
+        .unwrap();
+        let dc = deck.circuit.dc_op().unwrap();
+        let out = deck.node("out").unwrap();
+        assert!(
+            dc.voltage(out) > 1.7,
+            "inverter with low input must pull high"
+        );
+    }
+
+    #[test]
+    fn model_can_be_defined_after_use() {
+        let deck = parse_deck(
+            "forward model reference\n\
+             V1 g 0 DC 1.8\n\
+             V2 d 0 DC 1.8\n\
+             M1 d g 0 NX W=1u L=0.2u\n\
+             .model NX nmos VT0=0.4 KP=100u\n\
+             .end\n",
+        )
+        .unwrap();
+        assert_eq!(deck.circuit.elements().len(), 3);
+    }
+
+    #[test]
+    fn pwl_source() {
+        let deck =
+            parse_deck("pwl deck\nV1 a 0 PWL(0 0 1n 1.0 2n 0.5)\nR1 a 0 1k\n.end\n").unwrap();
+        match &deck.circuit.elements()[0] {
+            crate::elements::Element::Vsource {
+                wave: Waveform::Pwl(pts),
+                ..
+            } => {
+                assert_eq!(pts.len(), 3);
+                assert_eq!(pts[1], (1e-9, 1.0));
+            }
+            other => panic!("expected pwl source, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_deck("title\nR1 in out\n").unwrap_err();
+        match err {
+            Error::InvalidParameter {
+                parameter: "line",
+                value,
+                ..
+            } => {
+                assert_eq!(value, 2.0)
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert!(parse_deck("title\nM1 d g 0 GHOST W=1u\n.end\n").is_err());
+        assert!(parse_deck("title\nQ1 a b c\n").is_err());
+        assert!(parse_deck("title\n.model X bjt\n").is_err());
+        assert!(parse_deck("title\nV1 a 0 PULSE(0 1)\n").is_err());
+    }
+
+    #[test]
+    fn title_line_and_comments_skipped() {
+        let deck = parse_deck(
+            "My Fancy Circuit Title 123\n\
+             * a comment\n\
+             R1 a 0 1k ; trailing comment\n\
+             V1 a 0 1.0\n",
+        )
+        .unwrap();
+        assert_eq!(deck.circuit.elements().len(), 2);
+    }
+
+    #[test]
+    fn ground_aliases() {
+        let deck = parse_deck("t\nR1 a GND 1k\nV1 a 0 1.0\n").unwrap();
+        let dc = deck.circuit.dc_op().unwrap();
+        let a = deck.node("a").unwrap();
+        assert!((dc.voltage(a) - 1.0).abs() < 1e-9);
+        assert_eq!(deck.node("gnd"), Some(Circuit::GROUND));
+    }
+}

@@ -1,0 +1,100 @@
+use std::fmt;
+
+/// Errors produced by circuit construction and analysis.
+///
+/// The library never panics on malformed circuits or non-convergent
+/// numerics; every public analysis entry point returns `Result<_, Error>`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Error {
+    /// The MNA matrix is singular (typically a floating node or a loop of
+    /// ideal voltage sources). Carries the pivot row that vanished.
+    SingularMatrix {
+        /// MNA row whose pivot vanished.
+        row: usize,
+    },
+    /// Newton–Raphson failed to converge within the iteration budget.
+    NoConvergence {
+        /// Analysis context, e.g. `"dc operating point"` or `"transient"`.
+        context: &'static str,
+        /// Iterations attempted before giving up.
+        iterations: usize,
+        /// Simulation time at the failure (0 for DC).
+        time: f64,
+    },
+    /// An element parameter is out of its physical domain
+    /// (e.g. a negative capacitance or a zero-width MOSFET).
+    InvalidParameter {
+        /// The element kind, e.g. `"resistor"`.
+        element: &'static str,
+        /// The offending parameter name.
+        parameter: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// A node id does not belong to the circuit it was used with.
+    UnknownNode {
+        /// The foreign node index.
+        index: usize,
+    },
+    /// The transient configuration is unusable (non-positive step or stop
+    /// time, step larger than the window, ...).
+    InvalidTranConfig {
+        /// What was wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SingularMatrix { row } => {
+                write!(f, "singular MNA matrix at pivot row {row} (floating node or source loop)")
+            }
+            Error::NoConvergence { context, iterations, time } => write!(
+                f,
+                "newton-raphson did not converge in {iterations} iterations ({context}, t = {time:.3e} s)"
+            ),
+            Error::InvalidParameter { element, parameter, value } => {
+                write!(f, "invalid {element} parameter {parameter} = {value:e}")
+            }
+            Error::UnknownNode { index } => write!(f, "node index {index} is not in this circuit"),
+            Error::InvalidTranConfig { reason } => write!(f, "invalid transient config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = Error::SingularMatrix { row: 3 };
+        let msg = e.to_string();
+        assert!(msg.contains("row 3"));
+        assert!(msg.starts_with(char::is_lowercase));
+
+        let e = Error::NoConvergence {
+            context: "transient",
+            iterations: 50,
+            time: 1e-9,
+        };
+        assert!(e.to_string().contains("transient"));
+
+        let e = Error::InvalidParameter {
+            element: "capacitor",
+            parameter: "farads",
+            value: -1.0,
+        };
+        assert!(e.to_string().contains("capacitor"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,181 @@
+//! Waveform export: VCD (for wave viewers like GTKWave) and CSV.
+//!
+//! A simulator nobody can look inside is hard to trust; these exporters
+//! make every transient inspectable with standard tooling.
+
+use crate::analysis::transient::TranResult;
+use crate::circuit::{Circuit, NodeId};
+use std::fmt::Write as _;
+
+/// Serializes selected node waveforms as a Value Change Dump (VCD) with
+/// `real`-typed variables, one per node, timestamps in femtoseconds.
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty or contains a node outside the circuit.
+pub fn to_vcd(circuit: &Circuit, result: &TranResult, nodes: &[NodeId]) -> String {
+    assert!(!nodes.is_empty(), "select at least one node to dump");
+    let mut out = String::new();
+    out.push_str("$date pulsar-analog export $end\n");
+    out.push_str("$version pulsar-analog $end\n");
+    out.push_str("$timescale 1fs $end\n");
+    out.push_str("$scope module circuit $end\n");
+    for (k, &n) in nodes.iter().enumerate() {
+        let id = vcd_id(k);
+        let name = sanitize(circuit.node_name(n));
+        let _ = writeln!(out, "$var real 64 {id} {name} $end");
+    }
+    out.push_str("$upscope $end\n$enddefinitions $end\n");
+
+    let times = result.times();
+    let traces: Vec<_> = nodes.iter().map(|&n| result.trace(n)).collect();
+    let mut last: Vec<Option<f64>> = vec![None; nodes.len()];
+    for (i, &t) in times.iter().enumerate() {
+        let fs = (t * 1e15).round() as u64;
+        let mut stamped = false;
+        for (k, tr) in traces.iter().enumerate() {
+            let v = tr.values()[i];
+            // Only dump changes beyond double-precision noise.
+            if last[k].map(|p| (p - v).abs() > 1e-9).unwrap_or(true) {
+                if !stamped {
+                    let _ = writeln!(out, "#{fs}");
+                    stamped = true;
+                }
+                let _ = writeln!(out, "r{v:.6} {}", vcd_id(k));
+                last[k] = Some(v);
+            }
+        }
+    }
+    out
+}
+
+/// Serializes selected node waveforms as CSV with a `t` column followed
+/// by one column per node (named after the node).
+///
+/// # Panics
+///
+/// Panics if `nodes` is empty or contains a node outside the circuit.
+pub fn to_csv(circuit: &Circuit, result: &TranResult, nodes: &[NodeId]) -> String {
+    assert!(!nodes.is_empty(), "select at least one node to dump");
+    let mut out = String::from("t");
+    for &n in nodes {
+        let _ = write!(out, ",{}", sanitize(circuit.node_name(n)));
+    }
+    out.push('\n');
+    let traces: Vec<_> = nodes.iter().map(|&n| result.trace(n)).collect();
+    for (i, &t) in result.times().iter().enumerate() {
+        let _ = write!(out, "{t:.6e}");
+        for tr in &traces {
+            let _ = write!(out, ",{:.6}", tr.values()[i]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Short printable VCD identifier for variable `k`.
+fn vcd_id(k: usize) -> String {
+    // Printable ASCII identifiers: ! through ~, base-94.
+    let mut k = k;
+    let mut id = String::new();
+    loop {
+        id.push((b'!' + (k % 94) as u8) as char);
+        k /= 94;
+        if k == 0 {
+            break;
+        }
+    }
+    id
+}
+
+/// VCD identifiers must not contain whitespace; CSV headers must not
+/// contain commas.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_whitespace() || c == ',' {
+                '_'
+            } else {
+                c
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::transient::TranConfig;
+    use crate::elements::Waveform;
+
+    fn rc_run() -> (Circuit, TranResult, NodeId, NodeId) {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("in");
+        let b = ckt.node("out node"); // whitespace exercises sanitization
+        ckt.vsource(a, Circuit::GROUND, Waveform::step(0.0, 1.0, 1e-10, 1e-12));
+        ckt.resistor(a, b, 1e3);
+        ckt.capacitor(b, Circuit::GROUND, 1e-13);
+        let res = ckt.transient(&TranConfig::new(1e-11, 1e-9)).unwrap();
+        (ckt, res, a, b)
+    }
+
+    #[test]
+    fn vcd_has_headers_vars_and_timestamps() {
+        let (ckt, res, a, b) = rc_run();
+        let vcd = to_vcd(&ckt, &res, &[a, b]);
+        assert!(vcd.contains("$timescale 1fs $end"));
+        assert!(vcd.contains("$var real 64 ! in $end"));
+        assert!(vcd.contains("$var real 64 \" out_node $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+        assert!(vcd.contains("#0"), "initial timestamp missing");
+        // Final value of the step input appears somewhere.
+        assert!(
+            vcd.contains("r1.000000 !"),
+            "vcd:\n{}",
+            &vcd[..400.min(vcd.len())]
+        );
+    }
+
+    #[test]
+    fn vcd_only_dumps_changes() {
+        let (ckt, res, a, _) = rc_run();
+        let vcd = to_vcd(&ckt, &res, &[a]);
+        // The flat pre-step interval must not repeat the same value.
+        let zero_dumps = vcd.matches("r0.000000 !").count();
+        assert_eq!(zero_dumps, 1, "flat signal dumped repeatedly");
+    }
+
+    #[test]
+    fn csv_round_trips_values() {
+        let (ckt, res, a, b) = rc_run();
+        let csv = to_csv(&ckt, &res, &[a, b]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("t,in,out_node"));
+        let first = lines.next().expect("data rows");
+        let cols: Vec<&str> = first.split(',').collect();
+        assert_eq!(cols.len(), 3);
+        let t0: f64 = cols[0].parse().expect("numeric time");
+        assert_eq!(t0, 0.0);
+        // Row count matches the sample count.
+        assert_eq!(csv.lines().count(), res.len() + 1);
+    }
+
+    #[test]
+    fn vcd_ids_are_printable_and_unique() {
+        let ids: Vec<String> = (0..200).map(vcd_id).collect();
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), ids.len());
+        for id in &ids {
+            assert!(id.chars().all(|c| ('!'..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_node_list_panics() {
+        let (ckt, res, _, _) = rc_run();
+        let _ = to_vcd(&ckt, &res, &[]);
+    }
+}

@@ -1,0 +1,210 @@
+use crate::error::Error;
+
+/// Dense row-major square matrix with in-place LU solution.
+///
+/// MNA matrices for the circuits in this project (CMOS paths of a dozen
+/// gates) have a few dozen unknowns; dense partial-pivot LU is both simple
+/// and fast at that scale, and avoids an external linear-algebra dependency.
+#[derive(Debug, Clone)]
+pub(crate) struct DenseMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        DenseMatrix {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Resets all entries to zero without reallocating.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by unit tests
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    pub fn add(&mut self, r: usize, c: usize, v: f64) {
+        debug_assert!(r < self.n && c < self.n);
+        self.data[r * self.n + c] += v;
+    }
+
+    #[inline]
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by unit tests
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.n + c]
+    }
+
+    /// Solves `A x = b` in place: on success `rhs` holds `x` and the matrix
+    /// holds its LU factors.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::SingularMatrix`] when no usable pivot exists in a column,
+    /// which for MNA means a floating node or an ideal-source loop.
+    pub fn solve_in_place(&mut self, rhs: &mut [f64]) -> Result<(), Error> {
+        let n = self.n;
+        assert_eq!(rhs.len(), n, "rhs length must match matrix dimension");
+
+        // LU with partial pivoting, applying row swaps to rhs directly.
+        for k in 0..n {
+            // Pivot search in column k.
+            let mut piv = k;
+            let mut max = self.data[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = self.data[r * n + k].abs();
+                if v > max {
+                    max = v;
+                    piv = r;
+                }
+            }
+            if max < 1e-300 {
+                return Err(Error::SingularMatrix { row: k });
+            }
+            if piv != k {
+                for c in 0..n {
+                    self.data.swap(k * n + c, piv * n + c);
+                }
+                rhs.swap(k, piv);
+            }
+            let pivot = self.data[k * n + k];
+            for r in (k + 1)..n {
+                let factor = self.data[r * n + k] / pivot;
+                if factor == 0.0 {
+                    continue;
+                }
+                self.data[r * n + k] = factor;
+                for c in (k + 1)..n {
+                    self.data[r * n + c] -= factor * self.data[k * n + c];
+                }
+                rhs[r] -= factor * rhs[k];
+            }
+        }
+
+        // Back substitution.
+        for k in (0..n).rev() {
+            let tail: f64 = self.data[k * n + k + 1..k * n + n]
+                .iter()
+                .zip(&rhs[k + 1..n])
+                .map(|(a, b)| a * b)
+                .sum();
+            rhs[k] = (rhs[k] - tail) / self.data[k * n + k];
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut m = DenseMatrix::zeros(3);
+        for i in 0..3 {
+            m.add(i, i, 1.0);
+        }
+        let mut b = vec![1.0, 2.0, 3.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert_eq!(b, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solves_2x2_with_pivoting() {
+        // [[0, 1], [2, 0]] x = [3, 4]  →  x = [2, 3]
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 2.0);
+        let mut b = vec![3.0, 4.0];
+        m.solve_in_place(&mut b).unwrap();
+        assert!((b[0] - 2.0).abs() < 1e-12);
+        assert!((b[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 1.0);
+        m.add(0, 1, 1.0);
+        m.add(1, 0, 1.0);
+        m.add(1, 1, 1.0);
+        let mut b = vec![1.0, 1.0];
+        assert!(matches!(
+            m.solve_in_place(&mut b),
+            Err(Error::SingularMatrix { .. })
+        ));
+    }
+
+    #[test]
+    fn clear_resets_entries() {
+        let mut m = DenseMatrix::zeros(2);
+        m.add(0, 0, 5.0);
+        m.clear();
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.n(), 2);
+    }
+
+    proptest! {
+        /// A x = b solved then multiplied back must reproduce b, for random
+        /// diagonally-dominant systems (always nonsingular).
+        #[test]
+        fn solve_roundtrip(seed in 0u64..1000, n in 1usize..8) {
+            use rand_like::*;
+            let mut rng = Lcg::new(seed);
+            let mut a = DenseMatrix::zeros(n);
+            let mut orig = vec![0.0; n * n];
+            for r in 0..n {
+                let mut row_sum = 0.0;
+                for c in 0..n {
+                    if r != c {
+                        let v = rng.next_f64() * 2.0 - 1.0;
+                        a.add(r, c, v);
+                        orig[r * n + c] = v;
+                        row_sum += v.abs();
+                    }
+                }
+                let d = row_sum + 1.0 + rng.next_f64();
+                a.add(r, r, d);
+                orig[r * n + r] = d;
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0 - 5.0).collect();
+            let mut x = b.clone();
+            a.solve_in_place(&mut x).unwrap();
+            for r in 0..n {
+                let mut acc = 0.0;
+                for c in 0..n {
+                    acc += orig[r * n + c] * x[c];
+                }
+                prop_assert!((acc - b[r]).abs() < 1e-9, "row {} residual {}", r, acc - b[r]);
+            }
+        }
+    }
+
+    /// Minimal deterministic generator for the property test, so the test
+    /// does not depend on proptest's internal value trees for float matrices.
+    mod rand_like {
+        pub struct Lcg(u64);
+        impl Lcg {
+            pub fn new(seed: u64) -> Self {
+                Lcg(seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407))
+            }
+            pub fn next_f64(&mut self) -> f64 {
+                self.0 = self
+                    .0
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((self.0 >> 11) as f64) / ((1u64 << 53) as f64)
+            }
+        }
+    }
+}

@@ -1,0 +1,538 @@
+//! MNA assembly and Newton–Raphson solution of the (possibly nonlinear)
+//! circuit equations at one time point.
+//!
+//! Unknown ordering: node voltages for nodes `1..node_count` (ground is
+//! eliminated), followed by one branch current per voltage source in
+//! element order.
+
+use crate::circuit::{Circuit, NodeId};
+use crate::elements::{Element, MosType, Mosfet, MosfetParams};
+use crate::error::Error;
+use crate::solver::matrix::DenseMatrix;
+
+/// Absolute node-voltage convergence tolerance (V).
+const VNTOL: f64 = 1e-6;
+/// Relative convergence tolerance.
+const RELTOL: f64 = 1e-4;
+/// Per-iteration clamp on node-voltage updates (V); classic NR damping.
+const VSTEP_LIMIT: f64 = 0.6;
+/// Leakage conductance from every node to ground keeping matrices
+/// well-posed even with all transistors cut off.
+const GMIN_FLOOR: f64 = 1e-12;
+
+/// Dynamic (companion-model) state of one capacitor.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct CapState {
+    /// Voltage across the capacitor at the previous accepted time point.
+    pub v_prev: f64,
+    /// Current through the capacitor at the previous accepted time point
+    /// (used by the trapezoidal rule).
+    pub i_prev: f64,
+}
+
+/// Integration method for the capacitor companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Method {
+    /// Backward Euler: L-stable, first order. Used for DC-to-transient
+    /// hand-off and right after waveform breakpoints.
+    BackwardEuler,
+    /// Trapezoidal: A-stable, second order. The default inside smooth
+    /// intervals.
+    Trapezoidal,
+}
+
+/// One assembled+solvable view of the circuit.
+pub(crate) struct System<'c> {
+    ckt: &'c Circuit,
+    /// Number of node-voltage unknowns.
+    nn: usize,
+    /// Total unknowns (nodes + vsource branch currents).
+    nu: usize,
+    /// Element index → branch-current unknown index, for voltage sources.
+    branch_index: Vec<Option<usize>>,
+    matrix: DenseMatrix,
+    rhs: Vec<f64>,
+}
+
+impl<'c> System<'c> {
+    pub fn new(ckt: &'c Circuit) -> Self {
+        let nn = ckt.node_count() - 1;
+        let mut branch_index = vec![None; ckt.elements().len()];
+        let mut next = nn;
+        for (i, e) in ckt.elements().iter().enumerate() {
+            if matches!(e, Element::Vsource { .. }) {
+                branch_index[i] = Some(next);
+                next += 1;
+            }
+        }
+        let nu = next;
+        System {
+            ckt,
+            nn,
+            nu,
+            branch_index,
+            matrix: DenseMatrix::zeros(nu),
+            rhs: vec![0.0; nu],
+        }
+    }
+
+    pub fn unknowns(&self) -> usize {
+        self.nu
+    }
+
+    /// MNA row/column of a node, or `None` for ground.
+    #[inline]
+    fn var(node: NodeId) -> Option<usize> {
+        if node.is_ground() {
+            None
+        } else {
+            Some(node.index() - 1)
+        }
+    }
+
+    #[inline]
+    fn volt(x: &[f64], node: NodeId) -> f64 {
+        match Self::var(node) {
+            Some(i) => x[i],
+            None => 0.0,
+        }
+    }
+
+    #[inline]
+    fn stamp_g(&mut self, a: NodeId, b: NodeId, g: f64) {
+        let ia = Self::var(a);
+        let ib = Self::var(b);
+        if let Some(i) = ia {
+            self.matrix.add(i, i, g);
+        }
+        if let Some(j) = ib {
+            self.matrix.add(j, j, g);
+        }
+        if let (Some(i), Some(j)) = (ia, ib) {
+            self.matrix.add(i, j, -g);
+            self.matrix.add(j, i, -g);
+        }
+    }
+
+    /// Injects current `i` into node `into` and removes it from `from`.
+    #[inline]
+    fn stamp_i(&mut self, into: NodeId, from: NodeId, i: f64) {
+        if let Some(r) = Self::var(into) {
+            self.rhs[r] += i;
+        }
+        if let Some(r) = Self::var(from) {
+            self.rhs[r] -= i;
+        }
+    }
+
+    /// Assembles the linearized system about candidate solution `x` at time
+    /// `t`, using `cap_states`/`dt` for the dynamic companions (DC analysis
+    /// passes `None` which opens all capacitors), `src_scale` for source
+    /// stepping and `gmin` for gmin stepping.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        &mut self,
+        x: &[f64],
+        t: f64,
+        dynamics: Option<(&[CapState], f64, Method)>,
+        src_scale: f64,
+        gmin: f64,
+    ) {
+        self.matrix.clear();
+        self.rhs.fill(0.0);
+
+        let g_floor = GMIN_FLOOR + gmin;
+        for n in 0..self.nn {
+            self.matrix.add(n, n, g_floor);
+        }
+
+        let mut cap_idx = 0usize;
+        for (ei, e) in self.ckt.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a, b, ohms } => {
+                    self.stamp_g(*a, *b, 1.0 / ohms);
+                }
+                Element::Capacitor { a, b, farads } => {
+                    if let Some((states, h, method)) = dynamics {
+                        let st = states[cap_idx];
+                        let (geq, ieq) = companion(*farads, h, method, st);
+                        self.stamp_g(*a, *b, geq);
+                        // ieq models the history: a current source pushing
+                        // ieq into node a (and out of b).
+                        self.stamp_i(*a, *b, ieq);
+                    }
+                    cap_idx += 1;
+                }
+                Element::Vsource { p, n, wave } => {
+                    let br = self.branch_index[ei].expect("vsource has a branch var");
+                    if let Some(i) = Self::var(*p) {
+                        self.matrix.add(i, br, 1.0);
+                        self.matrix.add(br, i, 1.0);
+                    }
+                    if let Some(j) = Self::var(*n) {
+                        self.matrix.add(j, br, -1.0);
+                        self.matrix.add(br, j, -1.0);
+                    }
+                    self.rhs[br] = src_scale * wave.value_at(t);
+                }
+                Element::Isource { p, n, wave } => {
+                    self.stamp_i(*p, *n, src_scale * wave.value_at(t));
+                }
+                Element::Mosfet(m) => {
+                    self.stamp_mosfet(m, x);
+                    // Lumped device capacitances as dynamic companions.
+                    if let Some((states, h, method)) = dynamics {
+                        let caps = [
+                            (m.g, m.s, m.params.cgs),
+                            (m.g, m.d, m.params.cgd),
+                            (m.d, mos_bulk(m), m.params.cdb),
+                        ];
+                        for (k, (a, b, c)) in caps.into_iter().enumerate() {
+                            if c > 0.0 {
+                                let st = states[cap_idx + k];
+                                let (geq, ieq) = companion(c, h, method, st);
+                                self.stamp_g(a, b, geq);
+                                self.stamp_i(a, b, ieq);
+                            }
+                        }
+                    }
+                    cap_idx += MOS_CAPS;
+                }
+            }
+        }
+    }
+
+    fn stamp_mosfet(&mut self, m: &Mosfet, x: &[f64]) {
+        let vd = Self::volt(x, m.d);
+        let vg = Self::volt(x, m.g);
+        let vs = Self::volt(x, m.s);
+        let lin = linearize(m, vd, vg, vs);
+
+        let (deff, seff) = if lin.swapped { (m.s, m.d) } else { (m.d, m.s) };
+        let id_ = Self::var(deff);
+        let is_ = Self::var(seff);
+        let ig_ = Self::var(m.g);
+
+        // i(deff→seff) ≈ ieq + gm·vg + gds·vdeff − (gm+gds)·vseff
+        if let Some(r) = id_ {
+            if let Some(c) = ig_ {
+                self.matrix.add(r, c, lin.gm);
+            }
+            self.matrix.add(r, r, lin.gds);
+            if let Some(c) = is_ {
+                self.matrix.add(r, c, -(lin.gm + lin.gds));
+            }
+        }
+        if let Some(r) = is_ {
+            if let Some(c) = ig_ {
+                self.matrix.add(r, c, -lin.gm);
+            }
+            if let Some(c) = id_ {
+                self.matrix.add(r, c, -lin.gds);
+            }
+            self.matrix.add(r, r, lin.gm + lin.gds);
+        }
+
+        let vgs_eff = vg - Self::volt(x, seff);
+        let vds_eff = Self::volt(x, deff) - Self::volt(x, seff);
+        let ieq = lin.i - lin.gm * vgs_eff - lin.gds * vds_eff;
+        // ieq leaves deff and enters seff.
+        self.stamp_i(seff, deff, ieq);
+    }
+
+    /// Newton–Raphson loop. `x` holds the initial guess and, on success,
+    /// the solution.
+    #[allow(clippy::too_many_arguments)] // one call site per analysis
+    pub fn solve_newton(
+        &mut self,
+        x: &mut [f64],
+        t: f64,
+        dynamics: Option<(&[CapState], f64, Method)>,
+        src_scale: f64,
+        gmin: f64,
+        max_iter: usize,
+        context: &'static str,
+    ) -> Result<(), Error> {
+        debug_assert_eq!(x.len(), self.nu);
+        let mut xnew = vec![0.0; self.nu];
+        for iter in 0..max_iter {
+            self.assemble(x, t, dynamics, src_scale, gmin);
+            xnew.copy_from_slice(&self.rhs);
+            self.matrix.solve_in_place(&mut xnew)?;
+
+            // Damped update + convergence test on node voltages.
+            let mut converged = true;
+            for i in 0..self.nu {
+                let mut delta = xnew[i] - x[i];
+                if i < self.nn {
+                    if delta > VSTEP_LIMIT {
+                        delta = VSTEP_LIMIT;
+                        converged = false;
+                    } else if delta < -VSTEP_LIMIT {
+                        delta = -VSTEP_LIMIT;
+                        converged = false;
+                    }
+                    if delta.abs() > VNTOL + RELTOL * x[i].abs() {
+                        converged = false;
+                    }
+                }
+                x[i] += delta;
+            }
+            if converged && iter > 0 {
+                return Ok(());
+            }
+        }
+        Err(Error::NoConvergence {
+            context,
+            iterations: max_iter,
+            time: t,
+        })
+    }
+
+    /// Iterates over capacitive branches in stamping order, yielding
+    /// `(node_a, node_b, farads)`. Order is identical to the `cap_idx`
+    /// order used during assembly; the transient engine relies on this to
+    /// maintain its state vector.
+    pub fn cap_branches(&self) -> Vec<(NodeId, NodeId, f64)> {
+        let mut out = Vec::new();
+        for e in self.ckt.elements() {
+            match e {
+                Element::Capacitor { a, b, farads } => out.push((*a, *b, *farads)),
+                Element::Mosfet(m) => {
+                    out.push((m.g, m.s, m.params.cgs));
+                    out.push((m.g, m.d, m.params.cgd));
+                    out.push((m.d, mos_bulk(m), m.params.cdb));
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    pub fn node_voltage(x: &[f64], node: NodeId) -> f64 {
+        Self::volt(x, node)
+    }
+}
+
+/// Number of companion-model slots a MOSFET occupies (cgs, cgd, cdb).
+pub(crate) const MOS_CAPS: usize = 3;
+
+/// Bulk/junction reference node for `cdb`: ground for NMOS, the source for
+/// PMOS (whose source normally sits at VDD). This keeps junction charge
+/// referenced to the correct rail without an explicit bulk terminal.
+fn mos_bulk(m: &Mosfet) -> NodeId {
+    match m.kind {
+        MosType::Nmos => Circuit::GROUND,
+        MosType::Pmos => m.s,
+    }
+}
+
+fn companion(c: f64, h: f64, method: Method, st: CapState) -> (f64, f64) {
+    match method {
+        Method::BackwardEuler => {
+            let geq = c / h;
+            (geq, geq * st.v_prev)
+        }
+        Method::Trapezoidal => {
+            let geq = 2.0 * c / h;
+            (geq, geq * st.v_prev + st.i_prev)
+        }
+    }
+}
+
+/// Linearization of a MOSFET for stamping: current from the *effective*
+/// drain to the *effective* source, with conductances w.r.t. the effective
+/// gate-source / drain-source voltages.
+#[derive(Debug, Clone, Copy)]
+struct MosLin {
+    /// Current flowing from the effective drain to the effective source.
+    i: f64,
+    gm: f64,
+    gds: f64,
+    /// True if the effective drain is the instance's `s` terminal.
+    swapped: bool,
+}
+
+fn linearize(m: &Mosfet, vd: f64, vg: f64, vs: f64) -> MosLin {
+    match m.kind {
+        MosType::Nmos => linearize_n(vd, vg, vs, &m.params),
+        MosType::Pmos => {
+            // Mirror: evaluate the NMOS equations at negated voltages and
+            // |vt0|; the current flips sign, the conductances carry over
+            // (d/d(-v) of -f is +df/dv).
+            let p = MosfetParams {
+                vt0: -m.params.vt0,
+                ..m.params
+            };
+            let lin = linearize_n(-vd, -vg, -vs, &p);
+            MosLin { i: -lin.i, ..lin }
+        }
+    }
+}
+
+fn linearize_n(vd: f64, vg: f64, vs: f64, p: &MosfetParams) -> MosLin {
+    let (vd_e, vs_e, swapped) = if vd >= vs {
+        (vd, vs, false)
+    } else {
+        (vs, vd, true)
+    };
+    let vgs = vg - vs_e;
+    let vds = vd_e - vs_e;
+    let beta = p.kp * p.w / p.l;
+    let vov = vgs - p.vt0;
+
+    let (i, gm, gds) = if vov <= 0.0 {
+        (0.0, 0.0, 0.0)
+    } else if vds < vov {
+        let clm = 1.0 + p.lambda * vds;
+        (
+            beta * (vov * vds - 0.5 * vds * vds) * clm,
+            beta * vds * clm,
+            beta * ((vov - vds) * clm + (vov * vds - 0.5 * vds * vds) * p.lambda),
+        )
+    } else {
+        let clm = 1.0 + p.lambda * vds;
+        (
+            0.5 * beta * vov * vov * clm,
+            beta * vov * clm,
+            0.5 * beta * vov * vov * p.lambda,
+        )
+    };
+
+    MosLin {
+        i,
+        gm,
+        gds,
+        swapped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::Waveform;
+
+    #[test]
+    fn voltage_divider_dc() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(2.0));
+        ckt.resistor(a, b, 1e3);
+        ckt.resistor(b, Circuit::GROUND, 1e3);
+
+        let mut sys = System::new(&ckt);
+        let mut x = vec![0.0; sys.unknowns()];
+        sys.solve_newton(&mut x, 0.0, None, 1.0, 0.0, 50, "test")
+            .unwrap();
+        assert!((System::node_voltage(&x, a) - 2.0).abs() < 1e-9);
+        assert!((System::node_voltage(&x, b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn isource_into_resistor() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.isource(a, Circuit::GROUND, Waveform::dc(1e-3));
+        ckt.resistor(a, Circuit::GROUND, 1e3);
+
+        let mut sys = System::new(&ckt);
+        let mut x = vec![0.0; sys.unknowns()];
+        sys.solve_newton(&mut x, 0.0, None, 1.0, 0.0, 50, "test")
+            .unwrap();
+        // 1 mA into 1 kΩ → 1 V
+        assert!((System::node_voltage(&x, a) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floating_node_is_held_by_gmin_floor() {
+        // A node connected only through a capacitor is floating in DC; the
+        // gmin floor keeps the matrix solvable and parks it at 0 V.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.capacitor(a, b, 1e-15);
+
+        let mut sys = System::new(&ckt);
+        let mut x = vec![0.0; sys.unknowns()];
+        sys.solve_newton(&mut x, 0.0, None, 1.0, 0.0, 50, "test")
+            .unwrap();
+        assert!(System::node_voltage(&x, b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmos_pulldown_dc() {
+        // NMOS with gate at VDD pulling a 10 kΩ-loaded node low.
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let out = ckt.node("out");
+        ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(1.8));
+        ckt.resistor(vdd, out, 10e3);
+        ckt.add_mosfet(Mosfet {
+            kind: MosType::Nmos,
+            d: out,
+            g: vdd,
+            s: Circuit::GROUND,
+            params: MosfetParams {
+                vt0: 0.4,
+                kp: 170e-6,
+                lambda: 0.05,
+                w: 2e-6,
+                l: 0.18e-6,
+                cgs: 0.0,
+                cgd: 0.0,
+                cdb: 0.0,
+            },
+        });
+
+        let mut sys = System::new(&ckt);
+        let mut x = vec![0.0; sys.unknowns()];
+        sys.solve_newton(&mut x, 0.0, None, 1.0, 0.0, 100, "test")
+            .unwrap();
+        let vout = System::node_voltage(&x, out);
+        // Strong pulldown: output well below VDD/2, and KCL must hold:
+        // resistor current equals transistor current.
+        assert!(vout < 0.2, "expected strong pulldown, got {vout}");
+        let ir = (1.8 - vout) / 10e3;
+        let m = match ckt.elements().iter().find_map(|e| match e {
+            Element::Mosfet(m) => Some(*m),
+            _ => None,
+        }) {
+            Some(m) => m,
+            None => unreachable!(),
+        };
+        let id = m.eval(vout, 1.8, 0.0).id;
+        assert!((ir - id).abs() < 1e-6, "KCL violated: ir={ir:e}, id={id:e}");
+    }
+
+    #[test]
+    fn cap_branch_order_matches_assembly() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        ckt.capacitor(a, Circuit::GROUND, 5e-15);
+        ckt.add_mosfet(Mosfet {
+            kind: MosType::Nmos,
+            d: a,
+            g: a,
+            s: Circuit::GROUND,
+            params: MosfetParams {
+                vt0: 0.4,
+                kp: 170e-6,
+                lambda: 0.05,
+                w: 1e-6,
+                l: 0.18e-6,
+                cgs: 1e-15,
+                cgd: 2e-15,
+                cdb: 3e-15,
+            },
+        });
+        let sys = System::new(&ckt);
+        let caps = sys.cap_branches();
+        assert_eq!(caps.len(), 1 + MOS_CAPS);
+        assert_eq!(caps[0].2, 5e-15);
+        assert_eq!(caps[1].2, 1e-15); // cgs
+        assert_eq!(caps[2].2, 2e-15); // cgd
+        assert_eq!(caps[3].2, 3e-15); // cdb
+    }
+}

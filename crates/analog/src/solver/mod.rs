@@ -1,0 +1,5 @@
+//! Numerical machinery: dense LU factorization and MNA system assembly
+//! with Newton–Raphson linearization of the nonlinear devices.
+
+pub(crate) mod matrix;
+pub(crate) mod mna;

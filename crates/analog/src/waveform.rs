@@ -1,0 +1,428 @@
+//! Waveform traces and the measurements the pulse-propagation experiments
+//! are built on: threshold crossings, propagation delays and pulse widths.
+//!
+//! A pulse that a faulty path "dampens" shows up here as either no
+//! threshold crossing at all (fully filtered) or a much narrower width
+//! between its two crossings (incomplete pulse) — exactly the phenomena of
+//! Figs. 2, 3 and 5 of the paper.
+
+/// Signal edge direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Edge {
+    /// Low-to-high crossing.
+    Rising,
+    /// High-to-low crossing.
+    Falling,
+}
+
+impl Edge {
+    /// The opposite edge.
+    pub fn inverted(self) -> Edge {
+        match self {
+            Edge::Rising => Edge::Falling,
+            Edge::Falling => Edge::Rising,
+        }
+    }
+}
+
+/// Polarity of a pulse relative to its resting level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Polarity {
+    /// Rests low, pulses high (`0 → 1 → 0`); the paper's kind *l*.
+    PositiveGoing,
+    /// Rests high, pulses low (`1 → 0 → 1`); the paper's kind *h*.
+    NegativeGoing,
+}
+
+impl Polarity {
+    /// Leading edge of a pulse of this polarity.
+    pub fn leading_edge(self) -> Edge {
+        match self {
+            Polarity::PositiveGoing => Edge::Rising,
+            Polarity::NegativeGoing => Edge::Falling,
+        }
+    }
+
+    /// Polarity after passing through an inverting stage.
+    pub fn inverted(self) -> Polarity {
+        match self {
+            Polarity::PositiveGoing => Polarity::NegativeGoing,
+            Polarity::NegativeGoing => Polarity::PositiveGoing,
+        }
+    }
+}
+
+/// A measured pulse: the interval a signal spends beyond a threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pulse {
+    /// Time of the leading threshold crossing.
+    pub t_start: f64,
+    /// Time of the trailing threshold crossing.
+    pub t_end: f64,
+    /// Extreme value reached inside the pulse (max for positive-going,
+    /// min for negative-going).
+    pub peak: f64,
+}
+
+impl Pulse {
+    /// Pulse width measured at the threshold, seconds.
+    pub fn width(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+}
+
+/// Borrowed view of a sampled waveform `(t[i], v[i])`.
+///
+/// Time points must be non-decreasing. All measurements interpolate
+/// linearly between samples.
+///
+/// # Example
+///
+/// ```
+/// use pulsar_analog::{Polarity, Trace};
+///
+/// // A triangular bump: the kind of degraded pulse a defect produces.
+/// let t = [0.0, 1e-9, 2e-9];
+/// let v = [0.0, 1.8, 0.0];
+/// let trace = Trace::new(&t, &v);
+/// let width = trace.widest_pulse_width(0.9, Polarity::PositiveGoing);
+/// assert!((width - 1e-9).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Trace<'a> {
+    t: &'a [f64],
+    v: &'a [f64],
+}
+
+impl<'a> Trace<'a> {
+    /// Wraps borrowed sample arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths or are empty.
+    pub fn new(t: &'a [f64], v: &'a [f64]) -> Self {
+        assert_eq!(t.len(), v.len(), "time/value slices must have equal length");
+        assert!(!t.is_empty(), "a trace needs at least one sample");
+        Trace { t, v }
+    }
+
+    /// Time points.
+    pub fn times(&self) -> &'a [f64] {
+        self.t
+    }
+
+    /// Sample values.
+    pub fn values(&self) -> &'a [f64] {
+        self.v
+    }
+
+    /// Linear interpolation at time `time`, clamped to the trace ends.
+    pub fn value_at(&self, time: f64) -> f64 {
+        if time <= self.t[0] {
+            return self.v[0];
+        }
+        if time >= *self.t.last().expect("non-empty") {
+            return *self.v.last().expect("non-empty");
+        }
+        // Binary search for the bracketing interval.
+        let idx = self.t.partition_point(|&x| x < time);
+        let (t0, t1) = (self.t[idx - 1], self.t[idx]);
+        let (v0, v1) = (self.v[idx - 1], self.v[idx]);
+        if t1 == t0 {
+            return v1;
+        }
+        v0 + (v1 - v0) * (time - t0) / (t1 - t0)
+    }
+
+    /// Last sampled value.
+    pub fn last_value(&self) -> f64 {
+        *self.v.last().expect("non-empty")
+    }
+
+    /// Maximum sampled value.
+    pub fn max_value(&self) -> f64 {
+        self.v.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum sampled value.
+    pub fn min_value(&self) -> f64 {
+        self.v.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// All times at which the trace crosses `threshold` with the given
+    /// `edge` direction, interpolated between samples.
+    pub fn crossings(&self, threshold: f64, edge: Edge) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 1..self.t.len() {
+            let (v0, v1) = (self.v[i - 1], self.v[i]);
+            let hit = match edge {
+                Edge::Rising => v0 < threshold && v1 >= threshold,
+                Edge::Falling => v0 > threshold && v1 <= threshold,
+            };
+            if hit {
+                let (t0, t1) = (self.t[i - 1], self.t[i]);
+                let f = if v1 == v0 {
+                    1.0
+                } else {
+                    (threshold - v0) / (v1 - v0)
+                };
+                out.push(t0 + f * (t1 - t0));
+            }
+        }
+        out
+    }
+
+    /// First crossing of `threshold` with direction `edge` at or after
+    /// time `after`.
+    pub fn first_crossing_after(&self, threshold: f64, edge: Edge, after: f64) -> Option<f64> {
+        self.crossings(threshold, edge)
+            .into_iter()
+            .find(|&t| t >= after)
+    }
+
+    /// Extracts every pulse of the given `polarity` with respect to
+    /// `threshold`: maximal intervals during which the signal stays beyond
+    /// the threshold, with the peak excursion reached inside each.
+    ///
+    /// A fully dampened pulse produces no entry — the signal never crosses
+    /// the threshold — which is precisely the paper's detection condition.
+    pub fn pulses(&self, threshold: f64, polarity: Polarity) -> Vec<Pulse> {
+        let lead = polarity.leading_edge();
+        let trail = lead.inverted();
+        let starts = self.crossings(threshold, lead);
+        let ends = self.crossings(threshold, trail);
+        let mut out = Vec::new();
+        let mut ei = 0usize;
+        for s in starts {
+            while ei < ends.len() && ends[ei] <= s {
+                ei += 1;
+            }
+            if ei >= ends.len() {
+                break;
+            }
+            let e = ends[ei];
+            ei += 1;
+            // Peak within [s, e].
+            let mut peak = self.value_at(s);
+            for i in 0..self.t.len() {
+                if self.t[i] >= s && self.t[i] <= e {
+                    peak = match polarity {
+                        Polarity::PositiveGoing => peak.max(self.v[i]),
+                        Polarity::NegativeGoing => peak.min(self.v[i]),
+                    };
+                }
+            }
+            out.push(Pulse {
+                t_start: s,
+                t_end: e,
+                peak,
+            });
+        }
+        out
+    }
+
+    /// Width of the widest pulse of `polarity` around `threshold`, or 0.0
+    /// when the signal never completes a pulse (fully dampened).
+    pub fn widest_pulse_width(&self, threshold: f64, polarity: Polarity) -> f64 {
+        self.pulses(threshold, polarity)
+            .iter()
+            .map(Pulse::width)
+            .fold(0.0, f64::max)
+    }
+
+    /// Transition (slew) time of the first `edge` after `after`: the time
+    /// spent between the `lo` and `hi` thresholds (e.g. 10 %/90 % of
+    /// VDD). Returns `None` when the trace never completes such a
+    /// transition — which is itself a signal: a resistive open that
+    /// degrades a slope may keep the node from ever reaching `hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn transition_time(&self, lo: f64, hi: f64, edge: Edge, after: f64) -> Option<f64> {
+        assert!(lo < hi, "thresholds must be ordered: lo {lo} >= hi {hi}");
+        match edge {
+            Edge::Rising => {
+                let t_lo = self.first_crossing_after(lo, Edge::Rising, after)?;
+                let t_hi = self.first_crossing_after(hi, Edge::Rising, t_lo)?;
+                Some(t_hi - t_lo)
+            }
+            Edge::Falling => {
+                let t_hi = self.first_crossing_after(hi, Edge::Falling, after)?;
+                let t_lo = self.first_crossing_after(lo, Edge::Falling, t_hi)?;
+                Some(t_lo - t_hi)
+            }
+        }
+    }
+
+    /// Peak excursion from `rest` in the direction of `polarity`, in volts.
+    ///
+    /// Useful to quantify *partial* dampening: an incomplete pulse may still
+    /// move the node without crossing the threshold.
+    pub fn peak_excursion(&self, rest: f64, polarity: Polarity) -> f64 {
+        match polarity {
+            Polarity::PositiveGoing => self.max_value() - rest,
+            Polarity::NegativeGoing => rest - self.min_value(),
+        }
+    }
+}
+
+/// Propagation delay from an edge on `input` to the corresponding edge on
+/// `output`, both measured at `threshold`. Returns `None` if either edge
+/// is missing (e.g. the transition was swallowed by the fault).
+///
+/// `after` restricts the search to edges at or after that time, which lets
+/// callers skip initial settling.
+pub fn propagation_delay(
+    input: &Trace<'_>,
+    in_edge: Edge,
+    output: &Trace<'_>,
+    out_edge: Edge,
+    threshold: f64,
+    after: f64,
+) -> Option<f64> {
+    let t_in = input.first_crossing_after(threshold, in_edge, after)?;
+    let t_out = output.first_crossing_after(threshold, out_edge, t_in)?;
+    Some(t_out - t_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> (Vec<f64>, Vec<f64>) {
+        // 0 → 1 → 0 triangle over t in [0, 2].
+        (vec![0.0, 1.0, 2.0], vec![0.0, 1.0, 0.0])
+    }
+
+    #[test]
+    fn value_at_interpolates_and_clamps() {
+        let (t, v) = triangle();
+        let tr = Trace::new(&t, &v);
+        assert_eq!(tr.value_at(-1.0), 0.0);
+        assert_eq!(tr.value_at(0.5), 0.5);
+        assert_eq!(tr.value_at(1.5), 0.5);
+        assert_eq!(tr.value_at(99.0), 0.0);
+    }
+
+    #[test]
+    fn crossings_both_directions() {
+        let (t, v) = triangle();
+        let tr = Trace::new(&t, &v);
+        let rise = tr.crossings(0.5, Edge::Rising);
+        let fall = tr.crossings(0.5, Edge::Falling);
+        assert_eq!(rise, vec![0.5]);
+        assert_eq!(fall, vec![1.5]);
+    }
+
+    #[test]
+    fn pulse_extraction_positive() {
+        let (t, v) = triangle();
+        let tr = Trace::new(&t, &v);
+        let pulses = tr.pulses(0.5, Polarity::PositiveGoing);
+        assert_eq!(pulses.len(), 1);
+        let p = pulses[0];
+        assert!((p.width() - 1.0).abs() < 1e-12);
+        assert_eq!(p.peak, 1.0);
+    }
+
+    #[test]
+    fn dampened_pulse_yields_no_crossing() {
+        // A bump that stays below threshold: fully dampened.
+        let t = vec![0.0, 1.0, 2.0];
+        let v = vec![0.0, 0.3, 0.0];
+        let tr = Trace::new(&t, &v);
+        assert!(tr.pulses(0.5, Polarity::PositiveGoing).is_empty());
+        assert_eq!(tr.widest_pulse_width(0.5, Polarity::PositiveGoing), 0.0);
+        assert!((tr.peak_excursion(0.0, Polarity::PositiveGoing) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn negative_going_pulse() {
+        let t = vec![0.0, 1.0, 2.0, 3.0];
+        let v = vec![1.8, 0.0, 0.0, 1.8];
+        let tr = Trace::new(&t, &v);
+        let pulses = tr.pulses(0.9, Polarity::NegativeGoing);
+        assert_eq!(pulses.len(), 1);
+        assert_eq!(pulses[0].peak, 0.0);
+        assert!(pulses[0].width() > 1.0);
+    }
+
+    #[test]
+    fn pulse_train_counts_each_pulse() {
+        let t: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let v = vec![0.0, 1.0, 0.0, 1.0, 0.0, 1.0, 0.0, 0.2, 0.0];
+        let tr = Trace::new(&t, &v);
+        let pulses = tr.pulses(0.5, Polarity::PositiveGoing);
+        assert_eq!(pulses.len(), 3, "the 0.2 bump must not count");
+    }
+
+    #[test]
+    fn incomplete_trailing_pulse_is_ignored() {
+        // Rises but never falls back: not a pulse.
+        let t = vec![0.0, 1.0, 2.0];
+        let v = vec![0.0, 1.0, 1.0];
+        let tr = Trace::new(&t, &v);
+        assert!(tr.pulses(0.5, Polarity::PositiveGoing).is_empty());
+    }
+
+    #[test]
+    fn transition_time_measures_slew() {
+        // Ramp from 0 to 1 over [0, 1]: 10–90 % takes 0.8.
+        let t = vec![0.0, 1.0, 2.0];
+        let v = vec![0.0, 1.0, 1.0];
+        let tr = Trace::new(&t, &v);
+        let slew = tr.transition_time(0.1, 0.9, Edge::Rising, 0.0).unwrap();
+        assert!((slew - 0.8).abs() < 1e-12);
+        // Falling version on the mirrored ramp.
+        let v = vec![1.0, 0.0, 0.0];
+        let tr = Trace::new(&t, &v);
+        let slew = tr.transition_time(0.1, 0.9, Edge::Falling, 0.0).unwrap();
+        assert!((slew - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_transition_has_no_slew() {
+        // Never reaches 0.9: a degraded edge.
+        let t = vec![0.0, 1.0, 2.0];
+        let v = vec![0.0, 0.5, 0.5];
+        let tr = Trace::new(&t, &v);
+        assert_eq!(tr.transition_time(0.1, 0.9, Edge::Rising, 0.0), None);
+    }
+
+    #[test]
+    fn propagation_delay_measures_edge_to_edge() {
+        let t = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let vin = vec![0.0, 0.0, 1.0, 1.0, 1.0];
+        let vout = vec![1.0, 1.0, 1.0, 0.0, 0.0];
+        let ti = Trace::new(&t, &vin);
+        let to = Trace::new(&t, &vout);
+        let d = propagation_delay(&ti, Edge::Rising, &to, Edge::Falling, 0.5, 0.0)
+            .expect("both edges present");
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn propagation_delay_none_when_output_never_switches() {
+        let t = vec![0.0, 1.0, 2.0];
+        let vin = vec![0.0, 1.0, 1.0];
+        let vout = vec![0.0, 0.0, 0.0];
+        let ti = Trace::new(&t, &vin);
+        let to = Trace::new(&t, &vout);
+        assert!(propagation_delay(&ti, Edge::Rising, &to, Edge::Rising, 0.5, 0.0).is_none());
+    }
+
+    #[test]
+    fn polarity_and_edge_helpers() {
+        assert_eq!(Polarity::PositiveGoing.leading_edge(), Edge::Rising);
+        assert_eq!(Polarity::NegativeGoing.leading_edge(), Edge::Falling);
+        assert_eq!(Polarity::PositiveGoing.inverted(), Polarity::NegativeGoing);
+        assert_eq!(Edge::Rising.inverted(), Edge::Falling);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn mismatched_slices_panic() {
+        let _ = Trace::new(&[0.0, 1.0], &[0.0]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property test: the MNA solver against analytically reducible
+//! series-parallel resistor networks.
+//!
+//! A random series/parallel tree has a closed-form equivalent resistance;
+//! driving it through a known series resistor turns that into an exact
+//! voltage-divider prediction the DC solution must match.
+
+use proptest::prelude::*;
+use pulsar_analog::{Circuit, NodeId, Waveform};
+
+/// A series-parallel resistor network between two terminals.
+#[derive(Debug, Clone)]
+enum Net {
+    R(f64),
+    Series(Box<Net>, Box<Net>),
+    Parallel(Box<Net>, Box<Net>),
+}
+
+impl Net {
+    /// Analytic equivalent resistance.
+    fn req(&self) -> f64 {
+        match self {
+            Net::R(r) => *r,
+            Net::Series(a, b) => a.req() + b.req(),
+            Net::Parallel(a, b) => {
+                let (ra, rb) = (a.req(), b.req());
+                ra * rb / (ra + rb)
+            }
+        }
+    }
+
+    /// Number of resistors (to keep generated circuits bounded).
+    fn size(&self) -> usize {
+        match self {
+            Net::R(_) => 1,
+            Net::Series(a, b) | Net::Parallel(a, b) => a.size() + b.size(),
+        }
+    }
+
+    /// Stamps the network between nodes `a` and `b`.
+    fn build(&self, ckt: &mut Circuit, a: NodeId, b: NodeId) {
+        match self {
+            Net::R(r) => {
+                ckt.resistor(a, b, *r);
+            }
+            Net::Series(x, y) => {
+                let mid = ckt.node("mid");
+                x.build(ckt, a, mid);
+                y.build(ckt, mid, b);
+            }
+            Net::Parallel(x, y) => {
+                x.build(ckt, a, b);
+                y.build(ckt, a, b);
+            }
+        }
+    }
+}
+
+fn net_strategy() -> impl Strategy<Value = Net> {
+    let leaf = (10.0f64..100e3).prop_map(Net::R);
+    leaf.prop_recursive(5, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Net::Series(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Net::Parallel(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dc_solution_matches_the_analytic_divider(net in net_strategy()) {
+        prop_assume!(net.size() <= 24);
+        let req = net.req();
+        let rs = 1e3;
+
+        let mut ckt = Circuit::new();
+        let src = ckt.node("src");
+        let mid = ckt.node("tap");
+        ckt.vsource(src, Circuit::GROUND, Waveform::dc(1.0));
+        ckt.resistor(src, mid, rs);
+        net.build(&mut ckt, mid, Circuit::GROUND);
+
+        let dc = ckt.dc_op().expect("series-parallel networks always solve");
+        let expect = req / (rs + req);
+        let got = dc.voltage(mid);
+        prop_assert!(
+            (got - expect).abs() < 1e-6 + 1e-6 * expect.abs(),
+            "req = {req:.3}, expected {expect:.9}, solver said {got:.9}"
+        );
+    }
+
+    /// Superposition: with two sources, the solution is the sum of the
+    /// single-source solutions.
+    #[test]
+    fn superposition_holds(r1 in 10.0f64..10e3, r2 in 10.0f64..10e3, r3 in 10.0f64..10e3,
+                           v1 in -5.0f64..5.0, v2 in -5.0f64..5.0) {
+        let build = |va: f64, vb: f64| {
+            let mut ckt = Circuit::new();
+            let a = ckt.node("a");
+            let b = ckt.node("b");
+            let m = ckt.node("m");
+            ckt.vsource(a, Circuit::GROUND, Waveform::dc(va));
+            ckt.vsource(b, Circuit::GROUND, Waveform::dc(vb));
+            ckt.resistor(a, m, r1);
+            ckt.resistor(b, m, r2);
+            ckt.resistor(m, Circuit::GROUND, r3);
+            let dc = ckt.dc_op().expect("linear network");
+            dc.voltage(m)
+        };
+        let both = build(v1, v2);
+        let only1 = build(v1, 0.0);
+        let only2 = build(0.0, v2);
+        prop_assert!((both - (only1 + only2)).abs() < 1e-6,
+            "superposition violated: {both} vs {} + {}", only1, only2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Ablation benches for the design choices called out in `DESIGN.md`:
+//!
+//! * integrator choice (trapezoidal vs backward Euler),
+//! * transient step size,
+//! * pulse kind *l* (positive-going) vs *h* (negative-going),
+//! * internal vs external ROP detectability at equal resistance,
+//! * electrical vs logic-level engine cost for the same measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use pulsar_analog::{Integrator, Polarity, TranConfig};
+use pulsar_cells::{BuiltPath, PathFault, PathSpec, RopSite, Tech};
+use pulsar_core::{ModelFault, ModelPath, PathInstance};
+use pulsar_timing::{GateTimingModel, PathElement, PathTimingModel};
+
+fn paper_path(fault: PathFault) -> BuiltPath {
+    let tech = Tech::generic_180nm();
+    BuiltPath::new(&PathSpec::paper_chain(), &fault, &vec![tech; 7])
+}
+
+fn ablate_integrator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/integrator");
+    for (name, integ) in [
+        ("trapezoidal", Integrator::Trapezoidal),
+        ("backward_euler", Integrator::BackwardEuler),
+    ] {
+        let mut path = paper_path(PathFault::ExternalRop {
+            stage: 1,
+            ohms: 8e3,
+        });
+        let cfg = TranConfig::with_integrator(4e-12, 7e-9, integ);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                black_box(
+                    path.propagate_pulse(400e-12, Polarity::PositiveGoing, Some(&cfg))
+                        .expect("transient"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_step_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/step");
+    for step_ps in [2.0f64, 4.0, 8.0] {
+        let mut path = paper_path(PathFault::ExternalRop {
+            stage: 1,
+            ohms: 8e3,
+        });
+        let cfg = TranConfig::new(step_ps * 1e-12, 7e-9);
+        group.bench_with_input(BenchmarkId::from_parameter(step_ps), &step_ps, |b, _| {
+            b.iter(|| {
+                black_box(
+                    path.propagate_pulse(400e-12, Polarity::PositiveGoing, Some(&cfg))
+                        .expect("transient"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn ablate_pulse_kind(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/pulse_kind");
+    for (name, pol) in [
+        ("l_positive", Polarity::PositiveGoing),
+        ("h_negative", Polarity::NegativeGoing),
+    ] {
+        let mut path = paper_path(PathFault::InternalRop {
+            stage: 1,
+            site: RopSite::PullUp,
+            ohms: 8e3,
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(path.propagate_pulse(400e-12, pol, None).expect("transient")))
+        });
+    }
+    group.finish();
+}
+
+fn ablate_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/engine");
+    let mut analog = paper_path(PathFault::ExternalRop {
+        stage: 1,
+        ohms: 8e3,
+    });
+    group.bench_function("electrical", |b| {
+        b.iter(|| {
+            black_box(
+                analog
+                    .propagate_pulse(400e-12, Polarity::PositiveGoing, None)
+                    .expect("analog"),
+            )
+        })
+    });
+    let inv = GateTimingModel::new(95e-12, 75e-12, 70e-12, 260e-12);
+    let healthy = PathTimingModel::new(vec![
+        PathElement::Gate {
+            model: inv,
+            inverting: true,
+            slow_rise: 0.0,
+            slow_fall: 0.0
+        };
+        7
+    ]);
+    let mut model = ModelPath::new(
+        healthy,
+        Some(ModelFault::RcAfter {
+            stage: 1,
+            c_branch: 13e-15,
+        }),
+        8e3,
+    );
+    group.bench_function("logic_level", |b| {
+        b.iter(|| {
+            black_box(
+                model
+                    .pulse_width_out(400e-12, Polarity::PositiveGoing)
+                    .expect("model"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablate_integrator,
+    ablate_step_size,
+    ablate_pulse_kind,
+    ablate_engine
+);
+criterion_main!(benches);

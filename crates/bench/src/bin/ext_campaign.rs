@@ -1,0 +1,103 @@
+//! Extension experiment: a full test-generation campaign over the
+//! C432-class benchmark — the "large combinational networks" application
+//! the paper's conclusion announces. Probes every fault site, reports the
+//! sensitizable fraction, the pattern count and the site-level coverage
+//! profile as a function of defect resistance.
+//!
+//! Output: campaign summary + CSV coverage profile.
+
+use pulsar_bench::{log_sweep, ExpParams};
+use pulsar_cells::Tech;
+use pulsar_core::{
+    all_branch_faults, compact_patterns, fault_simulate, Campaign, PulsePattern, SiteOutcome,
+};
+use pulsar_logic::c432_like;
+use pulsar_timing::{calibrate_inverter, TimingLibrary};
+
+fn main() {
+    let p = ExpParams::from_env(1); // here: the site stride
+    let nl = c432_like();
+    let lib = match calibrate_inverter(&Tech::generic_180nm()) {
+        Ok(inv) => TimingLibrary::calibrated(inv),
+        Err(e) => {
+            eprintln!("calibration failed ({e}); using the generic library");
+            TimingLibrary::generic()
+        }
+    };
+
+    let campaign = Campaign {
+        stride: p.samples.max(1),
+        ..Campaign::default()
+    };
+    let report = campaign.run(&nl, &lib).expect("campaign");
+
+    println!(
+        "# campaign over the C432-like benchmark (stride {})",
+        campaign.stride
+    );
+    println!(
+        "# sites probed = {}, planned = {}, unsensitizable = {}, failed = {}",
+        report.sites.len(),
+        report.planned,
+        report.unsensitizable,
+        report.failed
+    );
+    println!("# pattern count = {}", report.pattern_count());
+    if let Some(s) = report.r_min_summary() {
+        println!(
+            "# R_min over planned sites: min {:.3e}, mean {:.3e}, max {:.3e} ohm",
+            s.min, s.mean, s.max
+        );
+    }
+
+    println!("R_ohms,site_coverage");
+    for r in log_sweep(500.0, 2e6, 18) {
+        println!("{r:.4e},{:.4}", report.coverage_at(r));
+    }
+
+    // Fault-simulate the generated pattern set against every fan-out
+    // branch at a severe defect (the paper's "small amount of test data"
+    // argument: per-site patterns sweep up many other faults too).
+    let patterns: Vec<PulsePattern> = report
+        .sites
+        .iter()
+        .filter_map(|(_, o)| match o {
+            SiteOutcome::Planned(p) => Some(PulsePattern::from_plan(&nl, p)),
+            _ => None,
+        })
+        .collect();
+    // Vector-load compaction (§5 application issues): plans with
+    // compatible vectors and disjoint cones share one scan load.
+    let plans: Vec<_> = report
+        .sites
+        .iter()
+        .filter_map(|(_, o)| match o {
+            SiteOutcome::Planned(p) => Some(p.clone()),
+            _ => None,
+        })
+        .collect();
+    let sessions = compact_patterns(&nl, &plans);
+    println!(
+        "# compaction: {} plans -> {} vector-load sessions",
+        plans.len(),
+        sessions.len()
+    );
+
+    let faults = all_branch_faults(&nl);
+    match fault_simulate(&nl, &lib, &patterns, &faults, 2e-9) {
+        Ok(fsim) => {
+            println!(
+                "# fault simulation: {} patterns x {} branch faults, coverage {:.3}",
+                patterns.len(),
+                faults.len(),
+                fsim.coverage()
+            );
+            let best = (0..patterns.len())
+                .map(|p| fsim.detections_of_pattern(p))
+                .max()
+                .unwrap_or(0);
+            println!("# most productive pattern detects {best} faults");
+        }
+        Err(e) => eprintln!("fault simulation failed: {e}"),
+    }
+}

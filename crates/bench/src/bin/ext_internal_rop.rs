@@ -1,0 +1,50 @@
+//! Extension experiment: coverage comparison for an **internal** resistive
+//! open (pull-up). The paper runs Figs. 6/7 on the external open because
+//! it is "the worst case for our method" (§4); this experiment completes
+//! the picture: for internal opens — which attack a single edge and
+//! shrink the pulse immediately (Fig. 2) — the pulse test's detectable
+//! range extends well below the DF baseline's.
+//!
+//! Output: CSV `R, C_del(T0), C_pulse(wth0)` plus both pulse kinds'
+//! coverage (kind *l* rides the slowed rising edge here, kind *h* the
+//! unaffected one, so the kinds split — the §5 pulse-kind selection
+//! argument in data).
+
+use pulsar_analog::Polarity;
+use pulsar_bench::{internal_rop_put, log_sweep, ExpParams};
+use pulsar_core::{DfStudy, PulseStudy};
+
+fn main() {
+    let p = ExpParams::from_env(48);
+    let rs = log_sweep(300.0, 100e3, 13);
+
+    let df = DfStudy::new(internal_rop_put(), p.mc());
+    let dcal = df.calibrate().expect("df calibration");
+    let dcov = df.coverage(&dcal, &rs, &[1.0]).expect("df coverage");
+
+    let pulse_l = PulseStudy::new(internal_rop_put(), p.mc(), Polarity::PositiveGoing);
+    let lcal = pulse_l.calibrate().expect("pulse calibration (l)");
+    let lcov = pulse_l
+        .coverage(&lcal, &rs, &[1.0])
+        .expect("pulse coverage (l)");
+
+    let pulse_h = PulseStudy::new(internal_rop_put(), p.mc(), Polarity::NegativeGoing);
+    let hcal = pulse_h.calibrate().expect("pulse calibration (h)");
+    let hcov = pulse_h
+        .coverage(&hcal, &rs, &[1.0])
+        .expect("pulse coverage (h)");
+
+    println!("# internal pull-up ROP at stage 1: DF vs pulse, both pulse kinds");
+    println!("# samples = {}, seed = {}, sigma = 10%", p.samples, p.seed);
+    println!(
+        "# T0 = {:.3e} s; w_in0(l) = {:.3e} s; w_in0(h) = {:.3e} s",
+        dcal.t0, lcal.w_in, hcal.w_in
+    );
+    println!("R_ohms,Cdel_T0,Cpulse_l,Cpulse_h");
+    for (i, r) in rs.iter().enumerate() {
+        println!(
+            "{r:.4e},{:.4},{:.4},{:.4}",
+            dcov[0].coverage[i], lcov[0].coverage[i], hcov[0].coverage[i]
+        );
+    }
+}

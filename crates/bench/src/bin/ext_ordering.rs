@@ -1,0 +1,49 @@
+//! Extension experiment: three-way comparison on the external ROP —
+//! reduced-clock DF testing (§4 baseline), the self-timed output-ordering
+//! method (paper ref.\[7\], discussed in §1) and the pulse test. The
+//! ordering method needs no clock, but its reference separation —
+//! calibrated flip-free over the Monte Carlo sample — is a structural
+//! blind spot for small defects, which is the paper's §1 critique.
+//!
+//! Output: CSV `R, C_del(T0), C_order, C_pulse(wth0)` plus the
+//! calibration constants.
+
+use pulsar_analog::Polarity;
+use pulsar_bench::{log_sweep, rop_put, ExpParams};
+use pulsar_core::{DfStudy, OrderingStudy, PulseStudy};
+
+fn main() {
+    let p = ExpParams::from_env(48);
+    let rs = log_sweep(300.0, 400e3, 13);
+
+    let df = DfStudy::new(rop_put(), p.mc());
+    let dcal = df.calibrate().expect("df calibration");
+    let dcov = df.coverage(&dcal, &rs, &[1.0]).expect("df coverage");
+
+    let ord = OrderingStudy::new(rop_put(), p.mc());
+    let ocal = ord.calibrate().expect("ordering calibration");
+    let ocov = ord.coverage(&ocal, &rs).expect("ordering coverage");
+
+    let pulse = PulseStudy::new(rop_put(), p.mc(), Polarity::PositiveGoing);
+    let pcal = pulse.calibrate().expect("pulse calibration");
+    let pcov = pulse.coverage(&pcal, &rs, &[1.0]).expect("pulse coverage");
+
+    println!("# three-way method comparison, external ROP at stage 1");
+    println!("# samples = {}, seed = {}, sigma = 10%", p.samples, p.seed);
+    println!("# df: T0 = {:.3e} s", dcal.t0);
+    println!(
+        "# ordering: reference = {} stages, flip-free margin = {:.3e} s",
+        ocal.ref_stages, ocal.min_margin
+    );
+    println!(
+        "# pulse: w_in0 = {:.3e} s, w_th0 = {:.3e} s",
+        pcal.w_in, pcal.w_th
+    );
+    println!("R_ohms,Cdel_T0,Corder,Cpulse_wth0");
+    for (i, r) in rs.iter().enumerate() {
+        println!(
+            "{r:.4e},{:.4},{:.4},{:.4}",
+            dcov[0].coverage[i], ocov.coverage[i], pcov[0].coverage[i]
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Fig. 3: faulty vs fault-free waveforms for an **external resistive
+//! open** (R = 8 kΩ on the fan-out branch B → B·C). Both edges of the
+//! branch signal slow down; a pulse comparable to the degraded transition
+//! time becomes incomplete and is dampened downstream.
+//!
+//! Output: CSV with time and per-stage voltages for both circuits.
+
+use pulsar_analog::Polarity;
+use pulsar_bench::rop_put;
+use pulsar_core::PathInstance as _;
+
+fn main() {
+    let put = rop_put();
+    // A pulse comparable to the degraded branch transition time (the
+    // paper's "behavior 2"): the second edge starts before the first is
+    // exhausted, leaving an incomplete pulse that dies downstream.
+    let w_in = 250e-12;
+    let r = 8e3;
+
+    let mut faulty = put.instantiate_nominal(r);
+    faulty
+        .set_resistance(r)
+        .expect("fault present by construction");
+    let (fo, fres) = faulty
+        .built_path()
+        .propagate_pulse_traced(w_in, Polarity::PositiveGoing, None)
+        .expect("faulty transient");
+
+    let techs = vec![put.tech; put.spec.len()];
+    let mut clean = put.instantiate_fault_free(&techs);
+    let (co, cres) = clean
+        .built_path()
+        .propagate_pulse_traced(w_in, Polarity::PositiveGoing, None)
+        .expect("fault-free transient");
+
+    println!("# Fig 3 reproduction: external ROP on the B->B.C branch, R = {r:.0} ohm, w_in = {w_in:.3e} s");
+    println!(
+        "# faulty stage widths: {:?}",
+        fo.stage_widths
+            .iter()
+            .map(|w| format!("{w:.3e}"))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "# clean  stage widths: {:?}",
+        co.stage_widths
+            .iter()
+            .map(|w| format!("{w:.3e}"))
+            .collect::<Vec<_>>()
+    );
+
+    // Include the degraded branch node B·C itself (named "u1.bc").
+    let bc = faulty
+        .built_path()
+        .circuit()
+        .find_node("u1.bc")
+        .expect("external ROP creates the branch node");
+    let stages = faulty.built_path().stage_outputs().to_vec();
+    let input = faulty.built_path().input();
+    let cstages = clean.built_path().stage_outputs().to_vec();
+    let cinput = clean.built_path().input();
+
+    print!("t,Vin_faulty,Vbc_faulty");
+    for i in 0..stages.len() {
+        print!(",Vs{i}_faulty");
+    }
+    print!(",Vin_clean");
+    for i in 0..cstages.len() {
+        print!(",Vs{i}_clean");
+    }
+    println!();
+
+    let times = fres.times().to_vec();
+    for (k, &t) in times.iter().enumerate() {
+        if k % 8 != 0 {
+            continue;
+        }
+        print!(
+            "{t:.5e},{:.4},{:.4}",
+            fres.trace(input).values()[k],
+            fres.trace(bc).values()[k]
+        );
+        for &s in &stages {
+            print!(",{:.4}", fres.trace(s).values()[k]);
+        }
+        print!(",{:.4}", cres.trace(cinput).value_at(t));
+        for &s in &cstages {
+            print!(",{:.4}", cres.trace(s).value_at(t));
+        }
+        println!();
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 6: DF-testing coverage `C_del(R)` for an external resistive open
+//! at the output of the path's second gate, at applied clock periods
+//! T ∈ {0.9, 1.0, 1.1}·T₀, over a Monte Carlo sample at 10 % sigma.
+//!
+//! Output: CSV `R, C_del(0.9T0), C_del(T0), C_del(1.1T0)`.
+
+use pulsar_bench::{csv_row, log_sweep, rop_put, ExpParams};
+use pulsar_core::DfStudy;
+
+fn main() {
+    let p = ExpParams::from_env(48);
+    let study = DfStudy::new(rop_put(), p.mc());
+    let cal = study.calibrate().expect("fault-free calibration");
+    let rs = log_sweep(300.0, 400e3, 13);
+    let factors = [0.9, 1.0, 1.1];
+    let curves = study.coverage(&cal, &rs, &factors).expect("coverage sweep");
+
+    println!("# Fig 6 reproduction: C_del(R), external ROP at stage 1");
+    println!(
+        "# samples = {}, seed = {}, sigma = 10%, T0 = {:.4e} s",
+        p.samples, p.seed, cal.t0
+    );
+    println!("R_ohms,Cdel_0.9T0,Cdel_1.0T0,Cdel_1.1T0");
+    for (i, r) in rs.iter().enumerate() {
+        csv_row(
+            format!("{r:.4e}"),
+            &[
+                curves[0].coverage[i],
+                curves[1].coverage[i],
+                curves[2].coverage[i],
+            ],
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Fig. 7: pulse-test coverage `C_pulse(R)` for the same external
+//! resistive open as Fig. 6, at sensing thresholds
+//! ω_th ∈ {0.9, 1.0, 1.1}·ω_th⁰.
+//!
+//! Output: CSV `R, C_pulse(0.9ωth), C_pulse(ωth), C_pulse(1.1ωth)`.
+
+use pulsar_analog::Polarity;
+use pulsar_bench::{csv_row, log_sweep, rop_put, ExpParams};
+use pulsar_core::PulseStudy;
+
+fn main() {
+    let p = ExpParams::from_env(48);
+    let study = PulseStudy::new(rop_put(), p.mc(), Polarity::PositiveGoing);
+    let cal = study.calibrate().expect("pulse calibration");
+    let rs = log_sweep(300.0, 400e3, 13);
+    let factors = [0.9, 1.0, 1.1];
+    let curves = study.coverage(&cal, &rs, &factors).expect("coverage sweep");
+
+    println!("# Fig 7 reproduction: C_pulse(R), external ROP at stage 1");
+    println!(
+        "# samples = {}, seed = {}, sigma = 10%, w_in0 = {:.4e} s, w_th0 = {:.4e} s",
+        p.samples, p.seed, cal.w_in, cal.w_th
+    );
+    println!("R_ohms,Cpulse_0.9wth,Cpulse_1.0wth,Cpulse_1.1wth");
+    for (i, r) in rs.iter().enumerate() {
+        csv_row(
+            format!("{r:.4e}"),
+            &[
+                curves[0].coverage[i],
+                curves[1].coverage[i],
+                curves[2].coverage[i],
+            ],
+        );
+    }
+}

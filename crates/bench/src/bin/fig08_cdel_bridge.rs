@@ -1,0 +1,42 @@
+//! Fig. 8: DF-testing coverage `C_del(R)` for an external resistive
+//! bridge at the second gate's output. Above the critical resistance the
+//! bridge-induced delay collapses quickly with R, and so does `C_del`.
+//!
+//! Output: CSV `R, C_del(0.9T0), C_del(T0), C_del(1.1T0)`.
+
+use pulsar_bench::{bridge_put, csv_row, log_sweep, ExpParams};
+use pulsar_core::{critical_resistance, DfStudy};
+
+fn main() {
+    let p = ExpParams::from_env(48);
+    let put = bridge_put();
+    // Nominal critical resistance: the sweep's physical left edge (the
+    // paper reports ≈ 2 kΩ for its bridge).
+    match critical_resistance(&put, 50.0, 20e3, 25.0) {
+        Ok(Some(rc)) => println!("# nominal critical resistance = {rc:.0} ohm"),
+        Ok(None) => println!("# nominal critical resistance above 20 kohm"),
+        Err(e) => eprintln!("critical-resistance search failed: {e}"),
+    }
+    let study = DfStudy::new(put, p.mc());
+    let cal = study.calibrate().expect("fault-free calibration");
+    let rs = log_sweep(800.0, 60e3, 13);
+    let factors = [0.9, 1.0, 1.1];
+    let curves = study.coverage(&cal, &rs, &factors).expect("coverage sweep");
+
+    println!("# Fig 8 reproduction: C_del(R), bridge (steady-low aggressor) at stage 1");
+    println!(
+        "# samples = {}, seed = {}, sigma = 10%, T0 = {:.4e} s",
+        p.samples, p.seed, cal.t0
+    );
+    println!("R_ohms,Cdel_0.9T0,Cdel_1.0T0,Cdel_1.1T0");
+    for (i, r) in rs.iter().enumerate() {
+        csv_row(
+            format!("{r:.4e}"),
+            &[
+                curves[0].coverage[i],
+                curves[1].coverage[i],
+                curves[2].coverage[i],
+            ],
+        );
+    }
+}

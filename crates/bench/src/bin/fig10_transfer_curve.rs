@@ -1,0 +1,42 @@
+//! Fig. 10: the pulse-width transfer `w_out = f_p(w_in)` of a 7-gate
+//! path — the nominal curve plus Monte Carlo clouds at a handful of
+//! injected widths (0.30–0.50 ns in the paper). The attenuation region's
+//! large spread is why `ω_in` must sit at the start of region 3.
+//!
+//! Output: the nominal curve as CSV, then one block of per-sample output
+//! widths per probed `w_in`.
+
+use pulsar_analog::Polarity;
+use pulsar_bench::{csv_row, rop_put, ExpParams};
+use pulsar_core::PulseStudy;
+
+fn main() {
+    let p = ExpParams::from_env(32);
+    let study = PulseStudy::new(rop_put(), p.mc(), Polarity::PositiveGoing);
+
+    let curve = study.nominal_curve().expect("nominal transfer curve");
+    println!("# Fig 10 reproduction: w_out = f(w_in), fault-free 7-gate path");
+    println!(
+        "# samples per probe = {}, seed = {}, sigma = 10%",
+        p.samples, p.seed
+    );
+    println!("section,w_in_s,w_out_s");
+    for (wi, wo) in curve.w_in.iter().zip(&curve.w_out) {
+        csv_row("nominal", &[*wi, *wo]);
+    }
+
+    // Monte Carlo clouds at the paper's probe widths (scaled into the
+    // generic technology's attenuation/asymptotic span).
+    let knee = curve.region3_start(0.08, 0.0).unwrap_or(0.4e-9);
+    let probes: Vec<f64> = [-0.10e-9, -0.05e-9, 0.0, 0.05e-9, 0.10e-9]
+        .iter()
+        .map(|d| (knee + d).max(40e-12))
+        .collect();
+    for w_in in probes {
+        // Fixed injected width: Fig. 10 isolates the path's own spread.
+        let wouts = study.fault_free_wouts_fixed_width(w_in).expect("MC probe");
+        for w_out in wouts {
+            csv_row("mc", &[w_in, w_out]);
+        }
+    }
+}

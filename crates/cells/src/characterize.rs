@@ -1,0 +1,181 @@
+//! Static (DC) characterization of gates: voltage transfer curves,
+//! switching thresholds and noise margins.
+//!
+//! The paper's Fig. 9 discussion notes that near the detection edge "the
+//! size of the faulty pulse is very sensitive to fluctuations in the
+//! logic threshold of the fan-out gate" — the quantity measured here.
+//! Characterization also backs sizing choices in the cell library (the
+//! switching threshold should sit near `VDD/2` for symmetric pulse
+//! handling).
+
+use crate::gates::{CellKind, CmosBuilder};
+use crate::tech::Tech;
+use pulsar_analog::{Error, Waveform};
+
+/// A sampled voltage transfer curve of one input pin of a gate (all other
+/// pins held at non-controlling values).
+#[derive(Debug, Clone)]
+pub struct Vtc {
+    /// Swept input voltages, ascending.
+    pub v_in: Vec<f64>,
+    /// Corresponding output voltages.
+    pub v_out: Vec<f64>,
+}
+
+impl Vtc {
+    /// The switching (logic) threshold: the input voltage where
+    /// `v_out = v_in` (the VTC's crossing with the identity line) — the
+    /// standard definition of an inverting gate's logic threshold.
+    ///
+    /// Returns `None` for a degenerate curve that never crosses.
+    pub fn switching_threshold(&self) -> Option<f64> {
+        for w in self.v_in.windows(2).zip(self.v_out.windows(2)) {
+            let ((i0, i1), (o0, o1)) = ((w.0[0], w.0[1]), (w.1[0], w.1[1]));
+            let d0 = o0 - i0;
+            let d1 = o1 - i1;
+            if d0 >= 0.0 && d1 < 0.0 {
+                // Linear interpolation of the crossing.
+                let f = d0 / (d0 - d1);
+                return Some(i0 + f * (i1 - i0));
+            }
+        }
+        None
+    }
+
+    /// Input voltages where the small-signal gain crosses −1: `(v_il,
+    /// v_ih)`, the classic unity-gain points bounding the transition
+    /// region. `None` when the sweep is too coarse to resolve them.
+    pub fn unity_gain_points(&self) -> Option<(f64, f64)> {
+        let mut v_il = None;
+        let mut v_ih = None;
+        for w in self.v_in.windows(2).zip(self.v_out.windows(2)) {
+            let ((i0, i1), (o0, o1)) = ((w.0[0], w.0[1]), (w.1[0], w.1[1]));
+            let gain = (o1 - o0) / (i1 - i0);
+            if gain <= -1.0 && v_il.is_none() {
+                v_il = Some(i0);
+            }
+            if gain <= -1.0 {
+                v_ih = Some(i1);
+            }
+        }
+        match (v_il, v_ih) {
+            (Some(a), Some(b)) if b > a => Some((a, b)),
+            _ => None,
+        }
+    }
+
+    /// Static noise margins `(nm_low, nm_high)` from the unity-gain
+    /// points: `NM_L = V_IL − V_OL`, `NM_H = V_OH − V_IH` with
+    /// `V_OL`/`V_OH` read at the curve ends.
+    pub fn noise_margins(&self) -> Option<(f64, f64)> {
+        let (v_il, v_ih) = self.unity_gain_points()?;
+        let v_oh = *self.v_out.first()?;
+        let v_ol = *self.v_out.last()?;
+        Some((v_il - v_ol, v_oh - v_ih))
+    }
+}
+
+/// Sweeps the DC transfer curve of `kind`'s pin 0 with `points` samples
+/// across the supply, side pins at non-controlling values.
+///
+/// # Errors
+///
+/// Propagates DC-solver failures.
+///
+/// # Panics
+///
+/// Panics if `points < 2`.
+pub fn vtc(kind: CellKind, tech: &Tech, points: usize) -> Result<Vtc, Error> {
+    assert!(points >= 2, "need at least two sweep points");
+    let mut v_in = Vec::with_capacity(points);
+    let mut v_out = Vec::with_capacity(points);
+    for k in 0..points {
+        let vi = tech.vdd * k as f64 / (points - 1) as f64;
+        let mut b = CmosBuilder::new(tech);
+        let inp = b.input("in", Waveform::dc(vi));
+        let mut pins = vec![inp];
+        for v in kind.side_values(0) {
+            pins.push(b.constant(v));
+        }
+        let g = b.gate(kind, tech, &pins, "dut", None);
+        let dc = b.circuit().dc_op()?;
+        v_in.push(vi);
+        v_out.push(dc.voltage(g.output));
+    }
+    Ok(Vtc { v_in, v_out })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_vtc_is_full_swing_and_monotone() {
+        let curve = vtc(CellKind::Inv, &Tech::generic_180nm(), 37).unwrap();
+        assert!(curve.v_out[0] > 1.75, "VOH near VDD");
+        assert!(*curve.v_out.last().expect("non-empty") < 0.05, "VOL near 0");
+        for w in curve.v_out.windows(2) {
+            assert!(w[1] <= w[0] + 1e-6, "inverting VTC must be non-increasing");
+        }
+    }
+
+    #[test]
+    fn switching_threshold_is_near_mid_supply() {
+        let tech = Tech::generic_180nm();
+        let curve = vtc(CellKind::Inv, &tech, 73).unwrap();
+        let vm = curve.switching_threshold().expect("crossing exists");
+        assert!(
+            (vm - tech.vdd / 2.0).abs() < 0.25,
+            "switching threshold {vm:.3} too far from mid-supply"
+        );
+    }
+
+    #[test]
+    fn threshold_tracks_process_skew() {
+        let tech = Tech::generic_180nm();
+        // Weaker PMOS → lower switching threshold.
+        let weak_p = Tech {
+            kp_p: tech.kp_p * 0.5,
+            ..tech
+        };
+        let vm_nom = vtc(CellKind::Inv, &tech, 73)
+            .unwrap()
+            .switching_threshold()
+            .unwrap();
+        let vm_weak = vtc(CellKind::Inv, &weak_p, 73)
+            .unwrap()
+            .switching_threshold()
+            .unwrap();
+        assert!(
+            vm_weak < vm_nom - 0.02,
+            "halving PMOS drive must lower Vm: {vm_nom:.3} → {vm_weak:.3}"
+        );
+    }
+
+    #[test]
+    fn noise_margins_are_healthy() {
+        let tech = Tech::generic_180nm();
+        let curve = vtc(CellKind::Inv, &tech, 181).unwrap();
+        let (nml, nmh) = curve.noise_margins().expect("resolvable margins");
+        assert!(nml > 0.3 * tech.vdd / 2.0, "NM_L {nml:.3} too small");
+        assert!(nmh > 0.3 * tech.vdd / 2.0, "NM_H {nmh:.3} too small");
+    }
+
+    #[test]
+    fn nand_and_nor_thresholds_differ_by_stack_position() {
+        let tech = Tech::generic_180nm();
+        let vm_nand = vtc(CellKind::Nand2, &tech, 73)
+            .unwrap()
+            .switching_threshold()
+            .unwrap();
+        let vm_nor = vtc(CellKind::Nor2, &tech, 73)
+            .unwrap()
+            .switching_threshold()
+            .unwrap();
+        // Both in the transition band, but not identical: the stacked
+        // network skews each differently.
+        assert!(vm_nand > 0.4 && vm_nand < 1.4, "{vm_nand}");
+        assert!(vm_nor > 0.4 && vm_nor < 1.4, "{vm_nor}");
+        assert!((vm_nand - vm_nor).abs() > 0.01);
+    }
+}

@@ -1,0 +1,166 @@
+//! Electrical model of the on-chip pulse generator.
+//!
+//! The paper (§1) notes that "our method exploits well known circuits for
+//! the generation of input pulses". The classic circuit is a **one-shot**:
+//! the input and a delayed, inverted copy of itself feed a NAND, which
+//! emits a low-going pulse on every rising input edge, with a width set by
+//! the delay chain:
+//!
+//! ```text
+//!           ┌──[inv]──[inv]──[inv]──┐      (odd chain = inverting delay)
+//!   trigger ┤                       ├─[NAND]── out (1 → 0 → 1 pulse)
+//!           └───────────────────────┘
+//! ```
+//!
+//! Building it from the same cell library as the circuits under test
+//! grounds the `ω_in` fluctuation model used by the coverage studies: the
+//! generated width inherits the generator's own process variation.
+
+use crate::gates::{CellKind, CmosBuilder};
+use crate::tech::Tech;
+use pulsar_analog::{Error, Polarity, TranConfig, Waveform};
+
+/// A one-shot pulse generator characterized by electrical simulation.
+///
+/// `chain` is the number of delay inverters (must be odd so the chain
+/// inverts); the emitted pulse width grows roughly linearly with it.
+///
+/// # Example
+///
+/// ```
+/// use pulsar_cells::{PulseGenerator, Tech};
+///
+/// # fn main() -> Result<(), pulsar_analog::Error> {
+/// let short = PulseGenerator::new(Tech::generic_180nm(), 3).emitted_width()?;
+/// let long = PulseGenerator::new(Tech::generic_180nm(), 7).emitted_width()?;
+/// assert!(long > short, "more delay stages, wider pulse");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct PulseGenerator {
+    tech: Tech,
+    chain: usize,
+}
+
+impl PulseGenerator {
+    /// Creates a generator model with an odd `chain` of delay inverters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chain` is even or zero (the delay path must invert).
+    pub fn new(tech: Tech, chain: usize) -> Self {
+        assert!(
+            chain % 2 == 1,
+            "the delay chain must be inverting (odd length), got {chain}"
+        );
+        PulseGenerator { tech, chain }
+    }
+
+    /// Number of delay inverters.
+    pub fn chain(&self) -> usize {
+        self.chain
+    }
+
+    /// Simulates one trigger edge and measures the emitted pulse width at
+    /// `vdd/2`. The one-shot emits a **negative-going** pulse (the
+    /// paper's kind *h*); feeding an inverter yields kind *l*.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors; reports
+    /// [`Error::NoConvergence`]-style failure as an `Err`, and a
+    /// generator that never fires as `Ok(0.0)`.
+    pub fn emitted_width(&self) -> Result<f64, Error> {
+        let (width, _polarity) = self.simulate()?;
+        Ok(width)
+    }
+
+    /// Builds and simulates the one-shot; returns the measured width and
+    /// the emitted polarity.
+    fn simulate(&self) -> Result<(f64, Polarity), Error> {
+        let mut b = CmosBuilder::new(&self.tech);
+        let trigger = b.input(
+            "trigger",
+            Waveform::step(0.0, self.tech.vdd, 0.5e-9, 80e-12),
+        );
+
+        // Delay chain.
+        let mut node = trigger;
+        for i in 0..self.chain {
+            node = b
+                .gate(CellKind::Inv, &self.tech, &[node], &format!("d{i}"), None)
+                .output;
+        }
+        // One-shot NAND: low pulse while both trigger and delayed copy
+        // are high.
+        let out = b
+            .gate(
+                CellKind::Nand2,
+                &self.tech,
+                &[trigger, node],
+                "oneshot",
+                None,
+            )
+            .output;
+        // A realistic load.
+        let _load = b.gate(CellKind::Inv, &self.tech, &[out], "load", None);
+
+        let (circuit, _) = b.finish();
+        let stop = 0.5e-9 + 0.4e-9 * self.chain as f64 + 2e-9;
+        let res = circuit.transient(&TranConfig::new(4e-12, stop))?;
+        let width = res
+            .trace(out)
+            .widest_pulse_width(self.tech.vdd / 2.0, Polarity::NegativeGoing);
+        Ok((width, Polarity::NegativeGoing))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_shot_fires_once_per_edge() {
+        let g = PulseGenerator::new(Tech::generic_180nm(), 5);
+        let w = g.emitted_width().unwrap();
+        assert!(w > 50e-12 && w < 3e-9, "implausible one-shot width {w:e}");
+    }
+
+    #[test]
+    fn width_scales_with_chain_length() {
+        let tech = Tech::generic_180nm();
+        let w3 = PulseGenerator::new(tech, 3).emitted_width().unwrap();
+        let w5 = PulseGenerator::new(tech, 5).emitted_width().unwrap();
+        let w7 = PulseGenerator::new(tech, 7).emitted_width().unwrap();
+        assert!(
+            w3 < w5 && w5 < w7,
+            "widths must grow: {w3:e}, {w5:e}, {w7:e}"
+        );
+        // Roughly linear growth: the two increments are similar.
+        let d1 = w5 - w3;
+        let d2 = w7 - w5;
+        assert!(
+            (d1 - d2).abs() < 0.5 * d1.max(d2),
+            "increments {d1:e} vs {d2:e}"
+        );
+    }
+
+    #[test]
+    fn process_variation_moves_the_width() {
+        let nominal = Tech::generic_180nm();
+        let slow = nominal.scaled(0.8, 1.1, 1.1); // weak, high-VT, heavy
+        let wn = PulseGenerator::new(nominal, 5).emitted_width().unwrap();
+        let ws = PulseGenerator::new(slow, 5).emitted_width().unwrap();
+        assert!(
+            ws > wn,
+            "a slow process corner must emit a wider pulse: {wn:e} vs {ws:e}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be inverting")]
+    fn even_chain_panics() {
+        PulseGenerator::new(Tech::generic_180nm(), 4);
+    }
+}

@@ -1,0 +1,125 @@
+//! Electrical model of the transition-sensing circuit.
+//!
+//! The paper abstracts the output sensor (borrowed from Metra et al.'s
+//! on-line transient-fault detectors, ref. [9]) to a single figure of
+//! merit: the minimum pulse width `ω_th` it can still register. This
+//! module builds a concrete sensing front-end — an inverter chain whose
+//! inertial filtering sets the threshold — and characterizes `ω_th`
+//! electrically, validating the behavioural abstraction used by the
+//! coverage experiments in `pulsar-core`.
+
+use crate::path::{BuiltPath, PathFault, PathSpec};
+use crate::tech::Tech;
+use pulsar_analog::{Error, Polarity};
+
+/// A transition detector characterized by electrical simulation.
+///
+/// The detector front-end is a chain of `stages` loaded inverters; a pulse
+/// that survives the chain toggles the (ideal) latch behind it. The
+/// minimum input width that still produces a full output pulse is the
+/// detector's sensing threshold `ω_th`.
+#[derive(Debug, Clone)]
+pub struct TransitionDetector {
+    tech: Tech,
+    stages: usize,
+    load_factor: f64,
+}
+
+impl TransitionDetector {
+    /// Creates a detector model with `stages` filter stages.
+    ///
+    /// `load_factor` scales the interconnect load of the filter stages;
+    /// larger loads raise `ω_th`, letting experiments emulate detectors of
+    /// different sensitivities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stages == 0` or `load_factor <= 0`.
+    pub fn new(tech: Tech, stages: usize, load_factor: f64) -> Self {
+        assert!(stages > 0, "a detector needs at least one filter stage");
+        assert!(load_factor > 0.0, "load factor must be positive");
+        TransitionDetector {
+            tech,
+            stages,
+            load_factor,
+        }
+    }
+
+    /// Number of filter stages.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Electrically measures the minimum detectable pulse width `ω_th`:
+    /// the smallest input width whose pulse still crosses `vdd/2` at the
+    /// filter output, found by bisection to `tol` seconds.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors from the underlying transient runs.
+    pub fn characterize_threshold(&self, tol: f64) -> Result<f64, Error> {
+        let mut tech = self.tech;
+        tech.c_wire *= self.load_factor;
+        let spec = PathSpec::inverter_chain(self.stages);
+        let mut chain = BuiltPath::new(&spec, &PathFault::None, &vec![tech; self.stages]);
+
+        // Bracket: grow `hi` until a pulse passes.
+        let mut hi = 50e-12;
+        loop {
+            let out = chain.propagate_pulse(hi, Polarity::PositiveGoing, None)?;
+            if !out.dampened() {
+                break;
+            }
+            hi *= 2.0;
+            if hi > 20e-9 {
+                // Pathological detector; report the bracket edge rather
+                // than looping forever.
+                return Ok(hi);
+            }
+        }
+        let mut lo = hi / 2.0;
+
+        while hi - lo > tol {
+            let mid = 0.5 * (lo + hi);
+            let out = chain.propagate_pulse(mid, Polarity::PositiveGoing, None)?;
+            if out.dampened() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_is_positive_and_finite() {
+        let d = TransitionDetector::new(Tech::generic_180nm(), 3, 1.0);
+        let w = d.characterize_threshold(20e-12).unwrap();
+        assert!(w > 1e-12 && w < 5e-9, "implausible ω_th {w:e}");
+    }
+
+    #[test]
+    fn heavier_load_raises_threshold() {
+        let light = TransitionDetector::new(Tech::generic_180nm(), 3, 1.0)
+            .characterize_threshold(20e-12)
+            .unwrap();
+        let heavy = TransitionDetector::new(Tech::generic_180nm(), 3, 4.0)
+            .characterize_threshold(20e-12)
+            .unwrap();
+        assert!(
+            heavy > light,
+            "4x load must raise ω_th: light {light:e}, heavy {heavy:e}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one filter stage")]
+    fn zero_stages_panics() {
+        TransitionDetector::new(Tech::generic_180nm(), 0, 1.0);
+    }
+}

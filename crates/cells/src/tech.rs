@@ -1,0 +1,181 @@
+//! Technology parameters for the CMOS cell library.
+
+/// A self-consistent generic deep-submicron CMOS technology.
+///
+/// The paper does not name its process; experiments report resistances in
+/// kΩ and pulse widths in fractions of a nanosecond. This parameter set —
+/// a generic 180 nm-class node with substantial interconnect loading —
+/// lands the simulated waveforms in the same decades, which is all the
+/// reproduction needs (see `DESIGN.md`, substitutions table).
+///
+/// Monte Carlo instances are produced by scaling individual parameters
+/// (see [`Tech::scaled`]); the paper applies a normal distribution with
+/// 10 % standard deviation to the "main circuit parameters".
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tech {
+    /// Supply voltage, volts.
+    pub vdd: f64,
+    /// NMOS threshold, volts (positive).
+    pub vt0_n: f64,
+    /// PMOS threshold, volts (negative).
+    pub vt0_p: f64,
+    /// NMOS transconductance parameter µn·Cox, A/V².
+    pub kp_n: f64,
+    /// PMOS transconductance parameter µp·Cox, A/V².
+    pub kp_p: f64,
+    /// NMOS channel-length modulation, 1/V.
+    pub lambda_n: f64,
+    /// PMOS channel-length modulation, 1/V.
+    pub lambda_p: f64,
+    /// Drawn channel length, meters.
+    pub l: f64,
+    /// Unit NMOS width, meters (PMOS widths derive from this and `beta_ratio`).
+    pub w_n: f64,
+    /// PMOS/NMOS width ratio compensating the mobility gap.
+    pub beta_ratio: f64,
+    /// Gate-oxide capacitance density, F/m².
+    pub cox: f64,
+    /// Drain-junction capacitance per device width, F/m.
+    pub cj_w: f64,
+    /// Lumped interconnect capacitance added at every gate output, farads.
+    pub c_wire: f64,
+}
+
+impl Tech {
+    /// The default generic technology used across the experiments.
+    pub fn generic_180nm() -> Self {
+        Tech {
+            vdd: 1.8,
+            vt0_n: 0.40,
+            vt0_p: -0.42,
+            kp_n: 170e-6,
+            kp_p: 60e-6,
+            lambda_n: 0.06,
+            lambda_p: 0.08,
+            l: 0.18e-6,
+            w_n: 0.9e-6,
+            beta_ratio: 2.4,
+            cox: 8.3e-3,
+            cj_w: 0.9e-9,
+            // Generous wire loading pushes gate delays to the ~100 ps scale
+            // of the paper's waveforms (their Figs. 2/3/5 span 4 ns).
+            c_wire: 12e-15,
+        }
+    }
+
+    /// A slower, higher-voltage 350 nm-class technology — closer to the
+    /// paper's era. Gate delays roughly triple versus
+    /// [`Tech::generic_180nm`], pushing pulse widths toward the paper's
+    /// ~1 ns scale; useful to check that conclusions survive a technology
+    /// swap (they are expressed in ratios, so they must).
+    pub fn generic_350nm() -> Self {
+        Tech {
+            vdd: 3.3,
+            vt0_n: 0.55,
+            vt0_p: -0.60,
+            kp_n: 110e-6,
+            kp_p: 38e-6,
+            lambda_n: 0.04,
+            lambda_p: 0.05,
+            l: 0.35e-6,
+            w_n: 1.4e-6,
+            beta_ratio: 2.6,
+            cox: 4.6e-3,
+            cj_w: 1.2e-9,
+            c_wire: 30e-15,
+        }
+    }
+
+    /// Unit PMOS width.
+    pub fn w_p(&self) -> f64 {
+        self.w_n * self.beta_ratio
+    }
+
+    /// Gate capacitance of a device of width `w`.
+    pub fn cgate(&self, w: f64) -> f64 {
+        self.cox * w * self.l
+    }
+
+    /// Drain-junction capacitance of a device of width `w`.
+    pub fn cjunction(&self, w: f64) -> f64 {
+        self.cj_w * w
+    }
+
+    /// Returns a copy with the *strength-related* parameters multiplied by
+    /// the given factors. This is the Monte Carlo hook: `kp_f`/`vt_f`
+    /// perturb the current drive, `cap_f` the capacitive loading.
+    ///
+    /// Factors of 1.0 reproduce the nominal technology exactly.
+    pub fn scaled(&self, kp_f: f64, vt_f: f64, cap_f: f64) -> Tech {
+        Tech {
+            kp_n: self.kp_n * kp_f,
+            kp_p: self.kp_p * kp_f,
+            vt0_n: self.vt0_n * vt_f,
+            vt0_p: self.vt0_p * vt_f,
+            cox: self.cox * cap_f,
+            cj_w: self.cj_w * cap_f,
+            c_wire: self.c_wire * cap_f,
+            ..*self
+        }
+    }
+
+    /// Logic threshold used by all measurements: `vdd / 2`.
+    pub fn vth_meas(&self) -> f64 {
+        self.vdd / 2.0
+    }
+}
+
+impl Default for Tech {
+    fn default() -> Self {
+        Tech::generic_180nm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generic_tech_is_sane() {
+        let t = Tech::generic_180nm();
+        assert!(t.vdd > 0.0);
+        assert!(t.vt0_n > 0.0 && t.vt0_n < t.vdd / 2.0);
+        assert!(t.vt0_p < 0.0);
+        assert!(t.kp_n > t.kp_p, "NMOS mobility exceeds PMOS");
+        assert!(t.w_p() > t.w_n);
+        assert!(t.cgate(t.w_n) > 0.0);
+    }
+
+    #[test]
+    fn scaled_identity_is_nominal() {
+        let t = Tech::generic_180nm();
+        assert_eq!(t.scaled(1.0, 1.0, 1.0), t);
+    }
+
+    #[test]
+    fn scaled_applies_factors() {
+        let t = Tech::generic_180nm();
+        let s = t.scaled(1.1, 0.9, 1.2);
+        assert!((s.kp_n / t.kp_n - 1.1).abs() < 1e-12);
+        assert!((s.vt0_n / t.vt0_n - 0.9).abs() < 1e-12);
+        assert!((s.vt0_p / t.vt0_p - 0.9).abs() < 1e-12);
+        assert!((s.c_wire / t.c_wire - 1.2).abs() < 1e-12);
+        // Non-strength parameters are untouched.
+        assert_eq!(s.vdd, t.vdd);
+        assert_eq!(s.l, t.l);
+    }
+
+    #[test]
+    fn default_matches_generic() {
+        assert_eq!(Tech::default(), Tech::generic_180nm());
+    }
+
+    #[test]
+    fn legacy_node_is_slower_but_sane() {
+        let t = Tech::generic_350nm();
+        assert!(t.vdd > Tech::generic_180nm().vdd);
+        assert!(t.vt0_n > 0.0 && t.vt0_n < t.vdd / 2.0);
+        assert!(t.c_wire > Tech::generic_180nm().c_wire);
+        assert!(t.cgate(t.w_n) > 0.0);
+    }
+}

@@ -1,0 +1,433 @@
+#![warn(missing_docs)]
+
+//! # pulsar-cli
+//!
+//! Command-line front end for the pulsar toolchain. One binary,
+//! four subcommands:
+//!
+//! ```text
+//! pulsar sim <deck.sp> [--nodes a,b] [--vcd out.vcd] [--csv out.csv]
+//! pulsar testgen <netlist.bench> [--site NAME] [--max-paths N]
+//! pulsar campaign <netlist.bench> [--stride N]
+//! pulsar faultsim <netlist.bench> [--tau SECONDS]
+//! ```
+//!
+//! `sim` drives the SPICE-flavoured deck parser and transient engine and
+//! exports waveforms; the netlist commands parse ISCAS-85 text and run
+//! the pulse-test generation / campaign / fault-simulation flows. The
+//! command implementations are a library (this crate) so they are
+//! testable without spawning processes; `main.rs` is a thin shim.
+
+use std::fmt::Write as _;
+use std::fs;
+
+use pulsar_analog::{parse_deck, to_csv, to_vcd, NodeId, TranConfig};
+use pulsar_core::{
+    all_branch_faults, compact_patterns, fault_simulate, plan_for_site, Campaign, PulsePattern,
+    SiteOutcome, TestgenConfig,
+};
+use pulsar_logic::parse_iscas85;
+use pulsar_timing::TimingLibrary;
+
+/// CLI-level error: a message ready for stderr plus a process exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Suggested process exit code.
+    pub code: i32,
+}
+
+impl CliError {
+    fn usage(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 2,
+        }
+    }
+
+    fn run(msg: impl Into<String>) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 1,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+pulsar — pulse-propagation testing toolchain
+
+USAGE:
+  pulsar sim <deck.sp> [--nodes a,b] [--vcd FILE] [--csv FILE]
+  pulsar testgen <netlist.bench> [--site NAME] [--max-paths N]
+  pulsar campaign <netlist.bench> [--stride N]
+  pulsar faultsim <netlist.bench> [--tau SECONDS]
+";
+
+/// Dispatches a full argument vector (without the program name). Returns
+/// the text to print on stdout.
+///
+/// # Errors
+///
+/// [`CliError`] with a usage (exit 2) or runtime (exit 1) failure.
+pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        Some("sim") => cmd_sim(&args[1..]),
+        Some("testgen") => cmd_testgen(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("faultsim") => cmd_faultsim(&args[1..]),
+        Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
+        Some(other) => Err(CliError::usage(format!(
+            "unknown subcommand `{other}`\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn positional(args: &[String]) -> Option<&str> {
+    // First token that is not a flag or a flag value.
+    let mut skip = false;
+    for a in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip = true;
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
+fn read(path: &str) -> Result<String, CliError> {
+    fs::read_to_string(path).map_err(|e| CliError::run(format!("cannot read `{path}`: {e}")))
+}
+
+/// `pulsar sim`: parse a deck, run its `.tran`, export waveforms.
+fn cmd_sim(args: &[String]) -> Result<String, CliError> {
+    let path = positional(args).ok_or_else(|| CliError::usage("sim: missing deck path"))?;
+    let deck = parse_deck(&read(path)?).map_err(|e| CliError::run(format!("parse: {e}")))?;
+    let tran: TranConfig = deck
+        .tran
+        .clone()
+        .ok_or_else(|| CliError::run("deck has no .tran directive"))?;
+    let result = deck
+        .circuit
+        .transient(&tran)
+        .map_err(|e| CliError::run(format!("transient: {e}")))?;
+
+    // Node selection: --nodes a,b or every named node.
+    let nodes: Vec<NodeId> = match flag_value(args, "--nodes") {
+        Some(list) => list
+            .split(',')
+            .map(|n| {
+                deck.node(n.trim())
+                    .ok_or_else(|| CliError::run(format!("unknown node `{n}`")))
+            })
+            .collect::<Result<_, _>>()?,
+        None => deck.circuit.nodes(),
+    };
+    if nodes.is_empty() {
+        return Err(CliError::run("no nodes to dump"));
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "simulated {} time points over {:.3e} s ({} nodes)",
+        result.len(),
+        tran.stop,
+        nodes.len()
+    );
+    if let Some(f) = flag_value(args, "--vcd") {
+        fs::write(f, to_vcd(&deck.circuit, &result, &nodes))
+            .map_err(|e| CliError::run(format!("write {f}: {e}")))?;
+        let _ = writeln!(out, "wrote {f}");
+    }
+    if let Some(f) = flag_value(args, "--csv") {
+        fs::write(f, to_csv(&deck.circuit, &result, &nodes))
+            .map_err(|e| CliError::run(format!("write {f}: {e}")))?;
+        let _ = writeln!(out, "wrote {f}");
+    }
+    // Without export flags, print final node voltages.
+    if flag_value(args, "--vcd").is_none() && flag_value(args, "--csv").is_none() {
+        for &n in &nodes {
+            let _ = writeln!(
+                out,
+                "{} = {:.4} V",
+                deck.circuit.node_name(n),
+                result.trace(n).last_value()
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// `pulsar testgen`: plans for one site (or the first gate output).
+fn cmd_testgen(args: &[String]) -> Result<String, CliError> {
+    let path = positional(args).ok_or_else(|| CliError::usage("testgen: missing netlist path"))?;
+    let nl = parse_iscas85(&read(path)?).map_err(|e| CliError::run(format!("parse: {e}")))?;
+    let mut cfg = TestgenConfig::default();
+    if let Some(n) = flag_value(args, "--max-paths").and_then(|v| v.parse().ok()) {
+        cfg.max_paths = n;
+    }
+    let site = match flag_value(args, "--site") {
+        Some(name) => nl
+            .find_signal(name)
+            .ok_or_else(|| CliError::run(format!("no signal named `{name}`")))?,
+        None => nl
+            .gates()
+            .first()
+            .map(|g| g.output)
+            .ok_or_else(|| CliError::run("netlist has no gates"))?,
+    };
+
+    let lib = TimingLibrary::generic();
+    let plans =
+        plan_for_site(&nl, site, &lib, &cfg).map_err(|e| CliError::run(format!("testgen: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "site {}: {} sensitized path(s)",
+        nl.signal_name(site),
+        plans.len()
+    );
+    for (k, p) in plans.iter().take(10).enumerate() {
+        let _ = writeln!(
+            out,
+            "  #{k}: {} gates from {}, {:?}, w_in {:.0} ps, w_th {:.0} ps, R_min {}",
+            p.path.len(),
+            nl.signal_name(p.path.from),
+            p.polarity,
+            p.w_in * 1e12,
+            p.w_th * 1e12,
+            p.r_min
+                .map(|r| format!("{:.1} kohm", r / 1e3))
+                .unwrap_or_else(|| "not in bracket".into()),
+        );
+    }
+    Ok(out)
+}
+
+/// `pulsar campaign`: whole-netlist summary.
+fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
+    let path = positional(args).ok_or_else(|| CliError::usage("campaign: missing netlist path"))?;
+    let nl = parse_iscas85(&read(path)?).map_err(|e| CliError::run(format!("parse: {e}")))?;
+    let stride = flag_value(args, "--stride")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1);
+    let campaign = Campaign {
+        stride,
+        ..Campaign::default()
+    };
+    let report = campaign
+        .run(&nl, &TimingLibrary::generic())
+        .map_err(|e| CliError::run(format!("campaign: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} sites probed: {} planned, {} unsensitizable, {} failed",
+        report.sites.len(),
+        report.planned,
+        report.unsensitizable,
+        report.failed
+    );
+    let _ = writeln!(out, "pattern count: {}", report.pattern_count());
+    let plans: Vec<_> = report
+        .sites
+        .iter()
+        .filter_map(|(_, o)| match o {
+            SiteOutcome::Planned(p) => Some(p.clone()),
+            _ => None,
+        })
+        .collect();
+    let sessions = compact_patterns(&nl, &plans);
+    let _ = writeln!(out, "compacted vector-load sessions: {}", sessions.len());
+    if let Some(s) = report.r_min_summary() {
+        let _ = writeln!(
+            out,
+            "R_min: min {:.3e}, mean {:.3e}, max {:.3e} ohm",
+            s.min, s.mean, s.max
+        );
+    }
+    for r in [1e3, 10e3, 100e3, 1e6] {
+        let _ = writeln!(
+            out,
+            "site coverage at {:>9.0} ohm: {:.3}",
+            r,
+            report.coverage_at(r)
+        );
+    }
+    Ok(out)
+}
+
+/// `pulsar faultsim`: campaign patterns vs every branch fault.
+fn cmd_faultsim(args: &[String]) -> Result<String, CliError> {
+    let path = positional(args).ok_or_else(|| CliError::usage("faultsim: missing netlist path"))?;
+    let nl = parse_iscas85(&read(path)?).map_err(|e| CliError::run(format!("parse: {e}")))?;
+    let tau = flag_value(args, "--tau")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2e-9);
+
+    let lib = TimingLibrary::generic();
+    let report = Campaign::default()
+        .run(&nl, &lib)
+        .map_err(|e| CliError::run(format!("campaign: {e}")))?;
+    let patterns: Vec<PulsePattern> = report
+        .sites
+        .iter()
+        .filter_map(|(_, o)| match o {
+            SiteOutcome::Planned(p) => Some(PulsePattern::from_plan(&nl, p)),
+            _ => None,
+        })
+        .collect();
+    let faults = all_branch_faults(&nl);
+    let fsim = fault_simulate(&nl, &lib, &patterns, &faults, tau)
+        .map_err(|e| CliError::run(format!("fault simulation: {e}")))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} patterns x {} branch faults (tau = {tau:.2e} s): coverage {:.3}",
+        patterns.len(),
+        faults.len(),
+        fsim.coverage()
+    );
+    let undetected = fsim.undetected();
+    let _ = writeln!(out, "undetected branches: {}", undetected.len());
+    for f in undetected.iter().take(8) {
+        let _ = writeln!(
+            out,
+            "  pin {} of gate driving {}",
+            f.pin,
+            nl.signal_name(nl.gate(f.gate).output)
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, content: &str) -> String {
+        let dir = std::env::temp_dir().join("pulsar-cli-tests");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let p = dir.join(name);
+        fs::write(&p, content).expect("write temp file");
+        p.to_string_lossy().into_owned()
+    }
+
+    const DECK: &str = "rc deck\nV1 in 0 PULSE(0 1.8 1n 0.1n 0.1n 0.5n)\nR1 in out 1k\nC1 out 0 0.1p\n.tran 10p 4n\n.end\n";
+
+    #[test]
+    fn help_is_shown_by_default() {
+        let out = dispatch(&[]).unwrap();
+        assert!(out.contains("USAGE"));
+        let out = dispatch(&["help".into()]).unwrap();
+        assert!(out.contains("pulsar sim"));
+    }
+
+    #[test]
+    fn unknown_subcommand_is_a_usage_error() {
+        let e = dispatch(&["frobnicate".into()]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn sim_prints_final_voltages() {
+        let deck = tmp("a.sp", DECK);
+        let out = dispatch(&["sim".into(), deck]).unwrap();
+        assert!(out.contains("time points"), "{out}");
+        assert!(out.contains("out ="), "{out}");
+    }
+
+    #[test]
+    fn sim_exports_vcd_and_csv() {
+        let deck = tmp("b.sp", DECK);
+        let vcd = tmp("b.vcd", "");
+        let csv = tmp("b.csv", "");
+        let out = dispatch(&[
+            "sim".into(),
+            deck,
+            "--nodes".into(),
+            "in,out".into(),
+            "--vcd".into(),
+            vcd.clone(),
+            "--csv".into(),
+            csv.clone(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"));
+        assert!(fs::read_to_string(&vcd).unwrap().contains("$timescale"));
+        assert!(fs::read_to_string(&csv).unwrap().starts_with("t,in,out"));
+    }
+
+    #[test]
+    fn sim_rejects_missing_tran_and_unknown_nodes() {
+        let deck = tmp("c.sp", "t\nV1 a 0 1.0\nR1 a 0 1k\n.end\n");
+        let e = dispatch(&["sim".into(), deck]).unwrap_err();
+        assert!(e.message.contains(".tran"));
+
+        let deck = tmp("d.sp", DECK);
+        let e = dispatch(&["sim".into(), deck, "--nodes".into(), "ghost".into()]).unwrap_err();
+        assert!(e.message.contains("ghost"));
+    }
+
+    const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+    #[test]
+    fn testgen_plans_a_named_site() {
+        let bench = tmp("c17.bench", C17);
+        let out = dispatch(&["testgen".into(), bench, "--site".into(), "11".into()]).unwrap();
+        assert!(out.contains("site 11:"), "{out}");
+        assert!(out.contains("R_min"), "{out}");
+    }
+
+    #[test]
+    fn campaign_summarizes_c17() {
+        let bench = tmp("c17b.bench", C17);
+        let out = dispatch(&["campaign".into(), bench]).unwrap();
+        assert!(out.contains("sites probed"), "{out}");
+        assert!(out.contains("pattern count"), "{out}");
+        assert!(out.contains("site coverage"), "{out}");
+    }
+
+    #[test]
+    fn faultsim_reports_coverage() {
+        let bench = tmp("c17c.bench", C17);
+        let out = dispatch(&["faultsim".into(), bench]).unwrap();
+        assert!(out.contains("branch faults"), "{out}");
+        assert!(out.contains("coverage"), "{out}");
+    }
+
+    #[test]
+    fn missing_files_fail_cleanly() {
+        let e = dispatch(&["sim".into(), "/definitely/not/here.sp".into()]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("cannot read"));
+    }
+}

@@ -1,0 +1,12 @@
+//! Thin shim around [`pulsar_cli::dispatch`]: collect args, print, exit.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match pulsar_cli::dispatch(&args) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("pulsar: {e}");
+            std::process::exit(e.code);
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! Zero-false-positive calibration of both test methods (paper §4).
+//!
+//! Both methods trade test quality for yield. The paper calibrates
+//! conservatively, "giving priority to yield":
+//!
+//! * **DF testing**: `T₀` is chosen from fault-free Monte Carlo runs so
+//!   that *no* instance fails even when the applied period drops 10 %
+//!   below nominal (clock-distribution uncertainty).
+//! * **Pulse testing**: `(ω_in⁰, ω_th⁰)` are chosen so that no fault-free
+//!   instance is rejected even for a 10 % worst-case variation of the
+//!   sensing circuit's threshold; `ω_in⁰` sits at the start of the
+//!   transfer curve's asymptotic region (§5).
+
+use crate::error::CoreError;
+use crate::transfer::TransferCurve;
+
+/// Calibrated DF-test clock period.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DfCalibration {
+    /// Nominal test clock period `T₀`, seconds.
+    pub t0: f64,
+}
+
+/// Calibrated pulse-test operating point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PulseCalibration {
+    /// Nominal injected pulse width `ω_in⁰`, seconds.
+    pub w_in: f64,
+    /// Nominal sensing threshold `ω_th⁰`, seconds.
+    pub w_th: f64,
+}
+
+/// Chooses `T₀` from the fault-free Monte Carlo sample.
+///
+/// `fault_free_slack_needs[s]` is instance `s`'s worst path delay plus
+/// flop overhead (`d_s + τ_CQ^s + τ_DC^s`). The returned `T₀` satisfies
+/// `clock_margin·T₀ ≥ max_s(need)`, i.e. zero false positives even when
+/// the actually-applied period is `clock_margin` (typically 0.9) of
+/// nominal.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyCalibration`] on an empty sample.
+pub fn calibrate_t0(
+    fault_free_slack_needs: &[f64],
+    clock_margin: f64,
+) -> Result<DfCalibration, CoreError> {
+    if fault_free_slack_needs.is_empty() {
+        return Err(CoreError::EmptyCalibration {
+            what: "fault-free delay sample",
+        });
+    }
+    let worst = fault_free_slack_needs
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    Ok(DfCalibration {
+        t0: worst / clock_margin,
+    })
+}
+
+/// Chooses `(ω_in⁰, ω_th⁰)`.
+///
+/// `nominal_curve` is the fault-free nominal transfer curve (region-3 rule
+/// picks `ω_in⁰` from it); `fault_free_wout[s]` is instance `s`'s output
+/// width at `ω_in⁰`. The threshold is set so that the *weakest* fault-free
+/// instance still clears a sensor whose threshold runs `sensor_margin`
+/// (typically 1.1, i.e. +10 %) above nominal:
+/// `sensor_margin · ω_th⁰ ≤ min_s(w_out^s)`.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyCalibration`] when the sample is empty, the curve
+/// has no asymptotic region, or some fault-free instance dampens the
+/// pulse entirely (no threshold can avoid false positives).
+pub fn calibrate_pulse(
+    nominal_curve: &TransferCurve,
+    fault_free_wout: &[f64],
+    region_tol: f64,
+    guard: f64,
+    sensor_margin: f64,
+) -> Result<PulseCalibration, CoreError> {
+    if fault_free_wout.is_empty() {
+        return Err(CoreError::EmptyCalibration {
+            what: "fault-free pulse sample",
+        });
+    }
+    let w_in =
+        nominal_curve
+            .region3_start(region_tol, guard)
+            .ok_or(CoreError::EmptyCalibration {
+                what: "transfer curve asymptotic region",
+            })?;
+    let weakest = fault_free_wout
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    if weakest <= 0.0 {
+        return Err(CoreError::EmptyCalibration {
+            what: "fault-free instance dampened the pulse",
+        });
+    }
+    Ok(PulseCalibration {
+        w_in,
+        w_th: weakest / sensor_margin,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t0_covers_the_worst_instance_with_margin() {
+        let needs = [1.0e-9, 1.1e-9, 0.9e-9];
+        let c = calibrate_t0(&needs, 0.9).unwrap();
+        assert!((c.t0 - 1.1e-9 / 0.9).abs() < 1e-18);
+        // Even the reduced period clears every instance.
+        assert!(0.9 * c.t0 >= 1.1e-9 - 1e-18);
+    }
+
+    #[test]
+    fn t0_rejects_empty_sample() {
+        assert!(matches!(
+            calibrate_t0(&[], 0.9),
+            Err(CoreError::EmptyCalibration { .. })
+        ));
+    }
+
+    fn curve() -> TransferCurve {
+        // Dampened until 0.2, attenuation to 0.4, then slope 1.
+        TransferCurve {
+            w_in: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6],
+            w_out: vec![0.0, 0.0, 0.15, 0.38, 0.48, 0.58],
+        }
+    }
+
+    #[test]
+    fn pulse_calibration_uses_region3_and_weakest_instance() {
+        let c = curve();
+        let cal = calibrate_pulse(&c, &[0.5, 0.44, 0.6], 0.1, 0.05, 1.1).unwrap();
+        // Region 3 starts at w_in = 0.4 (slope (0.48-0.38)/0.1 = 1.0);
+        // guard 5 %.
+        assert!((cal.w_in - 0.42).abs() < 1e-12, "w_in {}", cal.w_in);
+        assert!((cal.w_th - 0.4).abs() < 1e-12, "w_th {}", cal.w_th);
+        // Every fault-free instance clears a +10 % sensor.
+        for w in [0.5, 0.44, 0.6] {
+            assert!(w >= 1.1 * cal.w_th - 1e-12);
+        }
+    }
+
+    #[test]
+    fn pulse_calibration_fails_without_region3() {
+        let dead = TransferCurve {
+            w_in: vec![0.1, 0.2],
+            w_out: vec![0.0, 0.0],
+        };
+        assert!(calibrate_pulse(&dead, &[0.5], 0.1, 0.05, 1.1).is_err());
+    }
+
+    #[test]
+    fn pulse_calibration_fails_on_dampened_fault_free_instance() {
+        let c = curve();
+        assert!(calibrate_pulse(&c, &[0.5, 0.0], 0.1, 0.05, 1.1).is_err());
+    }
+
+    #[test]
+    fn pulse_calibration_fails_on_empty_sample() {
+        let c = curve();
+        assert!(calibrate_pulse(&c, &[], 0.1, 0.05, 1.1).is_err());
+    }
+}

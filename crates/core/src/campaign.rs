@@ -1,0 +1,303 @@
+//! Circuit-wide fault campaigns: run §5 test generation over *every*
+//! candidate fault site of a netlist and aggregate the result into the
+//! numbers a test engineer needs — how many sites are testable, with what
+//! pattern count, and what defect-resistance coverage the pattern set
+//! achieves. This is the "large combinational networks" application the
+//! paper's conclusion points to.
+
+use crate::error::CoreError;
+use crate::testgen::{plan_for_site, PathTestPlan, TestgenConfig};
+use pulsar_logic::{collapsed_fault_sites, Netlist, SignalId};
+use pulsar_mc::Summary;
+use pulsar_timing::TimingLibrary;
+
+/// A campaign over all (or a stride-sampled subset of) fault sites of a
+/// netlist.
+///
+/// Fault sites are the external-ROP locations: every gate output and
+/// every primary input (a resistive via on the net's fan-out branch).
+/// With `collapse` enabled, path-equivalent sites are grouped first
+/// (see [`collapsed_fault_sites`]) and only the group representatives are
+/// planned — same coverage, fewer runs.
+///
+/// # Example
+///
+/// ```
+/// use pulsar_core::Campaign;
+/// use pulsar_logic::c17;
+/// use pulsar_timing::TimingLibrary;
+///
+/// # fn main() -> Result<(), pulsar_core::CoreError> {
+/// let nl = c17();
+/// let report = Campaign::default().run(&nl, &TimingLibrary::generic())?;
+/// assert!(report.planned > 0);
+/// // Huge opens are always caught by the planned sites' tests.
+/// assert!(report.coverage_at(1e6) > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Campaign {
+    /// Test-generation knobs applied per site.
+    pub cfg: TestgenConfig,
+    /// Probe every `stride`-th site (1 = exhaustive).
+    pub stride: usize,
+    /// Worker threads (`None` = all cores).
+    pub threads: Option<usize>,
+    /// Collapse path-equivalent sites before planning.
+    pub collapse: bool,
+}
+
+impl Default for Campaign {
+    fn default() -> Self {
+        Campaign {
+            cfg: TestgenConfig::default(),
+            stride: 1,
+            threads: None,
+            collapse: true,
+        }
+    }
+}
+
+/// Outcome of one site inside a campaign.
+#[derive(Debug, Clone)]
+pub enum SiteOutcome {
+    /// A ranked plan exists; carries the best one.
+    Planned(PathTestPlan),
+    /// No path through the site could be sensitized.
+    Unsensitizable,
+    /// Test generation failed for another reason (kept for the report).
+    Failed(CoreError),
+}
+
+/// Aggregated campaign result.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Per-site outcomes, in site order.
+    pub sites: Vec<(SignalId, SiteOutcome)>,
+    /// Number of sites with a usable plan.
+    pub planned: usize,
+    /// Number of unsensitizable sites.
+    pub unsensitizable: usize,
+    /// Number of sites that errored.
+    pub failed: usize,
+}
+
+impl CampaignReport {
+    /// All best plans, in site order.
+    pub fn plans(&self) -> impl Iterator<Item = (&SignalId, &PathTestPlan)> {
+        self.sites.iter().filter_map(|(s, o)| match o {
+            SiteOutcome::Planned(p) => Some((s, p)),
+            _ => None,
+        })
+    }
+
+    /// Summary of the minimum detectable resistance across planned sites
+    /// (only sites detectable inside the bracket contribute).
+    ///
+    /// Returns `None` when no site was detectable.
+    pub fn r_min_summary(&self) -> Option<Summary> {
+        let rmins: Vec<f64> = self.plans().filter_map(|(_, p)| p.r_min).collect();
+        if rmins.is_empty() {
+            None
+        } else {
+            Some(Summary::of(&rmins))
+        }
+    }
+
+    /// Site-level fault coverage as a function of defect resistance: the
+    /// fraction of *probed, sensitizable* sites whose best plan detects a
+    /// defect of resistance `r` or larger (`r_min ≤ r`).
+    pub fn coverage_at(&self, r: f64) -> f64 {
+        let planned: Vec<_> = self.plans().collect();
+        if planned.is_empty() {
+            return 0.0;
+        }
+        let detected = planned
+            .iter()
+            .filter(|(_, p)| p.r_min.map(|m| m <= r).unwrap_or(false))
+            .count();
+        detected as f64 / planned.len() as f64
+    }
+
+    /// The campaign's pattern count: one (vector, pulse) pair per planned
+    /// site — the "small amount of test data" argument of the paper's §1.
+    pub fn pattern_count(&self) -> usize {
+        self.planned
+    }
+}
+
+impl Campaign {
+    /// Runs the campaign over `nl` using gate-kind models from `lib`.
+    ///
+    /// Sites that cannot be sensitized or whose generation fails are
+    /// recorded, not fatal — a campaign must survive odd corners of real
+    /// netlists.
+    ///
+    /// # Errors
+    ///
+    /// Only structural netlist errors (e.g. a combinational loop) abort
+    /// the whole campaign.
+    pub fn run(&self, nl: &Netlist, lib: &TimingLibrary) -> Result<CampaignReport, CoreError> {
+        nl.topological_order().map_err(CoreError::from)?;
+
+        // Candidate sites: PIs + gate outputs — collapsed to group
+        // representatives when enabled — then stride-sampled.
+        let sites: Vec<SignalId> = if self.collapse {
+            collapsed_fault_sites(nl)
+                .into_iter()
+                .map(|g| g.representative)
+                .collect()
+        } else {
+            let mut v: Vec<SignalId> = nl.inputs().to_vec();
+            v.extend(nl.gates().iter().map(|g| g.output));
+            v
+        };
+        let sites: Vec<SignalId> = sites.into_iter().step_by(self.stride.max(1)).collect();
+
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|t| t.get())
+                    .unwrap_or(1)
+            })
+            .min(sites.len().max(1));
+
+        let mut outcomes: Vec<Option<SiteOutcome>> = (0..sites.len()).map(|_| None).collect();
+        let chunk = sites.len().div_ceil(threads.max(1)).max(1);
+        std::thread::scope(|scope| {
+            for (slot_chunk, site_chunk) in outcomes.chunks_mut(chunk).zip(sites.chunks(chunk)) {
+                let cfg = &self.cfg;
+                scope.spawn(move || {
+                    for (slot, site) in slot_chunk.iter_mut().zip(site_chunk) {
+                        *slot = Some(match plan_for_site(nl, *site, lib, cfg) {
+                            Ok(mut plans) => SiteOutcome::Planned(plans.swap_remove(0)),
+                            Err(CoreError::NoSensitizablePath { .. }) => {
+                                SiteOutcome::Unsensitizable
+                            }
+                            Err(e) => SiteOutcome::Failed(e),
+                        });
+                    }
+                });
+            }
+        });
+
+        let sites: Vec<(SignalId, SiteOutcome)> = sites
+            .into_iter()
+            .zip(
+                outcomes
+                    .into_iter()
+                    .map(|o| o.expect("worker filled every slot")),
+            )
+            .collect();
+        let planned = sites
+            .iter()
+            .filter(|(_, o)| matches!(o, SiteOutcome::Planned(_)))
+            .count();
+        let unsensitizable = sites
+            .iter()
+            .filter(|(_, o)| matches!(o, SiteOutcome::Unsensitizable))
+            .count();
+        let failed = sites
+            .iter()
+            .filter(|(_, o)| matches!(o, SiteOutcome::Failed(_)))
+            .count();
+        Ok(CampaignReport {
+            sites,
+            planned,
+            unsensitizable,
+            failed,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulsar_logic::{c432_like, GateKind, Netlist};
+
+    #[test]
+    fn campaign_covers_a_small_circuit_exhaustively() {
+        // A clean 4-gate chain: every site sensitizable.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g0 = nl.add_gate(GateKind::Nand, &[a, b], "g0").unwrap();
+        let g1 = nl.add_gate(GateKind::Not, &[g0], "g1").unwrap();
+        let g2 = nl.add_gate(GateKind::Not, &[g1], "g2").unwrap();
+        nl.mark_output(g2);
+
+        // Without collapsing: every net is its own site.
+        let report = Campaign {
+            collapse: false,
+            ..Campaign::default()
+        }
+        .run(&nl, &TimingLibrary::generic())
+        .unwrap();
+        assert_eq!(report.sites.len(), 5); // 2 PIs + 3 gates
+        assert_eq!(report.failed, 0);
+        assert_eq!(report.planned + report.unsensitizable, 5);
+        assert!(
+            report.planned >= 4,
+            "chain sites must be plannable: {report:?}"
+        );
+        assert_eq!(report.pattern_count(), report.planned);
+
+        // With collapsing, the g0→g1→g2 inverter chain folds into one
+        // group: a, b and the chain representative remain.
+        let collapsed = Campaign::default()
+            .run(&nl, &TimingLibrary::generic())
+            .unwrap();
+        assert_eq!(collapsed.sites.len(), 3, "{:?}", collapsed.sites);
+    }
+
+    #[test]
+    fn coverage_profile_is_monotone_in_r() {
+        let nl = c432_like();
+        let campaign = Campaign {
+            stride: 8,
+            ..Campaign::default()
+        };
+        let report = campaign.run(&nl, &TimingLibrary::generic()).unwrap();
+        assert!(report.planned > 0, "some sites must be plannable");
+        let c_small = report.coverage_at(1e3);
+        let c_mid = report.coverage_at(30e3);
+        let c_big = report.coverage_at(2e6);
+        assert!(
+            c_small <= c_mid && c_mid <= c_big,
+            "{c_small} {c_mid} {c_big}"
+        );
+        assert!(
+            c_big > 0.9,
+            "every planned site detects a huge open, got {c_big}"
+        );
+    }
+
+    #[test]
+    fn r_min_summary_aggregates_plans() {
+        let nl = c432_like();
+        let campaign = Campaign {
+            stride: 10,
+            ..Campaign::default()
+        };
+        let report = campaign.run(&nl, &TimingLibrary::generic()).unwrap();
+        let s = report.r_min_summary().expect("detectable sites exist");
+        assert!(s.min > 0.0 && s.max >= s.min);
+    }
+
+    #[test]
+    fn stride_reduces_the_probed_set() {
+        let nl = c432_like();
+        let full_sites = nl.inputs().len() + nl.gate_count();
+        let report = Campaign {
+            stride: 4,
+            threads: Some(2),
+            collapse: false,
+            ..Campaign::default()
+        }
+        .run(&nl, &TimingLibrary::generic())
+        .unwrap();
+        assert_eq!(report.sites.len(), full_sites.div_ceil(4));
+    }
+}

@@ -1,0 +1,213 @@
+//! Pattern compaction for pulse-test application (paper §5, "test
+//! generation and application issues").
+//!
+//! Loading a scan vector dominates test time; injecting a pulse and
+//! reading a detector is cheap. Plans whose input vectors are
+//! *compatible* (no conflicting assigned bits) can therefore share one
+//! vector-load **session**, firing their pulses one after another. The
+//! merge is kept conservative: two plans join a session only if their
+//! structural fan-out cones are disjoint, so one plan's activity can
+//! never disturb another's quiet sensitized side inputs.
+
+use crate::testgen::PathTestPlan;
+use pulsar_logic::{Netlist, SignalId};
+
+/// One compacted test session: a single merged input vector plus the
+/// pulse injections applied under it.
+#[derive(Debug, Clone)]
+pub struct TestSession {
+    /// Merged per-signal assignment (indexed by [`SignalId::index`];
+    /// only primary inputs populated, `None` = still don't-care).
+    pub vector: Vec<Option<bool>>,
+    /// Indices (into the input plan list) of the plans this session
+    /// applies.
+    pub members: Vec<usize>,
+}
+
+/// Greedily packs `plans` into sessions.
+///
+/// Two plans are mergeable when (a) their vectors agree on every PI both
+/// assign and (b) neither plan's injection activity can reach the
+/// *other's monitored path*: the fan-out cone of each member's injection
+/// input must avoid the gates of every other member's path (a foreign
+/// pulse on the path would disturb its side inputs or feed its output
+/// detector). Cone overlap elsewhere in the circuit is harmless — only
+/// the monitored paths must stay quiet. Greedy first-fit keeps the
+/// procedure `O(plans² · gates)` — fine at campaign scale.
+pub fn compact_patterns(nl: &Netlist, plans: &[PathTestPlan]) -> Vec<TestSession> {
+    let cones: Vec<Vec<bool>> = plans.iter().map(|p| fanout_cone(nl, p.path.from)).collect();
+    let paths: Vec<Vec<bool>> = plans
+        .iter()
+        .map(|p| {
+            let mut on = vec![false; nl.gate_count()];
+            for step in &p.path.steps {
+                on[step.gate.index()] = true;
+            }
+            on
+        })
+        .collect();
+
+    let mut sessions: Vec<TestSession> = Vec::new();
+    // Per session: union of members' cones and of members' path gates.
+    let mut session_cones: Vec<Vec<bool>> = Vec::new();
+    let mut session_paths: Vec<Vec<bool>> = Vec::new();
+
+    'plans: for (i, plan) in plans.iter().enumerate() {
+        for (s, session) in sessions.iter_mut().enumerate() {
+            if vectors_compatible(&session.vector, &plan.vector.values)
+                && cones_disjoint(&session_cones[s], &paths[i])
+                && cones_disjoint(&cones[i], &session_paths[s])
+            {
+                merge_vector(&mut session.vector, &plan.vector.values);
+                merge_cone(&mut session_cones[s], &cones[i]);
+                merge_cone(&mut session_paths[s], &paths[i]);
+                session.members.push(i);
+                continue 'plans;
+            }
+        }
+        sessions.push(TestSession {
+            vector: plan.vector.values.clone(),
+            members: vec![i],
+        });
+        session_cones.push(cones[i].clone());
+        session_paths.push(paths[i].clone());
+    }
+    sessions
+}
+
+/// Per-gate membership of the structural fan-out cone of `from`.
+fn fanout_cone(nl: &Netlist, from: SignalId) -> Vec<bool> {
+    let fanouts = nl.fanouts();
+    let mut in_cone = vec![false; nl.gate_count()];
+    let mut frontier = vec![from];
+    while let Some(sig) = frontier.pop() {
+        for &(gate, _) in &fanouts[sig.index()] {
+            if !in_cone[gate.index()] {
+                in_cone[gate.index()] = true;
+                frontier.push(nl.gate(gate).output);
+            }
+        }
+    }
+    in_cone
+}
+
+fn vectors_compatible(a: &[Option<bool>], b: &[Option<bool>]) -> bool {
+    a.iter().zip(b).all(|(x, y)| match (x, y) {
+        (Some(p), Some(q)) => p == q,
+        _ => true,
+    })
+}
+
+fn merge_vector(into: &mut [Option<bool>], from: &[Option<bool>]) {
+    for (i, f) in into.iter_mut().zip(from) {
+        if i.is_none() {
+            *i = *f;
+        }
+    }
+}
+
+fn cones_disjoint(a: &[bool], b: &[bool]) -> bool {
+    a.iter().zip(b).all(|(x, y)| !(*x && *y))
+}
+
+fn merge_cone(into: &mut [bool], from: &[bool]) {
+    for (i, f) in into.iter_mut().zip(from) {
+        *i |= f;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testgen::{plan_for_site, TestgenConfig};
+    use pulsar_logic::{c17, GateKind};
+    use pulsar_timing::TimingLibrary;
+
+    /// Two independent 2-gate chains: their plans must share a session.
+    #[test]
+    fn disjoint_cones_merge_into_one_session() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g0 = nl.add_gate(GateKind::Not, &[a], "g0").unwrap();
+        let y0 = nl.add_gate(GateKind::Not, &[g0], "y0").unwrap();
+        let g1 = nl.add_gate(GateKind::Not, &[b], "g1").unwrap();
+        let y1 = nl.add_gate(GateKind::Not, &[g1], "y1").unwrap();
+        nl.mark_output(y0);
+        nl.mark_output(y1);
+
+        let lib = TimingLibrary::generic();
+        let cfg = TestgenConfig::default();
+        let p0 = plan_for_site(&nl, g0, &lib, &cfg).unwrap().swap_remove(0);
+        let p1 = plan_for_site(&nl, g1, &lib, &cfg).unwrap().swap_remove(0);
+        let sessions = compact_patterns(&nl, &[p0, p1]);
+        assert_eq!(sessions.len(), 1, "independent chains must share a session");
+        assert_eq!(sessions[0].members, vec![0, 1]);
+    }
+
+    /// Plans whose cones overlap stay in separate sessions even with
+    /// compatible vectors.
+    #[test]
+    fn overlapping_cones_do_not_merge() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let g0 = nl.add_gate(GateKind::Not, &[a], "g0").unwrap();
+        let g1 = nl.add_gate(GateKind::Not, &[g0], "g1").unwrap();
+        let y = nl.add_gate(GateKind::Not, &[g1], "y").unwrap();
+        nl.mark_output(y);
+
+        let lib = TimingLibrary::generic();
+        let cfg = TestgenConfig::default();
+        // Same path, two "plans" (same injection input → same cone).
+        let p = plan_for_site(&nl, g0, &lib, &cfg).unwrap().swap_remove(0);
+        let sessions = compact_patterns(&nl, &[p.clone(), p]);
+        assert_eq!(sessions.len(), 2);
+    }
+
+    /// Conflicting vector bits block the merge.
+    #[test]
+    fn conflicting_vectors_do_not_merge() {
+        assert!(vectors_compatible(
+            &[Some(true), None],
+            &[None, Some(false)]
+        ));
+        assert!(!vectors_compatible(&[Some(true)], &[Some(false)]));
+    }
+
+    /// On c17, compaction must never *increase* the session count and the
+    /// merged vectors must preserve every member's assignments.
+    #[test]
+    fn c17_campaign_compacts_soundly() {
+        let nl = c17();
+        let lib = TimingLibrary::generic();
+        let cfg = TestgenConfig::default();
+        let mut plans = Vec::new();
+        for g in nl.gates() {
+            if let Ok(mut ps) = plan_for_site(&nl, g.output, &lib, &cfg) {
+                plans.push(ps.swap_remove(0));
+            }
+        }
+        assert!(!plans.is_empty());
+        let sessions = compact_patterns(&nl, &plans);
+        assert!(sessions.len() <= plans.len());
+        // Soundness: each member's assigned bits survive in the merged
+        // vector.
+        for s in &sessions {
+            for &m in &s.members {
+                for (merged, own) in s.vector.iter().zip(&plans[m].vector.values) {
+                    if let Some(v) = own {
+                        assert_eq!(merged.as_ref(), Some(v), "merge lost an assignment");
+                    }
+                }
+            }
+        }
+        // Every plan appears in exactly one session.
+        let mut seen = vec![0usize; plans.len()];
+        for s in &sessions {
+            for &m in &s.members {
+                seen[m] += 1;
+            }
+        }
+        assert!(seen.iter().all(|c| *c == 1));
+    }
+}

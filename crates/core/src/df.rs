@@ -1,0 +1,109 @@
+//! The delay-fault-testing baseline (paper §4).
+//!
+//! In DF testing with a reduced clock, a launch flip-flop `FF` feeds the
+//! path and a capture flip-flop samples its output after the test period
+//! `T`. A circuit instance `s` is *detected* (fails the test) when
+//! `T < d_p^s(R) + τ_CQ^s + τ_DC^s`: the transition arrives too late to
+//! meet the capture flop's setup window.
+
+/// Launch/capture flip-flop timing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FfTiming {
+    /// Clock-to-Q delay of the launch flip-flop, seconds.
+    pub tau_cq: f64,
+    /// Setup time of the capture flip-flop, seconds.
+    pub tau_dc: f64,
+}
+
+impl FfTiming {
+    /// Nominal values used across the experiments (80 ps / 60 ps — a
+    /// plausible deep-submicron flop).
+    pub fn nominal() -> Self {
+        FfTiming {
+            tau_cq: 80e-12,
+            tau_dc: 60e-12,
+        }
+    }
+
+    /// Total flop overhead added to the path delay.
+    pub fn overhead(&self) -> f64 {
+        self.tau_cq + self.tau_dc
+    }
+}
+
+impl Default for FfTiming {
+    fn default() -> Self {
+        FfTiming::nominal()
+    }
+}
+
+impl From<pulsar_cells::DffTiming> for FfTiming {
+    /// Adopts electrically characterized flop timing (see
+    /// [`pulsar_cells::characterize_dff`]) so the DF baseline's constants
+    /// come from the same technology as the paths under test.
+    fn from(t: pulsar_cells::DffTiming) -> FfTiming {
+        FfTiming {
+            tau_cq: t.tau_cq,
+            tau_dc: t.setup,
+        }
+    }
+}
+
+/// The logic-level detection criterion of the paper's §4: the instance
+/// fails (i.e. the fault is detected) when the tested clock period
+/// `t_test` is shorter than the faulty path delay plus flop overhead.
+pub fn df_detects(t_test: f64, path_delay: f64, ff: FfTiming) -> bool {
+    t_test < path_delay + ff.overhead()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detection_boundary() {
+        let ff = FfTiming {
+            tau_cq: 100e-12,
+            tau_dc: 50e-12,
+        };
+        let d = 1e-9;
+        // Exactly meeting the window passes (not detected).
+        assert!(!df_detects(1.15e-9, d, ff));
+        // Any shortfall is a detection.
+        assert!(df_detects(1.1499e-9, d, ff));
+    }
+
+    #[test]
+    fn slower_paths_are_easier_to_detect() {
+        let ff = FfTiming::nominal();
+        let t = 1.0e-9;
+        assert!(!df_detects(t, 0.5e-9, ff));
+        assert!(df_detects(t, 0.95e-9, ff));
+    }
+
+    #[test]
+    fn nominal_is_default() {
+        assert_eq!(FfTiming::default(), FfTiming::nominal());
+        assert!((FfTiming::nominal().overhead() - 140e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn characterized_flop_timing_lands_near_the_assumed_constants() {
+        let dff = pulsar_cells::characterize_dff(&pulsar_cells::Tech::generic_180nm()).unwrap();
+        let ff: FfTiming = dff.into();
+        // The hand-set nominal constants must be the right order of
+        // magnitude for the generic technology (within ~10x; the bare
+        // 6-NAND flop measures a very small setup window).
+        let nominal = FfTiming::nominal();
+        assert!(
+            ff.tau_cq > nominal.tau_cq / 10.0 && ff.tau_cq < nominal.tau_cq * 10.0,
+            "tau_cq {:e}",
+            ff.tau_cq
+        );
+        assert!(
+            ff.tau_dc > nominal.tau_dc / 10.0 && ff.tau_dc < nominal.tau_dc * 10.0,
+            "setup {:e}",
+            ff.tau_dc
+        );
+    }
+}

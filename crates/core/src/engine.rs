@@ -1,0 +1,391 @@
+//! The measurement abstraction shared by the electrical and logic-level
+//! engines, plus the fault-site description the studies run on.
+
+use crate::error::CoreError;
+use pulsar_analog::{Edge, Polarity};
+use pulsar_cells::{BuiltPath, PathFault, PathSpec, RopSite, Tech};
+use pulsar_timing::PathTimingModel;
+
+/// The defect class injected into a path under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DefectKind {
+    /// Internal resistive open in the pull-up or pull-down network of the
+    /// faulted stage (paper Fig. 1a).
+    InternalRop {
+        /// Which network carries the defect.
+        site: RopSite,
+    },
+    /// External resistive open on the stage's on-path fan-out branch
+    /// (paper Fig. 1b) — "expected to represent the worst case for our
+    /// method" (§4), hence the default in the coverage studies.
+    ExternalRop,
+    /// Resistive bridge to a steady aggressor (paper Fig. 4).
+    Bridge {
+        /// Steady logic value at the aggressor output.
+        aggressor_high: bool,
+    },
+}
+
+/// A path structure plus a defect site: everything needed to instantiate
+/// measurable path instances, nominal or Monte Carlo.
+#[derive(Debug, Clone)]
+pub struct PathUnderTest {
+    /// The gate chain (the paper uses [`PathSpec::paper_chain`]).
+    pub spec: PathSpec,
+    /// The defect class.
+    pub defect: DefectKind,
+    /// Faulted stage index (0-based).
+    pub stage: usize,
+    /// Nominal technology.
+    pub tech: Tech,
+}
+
+impl PathUnderTest {
+    /// Maps the defect onto a [`PathFault`] at resistance `ohms`.
+    pub fn fault(&self, ohms: f64) -> PathFault {
+        match self.defect {
+            DefectKind::InternalRop { site } => PathFault::InternalRop {
+                stage: self.stage,
+                site,
+                ohms,
+            },
+            DefectKind::ExternalRop => PathFault::ExternalRop {
+                stage: self.stage,
+                ohms,
+            },
+            DefectKind::Bridge { aggressor_high } => PathFault::Bridge {
+                stage: self.stage,
+                ohms,
+                aggressor_high,
+            },
+        }
+    }
+
+    /// Builds the electrical instance with per-stage technologies
+    /// (the Monte Carlo hook) and initial defect resistance `r0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `techs.len()` differs from the number of stages.
+    pub fn instantiate(&self, techs: &[Tech], r0: f64) -> AnalogPath {
+        AnalogPath {
+            inner: BuiltPath::new(&self.spec, &self.fault(r0), techs),
+        }
+    }
+
+    /// Builds the nominal electrical instance (all stages at `self.tech`).
+    pub fn instantiate_nominal(&self, r0: f64) -> AnalogPath {
+        self.instantiate(&vec![self.tech; self.spec.len()], r0)
+    }
+
+    /// Builds the *fault-free* electrical instance for calibration runs.
+    pub fn instantiate_fault_free(&self, techs: &[Tech]) -> AnalogPath {
+        AnalogPath {
+            inner: BuiltPath::new(&self.spec, &PathFault::None, techs),
+        }
+    }
+}
+
+/// One measurable path instance: the paper's two observables plus the
+/// defect-resistance sweep.
+///
+/// Implementations: [`AnalogPath`] (transistor-level, the reference) and
+/// [`ModelPath`] (logic-level timing model, for large-circuit test
+/// generation).
+pub trait PathInstance {
+    /// Propagation delay for a single input transition, seconds.
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific failures; for the electrical engine, an output
+    /// that never switches inside the simulation window is reported as a
+    /// non-convergence error by the caller's choice — here it surfaces as
+    /// `Ok(f64::INFINITY)` so slack arithmetic stays total.
+    fn delay(&mut self, input_edge: Edge) -> Result<f64, CoreError>;
+
+    /// Output pulse width for an injected input pulse; `0.0` = dampened.
+    ///
+    /// # Errors
+    ///
+    /// Engine-specific simulation failures.
+    fn pulse_width_out(&mut self, w_in: f64, polarity: Polarity) -> Result<f64, CoreError>;
+
+    /// Changes the defect resistance.
+    ///
+    /// # Errors
+    ///
+    /// If the instance carries no defect or `ohms` is out of domain.
+    fn set_resistance(&mut self, ohms: f64) -> Result<(), CoreError>;
+
+    /// Worst (slowest) delay over both input transition directions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PathInstance::delay`] failures.
+    fn worst_delay(&mut self) -> Result<f64, CoreError> {
+        let r = self.delay(Edge::Rising)?;
+        let f = self.delay(Edge::Falling)?;
+        Ok(r.max(f))
+    }
+}
+
+/// Transistor-level path instance (wraps [`BuiltPath`]).
+#[derive(Debug)]
+pub struct AnalogPath {
+    inner: BuiltPath,
+}
+
+impl AnalogPath {
+    /// Direct access to the underlying electrical path (waveform probing,
+    /// custom stimuli).
+    pub fn built_path(&mut self) -> &mut BuiltPath {
+        &mut self.inner
+    }
+}
+
+impl PathInstance for AnalogPath {
+    fn delay(&mut self, input_edge: Edge) -> Result<f64, CoreError> {
+        let out = self.inner.propagate_transition(input_edge, None)?;
+        // A swallowed transition means unbounded delay for DF purposes.
+        Ok(out.delay.unwrap_or(f64::INFINITY))
+    }
+
+    fn pulse_width_out(&mut self, w_in: f64, polarity: Polarity) -> Result<f64, CoreError> {
+        Ok(self
+            .inner
+            .propagate_pulse(w_in, polarity, None)?
+            .output_width)
+    }
+
+    fn set_resistance(&mut self, ohms: f64) -> Result<(), CoreError> {
+        self.inner
+            .set_fault_resistance(ohms)
+            .map_err(CoreError::from)
+    }
+}
+
+/// How a defect resistance maps onto the logic-level timing model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ModelFault {
+    /// External ROP: an RC stage after `stage` with `tau = R × c_branch`.
+    RcAfter {
+        /// Faulted stage.
+        stage: usize,
+        /// Effective branch capacitance, farads.
+        c_branch: f64,
+    },
+    /// Internal ROP: the named output edge of `stage` slows by
+    /// `R × c_load`.
+    EdgeSlow {
+        /// Faulted stage.
+        stage: usize,
+        /// Slowed output edge.
+        edge: Edge,
+        /// Effective load capacitance, farads.
+        c_load: f64,
+    },
+    /// External ROP on the primary input's own fan-out branch: an RC
+    /// stage before the first gate.
+    RcAtInput {
+        /// Effective branch capacitance, farads.
+        c_branch: f64,
+    },
+}
+
+/// Logic-level path instance: a healthy [`PathTimingModel`] plus a fault
+/// mapping; `set_resistance` re-derives the faulty model (cheap).
+///
+/// Bridges are *not* supported at this level (their delay depends on a
+/// drive fight the abstraction cannot see); use [`AnalogPath`] for them.
+#[derive(Debug, Clone)]
+pub struct ModelPath {
+    healthy: PathTimingModel,
+    fault: Option<ModelFault>,
+    current: PathTimingModel,
+}
+
+impl ModelPath {
+    /// Wraps a healthy model with an optional fault mapping, initially at
+    /// resistance `r0` (ignored when `fault` is `None`).
+    pub fn new(healthy: PathTimingModel, fault: Option<ModelFault>, r0: f64) -> Self {
+        let mut mp = ModelPath {
+            current: healthy.clone(),
+            healthy,
+            fault,
+        };
+        if mp.fault.is_some() {
+            mp.apply(r0);
+        }
+        mp
+    }
+
+    /// The currently active (possibly faulty) model.
+    pub fn model(&self) -> &PathTimingModel {
+        &self.current
+    }
+
+    fn apply(&mut self, ohms: f64) {
+        let mut m = self.healthy.clone();
+        match self.fault.expect("apply is only called with a fault") {
+            ModelFault::RcAfter { stage, c_branch } => m.inject_rc_after(stage, ohms * c_branch),
+            ModelFault::EdgeSlow {
+                stage,
+                edge,
+                c_load,
+            } => m.inject_edge_slow(stage, edge, ohms * c_load),
+            ModelFault::RcAtInput { c_branch } => m.inject_rc_at_front(ohms * c_branch),
+        }
+        self.current = m;
+    }
+}
+
+impl PathInstance for ModelPath {
+    fn delay(&mut self, input_edge: Edge) -> Result<f64, CoreError> {
+        Ok(self.current.delay(input_edge))
+    }
+
+    fn pulse_width_out(&mut self, w_in: f64, polarity: Polarity) -> Result<f64, CoreError> {
+        Ok(self.current.pulse_out(w_in, polarity))
+    }
+
+    fn set_resistance(&mut self, ohms: f64) -> Result<(), CoreError> {
+        if self.fault.is_none() {
+            return Err(CoreError::Unsupported {
+                what: "set_resistance on a fault-free model path",
+            });
+        }
+        if !(ohms.is_finite() && ohms > 0.0) {
+            return Err(CoreError::Analog(pulsar_analog::Error::InvalidParameter {
+                element: "model fault",
+                parameter: "ohms",
+                value: ohms,
+            }));
+        }
+        self.apply(ohms);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pulsar_timing::{GateTimingModel, PathElement};
+
+    fn healthy_chain(n: usize) -> PathTimingModel {
+        let inv = GateTimingModel::new(95e-12, 75e-12, 70e-12, 260e-12);
+        PathTimingModel::new(vec![
+            PathElement::Gate {
+                model: inv,
+                inverting: true,
+                slow_rise: 0.0,
+                slow_fall: 0.0
+            };
+            n
+        ])
+    }
+
+    #[test]
+    fn analog_engine_detects_dampening() {
+        let put = PathUnderTest {
+            spec: PathSpec::paper_chain(),
+            defect: DefectKind::ExternalRop,
+            stage: 1,
+            tech: Tech::generic_180nm(),
+        };
+        let mut p = put.instantiate_nominal(1e3);
+        let clean = p.pulse_width_out(450e-12, Polarity::PositiveGoing).unwrap();
+        p.set_resistance(40e3).unwrap();
+        let bad = p.pulse_width_out(450e-12, Polarity::PositiveGoing).unwrap();
+        assert!(clean > 0.0);
+        assert!(bad < clean);
+    }
+
+    #[test]
+    fn analog_worst_delay_covers_both_edges() {
+        let put = PathUnderTest {
+            spec: PathSpec::inverter_chain(3),
+            defect: DefectKind::InternalRop {
+                site: RopSite::PullUp,
+            },
+            stage: 1,
+            tech: Tech::generic_180nm(),
+        };
+        let mut p = put.instantiate_nominal(25e3);
+        let worst = p.worst_delay().unwrap();
+        let fast = p.delay(Edge::Falling).unwrap();
+        assert!(worst >= fast);
+        assert!(worst > fast + 50e-12, "one-edge ROP must split the edges");
+    }
+
+    #[test]
+    fn model_engine_sweeps_resistance() {
+        let mf = ModelFault::RcAfter {
+            stage: 1,
+            c_branch: 13e-15,
+        };
+        let mut p = ModelPath::new(healthy_chain(7), Some(mf), 1e3);
+        let w1 = p.pulse_width_out(400e-12, Polarity::PositiveGoing).unwrap();
+        p.set_resistance(60e3).unwrap();
+        let w2 = p.pulse_width_out(400e-12, Polarity::PositiveGoing).unwrap();
+        assert!(w2 < w1, "more resistance, more dampening: {w1:e} → {w2:e}");
+    }
+
+    #[test]
+    fn model_engine_edge_slow_matches_injection() {
+        let mf = ModelFault::EdgeSlow {
+            stage: 1,
+            edge: Edge::Rising,
+            c_load: 30e-15,
+        };
+        let mut p = ModelPath::new(healthy_chain(5), Some(mf), 10e3);
+        // Delay for the input edge that exercises stage 1's rising output
+        // (two inversions upstream of stage 1's output → Rising input).
+        let slow = p.delay(Edge::Rising).unwrap();
+        let fast = p.delay(Edge::Falling).unwrap();
+        assert!(
+            slow > fast + 200e-12,
+            "300 ps edge slow must show: {slow:e} vs {fast:e}"
+        );
+    }
+
+    #[test]
+    fn fault_free_model_rejects_resistance() {
+        let mut p = ModelPath::new(healthy_chain(3), None, 0.0);
+        assert!(p.set_resistance(1e3).is_err());
+        // But measurements work.
+        assert!(p.delay(Edge::Rising).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn model_rejects_unphysical_resistance() {
+        let mf = ModelFault::RcAfter {
+            stage: 0,
+            c_branch: 1e-15,
+        };
+        let mut p = ModelPath::new(healthy_chain(3), Some(mf), 1e3);
+        assert!(p.set_resistance(-1.0).is_err());
+        assert!(p.set_resistance(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn put_fault_mapping() {
+        let put = PathUnderTest {
+            spec: PathSpec::paper_chain(),
+            defect: DefectKind::Bridge {
+                aggressor_high: true,
+            },
+            stage: 2,
+            tech: Tech::generic_180nm(),
+        };
+        match put.fault(5e3) {
+            PathFault::Bridge {
+                stage: 2,
+                ohms,
+                aggressor_high: true,
+            } => {
+                assert_eq!(ohms, 5e3)
+            }
+            other => panic!("wrong mapping: {other:?}"),
+        }
+    }
+}

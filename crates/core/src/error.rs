@@ -1,0 +1,99 @@
+use std::fmt;
+
+/// Errors surfaced by the pulse-testing methodology layer.
+///
+/// Wraps the substrate errors (electrical solver, logic netlist) and adds
+/// methodology-level failures (no sensitizable path, empty calibration
+/// sample).
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Electrical simulation failed.
+    Analog(pulsar_analog::Error),
+    /// Netlist processing failed.
+    Logic(pulsar_logic::LogicError),
+    /// No path through the fault site could be sensitized.
+    NoSensitizablePath {
+        /// Name of the fault-site signal.
+        site: String,
+    },
+    /// A calibration step was asked to operate on an empty sample set or
+    /// an empty sweep.
+    EmptyCalibration {
+        /// Which calibration input was empty.
+        what: &'static str,
+    },
+    /// The requested measurement is not supported by this engine (e.g.
+    /// bridge defects on the logic-level engine).
+    Unsupported {
+        /// What was requested.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Analog(e) => write!(f, "electrical simulation failed: {e}"),
+            CoreError::Logic(e) => write!(f, "netlist processing failed: {e}"),
+            CoreError::NoSensitizablePath { site } => {
+                write!(f, "no sensitizable path through fault site `{site}`")
+            }
+            CoreError::EmptyCalibration { what } => {
+                write!(f, "calibration input `{what}` is empty")
+            }
+            CoreError::Unsupported { what } => write!(f, "unsupported on this engine: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Analog(e) => Some(e),
+            CoreError::Logic(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pulsar_analog::Error> for CoreError {
+    fn from(e: pulsar_analog::Error) -> Self {
+        CoreError::Analog(e)
+    }
+}
+
+impl From<pulsar_logic::LogicError> for CoreError {
+    fn from(e: pulsar_logic::LogicError) -> Self {
+        CoreError::Logic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn wraps_substrate_errors_with_source() {
+        let e: CoreError = pulsar_analog::Error::SingularMatrix { row: 1 }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("electrical"));
+
+        let e: CoreError = pulsar_logic::LogicError::UnknownSignal { name: "x".into() }.into();
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn methodology_errors_have_no_source() {
+        let e = CoreError::NoSensitizablePath { site: "n42".into() };
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("n42"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

@@ -1,0 +1,285 @@
+//! Pulse-test **fault simulation**: run a pattern set against a fault
+//! list and report the detection matrix — the workhorse behind any
+//! production test-set sign-off, and the concrete form of the paper's
+//! announced "logic level fault simulation tool" (§6).
+//!
+//! A pulse pattern is (static vector, injection input, pulse kind,
+//! `ω_in`, `ω_th`). A branch fault is an external ROP on one specific
+//! fan-out branch. A pattern detects a fault when some primary output
+//! that *expects* a detector-visible pulse (fault-free width ≥ `ω_th`)
+//! stays silent in the faulty circuit — the paper's absence-of-transition
+//! criterion. Beyond per-target checks, the matrix exposes *fortuitous*
+//! coverage: patterns routinely catch faults they were not generated for,
+//! which is what keeps pattern counts low.
+
+use crate::error::CoreError;
+use crate::testgen::PathTestPlan;
+use pulsar_analog::Polarity;
+use pulsar_logic::{GateId, Netlist, SignalId};
+use pulsar_timing::{NetSim, TimingLibrary};
+
+/// One applicable pulse test.
+#[derive(Debug, Clone)]
+pub struct PulsePattern {
+    /// Static values of every primary input (netlist PI order).
+    pub pi_values: Vec<bool>,
+    /// The input carrying the pulse.
+    pub inject: SignalId,
+    /// Pulse kind at the injection input.
+    pub polarity: Polarity,
+    /// Injected width, seconds.
+    pub w_in: f64,
+    /// Sensing threshold at the outputs, seconds.
+    pub w_th: f64,
+}
+
+impl PulsePattern {
+    /// Derives the applicable pattern from a test-generation plan.
+    pub fn from_plan(nl: &Netlist, plan: &PathTestPlan) -> PulsePattern {
+        PulsePattern {
+            pi_values: plan.vector.to_pi_bools(nl),
+            inject: plan.path.from,
+            polarity: plan.polarity,
+            w_in: plan.w_in,
+            w_th: plan.w_th,
+        }
+    }
+}
+
+/// An external ROP on one fan-out branch: the wire segment feeding input
+/// `pin` of `gate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BranchFault {
+    /// The consuming gate.
+    pub gate: GateId,
+    /// The consuming pin.
+    pub pin: usize,
+}
+
+/// Every fan-out branch of the netlist — the exhaustive external-ROP
+/// fault list.
+pub fn all_branch_faults(nl: &Netlist) -> Vec<BranchFault> {
+    nl.fanouts()
+        .iter()
+        .flat_map(|consumers| {
+            consumers
+                .iter()
+                .map(|&(gate, pin)| BranchFault { gate, pin })
+        })
+        .collect()
+}
+
+/// The pattern × fault detection matrix.
+#[derive(Debug, Clone)]
+pub struct FaultSimReport {
+    /// `detected[f][p]`: pattern `p` detects fault `f`.
+    pub detected: Vec<Vec<bool>>,
+    /// The simulated fault list, row order.
+    pub faults: Vec<BranchFault>,
+}
+
+impl FaultSimReport {
+    /// Fraction of faults detected by at least one pattern.
+    pub fn coverage(&self) -> f64 {
+        if self.faults.is_empty() {
+            return 0.0;
+        }
+        let hit = self
+            .detected
+            .iter()
+            .filter(|row| row.iter().any(|d| *d))
+            .count();
+        hit as f64 / self.faults.len() as f64
+    }
+
+    /// Number of faults pattern `p` detects.
+    pub fn detections_of_pattern(&self, p: usize) -> usize {
+        self.detected.iter().filter(|row| row[p]).count()
+    }
+
+    /// Faults no pattern detects.
+    pub fn undetected(&self) -> Vec<BranchFault> {
+        self.detected
+            .iter()
+            .zip(&self.faults)
+            .filter(|(row, _)| !row.iter().any(|d| *d))
+            .map(|(_, f)| *f)
+            .collect()
+    }
+}
+
+/// Simulates `patterns` against `faults`, each fault as an RC of constant
+/// `tau` seconds on its branch.
+///
+/// # Errors
+///
+/// Netlist errors (loops, vector-size mismatches) propagate.
+pub fn fault_simulate(
+    nl: &Netlist,
+    lib: &TimingLibrary,
+    patterns: &[PulsePattern],
+    faults: &[BranchFault],
+    tau: f64,
+) -> Result<FaultSimReport, CoreError> {
+    // Fault-free expectations per pattern: which POs must show a pulse of
+    // at least w_th.
+    let clean = NetSim::new(nl, lib);
+    let mut expectations: Vec<Vec<bool>> = Vec::with_capacity(patterns.len());
+    for p in patterns {
+        let out = clean.run_pulse(&p.pi_values, p.inject, p.polarity, p.w_in)?;
+        expectations.push(
+            out.po_events
+                .iter()
+                .map(|e| {
+                    e.and_then(|e| e.width())
+                        .map(|w| w >= p.w_th)
+                        .unwrap_or(false)
+                })
+                .collect(),
+        );
+    }
+
+    let mut detected = vec![vec![false; patterns.len()]; faults.len()];
+    for (fi, f) in faults.iter().enumerate() {
+        let mut sim = NetSim::new(nl, lib);
+        sim.inject_rc(f.gate, f.pin, tau);
+        for (pi, p) in patterns.iter().enumerate() {
+            // Skip patterns whose fault-free run shows nothing anywhere:
+            // they can never detect by absence.
+            if !expectations[pi].iter().any(|e| *e) {
+                continue;
+            }
+            let out = sim.run_pulse(&p.pi_values, p.inject, p.polarity, p.w_in)?;
+            let miss = expectations[pi]
+                .iter()
+                .zip(&out.po_events)
+                .any(|(expect, e)| {
+                    *expect
+                        && e.and_then(|e| e.width())
+                            .map(|w| w < p.w_th)
+                            .unwrap_or(true)
+                });
+            detected[fi][pi] = miss;
+        }
+    }
+
+    Ok(FaultSimReport {
+        detected,
+        faults: faults.to_vec(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testgen::{plan_for_site, TestgenConfig};
+    use pulsar_logic::c17;
+
+    fn lib() -> TimingLibrary {
+        TimingLibrary::generic()
+    }
+
+    #[test]
+    fn plans_detect_their_own_target_faults() {
+        let nl = c17();
+        let lib = lib();
+        let cfg = TestgenConfig::default();
+
+        let mut patterns = Vec::new();
+        let mut targets = Vec::new();
+        for g in nl.gates() {
+            let site = g.output;
+            let Ok(plans) = plan_for_site(&nl, site, &lib, &cfg) else {
+                continue;
+            };
+            let plan = &plans[0];
+            let Some(r_min) = plan.r_min else { continue };
+            // The branch the plan's path takes out of the site.
+            let step_after = plan
+                .path
+                .steps
+                .iter()
+                .position(|s| nl.gate(s.gate).output == site)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            let Some(step) = plan.path.steps.get(step_after) else {
+                continue;
+            };
+            patterns.push(PulsePattern::from_plan(&nl, plan));
+            targets.push((
+                BranchFault {
+                    gate: step.gate,
+                    pin: step.pin,
+                },
+                r_min * cfg.c_branch * 1.05,
+            ));
+        }
+        assert!(!patterns.is_empty(), "c17 must yield plans");
+
+        for (k, (fault, tau)) in targets.iter().enumerate() {
+            let report = fault_simulate(&nl, &lib, &patterns[k..=k], &[*fault], *tau).unwrap();
+            assert!(
+                report.detected[0][0],
+                "plan {k} must detect its own fault {fault:?} at tau {tau:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_set_covers_most_branches_fortuitously() {
+        let nl = c17();
+        let lib = lib();
+        let cfg = TestgenConfig::default();
+
+        let mut patterns = Vec::new();
+        for g in nl.gates() {
+            if let Ok(plans) = plan_for_site(&nl, g.output, &lib, &cfg) {
+                patterns.push(PulsePattern::from_plan(&nl, &plans[0]));
+            }
+        }
+        let faults = all_branch_faults(&nl);
+        // A severe defect (large tau) on every branch.
+        let report = fault_simulate(&nl, &lib, &patterns, &faults, 2e-9).unwrap();
+        let cov = report.coverage();
+        assert!(
+            cov > 0.6,
+            "a per-site pattern set should sweep up most branches: {cov:.2} \
+             (undetected: {:?})",
+            report.undetected()
+        );
+        // And detection counts per pattern exceed one (fortuitous hits).
+        let best = (0..patterns.len())
+            .map(|p| report.detections_of_pattern(p))
+            .max()
+            .unwrap();
+        assert!(
+            best > 1,
+            "some pattern must catch several faults, best caught {best}"
+        );
+    }
+
+    #[test]
+    fn benign_fault_escapes() {
+        let nl = c17();
+        let lib = lib();
+        let faults = all_branch_faults(&nl);
+        let cfg = TestgenConfig::default();
+        let mut patterns = Vec::new();
+        for g in nl.gates() {
+            if let Ok(plans) = plan_for_site(&nl, g.output, &lib, &cfg) {
+                patterns.push(PulsePattern::from_plan(&nl, &plans[0]));
+            }
+        }
+        // A tiny RC changes nothing.
+        let report = fault_simulate(&nl, &lib, &patterns, &faults, 1e-15).unwrap();
+        assert_eq!(report.coverage(), 0.0, "femtosecond defects are invisible");
+    }
+
+    #[test]
+    fn fault_list_enumerates_every_branch() {
+        let nl = c17();
+        let faults = all_branch_faults(&nl);
+        // c17: 6 NAND2 gates = 12 input branches.
+        assert_eq!(faults.len(), 12);
+    }
+}

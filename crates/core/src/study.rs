@@ -1,0 +1,434 @@
+//! The Monte Carlo coverage studies of the paper's §4 (Figs. 6–9):
+//! `C_del(T, R)` for reduced-clock DF testing and `C_pulse(ω_th, R)` for
+//! the pulse-propagation method, over the same circuit instances.
+
+use crate::calib::{calibrate_pulse, calibrate_t0, DfCalibration, PulseCalibration};
+use crate::df::FfTiming;
+use crate::engine::{PathInstance, PathUnderTest};
+use crate::error::CoreError;
+use crate::transfer::TransferCurve;
+use crate::variation::VariationModel;
+use pulsar_analog::Polarity;
+use pulsar_cells::Tech;
+use pulsar_mc::MonteCarlo;
+use rand::rngs::StdRng;
+
+/// Monte Carlo configuration shared by both studies.
+#[derive(Debug, Clone, Copy)]
+pub struct McConfig {
+    /// Number of circuit instances.
+    pub samples: usize,
+    /// Master seed (same seed ⇒ same instances in calibration and
+    /// coverage runs — the paper's methodology requires this).
+    pub seed: u64,
+    /// Process-variation model (the paper uses 10 % sigma).
+    pub variation: VariationModel,
+    /// Worker threads (`None` = all cores).
+    pub threads: Option<usize>,
+}
+
+impl McConfig {
+    /// `samples` instances at the paper's 10 % sigma.
+    pub fn paper(samples: usize, seed: u64) -> Self {
+        McConfig {
+            samples,
+            seed,
+            variation: VariationModel::paper(),
+            threads: None,
+        }
+    }
+
+    fn driver(&self) -> MonteCarlo {
+        let mc = MonteCarlo::new(self.samples, self.seed);
+        match self.threads {
+            Some(t) => mc.with_threads(t),
+            None => mc,
+        }
+    }
+}
+
+/// One coverage-vs-resistance series, at one setting of the method's
+/// free parameter (`T/T₀` for DF, `ω_th/ω_th⁰` for the pulse test).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageCurve {
+    /// The parameter factor this series was computed at.
+    pub factor: f64,
+    /// Defect resistances, ohms.
+    pub resistance: Vec<f64>,
+    /// Fault coverage (fraction of MC instances detected) per resistance.
+    pub coverage: Vec<f64>,
+}
+
+fn collect<T>(results: Vec<Result<T, CoreError>>) -> Result<Vec<T>, CoreError> {
+    results.into_iter().collect()
+}
+
+/// The reduced-clock DF-testing study (paper Figs. 6 and 8).
+#[derive(Debug, Clone)]
+pub struct DfStudy {
+    /// The path + defect under study.
+    pub put: PathUnderTest,
+    /// Monte Carlo setup.
+    pub mc: McConfig,
+    /// Nominal flop timing.
+    pub ff: FfTiming,
+    /// Clock-uncertainty margin used for calibration (0.9 = the paper's
+    /// "no false positive even if T is decreased by 10 %").
+    pub clock_margin: f64,
+}
+
+impl DfStudy {
+    /// A study with the paper's margins.
+    pub fn new(put: PathUnderTest, mc: McConfig) -> Self {
+        DfStudy {
+            put,
+            mc,
+            ff: FfTiming::nominal(),
+            clock_margin: 0.9,
+        }
+    }
+
+    /// Per-sample draws, in a fixed order so calibration and coverage
+    /// runs see identical instances.
+    fn draw(&self, rng: &mut StdRng) -> (Vec<Tech>, FfTiming) {
+        let techs = self
+            .mc
+            .variation
+            .sample_techs(&self.put.tech, self.put.spec.len(), rng);
+        let ff = self.mc.variation.sample_ff(self.ff, rng);
+        (techs, ff)
+    }
+
+    /// Fault-free slack need (worst path delay + flop overhead) of every
+    /// Monte Carlo instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates electrical-simulation failures.
+    pub fn fault_free_needs(&self) -> Result<Vec<f64>, CoreError> {
+        collect(self.mc.driver().run(|_, rng| {
+            let (techs, ff) = self.draw(rng);
+            let mut p = self.put.instantiate_fault_free(&techs);
+            Ok(p.worst_delay()? + ff.overhead())
+        }))
+    }
+
+    /// Calibrates `T₀` per the paper: no fault-free instance fails even at
+    /// `clock_margin × T₀`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures; fails on an empty sample.
+    pub fn calibrate(&self) -> Result<DfCalibration, CoreError> {
+        calibrate_t0(&self.fault_free_needs()?, self.clock_margin)
+    }
+
+    /// Slack needs of every instance at every defect resistance:
+    /// `needs[sample][r_index]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn faulty_needs(&self, r_values: &[f64]) -> Result<Vec<Vec<f64>>, CoreError> {
+        let r_values = r_values.to_vec();
+        collect(self.mc.driver().run(move |_, rng| {
+            let (techs, ff) = self.draw(rng);
+            let mut p = self.put.instantiate(&techs, r_values[0]);
+            let mut row = Vec::with_capacity(r_values.len());
+            for &r in &r_values {
+                p.set_resistance(r)?;
+                row.push(p.worst_delay()? + ff.overhead());
+            }
+            Ok(row)
+        }))
+    }
+
+    /// Full study: `C_del(R)` curves at each `T = factor × T₀`
+    /// (the paper plots factors 0.9 / 1.0 / 1.1).
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration and simulation failures.
+    pub fn coverage(
+        &self,
+        calib: &DfCalibration,
+        r_values: &[f64],
+        t_factors: &[f64],
+    ) -> Result<Vec<CoverageCurve>, CoreError> {
+        let needs = self.faulty_needs(r_values)?;
+        Ok(t_factors
+            .iter()
+            .map(|&f| {
+                let t_test = f * calib.t0;
+                let coverage = (0..r_values.len())
+                    .map(|ri| {
+                        let detected = needs.iter().filter(|row| t_test < row[ri]).count();
+                        detected as f64 / needs.len().max(1) as f64
+                    })
+                    .collect();
+                CoverageCurve {
+                    factor: f,
+                    resistance: r_values.to_vec(),
+                    coverage,
+                }
+            })
+            .collect())
+    }
+}
+
+/// The pulse-propagation study (paper Figs. 7 and 9).
+#[derive(Debug, Clone)]
+pub struct PulseStudy {
+    /// The path + defect under study.
+    pub put: PathUnderTest,
+    /// Monte Carlo setup.
+    pub mc: McConfig,
+    /// Injected pulse polarity at the path input (the paper's kind *l*
+    /// is [`Polarity::PositiveGoing`], kind *h* is
+    /// [`Polarity::NegativeGoing`]).
+    pub polarity: Polarity,
+    /// Slope tolerance for the region-3 detection.
+    pub region_tol: f64,
+    /// Relative guard above the region-3 knee for `ω_in`.
+    pub guard: f64,
+    /// Sensor-variation margin for `ω_th⁰` (1.1 = the paper's 10 %
+    /// worst-case sensing-circuit variation).
+    pub sensor_margin: f64,
+    /// Transfer-curve sweep for calibration: `(w_lo, w_hi, points)`.
+    pub sweep: (f64, f64, usize),
+}
+
+impl PulseStudy {
+    /// A study with the paper's margins and a sweep suited to the generic
+    /// technology.
+    pub fn new(put: PathUnderTest, mc: McConfig, polarity: Polarity) -> Self {
+        PulseStudy {
+            put,
+            mc,
+            polarity,
+            region_tol: 0.08,
+            guard: 0.05,
+            sensor_margin: 1.1,
+            sweep: (60e-12, 1.2e-9, 40),
+        }
+    }
+
+    fn draw_techs(&self, rng: &mut StdRng) -> (Vec<Tech>, f64) {
+        let techs = self
+            .mc
+            .variation
+            .sample_techs(&self.put.tech, self.put.spec.len(), rng);
+        // Pulse-generator width uncertainty (paper §3, point a).
+        let gen_factor = self.mc.variation.sample_sensor(1.0, rng);
+        (techs, gen_factor)
+    }
+
+    /// The fault-free *nominal* transfer curve (the solid line of
+    /// Fig. 10), used by the region-3 rule.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn nominal_curve(&self) -> Result<TransferCurve, CoreError> {
+        let techs = vec![self.put.tech; self.put.spec.len()];
+        let mut p = self.put.instantiate_fault_free(&techs);
+        let (lo, hi, n) = self.sweep;
+        TransferCurve::measure(&mut p, self.polarity, lo, hi, n)
+    }
+
+    /// Output widths of every fault-free MC instance at injected width
+    /// `w_in` (with per-instance generator fluctuation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn fault_free_wouts(&self, w_in: f64) -> Result<Vec<f64>, CoreError> {
+        collect(self.mc.driver().run(move |_, rng| {
+            let (techs, gen_factor) = self.draw_techs(rng);
+            let mut p = self.put.instantiate_fault_free(&techs);
+            p.pulse_width_out(w_in * gen_factor, self.polarity)
+        }))
+    }
+
+    /// Like [`PulseStudy::fault_free_wouts`] but with the injected width
+    /// held exactly at `w_in` (no generator fluctuation): the Fig. 10
+    /// analysis, which isolates the *path's* response spread at a fixed
+    /// stimulus.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn fault_free_wouts_fixed_width(&self, w_in: f64) -> Result<Vec<f64>, CoreError> {
+        collect(self.mc.driver().run(move |_, rng| {
+            let (techs, _) = self.draw_techs(rng);
+            let mut p = self.put.instantiate_fault_free(&techs);
+            p.pulse_width_out(w_in, self.polarity)
+        }))
+    }
+
+    /// Calibrates `(ω_in⁰, ω_th⁰)` per the paper's rule.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the nominal curve has no asymptotic region or a
+    /// fault-free instance dampens the calibrated pulse.
+    pub fn calibrate(&self) -> Result<PulseCalibration, CoreError> {
+        let curve = self.nominal_curve()?;
+        let w_in = curve.region3_start(self.region_tol, self.guard).ok_or(
+            CoreError::EmptyCalibration {
+                what: "transfer curve asymptotic region",
+            },
+        )?;
+        let wouts = self.fault_free_wouts(w_in)?;
+        calibrate_pulse(
+            &curve,
+            &wouts,
+            self.region_tol,
+            self.guard,
+            self.sensor_margin,
+        )
+    }
+
+    /// Output widths of every instance at every resistance:
+    /// `wouts[sample][r_index]`, injecting `w_in` (per-instance generator
+    /// fluctuation included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn faulty_wouts(&self, w_in: f64, r_values: &[f64]) -> Result<Vec<Vec<f64>>, CoreError> {
+        let r_values = r_values.to_vec();
+        collect(self.mc.driver().run(move |_, rng| {
+            let (techs, gen_factor) = self.draw_techs(rng);
+            let mut p = self.put.instantiate(&techs, r_values[0]);
+            let mut row = Vec::with_capacity(r_values.len());
+            for &r in &r_values {
+                p.set_resistance(r)?;
+                row.push(p.pulse_width_out(w_in * gen_factor, self.polarity)?);
+            }
+            Ok(row)
+        }))
+    }
+
+    /// Full study: `C_pulse(R)` curves at each `ω_th = factor × ω_th⁰`
+    /// (the paper plots factors 0.9 / 1.0 / 1.1). Detection = the output
+    /// pulse is *narrower than the sensing threshold* (the sensor sees no
+    /// transition).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn coverage(
+        &self,
+        calib: &PulseCalibration,
+        r_values: &[f64],
+        th_factors: &[f64],
+    ) -> Result<Vec<CoverageCurve>, CoreError> {
+        let wouts = self.faulty_wouts(calib.w_in, r_values)?;
+        Ok(th_factors
+            .iter()
+            .map(|&f| {
+                let th = f * calib.w_th;
+                let coverage = (0..r_values.len())
+                    .map(|ri| {
+                        let detected = wouts.iter().filter(|row| row[ri] < th).count();
+                        detected as f64 / wouts.len().max(1) as f64
+                    })
+                    .collect();
+                CoverageCurve {
+                    factor: f,
+                    resistance: r_values.to_vec(),
+                    coverage,
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::DefectKind;
+    use pulsar_cells::PathSpec;
+
+    fn put() -> PathUnderTest {
+        PathUnderTest {
+            spec: PathSpec::paper_chain(),
+            defect: DefectKind::ExternalRop,
+            stage: 1,
+            tech: Tech::generic_180nm(),
+        }
+    }
+
+    fn tiny_mc() -> McConfig {
+        McConfig::paper(6, 42)
+    }
+
+    #[test]
+    fn df_calibration_admits_all_fault_free_instances() {
+        let study = DfStudy::new(put(), tiny_mc());
+        let needs = study.fault_free_needs().unwrap();
+        let cal = calibrate_t0(&needs, 0.9).unwrap();
+        for n in &needs {
+            assert!(0.9 * cal.t0 >= *n - 1e-18, "false positive at 0.9·T0");
+        }
+    }
+
+    #[test]
+    fn df_coverage_grows_with_resistance() {
+        let study = DfStudy::new(put(), tiny_mc());
+        let cal = study.calibrate().unwrap();
+        let rs = [1e3, 150e3];
+        let curves = study.coverage(&cal, &rs, &[1.0]).unwrap();
+        let c = &curves[0];
+        assert!(
+            c.coverage[1] >= c.coverage[0],
+            "coverage must not drop with R: {:?}",
+            c.coverage
+        );
+        assert!(
+            c.coverage[1] > 0.9,
+            "a 150 kΩ open must be caught by reduced-clock testing: {:?}",
+            c.coverage
+        );
+    }
+
+    #[test]
+    fn pulse_calibration_has_no_false_positives() {
+        let study = PulseStudy::new(put(), tiny_mc(), Polarity::PositiveGoing);
+        let cal = study.calibrate().unwrap();
+        let wouts = study.fault_free_wouts(cal.w_in).unwrap();
+        for w in &wouts {
+            assert!(
+                *w >= study.sensor_margin * cal.w_th - 1e-18,
+                "fault-free instance too close to threshold: w_out {w:e}, th {:e}",
+                cal.w_th
+            );
+        }
+    }
+
+    #[test]
+    fn pulse_coverage_catches_large_opens() {
+        let study = PulseStudy::new(put(), tiny_mc(), Polarity::PositiveGoing);
+        let cal = study.calibrate().unwrap();
+        let rs = [1e3, 100e3];
+        let curves = study.coverage(&cal, &rs, &[0.9, 1.0, 1.1]).unwrap();
+        assert_eq!(curves.len(), 3);
+        for c in &curves {
+            assert!(
+                c.coverage[0] < 0.5,
+                "1 kΩ is benign at factor {}: {:?}",
+                c.factor,
+                c.coverage
+            );
+            assert!(
+                c.coverage[1] > 0.9,
+                "100 kΩ must dampen at factor {}: {:?}",
+                c.factor,
+                c.coverage
+            );
+        }
+        // Higher threshold factor ⇒ (weakly) more coverage.
+        assert!(curves[2].coverage[1] >= curves[0].coverage[1] - 1e-12);
+    }
+}

@@ -1,0 +1,231 @@
+//! The pulse-width transfer characterization `w_out = f_p(w_in)` and the
+//! region-3 rule (paper §5, Fig. 10).
+
+use crate::engine::PathInstance;
+use crate::error::CoreError;
+use pulsar_analog::Polarity;
+
+/// The three regions of a path's pulse-width transfer curve (Fig. 10):
+/// complete dampening, a fluctuation-sensitive attenuation band, and the
+/// asymptotic (slope-one) region where test points belong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Region {
+    /// The input pulse never reaches the output.
+    Dampened,
+    /// The output pulse exists but is attenuated — very sensitive to
+    /// parameter fluctuations, to be avoided when picking `ω_in`.
+    Attenuation,
+    /// Width-preserving (slope ≈ 1) region.
+    Asymptotic,
+}
+
+/// A sampled transfer curve `w_out = f_p(w_in)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferCurve {
+    /// Injected widths, strictly increasing, seconds.
+    pub w_in: Vec<f64>,
+    /// Measured output widths (0.0 = dampened), seconds.
+    pub w_out: Vec<f64>,
+}
+
+impl TransferCurve {
+    /// Measures the curve on `path` by sweeping `points` widths linearly
+    /// over `[w_lo, w_hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine failures; rejects an empty or inverted sweep.
+    pub fn measure(
+        path: &mut dyn PathInstance,
+        polarity: Polarity,
+        w_lo: f64,
+        w_hi: f64,
+        points: usize,
+    ) -> Result<TransferCurve, CoreError> {
+        let degenerate =
+            points < 2 || !w_lo.is_finite() || !w_hi.is_finite() || w_lo <= 0.0 || w_hi <= w_lo;
+        if degenerate {
+            return Err(CoreError::EmptyCalibration {
+                what: "transfer sweep",
+            });
+        }
+        let mut w_in = Vec::with_capacity(points);
+        let mut w_out = Vec::with_capacity(points);
+        for k in 0..points {
+            let w = w_lo + (w_hi - w_lo) * k as f64 / (points - 1) as f64;
+            w_in.push(w);
+            w_out.push(path.pulse_width_out(w, polarity)?);
+        }
+        Ok(TransferCurve { w_in, w_out })
+    }
+
+    /// Classifies one sweep point.
+    ///
+    /// A point is `Asymptotic` when its local slope — and that of every
+    /// later point — stays within `tol` of 1; `Dampened` when the output
+    /// is zero; `Attenuation` otherwise.
+    pub fn region_of(&self, idx: usize, tol: f64) -> Region {
+        if self.w_out[idx] == 0.0 {
+            return Region::Dampened;
+        }
+        match self.region3_index(tol) {
+            Some(start) if idx >= start => Region::Asymptotic,
+            _ => Region::Attenuation,
+        }
+    }
+
+    /// Index of the first sweep point inside region 3, if any: from there
+    /// on, every local slope is ≥ `1 − tol` and the output is non-zero.
+    pub fn region3_index(&self, tol: f64) -> Option<usize> {
+        let n = self.w_in.len();
+        if n < 2 {
+            return None;
+        }
+        // Walk backward while the slope stays asymptotic.
+        let mut start = n;
+        for i in (1..n).rev() {
+            if self.w_out[i] == 0.0 || self.w_out[i - 1] == 0.0 {
+                break;
+            }
+            let slope = (self.w_out[i] - self.w_out[i - 1]) / (self.w_in[i] - self.w_in[i - 1]);
+            if slope >= 1.0 - tol && slope <= 1.0 + tol {
+                start = i - 1;
+            } else {
+                break;
+            }
+        }
+        if start < self.w_in.len() {
+            Some(start)
+        } else {
+            None
+        }
+    }
+
+    /// The paper's §5 rule: `ω_in` should sit **at the beginning of
+    /// region 3**, where the transfer is width-preserving but the pulse is
+    /// as narrow (= as sensitive to defects) as robustness allows.
+    /// `guard` is a relative margin (e.g. 0.05 → 5 % above the knee).
+    pub fn region3_start(&self, tol: f64, guard: f64) -> Option<f64> {
+        self.region3_index(tol)
+            .map(|i| self.w_in[i] * (1.0 + guard))
+    }
+
+    /// Interpolated output width at an arbitrary `w`, clamped to the
+    /// sweep's ends.
+    pub fn output_at(&self, w: f64) -> f64 {
+        if w <= self.w_in[0] {
+            return self.w_out[0];
+        }
+        if w >= *self.w_in.last().expect("non-empty") {
+            return *self.w_out.last().expect("non-empty");
+        }
+        let idx = self.w_in.partition_point(|&x| x < w);
+        let (x0, x1) = (self.w_in[idx - 1], self.w_in[idx]);
+        let (y0, y1) = (self.w_out[idx - 1], self.w_out[idx]);
+        y0 + (y1 - y0) * (w - x0) / (x1 - x0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{ModelFault, ModelPath};
+    use pulsar_timing::{GateTimingModel, PathElement, PathTimingModel};
+
+    fn chain(n: usize) -> ModelPath {
+        let inv = GateTimingModel::new(95e-12, 75e-12, 70e-12, 260e-12);
+        let m = PathTimingModel::new(vec![
+            PathElement::Gate {
+                model: inv,
+                inverting: true,
+                slow_rise: 0.0,
+                slow_fall: 0.0
+            };
+            n
+        ]);
+        ModelPath::new(m, None, 0.0)
+    }
+
+    #[test]
+    fn curve_shows_three_regions() {
+        let mut p = chain(7);
+        let c =
+            TransferCurve::measure(&mut p, Polarity::PositiveGoing, 50e-12, 1.2e-9, 60).unwrap();
+        // Early points dampened, late points asymptotic.
+        assert_eq!(c.region_of(0, 0.05), Region::Dampened);
+        assert_eq!(c.region_of(c.w_in.len() - 1, 0.05), Region::Asymptotic);
+        // And some attenuation in between.
+        let has_attenuation =
+            (0..c.w_in.len()).any(|i| c.region_of(i, 0.05) == Region::Attenuation);
+        assert!(has_attenuation, "curve: {:?}", c.w_out);
+    }
+
+    #[test]
+    fn region3_start_is_past_all_dampened_points() {
+        let mut p = chain(7);
+        let c =
+            TransferCurve::measure(&mut p, Polarity::PositiveGoing, 50e-12, 1.2e-9, 60).unwrap();
+        let w = c
+            .region3_start(0.05, 0.05)
+            .expect("a healthy chain has region 3");
+        // Everything dampened must be strictly below the chosen width.
+        for (win, wout) in c.w_in.iter().zip(&c.w_out) {
+            if *wout == 0.0 {
+                assert!(*win < w);
+            }
+        }
+        // And the chosen width itself must pass.
+        let mut p2 = chain(7);
+        assert!(p2.pulse_width_out(w, Polarity::PositiveGoing).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn faulty_path_shifts_the_knee_right() {
+        let mut clean = chain(7);
+        let c_clean =
+            TransferCurve::measure(&mut clean, Polarity::PositiveGoing, 50e-12, 2e-9, 80).unwrap();
+        let mf = ModelFault::RcAfter {
+            stage: 1,
+            c_branch: 13e-15,
+        };
+        let healthy = clean.model().clone();
+        let mut faulty = ModelPath::new(healthy, Some(mf), 30e3);
+        let c_faulty =
+            TransferCurve::measure(&mut faulty, Polarity::PositiveGoing, 50e-12, 2e-9, 80).unwrap();
+        let k_clean = c_clean.region3_start(0.05, 0.0).unwrap();
+        let k_faulty = c_faulty.region3_start(0.05, 0.0).unwrap();
+        assert!(
+            k_faulty > k_clean,
+            "a 30 kΩ external ROP must move the knee: {k_clean:e} → {k_faulty:e}"
+        );
+    }
+
+    #[test]
+    fn output_at_interpolates() {
+        let c = TransferCurve {
+            w_in: vec![1.0, 2.0, 3.0],
+            w_out: vec![0.0, 1.0, 2.0],
+        };
+        assert_eq!(c.output_at(0.5), 0.0);
+        assert_eq!(c.output_at(1.5), 0.5);
+        assert_eq!(c.output_at(9.0), 2.0);
+    }
+
+    #[test]
+    fn degenerate_sweeps_are_rejected() {
+        let mut p = chain(3);
+        assert!(TransferCurve::measure(&mut p, Polarity::PositiveGoing, 1e-10, 1e-10, 5).is_err());
+        assert!(TransferCurve::measure(&mut p, Polarity::PositiveGoing, 1e-10, 1e-9, 1).is_err());
+        assert!(TransferCurve::measure(&mut p, Polarity::PositiveGoing, -1.0, 1e-9, 5).is_err());
+    }
+
+    #[test]
+    fn fully_dampened_curve_has_no_region3() {
+        let c = TransferCurve {
+            w_in: vec![1e-10, 2e-10, 3e-10],
+            w_out: vec![0.0, 0.0, 0.0],
+        };
+        assert_eq!(c.region3_index(0.05), None);
+        assert_eq!(c.region3_start(0.05, 0.05), None);
+    }
+}

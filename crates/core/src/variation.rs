@@ -1,0 +1,187 @@
+//! Process-variation sampling for Monte Carlo instances (paper §4: normal
+//! distribution of the main circuit parameters, 10 % standard deviation).
+
+use crate::df::FfTiming;
+use pulsar_cells::Tech;
+use pulsar_mc::Gaussian;
+use rand::Rng;
+
+/// How one Monte Carlo circuit instance deviates from nominal.
+///
+/// Each on-path gate gets independently fluctuated drive strength (`kp`),
+/// thresholds (`vt`) and capacitive loading — the **within-die** part —
+/// optionally on top of one shared **die-to-die** factor per instance
+/// (the decomposition of the paper's ref.\[8\], Bowman et al.). The
+/// launch/capture flops and the sensing circuit fluctuate too. Factors
+/// are clamped to ±4σ to keep devices physical under extreme draws.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationModel {
+    /// Within-die relative standard deviation, applied independently per
+    /// gate and parameter (the paper uses 0.10 total).
+    pub sigma: f64,
+    /// Die-to-die relative standard deviation: one shared factor per
+    /// Monte Carlo instance, multiplying every gate's parameters.
+    pub sigma_d2d: f64,
+}
+
+impl VariationModel {
+    /// The paper's 10 % setting, all within-die.
+    pub fn paper() -> Self {
+        VariationModel {
+            sigma: 0.10,
+            sigma_d2d: 0.0,
+        }
+    }
+
+    /// A Bowman-style split: 7 % within-die plus 7 % die-to-die
+    /// (≈ 10 % total per gate, but correlated across each die).
+    pub fn paper_d2d() -> Self {
+        VariationModel {
+            sigma: 0.07,
+            sigma_d2d: 0.07,
+        }
+    }
+
+    /// No fluctuation at all: every sample is the nominal instance.
+    pub fn nominal_only() -> Self {
+        VariationModel {
+            sigma: 0.0,
+            sigma_d2d: 0.0,
+        }
+    }
+
+    fn factor_with<R: Rng + ?Sized>(rng: &mut R, sigma: f64) -> f64 {
+        let lo = (1.0 - 4.0 * sigma).max(0.05);
+        let hi = 1.0 + 4.0 * sigma;
+        Gaussian::new(1.0, sigma).sample_clamped(rng, lo, hi)
+    }
+
+    fn factor<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        Self::factor_with(rng, self.sigma)
+    }
+
+    /// Draws `n` per-stage technology instances around `base`. The first
+    /// draw is the instance's die factor (1.0 exactly when `sigma_d2d`
+    /// is zero), shared by all stages.
+    pub fn sample_techs<R: Rng + ?Sized>(&self, base: &Tech, n: usize, rng: &mut R) -> Vec<Tech> {
+        let die = if self.sigma_d2d > 0.0 {
+            Self::factor_with(rng, self.sigma_d2d)
+        } else {
+            1.0
+        };
+        (0..n)
+            .map(|_| {
+                base.scaled(
+                    die * self.factor(rng),
+                    die * self.factor(rng),
+                    die * self.factor(rng),
+                )
+            })
+            .collect()
+    }
+
+    /// Draws a fluctuated flop-timing instance around `nominal`.
+    pub fn sample_ff<R: Rng + ?Sized>(&self, nominal: FfTiming, rng: &mut R) -> FfTiming {
+        FfTiming {
+            tau_cq: nominal.tau_cq * self.factor(rng),
+            tau_dc: nominal.tau_dc * self.factor(rng),
+        }
+    }
+
+    /// Draws a fluctuated sensing threshold around `w_th` (the paper's
+    /// "uncertainties in the timing of the sensing circuit").
+    pub fn sample_sensor<R: Rng + ?Sized>(&self, w_th: f64, rng: &mut R) -> f64 {
+        w_th * self.factor(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_reproduces_nominal() {
+        let v = VariationModel::nominal_only();
+        let mut rng = StdRng::seed_from_u64(1);
+        let base = Tech::generic_180nm();
+        for t in v.sample_techs(&base, 5, &mut rng) {
+            assert_eq!(t, base);
+        }
+        let ff = v.sample_ff(FfTiming::nominal(), &mut rng);
+        assert_eq!(ff, FfTiming::nominal());
+        assert_eq!(v.sample_sensor(1e-10, &mut rng), 1e-10);
+    }
+
+    #[test]
+    fn paper_sigma_spreads_parameters() {
+        let v = VariationModel::paper();
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = Tech::generic_180nm();
+        let techs = v.sample_techs(&base, 200, &mut rng);
+        let kps: Vec<f64> = techs.iter().map(|t| t.kp_n / base.kp_n).collect();
+        let mean = kps.iter().sum::<f64>() / kps.len() as f64;
+        let sd = (kps.iter().map(|k| (k - mean).powi(2)).sum::<f64>() / kps.len() as f64).sqrt();
+        assert!((mean - 1.0).abs() < 0.03, "mean factor {mean}");
+        assert!((sd - 0.10).abs() < 0.03, "sd {sd}");
+        // All factors physical.
+        assert!(kps.iter().all(|k| *k > 0.05));
+    }
+
+    #[test]
+    fn stages_fluctuate_independently() {
+        let v = VariationModel::paper();
+        let mut rng = StdRng::seed_from_u64(3);
+        let techs = v.sample_techs(&Tech::generic_180nm(), 3, &mut rng);
+        assert_ne!(techs[0], techs[1]);
+        assert_ne!(techs[1], techs[2]);
+    }
+
+    #[test]
+    fn d2d_correlates_gates_within_an_instance() {
+        // With a pure die-to-die model, every gate of one instance shares
+        // the same factor, and instances differ from each other.
+        let v = VariationModel {
+            sigma: 0.0,
+            sigma_d2d: 0.10,
+        };
+        let base = Tech::generic_180nm();
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let die_a = v.sample_techs(&base, 4, &mut rng_a);
+        for t in &die_a[1..] {
+            assert_eq!(*t, die_a[0], "zero WID sigma means identical gates per die");
+        }
+        let mut rng_b = StdRng::seed_from_u64(12);
+        let die_b = v.sample_techs(&base, 4, &mut rng_b);
+        assert_ne!(die_a[0], die_b[0], "different dies must differ");
+    }
+
+    #[test]
+    fn d2d_split_increases_path_delay_correlation() {
+        // Sum of per-gate kp factors: variance grows faster under D2D
+        // (correlated) than under the same total sigma i.i.d.
+        let base = Tech::generic_180nm();
+        let n_gates = 7;
+        let runs = 400;
+        let spread = |v: VariationModel, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let sums: Vec<f64> = (0..runs)
+                .map(|_| {
+                    v.sample_techs(&base, n_gates, &mut rng)
+                        .iter()
+                        .map(|t| t.kp_n / base.kp_n)
+                        .sum::<f64>()
+                })
+                .collect();
+            let m = sums.iter().sum::<f64>() / runs as f64;
+            (sums.iter().map(|s| (s - m).powi(2)).sum::<f64>() / runs as f64).sqrt()
+        };
+        let wid_only = spread(VariationModel::paper(), 5);
+        let with_d2d = spread(VariationModel::paper_d2d(), 5);
+        assert!(
+            with_d2d > wid_only,
+            "correlated variation must spread path sums more: {with_d2d:.3} vs {wid_only:.3}"
+        );
+    }
+}

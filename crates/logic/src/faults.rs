@@ -1,0 +1,199 @@
+//! Fault-site enumeration and structural collapsing for external
+//! resistive opens.
+//!
+//! Every net (primary input or gate output) is a candidate site for a
+//! resistive via/break on its fan-out. Many sites are *path-equivalent*:
+//! the exact same set of PI→PO paths runs through them, so one test plan
+//! covers the whole group. The classic example is a chain of single-input
+//! gates with single fan-out — an open anywhere along the chain dampens
+//! the same pulses. Collapsing these groups shrinks the campaign workload
+//! without losing coverage.
+
+use crate::netlist::{Netlist, SignalId};
+
+/// A group of path-equivalent external-ROP sites; testing the
+/// representative covers every member.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultGroup {
+    /// The site test generation should target (the group's last net,
+    /// which sees the most accumulated wire on real layouts).
+    pub representative: SignalId,
+    /// All member sites, in topological order along the chain.
+    pub members: Vec<SignalId>,
+}
+
+/// Enumerates all external-ROP fault sites of `nl` and collapses
+/// path-equivalent ones.
+///
+/// The collapsing rule is structural and conservative: net `a` merges
+/// with net `b` when `b` is the output of a **single-input** gate whose
+/// only fan-out consumer reads `a`, and `a` has fan-out one. Under that
+/// condition every PI→PO path through `a` continues through `b` and vice
+/// versa, so their through-path sets coincide exactly.
+pub fn collapsed_fault_sites(nl: &Netlist) -> Vec<FaultGroup> {
+    let fanouts = nl.fanouts();
+    let mut is_po = vec![false; nl.signal_count()];
+    for &o in nl.outputs() {
+        is_po[o.index()] = true;
+    }
+    // next[s] = the signal s merges forward into, if any. A primary
+    // output never merges forward: paths *terminating* at it pass through
+    // it but not through its consumer.
+    let mut next: Vec<Option<SignalId>> = vec![None; nl.signal_count()];
+    for (idx, fo) in fanouts.iter().enumerate() {
+        if fo.len() != 1 || is_po[idx] {
+            continue;
+        }
+        let (gate, _) = fo[0];
+        let g = nl.gate(gate);
+        if g.inputs.len() == 1 {
+            next[idx] = Some(g.output);
+        }
+    }
+
+    // Heads: sites nobody merges into.
+    let mut is_tail = vec![false; nl.signal_count()];
+    for n in next.iter().flatten() {
+        is_tail[n.index()] = true;
+    }
+
+    let mut groups = Vec::new();
+    let all_sites = nl
+        .inputs()
+        .iter()
+        .copied()
+        .chain(nl.gates().iter().map(|g| g.output));
+    for site in all_sites {
+        if is_tail[site.index()] {
+            continue; // appears inside another group
+        }
+        let mut members = vec![site];
+        let mut cur = site;
+        while let Some(n) = next[cur.index()] {
+            members.push(n);
+            cur = n;
+        }
+        groups.push(FaultGroup {
+            representative: cur,
+            members,
+        });
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchgen::c432_like;
+    use crate::netlist::GateKind;
+    use crate::paths::enumerate_paths;
+
+    #[test]
+    fn buffer_chain_collapses_to_one_group() {
+        // a → NOT → BUF → NOT → y : all four nets path-equivalent.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let g0 = nl.add_gate(GateKind::Not, &[a], "g0").unwrap();
+        let g1 = nl.add_gate(GateKind::Buf, &[g0], "g1").unwrap();
+        let y = nl.add_gate(GateKind::Not, &[g1], "y").unwrap();
+        nl.mark_output(y);
+
+        let groups = collapsed_fault_sites(&nl);
+        assert_eq!(groups.len(), 1, "{groups:?}");
+        assert_eq!(groups[0].members, vec![a, g0, g1, y]);
+        assert_eq!(groups[0].representative, y);
+    }
+
+    #[test]
+    fn fanout_breaks_the_chain() {
+        // a → NOT → (BUF, NOT): the stem has two consumers, so the chain
+        // stops there.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let g0 = nl.add_gate(GateKind::Not, &[a], "g0").unwrap();
+        let g1 = nl.add_gate(GateKind::Buf, &[g0], "g1").unwrap();
+        let g2 = nl.add_gate(GateKind::Not, &[g0], "g2").unwrap();
+        nl.mark_output(g1);
+        nl.mark_output(g2);
+
+        let groups = collapsed_fault_sites(&nl);
+        // a+g0 merge; g1 and g2 stand alone.
+        assert_eq!(groups.len(), 3);
+        let with_a = groups.iter().find(|g| g.members.contains(&a)).unwrap();
+        assert_eq!(with_a.members, vec![a, g0]);
+    }
+
+    #[test]
+    fn multi_input_gates_do_not_merge() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g = nl.add_gate(GateKind::Nand, &[a, b], "g").unwrap();
+        nl.mark_output(g);
+        let groups = collapsed_fault_sites(&nl);
+        assert_eq!(groups.len(), 3, "a, b, g all separate: {groups:?}");
+    }
+
+    #[test]
+    fn collapsed_members_share_their_path_sets() {
+        // Verify the equivalence claim on a mixed circuit: every member
+        // of every group sees exactly the representative's path set.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let g0 = nl.add_gate(GateKind::Nand, &[a, b], "g0").unwrap();
+        let g1 = nl.add_gate(GateKind::Not, &[g0], "g1").unwrap();
+        let g2 = nl.add_gate(GateKind::Buf, &[g1], "g2").unwrap();
+        let g3 = nl.add_gate(GateKind::Nor, &[g2, b], "g3").unwrap();
+        nl.mark_output(g3);
+
+        for group in collapsed_fault_sites(&nl) {
+            let rep_paths = enumerate_paths(&nl, Some(group.representative), 1000).unwrap();
+            for m in &group.members {
+                let m_paths = enumerate_paths(&nl, Some(*m), 1000).unwrap();
+                assert_eq!(
+                    m_paths,
+                    rep_paths,
+                    "member {} differs from representative",
+                    nl.signal_name(*m)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn primary_outputs_do_not_merge_forward() {
+        // g0 is both a PO and feeds a NOT: the degenerate path ending at
+        // g0 passes through g0 but not g1, so they must stay separate.
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let g0 = nl.add_gate(GateKind::Not, &[a], "g0").unwrap();
+        let g1 = nl.add_gate(GateKind::Not, &[g0], "g1").unwrap();
+        nl.mark_output(g0);
+        nl.mark_output(g1);
+
+        let groups = collapsed_fault_sites(&nl);
+        let with_g0 = groups.iter().find(|g| g.members.contains(&g0)).unwrap();
+        assert!(
+            !with_g0.members.contains(&g1),
+            "PO must terminate its group: {groups:?}"
+        );
+        // And the equivalence invariant still holds for every group.
+        for group in &groups {
+            let rep_paths = enumerate_paths(&nl, Some(group.representative), 1000).unwrap();
+            for m in &group.members {
+                assert_eq!(enumerate_paths(&nl, Some(*m), 1000).unwrap(), rep_paths);
+            }
+        }
+    }
+
+    #[test]
+    fn collapsing_shrinks_the_benchmark_fault_list() {
+        let nl = c432_like();
+        let total = nl.inputs().len() + nl.gate_count();
+        let groups = collapsed_fault_sites(&nl);
+        assert!(groups.len() < total, "benchmark has NOT gates to collapse");
+        let members: usize = groups.iter().map(|g| g.members.len()).sum();
+        assert_eq!(members, total, "every site appears in exactly one group");
+    }
+}

@@ -1,0 +1,461 @@
+//! Combinational gate-level netlist.
+
+use crate::error::LogicError;
+
+/// Handle to a signal (a primary input or a gate output).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SignalId(pub(crate) usize);
+
+impl SignalId {
+    /// Raw index into the netlist's signal tables.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Handle to a gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(pub(crate) usize);
+
+impl GateId {
+    /// Raw index into the netlist's gate table.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Boolean gate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Logical AND (≥ 1 input).
+    And,
+    /// Inverted AND.
+    Nand,
+    /// Logical OR.
+    Or,
+    /// Inverted OR.
+    Nor,
+    /// Inverter (exactly 1 input).
+    Not,
+    /// Buffer (exactly 1 input).
+    Buf,
+    /// Parity (≥ 1 input).
+    Xor,
+    /// Inverted parity.
+    Xnor,
+}
+
+impl GateKind {
+    /// Whether an input edge inverts on its way to the output when all
+    /// side inputs are held non-controlling (for XOR-family, side = 0).
+    pub fn inverts(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Not | GateKind::Xnor
+        )
+    }
+
+    /// Controlling input value, if the kind has one (`None` for
+    /// XOR-family and single-input gates).
+    pub fn controlling(self) -> Option<bool> {
+        match self {
+            GateKind::And | GateKind::Nand => Some(false),
+            GateKind::Or | GateKind::Nor => Some(true),
+            GateKind::Not | GateKind::Buf | GateKind::Xor | GateKind::Xnor => None,
+        }
+    }
+
+    /// The value side inputs must take for a path through this gate to be
+    /// sensitized: the non-controlling value, or 0 for the XOR family
+    /// (which makes XOR transparent and XNOR inverting).
+    pub fn side_input_value(self) -> bool {
+        match self.controlling() {
+            Some(c) => !c,
+            None => false,
+        }
+    }
+
+    /// Evaluates the gate over bit-parallel input words.
+    pub fn eval_words(self, inputs: &[u64]) -> u64 {
+        let mut acc = match self {
+            GateKind::And | GateKind::Nand => u64::MAX,
+            GateKind::Or | GateKind::Nor | GateKind::Xor | GateKind::Xnor => 0,
+            GateKind::Not | GateKind::Buf => inputs[0],
+        };
+        match self {
+            GateKind::And | GateKind::Nand => {
+                for w in inputs {
+                    acc &= w;
+                }
+            }
+            GateKind::Or | GateKind::Nor => {
+                for w in inputs {
+                    acc |= w;
+                }
+            }
+            GateKind::Xor | GateKind::Xnor => {
+                for w in inputs {
+                    acc ^= w;
+                }
+            }
+            GateKind::Not | GateKind::Buf => {}
+        }
+        if self.inverts_output() {
+            !acc
+        } else {
+            acc
+        }
+    }
+
+    fn inverts_output(self) -> bool {
+        matches!(
+            self,
+            GateKind::Nand | GateKind::Nor | GateKind::Not | GateKind::Xnor
+        )
+    }
+
+    /// Canonical upper-case name (ISCAS-85 spelling).
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Not => "NOT",
+            GateKind::Buf => "BUF",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+        }
+    }
+
+    /// Validates a pin count for this kind.
+    pub(crate) fn check_arity(self, pins: usize) -> Result<(), LogicError> {
+        let ok = match self {
+            GateKind::Not | GateKind::Buf => pins == 1,
+            _ => pins >= 1,
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(LogicError::BadArity {
+                kind: self.name(),
+                pins,
+            })
+        }
+    }
+}
+
+/// One gate instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Gate {
+    /// Boolean function.
+    pub kind: GateKind,
+    /// Input signals, in pin order.
+    pub inputs: Vec<SignalId>,
+    /// Driven output signal.
+    pub output: SignalId,
+}
+
+/// A combinational netlist: primary inputs, gates, primary outputs.
+///
+/// Signals are created by [`Netlist::add_input`] and [`Netlist::add_gate`];
+/// the structure is append-only. Use [`Netlist::topological_order`] to
+/// check for combinational loops before simulating.
+#[derive(Debug, Clone, Default)]
+pub struct Netlist {
+    names: Vec<String>,
+    /// Per signal: the driving gate, if any (primary inputs have none).
+    drivers: Vec<Option<GateId>>,
+    gates: Vec<Gate>,
+    inputs: Vec<SignalId>,
+    outputs: Vec<SignalId>,
+}
+
+impl Netlist {
+    /// An empty netlist.
+    pub fn new() -> Self {
+        Netlist::default()
+    }
+
+    /// Declares a primary input and returns its signal.
+    pub fn add_input(&mut self, name: impl Into<String>) -> SignalId {
+        let s = SignalId(self.names.len());
+        self.names.push(name.into());
+        self.drivers.push(None);
+        self.inputs.push(s);
+        s
+    }
+
+    /// Adds a gate driving a fresh signal named `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::BadArity`] if the pin count does not fit the kind.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an input handle does not belong to this netlist.
+    pub fn add_gate(
+        &mut self,
+        kind: GateKind,
+        inputs: &[SignalId],
+        name: impl Into<String>,
+    ) -> Result<SignalId, LogicError> {
+        kind.check_arity(inputs.len())?;
+        for i in inputs {
+            assert!(
+                i.0 < self.names.len(),
+                "input signal {} not in this netlist",
+                i.0
+            );
+        }
+        let out = SignalId(self.names.len());
+        self.names.push(name.into());
+        let gid = GateId(self.gates.len());
+        self.drivers.push(Some(gid));
+        self.gates.push(Gate {
+            kind,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
+        Ok(out)
+    }
+
+    /// Marks a signal as a primary output (idempotent).
+    pub fn mark_output(&mut self, s: SignalId) {
+        if !self.outputs.contains(&s) {
+            self.outputs.push(s);
+        }
+    }
+
+    /// All primary inputs, in declaration order.
+    pub fn inputs(&self) -> &[SignalId] {
+        &self.inputs
+    }
+
+    /// All primary outputs, in declaration order.
+    pub fn outputs(&self) -> &[SignalId] {
+        &self.outputs
+    }
+
+    /// All gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate driving `s`, or `None` for a primary input.
+    pub fn driver(&self, s: SignalId) -> Option<&Gate> {
+        self.drivers[s.0].map(|g| &self.gates[g.0])
+    }
+
+    /// The id of the gate driving `s`, if any.
+    pub fn driver_id(&self, s: SignalId) -> Option<GateId> {
+        self.drivers[s.0]
+    }
+
+    /// Gate by id.
+    pub fn gate(&self, g: GateId) -> &Gate {
+        &self.gates[g.0]
+    }
+
+    /// Name of a signal.
+    pub fn signal_name(&self, s: SignalId) -> &str {
+        &self.names[s.0]
+    }
+
+    /// Looks up a signal by name.
+    pub fn find_signal(&self, name: &str) -> Option<SignalId> {
+        self.names.iter().position(|n| n == name).map(SignalId)
+    }
+
+    /// Total number of signals (inputs + gate outputs).
+    pub fn signal_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Per-signal list of (gate, pin) pairs reading it.
+    pub fn fanouts(&self) -> Vec<Vec<(GateId, usize)>> {
+        let mut out = vec![Vec::new(); self.names.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for (pin, s) in g.inputs.iter().enumerate() {
+                out[s.0].push((GateId(gi), pin));
+            }
+        }
+        out
+    }
+
+    /// Gates in topological (input-to-output) order.
+    ///
+    /// # Errors
+    ///
+    /// [`LogicError::CombinationalLoop`] when the structure is cyclic.
+    /// (Loops cannot be built through the public construction API, which
+    /// is append-only, but parsed netlists may contain them.)
+    pub fn topological_order(&self) -> Result<Vec<GateId>, LogicError> {
+        // Kahn's algorithm over gates.
+        let mut indeg = vec![0usize; self.gates.len()];
+        for (gi, g) in self.gates.iter().enumerate() {
+            for s in &g.inputs {
+                if self.drivers[s.0].is_some() {
+                    indeg[gi] += 1;
+                }
+            }
+        }
+        let fanouts = self.fanouts();
+        let mut queue: Vec<GateId> = indeg
+            .iter()
+            .enumerate()
+            .filter(|&(_, d)| *d == 0)
+            .map(|(i, _)| GateId(i))
+            .collect();
+        let mut order = Vec::with_capacity(self.gates.len());
+        while let Some(g) = queue.pop() {
+            order.push(g);
+            let out = self.gates[g.0].output;
+            for &(succ, _) in &fanouts[out.0] {
+                indeg[succ.0] -= 1;
+                if indeg[succ.0] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        if order.len() == self.gates.len() {
+            Ok(order)
+        } else {
+            let stuck = indeg
+                .iter()
+                .position(|&d| d > 0)
+                .map(|i| self.names[self.gates[i].output.0].clone())
+                .unwrap_or_default();
+            Err(LogicError::CombinationalLoop { signal: stuck })
+        }
+    }
+
+    /// Logic depth of every signal (0 for PIs), and the maximum depth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`LogicError::CombinationalLoop`].
+    pub fn depths(&self) -> Result<(Vec<usize>, usize), LogicError> {
+        let order = self.topological_order()?;
+        let mut depth = vec![0usize; self.names.len()];
+        let mut max = 0;
+        for g in order {
+            let gate = &self.gates[g.0];
+            let d = gate.inputs.iter().map(|s| depth[s.0]).max().unwrap_or(0) + 1;
+            depth[gate.output.0] = d;
+            max = max.max(d);
+        }
+        Ok((depth, max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> (Netlist, SignalId, SignalId, SignalId, SignalId) {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        let n = nl.add_gate(GateKind::Nand, &[a, b], "n").unwrap();
+        let o = nl.add_gate(GateKind::Not, &[n], "o").unwrap();
+        nl.mark_output(o);
+        (nl, a, b, n, o)
+    }
+
+    #[test]
+    fn construction_and_lookup() {
+        let (nl, a, _b, n, o) = small();
+        assert_eq!(nl.inputs().len(), 2);
+        assert_eq!(nl.outputs(), &[o]);
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.signal_name(a), "a");
+        assert_eq!(nl.find_signal("n"), Some(n));
+        assert!(nl.driver(a).is_none());
+        assert_eq!(nl.driver(o).unwrap().kind, GateKind::Not);
+    }
+
+    #[test]
+    fn mark_output_is_idempotent() {
+        let (mut nl, _, _, _, o) = small();
+        nl.mark_output(o);
+        assert_eq!(nl.outputs().len(), 1);
+    }
+
+    #[test]
+    fn topological_order_is_valid() {
+        let (nl, ..) = small();
+        let order = nl.topological_order().unwrap();
+        assert_eq!(order.len(), 2);
+        // The NAND (gate 0) must precede the NOT (gate 1).
+        assert_eq!(order[0].index(), 0);
+    }
+
+    #[test]
+    fn depths_count_levels() {
+        let (nl, a, _, n, o) = small();
+        let (d, max) = nl.depths().unwrap();
+        assert_eq!(d[a.index()], 0);
+        assert_eq!(d[n.index()], 1);
+        assert_eq!(d[o.index()], 2);
+        assert_eq!(max, 2);
+    }
+
+    #[test]
+    fn fanouts_track_pins() {
+        let (nl, a, b, n, _) = small();
+        let f = nl.fanouts();
+        assert_eq!(f[a.index()], vec![(GateId(0), 0)]);
+        assert_eq!(f[b.index()], vec![(GateId(0), 1)]);
+        assert_eq!(f[n.index()], vec![(GateId(1), 0)]);
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let mut nl = Netlist::new();
+        let a = nl.add_input("a");
+        let b = nl.add_input("b");
+        assert!(matches!(
+            nl.add_gate(GateKind::Not, &[a, b], "x"),
+            Err(LogicError::BadArity { .. })
+        ));
+        assert!(matches!(
+            nl.add_gate(GateKind::And, &[], "y"),
+            Err(LogicError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn gate_kind_tables() {
+        assert!(GateKind::Nand.inverts());
+        assert!(!GateKind::And.inverts());
+        assert!(GateKind::Xnor.inverts());
+        assert_eq!(GateKind::And.controlling(), Some(false));
+        assert_eq!(GateKind::Nor.controlling(), Some(true));
+        assert_eq!(GateKind::Xor.controlling(), None);
+        assert!(GateKind::Nand.side_input_value());
+        assert!(!GateKind::Nor.side_input_value());
+        assert!(!GateKind::Xor.side_input_value());
+    }
+
+    #[test]
+    fn eval_words_truth_tables() {
+        // Two inputs over 4 bit-lanes: a = 0b0011, b = 0b0101.
+        let a = 0b0011u64;
+        let b = 0b0101u64;
+        assert_eq!(GateKind::And.eval_words(&[a, b]) & 0xF, 0b0001);
+        assert_eq!(GateKind::Nand.eval_words(&[a, b]) & 0xF, 0b1110);
+        assert_eq!(GateKind::Or.eval_words(&[a, b]) & 0xF, 0b0111);
+        assert_eq!(GateKind::Nor.eval_words(&[a, b]) & 0xF, 0b1000);
+        assert_eq!(GateKind::Xor.eval_words(&[a, b]) & 0xF, 0b0110);
+        assert_eq!(GateKind::Xnor.eval_words(&[a, b]) & 0xF, 0b1001);
+        assert_eq!(GateKind::Not.eval_words(&[a]) & 0xF, 0b1100);
+        assert_eq!(GateKind::Buf.eval_words(&[a]) & 0xF, 0b0011);
+    }
+}

@@ -1,0 +1,182 @@
+//! Deterministic, parallel Monte Carlo fan-out.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs `n` independent Monte Carlo samples of a closure, in parallel,
+/// with per-sample RNG streams derived deterministically from a master
+/// seed.
+///
+/// Sample `i` always receives `StdRng::seed_from_u64(mix(seed, i))`, so
+/// results are bit-identical across thread counts and runs — essential for
+/// the paper's methodology, where the *same* circuit instances must be
+/// simulated fault-free (to calibrate the test) and faulty (to measure
+/// coverage).
+///
+/// # Example
+///
+/// ```
+/// use pulsar_mc::MonteCarlo;
+///
+/// let mc = MonteCarlo::new(16, 99);
+/// let a = mc.run(|i, _rng| i * 2);
+/// let b = mc.run(|i, _rng| i * 2);
+/// assert_eq!(a, b);
+/// assert_eq!(a[3], 6);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct MonteCarlo {
+    n: usize,
+    seed: u64,
+    threads: usize,
+}
+
+impl MonteCarlo {
+    /// A driver for `n` samples under master seed `seed`, using all
+    /// available CPU parallelism.
+    pub fn new(n: usize, seed: u64) -> Self {
+        let threads = std::thread::available_parallelism()
+            .map(|t| t.get())
+            .unwrap_or(1);
+        MonteCarlo { n, seed, threads }
+    }
+
+    /// Overrides the worker-thread count (1 = sequential).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Number of samples.
+    pub fn samples(&self) -> usize {
+        self.n
+    }
+
+    /// Master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The RNG sample `i` will receive — exposed so callers can regenerate
+    /// a single instance (e.g. to re-simulate one outlier with tracing).
+    pub fn rng_for(&self, i: usize) -> StdRng {
+        StdRng::seed_from_u64(mix(self.seed, i as u64))
+    }
+
+    /// Runs `f(i, rng)` for `i in 0..n` and returns results in index order.
+    ///
+    /// `f` runs concurrently on multiple threads; it must be `Sync` and
+    /// the result type `Send`.
+    pub fn run<T, F>(&self, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, &mut StdRng) -> T + Sync,
+    {
+        if self.n == 0 {
+            return Vec::new();
+        }
+        let threads = self.threads.min(self.n);
+        if threads == 1 {
+            return (0..self.n)
+                .map(|i| {
+                    let mut rng = self.rng_for(i);
+                    f(i, &mut rng)
+                })
+                .collect();
+        }
+
+        let mut results: Vec<Option<T>> = (0..self.n).map(|_| None).collect();
+        let chunk = self.n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
+                let f = &f;
+                let base = t * chunk;
+                let me = *self;
+                scope.spawn(move || {
+                    for (k, slot) in slot_chunk.iter_mut().enumerate() {
+                        let i = base + k;
+                        let mut rng = me.rng_for(i);
+                        *slot = Some(f(i, &mut rng));
+                    }
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every slot filled by its worker"))
+            .collect()
+    }
+}
+
+/// SplitMix64-style mixing of (seed, index) into one well-distributed
+/// 64-bit stream seed, so neighbouring sample indices get unrelated RNGs.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngExt;
+
+    #[test]
+    fn results_are_in_index_order() {
+        let mc = MonteCarlo::new(100, 5);
+        let out = mc.run(|i, _| i);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let draw = |_i: usize, rng: &mut StdRng| rng.random::<f64>();
+        let seq = MonteCarlo::new(64, 123).with_threads(1).run(draw);
+        let par = MonteCarlo::new(64, 123).with_threads(8).run(draw);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn different_samples_get_different_streams() {
+        let mc = MonteCarlo::new(32, 7);
+        let out = mc.run(|_, rng| rng.random::<u64>());
+        let mut dedup = out.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), out.len(), "RNG streams must not collide");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = MonteCarlo::new(8, 1).run(|_, rng| rng.random::<u64>());
+        let b = MonteCarlo::new(8, 2).run(|_, rng| rng.random::<u64>());
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn rng_for_matches_run() {
+        let mc = MonteCarlo::new(10, 77);
+        let out = mc.run(|_, rng| rng.random::<u64>());
+        let mut rng5 = mc.rng_for(5);
+        assert_eq!(out[5], rng5.random::<u64>());
+    }
+
+    #[test]
+    fn empty_run_is_empty() {
+        let mc = MonteCarlo::new(0, 0);
+        let out: Vec<u32> = mc.run(|_, _| unreachable!("no samples"));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one thread")]
+    fn zero_threads_panics() {
+        let _ = MonteCarlo::new(1, 0).with_threads(0);
+    }
+}

@@ -1,0 +1,121 @@
+//! Normal sampling via the Box–Muller transform.
+
+use rand::{Rng, RngExt};
+
+/// Draws one sample from `N(mean, sigma²)` using Box–Muller.
+///
+/// `sigma` must be non-negative; `sigma == 0` returns `mean` exactly,
+/// which is how experiments switch fluctuations off.
+///
+/// # Panics
+///
+/// Panics if `sigma` is negative or not finite.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sigma: f64) -> f64 {
+    assert!(
+        sigma.is_finite() && sigma >= 0.0,
+        "sigma must be >= 0, got {sigma}"
+    );
+    if sigma == 0.0 {
+        return mean;
+    }
+    // Box–Muller: u1 in (0, 1] avoids ln(0).
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random::<f64>();
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    mean + sigma * z
+}
+
+/// A reusable normal distribution.
+///
+/// The paper's setting — "a normal distribution of main circuit parameters
+/// with a 10 % standard deviation" — is expressed as
+/// `Gaussian::relative(nominal, 0.10)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Gaussian {
+    /// Distribution mean.
+    pub mean: f64,
+    /// Distribution standard deviation (absolute).
+    pub sigma: f64,
+}
+
+impl Gaussian {
+    /// Normal distribution with absolute `sigma`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sigma` is negative or not finite.
+    pub fn new(mean: f64, sigma: f64) -> Self {
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be >= 0, got {sigma}"
+        );
+        Gaussian { mean, sigma }
+    }
+
+    /// Normal distribution whose sigma is `rel` times the mean's
+    /// magnitude — the paper's "10 % standard deviation" convention.
+    pub fn relative(mean: f64, rel: f64) -> Self {
+        Gaussian::new(mean, mean.abs() * rel)
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        normal(rng, self.mean, self.sigma)
+    }
+
+    /// Draws one sample clamped to `lo..=hi` (used for physical parameters
+    /// that must stay positive under heavy fluctuation).
+    pub fn sample_clamped<R: Rng + ?Sized>(&self, rng: &mut R, lo: f64, hi: f64) -> f64 {
+        self.sample(rng).clamp(lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(normal(&mut rng, 3.5, 0.0), 3.5);
+        }
+    }
+
+    #[test]
+    fn sample_statistics_match_parameters() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let g = Gaussian::new(10.0, 2.0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.1, "sigma {}", var.sqrt());
+    }
+
+    #[test]
+    fn relative_sigma_uses_magnitude() {
+        let g = Gaussian::relative(-5.0, 0.1);
+        assert_eq!(g.mean, -5.0);
+        assert!((g.sigma - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamped_sampling_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = Gaussian::new(0.0, 100.0);
+        for _ in 0..100 {
+            let v = g.sample_clamped(&mut rng, -1.0, 1.0);
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be >= 0")]
+    fn negative_sigma_panics() {
+        Gaussian::new(0.0, -1.0);
+    }
+}

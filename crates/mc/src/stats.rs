@@ -1,0 +1,136 @@
+//! Summary statistics for Monte Carlo result sets.
+
+/// Mean / standard deviation / extremes of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub sigma: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty — summarizing nothing is a caller bug.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "cannot summarize an empty sample set");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary {
+            n,
+            mean,
+            sigma: var.sqrt(),
+            min,
+            max,
+        }
+    }
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of `values` by linear interpolation
+/// between order statistics.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "cannot take a quantile of an empty set");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let f = pos - lo as f64;
+        sorted[lo] * (1.0 - f) + sorted[hi] * f
+    }
+}
+
+/// Fraction of samples satisfying a predicate — the paper's fault
+/// coverage: "the fraction of IC instances that do not pass … testing for
+/// a given value of T and R".
+///
+/// Returns 0.0 for an empty set (no instances, nothing detected).
+pub fn coverage<T>(samples: &[T], detected: impl Fn(&T) -> bool) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.iter().filter(|s| detected(s)).count() as f64 / samples.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_constants() {
+        let s = Summary::of(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.sigma, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.sigma - (1.25f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let v = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(quantile(&v, 0.0), 10.0);
+        assert_eq!(quantile(&v, 1.0), 40.0);
+        assert!((quantile(&v, 0.5) - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn coverage_counts_fraction() {
+        let v = [1, 2, 3, 4, 5];
+        assert!((coverage(&v, |x| *x > 2) - 0.6).abs() < 1e-12);
+        let empty: [i32; 0] = [];
+        assert_eq!(coverage(&empty, |_| true), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn empty_summary_panics() {
+        Summary::of(&[]);
+    }
+
+    proptest! {
+        #[test]
+        fn summary_bounds_hold(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+            let s = Summary::of(&values);
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.sigma >= 0.0);
+            prop_assert!(s.sigma <= (s.max - s.min) + 1e-9);
+        }
+
+        #[test]
+        fn quantile_is_monotonic(values in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                                 q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(quantile(&values, lo) <= quantile(&values, hi) + 1e-9);
+        }
+    }
+}

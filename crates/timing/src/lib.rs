@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! # pulsar-timing
+//!
+//! Event-level pulse-propagation engine: the paper's announced follow-up
+//! ("*a logic level fault simulation tool is under development in order to
+//! apply our method to the case of large combinational networks*", §6),
+//! built in the spirit of the transient-fault propagation model of Omana
+//! et al. (paper ref.\[10\]).
+//!
+//! Each gate is abstracted to a [`GateTimingModel`]: propagation delays
+//! per output edge plus a **pulse-width transfer function** with the three
+//! regions observed electrically (Fig. 10 of the paper):
+//!
+//! 1. below `w_min` the pulse is filtered (inertial-delay rejection),
+//! 2. an attenuation band where the output width shrinks affinely,
+//! 3. an asymptotic region where the width passes with only an
+//!    edge-skew offset.
+//!
+//! Fault effects map onto the model: an internal resistive open slows one
+//! output edge ([`PathElement::Gate`]'s `slow_rise`/`slow_fall`), an
+//! external one inserts an RC stage ([`PathElement::RcNet`]) whose time
+//! constant both delays and filters. [`PathTimingModel`] folds a pulse (or
+//! an edge) through a chain of such elements in microseconds instead of
+//! the milliseconds a transistor-level transient costs — the speedup that
+//! makes whole-benchmark test generation feasible.
+//!
+//! Models can be written by hand, taken from the built-in
+//! [`TimingLibrary`], or fitted against `pulsar-analog` with
+//! [`calibrate_inverter`].
+
+mod calibrate;
+mod library;
+mod model;
+mod netsim;
+mod path_model;
+
+pub use calibrate::calibrate_inverter;
+pub use library::TimingLibrary;
+pub use model::GateTimingModel;
+pub use netsim::{NetSim, NetSimOutcome, TimedEvent};
+pub use path_model::{PathElement, PathTimingModel};

@@ -1,0 +1,116 @@
+//! Per-kind gate timing models.
+
+use crate::model::GateTimingModel;
+use pulsar_logic::GateKind;
+
+/// A table of [`GateTimingModel`]s per gate kind with linear fan-out
+/// derating.
+///
+/// The built-in [`TimingLibrary::generic`] values are hand-set to the
+/// scale of the `pulsar-cells` generic technology (gate delays around
+/// 100 ps under wire loading); [`TimingLibrary::calibrated`] replaces the
+/// inverter entry with electrically fitted numbers and scales the rest
+/// proportionally.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimingLibrary {
+    inv: GateTimingModel,
+    /// Relative drive weakness per kind vs the inverter (delay multiplier).
+    /// NAND/NOR stacks are slower despite upsizing; XOR-class cells are
+    /// compositions and slower still.
+    nand_factor: f64,
+    nor_factor: f64,
+    xor_factor: f64,
+    /// Additional delay (and filtering) per extra fan-out, as a fraction
+    /// of the base delay.
+    fanout_derate: f64,
+}
+
+impl TimingLibrary {
+    /// The hand-set default library.
+    pub fn generic() -> Self {
+        TimingLibrary {
+            inv: GateTimingModel::new(95e-12, 75e-12, 70e-12, 260e-12),
+            nand_factor: 1.25,
+            nor_factor: 1.45,
+            xor_factor: 1.9,
+            fanout_derate: 0.35,
+        }
+    }
+
+    /// A library whose inverter entry is `inv` (e.g. from
+    /// [`calibrate_inverter`](crate::calibrate_inverter)), with the same
+    /// relative factors as [`TimingLibrary::generic`].
+    pub fn calibrated(inv: GateTimingModel) -> Self {
+        TimingLibrary {
+            inv,
+            ..TimingLibrary::generic()
+        }
+    }
+
+    /// The model for `kind` driving `fanout` gate loads (≥ 1).
+    pub fn model(&self, kind: GateKind, fanout: usize) -> GateTimingModel {
+        let kf = match kind {
+            GateKind::Not | GateKind::Buf => 1.0,
+            GateKind::And | GateKind::Nand => self.nand_factor,
+            GateKind::Or | GateKind::Nor => self.nor_factor,
+            GateKind::Xor | GateKind::Xnor => self.xor_factor,
+        };
+        let ff = 1.0 + self.fanout_derate * (fanout.max(1) - 1) as f64;
+        let s = kf * ff;
+        GateTimingModel::new(
+            self.inv.tp_lh * s,
+            self.inv.tp_hl * s,
+            self.inv.w_min * s,
+            self.inv.w_pass * s,
+        )
+    }
+}
+
+impl Default for TimingLibrary {
+    fn default() -> Self {
+        TimingLibrary::generic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_is_the_baseline() {
+        let lib = TimingLibrary::generic();
+        let inv = lib.model(GateKind::Not, 1);
+        assert_eq!(inv, lib.inv);
+    }
+
+    #[test]
+    fn stacked_gates_are_slower() {
+        let lib = TimingLibrary::generic();
+        let inv = lib.model(GateKind::Not, 1);
+        let nand = lib.model(GateKind::Nand, 1);
+        let nor = lib.model(GateKind::Nor, 1);
+        let xor = lib.model(GateKind::Xor, 1);
+        assert!(nand.tp_lh > inv.tp_lh);
+        assert!(nor.tp_lh > nand.tp_lh);
+        assert!(xor.tp_lh > nor.tp_lh);
+    }
+
+    #[test]
+    fn fanout_derates_delay_and_filtering() {
+        let lib = TimingLibrary::generic();
+        let fo1 = lib.model(GateKind::Nand, 1);
+        let fo3 = lib.model(GateKind::Nand, 3);
+        assert!(fo3.tp_lh > fo1.tp_lh);
+        assert!(fo3.w_min > fo1.w_min);
+        // Zero fan-out is clamped to one.
+        assert_eq!(lib.model(GateKind::Nand, 0), fo1);
+    }
+
+    #[test]
+    fn calibrated_swaps_the_baseline() {
+        let custom = GateTimingModel::new(50e-12, 40e-12, 30e-12, 120e-12);
+        let lib = TimingLibrary::calibrated(custom);
+        assert_eq!(lib.model(GateKind::Not, 1), custom);
+        assert!(lib.model(GateKind::Nor, 1).tp_lh > custom.tp_lh);
+    }
+}

@@ -1,0 +1,230 @@
+//! The per-gate timing abstraction.
+
+use pulsar_analog::Edge;
+
+/// Timing model of one logic gate under single-input switching (all side
+/// inputs non-controlling), as used by the pulse-propagation engine.
+///
+/// The pulse-width transfer implements the three regions of the paper's
+/// Fig. 10. For an output pulse whose leading edge is delayed by `d_lead`
+/// and trailing edge by `d_trail`:
+///
+/// * `w_in ≤ w_min_eff` → fully dampened (width 0),
+/// * `w_in ≥ w_pass_eff` → `w_out = w_in + (d_trail − d_lead)`,
+/// * in between → affine ramp from `(w_min_eff, 0)` up to the asymptote.
+///
+/// where the `_eff` thresholds include any extra slowness of the leading
+/// output edge (a weakly-driven edge needs a longer input pulse to reach
+/// full swing).
+///
+/// # Example
+///
+/// ```
+/// use pulsar_analog::Edge;
+/// use pulsar_timing::GateTimingModel;
+///
+/// let m = GateTimingModel::new(100e-12, 80e-12, 60e-12, 200e-12);
+/// // Below w_min the gate filters the pulse entirely:
+/// assert_eq!(m.width_out(50e-12, Edge::Rising, 0.0, 0.0), 0.0);
+/// // Far above w_pass only the rise/fall skew remains:
+/// let w = m.width_out(500e-12, Edge::Rising, 0.0, 0.0);
+/// assert!((w - 480e-12).abs() < 1e-15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateTimingModel {
+    /// Propagation delay producing a rising output edge, seconds.
+    pub tp_lh: f64,
+    /// Propagation delay producing a falling output edge, seconds.
+    pub tp_hl: f64,
+    /// Input pulse width below which the gate output never crosses the
+    /// logic threshold.
+    pub w_min: f64,
+    /// Input pulse width above which the transfer is asymptotic
+    /// (slope one).
+    pub w_pass: f64,
+}
+
+impl GateTimingModel {
+    /// Validates and builds a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if delays are negative, or `w_pass < w_min`, or any value is
+    /// not finite.
+    pub fn new(tp_lh: f64, tp_hl: f64, w_min: f64, w_pass: f64) -> Self {
+        assert!(tp_lh.is_finite() && tp_lh >= 0.0, "tp_lh must be >= 0");
+        assert!(tp_hl.is_finite() && tp_hl >= 0.0, "tp_hl must be >= 0");
+        assert!(w_min.is_finite() && w_min >= 0.0, "w_min must be >= 0");
+        assert!(
+            w_pass.is_finite() && w_pass >= w_min,
+            "w_pass must be >= w_min"
+        );
+        GateTimingModel {
+            tp_lh,
+            tp_hl,
+            w_min,
+            w_pass,
+        }
+    }
+
+    /// Returns a copy with every time constant multiplied by `f`: a
+    /// uniformly slower (`f > 1`) or faster gate. This is the Monte Carlo
+    /// hook at the model level — a drive-strength fluctuation moves the
+    /// delays and the filtering thresholds together, which is exactly how
+    /// the electrical gate behaves under a `kp` fluctuation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f` is not strictly positive and finite.
+    pub fn scaled(&self, f: f64) -> GateTimingModel {
+        assert!(
+            f.is_finite() && f > 0.0,
+            "scale factor must be positive, got {f}"
+        );
+        GateTimingModel::new(
+            self.tp_lh * f,
+            self.tp_hl * f,
+            self.w_min * f,
+            self.w_pass * f,
+        )
+    }
+
+    /// Propagation delay for the given *output* edge direction, with the
+    /// given extra edge slow-down (internal-ROP effect).
+    pub fn edge_delay(&self, output_edge: Edge, slow_rise: f64, slow_fall: f64) -> f64 {
+        match output_edge {
+            Edge::Rising => self.tp_lh + slow_rise,
+            Edge::Falling => self.tp_hl + slow_fall,
+        }
+    }
+
+    /// Pulse-width transfer. `lead_edge` is the *output* pulse's leading
+    /// edge direction; `slow_rise`/`slow_fall` are extra per-edge delays.
+    ///
+    /// Returns the output pulse width (0 = dampened).
+    pub fn width_out(&self, w_in: f64, lead_edge: Edge, slow_rise: f64, slow_fall: f64) -> f64 {
+        if w_in <= 0.0 {
+            return 0.0;
+        }
+        let d_lead = self.edge_delay(lead_edge, slow_rise, slow_fall);
+        let d_trail = self.edge_delay(lead_edge.inverted(), slow_rise, slow_fall);
+        // Extra leading-edge slowness raises the filtering thresholds.
+        let lead_extra = match lead_edge {
+            Edge::Rising => slow_rise,
+            Edge::Falling => slow_fall,
+        };
+        let w_min_eff = self.w_min + lead_extra;
+        let w_pass_eff = self.w_pass + lead_extra;
+        let skew = d_trail - d_lead;
+
+        if w_in <= w_min_eff {
+            0.0
+        } else if w_in >= w_pass_eff {
+            (w_in + skew).max(0.0)
+        } else {
+            // Affine ramp from (w_min_eff, 0) to (w_pass_eff, w_pass_eff + skew).
+            let top = (w_pass_eff + skew).max(0.0);
+            let f = (w_in - w_min_eff) / (w_pass_eff - w_min_eff).max(1e-18);
+            (f * top).max(0.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn model() -> GateTimingModel {
+        GateTimingModel::new(100e-12, 80e-12, 60e-12, 200e-12)
+    }
+
+    #[test]
+    fn dampens_below_w_min() {
+        let m = model();
+        assert_eq!(m.width_out(50e-12, Edge::Rising, 0.0, 0.0), 0.0);
+        assert_eq!(m.width_out(60e-12, Edge::Rising, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn asymptotic_region_adds_edge_skew() {
+        let m = model();
+        // Leading rising (100 ps), trailing falling (80 ps): skew −20 ps.
+        let w = m.width_out(500e-12, Edge::Rising, 0.0, 0.0);
+        assert!((w - 480e-12).abs() < 1e-15);
+        // Opposite polarity flips the skew.
+        let w = m.width_out(500e-12, Edge::Falling, 0.0, 0.0);
+        assert!((w - 520e-12).abs() < 1e-15);
+    }
+
+    #[test]
+    fn attenuation_region_is_continuous_at_both_ends() {
+        let m = model();
+        let at_min = m.width_out(m.w_min + 1e-15, Edge::Rising, 0.0, 0.0);
+        assert!(
+            at_min < 5e-12,
+            "just above w_min the output is tiny, got {at_min:e}"
+        );
+        let below_pass = m.width_out(m.w_pass - 1e-15, Edge::Rising, 0.0, 0.0);
+        let at_pass = m.width_out(m.w_pass, Edge::Rising, 0.0, 0.0);
+        assert!((below_pass - at_pass).abs() < 1e-13);
+    }
+
+    #[test]
+    fn edge_slowdown_shifts_thresholds_and_narrows() {
+        let m = model();
+        let clean = m.width_out(300e-12, Edge::Rising, 0.0, 0.0);
+        // Slowing the rising (leading) edge by 150 ps narrows the pulse...
+        let slowed = m.width_out(300e-12, Edge::Rising, 150e-12, 0.0);
+        assert!(
+            slowed < clean,
+            "leading-edge ROP must narrow: {slowed:e} vs {clean:e}"
+        );
+        // ...and a strong enough slow-down dampens it entirely.
+        let killed = m.width_out(300e-12, Edge::Rising, 400e-12, 0.0);
+        assert_eq!(killed, 0.0);
+        // Slowing the *trailing* edge widens instead.
+        let widened = m.width_out(300e-12, Edge::Rising, 0.0, 150e-12);
+        assert!(widened > clean);
+    }
+
+    #[test]
+    fn edge_delay_picks_the_right_edge() {
+        let m = model();
+        assert!((m.edge_delay(Edge::Rising, 10e-12, 0.0) - 110e-12).abs() < 1e-18);
+        assert!((m.edge_delay(Edge::Falling, 10e-12, 5e-12) - 85e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "w_pass must be >= w_min")]
+    fn inverted_thresholds_panic() {
+        GateTimingModel::new(1e-12, 1e-12, 100e-12, 50e-12);
+    }
+
+    proptest! {
+        /// The transfer is monotonically non-decreasing in the input width.
+        #[test]
+        fn transfer_is_monotonic(w1 in 0.0f64..1e-9, w2 in 0.0f64..1e-9,
+                                 sr in 0.0f64..2e-10, sf in 0.0f64..2e-10) {
+            let m = model();
+            let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+            for edge in [Edge::Rising, Edge::Falling] {
+                prop_assert!(
+                    m.width_out(lo, edge, sr, sf) <= m.width_out(hi, edge, sr, sf) + 1e-18
+                );
+            }
+        }
+
+        /// Output width is never negative and never exceeds input + skew.
+        #[test]
+        fn transfer_is_bounded(w in 0.0f64..1e-9, sr in 0.0f64..2e-10, sf in 0.0f64..2e-10) {
+            let m = model();
+            for edge in [Edge::Rising, Edge::Falling] {
+                let out = m.width_out(w, edge, sr, sf);
+                prop_assert!(out >= 0.0);
+                let max_skew = (m.tp_lh + sr - m.tp_hl - sf).abs();
+                prop_assert!(out <= w + max_skew + 1e-18);
+            }
+        }
+    }
+}

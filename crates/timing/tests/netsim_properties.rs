@@ -1,0 +1,86 @@
+//! Property tests for the whole-netlist pulse simulator: invariants that
+//! must hold on random circuits, vectors and injection sites.
+
+use proptest::prelude::*;
+use pulsar_analog::{Edge, Polarity};
+use pulsar_logic::{random_netlist, BenchParams};
+use pulsar_timing::{NetSim, TimedEvent, TimingLibrary};
+
+fn bits(seed: u64, n: usize) -> Vec<bool> {
+    (0..n).map(|i| (seed >> (i % 64)) & 1 == 1).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Wider injected pulses never arrive narrower than slimmer ones at
+    /// any output (monotone width transfer composes over the netlist).
+    #[test]
+    fn po_width_is_monotone_in_injected_width(seed in 0u64..5_000, vec_seed: u64,
+                                              w1 in 5.0e-11f64..1.5e-9, w2 in 5.0e-11f64..1.5e-9) {
+        let nl = random_netlist(&BenchParams { inputs: 5, gates: 18, outputs: 3, layers: 4 }, seed);
+        let sim = NetSim::new(&nl, &TimingLibrary::generic());
+        let vector = bits(vec_seed, 5);
+        let pi = nl.inputs()[(seed % 5) as usize];
+        let (lo, hi) = if w1 <= w2 { (w1, w2) } else { (w2, w1) };
+
+        let out_lo = sim.run_pulse(&vector, pi, Polarity::PositiveGoing, lo).unwrap();
+        let out_hi = sim.run_pulse(&vector, pi, Polarity::PositiveGoing, hi).unwrap();
+        for (a, b) in out_lo.po_events.iter().zip(&out_hi.po_events) {
+            let wa = a.and_then(|e| e.width()).unwrap_or(0.0);
+            let wb = b.and_then(|e| e.width()).unwrap_or(0.0);
+            prop_assert!(wa <= wb + 1e-18, "width transfer not monotone: {wa:e} > {wb:e}");
+        }
+    }
+
+    /// An injected fault never creates activity at an output that was
+    /// quiet fault-free, and never widens a surviving pulse.
+    #[test]
+    fn faults_never_help_across_the_netlist(seed in 0u64..5_000, vec_seed: u64,
+                                            tau in 1.0e-11f64..1e-9,
+                                            fault_gate in 0usize..18) {
+        let nl = random_netlist(&BenchParams { inputs: 5, gates: 18, outputs: 3, layers: 4 }, seed);
+        let lib = TimingLibrary::generic();
+        let vector = bits(vec_seed, 5);
+        let pi = nl.inputs()[(seed % 5) as usize];
+        let w_in = 600e-12;
+
+        let clean = NetSim::new(&nl, &lib);
+        let base = clean.run_pulse(&vector, pi, Polarity::PositiveGoing, w_in).unwrap();
+
+        let mut faulty_sim = NetSim::new(&nl, &lib);
+        let victim = nl.gates()[fault_gate % nl.gate_count()].output;
+        let gid = nl.driver_id(victim).expect("gate outputs are driven");
+        faulty_sim.inject_rc(gid, 0, tau);
+        let faulty = faulty_sim.run_pulse(&vector, pi, Polarity::PositiveGoing, w_in).unwrap();
+
+        for (b, f) in base.po_events.iter().zip(&faulty.po_events) {
+            let wb = b.and_then(|e| e.width()).unwrap_or(0.0);
+            let wf = f.and_then(|e| e.width()).unwrap_or(0.0);
+            prop_assert!(wf <= wb + 1e-18, "fault widened a pulse: {wb:e} -> {wf:e}");
+        }
+    }
+
+    /// Edge runs either deliver a transition or nothing; arrival times of
+    /// delivered transitions are positive and finite.
+    #[test]
+    fn edge_arrivals_are_sane(seed in 0u64..5_000, vec_seed: u64) {
+        let nl = random_netlist(&BenchParams { inputs: 4, gates: 14, outputs: 2, layers: 3 }, seed);
+        let sim = NetSim::new(&nl, &TimingLibrary::generic());
+        let vector = bits(vec_seed, 4);
+        let pi = nl.inputs()[(seed % 4) as usize];
+        for edge in [Edge::Rising, Edge::Falling] {
+            let out = sim.run_edge(&vector, pi, edge).unwrap();
+            for e in out.po_events.iter().flatten() {
+                match e {
+                    TimedEvent::Edge { t, .. } => {
+                        prop_assert!(t.is_finite() && *t > 0.0, "bad arrival {t:e}");
+                    }
+                    TimedEvent::Pulse { .. } => {
+                        prop_assert!(false, "edge run must not synthesize pulses");
+                    }
+                }
+            }
+        }
+    }
+}

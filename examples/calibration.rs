@@ -1,0 +1,69 @@
+//! The paper's §4 calibration flow, end to end:
+//!
+//! 1. Monte Carlo the fault-free path (10 % parameter sigma).
+//! 2. Pick `T₀` so no instance fails DF testing even at `0.9·T₀`.
+//! 3. Pick `(ω_in⁰, ω_th⁰)`: `ω_in⁰` at the start of the transfer curve's
+//!    asymptotic region, `ω_th⁰` clearing every instance under a +10 %
+//!    sensor variation.
+//! 4. Verify: zero false positives for both methods.
+//!
+//! Run with: `cargo run --release -p pulsar-core --example calibration`
+
+use pulsar_analog::Polarity;
+use pulsar_cells::{PathSpec, Tech};
+use pulsar_core::{CoreError, DefectKind, DfStudy, McConfig, PathUnderTest, PulseStudy};
+
+fn main() -> Result<(), CoreError> {
+    let put = PathUnderTest {
+        spec: PathSpec::paper_chain(),
+        defect: DefectKind::ExternalRop,
+        stage: 1,
+        tech: Tech::generic_180nm(),
+    };
+    let mc = McConfig::paper(32, 4242);
+
+    // DF-testing calibration.
+    let df = DfStudy::new(put.clone(), mc);
+    let needs = df.fault_free_needs()?;
+    let cal_df = df.calibrate()?;
+    println!("DF testing:");
+    println!(
+        "  fault-free delay+overhead: {:.1} .. {:.1} ps over {} instances",
+        needs.iter().cloned().fold(f64::INFINITY, f64::min) * 1e12,
+        needs.iter().cloned().fold(0.0_f64, f64::max) * 1e12,
+        needs.len()
+    );
+    println!(
+        "  T0 = {:.1} ps (0.9*T0 = {:.1} ps still passes everyone)",
+        cal_df.t0 * 1e12,
+        0.9 * cal_df.t0 * 1e12
+    );
+    let false_pos = needs.iter().filter(|n| 0.9 * cal_df.t0 < **n).count();
+    println!("  false positives at 0.9*T0: {false_pos}");
+
+    // Pulse-test calibration.
+    let pulse = PulseStudy::new(put, mc, Polarity::PositiveGoing);
+    let curve = pulse.nominal_curve()?;
+    let knee = curve.region3_start(pulse.region_tol, 0.0);
+    let cal_p = pulse.calibrate()?;
+    println!();
+    println!("pulse testing:");
+    println!(
+        "  transfer-curve knee (region 3 start): {:.1} ps",
+        knee.unwrap_or(f64::NAN) * 1e12
+    );
+    println!(
+        "  w_in0 = {:.1} ps, w_th0 = {:.1} ps",
+        cal_p.w_in * 1e12,
+        cal_p.w_th * 1e12
+    );
+    let wouts = pulse.fault_free_wouts(cal_p.w_in)?;
+    let fp = wouts.iter().filter(|w| **w < 1.1 * cal_p.w_th).count();
+    println!(
+        "  weakest fault-free output width: {:.1} ps (sensor at +10% needs {:.1} ps)",
+        wouts.iter().cloned().fold(f64::INFINITY, f64::min) * 1e12,
+        1.1 * cal_p.w_th * 1e12
+    );
+    println!("  false positives at 1.1*w_th: {fp}");
+    Ok(())
+}

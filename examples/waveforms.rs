@@ -1,0 +1,79 @@
+//! Reproduces the waveform studies of the paper's Figs. 1–5 in summary
+//! form: for each defect class, how the injected pulse's width evolves
+//! stage by stage through the faulty 7-gate path, against the fault-free
+//! reference.
+//!
+//! Run with: `cargo run --release -p pulsar-core --example waveforms`
+//! (full CSV waveforms: the `fig02/03/05` binaries in `pulsar-bench`).
+
+use pulsar_analog::Polarity;
+use pulsar_cells::{BuiltPath, PathFault, PathSpec, RopSite, Tech};
+
+fn widths(fault: &PathFault, w_in: f64) -> Vec<f64> {
+    let tech = Tech::generic_180nm();
+    let spec = PathSpec::paper_chain();
+    let mut path = BuiltPath::new(&spec, fault, &vec![tech; 7]);
+    path.propagate_pulse(w_in, Polarity::PositiveGoing, None)
+        .expect("transient simulation")
+        .stage_widths
+}
+
+fn show(name: &str, fault: &PathFault, w_in: f64) {
+    let w = widths(fault, w_in);
+    print!("{name:<28}");
+    for wi in &w {
+        print!(" {:>6.0}", wi * 1e12);
+    }
+    println!();
+}
+
+fn main() {
+    let w_in = 500e-12;
+    println!(
+        "pulse width (ps) after each stage of the 7-gate path; injected: {:.0} ps",
+        w_in * 1e12
+    );
+    println!(
+        "{:<28} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}",
+        "circuit", "s0", "s1", "s2", "s3", "s4", "s5", "s6"
+    );
+    show("fault-free", &PathFault::None, w_in);
+    show(
+        "internal ROP 8k (Fig 2)",
+        &PathFault::InternalRop {
+            stage: 1,
+            site: RopSite::PullUp,
+            ohms: 8e3,
+        },
+        w_in,
+    );
+    show(
+        "external ROP 8k (Fig 3)",
+        &PathFault::ExternalRop {
+            stage: 1,
+            ohms: 8e3,
+        },
+        w_in,
+    );
+    show(
+        "external ROP 30k",
+        &PathFault::ExternalRop {
+            stage: 1,
+            ohms: 30e3,
+        },
+        w_in,
+    );
+    show(
+        "bridge 4k, aggr low (Fig 5)",
+        &PathFault::Bridge {
+            stage: 1,
+            ohms: 4e3,
+            aggressor_high: false,
+        },
+        w_in,
+    );
+    println!();
+    println!("internal opens attack one edge and shrink the pulse immediately;");
+    println!("external opens kill it once the branch RC approaches the pulse width;");
+    println!("bridges above the critical resistance still leave an incomplete pulse.");
+}

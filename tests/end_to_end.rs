@@ -1,0 +1,128 @@
+//! End-to-end integration: the full §4 pipeline — Monte Carlo sampling,
+//! calibration, resistance sweep, coverage — on scaled-down settings.
+
+use pulsar_analog::Polarity;
+use pulsar_cells::{PathSpec, RopSite, Tech};
+use pulsar_core::{DefectKind, DfStudy, McConfig, PathInstance, PathUnderTest, PulseStudy};
+
+fn put(defect: DefectKind) -> PathUnderTest {
+    PathUnderTest {
+        spec: PathSpec::paper_chain(),
+        defect,
+        stage: 1,
+        tech: Tech::generic_180nm(),
+    }
+}
+
+fn mc() -> McConfig {
+    McConfig::paper(8, 1234)
+}
+
+#[test]
+fn df_pipeline_calibrates_without_false_positives() {
+    let study = DfStudy::new(put(DefectKind::ExternalRop), mc());
+    let needs = study.fault_free_needs().unwrap();
+    let cal = study.calibrate().unwrap();
+    // The paper's criterion: even a 10 %-reduced clock passes everyone.
+    for n in &needs {
+        assert!(0.9 * cal.t0 >= *n - 1e-18);
+    }
+    // And the calibration is tight: the slowest instance defines T0.
+    let worst = needs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    assert!((0.9 * cal.t0 - worst).abs() < 1e-15);
+}
+
+#[test]
+fn pulse_pipeline_calibrates_without_false_positives() {
+    let study = PulseStudy::new(put(DefectKind::ExternalRop), mc(), Polarity::PositiveGoing);
+    let cal = study.calibrate().unwrap();
+    assert!(
+        cal.w_in > cal.w_th,
+        "the injected pulse must exceed the sensing threshold"
+    );
+    let wouts = study.fault_free_wouts(cal.w_in).unwrap();
+    for w in &wouts {
+        assert!(
+            *w >= 1.1 * cal.w_th - 1e-18,
+            "false positive at +10% sensor variation"
+        );
+    }
+}
+
+#[test]
+fn coverage_is_monotone_in_the_method_parameter() {
+    // Lower T ⇒ more DF detections; higher ω_th ⇒ more pulse detections.
+    let df = DfStudy::new(put(DefectKind::ExternalRop), mc());
+    let cal = df.calibrate().unwrap();
+    let rs = [2e3, 10e3, 40e3];
+    let curves = df.coverage(&cal, &rs, &[0.9, 1.0, 1.1]).unwrap();
+    for i in 0..rs.len() {
+        assert!(curves[0].coverage[i] >= curves[1].coverage[i] - 1e-12);
+        assert!(curves[1].coverage[i] >= curves[2].coverage[i] - 1e-12);
+    }
+
+    let pulse = PulseStudy::new(put(DefectKind::ExternalRop), mc(), Polarity::PositiveGoing);
+    let pcal = pulse.calibrate().unwrap();
+    let pcurves = pulse.coverage(&pcal, &rs, &[0.9, 1.0, 1.1]).unwrap();
+    for i in 0..rs.len() {
+        assert!(pcurves[2].coverage[i] >= pcurves[1].coverage[i] - 1e-12);
+        assert!(pcurves[1].coverage[i] >= pcurves[0].coverage[i] - 1e-12);
+    }
+}
+
+#[test]
+fn both_methods_catch_severe_opens_and_ignore_benign_ones() {
+    for defect in [
+        DefectKind::ExternalRop,
+        DefectKind::InternalRop {
+            site: RopSite::PullUp,
+        },
+    ] {
+        let df = DfStudy::new(put(defect), mc());
+        let dcal = df.calibrate().unwrap();
+        let curves = df.coverage(&dcal, &[300.0, 250e3], &[1.0]).unwrap();
+        assert!(
+            curves[0].coverage[0] < 0.3,
+            "{defect:?}: 300 ohm is benign for DF"
+        );
+        assert!(
+            curves[0].coverage[1] > 0.9,
+            "{defect:?}: 250 kohm must fail DF"
+        );
+
+        let pulse = PulseStudy::new(put(defect), mc(), Polarity::PositiveGoing);
+        let pcal = pulse.calibrate().unwrap();
+        let pcurves = pulse.coverage(&pcal, &[300.0, 250e3], &[1.0]).unwrap();
+        assert!(
+            pcurves[0].coverage[0] < 0.3,
+            "{defect:?}: 300 ohm is benign for pulse"
+        );
+        assert!(
+            pcurves[0].coverage[1] > 0.9,
+            "{defect:?}: 250 kohm must dampen the pulse"
+        );
+    }
+}
+
+#[test]
+fn same_seed_reproduces_the_study_bit_for_bit() {
+    let study = PulseStudy::new(put(DefectKind::ExternalRop), mc(), Polarity::PositiveGoing);
+    let a = study.fault_free_wouts(300e-12).unwrap();
+    let b = study.fault_free_wouts(300e-12).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn defect_resistance_sweep_reuses_one_instance() {
+    let p = put(DefectKind::ExternalRop);
+    let mut inst = p.instantiate_nominal(500.0);
+    let mut last = f64::INFINITY;
+    for r in [500.0, 5e3, 50e3] {
+        inst.set_resistance(r).unwrap();
+        let w = inst
+            .pulse_width_out(350e-12, Polarity::PositiveGoing)
+            .unwrap();
+        assert!(w <= last + 5e-12, "dampening must not relax with R");
+        last = w;
+    }
+}

@@ -1,0 +1,291 @@
+//! The paper's qualitative claims (DESIGN.md success criteria 1–5),
+//! verified at reduced scale. These are the *shape* checks of the
+//! reproduction: who wins, where, and by how much — not absolute numbers.
+
+use pulsar_analog::Polarity;
+use pulsar_cells::{BuiltPath, PathFault, PathSpec, RopSite, Tech};
+use pulsar_core::{DefectKind, DfStudy, McConfig, PathUnderTest, PulseStudy};
+use pulsar_mc::Summary;
+
+fn put(defect: DefectKind) -> PathUnderTest {
+    PathUnderTest {
+        spec: PathSpec::paper_chain(),
+        defect,
+        stage: 1,
+        tech: Tech::generic_180nm(),
+    }
+}
+
+/// Criterion 1 (Figs. 2/3): a faulty pulse dies within a few logic
+/// levels, and an internal ROP damages more than an external one at the
+/// same resistance.
+#[test]
+fn c1_pulse_dies_within_a_few_levels_and_internal_beats_external() {
+    let tech = Tech::generic_180nm();
+    let spec = PathSpec::paper_chain();
+    let w_in = 500e-12;
+
+    let internal = PathFault::InternalRop {
+        stage: 1,
+        site: RopSite::PullUp,
+        ohms: 8e3,
+    };
+    let external = PathFault::ExternalRop {
+        stage: 1,
+        ohms: 8e3,
+    };
+
+    let mut pi = BuiltPath::new(&spec, &internal, &vec![tech; 7]);
+    let oi = pi
+        .propagate_pulse(w_in, Polarity::PositiveGoing, None)
+        .unwrap();
+    let mut pe = BuiltPath::new(&spec, &external, &vec![tech; 7]);
+    let oe = pe
+        .propagate_pulse(w_in, Polarity::PositiveGoing, None)
+        .unwrap();
+
+    // Internal: dampened before the output (within a few logic levels).
+    assert!(
+        oi.dampened(),
+        "internal 8 kΩ must kill the pulse, widths {:?}",
+        oi.stage_widths
+    );
+    let died_at = oi.stage_widths.iter().position(|w| *w == 0.0).unwrap();
+    assert!(
+        died_at <= 4,
+        "should die within a few levels, died at stage {died_at}"
+    );
+
+    // Same R external: strictly less damage (paper: Fig. 2 vs Fig. 3).
+    assert!(
+        oe.output_width > oi.output_width,
+        "external {:.0e} vs internal {:.0e}",
+        oe.output_width,
+        oi.output_width
+    );
+}
+
+/// Criterion 2 (Figs. 6/7): for ROPs the methods are comparable at
+/// nominal settings, but DF coverage reacts more to its ±10 % parameter
+/// (T) than pulse coverage does to ω_th.
+#[test]
+fn c2_rop_methods_comparable_but_df_more_parameter_sensitive() {
+    let mc = McConfig::paper(10, 77);
+    let rs: Vec<f64> = [1e3, 3e3, 8e3, 20e3, 50e3, 120e3].to_vec();
+
+    let df = DfStudy::new(put(DefectKind::ExternalRop), mc);
+    let dcal = df.calibrate().unwrap();
+    let dcurves = df.coverage(&dcal, &rs, &[0.9, 1.0, 1.1]).unwrap();
+
+    let pulse = PulseStudy::new(put(DefectKind::ExternalRop), mc, Polarity::PositiveGoing);
+    let pcal = pulse.calibrate().unwrap();
+    let pcurves = pulse.coverage(&pcal, &rs, &[0.9, 1.0, 1.1]).unwrap();
+
+    // Comparable at nominal: both methods' 50 % crossover within the same
+    // sweep decade.
+    let cross = |cov: &[f64]| {
+        rs.iter()
+            .zip(cov)
+            .find(|(_, c)| **c >= 0.5)
+            .map(|(r, _)| *r)
+    };
+    let rc_df = cross(&dcurves[1].coverage).expect("df covers the top of the sweep");
+    let rc_pulse = cross(&pcurves[1].coverage).expect("pulse covers the top of the sweep");
+    let ratio = (rc_df / rc_pulse).max(rc_pulse / rc_df);
+    assert!(
+        ratio <= 10.0,
+        "nominal crossovers too far apart: df {rc_df:e}, pulse {rc_pulse:e}"
+    );
+
+    // Parameter sensitivity: mean spread between the ±10 % curves.
+    let spread = |curves: &[pulsar_core::CoverageCurve]| {
+        let hi = &curves[0].coverage; // df: 0.9 T0 detects most
+        let lo = &curves[2].coverage;
+        hi.iter().zip(lo).map(|(a, b)| (a - b).abs()).sum::<f64>() / hi.len() as f64
+    };
+    let s_df = spread(&dcurves);
+    let s_pulse = spread(&pcurves);
+    assert!(
+        s_df > s_pulse,
+        "DF must be the parameter-sensitive method: df spread {s_df:.3}, pulse {s_pulse:.3}"
+    );
+}
+
+/// Criterion 3 (Figs. 8/9): for bridges the pulse test keeps detecting
+/// far beyond the resistance where DF coverage collapses.
+#[test]
+fn c3_pulse_beats_df_on_bridges() {
+    let mc = McConfig::paper(10, 99);
+    let defect = DefectKind::Bridge {
+        aggressor_high: false,
+    };
+    let rs: Vec<f64> = [1.5e3, 2.5e3, 4e3, 6e3].to_vec();
+
+    let df = DfStudy::new(put(defect), mc);
+    let dcal = df.calibrate().unwrap();
+    let dcov = &df.coverage(&dcal, &rs, &[1.0]).unwrap()[0].coverage;
+
+    let pulse = PulseStudy::new(put(defect), mc, Polarity::PositiveGoing);
+    let pcal = pulse.calibrate().unwrap();
+    let pcov = &pulse.coverage(&pcal, &rs, &[1.0]).unwrap()[0].coverage;
+
+    // Pulse dominates pointwise over the post-critical band...
+    for (i, r) in rs.iter().enumerate() {
+        assert!(
+            pcov[i] >= dcov[i] - 1e-12,
+            "at R = {r:.0}: pulse {} < df {}",
+            pcov[i],
+            dcov[i]
+        );
+    }
+    // ...and strictly somewhere: there is a band DF has already lost.
+    let strictly = rs.iter().enumerate().any(|(i, _)| pcov[i] > dcov[i] + 0.3);
+    assert!(
+        strictly,
+        "expected a band where pulse clearly wins: pulse {pcov:?}, df {dcov:?}"
+    );
+}
+
+/// Criterion 4 (Fig. 10): three regions exist and the attenuation region
+/// carries the largest Monte Carlo spread.
+#[test]
+fn c4_attenuation_region_is_the_fluctuation_hotspot() {
+    let mc = McConfig::paper(12, 2024);
+    let study = PulseStudy::new(put(DefectKind::ExternalRop), mc, Polarity::PositiveGoing);
+    let curve = study.nominal_curve().unwrap();
+
+    let knee = curve
+        .region3_start(study.region_tol, 0.0)
+        .expect("region 3 exists");
+    // The attenuation band is narrow; probe several widths below the knee
+    // and take the worst spread (some probes land where every instance is
+    // already fully dampened, which is quiet again).
+    let attn_sigma = [0.80, 0.85, 0.90, 0.95]
+        .iter()
+        .map(|f| Summary::of(&study.fault_free_wouts_fixed_width(knee * f).unwrap()).sigma)
+        .fold(0.0_f64, f64::max);
+    let s_asym = Summary::of(&study.fault_free_wouts_fixed_width(knee * 1.4).unwrap());
+    assert!(
+        attn_sigma > s_asym.sigma,
+        "attenuation spread {:.2e} must exceed asymptotic spread {:.2e}",
+        attn_sigma,
+        s_asym.sigma
+    );
+}
+
+/// Criterion 6 (§3's core argument): "the standard deviation on path's
+/// propagation delay is larger than that on the size of pulses which can
+/// be propagated" — path delay accumulates per-stage fluctuations, the
+/// pulse width only carries per-stage edge-skew differences.
+#[test]
+fn c6_delay_spread_exceeds_width_spread() {
+    let mc = McConfig::paper(12, 314);
+    let df = DfStudy::new(put(DefectKind::ExternalRop), mc);
+    let needs = df.fault_free_needs().unwrap();
+    let s_delay = Summary::of(&needs);
+
+    let pulse = PulseStudy::new(put(DefectKind::ExternalRop), mc, Polarity::PositiveGoing);
+    let cal = pulse.calibrate().unwrap();
+    let wouts = pulse.fault_free_wouts_fixed_width(cal.w_in).unwrap();
+    let s_width = Summary::of(&wouts);
+
+    let rel_delay = s_delay.sigma / s_delay.mean;
+    let rel_width = s_width.sigma / s_width.mean;
+    assert!(
+        rel_delay > 2.0 * rel_width,
+        "delay spread {rel_delay:.4} must clearly exceed width spread {rel_width:.4}"
+    );
+}
+
+/// Portability: the headline claim (pulse beats DF on bridges) must
+/// survive a technology swap — it is a ratio statement, not an absolute
+/// one. Re-run criterion 3 on the slower 350 nm-class node.
+#[test]
+fn c3_holds_on_the_legacy_technology_too() {
+    let tech = Tech::generic_350nm();
+    let put = PathUnderTest {
+        spec: PathSpec::paper_chain(),
+        defect: DefectKind::Bridge {
+            aggressor_high: false,
+        },
+        stage: 1,
+        tech,
+    };
+    let mc = McConfig::paper(6, 404);
+
+    let df = DfStudy::new(put.clone(), mc);
+    let dcal = df.calibrate().unwrap();
+
+    let mut pulse = PulseStudy::new(put, mc, Polarity::PositiveGoing);
+    // The slower node's transfer knee sits ~3x higher; widen the sweep.
+    pulse.sweep = (0.2e-9, 4.0e-9, 40);
+    let pcal = pulse.calibrate().unwrap();
+
+    // The 350 nm node's critical resistance is higher (weaker drives);
+    // sweep the post-critical band proportionally.
+    let rs = [4e3, 8e3, 14e3];
+    let dcov = &df.coverage(&dcal, &rs, &[1.0]).unwrap()[0].coverage;
+    let pcov = &pulse.coverage(&pcal, &rs, &[1.0]).unwrap()[0].coverage;
+    let pulse_total: f64 = pcov.iter().sum();
+    let df_total: f64 = dcov.iter().sum();
+    assert!(
+        pulse_total > df_total + 0.3,
+        "pulse must keep its bridge advantage at 350 nm: pulse {pcov:?} vs df {dcov:?}"
+    );
+}
+
+/// Criterion 5 (Fig. 11): across fault sites of the benchmark, per-path
+/// `R_min` varies widely and the best plans sit at low `ω_in`.
+#[test]
+fn c5_testgen_produces_varied_ranked_plans() {
+    use pulsar_core::{plan_for_site, TestgenConfig};
+    use pulsar_logic::c432_like;
+    use pulsar_timing::TimingLibrary;
+
+    let nl = c432_like();
+    let lib = TimingLibrary::generic();
+    let cfg = TestgenConfig {
+        max_paths: 48,
+        ..TestgenConfig::default()
+    };
+
+    let mut best_rmins = Vec::new();
+    let mut best_wins = Vec::new();
+    for gi in (0..nl.gate_count()).step_by(6) {
+        let site = nl.gates()[gi].output;
+        if let Ok(plans) = plan_for_site(&nl, site, &lib, &cfg) {
+            if let Some(r) = plans[0].r_min {
+                best_rmins.push(r);
+                best_wins.push(plans[0].w_in);
+            }
+        }
+    }
+    // Random-logic sites are frequently unsensitizable (reconvergence);
+    // real test generation skips them too. A handful is enough here.
+    assert!(
+        best_rmins.len() >= 4,
+        "need several detectable sites, got {}",
+        best_rmins.len()
+    );
+    let s = Summary::of(&best_rmins);
+    assert!(
+        s.max / s.min > 1.3,
+        "R_min should vary across sites: {best_rmins:?}"
+    );
+
+    // The site with the smallest R_min uses one of the smaller w_in
+    // values (paper: best paths at low ω_in/ω_th).
+    let i_best = best_rmins
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, _)| i)
+        .expect("non-empty");
+    let w_med = pulsar_mc::quantile(&best_wins, 0.5);
+    assert!(
+        best_wins[i_best] <= w_med + 1e-12,
+        "best site's w_in {:.2e} above the median {:.2e}",
+        best_wins[i_best],
+        w_med
+    );
+}
