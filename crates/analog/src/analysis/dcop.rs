@@ -131,6 +131,7 @@ impl Circuit {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::elements::{MosType, Mosfet, MosfetParams, Waveform};
 

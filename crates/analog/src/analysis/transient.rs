@@ -28,6 +28,11 @@ pub struct TranConfig {
     pub adaptive: bool,
     /// Node-voltage LTE tolerance for the adaptive controller, volts.
     pub lte_tol: f64,
+    /// Budget of accepted time points (the `t = 0` point included). A run
+    /// that would exceed it fails with [`Error::StepBudgetExhausted`]
+    /// instead of stepping indefinitely; the default is far above any
+    /// well-posed deck at these time scales.
+    pub max_points: usize,
 }
 
 /// Companion-model integration method.
@@ -52,6 +57,7 @@ impl TranConfig {
             max_newton: 60,
             adaptive: false,
             lte_tol: 2e-3,
+            max_points: 5_000_000,
         }
     }
 
@@ -92,6 +98,11 @@ impl TranConfig {
         if self.max_newton == 0 {
             return Err(Error::InvalidTranConfig {
                 reason: "max_newton must be at least 1",
+            });
+        }
+        if self.max_points < 2 {
+            return Err(Error::InvalidTranConfig {
+                reason: "max_points must allow at least two time points",
             });
         }
         Ok(())
@@ -198,6 +209,18 @@ impl Circuit {
         let nn = self.node_count() - 1;
 
         while t < cfg.stop - 1e-18 {
+            // Step budget: another point is needed but the budget is spent.
+            if times.len() >= cfg.max_points {
+                return Err(Error::StepBudgetExhausted {
+                    points: times.len(),
+                    time: t,
+                });
+            }
+            // Test-only injection hook (inert unless this thread armed a
+            // FaultPlan); checked per accepted point, before the solve.
+            if let Some(e) = crate::inject::fire(times.len(), t) {
+                return Err(e);
+            }
             // Next target time: current step, clipped to breakpoint/stop.
             let mut tn = t + h_cur;
             let mut hit_bp = false;
@@ -308,6 +331,7 @@ impl Circuit {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::elements::Waveform;
 
@@ -473,6 +497,75 @@ mod tests {
             (w - 170e-12).abs() < 25e-12,
             "pulse width distorted by adaptive stepping: {w:e}"
         );
+    }
+
+    #[test]
+    fn step_budget_degrades_into_reported_failure() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 0.1e-9, 1e-12),
+        );
+        ckt.resistor(vin, out, 1e3);
+        ckt.capacitor(out, Circuit::GROUND, 1e-12);
+
+        let mut cfg = TranConfig::new(5e-12, 6e-9);
+        cfg.max_points = 10;
+        match ckt.transient(&cfg) {
+            Err(Error::StepBudgetExhausted { points, time }) => {
+                assert_eq!(points, 10);
+                assert!(time < 6e-9);
+            }
+            other => panic!("expected StepBudgetExhausted, got {other:?}"),
+        }
+        // A budget the run fits inside must not trip.
+        cfg.max_points = 100_000;
+        assert!(ckt.transient(&cfg).is_ok());
+    }
+
+    #[test]
+    fn armed_fault_plan_trips_the_solver() {
+        use crate::inject::{FaultKind, FaultPlan};
+
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 0.1e-9, 1e-12),
+        );
+        ckt.resistor(vin, out, 1e3);
+        ckt.capacitor(out, Circuit::GROUND, 1e-12);
+        let cfg = TranConfig::new(5e-12, 2e-9);
+
+        let plan = FaultPlan::new()
+            .fail_sample_at_point(0, FaultKind::NonConvergence, 3, 1)
+            .fail_sample(1, FaultKind::SingularMatrix, FaultPlan::ALWAYS);
+        {
+            let _g = plan.arm(0, 1);
+            match ckt.transient(&cfg) {
+                Err(Error::NoConvergence { context, .. }) => assert_eq!(context, "injected fault"),
+                other => panic!("expected injected NoConvergence, got {other:?}"),
+            }
+        }
+        {
+            // Attempt 2 is past sample 0's failing window: the run heals.
+            let _g = plan.arm(0, 2);
+            assert!(ckt.transient(&cfg).is_ok());
+        }
+        {
+            let _g = plan.arm(1, 5);
+            assert!(matches!(
+                ckt.transient(&cfg),
+                Err(Error::SingularMatrix { row: usize::MAX })
+            ));
+        }
+        // Nothing armed: clean run.
+        assert!(ckt.transient(&cfg).is_ok());
     }
 
     #[test]

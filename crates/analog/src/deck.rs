@@ -333,6 +333,7 @@ fn parse_source(toks: &[&str]) -> Option<Waveform> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -375,6 +375,7 @@ pub enum Element {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn nmos_params() -> MosfetParams {

@@ -43,6 +43,16 @@ pub enum Error {
         /// What was wrong.
         reason: &'static str,
     },
+    /// The transient run hit its accepted-time-point budget
+    /// ([`TranConfig::max_points`](crate::TranConfig)) before reaching the
+    /// stop time — a pathological deck degrades into this reported failure
+    /// instead of an unbounded stepping loop.
+    StepBudgetExhausted {
+        /// Accepted time points when the budget ran out.
+        points: usize,
+        /// Simulation time reached, seconds.
+        time: f64,
+    },
 }
 
 impl fmt::Display for Error {
@@ -60,6 +70,10 @@ impl fmt::Display for Error {
             }
             Error::UnknownNode { index } => write!(f, "node index {index} is not in this circuit"),
             Error::InvalidTranConfig { reason } => write!(f, "invalid transient config: {reason}"),
+            Error::StepBudgetExhausted { points, time } => write!(
+                f,
+                "transient step budget exhausted after {points} accepted points (t = {time:.3e} s)"
+            ),
         }
     }
 }
@@ -68,6 +82,7 @@ impl std::error::Error for Error {}
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -104,6 +104,7 @@ fn sanitize(name: &str) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::analysis::transient::TranConfig;
     use crate::elements::Waveform;

@@ -1,0 +1,228 @@
+//! Deterministic solver fault injection.
+//!
+//! Resilience machinery (per-sample isolation, retry ladders, failure
+//! budgets) is only trustworthy if its recovery paths are *exercised*,
+//! not merely reachable. This module lets a test plan exact solver
+//! failures — "sample 7 hits [`Error::NoConvergence`] at transient time
+//! point 3 on its first two attempts" — so every recovery path is driven
+//! deterministically instead of waiting for numerics to misbehave.
+//!
+//! A [`FaultPlan`] is a pure description keyed by Monte Carlo sample
+//! index. To make a plan bite, the code about to run a sample *arms* the
+//! current thread with [`FaultPlan::arm`]; while the returned
+//! [`ArmedFault`] guard lives, every [`Circuit::transient`] call on this
+//! thread trips the planned error at the planned accepted-time-point
+//! index. Dropping the guard disarms the thread, so production runs (no
+//! guard anywhere) pay one thread-local read per accepted time point —
+//! noise next to a Newton solve.
+//!
+//! This hook exists for tests. Production configurations never construct
+//! a plan, and nothing in this module can trigger without an explicit
+//! `arm` call on the same thread.
+//!
+//! [`Circuit::transient`]: crate::Circuit::transient
+
+use crate::error::Error;
+use std::cell::Cell;
+
+/// Which solver failure to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Injects [`Error::SingularMatrix`] — modelling a structural defect
+    /// of the deck; not worth retrying.
+    SingularMatrix,
+    /// Injects [`Error::NoConvergence`] — modelling a Newton failure that
+    /// a tightened configuration may well fix; retryable.
+    NonConvergence,
+}
+
+impl FaultKind {
+    /// The error this kind injects, pinned at simulation time zero — for
+    /// callers that honor a plan without reaching the transient solver
+    /// (e.g. logic-level campaign planning).
+    pub fn planned_error(self) -> Error {
+        self.into_error(0.0)
+    }
+
+    fn into_error(self, time: f64) -> Error {
+        match self {
+            // `usize::MAX` marks the row as synthetic so an injected
+            // failure is distinguishable from a real pivot loss in logs.
+            FaultKind::SingularMatrix => Error::SingularMatrix { row: usize::MAX },
+            FaultKind::NonConvergence => Error::NoConvergence {
+                context: "injected fault",
+                iterations: 0,
+                time,
+            },
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Trigger {
+    sample: usize,
+    kind: FaultKind,
+    at_point: usize,
+    failing_attempts: u32,
+}
+
+/// A deterministic plan of solver faults, keyed by sample index.
+///
+/// Each planned fault fires at (or after) a chosen accepted-time-point
+/// index, on every retry attempt up to `failing_attempts` — so a plan
+/// with `failing_attempts = 1` produces a sample that *recovers* on its
+/// second attempt, while [`FaultPlan::ALWAYS`] produces one that stays
+/// failed however many retries it is granted.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    triggers: Vec<Trigger>,
+}
+
+impl FaultPlan {
+    /// `failing_attempts` value for a fault that never recovers.
+    pub const ALWAYS: u32 = u32::MAX;
+
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Plans `kind` for `sample`, firing at the first post-DC time point
+    /// on attempts `1..=failing_attempts`.
+    pub fn fail_sample(self, sample: usize, kind: FaultKind, failing_attempts: u32) -> Self {
+        self.fail_sample_at_point(sample, kind, 1, failing_attempts)
+    }
+
+    /// Plans `kind` for `sample`, firing once the transient has accepted
+    /// `at_point` time points (the `t = 0` DC point counts as point 1),
+    /// on attempts `1..=failing_attempts`.
+    pub fn fail_sample_at_point(
+        mut self,
+        sample: usize,
+        kind: FaultKind,
+        at_point: usize,
+        failing_attempts: u32,
+    ) -> Self {
+        self.triggers.push(Trigger {
+            sample,
+            kind,
+            at_point,
+            failing_attempts,
+        });
+        self
+    }
+
+    /// True when the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.triggers.is_empty()
+    }
+
+    /// Sample indices with at least one planned fault.
+    pub fn planned_samples(&self) -> impl Iterator<Item = usize> + '_ {
+        self.triggers.iter().map(|t| t.sample)
+    }
+
+    /// Pure query: the fault due for `(sample, attempt)`, if any, with
+    /// the accepted-point index at which it fires. Callers that never
+    /// reach the analog solver (e.g. logic-level campaign planning) use
+    /// this to honor a plan at their own level.
+    pub fn due(&self, sample: usize, attempt: u32) -> Option<(FaultKind, usize)> {
+        self.triggers
+            .iter()
+            .find(|t| t.sample == sample && attempt <= t.failing_attempts)
+            .map(|t| (t.kind, t.at_point))
+    }
+
+    /// Arms the current thread with whatever this plan holds for
+    /// `(sample, attempt)`. While the returned guard lives, transient
+    /// runs on this thread trip the fault; if nothing is due, the guard
+    /// is inert. The previous armed state is restored on drop, so guards
+    /// nest correctly.
+    #[must_use = "the fault is disarmed as soon as the guard drops"]
+    pub fn arm(&self, sample: usize, attempt: u32) -> ArmedFault {
+        let prev = ARMED.with(|a| a.replace(self.due(sample, attempt)));
+        ArmedFault { prev }
+    }
+}
+
+thread_local! {
+    static ARMED: Cell<Option<(FaultKind, usize)>> = const { Cell::new(None) };
+}
+
+/// Guard keeping a planned fault armed on the current thread; see
+/// [`FaultPlan::arm`].
+#[derive(Debug)]
+pub struct ArmedFault {
+    prev: Option<(FaultKind, usize)>,
+}
+
+impl Drop for ArmedFault {
+    fn drop(&mut self) {
+        ARMED.with(|a| a.set(self.prev));
+    }
+}
+
+/// Solver-side hook: the error to return instead of solving, given that
+/// `accepted_points` time points are already recorded and simulation time
+/// is `time`. `None` always, unless this thread is armed.
+pub(crate) fn fire(accepted_points: usize, time: f64) -> Option<Error> {
+    ARMED.with(|a| match a.get() {
+        Some((kind, at_point)) if accepted_points >= at_point => Some(kind.into_error(time)),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn due_respects_attempt_bound() {
+        let plan = FaultPlan::new()
+            .fail_sample(3, FaultKind::NonConvergence, 2)
+            .fail_sample(5, FaultKind::SingularMatrix, FaultPlan::ALWAYS);
+        assert_eq!(plan.due(3, 1), Some((FaultKind::NonConvergence, 1)));
+        assert_eq!(plan.due(3, 2), Some((FaultKind::NonConvergence, 1)));
+        assert_eq!(plan.due(3, 3), None, "sample 3 recovers on attempt 3");
+        assert_eq!(plan.due(5, 900), Some((FaultKind::SingularMatrix, 1)));
+        assert_eq!(plan.due(4, 1), None);
+    }
+
+    #[test]
+    fn guard_arms_and_disarms() {
+        let plan = FaultPlan::new().fail_sample_at_point(0, FaultKind::NonConvergence, 4, 1);
+        assert_eq!(fire(10, 0.0), None, "unarmed thread never fires");
+        {
+            let _g = plan.arm(0, 1);
+            assert_eq!(fire(3, 0.0), None, "before the planned point");
+            assert!(matches!(
+                fire(4, 1e-9),
+                Some(Error::NoConvergence {
+                    context: "injected fault",
+                    ..
+                })
+            ));
+        }
+        assert_eq!(fire(4, 0.0), None, "dropping the guard disarms");
+    }
+
+    #[test]
+    fn guards_nest_and_restore() {
+        let outer = FaultPlan::new().fail_sample(0, FaultKind::NonConvergence, 1);
+        let inner = FaultPlan::new().fail_sample(0, FaultKind::SingularMatrix, 1);
+        let _a = outer.arm(0, 1);
+        {
+            let _b = inner.arm(0, 1);
+            assert!(matches!(fire(1, 0.0), Some(Error::SingularMatrix { .. })));
+        }
+        assert!(matches!(fire(1, 0.0), Some(Error::NoConvergence { .. })));
+    }
+
+    #[test]
+    fn arm_for_undue_attempt_is_inert() {
+        let plan = FaultPlan::new().fail_sample(2, FaultKind::NonConvergence, 1);
+        let _g = plan.arm(2, 2); // attempt 2 is past the failing window
+        assert_eq!(fire(100, 0.0), None);
+    }
+}

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors or documented
+// panics, never ad-hoc unwraps; #[cfg(test)] modules opt back in.
+#![warn(clippy::unwrap_used)]
 
 //! # pulsar-analog
 //!
@@ -55,6 +58,7 @@ pub mod deck;
 mod elements;
 mod error;
 pub mod export;
+pub mod inject;
 mod solver;
 pub mod waveform;
 
@@ -65,4 +69,5 @@ pub use deck::{parse_deck, Deck};
 pub use elements::{Element, MosType, Mosfet, MosfetParams, Waveform};
 pub use error::Error;
 pub use export::{to_csv, to_vcd};
+pub use inject::{ArmedFault, FaultKind, FaultPlan};
 pub use waveform::{propagation_delay, Edge, Polarity, Pulse, Trace};

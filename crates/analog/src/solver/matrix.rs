@@ -103,6 +103,7 @@ impl DenseMatrix {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use proptest::prelude::*;
 

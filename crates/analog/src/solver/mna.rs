@@ -409,6 +409,7 @@ fn linearize_n(vd: f64, vg: f64, vs: f64, p: &MosfetParams) -> MosLin {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::elements::Waveform;
 

@@ -288,6 +288,7 @@ pub fn propagation_delay(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn triangle() -> (Vec<f64>, Vec<f64>) {

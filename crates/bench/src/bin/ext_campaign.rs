@@ -35,19 +35,8 @@ fn main() {
         "# campaign over the C432-like benchmark (stride {})",
         campaign.stride
     );
-    println!(
-        "# sites probed = {}, planned = {}, unsensitizable = {}, failed = {}",
-        report.sites.len(),
-        report.planned,
-        report.unsensitizable,
-        report.failed
-    );
-    println!("# pattern count = {}", report.pattern_count());
-    if let Some(s) = report.r_min_summary() {
-        println!(
-            "# R_min over planned sites: min {:.3e}, mean {:.3e}, max {:.3e} ohm",
-            s.min, s.mean, s.max
-        );
+    for line in report.summary().lines() {
+        println!("# {line}");
     }
 
     println!("R_ohms,site_coverage");

@@ -42,7 +42,7 @@ fn main() {
             ..p.mc()
         };
 
-        let df = DfStudy::new(rop_put(), mc);
+        let df = DfStudy::new(rop_put(), mc.clone());
         let needs = df.fault_free_needs().expect("fault-free delays");
         let s_delay = Summary::of(&needs);
         let dcal = df.calibrate().expect("df calibration");

@@ -15,7 +15,8 @@
 use crate::gates::{CellKind, CmosBuilder, RopSite};
 use crate::tech::Tech;
 use pulsar_analog::{
-    propagation_delay, Circuit, Edge, Error, NodeId, Polarity, TranConfig, TranResult, Waveform,
+    propagation_delay, Circuit, Edge, Error, Integrator, NodeId, Polarity, TranConfig, TranResult,
+    Waveform,
 };
 
 /// Structural description of a path: the gate chain plus per-stage extra
@@ -164,6 +165,11 @@ pub struct BuiltPath {
     step: f64,
     /// Use adaptive (LTE-controlled) stepping in default simulations.
     adaptive: bool,
+    /// Retry-escalation level (0 = nominal); see [`BuiltPath::set_robustness`].
+    robustness: u32,
+    /// Multiplicative step perturbation applied with the robustness
+    /// ladder (1.0 = none).
+    step_scale: f64,
     /// Element index of the VDD rail source (quiescent-current probe).
     vdd_source: usize,
 }
@@ -305,6 +311,8 @@ impl BuiltPath {
             t_start: 0.5e-9,
             step: 4e-12,
             adaptive: false,
+            robustness: 0,
+            step_scale: 1.0,
             vdd_source,
         }
     }
@@ -447,6 +455,26 @@ impl BuiltPath {
         self.adaptive = on;
     }
 
+    /// Applies the retry-escalation ladder used after Newton
+    /// non-convergence: each `level` halves the default step (down to
+    /// 1/64 of nominal) and doubles the Newton iteration budget; from
+    /// level 2 up, default simulations also switch to fixed-step backward
+    /// Euler — maximally damped, first order, the configuration of last
+    /// resort. `step_scale` perturbs the tightened step multiplicatively
+    /// (clamped to `[0.5, 1.0]`) so a retry cannot alias against the same
+    /// pathological breakpoint spacing that broke the first attempt;
+    /// callers derive it from the sample's seeded RNG stream to keep
+    /// retries deterministic. Level 0 with scale 1.0 restores nominal
+    /// behavior.
+    pub fn set_robustness(&mut self, level: u32, step_scale: f64) {
+        self.robustness = level.min(6);
+        self.step_scale = if step_scale.is_finite() {
+            step_scale.clamp(0.5, 1.0)
+        } else {
+            1.0
+        };
+    }
+
     fn rest_level(&self, polarity: Polarity) -> f64 {
         match polarity {
             Polarity::PositiveGoing => 0.0,
@@ -457,13 +485,27 @@ impl BuiltPath {
     fn default_cfg(&self, extra: f64) -> TranConfig {
         let per_stage = 0.8e-9;
         let stop = self.t_start + extra + per_stage * self.stage_outputs.len() as f64 + 1e-9;
-        if self.adaptive {
-            // Cap the adaptive controller at 8x the fixed step; it falls
-            // back to fine steps around the pulse edges on its own.
-            TranConfig::adaptive(self.step * 8.0, stop)
-        } else {
-            TranConfig::new(self.step, stop)
+        let level = self.robustness;
+        if level == 0 {
+            return if self.adaptive {
+                // Cap the adaptive controller at 8x the fixed step; it
+                // falls back to fine steps around the pulse edges on its
+                // own.
+                TranConfig::adaptive(self.step * 8.0, stop)
+            } else {
+                TranConfig::new(self.step, stop)
+            };
         }
+        // Escalated retry: fixed stepping (the adaptive controller is
+        // part of what may have failed), tightened per the ladder.
+        let step = self.step * self.step_scale / (1u64 << level) as f64;
+        let mut cfg = if level >= 2 {
+            TranConfig::with_integrator(step, stop, Integrator::BackwardEuler)
+        } else {
+            TranConfig::new(step, stop)
+        };
+        cfg.max_newton = 60usize.saturating_mul(1 << level.min(4));
+        cfg
     }
 
     /// Polarity expected at the output for an input pulse of `polarity`.
@@ -614,6 +656,45 @@ mod tests {
 
     fn techs(n: usize) -> Vec<Tech> {
         vec![Tech::generic_180nm(); n]
+    }
+
+    #[test]
+    fn robustness_ladder_preserves_measurements() {
+        let spec = PathSpec::inverter_chain(3);
+        let mut p = BuiltPath::new(&spec, &PathFault::None, &techs(3));
+        let nominal = p
+            .propagate_pulse(400e-12, Polarity::PositiveGoing, None)
+            .unwrap()
+            .output_width;
+        for (level, scale) in [(1, 0.8), (2, 0.95), (3, 0.5)] {
+            p.set_robustness(level, scale);
+            let w = p
+                .propagate_pulse(400e-12, Polarity::PositiveGoing, None)
+                .unwrap()
+                .output_width;
+            assert!(
+                (w - nominal).abs() < 15e-12,
+                "escalated config distorts the measurement at level {level}: {w:e} vs {nominal:e}"
+            );
+        }
+        // Level 0 / scale 1.0 restores the nominal configuration exactly.
+        p.set_robustness(0, 1.0);
+        let back = p
+            .propagate_pulse(400e-12, Polarity::PositiveGoing, None)
+            .unwrap()
+            .output_width;
+        assert_eq!(back, nominal);
+    }
+
+    #[test]
+    fn robustness_inputs_are_sanitized() {
+        let spec = PathSpec::inverter_chain(2);
+        let mut p = BuiltPath::new(&spec, &PathFault::None, &techs(2));
+        // Degenerate scale and absurd level must clamp, not break the sim.
+        p.set_robustness(999, f64::NAN);
+        assert!(p
+            .propagate_pulse(300e-12, Polarity::PositiveGoing, None)
+            .is_ok());
     }
 
     #[test]

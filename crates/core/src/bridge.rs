@@ -59,6 +59,7 @@ pub fn critical_resistance(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use pulsar_cells::{PathSpec, Tech};
 

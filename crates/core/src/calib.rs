@@ -108,6 +108,7 @@ pub fn calibrate_pulse(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

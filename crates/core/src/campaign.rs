@@ -7,9 +7,11 @@
 
 use crate::error::CoreError;
 use crate::testgen::{plan_for_site, PathTestPlan, TestgenConfig};
+use pulsar_analog::FaultPlan;
 use pulsar_logic::{collapsed_fault_sites, Netlist, SignalId};
 use pulsar_mc::Summary;
 use pulsar_timing::TimingLibrary;
+use std::fmt::Write as _;
 
 /// A campaign over all (or a stride-sampled subset of) fault sites of a
 /// netlist.
@@ -46,6 +48,12 @@ pub struct Campaign {
     pub threads: Option<usize>,
     /// Collapse path-equivalent sites before planning.
     pub collapse: bool,
+    /// Test-only deterministic fault plan, keyed by *probed site index*
+    /// (after collapsing and striding). A due fault fails that site's
+    /// planning with the planned error — campaign planning never reaches
+    /// the analog solver, so the plan is honored at this level. `None`
+    /// in production.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Campaign {
@@ -55,6 +63,7 @@ impl Default for Campaign {
             stride: 1,
             threads: None,
             collapse: true,
+            fault_plan: None,
         }
     }
 }
@@ -125,6 +134,42 @@ impl CampaignReport {
     pub fn pattern_count(&self) -> usize {
         self.planned
     }
+
+    /// The sites whose test generation errored, with their errors, in
+    /// site order. Unsensitizable sites are *not* failures — they are an
+    /// expected outcome of real netlists and are counted separately.
+    pub fn failures(&self) -> impl Iterator<Item = (&SignalId, &CoreError)> {
+        self.sites.iter().filter_map(|(s, o)| match o {
+            SiteOutcome::Failed(e) => Some((s, e)),
+            _ => None,
+        })
+    }
+
+    /// Human-readable multi-line summary: site counts, pattern count,
+    /// `R_min` statistics, and every failed site with its error.
+    pub fn summary(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "sites probed = {}, planned = {}, unsensitizable = {}, failed = {}",
+            self.sites.len(),
+            self.planned,
+            self.unsensitizable,
+            self.failed
+        );
+        let _ = writeln!(s, "pattern count = {}", self.pattern_count());
+        if let Some(r) = self.r_min_summary() {
+            let _ = writeln!(
+                s,
+                "R_min over planned sites: min {:.3e}, mean {:.3e}, max {:.3e} ohm",
+                r.min, r.mean, r.max
+            );
+        }
+        for (site, e) in self.failures() {
+            let _ = writeln!(s, "failed site {site:?}: {e}");
+        }
+        s
+    }
 }
 
 impl Campaign {
@@ -164,33 +209,48 @@ impl Campaign {
             })
             .min(sites.len().max(1));
 
-        let mut outcomes: Vec<Option<SiteOutcome>> = (0..sites.len()).map(|_| None).collect();
+        let plan_one = |index: usize, site: SignalId| -> SiteOutcome {
+            // A planned fault for this probed-site index fails it here:
+            // campaign planning is logic-level and never reaches the
+            // analog solver, so the plan is honored at this level.
+            if let Some((kind, _)) = self.fault_plan.as_ref().and_then(|p| p.due(index, 1)) {
+                return SiteOutcome::Failed(CoreError::Analog(kind.planned_error()));
+            }
+            match plan_for_site(nl, site, lib, &self.cfg) {
+                Ok(mut plans) => SiteOutcome::Planned(plans.swap_remove(0)),
+                Err(CoreError::NoSensitizablePath { .. }) => SiteOutcome::Unsensitizable,
+                Err(e) => SiteOutcome::Failed(e),
+            }
+        };
+
+        // Each worker returns its own chunk's outcomes; joining in spawn
+        // order restores site order with no placeholder slots to unwrap.
         let chunk = sites.len().div_ceil(threads.max(1)).max(1);
+        let mut outcomes: Vec<SiteOutcome> = Vec::with_capacity(sites.len());
         std::thread::scope(|scope| {
-            for (slot_chunk, site_chunk) in outcomes.chunks_mut(chunk).zip(sites.chunks(chunk)) {
-                let cfg = &self.cfg;
-                scope.spawn(move || {
-                    for (slot, site) in slot_chunk.iter_mut().zip(site_chunk) {
-                        *slot = Some(match plan_for_site(nl, *site, lib, cfg) {
-                            Ok(mut plans) => SiteOutcome::Planned(plans.swap_remove(0)),
-                            Err(CoreError::NoSensitizablePath { .. }) => {
-                                SiteOutcome::Unsensitizable
-                            }
-                            Err(e) => SiteOutcome::Failed(e),
-                        });
-                    }
-                });
+            let handles: Vec<_> = sites
+                .chunks(chunk)
+                .enumerate()
+                .map(|(c, site_chunk)| {
+                    let plan_one = &plan_one;
+                    scope.spawn(move || {
+                        site_chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(j, site)| plan_one(c * chunk + j, *site))
+                            .collect::<Vec<SiteOutcome>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => outcomes.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
 
-        let sites: Vec<(SignalId, SiteOutcome)> = sites
-            .into_iter()
-            .zip(
-                outcomes
-                    .into_iter()
-                    .map(|o| o.expect("worker filled every slot")),
-            )
-            .collect();
+        let sites: Vec<(SignalId, SiteOutcome)> = sites.into_iter().zip(outcomes).collect();
         let planned = sites
             .iter()
             .filter(|(_, o)| matches!(o, SiteOutcome::Planned(_)))
@@ -214,6 +274,7 @@ impl Campaign {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use pulsar_logic::{c432_like, GateKind, Netlist};
 
@@ -284,6 +345,78 @@ mod tests {
         let report = campaign.run(&nl, &TimingLibrary::generic()).unwrap();
         let s = report.r_min_summary().expect("detectable sites exist");
         assert!(s.min > 0.0 && s.max >= s.min);
+    }
+
+    #[test]
+    fn fault_plan_fails_planned_sites_and_surfaces_in_failures() {
+        use pulsar_analog::{FaultKind, FaultPlan};
+
+        let nl = c432_like();
+        let campaign = Campaign {
+            stride: 8,
+            fault_plan: Some(
+                FaultPlan::new()
+                    .fail_sample(1, FaultKind::NonConvergence, FaultPlan::ALWAYS)
+                    .fail_sample(3, FaultKind::SingularMatrix, FaultPlan::ALWAYS),
+            ),
+            ..Campaign::default()
+        };
+        let report = campaign.run(&nl, &TimingLibrary::generic()).unwrap();
+        assert_eq!(report.failed, 2, "exactly the two planned sites fail");
+        let failures: Vec<_> = report.failures().collect();
+        assert_eq!(failures.len(), 2);
+        assert_eq!(*failures[0].0, report.sites[1].0);
+        assert!(matches!(
+            failures[0].1,
+            CoreError::Analog(pulsar_analog::Error::NoConvergence { .. })
+        ));
+        assert!(matches!(
+            failures[1].1,
+            CoreError::Analog(pulsar_analog::Error::SingularMatrix { .. })
+        ));
+
+        // The summary names the failed sites.
+        let s = report.summary();
+        assert!(s.contains("failed = 2"), "{s}");
+        assert!(s.contains("failed site"), "{s}");
+
+        // The rest of the campaign is unaffected: same outcomes as a
+        // plan-free run everywhere else.
+        let clean = Campaign {
+            stride: 8,
+            ..Campaign::default()
+        }
+        .run(&nl, &TimingLibrary::generic())
+        .unwrap();
+        assert_eq!(clean.failed, 0);
+        assert_eq!(
+            clean.planned + clean.unsensitizable,
+            report.planned + report.unsensitizable + 2,
+            "the two failed sites resolve normally without the plan"
+        );
+        for (i, ((sa, oa), (sb, ob))) in clean.sites.iter().zip(&report.sites).enumerate() {
+            assert_eq!(sa, sb);
+            if i != 1 && i != 3 {
+                assert_eq!(
+                    matches!(oa, SiteOutcome::Planned(_)),
+                    matches!(ob, SiteOutcome::Planned(_)),
+                    "site {i} outcome changed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clean_campaign_reports_no_failures() {
+        let nl = c432_like();
+        let report = Campaign {
+            stride: 16,
+            ..Campaign::default()
+        }
+        .run(&nl, &TimingLibrary::generic())
+        .unwrap();
+        assert_eq!(report.failures().count(), 0);
+        assert!(!report.summary().contains("failed site"));
     }
 
     #[test]

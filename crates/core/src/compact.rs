@@ -118,6 +118,7 @@ fn merge_cone(into: &mut [bool], from: &[bool]) {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::testgen::{plan_for_site, TestgenConfig};
     use pulsar_logic::{c17, GateKind};

@@ -58,6 +58,7 @@ pub fn df_detects(t_test: f64, path_delay: f64, ff: FfTiming) -> bool {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -127,6 +127,17 @@ pub trait PathInstance {
         let f = self.delay(Edge::Falling)?;
         Ok(r.max(f))
     }
+
+    /// Tightens the engine's numerical configuration for a retry at
+    /// escalation `level` (1 = first retry), with time steps additionally
+    /// scaled by `step_scale` ∈ [0.5, 1.0] to de-alias pathological
+    /// breakpoint spacing. `level = 0` restores the default behaviour.
+    ///
+    /// Default: no-op — engines without numerical knobs (the logic-level
+    /// model) simply re-run unchanged.
+    fn harden(&mut self, level: u32, step_scale: f64) {
+        let _ = (level, step_scale);
+    }
 }
 
 /// Transistor-level path instance (wraps [`BuiltPath`]).
@@ -161,6 +172,10 @@ impl PathInstance for AnalogPath {
         self.inner
             .set_fault_resistance(ohms)
             .map_err(CoreError::from)
+    }
+
+    fn harden(&mut self, level: u32, step_scale: f64) {
+        self.inner.set_robustness(level, step_scale);
     }
 }
 
@@ -268,6 +283,7 @@ impl PathInstance for ModelPath {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use pulsar_timing::{GateTimingModel, PathElement};
 

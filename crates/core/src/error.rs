@@ -29,6 +29,14 @@ pub enum CoreError {
         /// What was requested.
         what: &'static str,
     },
+    /// Too many Monte Carlo samples stayed failed after all permitted
+    /// retries — the study result would be statistically untrustworthy,
+    /// so the run aborts instead of returning a silently biased curve.
+    FailureBudgetExceeded {
+        /// Aggregate accounting: counts by error kind, the worst sample
+        /// indices, and the retry histogram.
+        report: Box<crate::resilience::FailureReport>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -43,6 +51,9 @@ impl fmt::Display for CoreError {
                 write!(f, "calibration input `{what}` is empty")
             }
             CoreError::Unsupported { what } => write!(f, "unsupported on this engine: {what}"),
+            CoreError::FailureBudgetExceeded { report } => {
+                write!(f, "Monte Carlo failure budget exceeded: {report}")
+            }
         }
     }
 }
@@ -71,6 +82,7 @@ impl From<pulsar_logic::LogicError> for CoreError {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use std::error::Error as _;
 

@@ -171,6 +171,7 @@ pub fn fault_simulate(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::testgen::{plan_for_site, TestgenConfig};
     use pulsar_logic::c17;

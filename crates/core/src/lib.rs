@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors or documented
+// panics, never ad-hoc unwraps; #[cfg(test)] modules opt back in.
+#![warn(clippy::unwrap_used)]
 
 //! # pulsar-core
 //!
@@ -67,6 +70,7 @@ mod faultsim;
 mod iddq;
 mod model_study;
 mod ordering;
+mod resilience;
 mod study;
 mod testgen;
 mod tradeoff;
@@ -84,6 +88,7 @@ pub use faultsim::{all_branch_faults, fault_simulate, BranchFault, FaultSimRepor
 pub use iddq::IddqStudy;
 pub use model_study::{ModelDfStudy, ModelPulseStudy};
 pub use ordering::{OrderingCalibration, OrderingStudy};
+pub use resilience::{error_kind, is_retryable, FailureReport, McRunReport, ResilienceConfig};
 pub use study::{CoverageCurve, DfStudy, McConfig, PulseStudy};
 pub use testgen::{
     electrical_spec, plan_for_site, validate_plan_electrically, PathTestPlan, TestgenConfig,

@@ -180,6 +180,8 @@ impl ModelPulseStudy {
                     factor: f,
                     resistance: r_values.to_vec(),
                     coverage,
+                    // The closed-form timing model cannot fail per sample.
+                    unresolved: 0.0,
                 }
             })
             .collect())
@@ -308,6 +310,8 @@ impl ModelDfStudy {
                     factor: f,
                     resistance: r_values.to_vec(),
                     coverage,
+                    // The closed-form timing model cannot fail per sample.
+                    unresolved: 0.0,
                 }
             })
             .collect())
@@ -316,6 +320,7 @@ impl ModelDfStudy {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::variation::VariationModel;
     use pulsar_timing::GateTimingModel;
@@ -341,10 +346,8 @@ mod tests {
                 c_branch: 13e-15,
             },
             McConfig {
-                samples: 40,
-                seed: 9,
                 variation: VariationModel::paper(),
-                threads: None,
+                ..McConfig::paper(40, 9)
             },
             Polarity::PositiveGoing,
         )
@@ -384,10 +387,8 @@ mod tests {
     #[test]
     fn model_df_study_mirrors_the_electrical_methodology() {
         let mc = McConfig {
-            samples: 40,
-            seed: 9,
             variation: VariationModel::paper(),
-            threads: None,
+            ..McConfig::paper(40, 9)
         };
         let s = ModelDfStudy::new(
             healthy(),

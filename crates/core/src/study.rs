@@ -6,15 +6,17 @@ use crate::calib::{calibrate_pulse, calibrate_t0, DfCalibration, PulseCalibratio
 use crate::df::FfTiming;
 use crate::engine::{PathInstance, PathUnderTest};
 use crate::error::CoreError;
+use crate::resilience::{is_retryable, FailureReport, McRunReport, ResilienceConfig};
 use crate::transfer::TransferCurve;
 use crate::variation::VariationModel;
-use pulsar_analog::Polarity;
+use pulsar_analog::{FaultPlan, Polarity};
 use pulsar_cells::Tech;
 use pulsar_mc::MonteCarlo;
 use rand::rngs::StdRng;
+use rand::RngExt;
 
 /// Monte Carlo configuration shared by both studies.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct McConfig {
     /// Number of circuit instances.
     pub samples: usize,
@@ -25,6 +27,10 @@ pub struct McConfig {
     pub variation: VariationModel,
     /// Worker threads (`None` = all cores).
     pub threads: Option<usize>,
+    /// Retry and failure-budget policy for solver failures.
+    pub resilience: ResilienceConfig,
+    /// Test-only deterministic solver fault plan (`None` in production).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl McConfig {
@@ -35,6 +41,8 @@ impl McConfig {
             seed,
             variation: VariationModel::paper(),
             threads: None,
+            resilience: ResilienceConfig::default(),
+            fault_plan: None,
         }
     }
 
@@ -44,6 +52,54 @@ impl McConfig {
             Some(t) => mc.with_threads(t),
             None => mc,
         }
+    }
+
+    /// Runs `f` over every sample with per-sample fault isolation: a
+    /// failed sample is retried up to [`ResilienceConfig::max_attempts`]
+    /// times (each attempt replays the *same* seeded RNG stream, so the
+    /// circuit instance is identical — only the solver configuration
+    /// escalates, which `f` applies from its `attempt` argument), and the
+    /// run completes with per-sample outcomes instead of aborting on the
+    /// first error. Bit-identical across thread counts.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FailureBudgetExceeded`] when the fraction of samples
+    /// still failed after all retries exceeds
+    /// [`ResilienceConfig::failure_budget`].
+    pub fn try_run_samples<T, F>(&self, f: F) -> Result<McRunReport<T>, CoreError>
+    where
+        T: Send,
+        F: Fn(usize, u32, &mut StdRng) -> Result<T, CoreError> + Sync,
+    {
+        let plan = self.fault_plan.clone().unwrap_or_default();
+        let outcomes = self.driver().try_run(
+            self.resilience.max_attempts,
+            is_retryable,
+            |i, attempt, rng| {
+                // Inert unless a test installed a plan naming sample `i`.
+                let _fault = plan.arm(i, attempt);
+                f(i, attempt, rng)
+            },
+        );
+        let failures = FailureReport::from_outcomes(&outcomes, self.resilience.failure_budget);
+        if failures.exceeds_budget() {
+            return Err(CoreError::FailureBudgetExceeded {
+                report: Box::new(failures),
+            });
+        }
+        Ok(McRunReport { outcomes, failures })
+    }
+}
+
+/// Escalates the instance's solver configuration on retries. The jitter
+/// scale is drawn from the sample's RNG *after* all instance draws, and
+/// only on retries — first attempts consume exactly the legacy stream, so
+/// their results stay bit-identical to non-resilient runs.
+fn harden_for_attempt<P: PathInstance>(p: &mut P, attempt: u32, rng: &mut StdRng) {
+    if attempt > 1 {
+        let step_scale = 0.7 + 0.25 * rng.random::<f64>();
+        p.harden(attempt - 1, step_scale);
     }
 }
 
@@ -55,12 +111,14 @@ pub struct CoverageCurve {
     pub factor: f64,
     /// Defect resistances, ohms.
     pub resistance: Vec<f64>,
-    /// Fault coverage (fraction of MC instances detected) per resistance.
+    /// Fault coverage (fraction of *resolved* MC instances detected) per
+    /// resistance.
     pub coverage: Vec<f64>,
-}
-
-fn collect<T>(results: Vec<Result<T, CoreError>>) -> Result<Vec<T>, CoreError> {
-    results.into_iter().collect()
+    /// Fraction of MC instances that never resolved (solver failure after
+    /// all retries) and are excluded from the coverage denominator. `0.0`
+    /// for a clean run; compare against the configured failure budget
+    /// when judging how trustworthy the curve is.
+    pub unresolved: f64,
 }
 
 /// The reduced-clock DF-testing study (paper Figs. 6 and 8).
@@ -99,22 +157,36 @@ impl DfStudy {
         (techs, ff)
     }
 
-    /// Fault-free slack need (worst path delay + flop overhead) of every
-    /// Monte Carlo instance.
+    /// Fault-free slack needs with per-sample fault isolation: the run
+    /// completes even when individual samples fail, and the report carries
+    /// both the resolved needs and the failure accounting.
     ///
     /// # Errors
     ///
-    /// Propagates electrical-simulation failures.
-    pub fn fault_free_needs(&self) -> Result<Vec<f64>, CoreError> {
-        collect(self.mc.driver().run(|_, rng| {
+    /// [`CoreError::FailureBudgetExceeded`] when too many samples stay
+    /// failed after retries.
+    pub fn try_fault_free_needs(&self) -> Result<McRunReport<f64>, CoreError> {
+        self.mc.try_run_samples(|_, attempt, rng| {
             let (techs, ff) = self.draw(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
+            harden_for_attempt(&mut p, attempt, rng);
             Ok(p.worst_delay()? + ff.overhead())
-        }))
+        })
+    }
+
+    /// Fault-free slack need (worst path delay + flop overhead) of the
+    /// *resolved* Monte Carlo instances, in sample order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates electrical-simulation failures (via the failure
+    /// budget — the default budget of zero aborts on any failure).
+    pub fn fault_free_needs(&self) -> Result<Vec<f64>, CoreError> {
+        Ok(self.try_fault_free_needs()?.into_resolved())
     }
 
     /// Calibrates `T₀` per the paper: no fault-free instance fails even at
-    /// `clock_margin × T₀`.
+    /// `clock_margin × T₀`. Calibration uses the resolved samples only.
     ///
     /// # Errors
     ///
@@ -123,24 +195,36 @@ impl DfStudy {
         calibrate_t0(&self.fault_free_needs()?, self.clock_margin)
     }
 
-    /// Slack needs of every instance at every defect resistance:
-    /// `needs[sample][r_index]`.
+    /// Faulty slack needs with per-sample fault isolation:
+    /// `outcomes[sample]` resolves to the per-resistance row.
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures.
-    pub fn faulty_needs(&self, r_values: &[f64]) -> Result<Vec<Vec<f64>>, CoreError> {
+    /// [`CoreError::FailureBudgetExceeded`] when too many samples stay
+    /// failed after retries.
+    pub fn try_faulty_needs(&self, r_values: &[f64]) -> Result<McRunReport<Vec<f64>>, CoreError> {
         let r_values = r_values.to_vec();
-        collect(self.mc.driver().run(move |_, rng| {
+        self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, ff) = self.draw(rng);
             let mut p = self.put.instantiate(&techs, r_values[0]);
+            harden_for_attempt(&mut p, attempt, rng);
             let mut row = Vec::with_capacity(r_values.len());
             for &r in &r_values {
                 p.set_resistance(r)?;
                 row.push(p.worst_delay()? + ff.overhead());
             }
             Ok(row)
-        }))
+        })
+    }
+
+    /// Slack needs of every *resolved* instance at every defect
+    /// resistance: `needs[sample][r_index]`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures (via the failure budget).
+    pub fn faulty_needs(&self, r_values: &[f64]) -> Result<Vec<Vec<f64>>, CoreError> {
+        Ok(self.try_faulty_needs(r_values)?.into_resolved())
     }
 
     /// Full study: `C_del(R)` curves at each `T = factor × T₀`
@@ -155,8 +239,27 @@ impl DfStudy {
         r_values: &[f64],
         t_factors: &[f64],
     ) -> Result<Vec<CoverageCurve>, CoreError> {
-        let needs = self.faulty_needs(r_values)?;
-        Ok(t_factors
+        Ok(self.coverage_with_report(calib, r_values, t_factors)?.0)
+    }
+
+    /// Like [`DfStudy::coverage`], also returning the failure accounting
+    /// of the underlying Monte Carlo run. Coverage is computed over the
+    /// resolved samples; each curve's `unresolved` field records the
+    /// excluded fraction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates calibration and simulation failures.
+    pub fn coverage_with_report(
+        &self,
+        calib: &DfCalibration,
+        r_values: &[f64],
+        t_factors: &[f64],
+    ) -> Result<(Vec<CoverageCurve>, FailureReport), CoreError> {
+        let report = self.try_faulty_needs(r_values)?;
+        let needs: Vec<&Vec<f64>> = report.resolved().collect();
+        let unresolved = report.unresolved_fraction();
+        let curves = t_factors
             .iter()
             .map(|&f| {
                 let t_test = f * calib.t0;
@@ -170,9 +273,11 @@ impl DfStudy {
                     factor: f,
                     resistance: r_values.to_vec(),
                     coverage,
+                    unresolved,
                 }
             })
-            .collect())
+            .collect();
+        Ok((curves, report.failures))
     }
 }
 
@@ -236,18 +341,29 @@ impl PulseStudy {
         TransferCurve::measure(&mut p, self.polarity, lo, hi, n)
     }
 
-    /// Output widths of every fault-free MC instance at injected width
-    /// `w_in` (with per-instance generator fluctuation).
+    /// Fault-free output widths with per-sample fault isolation.
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures.
-    pub fn fault_free_wouts(&self, w_in: f64) -> Result<Vec<f64>, CoreError> {
-        collect(self.mc.driver().run(move |_, rng| {
+    /// [`CoreError::FailureBudgetExceeded`] when too many samples stay
+    /// failed after retries.
+    pub fn try_fault_free_wouts(&self, w_in: f64) -> Result<McRunReport<f64>, CoreError> {
+        self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, gen_factor) = self.draw_techs(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
+            harden_for_attempt(&mut p, attempt, rng);
             p.pulse_width_out(w_in * gen_factor, self.polarity)
-        }))
+        })
+    }
+
+    /// Output widths of every *resolved* fault-free MC instance at
+    /// injected width `w_in` (with per-instance generator fluctuation).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures (via the failure budget).
+    pub fn fault_free_wouts(&self, w_in: f64) -> Result<Vec<f64>, CoreError> {
+        Ok(self.try_fault_free_wouts(w_in)?.into_resolved())
     }
 
     /// Like [`PulseStudy::fault_free_wouts`] but with the injected width
@@ -257,13 +373,15 @@ impl PulseStudy {
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures.
+    /// Propagates simulation failures (via the failure budget).
     pub fn fault_free_wouts_fixed_width(&self, w_in: f64) -> Result<Vec<f64>, CoreError> {
-        collect(self.mc.driver().run(move |_, rng| {
+        let report = self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, _) = self.draw_techs(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
+            harden_for_attempt(&mut p, attempt, rng);
             p.pulse_width_out(w_in, self.polarity)
-        }))
+        })?;
+        Ok(report.into_resolved())
     }
 
     /// Calibrates `(ω_in⁰, ω_th⁰)` per the paper's rule.
@@ -289,25 +407,41 @@ impl PulseStudy {
         )
     }
 
-    /// Output widths of every instance at every resistance:
-    /// `wouts[sample][r_index]`, injecting `w_in` (per-instance generator
-    /// fluctuation included).
+    /// Faulty output widths with per-sample fault isolation:
+    /// `outcomes[sample]` resolves to the per-resistance row.
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures.
-    pub fn faulty_wouts(&self, w_in: f64, r_values: &[f64]) -> Result<Vec<Vec<f64>>, CoreError> {
+    /// [`CoreError::FailureBudgetExceeded`] when too many samples stay
+    /// failed after retries.
+    pub fn try_faulty_wouts(
+        &self,
+        w_in: f64,
+        r_values: &[f64],
+    ) -> Result<McRunReport<Vec<f64>>, CoreError> {
         let r_values = r_values.to_vec();
-        collect(self.mc.driver().run(move |_, rng| {
+        self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, gen_factor) = self.draw_techs(rng);
             let mut p = self.put.instantiate(&techs, r_values[0]);
+            harden_for_attempt(&mut p, attempt, rng);
             let mut row = Vec::with_capacity(r_values.len());
             for &r in &r_values {
                 p.set_resistance(r)?;
                 row.push(p.pulse_width_out(w_in * gen_factor, self.polarity)?);
             }
             Ok(row)
-        }))
+        })
+    }
+
+    /// Output widths of every *resolved* instance at every resistance:
+    /// `wouts[sample][r_index]`, injecting `w_in` (per-instance generator
+    /// fluctuation included).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures (via the failure budget).
+    pub fn faulty_wouts(&self, w_in: f64, r_values: &[f64]) -> Result<Vec<Vec<f64>>, CoreError> {
+        Ok(self.try_faulty_wouts(w_in, r_values)?.into_resolved())
     }
 
     /// Full study: `C_pulse(R)` curves at each `ω_th = factor × ω_th⁰`
@@ -324,8 +458,27 @@ impl PulseStudy {
         r_values: &[f64],
         th_factors: &[f64],
     ) -> Result<Vec<CoverageCurve>, CoreError> {
-        let wouts = self.faulty_wouts(calib.w_in, r_values)?;
-        Ok(th_factors
+        Ok(self.coverage_with_report(calib, r_values, th_factors)?.0)
+    }
+
+    /// Like [`PulseStudy::coverage`], also returning the failure
+    /// accounting of the underlying Monte Carlo run. Coverage is computed
+    /// over the resolved samples; each curve's `unresolved` field records
+    /// the excluded fraction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn coverage_with_report(
+        &self,
+        calib: &PulseCalibration,
+        r_values: &[f64],
+        th_factors: &[f64],
+    ) -> Result<(Vec<CoverageCurve>, FailureReport), CoreError> {
+        let report = self.try_faulty_wouts(calib.w_in, r_values)?;
+        let wouts: Vec<&Vec<f64>> = report.resolved().collect();
+        let unresolved = report.unresolved_fraction();
+        let curves = th_factors
             .iter()
             .map(|&f| {
                 let th = f * calib.w_th;
@@ -339,14 +492,17 @@ impl PulseStudy {
                     factor: f,
                     resistance: r_values.to_vec(),
                     coverage,
+                    unresolved,
                 }
             })
-            .collect())
+            .collect();
+        Ok((curves, report.failures))
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::engine::DefectKind;
     use pulsar_cells::PathSpec;

@@ -318,6 +318,7 @@ pub fn validate_plan_electrically(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use pulsar_logic::{c432_like, GateKind};
 

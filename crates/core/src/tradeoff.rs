@@ -168,6 +168,7 @@ impl PulseStudy {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::engine::{DefectKind, PathUnderTest};
     use crate::study::McConfig;

@@ -128,6 +128,7 @@ impl TransferCurve {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::engine::{ModelFault, ModelPath};
     use pulsar_timing::{GateTimingModel, PathElement, PathTimingModel};

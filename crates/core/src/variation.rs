@@ -97,6 +97,7 @@ impl VariationModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

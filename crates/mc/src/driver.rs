@@ -1,5 +1,6 @@
 //! Deterministic, parallel Monte Carlo fan-out.
 
+use crate::outcome::SampleOutcome;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -43,12 +44,12 @@ impl MonteCarlo {
 
     /// Overrides the worker-thread count (1 = sequential).
     ///
-    /// # Panics
-    ///
-    /// Panics if `threads == 0`.
+    /// A request for `0` threads is clamped to 1 rather than panicking:
+    /// thread counts frequently arrive from environment variables or
+    /// config files, and a degenerate value should degrade to sequential
+    /// execution, not abort a campaign.
     pub fn with_threads(mut self, threads: usize) -> Self {
-        assert!(threads > 0, "need at least one thread");
-        self.threads = threads;
+        self.threads = threads.max(1);
         self
     }
 
@@ -71,45 +72,115 @@ impl MonteCarlo {
     /// Runs `f(i, rng)` for `i in 0..n` and returns results in index order.
     ///
     /// `f` runs concurrently on multiple threads; it must be `Sync` and
-    /// the result type `Send`.
+    /// the result type `Send`. One erroring sample aborts nothing here —
+    /// `f` is infallible; for fallible per-sample work with isolation and
+    /// retry, use [`MonteCarlo::try_run`].
     pub fn run<T, F>(&self, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize, &mut StdRng) -> T + Sync,
+    {
+        self.fan_out(|i| {
+            let mut rng = self.rng_for(i);
+            f(i, &mut rng)
+        })
+    }
+
+    /// Fault-isolated variant of [`MonteCarlo::run`]: each sample runs a
+    /// fallible closure and resolves to a [`SampleOutcome`] instead of
+    /// aborting the whole fan-out on the first error.
+    ///
+    /// `f(i, attempt, rng)` is called with `attempt` starting at 1.
+    /// **Every attempt re-derives the same per-sample RNG stream**
+    /// ([`MonteCarlo::rng_for`]), so a retry re-simulates the *identical*
+    /// circuit instance — escalation must come from the `attempt` number
+    /// (e.g. a tightened solver configuration), not from fresh randomness.
+    /// This is what keeps outcomes bit-identical across thread counts
+    /// even when some samples retry.
+    ///
+    /// After a failed attempt the error is retried only while
+    /// `retryable(&e)` holds and fewer than `max_attempts` attempts
+    /// (clamped to ≥ 1) have been spent; otherwise the sample resolves to
+    /// [`SampleOutcome::Failed`] carrying the final error.
+    pub fn try_run<T, E, F, R>(
+        &self,
+        max_attempts: u32,
+        retryable: R,
+        f: F,
+    ) -> Vec<SampleOutcome<T, E>>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize, u32, &mut StdRng) -> Result<T, E> + Sync,
+        R: Fn(&E) -> bool + Sync,
+    {
+        let max_attempts = max_attempts.max(1);
+        self.fan_out(|i| {
+            let mut attempt = 1u32;
+            loop {
+                let mut rng = self.rng_for(i);
+                match f(i, attempt, &mut rng) {
+                    Ok(value) if attempt == 1 => return SampleOutcome::Ok(value),
+                    Ok(value) => {
+                        return SampleOutcome::Recovered {
+                            value,
+                            attempts: attempt,
+                        }
+                    }
+                    Err(error) => {
+                        if attempt >= max_attempts || !retryable(&error) {
+                            return SampleOutcome::Failed {
+                                error,
+                                attempts: attempt,
+                            };
+                        }
+                        attempt += 1;
+                    }
+                }
+            }
+        })
+    }
+
+    /// Shared fan-out: runs `g(i)` for `i in 0..n` across the configured
+    /// worker threads and concatenates the per-chunk result vectors in
+    /// index order. Infallible by construction — each worker returns its
+    /// own `Vec`, so there are no placeholder slots to check afterwards.
+    /// A panicking worker is re-raised on the calling thread.
+    fn fan_out<T, G>(&self, g: G) -> Vec<T>
+    where
+        T: Send,
+        G: Fn(usize) -> T + Sync,
     {
         if self.n == 0 {
             return Vec::new();
         }
         let threads = self.threads.min(self.n);
         if threads == 1 {
-            return (0..self.n)
-                .map(|i| {
-                    let mut rng = self.rng_for(i);
-                    f(i, &mut rng)
-                })
-                .collect();
+            return (0..self.n).map(g).collect();
         }
 
-        let mut results: Vec<Option<T>> = (0..self.n).map(|_| None).collect();
         let chunk = self.n.div_ceil(threads);
+        let mut out: Vec<T> = Vec::with_capacity(self.n);
         std::thread::scope(|scope| {
-            for (t, slot_chunk) in results.chunks_mut(chunk).enumerate() {
-                let f = &f;
-                let base = t * chunk;
-                let me = *self;
-                scope.spawn(move || {
-                    for (k, slot) in slot_chunk.iter_mut().enumerate() {
-                        let i = base + k;
-                        let mut rng = me.rng_for(i);
-                        *slot = Some(f(i, &mut rng));
-                    }
-                });
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let g = &g;
+                    let n = self.n;
+                    scope.spawn(move || {
+                        let lo = (t * chunk).min(n);
+                        let hi = ((t + 1) * chunk).min(n);
+                        (lo..hi).map(g).collect::<Vec<T>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                match handle.join() {
+                    Ok(part) => out.extend(part),
+                    Err(payload) => std::panic::resume_unwind(payload),
+                }
             }
         });
-        results
-            .into_iter()
-            .map(|r| r.expect("every slot filled by its worker"))
-            .collect()
+        out
     }
 }
 
@@ -124,7 +195,9 @@ fn mix(seed: u64, i: u64) -> u64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
+    use proptest::prelude::*;
     use rand::RngExt;
 
     #[test]
@@ -175,8 +248,132 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn zero_threads_panics() {
-        let _ = MonteCarlo::new(1, 0).with_threads(0);
+    fn zero_threads_clamps_to_sequential() {
+        let mc = MonteCarlo::new(8, 3).with_threads(0);
+        let out = mc.run(|i, _| i);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    /// A deterministic fallible workload: samples whose index is in
+    /// `fail_until` fail with a retryable error until the given attempt
+    /// number; indexes in `hard_fail` always fail non-retryably.
+    fn flaky(
+        i: usize,
+        attempt: u32,
+        rng: &mut StdRng,
+        recover_at: &[(usize, u32)],
+        hard_fail: &[usize],
+    ) -> Result<f64, (bool, usize)> {
+        let draw = rng.random::<f64>();
+        if hard_fail.contains(&i) {
+            return Err((false, i));
+        }
+        if let Some(&(_, at)) = recover_at.iter().find(|&&(s, _)| s == i) {
+            if attempt < at {
+                return Err((true, i));
+            }
+        }
+        Ok(draw)
+    }
+
+    #[test]
+    fn try_run_isolates_and_recovers() {
+        let recover_at = [(3usize, 2u32), (9, 3)];
+        let hard_fail = [5usize];
+        let mc = MonteCarlo::new(16, 11).with_threads(4);
+        let out = mc.try_run(
+            4,
+            |e: &(bool, usize)| e.0,
+            |i, attempt, rng| flaky(i, attempt, rng, &recover_at, &hard_fail),
+        );
+        assert_eq!(out.len(), 16);
+        assert_eq!(out[3].attempts(), 2);
+        assert!(out[3].is_recovered());
+        assert_eq!(out[9].attempts(), 3);
+        assert!(out[9].is_recovered());
+        assert!(out[5].is_failed());
+        assert_eq!(
+            out[5].attempts(),
+            1,
+            "non-retryable errors stop immediately"
+        );
+        let clean = out
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| ![3, 5, 9].contains(i))
+            .all(|(_, o)| matches!(o, SampleOutcome::Ok(_)));
+        assert!(clean, "untouched samples resolve on the first attempt");
+    }
+
+    #[test]
+    fn try_run_exhausts_bounded_attempts() {
+        let mc = MonteCarlo::new(4, 1);
+        let out = mc.try_run(
+            3,
+            |_: &&str| true,
+            |i, _, _| {
+                if i == 2 {
+                    Err("never converges")
+                } else {
+                    Ok(i)
+                }
+            },
+        );
+        assert_eq!(
+            out[2],
+            SampleOutcome::Failed {
+                error: "never converges",
+                attempts: 3
+            }
+        );
+    }
+
+    #[test]
+    fn retries_replay_the_same_rng_stream() {
+        // Attempt 2 must see the identical stream as attempt 1 so the
+        // retried sample is the same circuit instance.
+        let mc = MonteCarlo::new(6, 21);
+        let baseline = mc.run(|_, rng| rng.random::<f64>());
+        let out = mc.try_run(
+            2,
+            |_: &()| true,
+            |i, attempt, rng| {
+                let draw = rng.random::<f64>();
+                if i == 4 && attempt == 1 {
+                    Err(())
+                } else {
+                    Ok(draw)
+                }
+            },
+        );
+        for (i, o) in out.iter().enumerate() {
+            assert_eq!(o.value(), Some(&baseline[i]));
+        }
+        assert!(out[4].is_recovered());
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::test_runner::ProptestConfig::with_cases(16))]
+        #[test]
+        fn try_run_bit_identical_across_thread_counts(seed in 0u64..10_000, n in 1usize..40) {
+            // Injected failures: a retryable flake recovering on attempt 2
+            // for i % 5 == 0, a hard failure for i % 7 == 3.
+            let work = |i: usize, attempt: u32, rng: &mut StdRng| -> Result<u64, (bool, usize)> {
+                let draw = rng.random::<u64>();
+                if i % 7 == 3 {
+                    Err((false, i))
+                } else if i.is_multiple_of(5) && attempt < 2 {
+                    Err((true, i))
+                } else {
+                    Ok(draw)
+                }
+            };
+            let retryable = |e: &(bool, usize)| e.0;
+            let base = MonteCarlo::new(n, seed).with_threads(1).try_run(3, retryable, work);
+            for threads in [2usize, 7] {
+                let par = MonteCarlo::new(n, seed).with_threads(threads).try_run(3, retryable, work);
+                prop_assert_eq!(&base, &par);
+            }
+        }
     }
 }

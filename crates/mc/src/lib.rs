@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors or documented
+// panics, never ad-hoc unwraps; #[cfg(test)] modules opt back in.
+#![warn(clippy::unwrap_used)]
 
 //! # pulsar-mc
 //!
@@ -31,9 +34,11 @@
 //! ```
 
 mod driver;
+mod outcome;
 mod sampling;
 mod stats;
 
 pub use driver::MonteCarlo;
+pub use outcome::SampleOutcome;
 pub use sampling::{normal, Gaussian};
 pub use stats::{coverage, quantile, Summary};

@@ -72,6 +72,7 @@ impl Gaussian {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -74,6 +74,7 @@ pub fn coverage<T>(samples: &[T], detected: impl Fn(&T) -> bool) -> f64 {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use proptest::prelude::*;
 

@@ -23,7 +23,7 @@ fn main() -> Result<(), CoreError> {
     let mc = McConfig::paper(32, 4242);
 
     // DF-testing calibration.
-    let df = DfStudy::new(put.clone(), mc);
+    let df = DfStudy::new(put.clone(), mc.clone());
     let needs = df.fault_free_needs()?;
     let cal_df = df.calibrate()?;
     println!("DF testing:");

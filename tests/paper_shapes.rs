@@ -73,7 +73,7 @@ fn c2_rop_methods_comparable_but_df_more_parameter_sensitive() {
     let mc = McConfig::paper(10, 77);
     let rs: Vec<f64> = [1e3, 3e3, 8e3, 20e3, 50e3, 120e3].to_vec();
 
-    let df = DfStudy::new(put(DefectKind::ExternalRop), mc);
+    let df = DfStudy::new(put(DefectKind::ExternalRop), mc.clone());
     let dcal = df.calibrate().unwrap();
     let dcurves = df.coverage(&dcal, &rs, &[0.9, 1.0, 1.1]).unwrap();
 
@@ -121,7 +121,7 @@ fn c3_pulse_beats_df_on_bridges() {
     };
     let rs: Vec<f64> = [1.5e3, 2.5e3, 4e3, 6e3].to_vec();
 
-    let df = DfStudy::new(put(defect), mc);
+    let df = DfStudy::new(put(defect), mc.clone());
     let dcal = df.calibrate().unwrap();
     let dcov = &df.coverage(&dcal, &rs, &[1.0]).unwrap()[0].coverage;
 
@@ -180,7 +180,7 @@ fn c4_attenuation_region_is_the_fluctuation_hotspot() {
 #[test]
 fn c6_delay_spread_exceeds_width_spread() {
     let mc = McConfig::paper(12, 314);
-    let df = DfStudy::new(put(DefectKind::ExternalRop), mc);
+    let df = DfStudy::new(put(DefectKind::ExternalRop), mc.clone());
     let needs = df.fault_free_needs().unwrap();
     let s_delay = Summary::of(&needs);
 
@@ -213,7 +213,7 @@ fn c3_holds_on_the_legacy_technology_too() {
     };
     let mc = McConfig::paper(6, 404);
 
-    let df = DfStudy::new(put.clone(), mc);
+    let df = DfStudy::new(put.clone(), mc.clone());
     let dcal = df.calibrate().unwrap();
 
     let mut pulse = PulseStudy::new(put, mc, Polarity::PositiveGoing);

@@ -1,0 +1,167 @@
+#![warn(missing_docs)]
+
+//! Offline vendored stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the API subset the workspace's benches use — [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — with a deliberately
+//! simple measurement model: a short warm-up, then a fixed batch of
+//! timed iterations, reporting mean wall time per iteration. There is no
+//! outlier analysis, no plotting, and no CLI argument handling.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const WARMUP_ITERS: u64 = 3;
+const MIN_MEASURE_ITERS: u64 = 10;
+const TARGET_MEASURE_TIME: Duration = Duration::from_millis(300);
+
+/// Times one benchmark body.
+pub struct Bencher {
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records mean wall time per call.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        for _ in 0..WARMUP_ITERS {
+            std::hint::black_box(routine());
+        }
+        let start = Instant::now();
+        let mut iters: u64 = 0;
+        while iters < MIN_MEASURE_ITERS || start.elapsed() < TARGET_MEASURE_TIME {
+            std::hint::black_box(routine());
+            iters += 1;
+        }
+        self.mean = start.elapsed() / iters as u32;
+    }
+}
+
+fn run_one(label: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        mean: Duration::ZERO,
+    };
+    f(&mut b);
+    println!("bench {label:<48} {:>12.3?}/iter", b.mean);
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, |b| f(b));
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing a prefix.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark under this group's prefix.
+    pub fn bench_function<I: IntoBenchmarkId, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id.into_benchmark_id()), |b| {
+            f(b)
+        });
+        self
+    }
+
+    /// Runs one parameterized benchmark; the input is passed through to
+    /// the body.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.label), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream finalizes reports here; here it is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a (possibly parameterized) benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function-plus-parameter id, rendered `name/parameter`.
+    pub fn new<P: Display>(name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted id forms for [`BenchmarkGroup::bench_function`].
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+/// Collects benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,312 @@
+#![warn(missing_docs)]
+
+//! Offline vendored stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements the subset of proptest the workspace's property tests use:
+//! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! `x in strategy` / `x: Type` parameter forms, range and tuple
+//! strategies, [`Strategy::prop_map`] / [`Strategy::prop_recursive`],
+//! [`prop_oneof!`], `collection::vec`, `any::<T>()`, and the
+//! `prop_assert*` / [`prop_assume!`] macros.
+//!
+//! Semantics differences from upstream, deliberately accepted:
+//! * **No shrinking** — a failing case reports the sampled inputs as-is.
+//! * **Fixed deterministic seed** — every run explores the same cases, so
+//!   CI results are reproducible (upstream persists failing seeds
+//!   instead).
+
+pub mod strategy;
+
+pub mod test_runner {
+    //! Test-case configuration and the runner's error type.
+
+    /// Subset of proptest's run configuration.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted (non-rejected) cases to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // Upstream defaults to 256; electrical-level property tests
+            // here are heavier per case, so the vendored default is lower.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why one sampled case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; the case is resampled.
+        Reject,
+        /// `prop_assert!`-family failure: the property is violated.
+        Fail(String),
+    }
+
+    /// Deterministic generator backing the sampled cases (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// The fixed-seed generator all vendored property tests use.
+        pub fn deterministic() -> Self {
+            TestRng {
+                state: 0x9E3779B97F4A7C15,
+            }
+        }
+
+        /// Next raw 64-bit word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform draw from `[0, n)`; `n > 0`.
+        pub fn below(&mut self, n: u64) -> u64 {
+            ((self.next_u64() as u128 * n as u128) >> 64) as u64
+        }
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` — whole-domain strategies per type.
+
+    use crate::strategy::BoxedStrategy;
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical whole-domain strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug + 'static {
+        /// Draws one arbitrary value.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            // Finite, sign-symmetric, spanning many magnitudes — the
+            // useful slice of `f64` for numeric property tests.
+            let mag = (rng.next_f64() * 600.0 - 300.0).exp2();
+            if rng.next_u64() & 1 == 1 {
+                -mag
+            } else {
+                mag
+            }
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+        BoxedStrategy::from_fn(T::arbitrary_value)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::{BoxedStrategy, Strategy};
+    use std::ops::Range;
+
+    /// Vectors of `element` with a length drawn uniformly from `size`.
+    pub fn vec<S>(element: S, size: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + Clone + 'static,
+    {
+        assert!(size.start < size.end, "empty vec size range");
+        BoxedStrategy::from_fn(move |rng| {
+            let n = size.start + rng.below((size.end - size.start) as u64) as usize;
+            (0..n).map(|_| element.sample(rng)).collect()
+        })
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    /// Alias so `prop::collection::vec(..)` works as in upstream.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Runs property-test functions: `proptest! { #[test] fn f(x in strat) { .. } }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { cfg($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: one test fn per recursion step.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (cfg($cfg:expr);) => {};
+    (cfg($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! { cfg($cfg); body($body); unparsed($($params)*); parsed() }
+        }
+        $crate::__proptest_fns! { cfg($cfg); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: normalizes the parameter list
+/// (`x in strategy` / `x: Type`) and expands the sampling loop.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // -- parameter munchers -------------------------------------------------
+    (cfg($cfg:expr); body($body:block);
+     unparsed($n:ident in $s:expr, $($rest:tt)*); parsed($($p:tt)*)) => {
+        $crate::__proptest_case! { cfg($cfg); body($body); unparsed($($rest)*); parsed($($p)* ($n, $s)) }
+    };
+    (cfg($cfg:expr); body($body:block);
+     unparsed($n:ident in $s:expr); parsed($($p:tt)*)) => {
+        $crate::__proptest_case! { cfg($cfg); body($body); unparsed(); parsed($($p)* ($n, $s)) }
+    };
+    (cfg($cfg:expr); body($body:block);
+     unparsed($n:ident : $t:ty, $($rest:tt)*); parsed($($p:tt)*)) => {
+        $crate::__proptest_case! { cfg($cfg); body($body); unparsed($($rest)*); parsed($($p)* ($n, $crate::arbitrary::any::<$t>())) }
+    };
+    (cfg($cfg:expr); body($body:block);
+     unparsed($n:ident : $t:ty); parsed($($p:tt)*)) => {
+        $crate::__proptest_case! { cfg($cfg); body($body); unparsed(); parsed($($p)* ($n, $crate::arbitrary::any::<$t>())) }
+    };
+    // -- runner -------------------------------------------------------------
+    (cfg($cfg:expr); body($body:block); unparsed(); parsed($(($n:ident, $s:expr))*)) => {{
+        use $crate::strategy::Strategy as _;
+        let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+        let mut __rng = $crate::test_runner::TestRng::deterministic();
+        // Strategies first, bound to the parameter names; the sampled
+        // values shadow them inside each iteration.
+        $(let $n = $s;)*
+        let mut __accepted: u32 = 0;
+        let mut __rejected: u32 = 0;
+        while __accepted < __cfg.cases {
+            $(let $n = $n.sample(&mut __rng);)*
+            let __inputs = format!(concat!($(stringify!($n), " = {:?}, ",)*), $(&$n,)*);
+            let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                })();
+            match __outcome {
+                Ok(()) => __accepted += 1,
+                Err($crate::test_runner::TestCaseError::Reject) => {
+                    __rejected += 1;
+                    assert!(
+                        __rejected < __cfg.cases * 64 + 256,
+                        "too many prop_assume! rejections ({__rejected}); strategy too narrow"
+                    );
+                }
+                Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                    panic!("property failed: {msg}\n  inputs: {__inputs}");
+                }
+            }
+        }
+    }};
+}
+
+/// Asserts a property inside a [`proptest!`] body, reporting the sampled
+/// inputs on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(
+            __a == __b,
+            "{} != {} ({:?} vs {:?})",
+            stringify!($a),
+            stringify!($b),
+            __a,
+            __b
+        );
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)*) => {{
+        let (__a, __b) = (&$a, &$b);
+        $crate::prop_assert!(__a == __b, $($fmt)*);
+    }};
+}
+
+/// Rejects the current inputs (they are resampled, not counted).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {{
+        use $crate::strategy::Strategy as _;
+        $crate::strategy::union(vec![$(($s).boxed()),+])
+    }};
+}

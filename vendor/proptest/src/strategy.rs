@@ -1,0 +1,247 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically maps draws from a
+//! [`TestRng`](crate::test_runner::TestRng) to values. Unlike upstream
+//! proptest there is no value tree and no shrinking: `sample` produces a
+//! final value directly.
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for producing values of one type from a [`TestRng`].
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value: Debug + 'static;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `f(value)` for every value this one produces.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        O: Debug + 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| f(self.sample(rng)))
+    }
+
+    /// A recursive strategy: values are either drawn from `self` (the
+    /// leaf) or from `recurse` applied to the shallower levels, nested up
+    /// to `depth` times. `_desired_size` and `_expected_branch_size` are
+    /// accepted for upstream signature compatibility and ignored — this
+    /// implementation bounds growth by mixing the leaf back in at every
+    /// level instead.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(current).boxed();
+            current = union(vec![leaf.clone(), deeper]);
+        }
+        current
+    }
+
+    /// Type-erased, cheaply clonable form of this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.sample(rng))
+    }
+}
+
+/// A type-erased strategy; clones share the underlying sampler.
+pub struct BoxedStrategy<V> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: Rc::clone(&self.sampler),
+        }
+    }
+}
+
+impl<V> BoxedStrategy<V> {
+    /// Wraps a sampling function as a strategy.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> V + 'static) -> Self {
+        BoxedStrategy {
+            sampler: Rc::new(f),
+        }
+    }
+}
+
+impl<V: Debug + 'static> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.sampler)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<V> {
+        self
+    }
+}
+
+/// Uniform choice among strategies of the same value type (backs
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub fn union<V: Debug + 'static>(choices: Vec<BoxedStrategy<V>>) -> BoxedStrategy<V> {
+    assert!(!choices.is_empty(), "union of zero strategies");
+    BoxedStrategy::from_fn(move |rng| {
+        let idx = rng.below(choices.len() as u64) as usize;
+        choices[idx].sample(rng)
+    })
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty f64 range strategy");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty f64 range strategy");
+        lo + rng.next_f64() * (hi - lo)
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty integer range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty integer range strategy");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-domain u64/i64 inclusive range.
+                    rng.next_u64() as $t
+                } else {
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+/// A strategy that always yields clones of one value (upstream's
+/// `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<V: Clone + Debug + 'static>(pub V);
+
+impl<V: Clone + Debug + 'static> Strategy for Just<V> {
+    type Value = V;
+
+    fn sample(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic();
+        for _ in 0..1_000 {
+            let f = (1.5f64..9.25).sample(&mut rng);
+            assert!((1.5..9.25).contains(&f));
+            let i = (3u64..17).sample(&mut rng);
+            assert!((3..17).contains(&i));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples_compose() {
+        let mut rng = TestRng::deterministic();
+        let s = ((0u32..10), (0.0f64..1.0)).prop_map(|(a, b)| a as f64 + b);
+        for _ in 0..100 {
+            let v = s.sample(&mut rng);
+            assert!((0.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn recursion_terminates_and_mixes_depths() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum Tree {
+            Leaf(u64),
+            Node(Box<Tree>, Box<Tree>),
+        }
+        fn size(t: &Tree) -> usize {
+            match t {
+                Tree::Leaf(_) => 1,
+                Tree::Node(a, b) => size(a) + size(b),
+            }
+        }
+        let strat = (0u64..100)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(4, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Node(Box::new(a), Box::new(b)))
+            });
+        let mut rng = TestRng::deterministic();
+        let mut max = 0;
+        for _ in 0..200 {
+            max = max.max(size(&strat.sample(&mut rng)));
+        }
+        assert!(max > 1, "recursion should sometimes nest");
+        assert!(max <= 1 << 5, "depth bound should hold");
+    }
+}
