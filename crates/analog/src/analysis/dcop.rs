@@ -5,6 +5,7 @@ use crate::circuit::{Circuit, NodeId};
 use crate::elements::Element;
 use crate::error::Error;
 use crate::solver::mna::System;
+use crate::solver::workspace::{SolverWorkspace, SysScratch};
 
 /// Solved DC operating point of a circuit.
 ///
@@ -74,59 +75,117 @@ impl Circuit {
 
     /// DC operating point with sources evaluated at time `t`.
     pub fn dc_op_at(&self, t: f64) -> Result<DcSolution, Error> {
-        let mut sys = System::new(self);
-        let mut x = vec![0.0; sys.unknowns()];
+        self.dc_op_with(t, &mut SolverWorkspace::new())
+    }
 
-        // 1. Direct attempt.
-        if sys
-            .solve_newton(&mut x, t, None, 1.0, 0.0, 100, "dc operating point")
-            .is_ok()
-        {
-            return Ok(DcSolution { x });
-        }
-
-        // 2. Gmin stepping: solve with a large shunt conductance and relax
-        // it geometrically, warm-starting each stage.
-        x.fill(0.0);
-        let mut gmin = 1e-2;
-        let mut ok = true;
-        while gmin > 1e-13 {
-            if sys
-                .solve_newton(&mut x, t, None, 1.0, gmin, 100, "dc operating point (gmin)")
-                .is_err()
-            {
-                ok = false;
-                break;
-            }
-            gmin /= 10.0;
-        }
-        if ok {
-            // Final solve with only the built-in gmin floor.
-            if sys
-                .solve_newton(&mut x, t, None, 1.0, 0.0, 100, "dc operating point")
-                .is_ok()
-            {
-                return Ok(DcSolution { x });
-            }
-        }
-
-        // 3. Source stepping.
-        x.fill(0.0);
-        let mut scale = 0.0_f64;
-        while scale < 1.0 {
-            scale = (scale + 0.1).min(1.0);
-            sys.solve_newton(
-                &mut x,
-                t,
-                None,
-                scale,
-                0.0,
-                100,
-                "dc operating point (source)",
-            )?;
-        }
+    /// DC operating point reusing a caller-owned [`SolverWorkspace`].
+    ///
+    /// Numerically identical to [`Circuit::dc_op_at`] — workspace reuse
+    /// only recycles allocations — unless the workspace has
+    /// [`SolverWorkspace::enable_dc_warm_start`] switched on, in which case
+    /// Newton is first seeded from the workspace's previous DC solution
+    /// (with a cold-ladder fallback) and the result matches a cold solve
+    /// within solver tolerances rather than bit-exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Circuit::dc_op`].
+    pub fn dc_op_with(&self, t: f64, ws: &mut SolverWorkspace) -> Result<DcSolution, Error> {
+        let mut x = Vec::new();
+        let SolverWorkspace {
+            sys,
+            warm_dc,
+            warm_x,
+            ..
+        } = ws;
+        let warm = if *warm_dc { Some(warm_x) } else { None };
+        self.dc_into(t, sys, warm, &mut x)?;
         Ok(DcSolution { x })
     }
+
+    /// DC solve into a caller-owned solution vector, using `scratch` for
+    /// all intermediate storage and optionally warm-starting from (and
+    /// refreshing) `warm`.
+    pub(crate) fn dc_into(
+        &self,
+        t: f64,
+        scratch: &mut SysScratch,
+        warm: Option<&mut Vec<f64>>,
+        x: &mut Vec<f64>,
+    ) -> Result<(), Error> {
+        let mut sys = System::new(self, scratch);
+        x.clear();
+        x.resize(sys.unknowns(), 0.0);
+
+        let mut warm = warm;
+        if let Some(w) = warm.as_deref_mut() {
+            if w.len() == x.len() {
+                x.copy_from_slice(w);
+                if sys
+                    .solve_newton(x, t, None, 1.0, 0.0, 100, "dc operating point (warm)")
+                    .is_ok()
+                {
+                    w.copy_from_slice(x);
+                    return Ok(());
+                }
+                // Warm attempt failed: fall back to the cold ladder.
+                x.fill(0.0);
+            }
+        }
+
+        dc_cold(&mut sys, x, t)?;
+        if let Some(w) = warm {
+            w.clear();
+            w.extend_from_slice(x);
+        }
+        Ok(())
+    }
+}
+
+/// The three-stage cold DC strategy: direct Newton, then gmin stepping,
+/// then source stepping. `x` must be zeroed on entry.
+fn dc_cold(sys: &mut System<'_, '_>, x: &mut [f64], t: f64) -> Result<(), Error> {
+    // 1. Direct attempt.
+    if sys
+        .solve_newton(x, t, None, 1.0, 0.0, 100, "dc operating point")
+        .is_ok()
+    {
+        return Ok(());
+    }
+
+    // 2. Gmin stepping: solve with a large shunt conductance and relax
+    // it geometrically, warm-starting each stage.
+    x.fill(0.0);
+    let mut gmin = 1e-2;
+    let mut ok = true;
+    while gmin > 1e-13 {
+        if sys
+            .solve_newton(x, t, None, 1.0, gmin, 100, "dc operating point (gmin)")
+            .is_err()
+        {
+            ok = false;
+            break;
+        }
+        gmin /= 10.0;
+    }
+    if ok {
+        // Final solve with only the built-in gmin floor.
+        if sys
+            .solve_newton(x, t, None, 1.0, 0.0, 100, "dc operating point")
+            .is_ok()
+        {
+            return Ok(());
+        }
+    }
+
+    // 3. Source stepping.
+    x.fill(0.0);
+    let mut scale = 0.0_f64;
+    while scale < 1.0 {
+        scale = (scale + 0.1).min(1.0);
+        sys.solve_newton(x, t, None, scale, 0.0, 100, "dc operating point (source)")?;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

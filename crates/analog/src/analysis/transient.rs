@@ -8,7 +8,8 @@
 use crate::circuit::{Circuit, NodeId};
 use crate::elements::Element;
 use crate::error::Error;
-use crate::solver::mna::{CapState, Method, System};
+use crate::solver::mna::{collect_cap_branches, CapState, Method, System};
+use crate::solver::workspace::{SolverWorkspace, SysScratch, TranScratch};
 use crate::waveform::Trace;
 
 /// Configuration of a transient run.
@@ -109,12 +110,53 @@ impl TranConfig {
     }
 }
 
+/// Which node waveforms a transient run materializes.
+///
+/// Every accepted time point appends one sample per captured node, so a
+/// Monte Carlo study that only measures a couple of outputs pays for every
+/// node's waveform under [`TraceCapture::All`]. Capture selection never
+/// touches the solver: the same points are accepted with the same
+/// arithmetic, only the recording differs, so measurements on captured
+/// nodes are bit-identical across policies.
+///
+/// A "measurements-only" policy is spelled `Nodes(...)` listing exactly
+/// the nodes the caller will measure.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum TraceCapture {
+    /// Record every node (the behavior of [`Circuit::transient`]).
+    #[default]
+    All,
+    /// Record only the listed nodes, in the order given (duplicates are
+    /// recorded once). [`TranResult::trace`] panics for any other node.
+    Nodes(Vec<NodeId>),
+}
+
+/// Bookkeeping counters from one transient run.
+///
+/// Useful both as an allocation-free observability hook for benchmarks
+/// (points accepted ≈ solver work) and to assert step-control behavior in
+/// tests (e.g. that the LTE controller actually rejected a step).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TranStats {
+    /// Accepted time points, including the `t = 0` sample.
+    pub accepted_points: usize,
+    /// Newton failures that triggered a step-halving retry.
+    pub newton_retries: usize,
+    /// Steps rejected (and re-taken at half size) by the adaptive LTE
+    /// controller.
+    pub lte_rejections: usize,
+}
+
 /// Result of a transient run: sampled node voltages over time.
 #[derive(Debug, Clone)]
 pub struct TranResult {
     times: Vec<f64>,
-    /// `voltages[node_index]` is the sample series of that node.
+    /// One sample series per captured column.
     voltages: Vec<Vec<f64>>,
+    /// Column → node map for `TraceCapture::Nodes`; `None` means all
+    /// nodes were captured and column `i` is node `i`.
+    captured: Option<Vec<NodeId>>,
+    stats: TranStats,
 }
 
 impl TranResult {
@@ -127,9 +169,22 @@ impl TranResult {
     ///
     /// # Panics
     ///
-    /// Panics if `node` does not belong to the simulated circuit.
+    /// Panics if `node` does not belong to the simulated circuit, or if
+    /// the run was made with a [`TraceCapture::Nodes`] policy that did not
+    /// include `node`.
     pub fn trace(&self, node: NodeId) -> Trace<'_> {
-        Trace::new(&self.times, &self.voltages[node.index()])
+        let col = match &self.captured {
+            None => node.index(),
+            Some(cols) => match cols.iter().position(|&c| c == node) {
+                Some(col) => col,
+                None => panic!(
+                    "node {} was not captured by this transient run; \
+                     add it to TraceCapture::Nodes or use TraceCapture::All",
+                    node.index()
+                ),
+            },
+        };
+        Trace::new(&self.times, &self.voltages[col])
     }
 
     /// Number of accepted time points.
@@ -141,13 +196,37 @@ impl TranResult {
     pub fn is_empty(&self) -> bool {
         self.times.is_empty()
     }
+
+    /// Step-control and solver counters for this run.
+    pub fn stats(&self) -> TranStats {
+        self.stats
+    }
+}
+
+/// Collects waveform breakpoints of all sources into `out` (cleared
+/// first), sorted and deduplicated.
+fn collect_breakpoints(ckt: &Circuit, stop: f64, out: &mut Vec<f64>) {
+    out.clear();
+    for e in ckt.elements() {
+        match e {
+            Element::Vsource { wave, .. } | Element::Isource { wave, .. } => {
+                out.extend(wave.breakpoints(stop));
+            }
+            _ => {}
+        }
+    }
+    out.sort_by(|a, b| a.total_cmp(b));
+    out.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
 }
 
 impl Circuit {
     /// Runs a transient analysis over `[0, cfg.stop]`.
     ///
     /// The initial condition is the DC operating point at `t = 0` with all
-    /// capacitor currents zero (quiescent start).
+    /// capacitor currents zero (quiescent start). Every node's waveform is
+    /// recorded; allocates a fresh [`SolverWorkspace`] internally. Batch
+    /// callers should prefer [`Circuit::transient_with`], which reuses a
+    /// workspace across solves and can slim the capture set.
     ///
     /// # Errors
     ///
@@ -155,57 +234,131 @@ impl Circuit {
     /// (after step-halving retries), invalid configurations and singular
     /// matrices.
     pub fn transient(&self, cfg: &TranConfig) -> Result<TranResult, Error> {
+        self.transient_with(cfg, &mut SolverWorkspace::new(), &TraceCapture::All)
+    }
+
+    /// Runs a transient analysis reusing a caller-owned [`SolverWorkspace`]
+    /// and recording only the nodes selected by `capture`.
+    ///
+    /// Numerics are bit-identical to [`Circuit::transient`] regardless of
+    /// workspace reuse or capture policy (the workspace recycles
+    /// allocations, never intermediate values), with one opt-in exception:
+    /// a workspace with [`SolverWorkspace::enable_dc_warm_start`] switched
+    /// on seeds the initial DC solve from the previous operating point and
+    /// matches a cold start only within solver tolerances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capture` names a node that does not belong to `self`.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Circuit::transient`].
+    pub fn transient_with(
+        &self,
+        cfg: &TranConfig,
+        ws: &mut SolverWorkspace,
+        capture: &TraceCapture,
+    ) -> Result<TranResult, Error> {
         cfg.validate()?;
-        let dc = self.dc_op()?;
-        let mut sys = System::new(self);
-        let mut x = dc.x;
 
-        // Companion-model states, one per capacitive branch.
-        let branches = sys.cap_branches();
-        let mut caps: Vec<CapState> = branches
-            .iter()
-            .map(|&(a, b, _)| CapState {
-                v_prev: System::node_voltage(&x, a) - System::node_voltage(&x, b),
-                i_prev: 0.0,
-            })
-            .collect();
-
-        // Breakpoints: all waveform corners, sorted and deduplicated.
-        let mut breakpoints: Vec<f64> = Vec::new();
-        for e in self.elements() {
-            match e {
-                Element::Vsource { wave, .. } | Element::Isource { wave, .. } => {
-                    breakpoints.extend(wave.breakpoints(cfg.stop));
+        // Resolve the capture policy into a column → node map.
+        let captured: Option<Vec<NodeId>> = match capture {
+            TraceCapture::All => None,
+            TraceCapture::Nodes(nodes) => {
+                let mut cols: Vec<NodeId> = Vec::with_capacity(nodes.len());
+                for &n in nodes {
+                    assert!(
+                        n.index() < self.node_count(),
+                        "TraceCapture names node {} but the circuit has {} nodes",
+                        n.index(),
+                        self.node_count()
+                    );
+                    if !cols.contains(&n) {
+                        cols.push(n);
+                    }
                 }
-                _ => {}
-            }
-        }
-        breakpoints.sort_by(|a, b| a.total_cmp(b));
-        breakpoints.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
-        let mut next_bp = 0usize;
-
-        let capacity = (cfg.stop / cfg.step) as usize + breakpoints.len() + 2;
-        let mut times = Vec::with_capacity(capacity);
-        let mut voltages: Vec<Vec<f64>> = vec![Vec::with_capacity(capacity); self.node_count()];
-        let record = |t: f64, x: &[f64], times: &mut Vec<f64>, voltages: &mut Vec<Vec<f64>>| {
-            times.push(t);
-            for (n, column) in voltages.iter_mut().enumerate() {
-                column.push(System::node_voltage(x, NodeId(n)));
+                Some(cols)
             }
         };
-        record(0.0, &x, &mut times, &mut voltages);
 
+        let SolverWorkspace {
+            sys: sys_scratch,
+            tran,
+            warm_dc,
+            warm_x,
+        } = ws;
+        let TranScratch {
+            caps,
+            cap_branches,
+            breakpoints,
+            x,
+            xn,
+            x_prev,
+        } = tran;
+
+        // Initial condition: DC operating point into the workspace buffer.
+        let warm = if *warm_dc { Some(warm_x) } else { None };
+        self.dc_into(0.0, sys_scratch, warm, x)?;
+        let mut sys = System::new(self, sys_scratch);
+        let nu = x.len();
+        xn.clear();
+        xn.resize(nu, 0.0);
+        x_prev.clear();
+        x_prev.resize(nu, 0.0);
+
+        // Companion-model states, one per capacitive branch.
+        collect_cap_branches(self, cap_branches);
+        caps.clear();
+        caps.extend(cap_branches.iter().map(|&(a, b, _)| CapState {
+            v_prev: System::node_voltage(x, a) - System::node_voltage(x, b),
+            i_prev: 0.0,
+        }));
+
+        // Breakpoints: all waveform corners, sorted and deduplicated.
+        collect_breakpoints(self, cfg.stop, breakpoints);
+        let mut next_bp = 0usize;
+
+        // Result storage is freshly allocated — it is handed to the caller
+        // — but only for the captured columns.
+        let capacity = (cfg.stop / cfg.step) as usize + breakpoints.len() + 2;
+        let ncols = captured.as_ref().map_or(self.node_count(), Vec::len);
+        let mut times = Vec::with_capacity(capacity);
+        let mut voltages: Vec<Vec<f64>> = vec![Vec::with_capacity(capacity); ncols];
+        let record = |t: f64, x: &[f64], times: &mut Vec<f64>, voltages: &mut Vec<Vec<f64>>| {
+            times.push(t);
+            match &captured {
+                None => {
+                    for (n, column) in voltages.iter_mut().enumerate() {
+                        column.push(System::node_voltage(x, NodeId(n)));
+                    }
+                }
+                Some(cols) => {
+                    for (&node, column) in cols.iter().zip(voltages.iter_mut()) {
+                        column.push(System::node_voltage(x, node));
+                    }
+                }
+            }
+        };
+        record(0.0, x, &mut times, &mut voltages);
+
+        let mut stats = TranStats::default();
         let mut t = 0.0;
         // Force a BE step right after t=0 and after every breakpoint.
         let mut after_discontinuity = true;
-        // Adaptive-control state: current step and predictor history.
+        // Adaptive-control state: current step and predictor history. The
+        // predictor buffers hold the solution at the previously *accepted*
+        // point and the size of the step that produced the current point
+        // (`h_prev` is written only after any rejection/retry shrinking,
+        // so a rejected trial size never enters the LTE slope).
         let h_min = cfg.step / 1024.0;
         let mut h_cur = if cfg.adaptive {
             cfg.step / 8.0
         } else {
             cfg.step
         };
-        let mut prev: Option<(f64, Vec<f64>)> = None; // (h of last step, x before it)
+        let mut have_prev = false;
+        let mut h_prev = 0.0_f64;
         let nn = self.node_count() - 1;
 
         while t < cfg.stop - 1e-18 {
@@ -246,15 +399,210 @@ impl Circuit {
                 }
             };
 
-            // Solve at tn, halving the step on Newton failure (up to 6x)
-            // or, in adaptive mode, on an LTE violation.
+            // Solve at tn, halving the step on Newton failure (up to 10x)
+            // or, in adaptive mode, on an LTE violation. `xn` is the
+            // double-buffer partner of `x`: seeded by copy, swapped (not
+            // cloned) on acceptance.
+            let mut sub_t = tn;
+            let mut attempts = 0;
+            xn.copy_from_slice(x);
+            let mut lte = 0.0_f64;
+            loop {
+                let h = sub_t - t;
+                match sys.solve_newton(
+                    xn,
+                    sub_t,
+                    Some((caps.as_slice(), h, method)),
+                    1.0,
+                    0.0,
+                    cfg.max_newton,
+                    "transient",
+                ) {
+                    Ok(()) => {
+                        // LTE estimate: deviation from the linear
+                        // predictor built on the previous accepted step.
+                        if cfg.adaptive && !after_discontinuity && have_prev {
+                            lte = 0.0;
+                            for i in 0..nn {
+                                let slope = (x[i] - x_prev[i]) / h_prev;
+                                let pred = x[i] + slope * h;
+                                lte = lte.max((xn[i] - pred).abs());
+                            }
+                            if lte > cfg.lte_tol && h > h_min && attempts <= 10 {
+                                attempts += 1;
+                                stats.lte_rejections += 1;
+                                sub_t = t + h / 2.0;
+                                xn.copy_from_slice(x);
+                                continue;
+                            }
+                        }
+                        break;
+                    }
+                    Err(e @ Error::SingularMatrix { .. }) => return Err(e),
+                    Err(e) => {
+                        attempts += 1;
+                        stats.newton_retries += 1;
+                        if attempts > 10 {
+                            return Err(e);
+                        }
+                        sub_t = t + (sub_t - t) / 2.0;
+                        xn.copy_from_slice(x);
+                    }
+                }
+            }
+
+            // Accept the (possibly shortened) step: `h` is recomputed from
+            // the final `sub_t`, so it is the *accepted* step size even
+            // after rejections halved the trial step.
+            let h = sub_t - t;
+            if cfg.adaptive {
+                // Grow in quiet intervals, shrink when the error crowds
+                // the tolerance.
+                if lte < 0.25 * cfg.lte_tol {
+                    h_cur = (h * 1.6).min(cfg.step);
+                } else if lte > 0.75 * cfg.lte_tol {
+                    h_cur = (h / 1.5).max(h_min);
+                } else {
+                    h_cur = h.min(cfg.step);
+                }
+                // Predictor history for the next step's LTE estimate
+                // (only read in adaptive mode, so only maintained there).
+                x_prev.copy_from_slice(x);
+                h_prev = h;
+                have_prev = true;
+            }
+            // Advance the companion states, reusing the `c/h` conductances
+            // the last (accepted) solve hoisted for exactly this `h` and
+            // method — the same bits the baseline recomputes per branch.
+            for ((st, &(a, b, _)), &geq) in
+                caps.iter_mut().zip(cap_branches.iter()).zip(sys.cap_geq())
+            {
+                let v_now = System::node_voltage(xn, a) - System::node_voltage(xn, b);
+                let i_now = match method {
+                    Method::BackwardEuler => geq * (v_now - st.v_prev),
+                    Method::Trapezoidal => geq * (v_now - st.v_prev) - st.i_prev,
+                };
+                st.v_prev = v_now;
+                st.i_prev = i_now;
+            }
+            core::mem::swap(x, xn);
+            t = sub_t;
+            record(t, x, &mut times, &mut voltages);
+            after_discontinuity = hit_bp && (sub_t - tn).abs() < 1e-18;
+        }
+
+        stats.accepted_points = times.len();
+        Ok(TranResult {
+            times,
+            voltages,
+            captured,
+            stats,
+        })
+    }
+
+    /// The pre-workspace transient engine, preserved verbatim as the
+    /// benchmark baseline and as an independent numerical cross-check.
+    ///
+    /// This is what [`Circuit::transient`] was before workspace reuse:
+    /// it clones the solution vector on every step attempt and every
+    /// accepted step, keeps the LTE predictor history as a per-step
+    /// allocation, records every node, and runs the preserved pre-PR
+    /// Newton and LU kernels ([`System::solve_newton_baseline`]). Results
+    /// are bit-identical to the workspace engine (asserted by the
+    /// `workspace_equivalence` tests).
+    ///
+    /// Not part of the simulation API proper; `bench_hotpath` uses it for
+    /// same-run before/after comparisons, and it will be dropped once the
+    /// perf trajectory no longer needs the anchor.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`Circuit::transient`].
+    pub fn transient_baseline(&self, cfg: &TranConfig) -> Result<TranResult, Error> {
+        cfg.validate()?;
+        let dc = self.dc_op()?;
+        let mut scratch = SysScratch::default();
+        let mut sys = System::new(self, &mut scratch);
+        let mut x = dc.x;
+
+        // Companion-model states, one per capacitive branch.
+        let mut branches = Vec::new();
+        collect_cap_branches(self, &mut branches);
+        let mut caps: Vec<CapState> = branches
+            .iter()
+            .map(|&(a, b, _)| CapState {
+                v_prev: System::node_voltage(&x, a) - System::node_voltage(&x, b),
+                i_prev: 0.0,
+            })
+            .collect();
+
+        let mut breakpoints: Vec<f64> = Vec::new();
+        collect_breakpoints(self, cfg.stop, &mut breakpoints);
+        let mut next_bp = 0usize;
+
+        let capacity = (cfg.stop / cfg.step) as usize + breakpoints.len() + 2;
+        let mut times = Vec::with_capacity(capacity);
+        let mut voltages: Vec<Vec<f64>> = vec![Vec::with_capacity(capacity); self.node_count()];
+        let record = |t: f64, x: &[f64], times: &mut Vec<f64>, voltages: &mut Vec<Vec<f64>>| {
+            times.push(t);
+            for (n, column) in voltages.iter_mut().enumerate() {
+                column.push(System::node_voltage(x, NodeId(n)));
+            }
+        };
+        record(0.0, &x, &mut times, &mut voltages);
+
+        let mut t = 0.0;
+        let mut after_discontinuity = true;
+        let h_min = cfg.step / 1024.0;
+        let mut h_cur = if cfg.adaptive {
+            cfg.step / 8.0
+        } else {
+            cfg.step
+        };
+        let mut prev: Option<(f64, Vec<f64>)> = None; // (h of last step, x before it)
+        let nn = self.node_count() - 1;
+
+        while t < cfg.stop - 1e-18 {
+            if times.len() >= cfg.max_points {
+                return Err(Error::StepBudgetExhausted {
+                    points: times.len(),
+                    time: t,
+                });
+            }
+            if let Some(e) = crate::inject::fire(times.len(), t) {
+                return Err(e);
+            }
+            let mut tn = t + h_cur;
+            let mut hit_bp = false;
+            while next_bp < breakpoints.len() && breakpoints[next_bp] <= t + 1e-18 {
+                next_bp += 1;
+            }
+            if next_bp < breakpoints.len() && breakpoints[next_bp] < tn - 1e-18 {
+                tn = breakpoints[next_bp];
+                hit_bp = true;
+            }
+            if tn > cfg.stop {
+                tn = cfg.stop;
+            }
+
+            let method = match cfg.integrator {
+                Integrator::BackwardEuler => Method::BackwardEuler,
+                Integrator::Trapezoidal => {
+                    if after_discontinuity {
+                        Method::BackwardEuler
+                    } else {
+                        Method::Trapezoidal
+                    }
+                }
+            };
+
             let mut sub_t = tn;
             let mut attempts = 0;
             let mut xn = x.clone();
             let mut lte = 0.0_f64;
             loop {
                 let h = sub_t - t;
-                match sys.solve_newton(
+                match sys.solve_newton_baseline(
                     &mut xn,
                     sub_t,
                     Some((&caps, h, method)),
@@ -264,8 +612,6 @@ impl Circuit {
                     "transient",
                 ) {
                     Ok(()) => {
-                        // LTE estimate: deviation from the linear
-                        // predictor built on the previous accepted step.
                         if cfg.adaptive && !after_discontinuity {
                             if let Some((h_prev, ref x_prev)) = prev {
                                 lte = 0.0;
@@ -296,11 +642,8 @@ impl Circuit {
                 }
             }
 
-            // Accept the (possibly shortened) step: update companion states.
             let h = sub_t - t;
             if cfg.adaptive {
-                // Grow in quiet intervals, shrink when the error crowds
-                // the tolerance.
                 if lte < 0.25 * cfg.lte_tol {
                     h_cur = (h * 1.6).min(cfg.step);
                 } else if lte > 0.75 * cfg.lte_tol {
@@ -325,7 +668,16 @@ impl Circuit {
             after_discontinuity = hit_bp && (sub_t - tn).abs() < 1e-18;
         }
 
-        Ok(TranResult { times, voltages })
+        let stats = TranStats {
+            accepted_points: times.len(),
+            ..TranStats::default()
+        };
+        Ok(TranResult {
+            times,
+            voltages,
+            captured: None,
+            stats,
+        })
     }
 }
 
@@ -566,6 +918,161 @@ mod tests {
         }
         // Nothing armed: clean run.
         assert!(ckt.transient(&cfg).is_ok());
+    }
+
+    /// RC deck shared by the adaptive/capture tests below.
+    fn rc_deck() -> (Circuit, NodeId, NodeId) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(
+            vin,
+            Circuit::GROUND,
+            Waveform::step(0.0, 1.0, 0.1e-9, 1e-12),
+        );
+        ckt.resistor(vin, out, 1e3);
+        ckt.capacitor(out, Circuit::GROUND, 1e-12);
+        (ckt, vin, out)
+    }
+
+    #[test]
+    fn forced_lte_rejection_keeps_accepted_step_bookkeeping() {
+        // An inverter driven by a slow ramp: the only breakpoints are the
+        // ramp endpoints, so the step controller grows toward the 1 ns
+        // maximum over the flat pre-threshold stretch and is then surprised
+        // by the output switching mid-ramp — a hard LTE rejection, not a
+        // gradual band shrink. The predictor history (h_prev, x_prev) must
+        // then hold the *accepted* step, not the rejected trial size —
+        // verified by bit-identity with the preserved clone-based baseline
+        // engine, which recomputes h after the retry loop by construction.
+        use crate::elements::{MosType, Mosfet, MosfetParams};
+        let params = |kind: MosType, w: f64| MosfetParams {
+            vt0: if matches!(kind, MosType::Nmos) {
+                0.4
+            } else {
+                -0.42
+            },
+            kp: if matches!(kind, MosType::Nmos) {
+                170e-6
+            } else {
+                60e-6
+            },
+            lambda: 0.06,
+            w,
+            l: 0.18e-6,
+            cgs: 1e-15,
+            cgd: 1e-15,
+            cdb: 1e-15,
+        };
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(1.8));
+        ckt.vsource(inp, Circuit::GROUND, Waveform::step(0.0, 1.8, 0.2e-9, 4e-9));
+        ckt.add_mosfet(Mosfet {
+            kind: MosType::Pmos,
+            d: out,
+            g: inp,
+            s: vdd,
+            params: params(MosType::Pmos, 2.0e-6),
+        });
+        ckt.add_mosfet(Mosfet {
+            kind: MosType::Nmos,
+            d: out,
+            g: inp,
+            s: Circuit::GROUND,
+            params: params(MosType::Nmos, 1.0e-6),
+        });
+        ckt.capacitor(out, Circuit::GROUND, 20e-15);
+
+        let cfg = TranConfig::adaptive(1e-9, 6e-9);
+        let res = ckt.transient(&cfg).unwrap();
+        assert!(
+            res.stats().lte_rejections > 0,
+            "deck chosen to force rejections, got {:?}",
+            res.stats()
+        );
+        assert_eq!(res.stats().accepted_points, res.len());
+        assert!(
+            res.trace(out).last_value() < 0.05,
+            "inverter must settle low after the ramp"
+        );
+
+        let base = ckt.transient_baseline(&cfg).unwrap();
+        assert_eq!(res.times(), base.times(), "step sequences must match");
+        for n in 0..ckt.node_count() {
+            let node = NodeId(n);
+            assert_eq!(
+                res.trace(node).values(),
+                base.trace(node).values(),
+                "node {n} diverged from the baseline engine"
+            );
+        }
+    }
+
+    #[test]
+    fn fixed_step_runs_report_no_rejections() {
+        let (ckt, _, _) = rc_deck();
+        let res = ckt.transient(&TranConfig::new(5e-12, 2e-9)).unwrap();
+        assert_eq!(res.stats().lte_rejections, 0);
+        assert_eq!(res.stats().newton_retries, 0);
+        assert_eq!(res.stats().accepted_points, res.len());
+    }
+
+    #[test]
+    fn capture_nodes_is_bit_identical_to_all() {
+        let (ckt, vin, out) = rc_deck();
+        let cfg = TranConfig::new(5e-12, 2e-9);
+        let all = ckt.transient(&cfg).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let slim = ckt
+            .transient_with(&cfg, &mut ws, &TraceCapture::Nodes(vec![out, out, vin]))
+            .unwrap();
+        assert_eq!(all.times(), slim.times());
+        assert_eq!(all.trace(out).values(), slim.trace(out).values());
+        assert_eq!(all.trace(vin).values(), slim.trace(vin).values());
+    }
+
+    #[test]
+    #[should_panic(expected = "was not captured")]
+    fn uncaptured_node_trace_panics_with_guidance() {
+        let (ckt, vin, out) = rc_deck();
+        let cfg = TranConfig::new(5e-12, 2e-9);
+        let mut ws = SolverWorkspace::new();
+        let res = ckt
+            .transient_with(&cfg, &mut ws, &TraceCapture::Nodes(vec![vin]))
+            .unwrap();
+        let _ = res.trace(out);
+    }
+
+    #[test]
+    fn workspace_reuse_across_runs_is_bit_identical() {
+        // One workspace reused across three runs (including a different
+        // deck in between) must reproduce the fresh-workspace results
+        // exactly: reuse recycles allocations, never values.
+        let (ckt, _, out) = rc_deck();
+        let cfg = TranConfig::new(5e-12, 2e-9);
+        let fresh = ckt.transient(&cfg).unwrap();
+        let mut ws = SolverWorkspace::new();
+        let first = ckt
+            .transient_with(&cfg, &mut ws, &TraceCapture::All)
+            .unwrap();
+        // Interleave a different topology to dirty the buffers.
+        let mut other = Circuit::new();
+        let a = other.node("a");
+        other.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        other.resistor(a, Circuit::GROUND, 50.0);
+        other
+            .transient_with(&TranConfig::new(1e-12, 0.1e-9), &mut ws, &TraceCapture::All)
+            .unwrap();
+        let again = ckt
+            .transient_with(&cfg, &mut ws, &TraceCapture::All)
+            .unwrap();
+        for res in [&first, &again] {
+            assert_eq!(fresh.times(), res.times());
+            assert_eq!(fresh.trace(out).values(), res.trace(out).values());
+        }
     }
 
     #[test]

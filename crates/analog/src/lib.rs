@@ -63,11 +63,12 @@ mod solver;
 pub mod waveform;
 
 pub use analysis::dcop::DcSolution;
-pub use analysis::transient::{Integrator, TranConfig, TranResult};
+pub use analysis::transient::{Integrator, TraceCapture, TranConfig, TranResult, TranStats};
 pub use circuit::{Circuit, NodeId};
 pub use deck::{parse_deck, Deck};
 pub use elements::{Element, MosType, Mosfet, MosfetParams, Waveform};
 pub use error::Error;
 pub use export::{to_csv, to_vcd};
 pub use inject::{ArmedFault, FaultKind, FaultPlan};
+pub use solver::workspace::SolverWorkspace;
 pub use waveform::{propagation_delay, Edge, Polarity, Pulse, Trace};

@@ -5,7 +5,12 @@ use crate::error::Error;
 /// MNA matrices for the circuits in this project (CMOS paths of a dozen
 /// gates) have a few dozen unknowns; dense partial-pivot LU is both simple
 /// and fast at that scale, and avoids an external linear-algebra dependency.
-#[derive(Debug, Clone)]
+/// The elimination skips exact zeros, so the near-banded structure of a
+/// gate chain is exploited without a symbolic phase — and skipping is
+/// bit-exact: subtracting `factor * 0.0` never changes an entry because
+/// stamped MNA entries are never `-0.0` (stamps accumulate from `+0.0`,
+/// and IEEE subtraction of equal finite values rounds to `+0.0`).
+#[derive(Debug, Clone, Default)]
 pub(crate) struct DenseMatrix {
     n: usize,
     data: Vec<f64>,
@@ -13,11 +18,20 @@ pub(crate) struct DenseMatrix {
 
 impl DenseMatrix {
     /// Creates an `n x n` zero matrix.
+    #[cfg_attr(not(test), allow(dead_code))] // exercised by unit tests
     pub fn zeros(n: usize) -> Self {
         DenseMatrix {
             n,
             data: vec![0.0; n * n],
         }
+    }
+
+    /// Resizes to `n x n` and zeroes every entry, reusing the existing
+    /// allocation when capacity allows (the workspace-reuse hook).
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.data.clear();
+        self.data.resize(n * n, 0.0);
     }
 
     /// Resets all entries to zero without reallocating.
@@ -33,7 +47,12 @@ impl DenseMatrix {
     #[inline]
     pub fn add(&mut self, r: usize, c: usize, v: f64) {
         debug_assert!(r < self.n && c < self.n);
-        self.data[r * self.n + c] += v;
+        // SAFETY: callers stamp MNA variables, all `< n` (debug-asserted
+        // above); skipping the release bounds check keeps the assembly
+        // loops branch-free.
+        unsafe {
+            *self.data.get_unchecked_mut(r * self.n + c) += v;
+        }
     }
 
     #[inline]
@@ -54,8 +73,81 @@ impl DenseMatrix {
         assert_eq!(rhs.len(), n, "rhs length must match matrix dimension");
 
         // LU with partial pivoting, applying row swaps to rhs directly.
+        // The elimination is written over disjoint row slices (pivot row
+        // split from the rows below it) so the compiler can drop bounds
+        // checks and vectorize the row update. Operation order is
+        // identical to the scalar formulation, so results are bit-exact —
+        // asserted against the preserved pre-optimization kernel by the
+        // `optimized_lu_matches_baseline_bitwise` property test below.
         for k in 0..n {
             // Pivot search in column k.
+            let mut piv = k;
+            let mut max = self.data[k * n + k].abs();
+            for r in (k + 1)..n {
+                let v = self.data[r * n + k].abs();
+                if v > max {
+                    max = v;
+                    piv = r;
+                }
+            }
+            if max < 1e-300 {
+                return Err(Error::SingularMatrix { row: k });
+            }
+            if piv != k {
+                for c in 0..n {
+                    self.data.swap(k * n + c, piv * n + c);
+                }
+                rhs.swap(k, piv);
+            }
+            let pivot = self.data[k * n + k];
+            let (upper, lower) = self.data.split_at_mut((k + 1) * n);
+            let pivot_row = &upper[k * n + k + 1..(k + 1) * n];
+            let (rhs_head, rhs_tail) = rhs.split_at_mut(k + 1);
+            let rhs_k = rhs_head[k];
+            for (row, rhs_r) in lower.chunks_exact_mut(n).zip(rhs_tail.iter_mut()) {
+                // Test the entry before dividing: a structural zero would
+                // divide to ±0.0 and be skipped anyway, and the early test
+                // keeps the (serializing) division off the sparse rows.
+                if row[k] == 0.0 {
+                    continue;
+                }
+                let factor = row[k] / pivot;
+                if factor == 0.0 {
+                    // Underflow: the baseline kernel leaves the tiny entry
+                    // unfactored and skips the update; do the same.
+                    continue;
+                }
+                row[k] = factor;
+                for (a, &b) in row[k + 1..].iter_mut().zip(pivot_row) {
+                    *a -= factor * b;
+                }
+                *rhs_r -= factor * rhs_k;
+            }
+        }
+
+        // Back substitution.
+        for k in (0..n).rev() {
+            let tail: f64 = self.data[k * n + k + 1..k * n + n]
+                .iter()
+                .zip(&rhs[k + 1..n])
+                .map(|(a, b)| a * b)
+                .sum();
+            rhs[k] = (rhs[k] - tail) / self.data[k * n + k];
+        }
+        Ok(())
+    }
+
+    /// The pre-optimization LU kernel, preserved verbatim (indexed scalar
+    /// loops, per-element bounds checks) as the reference the benchmark
+    /// baseline engine runs and the bit-exactness tests compare against.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DenseMatrix::solve_in_place`].
+    pub fn solve_in_place_baseline(&mut self, rhs: &mut [f64]) -> Result<(), Error> {
+        let n = self.n;
+        assert_eq!(rhs.len(), n, "rhs length must match matrix dimension");
+        for k in 0..n {
             let mut piv = k;
             let mut max = self.data[k * n + k].abs();
             for r in (k + 1)..n {
@@ -87,8 +179,6 @@ impl DenseMatrix {
                 rhs[r] -= factor * rhs[k];
             }
         }
-
-        // Back substitution.
         for k in (0..n).rev() {
             let tail: f64 = self.data[k * n + k + 1..k * n + n]
                 .iter()
@@ -154,6 +244,39 @@ mod tests {
     }
 
     proptest! {
+        /// The slice-based elimination must reproduce the preserved scalar
+        /// kernel bit for bit: solution vector AND stored LU factors.
+        #[test]
+        fn optimized_lu_matches_baseline_bitwise(seed in 0u64..500, n in 1usize..10) {
+            use rand_like::*;
+            let mut rng = Lcg::new(seed);
+            let mut a = DenseMatrix::zeros(n);
+            for r in 0..n {
+                let mut row_sum = 0.0;
+                for c in 0..n {
+                    if r != c {
+                        // Sprinkle structural zeros to exercise the skip.
+                        let v = if rng.next_f64() < 0.4 {
+                            0.0
+                        } else {
+                            rng.next_f64() * 2.0 - 1.0
+                        };
+                        a.add(r, c, v);
+                        row_sum += v.abs();
+                    }
+                }
+                a.add(r, r, row_sum + 0.5 + rng.next_f64());
+            }
+            let b: Vec<f64> = (0..n).map(|_| rng.next_f64() * 10.0 - 5.0).collect();
+            let mut a2 = a.clone();
+            let mut x1 = b.clone();
+            let mut x2 = b;
+            a.solve_in_place(&mut x1).unwrap();
+            a2.solve_in_place_baseline(&mut x2).unwrap();
+            prop_assert_eq!(&x1, &x2);
+            prop_assert_eq!(&a.data, &a2.data);
+        }
+
         /// A x = b solved then multiplied back must reproduce b, for random
         /// diagonally-dominant systems (always nonsingular).
         #[test]

@@ -8,7 +8,7 @@
 use crate::circuit::{Circuit, NodeId};
 use crate::elements::{Element, MosType, Mosfet, MosfetParams};
 use crate::error::Error;
-use crate::solver::matrix::DenseMatrix;
+use crate::solver::workspace::SysScratch;
 
 /// Absolute node-voltage convergence tolerance (V).
 const VNTOL: f64 = 1e-6;
@@ -42,37 +42,56 @@ pub(crate) enum Method {
 }
 
 /// One assembled+solvable view of the circuit.
-pub(crate) struct System<'c> {
+///
+/// All heap storage lives in the borrowed [`SysScratch`], so constructing
+/// a `System` against a warm workspace performs no allocation: `new` only
+/// re-derives the symbolic stamp layout (branch-index map and matrix
+/// dimension) into the existing buffers.
+pub(crate) struct System<'c, 'w> {
     ckt: &'c Circuit,
     /// Number of node-voltage unknowns.
     nn: usize,
     /// Total unknowns (nodes + vsource branch currents).
     nu: usize,
-    /// Element index → branch-current unknown index, for voltage sources.
-    branch_index: Vec<Option<usize>>,
-    matrix: DenseMatrix,
-    rhs: Vec<f64>,
+    scratch: &'w mut SysScratch,
 }
 
-impl<'c> System<'c> {
-    pub fn new(ckt: &'c Circuit) -> Self {
+impl<'c, 'w> System<'c, 'w> {
+    pub fn new(ckt: &'c Circuit, scratch: &'w mut SysScratch) -> Self {
         let nn = ckt.node_count() - 1;
-        let mut branch_index = vec![None; ckt.elements().len()];
+        scratch.branch_index.clear();
+        scratch.branch_index.resize(ckt.elements().len(), None);
         let mut next = nn;
+        let mut ncaps = 0usize;
         for (i, e) in ckt.elements().iter().enumerate() {
-            if matches!(e, Element::Vsource { .. }) {
-                branch_index[i] = Some(next);
-                next += 1;
+            match e {
+                Element::Vsource { .. } => {
+                    scratch.branch_index[i] = Some(next);
+                    next += 1;
+                }
+                Element::Capacitor { .. } => ncaps += 1,
+                Element::Mosfet(_) => ncaps += MOS_CAPS,
+                _ => {}
             }
         }
+        scratch.cap_geq.clear();
+        scratch.cap_geq.resize(ncaps, 0.0);
+        scratch.cap_ieq.clear();
+        scratch.cap_ieq.resize(ncaps, 0.0);
         let nu = next;
+        scratch.matrix.reset(nu);
+        scratch.rhs.clear();
+        scratch.rhs.resize(nu, 0.0);
+        scratch.newton.clear();
+        scratch.newton.resize(nu, 0.0);
+        // The companion-conductance cache is keyed by step size only; a
+        // rebuilt system may describe a different circuit, so drop it.
+        scratch.cap_geq_key = None;
         System {
             ckt,
             nn,
             nu,
-            branch_index,
-            matrix: DenseMatrix::zeros(nu),
-            rhs: vec![0.0; nu],
+            scratch,
         }
     }
 
@@ -103,14 +122,14 @@ impl<'c> System<'c> {
         let ia = Self::var(a);
         let ib = Self::var(b);
         if let Some(i) = ia {
-            self.matrix.add(i, i, g);
+            self.scratch.matrix.add(i, i, g);
         }
         if let Some(j) = ib {
-            self.matrix.add(j, j, g);
+            self.scratch.matrix.add(j, j, g);
         }
         if let (Some(i), Some(j)) = (ia, ib) {
-            self.matrix.add(i, j, -g);
-            self.matrix.add(j, i, -g);
+            self.scratch.matrix.add(i, j, -g);
+            self.scratch.matrix.add(j, i, -g);
         }
     }
 
@@ -118,10 +137,164 @@ impl<'c> System<'c> {
     #[inline]
     fn stamp_i(&mut self, into: NodeId, from: NodeId, i: f64) {
         if let Some(r) = Self::var(into) {
-            self.rhs[r] += i;
+            self.scratch.rhs[r] += i;
         }
         if let Some(r) = Self::var(from) {
-            self.rhs[r] -= i;
+            self.scratch.rhs[r] -= i;
+        }
+    }
+
+    /// Hoists every value that is constant across the Newton iterations of
+    /// one solve call: `1/R` per resistor, the scaled source values at time
+    /// `t`, and the capacitor companion pairs `(geq, ieq)` in stamping
+    /// order. `geq` additionally survives *across* solve calls while the
+    /// step size and method are unchanged (`cap_geq_key`), so the `c/h`
+    /// divisions are paid once per step-size change, not once per
+    /// iteration.
+    ///
+    /// Every value is computed by the same expression as the baseline
+    /// assembly, so [`System::assemble_fast`] stamps bit-identical numbers
+    /// in the identical order.
+    fn hoist_step_values(
+        &mut self,
+        t: f64,
+        dynamics: Option<(&[CapState], f64, Method)>,
+        src_scale: f64,
+    ) {
+        let ne = self.ckt.elements().len();
+        self.scratch.elem_val.resize(ne, 0.0);
+        let refresh_geq = if let Some((_, h, method)) = dynamics {
+            let key = (h.to_bits(), method);
+            let stale = self.scratch.cap_geq_key != Some(key);
+            if stale {
+                self.scratch.cap_geq_key = Some(key);
+            }
+            stale
+        } else {
+            false
+        };
+        let mut cap_idx = 0usize;
+        for (ei, e) in self.ckt.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { ohms, .. } => {
+                    self.scratch.elem_val[ei] = 1.0 / ohms;
+                }
+                Element::Vsource { wave, .. } | Element::Isource { wave, .. } => {
+                    self.scratch.elem_val[ei] = src_scale * wave.value_at(t);
+                }
+                Element::Capacitor { farads, .. } => {
+                    if let Some((states, h, method)) = dynamics {
+                        hoist_companion(
+                            &mut self.scratch.cap_geq,
+                            &mut self.scratch.cap_ieq,
+                            cap_idx,
+                            *farads,
+                            h,
+                            method,
+                            states[cap_idx],
+                            refresh_geq,
+                        );
+                    }
+                    cap_idx += 1;
+                }
+                Element::Mosfet(m) => {
+                    if let Some((states, h, method)) = dynamics {
+                        for (k, c) in [m.params.cgs, m.params.cgd, m.params.cdb]
+                            .into_iter()
+                            .enumerate()
+                        {
+                            hoist_companion(
+                                &mut self.scratch.cap_geq,
+                                &mut self.scratch.cap_ieq,
+                                cap_idx + k,
+                                c,
+                                h,
+                                method,
+                                states[cap_idx + k],
+                                refresh_geq,
+                            );
+                        }
+                    }
+                    cap_idx += MOS_CAPS;
+                }
+            }
+        }
+    }
+
+    /// Companion conductances from the last hoist, one per capacitive
+    /// branch in stamping order; the transient engine shares them with its
+    /// cap-state update so the `c/h` divisions are not repeated per point.
+    pub fn cap_geq(&self) -> &[f64] {
+        &self.scratch.cap_geq
+    }
+
+    /// Assembles the linearized system about candidate solution `x`, using
+    /// the values hoisted by [`System::hoist_step_values`] for everything
+    /// that does not depend on `x`. Stamp order and stamped values are
+    /// bit-identical to [`System::assemble_baseline`] (asserted by the
+    /// `workspace_equivalence` property tests and the transient baseline
+    /// cross-checks); only where the constants are computed differs.
+    fn assemble_fast(&mut self, x: &[f64], dynamic: bool, gmin: f64) {
+        self.scratch.matrix.clear();
+        self.scratch.rhs.fill(0.0);
+
+        let g_floor = GMIN_FLOOR + gmin;
+        for n in 0..self.nn {
+            self.scratch.matrix.add(n, n, g_floor);
+        }
+
+        let mut cap_idx = 0usize;
+        for (ei, e) in self.ckt.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a, b, .. } => {
+                    let g = self.scratch.elem_val[ei];
+                    self.stamp_g(*a, *b, g);
+                }
+                Element::Capacitor { a, b, .. } => {
+                    if dynamic {
+                        let geq = self.scratch.cap_geq[cap_idx];
+                        let ieq = self.scratch.cap_ieq[cap_idx];
+                        self.stamp_g(*a, *b, geq);
+                        self.stamp_i(*a, *b, ieq);
+                    }
+                    cap_idx += 1;
+                }
+                Element::Vsource { p, n, .. } => {
+                    let br = self.scratch.branch_index[ei].expect("vsource has a branch var");
+                    if let Some(i) = Self::var(*p) {
+                        self.scratch.matrix.add(i, br, 1.0);
+                        self.scratch.matrix.add(br, i, 1.0);
+                    }
+                    if let Some(j) = Self::var(*n) {
+                        self.scratch.matrix.add(j, br, -1.0);
+                        self.scratch.matrix.add(br, j, -1.0);
+                    }
+                    self.scratch.rhs[br] = self.scratch.elem_val[ei];
+                }
+                Element::Isource { p, n, .. } => {
+                    let i = self.scratch.elem_val[ei];
+                    self.stamp_i(*p, *n, i);
+                }
+                Element::Mosfet(m) => {
+                    self.stamp_mosfet(m, x);
+                    if dynamic {
+                        let caps = [
+                            (m.g, m.s, m.params.cgs),
+                            (m.g, m.d, m.params.cgd),
+                            (m.d, mos_bulk(m), m.params.cdb),
+                        ];
+                        for (k, (a, b, c)) in caps.into_iter().enumerate() {
+                            if c > 0.0 {
+                                let geq = self.scratch.cap_geq[cap_idx + k];
+                                let ieq = self.scratch.cap_ieq[cap_idx + k];
+                                self.stamp_g(a, b, geq);
+                                self.stamp_i(a, b, ieq);
+                            }
+                        }
+                    }
+                    cap_idx += MOS_CAPS;
+                }
+            }
         }
     }
 
@@ -129,8 +302,13 @@ impl<'c> System<'c> {
     /// `t`, using `cap_states`/`dt` for the dynamic companions (DC analysis
     /// passes `None` which opens all capacitors), `src_scale` for source
     /// stepping and `gmin` for gmin stepping.
+    ///
+    /// This is the pre-workspace assembly, preserved verbatim for the
+    /// benchmark baseline engine: every companion pair and source value is
+    /// recomputed inside each Newton iteration. The live engine runs
+    /// [`System::hoist_step_values`] + [`System::assemble_fast`] instead.
     #[allow(clippy::too_many_arguments)]
-    fn assemble(
+    fn assemble_baseline(
         &mut self,
         x: &[f64],
         t: f64,
@@ -138,12 +316,12 @@ impl<'c> System<'c> {
         src_scale: f64,
         gmin: f64,
     ) {
-        self.matrix.clear();
-        self.rhs.fill(0.0);
+        self.scratch.matrix.clear();
+        self.scratch.rhs.fill(0.0);
 
         let g_floor = GMIN_FLOOR + gmin;
         for n in 0..self.nn {
-            self.matrix.add(n, n, g_floor);
+            self.scratch.matrix.add(n, n, g_floor);
         }
 
         let mut cap_idx = 0usize;
@@ -164,16 +342,16 @@ impl<'c> System<'c> {
                     cap_idx += 1;
                 }
                 Element::Vsource { p, n, wave } => {
-                    let br = self.branch_index[ei].expect("vsource has a branch var");
+                    let br = self.scratch.branch_index[ei].expect("vsource has a branch var");
                     if let Some(i) = Self::var(*p) {
-                        self.matrix.add(i, br, 1.0);
-                        self.matrix.add(br, i, 1.0);
+                        self.scratch.matrix.add(i, br, 1.0);
+                        self.scratch.matrix.add(br, i, 1.0);
                     }
                     if let Some(j) = Self::var(*n) {
-                        self.matrix.add(j, br, -1.0);
-                        self.matrix.add(br, j, -1.0);
+                        self.scratch.matrix.add(j, br, -1.0);
+                        self.scratch.matrix.add(br, j, -1.0);
                     }
-                    self.rhs[br] = src_scale * wave.value_at(t);
+                    self.scratch.rhs[br] = src_scale * wave.value_at(t);
                 }
                 Element::Isource { p, n, wave } => {
                     self.stamp_i(*p, *n, src_scale * wave.value_at(t));
@@ -216,21 +394,21 @@ impl<'c> System<'c> {
         // i(deff→seff) ≈ ieq + gm·vg + gds·vdeff − (gm+gds)·vseff
         if let Some(r) = id_ {
             if let Some(c) = ig_ {
-                self.matrix.add(r, c, lin.gm);
+                self.scratch.matrix.add(r, c, lin.gm);
             }
-            self.matrix.add(r, r, lin.gds);
+            self.scratch.matrix.add(r, r, lin.gds);
             if let Some(c) = is_ {
-                self.matrix.add(r, c, -(lin.gm + lin.gds));
+                self.scratch.matrix.add(r, c, -(lin.gm + lin.gds));
             }
         }
         if let Some(r) = is_ {
             if let Some(c) = ig_ {
-                self.matrix.add(r, c, -lin.gm);
+                self.scratch.matrix.add(r, c, -lin.gm);
             }
             if let Some(c) = id_ {
-                self.matrix.add(r, c, -lin.gds);
+                self.scratch.matrix.add(r, c, -lin.gds);
             }
-            self.matrix.add(r, r, lin.gm + lin.gds);
+            self.scratch.matrix.add(r, r, lin.gm + lin.gds);
         }
 
         let vgs_eff = vg - Self::volt(x, seff);
@@ -254,13 +432,73 @@ impl<'c> System<'c> {
         context: &'static str,
     ) -> Result<(), Error> {
         debug_assert_eq!(x.len(), self.nu);
-        let mut xnew = vec![0.0; self.nu];
+        self.hoist_step_values(t, dynamics, src_scale);
         for iter in 0..max_iter {
-            self.assemble(x, t, dynamics, src_scale, gmin);
-            xnew.copy_from_slice(&self.rhs);
-            self.matrix.solve_in_place(&mut xnew)?;
+            self.assemble_fast(x, dynamics.is_some(), gmin);
+            // Split-borrow the scratch so the hoisted Newton vector can be
+            // solved against the matrix without re-allocating per call.
+            let SysScratch {
+                matrix,
+                rhs,
+                newton,
+                ..
+            } = &mut *self.scratch;
+            newton.copy_from_slice(rhs);
+            matrix.solve_in_place(newton)?;
 
             // Damped update + convergence test on node voltages.
+            let mut converged = true;
+            for i in 0..self.nu {
+                let mut delta = newton[i] - x[i];
+                if i < self.nn {
+                    if delta > VSTEP_LIMIT {
+                        delta = VSTEP_LIMIT;
+                        converged = false;
+                    } else if delta < -VSTEP_LIMIT {
+                        delta = -VSTEP_LIMIT;
+                        converged = false;
+                    }
+                    if delta.abs() > VNTOL + RELTOL * x[i].abs() {
+                        converged = false;
+                    }
+                }
+                x[i] += delta;
+            }
+            if converged && iter > 0 {
+                return Ok(());
+            }
+        }
+        Err(Error::NoConvergence {
+            context,
+            iterations: max_iter,
+            time: t,
+        })
+    }
+
+    /// The pre-workspace Newton kernel, preserved verbatim for the
+    /// benchmark baseline engine: allocates its update vector per call and
+    /// runs the preserved scalar LU. Numerically identical to
+    /// [`System::solve_newton`] (asserted bitwise by the transient-engine
+    /// baseline tests); only the allocation behavior and inner-loop code
+    /// generation differ.
+    #[allow(clippy::too_many_arguments)] // mirrors solve_newton
+    pub fn solve_newton_baseline(
+        &mut self,
+        x: &mut [f64],
+        t: f64,
+        dynamics: Option<(&[CapState], f64, Method)>,
+        src_scale: f64,
+        gmin: f64,
+        max_iter: usize,
+        context: &'static str,
+    ) -> Result<(), Error> {
+        debug_assert_eq!(x.len(), self.nu);
+        let mut xnew = vec![0.0; self.nu];
+        for iter in 0..max_iter {
+            self.assemble_baseline(x, t, dynamics, src_scale, gmin);
+            xnew.copy_from_slice(&self.scratch.rhs);
+            self.scratch.matrix.solve_in_place_baseline(&mut xnew)?;
+
             let mut converged = true;
             for i in 0..self.nu {
                 let mut delta = xnew[i] - x[i];
@@ -289,28 +527,37 @@ impl<'c> System<'c> {
         })
     }
 
-    /// Iterates over capacitive branches in stamping order, yielding
-    /// `(node_a, node_b, farads)`. Order is identical to the `cap_idx`
-    /// order used during assembly; the transient engine relies on this to
-    /// maintain its state vector.
+    /// Collects the capacitive branches in stamping order into `out`,
+    /// yielding `(node_a, node_b, farads)`.
+    #[cfg(test)]
     pub fn cap_branches(&self) -> Vec<(NodeId, NodeId, f64)> {
         let mut out = Vec::new();
-        for e in self.ckt.elements() {
-            match e {
-                Element::Capacitor { a, b, farads } => out.push((*a, *b, *farads)),
-                Element::Mosfet(m) => {
-                    out.push((m.g, m.s, m.params.cgs));
-                    out.push((m.g, m.d, m.params.cgd));
-                    out.push((m.d, mos_bulk(m), m.params.cdb));
-                }
-                _ => {}
-            }
-        }
+        collect_cap_branches(self.ckt, &mut out);
         out
     }
 
     pub fn node_voltage(x: &[f64], node: NodeId) -> f64 {
         Self::volt(x, node)
+    }
+}
+
+/// Collects capacitive branches in stamping order into `out` (cleared
+/// first), yielding `(node_a, node_b, farads)`. Order is identical to the
+/// `cap_idx` order used during assembly; the transient engine relies on
+/// this to maintain its companion-state vector, and takes a caller-owned
+/// buffer so a reused workspace performs no allocation here.
+pub(crate) fn collect_cap_branches(ckt: &Circuit, out: &mut Vec<(NodeId, NodeId, f64)>) {
+    out.clear();
+    for e in ckt.elements() {
+        match e {
+            Element::Capacitor { a, b, farads } => out.push((*a, *b, *farads)),
+            Element::Mosfet(m) => {
+                out.push((m.g, m.s, m.params.cgs));
+                out.push((m.g, m.d, m.params.cgd));
+                out.push((m.d, mos_bulk(m), m.params.cdb));
+            }
+            _ => {}
+        }
     }
 }
 
@@ -325,6 +572,37 @@ fn mos_bulk(m: &Mosfet) -> NodeId {
         MosType::Nmos => Circuit::GROUND,
         MosType::Pmos => m.s,
     }
+}
+
+/// One hoisted companion pair: writes `ieq[idx]` (history-dependent,
+/// refreshed every solve) and, when `refresh` is set, `geq[idx]`
+/// (step-size-dependent only). The expressions mirror [`companion`]
+/// exactly, so the cached values are bit-identical to recomputing.
+#[allow(clippy::too_many_arguments)] // plain data plumbing, one call site
+fn hoist_companion(
+    geq_v: &mut [f64],
+    ieq_v: &mut [f64],
+    idx: usize,
+    c: f64,
+    h: f64,
+    method: Method,
+    st: CapState,
+    refresh: bool,
+) {
+    let geq = if refresh {
+        let geq = match method {
+            Method::BackwardEuler => c / h,
+            Method::Trapezoidal => 2.0 * c / h,
+        };
+        geq_v[idx] = geq;
+        geq
+    } else {
+        geq_v[idx]
+    };
+    ieq_v[idx] = match method {
+        Method::BackwardEuler => geq * st.v_prev,
+        Method::Trapezoidal => geq * st.v_prev + st.i_prev,
+    };
 }
 
 fn companion(c: f64, h: f64, method: Method, st: CapState) -> (f64, f64) {
@@ -422,7 +700,8 @@ mod tests {
         ckt.resistor(a, b, 1e3);
         ckt.resistor(b, Circuit::GROUND, 1e3);
 
-        let mut sys = System::new(&ckt);
+        let mut ws = SysScratch::default();
+        let mut sys = System::new(&ckt, &mut ws);
         let mut x = vec![0.0; sys.unknowns()];
         sys.solve_newton(&mut x, 0.0, None, 1.0, 0.0, 50, "test")
             .unwrap();
@@ -437,7 +716,8 @@ mod tests {
         ckt.isource(a, Circuit::GROUND, Waveform::dc(1e-3));
         ckt.resistor(a, Circuit::GROUND, 1e3);
 
-        let mut sys = System::new(&ckt);
+        let mut ws = SysScratch::default();
+        let mut sys = System::new(&ckt, &mut ws);
         let mut x = vec![0.0; sys.unknowns()];
         sys.solve_newton(&mut x, 0.0, None, 1.0, 0.0, 50, "test")
             .unwrap();
@@ -455,7 +735,8 @@ mod tests {
         ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
         ckt.capacitor(a, b, 1e-15);
 
-        let mut sys = System::new(&ckt);
+        let mut ws = SysScratch::default();
+        let mut sys = System::new(&ckt, &mut ws);
         let mut x = vec![0.0; sys.unknowns()];
         sys.solve_newton(&mut x, 0.0, None, 1.0, 0.0, 50, "test")
             .unwrap();
@@ -487,7 +768,8 @@ mod tests {
             },
         });
 
-        let mut sys = System::new(&ckt);
+        let mut ws = SysScratch::default();
+        let mut sys = System::new(&ckt, &mut ws);
         let mut x = vec![0.0; sys.unknowns()];
         sys.solve_newton(&mut x, 0.0, None, 1.0, 0.0, 100, "test")
             .unwrap();
@@ -528,7 +810,8 @@ mod tests {
                 cdb: 3e-15,
             },
         });
-        let sys = System::new(&ckt);
+        let mut ws = SysScratch::default();
+        let sys = System::new(&ckt, &mut ws);
         let caps = sys.cap_branches();
         assert_eq!(caps.len(), 1 + MOS_CAPS);
         assert_eq!(caps[0].2, 5e-15);

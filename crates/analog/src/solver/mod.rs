@@ -3,3 +3,4 @@
 
 pub(crate) mod matrix;
 pub(crate) mod mna;
+pub(crate) mod workspace;

@@ -1,0 +1,125 @@
+//! Reusable per-thread solver scratch memory.
+//!
+//! Every analysis in this crate solves the same MNA topology over and over:
+//! a resistance sweep re-solves one circuit at dozens of operating points,
+//! and a Monte Carlo study multiplies that by thousands of samples. A
+//! [`SolverWorkspace`] owns every buffer those solves need — the MNA
+//! matrix, RHS, Newton scratch, capacitor companion states, breakpoint
+//! list and the transient double-buffers — so repeated solves reuse both
+//! the allocations and the symbolic stamp layout instead of rebuilding
+//! them per call.
+//!
+//! Reuse is allocation-only: the arithmetic performed with a warm
+//! workspace is bit-for-bit identical to a fresh one (asserted by the
+//! `workspace_equivalence` property tests). The one opt-in exception is
+//! [`SolverWorkspace::enable_dc_warm_start`], which seeds Newton from the
+//! previous DC solution and therefore converges to the same operating
+//! point only within solver tolerances.
+
+use crate::circuit::NodeId;
+use crate::solver::matrix::DenseMatrix;
+use crate::solver::mna::{CapState, Method};
+
+/// Scratch for one assembled MNA system: matrix, RHS, Newton update and
+/// the element→branch-current map (the symbolic stamp layout).
+#[derive(Debug, Default)]
+pub(crate) struct SysScratch {
+    pub matrix: DenseMatrix,
+    pub rhs: Vec<f64>,
+    /// Newton update vector, hoisted out of `solve_newton`.
+    pub newton: Vec<f64>,
+    /// Element index → branch-current unknown index, for voltage sources.
+    pub branch_index: Vec<Option<usize>>,
+    /// Per-element hoisted value, indexed by element position: `1/R` for
+    /// resistors, the scaled source value at the current time for sources.
+    /// Refreshed once per Newton *solve* instead of once per iteration.
+    pub elem_val: Vec<f64>,
+    /// Companion conductance per capacitive branch (stamping order).
+    /// Depends only on `(farads, h, method)`, so it survives across solve
+    /// calls while the step size is unchanged — `cap_geq_key` tracks
+    /// validity. Invalidated whenever a `System` is rebuilt.
+    pub cap_geq: Vec<f64>,
+    /// Companion history current per capacitive branch, refreshed every
+    /// solve call (it depends on the previous accepted point).
+    pub cap_ieq: Vec<f64>,
+    /// `(h.to_bits(), method)` that `cap_geq` was computed for.
+    pub cap_geq_key: Option<(u64, Method)>,
+}
+
+/// Scratch for the transient engine: companion states, the capacitive
+/// branch list, breakpoints and the solution double-buffers.
+#[derive(Debug, Default)]
+pub(crate) struct TranScratch {
+    pub caps: Vec<CapState>,
+    pub cap_branches: Vec<(NodeId, NodeId, f64)>,
+    pub breakpoints: Vec<f64>,
+    /// Accepted solution at the current time point.
+    pub x: Vec<f64>,
+    /// Candidate solution for the step being attempted (double-buffer
+    /// partner of `x`; swapped on acceptance instead of cloned).
+    pub xn: Vec<f64>,
+    /// Solution at the previously *accepted* point, for the LTE predictor.
+    pub x_prev: Vec<f64>,
+}
+
+/// Reusable scratch memory for repeated solves of the same (or similar)
+/// circuit topology.
+///
+/// Create one per thread — or one per [`crate::Circuit`]-owning object such
+/// as a built path — and pass it to [`crate::Circuit::transient_with`] /
+/// [`crate::Circuit::dc_op_with`]. Buffers are resized on entry, so a
+/// workspace may be shared across circuits of different sizes; reuse only
+/// pays off when the topology size is stable.
+///
+/// A default-constructed workspace is empty and allocates lazily on first
+/// use; [`crate::Circuit::transient`] and [`crate::Circuit::dc_op`] create
+/// one internally per call, which is the "fresh allocation" baseline the
+/// benchmarks compare against.
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    pub(crate) sys: SysScratch,
+    pub(crate) tran: TranScratch,
+    /// When true, DC solves seed Newton from `warm_x` (the previous DC
+    /// solution for this workspace) before falling back to the cold
+    /// gmin/source-stepping ladder.
+    pub(crate) warm_dc: bool,
+    /// Last successful DC solution, kept only while warm starting is on.
+    pub(crate) warm_x: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; buffers are allocated on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables or disables DC warm starting.
+    ///
+    /// When enabled, [`crate::Circuit::dc_op_with`] first tries Newton from
+    /// the previous successful DC solution held in this workspace — the
+    /// intended use is a resistance sweep, where consecutive operating
+    /// points are close. A failed warm attempt falls back to the cold
+    /// ladder, so robustness is unaffected.
+    ///
+    /// **Not bit-exact:** a warm start changes the Newton trajectory, so
+    /// the operating point matches a cold solve only within solver
+    /// tolerances (≈1 µV). Leave this off (the default) wherever exact
+    /// reproducibility across call orders matters.
+    pub fn enable_dc_warm_start(&mut self, on: bool) {
+        self.warm_dc = on;
+        if !on {
+            self.warm_x.clear();
+        }
+    }
+
+    /// Whether DC warm starting is currently enabled.
+    pub fn dc_warm_start(&self) -> bool {
+        self.warm_dc
+    }
+
+    /// Drops the stored DC solution so the next solve runs cold, without
+    /// disabling warm starting for subsequent solves.
+    pub fn clear_dc_warm_start(&mut self) {
+        self.warm_x.clear();
+    }
+}

@@ -151,22 +151,71 @@ impl<'a> Trace<'a> {
 
     /// All times at which the trace crosses `threshold` with the given
     /// `edge` direction, interpolated between samples.
+    ///
+    /// A crossing is a strict side change: the signal must have been
+    /// strictly on one side of the threshold and later be strictly on the
+    /// other. Samples *exactly at* the threshold carry no side of their
+    /// own — a flat segment sitting on the threshold yields no crossing
+    /// (and therefore no zero-width phantom pulse) unless the signal
+    /// continues through to the other side, in which case the crossing
+    /// time is the *first touch* of the threshold. Consecutive duplicate
+    /// time points interpolate to their shared time. A trace that starts
+    /// at the threshold takes its initial side from the first off-threshold
+    /// sample without producing a crossing.
+    ///
+    /// Rising and falling crossings of one threshold always strictly
+    /// alternate; pulse pairing in [`Trace::pulses`] relies on this.
     pub fn crossings(&self, threshold: f64, edge: Edge) -> Vec<f64> {
+        // Side of a sample: None while exactly at the threshold.
+        let side = |v: f64| -> Option<bool> {
+            if v > threshold {
+                Some(true)
+            } else if v < threshold {
+                Some(false)
+            } else {
+                None
+            }
+        };
+
         let mut out = Vec::new();
+        // Last known strict side, and the index of the sample that set it.
+        let mut state = side(self.v[0]);
+        let mut last_off = 0usize;
         for i in 1..self.t.len() {
-            let (v0, v1) = (self.v[i - 1], self.v[i]);
-            let hit = match edge {
-                Edge::Rising => v0 < threshold && v1 >= threshold,
-                Edge::Falling => v0 > threshold && v1 <= threshold,
+            let Some(above) = side(self.v[i]) else {
+                // Exactly at the threshold: hold the previous side.
+                continue;
             };
-            if hit {
-                let (t0, t1) = (self.t[i - 1], self.t[i]);
-                let f = if v1 == v0 {
-                    1.0
-                } else {
-                    (threshold - v0) / (v1 - v0)
-                };
-                out.push(t0 + f * (t1 - t0));
+            match state {
+                None => {
+                    // Leading at-threshold run: establishes the side only.
+                    state = Some(above);
+                    last_off = i;
+                }
+                Some(prev) if prev != above => {
+                    // Strict side change. Since the samples between
+                    // `last_off` and `i` (if any) sit exactly on the
+                    // threshold, the signal first reaches the threshold in
+                    // the segment right after `last_off`.
+                    let wanted = match edge {
+                        Edge::Rising => above,
+                        Edge::Falling => !above,
+                    };
+                    if wanted {
+                        let (t0, t1) = (self.t[last_off], self.t[last_off + 1]);
+                        let (v0, v1) = (self.v[last_off], self.v[last_off + 1]);
+                        // v0 is strictly off-threshold and v1 is at or
+                        // beyond it, so v1 != v0; the clamp only guards
+                        // against float round-off on extreme segments.
+                        let f = ((threshold - v0) / (v1 - v0)).clamp(0.0, 1.0);
+                        out.push(t0 + f * (t1 - t0));
+                    }
+                    state = Some(above);
+                    last_off = i;
+                }
+                Some(_) => {
+                    last_off = i;
+                }
             }
         }
         out
@@ -186,6 +235,24 @@ impl<'a> Trace<'a> {
     ///
     /// A fully dampened pulse produces no entry — the signal never crosses
     /// the threshold — which is precisely the paper's detection condition.
+    ///
+    /// # Truncation semantics
+    ///
+    /// Only *complete* pulses — a leading crossing matched by a later
+    /// trailing crossing — are reported:
+    ///
+    /// * a trace that starts beyond the threshold contributes a trailing
+    ///   crossing with no leading partner; it is skipped, never paired
+    ///   with a later pulse's leading edge;
+    /// * a trace that ends beyond the threshold (trailing edge truncated
+    ///   at `stop`) has a final leading crossing with no partner; it is
+    ///   dropped. Callers that must account for such pulses can compare
+    ///   the counts of leading and trailing [`Trace::crossings`].
+    ///
+    /// Because crossings of one threshold strictly alternate (see
+    /// [`Trace::crossings`]), every reported pulse has positive width;
+    /// flat segments resting exactly on the threshold yield no zero-width
+    /// pulses.
     pub fn pulses(&self, threshold: f64, polarity: Polarity) -> Vec<Pulse> {
         let lead = polarity.leading_edge();
         let trail = lead.inverted();
@@ -194,23 +261,29 @@ impl<'a> Trace<'a> {
         let mut out = Vec::new();
         let mut ei = 0usize;
         for s in starts {
+            // Skip unmatched trailing crossings before this leading edge
+            // (e.g. the trace started beyond the threshold).
             while ei < ends.len() && ends[ei] <= s {
                 ei += 1;
             }
             if ei >= ends.len() {
+                // Leading edge with no trailing partner: truncated pulse.
                 break;
             }
             let e = ends[ei];
             ei += 1;
-            // Peak within [s, e].
+            // Peak within [s, e]: samples are time-ordered, so the window
+            // is a contiguous index range.
+            let lo = self.t.partition_point(|&tt| tt < s);
             let mut peak = self.value_at(s);
-            for i in 0..self.t.len() {
-                if self.t[i] >= s && self.t[i] <= e {
-                    peak = match polarity {
-                        Polarity::PositiveGoing => peak.max(self.v[i]),
-                        Polarity::NegativeGoing => peak.min(self.v[i]),
-                    };
+            for i in lo..self.t.len() {
+                if self.t[i] > e {
+                    break;
                 }
+                peak = match polarity {
+                    Polarity::PositiveGoing => peak.max(self.v[i]),
+                    Polarity::NegativeGoing => peak.min(self.v[i]),
+                };
             }
             out.push(Pulse {
                 t_start: s,
@@ -425,5 +498,98 @@ mod tests {
     #[should_panic(expected = "equal length")]
     fn mismatched_slices_panic() {
         let _ = Trace::new(&[0.0, 1.0], &[0.0]);
+    }
+
+    #[test]
+    fn dip_to_exact_threshold_does_not_split_the_pulse() {
+        // A pulse that dips to *exactly* the threshold mid-flight: the dip
+        // must not end the pulse (the signal never goes strictly below).
+        // The old sample-pair rule fired a falling crossing at the dip but
+        // no matching rising one, truncating the measured width to 1.5.
+        let t = vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0];
+        let v = vec![0.0, 1.0, 0.5, 0.5, 1.0, 0.0];
+        let tr = Trace::new(&t, &v);
+        assert_eq!(tr.crossings(0.5, Edge::Rising), vec![0.5]);
+        assert_eq!(tr.crossings(0.5, Edge::Falling), vec![4.5]);
+        let pulses = tr.pulses(0.5, Polarity::PositiveGoing);
+        assert_eq!(pulses.len(), 1);
+        assert!((pulses[0].width() - 4.0).abs() < 1e-12);
+        assert!((tr.widest_pulse_width(0.5, Polarity::PositiveGoing) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn touching_the_threshold_is_not_a_crossing() {
+        // Touch from below without going through: no crossings in either
+        // direction, no phantom zero-width pulse. The old rule yielded a
+        // rising crossing with no falling partner.
+        let t = vec![0.0, 1.0, 2.0];
+        let v = vec![0.0, 0.5, 0.0];
+        let tr = Trace::new(&t, &v);
+        assert!(tr.crossings(0.5, Edge::Rising).is_empty());
+        assert!(tr.crossings(0.5, Edge::Falling).is_empty());
+        assert!(tr.pulses(0.5, Polarity::PositiveGoing).is_empty());
+        assert_eq!(tr.widest_pulse_width(0.5, Polarity::PositiveGoing), 0.0);
+    }
+
+    #[test]
+    fn flat_run_on_threshold_crosses_at_first_touch() {
+        // Ride along the threshold, then continue to the other side: one
+        // crossing, timed at the first touch — not one per flat sample.
+        let t = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let v = vec![0.0, 0.5, 0.5, 0.5, 1.0];
+        let tr = Trace::new(&t, &v);
+        assert_eq!(tr.crossings(0.5, Edge::Rising), vec![1.0]);
+        assert!(tr.crossings(0.5, Edge::Falling).is_empty());
+    }
+
+    #[test]
+    fn duplicate_time_points_interpolate_cleanly() {
+        // A vertical edge recorded as two samples at the same time (e.g. a
+        // breakpoint snap): the crossing lands exactly on that time and is
+        // reported once.
+        let t = vec![0.0, 1.0, 1.0, 2.0];
+        let v = vec![0.0, 0.0, 1.0, 1.0];
+        let tr = Trace::new(&t, &v);
+        assert_eq!(tr.crossings(0.5, Edge::Rising), vec![1.0]);
+        assert!(tr.crossings(0.5, Edge::Falling).is_empty());
+    }
+
+    #[test]
+    fn trace_starting_above_threshold_does_not_mispair() {
+        // Starts above: the initial falling crossing has no leading
+        // partner and must not pair with the later pulse's edges.
+        let t = vec![0.0, 1.0, 2.0, 3.0];
+        let v = vec![1.0, 0.0, 1.0, 0.0];
+        let tr = Trace::new(&t, &v);
+        let pulses = tr.pulses(0.5, Polarity::PositiveGoing);
+        assert_eq!(pulses.len(), 1);
+        assert!((pulses[0].t_start - 1.5).abs() < 1e-12);
+        assert!((pulses[0].t_end - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncated_trailing_pulse_dropped_after_complete_one() {
+        // One complete pulse, then a rise cut off by the end of the trace:
+        // only the complete pulse is reported (documented truncation
+        // semantics), and its edges are its own.
+        let t = vec![0.0, 1.0, 1.0, 2.0, 3.0];
+        let v = vec![0.2, 0.8, 0.8, 0.4, 0.9];
+        let tr = Trace::new(&t, &v);
+        let pulses = tr.pulses(0.5, Polarity::PositiveGoing);
+        assert_eq!(pulses.len(), 1);
+        assert!((pulses[0].t_start - 0.5).abs() < 1e-12);
+        assert!((pulses[0].t_end - 1.75).abs() < 1e-12);
+        assert!((tr.widest_pulse_width(0.5, Polarity::PositiveGoing) - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trace_starting_exactly_on_threshold_sets_state_without_crossing() {
+        // First sample exactly at the threshold: the first off-threshold
+        // sample establishes the side silently.
+        let t = vec![0.0, 1.0, 2.0];
+        let v = vec![0.5, 1.0, 0.0];
+        let tr = Trace::new(&t, &v);
+        assert!(tr.crossings(0.5, Edge::Rising).is_empty());
+        assert_eq!(tr.crossings(0.5, Edge::Falling), vec![1.5]);
     }
 }

@@ -1,0 +1,161 @@
+//! Property tests: solver-workspace reuse and slim trace capture are
+//! allocation-level optimizations only — on random decks, every observable
+//! (time grid, node traces, threshold crossings, DC operating points) is
+//! bit-for-bit identical across
+//!
+//! * a fresh internal workspace ([`Circuit::transient`]),
+//! * a caller-owned workspace reused across runs and across *different*
+//!   circuits ([`Circuit::transient_with`]),
+//! * the preserved allocation-per-step baseline engine
+//!   ([`Circuit::transient_baseline`]), and
+//! * [`TraceCapture::Nodes`] vs [`TraceCapture::All`] for the captured
+//!   columns.
+
+use proptest::prelude::*;
+use proptest::strategy::Just;
+use pulsar_analog::{Circuit, Edge, NodeId, SolverWorkspace, TraceCapture, TranConfig, Waveform};
+
+/// A randomized RC-ladder deck: series resistors with shunt capacitors,
+/// driven by a pulse. Linear, so every configuration converges.
+#[derive(Debug, Clone)]
+struct DeckSpec {
+    /// Per-stage (series ohms, shunt farads).
+    stages: Vec<(f64, f64)>,
+    /// Input pulse width, seconds.
+    width: f64,
+    /// Extra coupling capacitor between first and last tap, farads
+    /// (`0.0` = none), to break the pure-ladder structure.
+    c_couple: f64,
+    /// Adaptive (LTE-controlled) vs fixed stepping.
+    adaptive: bool,
+}
+
+fn build(spec: &DeckSpec) -> (Circuit, Vec<NodeId>) {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    ckt.vsource(
+        vin,
+        Circuit::GROUND,
+        Waveform::single_pulse(0.0, 1.8, 0.2e-9, 60e-12, 60e-12, spec.width),
+    );
+    let mut taps = vec![vin];
+    let mut prev = vin;
+    for (i, &(r, c)) in spec.stages.iter().enumerate() {
+        let n = ckt.node(format!("t{i}"));
+        ckt.resistor(prev, n, r);
+        ckt.capacitor(n, Circuit::GROUND, c);
+        taps.push(n);
+        prev = n;
+    }
+    if spec.c_couple > 0.0 && taps.len() > 2 {
+        ckt.capacitor(taps[1], *taps.last().expect("non-empty"), spec.c_couple);
+    }
+    (ckt, taps)
+}
+
+fn deck_strategy() -> impl Strategy<Value = DeckSpec> {
+    let stage = (100.0f64..20e3, 10e-15f64..400e-15);
+    (
+        proptest::collection::vec(stage, 2..6),
+        (150e-12f64..900e-12),
+        prop_oneof![Just(0.0f64), (5e-15f64..50e-15)],
+        any::<bool>(),
+    )
+        .prop_map(|(stages, width, c_couple, adaptive)| DeckSpec {
+            stages,
+            width,
+            c_couple,
+            adaptive,
+        })
+}
+
+fn config(spec: &DeckSpec) -> TranConfig {
+    if spec.adaptive {
+        TranConfig::adaptive(40e-12, 3e-9)
+    } else {
+        TranConfig::new(10e-12, 3e-9)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fresh workspace ≡ reused workspace (twice, to prove no state leaks
+    /// between runs) ≡ the allocation-per-step baseline engine.
+    #[test]
+    fn workspace_reuse_is_bit_identical(spec in deck_strategy()) {
+        let (ckt, taps) = build(&spec);
+        let cfg = config(&spec);
+        let fresh = ckt.transient(&cfg).expect("linear deck converges");
+
+        let mut ws = SolverWorkspace::new();
+        let first = ckt
+            .transient_with(&cfg, &mut ws, &TraceCapture::All)
+            .expect("reused workspace");
+        // Dirty the workspace with a different circuit before re-running.
+        let mut other = Circuit::new();
+        let a = other.node("a");
+        other.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        other.resistor(a, Circuit::GROUND, 50.0);
+        other
+            .transient_with(&TranConfig::new(2e-12, 0.05e-9), &mut ws, &TraceCapture::All)
+            .expect("interleaved deck");
+        let again = ckt
+            .transient_with(&cfg, &mut ws, &TraceCapture::All)
+            .expect("workspace survives topology changes");
+        let baseline = ckt.transient_baseline(&cfg).expect("baseline engine");
+
+        for res in [&first, &again, &baseline] {
+            prop_assert_eq!(fresh.times(), res.times());
+            for &n in &taps {
+                prop_assert_eq!(fresh.trace(n).values(), res.trace(n).values());
+            }
+        }
+    }
+
+    /// `TraceCapture::Nodes` returns the same time grid and, for every
+    /// captured column, bit-identical samples and therefore identical
+    /// derived measurements (threshold crossings).
+    #[test]
+    fn slim_capture_matches_full_capture(spec in deck_strategy()) {
+        let (ckt, taps) = build(&spec);
+        let cfg = config(&spec);
+        let all = ckt.transient(&cfg).expect("linear deck converges");
+
+        let last = *taps.last().expect("non-empty");
+        let subset = vec![last, taps[0]];
+        let mut ws = SolverWorkspace::new();
+        let slim = ckt
+            .transient_with(&cfg, &mut ws, &TraceCapture::Nodes(subset.clone()))
+            .expect("slim capture");
+
+        prop_assert_eq!(all.times(), slim.times());
+        for &n in &subset {
+            prop_assert_eq!(all.trace(n).values(), slim.trace(n).values());
+            let th = 0.9;
+            prop_assert_eq!(
+                all.trace(n).crossings(th, Edge::Rising),
+                slim.trace(n).crossings(th, Edge::Rising)
+            );
+            prop_assert_eq!(
+                all.trace(n).crossings(th, Edge::Falling),
+                slim.trace(n).crossings(th, Edge::Falling)
+            );
+        }
+    }
+
+    /// DC solves through a reused workspace (warm start off) match the
+    /// per-call-workspace path exactly, across a ladder of decks.
+    #[test]
+    fn dc_reuse_is_bit_identical(spec in deck_strategy()) {
+        let (ckt, taps) = build(&spec);
+        let mut ws = SolverWorkspace::new();
+        let cold = ckt.dc_op().expect("linear dc");
+        let reused = ckt.dc_op_with(0.0, &mut ws).expect("reused dc");
+        let reused2 = ckt.dc_op_with(0.0, &mut ws).expect("reused dc again");
+        for &n in &taps {
+            prop_assert_eq!(cold.voltage(n), reused.voltage(n));
+            prop_assert_eq!(cold.voltage(n), reused2.voltage(n));
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Hot-path micro-benchmark: workspace-reusing solver vs the preserved
+//! allocation-per-step baseline engine, measured in the same process.
+//!
+//! Three kernels are timed (median wall-clock ns/op plus a heap-allocation
+//! count from a counting global allocator):
+//!
+//! 1. **single_transient** — one pulse propagation through the paper's
+//!    7-gate external-ROP path.
+//! 2. **transfer_point** — one transfer-curve point: retune the defect
+//!    resistance, re-run the pulse. The workspace (and, in a separate
+//!    variant, the DC warm start) amortizes across the sweep.
+//! 3. **mc_coverage_point** — one 64-sample Monte Carlo coverage point
+//!    at threads = 1 / 2 / 4.
+//!
+//! The baseline is not a guess: [`BuiltPath::set_workspace_reuse(false)`]
+//! routes every simulation through `Circuit::transient_baseline`, the
+//! pre-optimization engine preserved verbatim (per-call allocations,
+//! indexed scalar LU). Both engines run here back to back and every
+//! measured quantity is asserted **bit-identical** between them before
+//! any timing is reported, so the speedup numbers compare equal answers.
+//!
+//! Baseline and optimized ops are *interleaved* within one measurement
+//! loop (A, B, A, B, ...) and summarized by their medians: on a shared
+//! host, machine speed drifts more between two back-to-back phases than
+//! the effect under measurement, and interleaving makes both engines see
+//! the same drift.
+//!
+//! `--smoke` runs a tiny configuration for CI (no JSON output); the full
+//! run writes `BENCH_pr2.json` at the repository root and records whether
+//! the PR's ≥2× aspiration on the Monte Carlo coverage kernel was met on
+//! this machine (the measured number is reported either way).
+
+use pulsar_analog::Polarity;
+use pulsar_bench::rop_put;
+use pulsar_cells::PulseOutcome;
+use pulsar_core::{PathInstance, PathUnderTest, VariationModel};
+use pulsar_mc::MonteCarlo;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Counts heap allocations (alloc + realloc calls) as an allocation-rate
+/// proxy; timing-neutral enough for a relative comparison since both
+/// engines run under the same allocator.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation unchanged to the system allocator;
+// the counter is a relaxed atomic with no effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn median(mut ns: Vec<u64>) -> u64 {
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+/// Allocation calls made by one invocation of `f` (deterministic per op
+/// once warm, so a single sample suffices).
+fn allocs_per_op(mut f: impl FnMut()) -> u64 {
+    let a0 = ALLOC_CALLS.load(Ordering::Relaxed);
+    f();
+    ALLOC_CALLS.load(Ordering::Relaxed) - a0
+}
+
+/// Times `baseline` and `reuse` *interleaved* (one of each per round) for
+/// `iters` rounds and returns the medians. Interleaving is what makes the
+/// ratio trustworthy on a drifting shared host: both engines sample the
+/// same machine-speed trajectory.
+fn measure_pair(iters: usize, mut baseline: impl FnMut(), mut reuse: impl FnMut()) -> KernelResult {
+    assert!(iters >= 1);
+    // Warm-up round: page in code, fill the workspace buffers.
+    baseline();
+    reuse();
+    let baseline_allocs = allocs_per_op(&mut baseline);
+    let reuse_allocs = allocs_per_op(&mut reuse);
+    let mut bns = Vec::with_capacity(iters);
+    let mut rns = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        baseline();
+        bns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        reuse();
+        rns.push(t.elapsed().as_nanos() as u64);
+    }
+    KernelResult {
+        baseline_ns: median(bns),
+        baseline_allocs,
+        reuse_ns: median(rns),
+        reuse_allocs,
+    }
+}
+
+fn bits(outcome: &PulseOutcome) -> (u64, u64, Vec<u64>) {
+    (
+        outcome.output_width.to_bits(),
+        outcome.peak_fraction.to_bits(),
+        outcome.stage_widths.iter().map(|w| w.to_bits()).collect(),
+    )
+}
+
+const W_IN: f64 = 450e-12;
+const R_POINT: f64 = 8e3;
+const SWEEP: [f64; 4] = [1e3, 3e3, 8e3, 20e3];
+
+struct KernelResult {
+    baseline_ns: u64,
+    baseline_allocs: u64,
+    reuse_ns: u64,
+    reuse_allocs: u64,
+}
+
+impl KernelResult {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns as f64 / self.reuse_ns as f64
+    }
+}
+
+/// Kernel 1: one pulse-propagation transient, baseline vs reuse, outputs
+/// asserted bit-identical.
+fn single_transient(put: &PathUnderTest, iters: usize) -> KernelResult {
+    let mut base = put.instantiate_nominal(R_POINT);
+    base.built_path().set_workspace_reuse(false);
+    let mut fast = put.instantiate_nominal(R_POINT);
+
+    let run = |p: &mut pulsar_core::AnalogPath| {
+        p.built_path()
+            .propagate_pulse(W_IN, Polarity::PositiveGoing, None)
+            .expect("pulse run")
+    };
+    let ob = run(&mut base);
+    let of = run(&mut fast);
+    assert_eq!(
+        bits(&ob),
+        bits(&of),
+        "engines disagree on the single-transient kernel"
+    );
+
+    measure_pair(
+        iters,
+        || {
+            run(&mut base);
+        },
+        || {
+            run(&mut fast);
+        },
+    )
+}
+
+/// Kernel 2: one transfer-curve point — set the defect resistance, run the
+/// pulse — cycling through a resistance sweep so the workspace amortizes.
+/// Also times the opt-in DC warm start (tolerance-equal, not bit-equal,
+/// so it is compared within solver tolerance instead).
+fn transfer_point(put: &PathUnderTest, iters: usize) -> (KernelResult, u64, f64) {
+    let mut base = put.instantiate_nominal(SWEEP[0]);
+    base.built_path().set_workspace_reuse(false);
+    let mut fast = put.instantiate_nominal(SWEEP[0]);
+    let mut warm = put.instantiate_nominal(SWEEP[0]);
+    warm.built_path().set_dc_warm_start(true);
+
+    let point = |p: &mut pulsar_core::AnalogPath, k: usize| {
+        let r = SWEEP[k % SWEEP.len()];
+        p.set_resistance(r).expect("sweep resistance");
+        p.pulse_width_out(W_IN, Polarity::PositiveGoing)
+            .expect("sweep point")
+    };
+    for k in 0..SWEEP.len() {
+        let wb = point(&mut base, k);
+        let wf = point(&mut fast, k);
+        let ww = point(&mut warm, k);
+        assert_eq!(
+            wb.to_bits(),
+            wf.to_bits(),
+            "engines disagree on transfer point {k}"
+        );
+        assert!(
+            (ww - wb).abs() < 2e-12,
+            "warm start off-tolerance at point {k}: {ww} vs {wb}"
+        );
+    }
+
+    // Three arms interleaved per round (the warm-start arm rides in the
+    // same loop so its ratio shares the baseline's drift too).
+    let (mut kb, mut kf, mut kw) = (0usize, 0usize, 0usize);
+    let baseline_allocs = allocs_per_op(|| {
+        point(&mut base, kb);
+        kb += 1;
+    });
+    let reuse_allocs = allocs_per_op(|| {
+        point(&mut fast, kf);
+        kf += 1;
+    });
+    let mut bns = Vec::with_capacity(iters);
+    let mut rns = Vec::with_capacity(iters);
+    let mut wns = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        point(&mut base, kb);
+        kb += 1;
+        bns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        point(&mut fast, kf);
+        kf += 1;
+        rns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        point(&mut warm, kw);
+        kw += 1;
+        wns.push(t.elapsed().as_nanos() as u64);
+    }
+    let baseline_ns = median(bns);
+    let warm_ns = median(wns);
+    (
+        KernelResult {
+            baseline_ns,
+            baseline_allocs,
+            reuse_ns: median(rns),
+            reuse_allocs,
+        },
+        warm_ns,
+        baseline_ns as f64 / warm_ns as f64,
+    )
+}
+
+/// One Monte Carlo coverage-point run: `samples` instances of the path at
+/// resistance [`R_POINT`], each drawn exactly like
+/// `PulseStudy::try_faulty_wouts` draws it, returning output pulse widths.
+fn mc_point(
+    put: &PathUnderTest,
+    variation: &VariationModel,
+    samples: usize,
+    threads: usize,
+    reuse: bool,
+) -> Vec<f64> {
+    MonteCarlo::new(samples, 2007)
+        .with_threads(threads)
+        .run(|_, rng| {
+            let techs = variation.sample_techs(&put.tech, put.spec.len(), rng);
+            let gen_factor = variation.sample_sensor(1.0, rng);
+            let mut p = put.instantiate(&techs, R_POINT);
+            if !reuse {
+                p.built_path().set_workspace_reuse(false);
+            }
+            p.pulse_width_out(W_IN * gen_factor, Polarity::PositiveGoing)
+                .expect("mc sample")
+        })
+}
+
+struct McThreadResult {
+    threads: usize,
+    result: KernelResult,
+}
+
+/// Kernel 3: the 64-sample coverage point at each thread count, baseline
+/// vs reuse, with every sample's output width asserted bit-identical
+/// across engines *and* across thread counts.
+fn mc_coverage_point(
+    put: &PathUnderTest,
+    variation: &VariationModel,
+    samples: usize,
+    thread_counts: &[usize],
+    iters: usize,
+) -> Vec<McThreadResult> {
+    let reference = mc_point(put, variation, samples, 1, true);
+    let ref_bits: Vec<u64> = reference.iter().map(|w| w.to_bits()).collect();
+
+    thread_counts
+        .iter()
+        .map(|&t| {
+            for reuse in [false, true] {
+                let wouts = mc_point(put, variation, samples, t, reuse);
+                let got: Vec<u64> = wouts.iter().map(|w| w.to_bits()).collect();
+                assert_eq!(
+                    ref_bits, got,
+                    "mc kernel diverged (threads={t}, reuse={reuse})"
+                );
+            }
+            let result = measure_pair(
+                iters,
+                || {
+                    mc_point(put, variation, samples, t, false);
+                },
+                || {
+                    mc_point(put, variation, samples, t, true);
+                },
+            );
+            McThreadResult { threads: t, result }
+        })
+        .collect()
+}
+
+fn json_kernel(r: &KernelResult) -> String {
+    format!(
+        "{{\"baseline_median_ns\": {}, \"reuse_median_ns\": {}, \
+         \"speedup\": {:.3}, \"baseline_allocs_per_op\": {}, \
+         \"reuse_allocs_per_op\": {}}}",
+        r.baseline_ns,
+        r.reuse_ns,
+        r.speedup(),
+        r.baseline_allocs,
+        r.reuse_allocs
+    )
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (samples, iters, mc_iters, thread_counts): (usize, usize, usize, Vec<usize>) = if smoke {
+        (8, 3, 1, vec![1, 2])
+    } else {
+        (64, 15, 3, vec![1, 2, 4])
+    };
+
+    let put = rop_put();
+    let variation = VariationModel::paper();
+
+    eprintln!("# kernel 1: single transient ({iters} iters)");
+    let k1 = single_transient(&put, iters);
+    eprintln!(
+        "single_transient: baseline {} ns, reuse {} ns ({:.2}x), allocs {} -> {}",
+        k1.baseline_ns,
+        k1.reuse_ns,
+        k1.speedup(),
+        k1.baseline_allocs,
+        k1.reuse_allocs
+    );
+
+    eprintln!("# kernel 2: transfer-curve point ({iters} iters)");
+    let (k2, warm_ns, warm_speedup) = transfer_point(&put, iters);
+    eprintln!(
+        "transfer_point: baseline {} ns, reuse {} ns ({:.2}x), warm {} ns ({:.2}x), allocs {} -> {}",
+        k2.baseline_ns,
+        k2.reuse_ns,
+        k2.speedup(),
+        warm_ns,
+        warm_speedup,
+        k2.baseline_allocs,
+        k2.reuse_allocs
+    );
+
+    eprintln!("# kernel 3: {samples}-sample MC coverage point ({mc_iters} iters/thread-count)");
+    let k3 = mc_coverage_point(&put, &variation, samples, &thread_counts, mc_iters);
+    for t in &k3 {
+        eprintln!(
+            "mc_coverage_point[threads={}]: baseline {} ns, reuse {} ns ({:.2}x)",
+            t.threads,
+            t.result.baseline_ns,
+            t.result.reuse_ns,
+            t.result.speedup()
+        );
+    }
+
+    let single_thread_speedup = k3
+        .iter()
+        .find(|t| t.threads == 1)
+        .map(|t| t.result.speedup())
+        .unwrap_or(0.0);
+    let meets_target = single_thread_speedup >= 2.0;
+    eprintln!(
+        "mc coverage kernel speedup at 1 thread: {single_thread_speedup:.2}x \
+         (target >= 2.0x: {})",
+        if meets_target { "MET" } else { "NOT MET" }
+    );
+
+    if smoke {
+        eprintln!("smoke run: skipping BENCH_pr2.json");
+        // Regression guard, not the 2x aspiration: the reuse engine must
+        // never be materially *slower* than the baseline it replaces.
+        // (The slack below 1.0 absorbs scheduler noise on loaded CI
+        // runners; the full run records the real number in the JSON.)
+        assert!(
+            single_thread_speedup > 0.8,
+            "workspace engine materially slower than baseline in smoke run"
+        );
+        return;
+    }
+
+    let threads_json: Vec<String> = k3
+        .iter()
+        .map(|t| format!("\"{}\": {}", t.threads, json_kernel(&t.result)))
+        .collect();
+    let json = format!(
+        "{{\n  \"pr\": 2,\n  \"description\": \"hot-path solver workspace benchmark: \
+workspace-reusing engine vs preserved allocation-per-step baseline, same process, \
+outputs asserted bit-identical before timing\",\n  \
+\"config\": {{\"w_in_s\": {W_IN:e}, \"r_point_ohm\": {R_POINT}, \"samples\": {samples}, \
+\"iters\": {iters}, \"mc_iters\": {mc_iters}}},\n  \
+\"single_transient\": {},\n  \
+\"transfer_point\": {},\n  \
+\"transfer_point_warm_start\": {{\"median_ns\": {warm_ns}, \"speedup_vs_baseline\": {warm_speedup:.3}, \
+\"note\": \"opt-in; equals cold solves within solver tolerance, not bitwise\"}},\n  \
+\"mc_coverage_point\": {{\n    {}\n  }},\n  \
+\"mc_speedup_target\": {{\"target\": 2.0, \"measured_1_thread\": {single_thread_speedup:.3}, \
+\"met\": {meets_target}}}\n}}\n",
+        json_kernel(&k1),
+        json_kernel(&k2),
+        threads_json.join(",\n    ")
+    );
+    std::fs::write("BENCH_pr2.json", &json).expect("write BENCH_pr2.json");
+    eprintln!("wrote BENCH_pr2.json");
+    if !meets_target {
+        eprintln!(
+            "note: the 2.0x aspiration was not met on this machine \
+             ({single_thread_speedup:.2}x); the JSON records the measured \
+             value honestly rather than failing the run — see the \
+             README benchmark section for what bounds the ratio here"
+        );
+    }
+}

@@ -15,8 +15,8 @@
 use crate::gates::{CellKind, CmosBuilder, RopSite};
 use crate::tech::Tech;
 use pulsar_analog::{
-    propagation_delay, Circuit, Edge, Error, Integrator, NodeId, Polarity, TranConfig, TranResult,
-    Waveform,
+    propagation_delay, Circuit, Edge, Error, Integrator, NodeId, Polarity, SolverWorkspace,
+    TraceCapture, TranConfig, TranResult, Waveform,
 };
 
 /// Structural description of a path: the gate chain plus per-stage extra
@@ -114,6 +114,28 @@ pub enum PathFault {
     },
 }
 
+/// How much waveform data a path's default measurement runs record.
+///
+/// Capture selection never touches the solver — the same time points are
+/// accepted with the same arithmetic under every policy — so any
+/// measurement taken from a captured trace is bit-identical across
+/// policies. The policy only decides which measurements *exist* in the
+/// result, and how much per-point storage the run pays for.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum CapturePolicy {
+    /// Capture every stage output (the default):
+    /// [`PulseOutcome::stage_widths`] is fully populated.
+    #[default]
+    StageOutputs,
+    /// Capture only the nodes the top-level measurement reads — the path
+    /// output for pulse runs. [`PulseOutcome::stage_widths`] comes back
+    /// empty; `output_width` and `peak_fraction` are bit-identical to the
+    /// other policies. The hot-path setting for Monte Carlo width
+    /// studies, where per-stage waveforms are recorded only to be thrown
+    /// away.
+    MeasurementsOnly,
+}
+
 /// Result of a pulse-propagation run.
 #[derive(Debug, Clone)]
 pub struct PulseOutcome {
@@ -124,6 +146,8 @@ pub struct PulseOutcome {
     /// partial dampening even when no full pulse appears).
     pub peak_fraction: f64,
     /// Pulse width measured at each stage output, input to output side.
+    /// Empty when the run recorded only the output trace
+    /// ([`CapturePolicy::MeasurementsOnly`]).
     pub stage_widths: Vec<f64>,
 }
 
@@ -172,6 +196,14 @@ pub struct BuiltPath {
     step_scale: f64,
     /// Element index of the VDD rail source (quiescent-current probe).
     vdd_source: usize,
+    /// Per-path solver scratch, reused across every simulation this path
+    /// runs (stimulus sweeps, resistance sweeps, retries).
+    workspace: SolverWorkspace,
+    /// When false, simulations run through the allocation-per-step
+    /// baseline engine instead of the workspace (benchmark reference).
+    reuse_workspace: bool,
+    /// Which node waveforms the default measurement runs record.
+    capture_policy: CapturePolicy,
 }
 
 impl BuiltPath {
@@ -314,6 +346,21 @@ impl BuiltPath {
             robustness: 0,
             step_scale: 1.0,
             vdd_source,
+            workspace: SolverWorkspace::new(),
+            reuse_workspace: true,
+            capture_policy: CapturePolicy::default(),
+        }
+    }
+
+    /// Runs a transient through the path's own workspace (or the baseline
+    /// engine when reuse is disabled). All measurement paths funnel here so
+    /// the reuse/baseline toggle covers every simulation uniformly.
+    fn sim(&mut self, cfg: &TranConfig, capture: &TraceCapture) -> Result<TranResult, Error> {
+        if self.reuse_workspace {
+            self.circuit
+                .transient_with(cfg, &mut self.workspace, capture)
+        } else {
+            self.circuit.transient_baseline(cfg)
         }
     }
 
@@ -418,14 +465,15 @@ impl BuiltPath {
     }
 
     /// Runs a transient with the current stimuli and returns the result
-    /// for custom probing.
+    /// for custom probing. Every node is captured.
     ///
     /// # Errors
     ///
     /// Propagates simulator errors.
-    pub fn run_transient(&self, cfg: Option<&TranConfig>) -> Result<TranResult, Error> {
+    pub fn run_transient(&mut self, cfg: Option<&TranConfig>) -> Result<TranResult, Error> {
         let cfg_default = self.default_cfg(0.0);
-        self.circuit.transient(cfg.unwrap_or(&cfg_default))
+        let cfg = cfg.unwrap_or(&cfg_default);
+        self.sim(cfg, &TraceCapture::All)
     }
 
     /// Quiescent supply current with the path input held at `input_high`:
@@ -438,7 +486,11 @@ impl BuiltPath {
     /// Propagates DC-solver errors.
     pub fn quiescent_current(&mut self, input_high: bool) -> Result<f64, Error> {
         self.hold_input(input_high)?;
-        let dc = self.circuit.dc_op()?;
+        let dc = if self.reuse_workspace {
+            self.circuit.dc_op_with(0.0, &mut self.workspace)?
+        } else {
+            self.circuit.dc_op()?
+        };
         dc.source_current(&self.circuit, self.vdd_source)
     }
 
@@ -453,6 +505,44 @@ impl BuiltPath {
     /// `ablation/step` bench quantifies the trade.
     pub fn set_adaptive(&mut self, on: bool) {
         self.adaptive = on;
+    }
+
+    /// Enables or disables solver-workspace reuse (default: enabled).
+    ///
+    /// With reuse on, every simulation this path runs goes through one
+    /// per-path [`SolverWorkspace`], recycling the MNA matrix, Newton
+    /// scratch and transient buffers across calls — bit-identical results,
+    /// no per-step allocation. With reuse off, simulations run through the
+    /// allocation-per-step baseline engine; this exists as the reference
+    /// configuration for the `bench_hotpath` speedup measurements.
+    pub fn set_workspace_reuse(&mut self, on: bool) {
+        self.reuse_workspace = on;
+    }
+
+    /// Sets how much waveform data the default measurement runs record;
+    /// see [`CapturePolicy`]. Width and delay numbers are bit-identical
+    /// across policies — only the set of recorded traces (and therefore
+    /// [`PulseOutcome::stage_widths`]) changes.
+    pub fn set_capture_policy(&mut self, policy: CapturePolicy) {
+        self.capture_policy = policy;
+    }
+
+    /// The currently configured capture policy.
+    pub fn capture_policy(&self) -> CapturePolicy {
+        self.capture_policy
+    }
+
+    /// Enables or disables DC warm starting for this path's solves.
+    ///
+    /// Intended for resistance sweeps ([`BuiltPath::set_fault_resistance`]
+    /// between runs): consecutive sweep points have nearly identical
+    /// operating points, so Newton seeded from the previous DC solution
+    /// converges in a few iterations. **Not bit-exact** — the operating
+    /// point matches a cold solve only within solver tolerances (≈1 µV);
+    /// leave it off (the default) where exact reproducibility across call
+    /// orders matters.
+    pub fn set_dc_warm_start(&mut self, on: bool) {
+        self.workspace.enable_dc_warm_start(on);
     }
 
     /// Applies the retry-escalation ladder used after Newton
@@ -519,7 +609,8 @@ impl BuiltPath {
 
     /// Injects a pulse of width `w_in` (measured at 50 % of VDD) and the
     /// given polarity at the path input, simulates, and measures the
-    /// surviving pulse at the output and every intermediate stage.
+    /// surviving pulse at the output — and, under the default
+    /// [`CapturePolicy::StageOutputs`], at every intermediate stage.
     ///
     /// Pass a custom `cfg` to control step/stop; `None` uses a window
     /// sized from the path length.
@@ -533,12 +624,38 @@ impl BuiltPath {
         polarity: Polarity,
         cfg: Option<&TranConfig>,
     ) -> Result<PulseOutcome, Error> {
-        let (outcome, _) = self.propagate_pulse_traced(w_in, polarity, cfg)?;
+        // The capture policy decides which columns the run materializes;
+        // the solve itself is identical either way.
+        let capture = match self.capture_policy {
+            CapturePolicy::StageOutputs => TraceCapture::Nodes(self.stage_outputs.clone()),
+            CapturePolicy::MeasurementsOnly => TraceCapture::Nodes(vec![self.output()]),
+        };
+        let (outcome, _) = self.pulse_run(w_in, polarity, cfg, &capture)?;
         Ok(outcome)
     }
 
+    /// Width-only fast path: like [`BuiltPath::propagate_pulse`] under
+    /// [`CapturePolicy::MeasurementsOnly`] (regardless of the configured
+    /// policy), returning just the output pulse width. This is what
+    /// Monte Carlo width studies run per sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors ([`Error::NoConvergence`], ...).
+    pub fn pulse_width_only(
+        &mut self,
+        w_in: f64,
+        polarity: Polarity,
+        cfg: Option<&TranConfig>,
+    ) -> Result<f64, Error> {
+        let capture = TraceCapture::Nodes(vec![self.output()]);
+        let (outcome, _) = self.pulse_run(w_in, polarity, cfg, &capture)?;
+        Ok(outcome.output_width)
+    }
+
     /// Like [`BuiltPath::propagate_pulse`] but also returns the full
-    /// transient result for waveform inspection / plotting.
+    /// transient result (every node captured) for waveform inspection /
+    /// plotting.
     ///
     /// # Errors
     ///
@@ -548,6 +665,19 @@ impl BuiltPath {
         w_in: f64,
         polarity: Polarity,
         cfg: Option<&TranConfig>,
+    ) -> Result<(PulseOutcome, TranResult), Error> {
+        self.pulse_run(w_in, polarity, cfg, &TraceCapture::All)
+    }
+
+    /// Shared pulse-propagation engine behind [`BuiltPath::propagate_pulse`]
+    /// (stage-output capture) and [`BuiltPath::propagate_pulse_traced`]
+    /// (full capture).
+    fn pulse_run(
+        &mut self,
+        w_in: f64,
+        polarity: Polarity,
+        cfg: Option<&TranConfig>,
+        capture: &TraceCapture,
     ) -> Result<(PulseOutcome, TranResult), Error> {
         if !(w_in.is_finite() && w_in > 0.0) {
             return Err(Error::InvalidParameter {
@@ -565,14 +695,23 @@ impl BuiltPath {
 
         let cfg_default = self.default_cfg(w_in);
         let cfg = cfg.unwrap_or(&cfg_default);
-        let res = self.circuit.transient(cfg)?;
+        let res = self.sim(cfg, capture)?;
 
         let vth = self.vdd / 2.0;
-        let mut stage_widths = Vec::with_capacity(self.stage_outputs.len());
-        let mut pol = polarity;
-        for &n in &self.stage_outputs {
-            pol = pol.inverted(); // every library cell inverts
-            stage_widths.push(res.trace(n).widest_pulse_width(vth, pol));
+        // Per-stage widths need the stage traces; a slim capture
+        // (measurements-only) skips them instead of guessing.
+        let have_stages = match capture {
+            TraceCapture::All => true,
+            TraceCapture::Nodes(nodes) => self.stage_outputs.iter().all(|n| nodes.contains(n)),
+        };
+        let mut stage_widths = Vec::new();
+        if have_stages {
+            stage_widths.reserve(self.stage_outputs.len());
+            let mut pol = polarity;
+            for &n in &self.stage_outputs {
+                pol = pol.inverted(); // every library cell inverts
+                stage_widths.push(res.trace(n).widest_pulse_width(vth, pol));
+            }
         }
         let out_pol = self.output_polarity(polarity);
         let out_trace = res.trace(self.output());
@@ -607,7 +746,9 @@ impl BuiltPath {
 
         let cfg_default = self.default_cfg(0.0);
         let cfg = cfg.unwrap_or(&cfg_default);
-        let res = self.circuit.transient(cfg)?;
+        // The delay measurement reads only the input and output traces.
+        let capture = TraceCapture::Nodes(vec![self.input, self.output()]);
+        let res = self.sim(cfg, &capture)?;
 
         let output_edge = if self.inverts {
             input_edge.inverted()
@@ -684,6 +825,40 @@ mod tests {
             .unwrap()
             .output_width;
         assert_eq!(back, nominal);
+    }
+
+    #[test]
+    fn measurements_only_capture_is_bit_identical_on_the_output() {
+        let spec = PathSpec::inverter_chain(3);
+        let mut p = BuiltPath::new(&spec, &PathFault::None, &techs(3));
+        let full = p
+            .propagate_pulse(400e-12, Polarity::PositiveGoing, None)
+            .unwrap();
+        assert_eq!(full.stage_widths.len(), 3);
+
+        p.set_capture_policy(CapturePolicy::MeasurementsOnly);
+        assert_eq!(p.capture_policy(), CapturePolicy::MeasurementsOnly);
+        let slim = p
+            .propagate_pulse(400e-12, Polarity::PositiveGoing, None)
+            .unwrap();
+        assert!(slim.stage_widths.is_empty());
+        assert_eq!(slim.output_width.to_bits(), full.output_width.to_bits());
+        assert_eq!(slim.peak_fraction.to_bits(), full.peak_fraction.to_bits());
+
+        // The width-only fast path slims the capture regardless of the
+        // configured policy, and still matches bit for bit.
+        p.set_capture_policy(CapturePolicy::StageOutputs);
+        let w = p
+            .pulse_width_only(400e-12, Polarity::PositiveGoing, None)
+            .unwrap();
+        assert_eq!(w.to_bits(), full.output_width.to_bits());
+
+        // As does the preserved baseline engine.
+        p.set_workspace_reuse(false);
+        let wb = p
+            .pulse_width_only(400e-12, Polarity::PositiveGoing, None)
+            .unwrap();
+        assert_eq!(wb.to_bits(), full.output_width.to_bits());
     }
 
     #[test]
@@ -1181,6 +1356,81 @@ mod tests {
             "pulse through AOI/OAI: {:e}",
             out.output_width
         );
+    }
+
+    #[test]
+    fn workspace_reuse_matches_baseline_engine_exactly() {
+        // The workspace path (reused buffers, slim capture) must reproduce
+        // the allocation-per-step baseline engine bit for bit, across a
+        // resistance sweep on one instance.
+        let spec = PathSpec::paper_chain();
+        let fault = PathFault::ExternalRop {
+            stage: 1,
+            ohms: 8e3,
+        };
+        let mut reuse = BuiltPath::new(&spec, &fault, &techs(7));
+        let mut baseline = BuiltPath::new(&spec, &fault, &techs(7));
+        baseline.set_workspace_reuse(false);
+        for r in [1e3, 8e3, 30e3] {
+            reuse.set_fault_resistance(r).unwrap();
+            baseline.set_fault_resistance(r).unwrap();
+            let a = reuse
+                .propagate_pulse(450e-12, Polarity::PositiveGoing, None)
+                .unwrap();
+            let b = baseline
+                .propagate_pulse(450e-12, Polarity::PositiveGoing, None)
+                .unwrap();
+            assert_eq!(a.output_width, b.output_width, "at {r:e} Ω");
+            assert_eq!(a.peak_fraction, b.peak_fraction, "at {r:e} Ω");
+            assert_eq!(a.stage_widths, b.stage_widths, "at {r:e} Ω");
+        }
+        let da = reuse
+            .propagate_transition(Edge::Rising, None)
+            .unwrap()
+            .delay;
+        let db = baseline
+            .propagate_transition(Edge::Rising, None)
+            .unwrap()
+            .delay;
+        assert_eq!(da, db);
+    }
+
+    #[test]
+    fn dc_warm_start_stays_within_solver_tolerance() {
+        // Warm starting changes the Newton trajectory, not the answer:
+        // across a bridge-resistance sweep, warm IDDQ and pulse widths
+        // must track the cold solves within solver tolerances.
+        let spec = PathSpec::paper_chain();
+        let fault = PathFault::Bridge {
+            stage: 1,
+            ohms: 3e3,
+            aggressor_high: false,
+        };
+        let mut warm = BuiltPath::new(&spec, &fault, &techs(7));
+        let mut cold = BuiltPath::new(&spec, &fault, &techs(7));
+        warm.set_dc_warm_start(true);
+        for r in [2e3, 3e3, 5e3, 8e3] {
+            warm.set_fault_resistance(r).unwrap();
+            cold.set_fault_resistance(r).unwrap();
+            let iw = warm.quiescent_current(true).unwrap();
+            let ic = cold.quiescent_current(true).unwrap();
+            assert!(
+                (iw - ic).abs() < 1e-3 * ic.abs() + 1e-7,
+                "warm IDDQ {iw:e} vs cold {ic:e} at {r:e} Ω"
+            );
+            let ww = warm
+                .propagate_pulse(450e-12, Polarity::PositiveGoing, None)
+                .unwrap()
+                .output_width;
+            let wc = cold
+                .propagate_pulse(450e-12, Polarity::PositiveGoing, None)
+                .unwrap()
+                .output_width;
+            assert!(
+                (ww - wc).abs() < 2e-12,
+                "warm width {ww:e} vs cold {wc:e} at {r:e} Ω"
+            );
+        }
     }
 
     #[test]

@@ -138,6 +138,16 @@ pub trait PathInstance {
     fn harden(&mut self, level: u32, step_scale: f64) {
         let _ = (level, step_scale);
     }
+
+    /// Enables DC warm starting for resistance sweeps on this instance:
+    /// consecutive sweep points seed the operating-point solve from the
+    /// previous one. Opt-in because a warm start reproduces a cold solve
+    /// only within solver tolerances, not bit-exactly.
+    ///
+    /// Default: no-op — engines without a DC solve ignore it.
+    fn set_dc_warm_start(&mut self, on: bool) {
+        let _ = on;
+    }
 }
 
 /// Transistor-level path instance (wraps [`BuiltPath`]).
@@ -162,10 +172,10 @@ impl PathInstance for AnalogPath {
     }
 
     fn pulse_width_out(&mut self, w_in: f64, polarity: Polarity) -> Result<f64, CoreError> {
-        Ok(self
-            .inner
-            .propagate_pulse(w_in, polarity, None)?
-            .output_width)
+        // Width-only query: capture just the output column (the
+        // measurements-only policy). Same solve, so the width is
+        // bit-identical to a full-capture run.
+        Ok(self.inner.pulse_width_only(w_in, polarity, None)?)
     }
 
     fn set_resistance(&mut self, ohms: f64) -> Result<(), CoreError> {
@@ -176,6 +186,10 @@ impl PathInstance for AnalogPath {
 
     fn harden(&mut self, level: u32, step_scale: f64) {
         self.inner.set_robustness(level, step_scale);
+    }
+
+    fn set_dc_warm_start(&mut self, on: bool) {
+        self.inner.set_dc_warm_start(on);
     }
 }
 

@@ -31,6 +31,11 @@ pub struct McConfig {
     pub resilience: ResilienceConfig,
     /// Test-only deterministic solver fault plan (`None` in production).
     pub fault_plan: Option<FaultPlan>,
+    /// Warm-start each sample's DC solves from the previous resistance
+    /// sweep point. Off by default: warm starting reproduces cold solves
+    /// only within solver tolerances, so leave it off wherever
+    /// bit-identical reproducibility matters more than speed.
+    pub dc_warm_start: bool,
 }
 
 impl McConfig {
@@ -43,6 +48,7 @@ impl McConfig {
             threads: None,
             resilience: ResilienceConfig::default(),
             fault_plan: None,
+            dc_warm_start: false,
         }
     }
 
@@ -92,11 +98,20 @@ impl McConfig {
     }
 }
 
-/// Escalates the instance's solver configuration on retries. The jitter
-/// scale is drawn from the sample's RNG *after* all instance draws, and
-/// only on retries — first attempts consume exactly the legacy stream, so
-/// their results stay bit-identical to non-resilient runs.
-fn harden_for_attempt<P: PathInstance>(p: &mut P, attempt: u32, rng: &mut StdRng) {
+/// Applies per-sample solver configuration: the opt-in DC warm start, and
+/// on retries the escalation ladder. The jitter scale is drawn from the
+/// sample's RNG *after* all instance draws, and only on retries — first
+/// attempts consume exactly the legacy stream, so their results stay
+/// bit-identical to non-resilient runs.
+fn prepare_for_attempt<P: PathInstance>(
+    p: &mut P,
+    attempt: u32,
+    rng: &mut StdRng,
+    dc_warm_start: bool,
+) {
+    if dc_warm_start {
+        p.set_dc_warm_start(true);
+    }
     if attempt > 1 {
         let step_scale = 0.7 + 0.25 * rng.random::<f64>();
         p.harden(attempt - 1, step_scale);
@@ -169,7 +184,7 @@ impl DfStudy {
         self.mc.try_run_samples(|_, attempt, rng| {
             let (techs, ff) = self.draw(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
-            harden_for_attempt(&mut p, attempt, rng);
+            prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
             Ok(p.worst_delay()? + ff.overhead())
         })
     }
@@ -207,7 +222,7 @@ impl DfStudy {
         self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, ff) = self.draw(rng);
             let mut p = self.put.instantiate(&techs, r_values[0]);
-            harden_for_attempt(&mut p, attempt, rng);
+            prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
             let mut row = Vec::with_capacity(r_values.len());
             for &r in &r_values {
                 p.set_resistance(r)?;
@@ -351,7 +366,7 @@ impl PulseStudy {
         self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, gen_factor) = self.draw_techs(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
-            harden_for_attempt(&mut p, attempt, rng);
+            prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
             p.pulse_width_out(w_in * gen_factor, self.polarity)
         })
     }
@@ -378,7 +393,7 @@ impl PulseStudy {
         let report = self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, _) = self.draw_techs(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
-            harden_for_attempt(&mut p, attempt, rng);
+            prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
             p.pulse_width_out(w_in, self.polarity)
         })?;
         Ok(report.into_resolved())
@@ -423,7 +438,7 @@ impl PulseStudy {
         self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, gen_factor) = self.draw_techs(rng);
             let mut p = self.put.instantiate(&techs, r_values[0]);
-            harden_for_attempt(&mut p, attempt, rng);
+            prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
             let mut row = Vec::with_capacity(r_values.len());
             for &r in &r_values {
                 p.set_resistance(r)?;
