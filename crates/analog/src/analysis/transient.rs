@@ -507,7 +507,7 @@ impl Circuit {
     /// it clones the solution vector on every step attempt and every
     /// accepted step, keeps the LTE predictor history as a per-step
     /// allocation, records every node, and runs the preserved pre-PR
-    /// Newton and LU kernels ([`System::solve_newton_baseline`]). Results
+    /// Newton and LU kernels (`System::solve_newton_baseline`). Results
     /// are bit-identical to the workspace engine (asserted by the
     /// `workspace_equivalence` tests).
     ///

@@ -12,7 +12,7 @@
 //! 3. **mc_coverage_point** — one 64-sample Monte Carlo coverage point
 //!    at threads = 1 / 2 / 4.
 //!
-//! The baseline is not a guess: [`BuiltPath::set_workspace_reuse(false)`]
+//! The baseline is not a guess: `BuiltPath::set_workspace_reuse(false)`
 //! routes every simulation through `Circuit::transient_baseline`, the
 //! pre-optimization engine preserved verbatim (per-call allocations,
 //! indexed scalar LU). Both engines run here back to back and every

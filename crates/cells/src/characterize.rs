@@ -107,6 +107,7 @@ pub fn vtc(kind: CellKind, tech: &Tech, points: usize) -> Result<Vtc, Error> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

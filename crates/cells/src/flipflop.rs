@@ -171,6 +171,7 @@ pub fn characterize_dff(tech: &Tech) -> Result<DffTiming, Error> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -485,6 +485,7 @@ fn mos_tag(m: MosType) -> &'static str {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn tech() -> Tech {

@@ -114,6 +114,60 @@ pub enum PathFault {
     },
 }
 
+impl PathFault {
+    /// The injected defect resistance, when the fault carries one.
+    pub fn ohms(&self) -> Option<f64> {
+        match *self {
+            PathFault::None => None,
+            PathFault::InternalRop { ohms, .. }
+            | PathFault::ExternalRop { ohms, .. }
+            | PathFault::Bridge { ohms, .. }
+            | PathFault::InternalBridge { ohms, .. } => Some(ohms),
+        }
+    }
+
+    /// Validates this fault against a path of `stages` stages.
+    ///
+    /// The defect resistance must be finite and strictly positive (a zero,
+    /// negative, or NaN value used to be accepted here and only blew up
+    /// later, inside the circuit build), and the stage index must be in
+    /// range — an external ROP additionally needs a downstream stage for
+    /// its on-path fan-out branch.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] with parameter `"ohms"` or `"stage"`.
+    pub fn validate(&self, stages: usize) -> Result<(), Error> {
+        if let Some(ohms) = self.ohms() {
+            if !(ohms.is_finite() && ohms > 0.0) {
+                return Err(Error::InvalidParameter {
+                    element: "path fault",
+                    parameter: "ohms",
+                    value: ohms,
+                });
+            }
+        }
+        let bad_stage = |stage: usize| {
+            Err(Error::InvalidParameter {
+                element: "path fault",
+                parameter: "stage",
+                value: stage as f64,
+            })
+        };
+        match *self {
+            PathFault::InternalRop { stage, .. }
+            | PathFault::Bridge { stage, .. }
+            | PathFault::InternalBridge { stage, .. }
+                if stage >= stages =>
+            {
+                bad_stage(stage)
+            }
+            PathFault::ExternalRop { stage, .. } if stage + 1 >= stages => bad_stage(stage),
+            _ => Ok(()),
+        }
+    }
+}
+
 /// How much waveform data a path's default measurement runs record.
 ///
 /// Capture selection never touches the solver — the same time points are
@@ -352,6 +406,35 @@ impl BuiltPath {
         }
     }
 
+    /// Fallible counterpart of [`BuiltPath::new`]: validates the tech count
+    /// and the fault (stage range and defect-resistance domain, via
+    /// [`PathFault::validate`]) and returns a typed error instead of
+    /// panicking. Campaign drivers use this so a misconfigured fault is
+    /// rejected when the path is armed, not deep inside a sample.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::InvalidParameter`] with parameter `"techs"` when
+    /// `techs.len() != spec.len()`, or `"ohms"`/`"stage"` from
+    /// [`PathFault::validate`].
+    ///
+    /// # Panics
+    ///
+    /// Like [`BuiltPath::new`], still panics when an internal bridge is
+    /// placed on a stage without a series stack — that is a property of
+    /// the cell library, not of the numeric fault parameters.
+    pub fn try_new(spec: &PathSpec, fault: &PathFault, techs: &[Tech]) -> Result<Self, Error> {
+        if techs.len() != spec.len() {
+            return Err(Error::InvalidParameter {
+                element: "path",
+                parameter: "techs",
+                value: techs.len() as f64,
+            });
+        }
+        fault.validate(spec.len())?;
+        Ok(Self::new(spec, fault, techs))
+    }
+
     /// Runs a transient through the path's own workspace (or the baseline
     /// engine when reuse is disabled). All measurement paths funnel here so
     /// the reuse/baseline toggle covers every simulation uniformly.
@@ -418,6 +501,23 @@ impl BuiltPath {
     /// Overrides the stimulus edge time (default 80 ps).
     pub fn set_input_edge(&mut self, seconds: f64) {
         self.input_edge = seconds;
+    }
+
+    /// Stimulus edge time (seconds); see [`BuiltPath::set_input_edge`].
+    pub fn input_edge(&self) -> f64 {
+        self.input_edge
+    }
+
+    /// Time the default stimulus starts (seconds).
+    pub fn stimulus_start(&self) -> f64 {
+        self.t_start
+    }
+
+    /// The transient configuration default measurement runs would use,
+    /// given `extra` seconds of stimulus-dependent window (e.g. the input
+    /// pulse width). Exposes the default window to static pre-checks.
+    pub fn default_config(&self, extra: f64) -> TranConfig {
+        self.default_cfg(extra)
     }
 
     /// Attaches a particle-strike current source to the given stage's
@@ -793,6 +893,7 @@ fn pulse_wave(rest: f64, peak: f64, t0: f64, edge: f64, w50: f64) -> Waveform {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn techs(n: usize) -> Vec<Tech> {
@@ -1431,6 +1532,68 @@ mod tests {
                 "warm width {ww:e} vs cold {wc:e} at {r:e} Ω"
             );
         }
+    }
+
+    #[test]
+    fn try_new_rejects_non_physical_fault_resistance() {
+        let spec = PathSpec::paper_chain();
+        let n = spec.stages.len();
+        for ohms in [0.0, -10.0, f64::NAN, f64::INFINITY] {
+            let fault = PathFault::ExternalRop { stage: 1, ohms };
+            let err = BuiltPath::try_new(&spec, &fault, &techs(n)).unwrap_err();
+            match err {
+                Error::InvalidParameter { parameter, .. } => assert_eq!(parameter, "ohms"),
+                other => panic!("expected InvalidParameter for {ohms}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn try_new_rejects_out_of_range_stages() {
+        let spec = PathSpec::paper_chain();
+        let n = spec.stages.len();
+        // An external ROP needs a downstream stage: the last stage is out.
+        let fault = PathFault::ExternalRop {
+            stage: n - 1,
+            ohms: 10e3,
+        };
+        let err = BuiltPath::try_new(&spec, &fault, &techs(n)).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InvalidParameter {
+                parameter: "stage",
+                ..
+            }
+        ));
+        let fault = PathFault::InternalRop {
+            stage: n,
+            site: RopSite::PullUp,
+            ohms: 10e3,
+        };
+        assert!(BuiltPath::try_new(&spec, &fault, &techs(n)).is_err());
+    }
+
+    #[test]
+    fn try_new_rejects_tech_count_mismatch_and_accepts_valid_faults() {
+        let spec = PathSpec::paper_chain();
+        let n = spec.stages.len();
+        let err = BuiltPath::try_new(&spec, &PathFault::None, &techs(n - 1)).unwrap_err();
+        assert!(matches!(
+            err,
+            Error::InvalidParameter {
+                parameter: "techs",
+                ..
+            }
+        ));
+        let fault = PathFault::ExternalRop {
+            stage: 1,
+            ohms: 10e3,
+        };
+        let mut p = BuiltPath::try_new(&spec, &fault, &techs(n)).unwrap();
+        let w = p
+            .propagate_pulse(900e-12, Polarity::PositiveGoing, None)
+            .unwrap();
+        assert!(w.output_width.is_finite());
     }
 
     #[test]

@@ -118,6 +118,7 @@ impl PulseGenerator {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

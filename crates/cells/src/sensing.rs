@@ -94,6 +94,7 @@ impl TransitionDetector {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

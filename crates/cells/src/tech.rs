@@ -133,6 +133,7 @@ impl Default for Tech {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -1,22 +1,28 @@
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors or documented
+// panics, never ad-hoc unwraps; #[cfg(test)] modules opt back in.
+#![warn(clippy::unwrap_used)]
 
 //! # pulsar-cli
 //!
 //! Command-line front end for the pulsar toolchain. One binary,
-//! four subcommands:
+//! five subcommands:
 //!
 //! ```text
-//! pulsar sim <deck.sp> [--nodes a,b] [--vcd out.vcd] [--csv out.csv]
+//! pulsar sim <deck.sp> [--nodes a,b] [--vcd out.vcd] [--csv out.csv] [--no-lint]
+//! pulsar lint <deck.sp>... [--json] [--deny-warnings]
 //! pulsar testgen <netlist.bench> [--site NAME] [--max-paths N]
 //! pulsar campaign <netlist.bench> [--stride N]
 //! pulsar faultsim <netlist.bench> [--tau SECONDS]
 //! ```
 //!
 //! `sim` drives the SPICE-flavoured deck parser and transient engine and
-//! exports waveforms; the netlist commands parse ISCAS-85 text and run
-//! the pulse-test generation / campaign / fault-simulation flows. The
-//! command implementations are a library (this crate) so they are
-//! testable without spawning processes; `main.rs` is a thin shim.
+//! exports waveforms; `lint` runs the static verification pass from
+//! `pulsar-lint` without solving anything; the netlist commands parse
+//! ISCAS-85 text and run the pulse-test generation / campaign /
+//! fault-simulation flows. The command implementations are a library
+//! (this crate) so they are testable without spawning processes;
+//! `main.rs` is a thin shim.
 
 use std::fmt::Write as _;
 use std::fs;
@@ -67,7 +73,8 @@ pub const USAGE: &str = "\
 pulsar — pulse-propagation testing toolchain
 
 USAGE:
-  pulsar sim <deck.sp> [--nodes a,b] [--vcd FILE] [--csv FILE]
+  pulsar sim <deck.sp> [--nodes a,b] [--vcd FILE] [--csv FILE] [--no-lint]
+  pulsar lint <deck.sp>... [--json] [--deny-warnings]
   pulsar testgen <netlist.bench> [--site NAME] [--max-paths N]
   pulsar campaign <netlist.bench> [--stride N]
   pulsar faultsim <netlist.bench> [--tau SECONDS]
@@ -82,6 +89,7 @@ USAGE:
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         Some("sim") => cmd_sim(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("testgen") => cmd_testgen(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..]),
         Some("faultsim") => cmd_faultsim(&args[1..]),
@@ -99,8 +107,17 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
-fn positional(args: &[String]) -> Option<&str> {
-    // First token that is not a flag or a flag value.
+/// Flags that do not consume a value; everything else starting with
+/// `--` is assumed to take the following token as its value.
+const BOOL_FLAGS: &[&str] = &["--json", "--deny-warnings", "--no-lint"];
+
+fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+fn positionals(args: &[String]) -> Vec<&str> {
+    // Tokens that are neither flags nor flag values.
+    let mut out = Vec::new();
     let mut skip = false;
     for a in args {
         if skip {
@@ -108,22 +125,49 @@ fn positional(args: &[String]) -> Option<&str> {
             continue;
         }
         if a.starts_with("--") {
-            skip = true;
+            skip = !BOOL_FLAGS.contains(&a.as_str());
             continue;
         }
-        return Some(a);
+        out.push(a.as_str());
     }
-    None
+    out
+}
+
+fn positional(args: &[String]) -> Option<&str> {
+    positionals(args).first().copied()
 }
 
 fn read(path: &str) -> Result<String, CliError> {
     fs::read_to_string(path).map_err(|e| CliError::run(format!("cannot read `{path}`: {e}")))
 }
 
-/// `pulsar sim`: parse a deck, run its `.tran`, export waveforms.
+/// `pulsar sim`: lint a deck, run its `.tran`, export waveforms.
+///
+/// The static lint pass runs before any transient: error-severity
+/// findings abort the run (bypass with `--no-lint`); warnings are
+/// printed but do not block.
 fn cmd_sim(args: &[String]) -> Result<String, CliError> {
     let path = positional(args).ok_or_else(|| CliError::usage("sim: missing deck path"))?;
-    let deck = parse_deck(&read(path)?).map_err(|e| CliError::run(format!("parse: {e}")))?;
+    let text = read(path)?;
+    let mut warnings = String::new();
+    let deck = if has_flag(args, "--no-lint") {
+        parse_deck(&text).map_err(|e| CliError::run(format!("parse: {e}")))?
+    } else {
+        match pulsar_lint::load_deck(&text, &pulsar_lint::LintOptions::default()) {
+            Ok((deck, report)) => {
+                if !report.is_clean() {
+                    warnings = report.render_human();
+                }
+                deck
+            }
+            Err(report) => {
+                return Err(CliError::run(format!(
+                    "{}(use `pulsar lint {path}` for details, --no-lint to bypass)",
+                    report.render_human()
+                )))
+            }
+        }
+    };
     let tran: TranConfig = deck
         .tran
         .clone()
@@ -148,7 +192,7 @@ fn cmd_sim(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::run("no nodes to dump"));
     }
 
-    let mut out = String::new();
+    let mut out = warnings;
     let _ = writeln!(
         out,
         "simulated {} time points over {:.3e} s ({} nodes)",
@@ -176,6 +220,38 @@ fn cmd_sim(args: &[String]) -> Result<String, CliError> {
                 result.trace(n).last_value()
             );
         }
+    }
+    Ok(out)
+}
+
+/// `pulsar lint`: static verification of one or more decks, no solve.
+///
+/// Human-readable by default, one JSON document per deck with `--json`.
+/// Exits non-zero when any deck has error-severity findings, or any
+/// findings at all under `--deny-warnings`.
+fn cmd_lint(args: &[String]) -> Result<String, CliError> {
+    let paths = positionals(args);
+    if paths.is_empty() {
+        return Err(CliError::usage("lint: missing deck path"));
+    }
+    let json = has_flag(args, "--json");
+    let deny = has_flag(args, "--deny-warnings");
+    let mut out = String::new();
+    let mut blocking = false;
+    for path in &paths {
+        let report = pulsar_lint::lint_deck(&read(path)?);
+        blocking |= report.has_blocking(deny);
+        if json {
+            let _ = writeln!(out, "{}", report.render_json());
+        } else {
+            if paths.len() > 1 {
+                let _ = writeln!(out, "== {path}");
+            }
+            out.push_str(&report.render_human());
+        }
+    }
+    if blocking {
+        return Err(CliError::run(out));
     }
     Ok(out)
 }
@@ -327,6 +403,7 @@ fn cmd_faultsim(args: &[String]) -> Result<String, CliError> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn tmp(name: &str, content: &str) -> String {
@@ -392,6 +469,63 @@ mod tests {
         let deck = tmp("d.sp", DECK);
         let e = dispatch(&["sim".into(), deck, "--nodes".into(), "ghost".into()]).unwrap_err();
         assert!(e.message.contains("ghost"));
+    }
+
+    const BROKEN_DECK: &str = "broken\nV1 a a DC 1.0\nR1 a 0 1k\n.tran 10p 4n\n.end\n";
+
+    #[test]
+    fn lint_passes_a_clean_deck() {
+        let deck = tmp("lint_ok.sp", DECK);
+        let out = dispatch(&["lint".into(), deck]).unwrap();
+        assert!(out.contains("no diagnostics"), "{out}");
+    }
+
+    #[test]
+    fn lint_rejects_a_broken_deck_with_codes() {
+        let deck = tmp("lint_bad.sp", BROKEN_DECK);
+        let e = dispatch(&["lint".into(), deck]).unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("PL0101"), "{}", e.message);
+        assert!(e.message.contains("fix:"), "{}", e.message);
+    }
+
+    #[test]
+    fn lint_emits_json() {
+        let deck = tmp("lint_json.sp", BROKEN_DECK);
+        let e = dispatch(&["lint".into(), deck, "--json".into()]).unwrap_err();
+        assert!(e.message.contains("\"code\""), "{}", e.message);
+        assert!(e.message.contains("\"summary\""), "{}", e.message);
+    }
+
+    #[test]
+    fn lint_deny_warnings_blocks_warning_only_decks() {
+        // Floating capacitor island: warning-severity only.
+        let warn_deck = "warn\nV1 in 0 DC 1.0\nR1 in out 1k\nC1 x y 1p\n.tran 10p 4n\n.end\n";
+        let deck = tmp("lint_warn.sp", warn_deck);
+        assert!(dispatch(&["lint".into(), deck.clone()]).is_ok());
+        let e = dispatch(&["lint".into(), deck, "--deny-warnings".into()]).unwrap_err();
+        assert_eq!(e.code, 1);
+    }
+
+    #[test]
+    fn lint_handles_multiple_decks_with_headers() {
+        let a = tmp("multi_a.sp", DECK);
+        let b = tmp("multi_b.sp", BROKEN_DECK);
+        let e = dispatch(&["lint".into(), a.clone(), b.clone()]).unwrap_err();
+        assert!(e.message.contains(&format!("== {a}")), "{}", e.message);
+        assert!(e.message.contains(&format!("== {b}")), "{}", e.message);
+    }
+
+    #[test]
+    fn sim_is_gated_by_lint_unless_opted_out() {
+        let deck = tmp("sim_gate.sp", BROKEN_DECK);
+        let e = dispatch(&["sim".into(), deck.clone()]).unwrap_err();
+        assert!(e.message.contains("PL0101"), "{}", e.message);
+        assert!(e.message.contains("--no-lint"), "{}", e.message);
+        // Bypass reaches the solver, which then fails on the singular
+        // system — the lint verdict and the solver agree.
+        let e = dispatch(&["sim".into(), deck, "--no-lint".into()]).unwrap_err();
+        assert!(e.message.contains("singular"), "{}", e.message);
     }
 
     const C17: &str = "\

@@ -84,6 +84,62 @@ impl PathUnderTest {
             inner: BuiltPath::new(&self.spec, &PathFault::None, techs),
         }
     }
+
+    /// Statically verifies this configuration before any sample runs.
+    ///
+    /// The stage index is checked against the path structure (`PL0302`),
+    /// and — when a resistance sweep is supplied — every sweep point must
+    /// be finite and strictly positive, and the sweep non-empty
+    /// (`PL0301`). Studies run this as a preflight so a structurally
+    /// broken configuration is rejected with
+    /// [`CoreError::LintRejected`](crate::CoreError::LintRejected) before
+    /// a single sample builds, keeping the failure budget untouched.
+    pub fn lint(&self, r_values: Option<&[f64]>) -> pulsar_lint::LintReport {
+        use pulsar_lint::{Code, Diagnostic};
+        let mut diags = Vec::new();
+        // Probe the stage range with a unit (in-domain) resistance so only
+        // structural problems surface here.
+        if let Err(pulsar_analog::Error::InvalidParameter {
+            parameter: "stage", ..
+        }) = self.fault(1.0).validate(self.spec.len())
+        {
+            let need = match self.defect {
+                DefectKind::ExternalRop => "a downstream stage (stage + 1 < stages)",
+                _ => "stage < stages",
+            };
+            diags.push(Diagnostic::new(
+                Code::FaultStage,
+                format!("stage {}", self.stage),
+                format!(
+                    "fault stage {} is out of range for a {}-stage path (needs {need})",
+                    self.stage,
+                    self.spec.len()
+                ),
+                "move the fault onto an existing stage",
+            ));
+        }
+        if let Some(rs) = r_values {
+            if rs.is_empty() {
+                diags.push(Diagnostic::new(
+                    Code::FaultResistance,
+                    "resistance sweep",
+                    "the defect-resistance sweep is empty",
+                    "provide at least one resistance point",
+                ));
+            }
+            for (i, &r) in rs.iter().enumerate() {
+                if !(r.is_finite() && r > 0.0) {
+                    diags.push(Diagnostic::new(
+                        Code::FaultResistance,
+                        format!("resistance sweep [{i}]"),
+                        format!("defect resistance must be finite and > 0, got {r}"),
+                        "keep the sweep inside the physical domain",
+                    ));
+                }
+            }
+        }
+        pulsar_lint::LintReport::new(diags)
+    }
 }
 
 /// One measurable path instance: the paper's two observables plus the

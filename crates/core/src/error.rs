@@ -37,6 +37,13 @@ pub enum CoreError {
         /// indices, and the retry histogram.
         report: Box<crate::resilience::FailureReport>,
     },
+    /// The configuration failed the static lint preflight: a structural
+    /// error no retry can fix. Raised *before* any sample runs, so the
+    /// failure budget and retry machinery are never engaged.
+    LintRejected {
+        /// The full lint report (error-severity findings included).
+        report: Box<pulsar_lint::LintReport>,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -53,6 +60,18 @@ impl fmt::Display for CoreError {
             CoreError::Unsupported { what } => write!(f, "unsupported on this engine: {what}"),
             CoreError::FailureBudgetExceeded { report } => {
                 write!(f, "Monte Carlo failure budget exceeded: {report}")
+            }
+            CoreError::LintRejected { report } => {
+                write!(
+                    f,
+                    "configuration rejected by static lint ({}); first finding: {}",
+                    report.summary(),
+                    report
+                        .errors()
+                        .next()
+                        .map(|d| format!("[{}] {}: {}", d.code, d.subject, d.message))
+                        .unwrap_or_else(|| "none".to_owned())
+                )
             }
         }
     }

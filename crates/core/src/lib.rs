@@ -88,6 +88,7 @@ pub use faultsim::{all_branch_faults, fault_simulate, BranchFault, FaultSimRepor
 pub use iddq::IddqStudy;
 pub use model_study::{ModelDfStudy, ModelPulseStudy};
 pub use ordering::{OrderingCalibration, OrderingStudy};
+pub use pulsar_lint::LintReport;
 pub use resilience::{error_kind, is_retryable, FailureReport, McRunReport, ResilienceConfig};
 pub use study::{CoverageCurve, DfStudy, McConfig, PulseStudy};
 pub use testgen::{

@@ -95,6 +95,7 @@ pub fn error_kind(e: &CoreError) -> &'static str {
         CoreError::EmptyCalibration { .. } => "empty-calibration",
         CoreError::Unsupported { .. } => "unsupported",
         CoreError::FailureBudgetExceeded { .. } => "failure-budget-exceeded",
+        CoreError::LintRejected { .. } => "lint-rejected",
         // `CoreError` is non_exhaustive: future variants default here.
         #[allow(unreachable_patterns)]
         _ => "other",

@@ -98,6 +98,21 @@ impl McConfig {
     }
 }
 
+/// Static preflight shared by the studies: a configuration with
+/// error-severity lint findings (fault stage out of range, non-physical
+/// or empty resistance sweep) is rejected *before* any sample builds, so
+/// the retry machinery and failure budget are never engaged on an error
+/// no retry can fix.
+fn lint_preflight(put: &PathUnderTest, r_values: Option<&[f64]>) -> Result<(), CoreError> {
+    let report = put.lint(r_values);
+    if report.error_count() > 0 {
+        return Err(CoreError::LintRejected {
+            report: Box::new(report),
+        });
+    }
+    Ok(())
+}
+
 /// Applies per-sample solver configuration: the opt-in DC warm start, and
 /// on retries the escalation ladder. The jitter scale is drawn from the
 /// sample's RNG *after* all instance draws, and only on retries — first
@@ -178,9 +193,11 @@ impl DfStudy {
     ///
     /// # Errors
     ///
-    /// [`CoreError::FailureBudgetExceeded`] when too many samples stay
-    /// failed after retries.
+    /// [`CoreError::LintRejected`] when the configuration fails the static
+    /// preflight; [`CoreError::FailureBudgetExceeded`] when too many
+    /// samples stay failed after retries.
     pub fn try_fault_free_needs(&self) -> Result<McRunReport<f64>, CoreError> {
+        lint_preflight(&self.put, None)?;
         self.mc.try_run_samples(|_, attempt, rng| {
             let (techs, ff) = self.draw(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
@@ -215,9 +232,12 @@ impl DfStudy {
     ///
     /// # Errors
     ///
+    /// [`CoreError::LintRejected`] when the configuration fails the static
+    /// preflight (out-of-range stage, non-physical or empty sweep);
     /// [`CoreError::FailureBudgetExceeded`] when too many samples stay
     /// failed after retries.
     pub fn try_faulty_needs(&self, r_values: &[f64]) -> Result<McRunReport<Vec<f64>>, CoreError> {
+        lint_preflight(&self.put, Some(r_values))?;
         let r_values = r_values.to_vec();
         self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, ff) = self.draw(rng);
@@ -348,8 +368,10 @@ impl PulseStudy {
     ///
     /// # Errors
     ///
-    /// Propagates simulation failures.
+    /// [`CoreError::LintRejected`] when the configuration fails the static
+    /// preflight; otherwise propagates simulation failures.
     pub fn nominal_curve(&self) -> Result<TransferCurve, CoreError> {
+        lint_preflight(&self.put, None)?;
         let techs = vec![self.put.tech; self.put.spec.len()];
         let mut p = self.put.instantiate_fault_free(&techs);
         let (lo, hi, n) = self.sweep;
@@ -360,9 +382,11 @@ impl PulseStudy {
     ///
     /// # Errors
     ///
-    /// [`CoreError::FailureBudgetExceeded`] when too many samples stay
-    /// failed after retries.
+    /// [`CoreError::LintRejected`] when the configuration fails the static
+    /// preflight; [`CoreError::FailureBudgetExceeded`] when too many
+    /// samples stay failed after retries.
     pub fn try_fault_free_wouts(&self, w_in: f64) -> Result<McRunReport<f64>, CoreError> {
+        lint_preflight(&self.put, None)?;
         self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, gen_factor) = self.draw_techs(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
@@ -390,6 +414,7 @@ impl PulseStudy {
     ///
     /// Propagates simulation failures (via the failure budget).
     pub fn fault_free_wouts_fixed_width(&self, w_in: f64) -> Result<Vec<f64>, CoreError> {
+        lint_preflight(&self.put, None)?;
         let report = self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, _) = self.draw_techs(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
@@ -427,6 +452,8 @@ impl PulseStudy {
     ///
     /// # Errors
     ///
+    /// [`CoreError::LintRejected`] when the configuration fails the static
+    /// preflight (out-of-range stage, non-physical or empty sweep);
     /// [`CoreError::FailureBudgetExceeded`] when too many samples stay
     /// failed after retries.
     pub fn try_faulty_wouts(
@@ -434,6 +461,7 @@ impl PulseStudy {
         w_in: f64,
         r_values: &[f64],
     ) -> Result<McRunReport<Vec<f64>>, CoreError> {
+        lint_preflight(&self.put, Some(r_values))?;
         let r_values = r_values.to_vec();
         self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, gen_factor) = self.draw_techs(rng);
@@ -533,6 +561,48 @@ mod tests {
 
     fn tiny_mc() -> McConfig {
         McConfig::paper(6, 42)
+    }
+
+    #[test]
+    fn lint_rejects_out_of_range_stage_before_any_sample() {
+        let bad = PathUnderTest { stage: 99, ..put() };
+        let study = DfStudy::new(bad, tiny_mc());
+        let err = study.try_fault_free_needs().unwrap_err();
+        match &err {
+            CoreError::LintRejected { report } => {
+                assert!(report.error_count() > 0);
+            }
+            other => panic!("expected LintRejected, got {other:?}"),
+        }
+        // Structural rejection is terminal: no retries, no budget spend.
+        assert!(!crate::resilience::is_retryable(&err));
+        assert_eq!(crate::resilience::error_kind(&err), "lint-rejected");
+    }
+
+    #[test]
+    fn lint_rejects_non_physical_resistance_sweep() {
+        let study = DfStudy::new(put(), tiny_mc());
+        for sweep in [&[-1.0][..], &[f64::NAN][..], &[0.0][..], &[][..]] {
+            let err = study.try_faulty_needs(sweep).unwrap_err();
+            assert!(
+                matches!(err, CoreError::LintRejected { .. }),
+                "sweep {sweep:?} must be lint-rejected, got {err:?}"
+            );
+        }
+        // A physical sweep passes the preflight (and the run itself).
+        assert!(study.try_faulty_needs(&[10e3]).is_ok());
+    }
+
+    #[test]
+    fn pulse_study_lint_rejection_spends_zero_budget() {
+        let bad = PathUnderTest { stage: 99, ..put() };
+        let study = PulseStudy::new(bad, tiny_mc(), Polarity::PositiveGoing);
+        let err = study.try_fault_free_wouts(500e-12).unwrap_err();
+        assert!(matches!(err, CoreError::LintRejected { .. }));
+        let err = study.try_faulty_wouts(500e-12, &[10e3]).unwrap_err();
+        assert!(matches!(err, CoreError::LintRejected { .. }));
+        let err = study.fault_free_wouts_fixed_width(500e-12).unwrap_err();
+        assert!(matches!(err, CoreError::LintRejected { .. }));
     }
 
     #[test]

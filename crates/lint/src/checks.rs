@@ -1,0 +1,409 @@
+//! Circuit-level checks: parameter domains, DC connectivity, and
+//! structural singularity of the MNA system.
+
+use std::collections::HashMap;
+
+use pulsar_analog::{Circuit, Element, NodeId, Waveform};
+
+use crate::diag::{Code, Diagnostic, LintReport};
+use crate::graph::UnionFind;
+use crate::matching::StampPattern;
+
+/// Statically analyzes a circuit and returns every finding.
+///
+/// All checks are purely structural — nothing is factorized or solved:
+///
+/// * **Parameter domains** (`PL0001`–`PL0004`): resistor/capacitor values,
+///   MOSFET geometry, and source-waveform domains.
+/// * **Connectivity** (`PL0103`–`PL0105`): islands with no DC path to
+///   ground (capacitor-only cutsets, current-source-fed nodes), fully
+///   disconnected subgraphs, and MOSFET gates that are not statically
+///   driven (unpinned side inputs).
+/// * **Structural singularity** (`PL0101`/`PL0102`): shorted or duplicated
+///   voltage sources whose zero pivot is guaranteed even in floating-point
+///   arithmetic, voltage-source loops (singular in exact arithmetic; the
+///   conservative verdict), and a bipartite-matching backstop on the
+///   symbolic stamp pattern.
+pub fn lint_circuit(ckt: &Circuit) -> LintReport {
+    let mut diags = Vec::new();
+    parameter_checks(ckt, &mut diags);
+    connectivity_checks(ckt, &mut diags);
+    structural_checks(ckt, &mut diags);
+    LintReport::new(diags)
+}
+
+/// Positional label used until deck span mapping substitutes card names.
+fn element_label(ei: usize, e: &Element) -> String {
+    let kind = match e {
+        Element::Resistor { .. } => "resistor",
+        Element::Capacitor { .. } => "capacitor",
+        Element::Vsource { .. } => "vsource",
+        Element::Isource { .. } => "isource",
+        Element::Mosfet(_) => "mosfet",
+        _ => "element",
+    };
+    format!("{kind} #{ei}")
+}
+
+fn names(ckt: &Circuit, nodes: &[NodeId]) -> Vec<String> {
+    nodes.iter().map(|&n| ckt.node_name(n).to_owned()).collect()
+}
+
+fn parameter_checks(ckt: &Circuit, diags: &mut Vec<Diagnostic>) {
+    for (ei, e) in ckt.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, ohms } if !(ohms.is_finite() && *ohms > 0.0) => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::ResistorValue,
+                        element_label(ei, e),
+                        format!("resistance must be finite and > 0, got {ohms}"),
+                        "use a strictly positive, finite resistance",
+                    )
+                    .with_nodes(names(ckt, &[*a, *b]))
+                    .with_element(ei),
+                );
+            }
+            Element::Capacitor { a, b, farads } if !(farads.is_finite() && *farads >= 0.0) => {
+                diags.push(
+                    Diagnostic::new(
+                        Code::CapacitorValue,
+                        element_label(ei, e),
+                        format!("capacitance must be finite and >= 0, got {farads}"),
+                        "use a non-negative, finite capacitance",
+                    )
+                    .with_nodes(names(ckt, &[*a, *b]))
+                    .with_element(ei),
+                );
+            }
+            Element::Vsource { p, n, wave } | Element::Isource { p, n, wave } => {
+                if let Some(issue) = waveform_issue(wave) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::WaveformDomain,
+                            element_label(ei, e),
+                            issue,
+                            "keep waveform levels finite and timing parameters non-negative",
+                        )
+                        .with_nodes(names(ckt, &[*p, *n]))
+                        .with_element(ei),
+                    );
+                }
+            }
+            Element::Mosfet(m) => {
+                if let Some(issue) = mosfet_issue(m) {
+                    diags.push(
+                        Diagnostic::new(
+                            Code::MosfetGeometry,
+                            element_label(ei, e),
+                            issue,
+                            "use finite W, L, KP > 0 and non-negative LAMBDA/CGS/CGD/CDB",
+                        )
+                        .with_nodes(names(ckt, &[m.d, m.g, m.s]))
+                        .with_element(ei),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Domain problem in a source waveform, if any.
+fn waveform_issue(w: &Waveform) -> Option<String> {
+    match w {
+        Waveform::Dc(v) => (!v.is_finite()).then(|| format!("non-finite DC level {v}")),
+        Waveform::Pulse {
+            v1,
+            v2,
+            delay,
+            rise,
+            fall,
+            width,
+            period,
+        } => {
+            for (name, v) in [("v1", v1), ("v2", v2)] {
+                if !v.is_finite() {
+                    return Some(format!("non-finite pulse level {name}={v}"));
+                }
+            }
+            for (name, v) in [("delay", delay), ("rise", rise), ("fall", fall)] {
+                if !v.is_finite() {
+                    return Some(format!("non-finite pulse timing {name}={v}"));
+                }
+                if *v < 0.0 {
+                    return Some(format!("negative pulse timing {name}={v}"));
+                }
+            }
+            // `width` may legitimately be +inf (a step); never negative/NaN.
+            if width.is_nan() || *width < 0.0 {
+                return Some(format!("pulse width must be >= 0, got {width}"));
+            }
+            if period.is_nan() || *period <= 0.0 {
+                return Some(format!("pulse period must be > 0 (or +inf), got {period}"));
+            }
+            None
+        }
+        Waveform::Pwl(pts) => {
+            if pts.is_empty() {
+                return Some("empty PWL point list".to_owned());
+            }
+            for &(t, v) in pts {
+                if !t.is_finite() || !v.is_finite() {
+                    return Some(format!("non-finite PWL point ({t}, {v})"));
+                }
+            }
+            if pts.windows(2).any(|w| w[1].0 < w[0].0) {
+                return Some("PWL times must be non-decreasing".to_owned());
+            }
+            None
+        }
+    }
+}
+
+/// Domain problem in MOSFET geometry/model parameters, if any.
+fn mosfet_issue(m: &pulsar_analog::Mosfet) -> Option<String> {
+    let p = &m.params;
+    for (name, v) in [("W", p.w), ("L", p.l), ("KP", p.kp)] {
+        if !(v.is_finite() && v > 0.0) {
+            return Some(format!("{name} must be finite and > 0, got {v}"));
+        }
+    }
+    if !p.vt0.is_finite() {
+        return Some(format!("VT0 must be finite, got {}", p.vt0));
+    }
+    for (name, v) in [
+        ("LAMBDA", p.lambda),
+        ("CGS", p.cgs),
+        ("CGD", p.cgd),
+        ("CDB", p.cdb),
+    ] {
+        if !(v.is_finite() && v >= 0.0) {
+            return Some(format!("{name} must be finite and >= 0, got {v}"));
+        }
+    }
+    None
+}
+
+fn connectivity_checks(ckt: &Circuit, diags: &mut Vec<Diagnostic>) {
+    let n = ckt.node_count();
+    // DC-conductive edges: resistors, voltage sources, MOSFET channels.
+    let mut uf = UnionFind::new(n);
+    // Weak (DC-open) couplings: capacitors, current sources, MOSFET gates.
+    let mut weak_edges: Vec<(usize, usize)> = Vec::new();
+    for e in ckt.elements() {
+        match e {
+            Element::Resistor { a, b, .. } => {
+                uf.union(a.index(), b.index());
+            }
+            Element::Vsource { p, n, .. } => {
+                uf.union(p.index(), n.index());
+            }
+            Element::Capacitor { a, b, .. } => weak_edges.push((a.index(), b.index())),
+            Element::Isource { p, n, .. } => weak_edges.push((p.index(), n.index())),
+            Element::Mosfet(m) => {
+                uf.union(m.d.index(), m.s.index());
+                weak_edges.push((m.g.index(), m.d.index()));
+                weak_edges.push((m.g.index(), m.s.index()));
+            }
+            _ => {}
+        }
+    }
+
+    let ground_root = uf.find(0);
+    // Group floating nodes by component root, in node order. Non-ground
+    // NodeIds come back from `nodes()` in index order (1-based).
+    let node_ids = ckt.nodes();
+    let mut islands: HashMap<usize, Vec<NodeId>> = HashMap::new();
+    for idx in 1..n {
+        let root = uf.find(idx);
+        if root != ground_root {
+            islands.entry(root).or_default().push(node_ids[idx - 1]);
+        }
+    }
+    let mut roots: Vec<usize> = islands.keys().copied().collect();
+    roots.sort_unstable();
+
+    for root in roots {
+        let members = &islands[&root];
+        let weakly_coupled = weak_edges
+            .iter()
+            .any(|&(x, y)| (uf.find(x) == root) != (uf.find(y) == root));
+        let shown = names(ckt, &members[..members.len().min(8)]);
+        let summary = if members.len() > shown.len() {
+            format!(
+                "{} (+{} more)",
+                shown.join(", "),
+                members.len() - shown.len()
+            )
+        } else {
+            shown.join(", ")
+        };
+        let (code, message, fix) = if weakly_coupled {
+            (
+                Code::NoDcPath,
+                format!(
+                    "{} node(s) have no DC path to ground ({summary}); they are coupled \
+                     only through capacitors, current sources, or MOSFET gates, so their \
+                     operating point is set by the solver's gmin floor, not the circuit",
+                    members.len()
+                ),
+                "add a resistive or source path to ground (or accept the gmin artifact)",
+            )
+        } else {
+            (
+                Code::DisconnectedIsland,
+                format!(
+                    "{} node(s) form a fully disconnected island ({summary})",
+                    members.len()
+                ),
+                "connect the island or remove the dead nodes",
+            )
+        };
+        diags.push(
+            Diagnostic::new(
+                code,
+                format!("island at {}", ckt.node_name(members[0])),
+                message,
+                fix,
+            )
+            .with_nodes(shown),
+        );
+    }
+
+    // Undriven gates: the device's region is undefined if its gate's
+    // DC-connected component cannot reach ground (an unpinned side input).
+    for (ei, e) in ckt.elements().iter().enumerate() {
+        if let Element::Mosfet(m) = e {
+            if !m.g.is_ground() && uf.find(m.g.index()) != ground_root {
+                diags.push(
+                    Diagnostic::new(
+                        Code::UndrivenGate,
+                        element_label(ei, e),
+                        format!(
+                            "gate node {} is not statically driven (no DC path to ground); \
+                             the device's operating region is an artifact of the gmin floor",
+                            ckt.node_name(m.g)
+                        ),
+                        "pin the gate through a source or resistive divider",
+                    )
+                    .with_nodes(vec![ckt.node_name(m.g).to_owned()])
+                    .with_element(ei),
+                );
+            }
+        }
+    }
+}
+
+fn structural_checks(ckt: &Circuit, diags: &mut Vec<Diagnostic>) {
+    // Pass 1: voltage-source incidence structure. Dead branches and
+    // duplicated node pairs are *float-guaranteed* zero pivots (PL0101):
+    // the ±1 incidence entries cancel exactly, or the two branch rows stay
+    // exact negations/copies of each other through elimination. A longer
+    // loop (detected as a union-find cycle) is singular in exact
+    // arithmetic, but rounding can hide the zero pivot, so it gets the
+    // conservative code (PL0102).
+    let mut uf = UnionFind::new(ckt.node_count());
+    let mut seen_pairs: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut flagged = false;
+    for (ei, e) in ckt.elements().iter().enumerate() {
+        let Element::Vsource { p, n, .. } = e else {
+            continue;
+        };
+        let (pi, ni) = (p.index(), n.index());
+        if pi == ni {
+            let message = if p.is_ground() {
+                "voltage source with both terminals on ground: its branch row and column \
+                 are empty, so LU factorization is guaranteed to hit a zero pivot"
+                    .to_owned()
+            } else {
+                format!(
+                    "voltage source shorted onto node {}: its incidence entries cancel \
+                     exactly, so LU factorization is guaranteed to hit a zero pivot",
+                    ckt.node_name(*p)
+                )
+            };
+            diags.push(
+                Diagnostic::new(
+                    Code::StructuralSingular,
+                    element_label(ei, e),
+                    message,
+                    "remove the source or connect it across two distinct nodes",
+                )
+                .with_nodes(names(ckt, &[*p, *n]))
+                .with_element(ei),
+            );
+            flagged = true;
+            continue;
+        }
+        let key = (pi.min(ni), pi.max(ni));
+        if let Some(&first) = seen_pairs.get(&key) {
+            diags.push(
+                Diagnostic::new(
+                    Code::StructuralSingular,
+                    element_label(ei, e),
+                    format!(
+                        "voltage source duplicates element #{first} across nodes {} and {}: \
+                         the two branch rows are exact copies (or negations), so LU \
+                         factorization is guaranteed to hit a zero pivot",
+                        ckt.node_name(*p),
+                        ckt.node_name(*n)
+                    ),
+                    "merge the parallel sources into one",
+                )
+                .with_nodes(names(ckt, &[*p, *n]))
+                .with_element(ei),
+            );
+            flagged = true;
+            continue;
+        }
+        seen_pairs.insert(key, ei);
+        if !uf.union(pi, ni) {
+            diags.push(
+                Diagnostic::new(
+                    Code::VsourceLoop,
+                    element_label(ei, e),
+                    format!(
+                        "voltage source closes a loop of voltage sources through nodes {} \
+                         and {}: the MNA system is singular in exact arithmetic (rounding \
+                         may or may not surface the zero pivot — conservative verdict)",
+                        ckt.node_name(*p),
+                        ckt.node_name(*n)
+                    ),
+                    "break the loop by removing one source or inserting series resistance",
+                )
+                .with_nodes(names(ckt, &[*p, *n]))
+                .with_element(ei),
+            );
+            flagged = true;
+        }
+    }
+
+    // Pass 2: bipartite-matching backstop on the symbolic stamp pattern.
+    // The pattern over-approximates the true DC support (MOSFET entries may
+    // vanish in cutoff) except for exactly-cancelling vsource incidences,
+    // so a matching deficit implies structural rank < n and therefore
+    // exact-arithmetic singularity. The vsource scan above already covers
+    // every deficit this pattern can exhibit (a deficient branch-row set
+    // violates Hall's condition, which forces a dead branch, a duplicated
+    // pair, or a cycle), so this arm is belt-and-braces for patterns the
+    // scan does not model.
+    if !flagged {
+        let pattern = StampPattern::build(ckt);
+        let unmatched = pattern.unmatched_rows();
+        if !unmatched.is_empty() {
+            diags.push(Diagnostic::new(
+                Code::VsourceLoop,
+                "mna pattern",
+                format!(
+                    "symbolic MNA stamp pattern is structurally rank-deficient: {} of {} \
+                     rows cannot be matched to a column, so the system is singular in \
+                     exact arithmetic",
+                    unmatched.len(),
+                    pattern.dim()
+                ),
+                "inspect the voltage-source topology; the system has no unique solution",
+            ));
+        }
+    }
+}

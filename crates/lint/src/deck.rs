@@ -1,0 +1,264 @@
+//! Deck-level linting: parse-error mapping, source-span attachment, and
+//! `.tran`/stimulus consistency checks.
+
+use pulsar_analog::{parse_deck, Deck, Element, Error, Waveform};
+
+use crate::checks::lint_circuit;
+use crate::diag::{Code, Diagnostic, LintReport};
+
+/// How strict [`load_deck`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintOptions {
+    /// Reject decks with error-severity findings (default). Opting out
+    /// loads the deck regardless and leaves the findings advisory.
+    pub strict: bool,
+    /// In strict mode, additionally reject decks with warnings.
+    pub deny_warnings: bool,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            strict: true,
+            deny_warnings: false,
+        }
+    }
+}
+
+/// Lints a deck source without running anything.
+///
+/// A deck that fails to parse yields a single finding mapped from the
+/// parser error (carrying the failing line); a deck that parses gets the
+/// full circuit-level pass plus `.tran`/stimulus consistency checks, with
+/// findings mapped back to card names and deck lines.
+pub fn lint_deck(text: &str) -> LintReport {
+    lint_deck_inner(text).1
+}
+
+/// Parses and lints a deck in one step — the strict-mode entry point.
+///
+/// With `strict` set (the default), a deck carrying error-severity
+/// findings (or any findings under `deny_warnings`) is rejected. With
+/// `strict` off, any parseable deck loads and the report is advisory.
+///
+/// # Errors
+///
+/// The full report, boxed, when the deck does not parse or strict mode
+/// rejects it.
+pub fn load_deck(text: &str, opts: &LintOptions) -> Result<(Deck, LintReport), Box<LintReport>> {
+    let (deck, report) = lint_deck_inner(text);
+    match deck {
+        Some(d) if !(opts.strict && report.has_blocking(opts.deny_warnings)) => Ok((d, report)),
+        _ => Err(Box::new(report)),
+    }
+}
+
+fn lint_deck_inner(text: &str) -> (Option<Deck>, LintReport) {
+    let deck = match parse_deck(text) {
+        Ok(d) => d,
+        Err(e) => {
+            return (None, LintReport::new(vec![parse_error_diag(text, &e)]));
+        }
+    };
+    let spans = scan_spans(text);
+    let mut diags = lint_circuit(&deck.circuit).diagnostics().to_vec();
+    // Rewrite positional element labels into card names + deck lines.
+    for d in &mut diags {
+        if let Some((name, line)) = d.element_index.and_then(|ei| spans.elems.get(ei)) {
+            d.subject = name.clone();
+            d.line = Some(*line);
+        }
+    }
+    tran_checks(&deck, &spans, &mut diags);
+    (Some(deck), LintReport::new(diags))
+}
+
+/// Per-element card names and deck lines, mirroring the parser's element
+/// ordering (non-MOSFET cards in deck order, then MOSFETs in deck order —
+/// the parser instantiates them in a second pass once models are known).
+struct DeckSpans {
+    elems: Vec<(String, usize)>,
+    tran_line: Option<usize>,
+}
+
+fn scan_spans(text: &str) -> DeckSpans {
+    let mut normal = Vec::new();
+    let mut mos = Vec::new();
+    let mut tran_line = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line_no = lineno + 1;
+        let line = raw.split(';').next().unwrap_or("").trim();
+        // Mirror the parser: first line is the title, `*` comments skipped.
+        if line.is_empty() || line.starts_with('*') || line_no == 1 {
+            continue;
+        }
+        let Some(card) = line.split_whitespace().next() else {
+            continue;
+        };
+        let lower = card.to_lowercase();
+        match lower.chars().next() {
+            Some('r' | 'c' | 'v' | 'i') => normal.push((card.to_owned(), line_no)),
+            Some('m') => mos.push((card.to_owned(), line_no)),
+            Some('.') => {
+                if lower == ".end" {
+                    break;
+                }
+                if lower == ".tran" {
+                    tran_line = Some(line_no);
+                }
+            }
+            _ => {}
+        }
+    }
+    normal.extend(mos);
+    DeckSpans {
+        elems: normal,
+        tran_line,
+    }
+}
+
+/// Maps a parse error onto a single diagnostic carrying the failing line.
+fn parse_error_diag(text: &str, e: &Error) -> Diagnostic {
+    if let Error::InvalidParameter {
+        element,
+        parameter: "line",
+        value,
+    } = e
+    {
+        let line = *value as usize;
+        let subject = text
+            .lines()
+            .nth(line.saturating_sub(1))
+            .and_then(|l| l.split(';').next())
+            .unwrap_or("")
+            .split_whitespace()
+            .next()
+            .unwrap_or("deck")
+            .to_owned();
+        let code = match *element {
+            "resistor value" => Code::ResistorValue,
+            "capacitor value" => Code::CapacitorValue,
+            "source waveform" => Code::WaveformDomain,
+            el if el.starts_with(".tran") => Code::TranConfigInvalid,
+            _ => Code::MalformedCard,
+        };
+        Diagnostic::new(
+            code,
+            subject,
+            format!("deck does not parse: invalid {element}"),
+            "fix the card; see the deck grammar in the pulsar-analog docs",
+        )
+        .with_line(line)
+    } else {
+        Diagnostic::new(
+            Code::MalformedCard,
+            "deck",
+            format!("deck does not parse: {e}"),
+            "fix the failing card",
+        )
+    }
+}
+
+fn tran_checks(deck: &Deck, spans: &DeckSpans, diags: &mut Vec<Diagnostic>) {
+    let Some(tran) = &deck.tran else {
+        return;
+    };
+    let mut push_cfg = |message: String, fix: &str| {
+        let mut d = Diagnostic::new(Code::TranConfigInvalid, ".tran", message, fix);
+        if let Some(line) = spans.tran_line {
+            d = d.with_line(line);
+        }
+        diags.push(d);
+    };
+    let mut cfg_ok = true;
+    if !(tran.step.is_finite() && tran.step > 0.0) {
+        push_cfg(
+            format!("transient step must be finite and > 0, got {}", tran.step),
+            "use a positive step",
+        );
+        cfg_ok = false;
+    }
+    if !(tran.stop.is_finite() && tran.stop > 0.0) {
+        push_cfg(
+            format!("transient stop must be finite and > 0, got {}", tran.stop),
+            "use a positive stop time",
+        );
+        cfg_ok = false;
+    }
+    if cfg_ok && tran.step > tran.stop {
+        push_cfg(
+            format!(
+                "transient step {} exceeds stop time {}",
+                tran.step, tran.stop
+            ),
+            "use a step no larger than the stop time",
+        );
+        cfg_ok = false;
+    }
+    if !cfg_ok {
+        return;
+    }
+
+    // Step budget: the run accepts at least stop/step points even in
+    // adaptive mode (`step` is the maximum step), so exceeding max_points
+    // here guarantees StepBudgetExhausted.
+    let min_points = tran.stop / tran.step;
+    if min_points > tran.max_points as f64 {
+        let mut d = Diagnostic::new(
+            Code::StepBudget,
+            ".tran",
+            format!(
+                "stop/step = {min_points:.3e} points exceeds the step budget of {}; \
+                 the run is guaranteed to exhaust it",
+                tran.max_points
+            ),
+            "increase the step, shorten the window, or raise max_points",
+        );
+        if let Some(line) = spans.tran_line {
+            d = d.with_line(line);
+        }
+        diags.push(d);
+    }
+
+    // Pulse stimuli must complete inside the window.
+    for (ei, e) in deck.circuit.elements().iter().enumerate() {
+        let (Element::Vsource { wave, .. } | Element::Isource { wave, .. }) = e else {
+            continue;
+        };
+        let Waveform::Pulse {
+            delay,
+            rise,
+            fall,
+            width,
+            ..
+        } = wave
+        else {
+            continue;
+        };
+        let parts = [*delay, *rise, *width, *fall];
+        if parts.iter().any(|v| !v.is_finite() || *v < 0.0) {
+            continue; // PL0004 already covers the domain problem
+        }
+        let end: f64 = parts.iter().sum();
+        if end > tran.stop {
+            let (subject, line) = match spans.elems.get(ei) {
+                Some((name, line)) => (name.clone(), Some(*line)),
+                None => (format!("source #{ei}"), None),
+            };
+            let mut d = Diagnostic::new(
+                Code::PulseExceedsWindow,
+                subject,
+                format!(
+                    "pulse completes at t = {end:.3e} s, after the transient window \
+                     ends at {:.3e} s; the trailing edge is never simulated",
+                    tran.stop
+                ),
+                "extend .tran stop past the pulse or shorten the pulse",
+            );
+            if let Some(line) = line {
+                d = d.with_line(line);
+            }
+            diags.push(d);
+        }
+    }
+}

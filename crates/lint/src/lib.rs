@@ -1,0 +1,69 @@
+//! `pulsar-lint` — static netlist and path verification.
+//!
+//! Every study in this workspace hammers one MNA topology thousands of
+//! times (Monte Carlo samples × resistance points × pulse widths). A deck
+//! or path configuration that is *structurally* broken — a shorted voltage
+//! source, a floating island, a pulse that outlives its transient window —
+//! fails identically on every sample, yet without this crate it only
+//! surfaces as a runtime `SingularMatrix` or a budget-exhausted campaign.
+//! `pulsar-lint` finds those error classes before the first solve, purely
+//! structurally: nothing here factorizes a matrix or integrates a
+//! waveform.
+//!
+//! # Diagnostic code registry
+//!
+//! | Code | Severity | Meaning |
+//! |------|----------|---------|
+//! | `PL0001` | error | resistor value out of domain |
+//! | `PL0002` | error | capacitor value out of domain |
+//! | `PL0003` | error | MOSFET geometry/model out of domain |
+//! | `PL0004` | error | source waveform out of domain |
+//! | `PL0005` | error | malformed deck card |
+//! | `PL0006` | error | invalid `.tran` step/stop |
+//! | `PL0101` | error | structural singularity, float-guaranteed |
+//! | `PL0102` | error | voltage-source loop (conservative verdict) |
+//! | `PL0103` | warning | no DC path to ground (gmin-held island) |
+//! | `PL0104` | warning | fully disconnected island |
+//! | `PL0105` | warning | MOSFET gate not statically driven |
+//! | `PL0201` | error | pulse completes after the transient window |
+//! | `PL0202` | error | `stop/step` exceeds the step budget |
+//! | `PL0203` | warning | threshold below the sensing floor |
+//! | `PL0204` | warning | input width does not exceed the threshold |
+//! | `PL0301` | error | fault resistance out of domain / empty sweep |
+//! | `PL0302` | error | fault stage out of range |
+//!
+//! The singularity verdict is split in two on purpose. `PL0101` covers the
+//! cases where the zero pivot survives floating-point elimination exactly
+//! (cancelled ±1 incidence entries; duplicated branch rows), so flagged
+//! decks *will* reproduce `SingularMatrix`. Longer voltage-source loops
+//! are singular in exact arithmetic but rounding may hide the zero pivot;
+//! they get the conservative `PL0102` so downstream tooling can decide how
+//! hard to fail. The property tests in `tests/agreement.rs` hold the
+//! crate to exactly this contract.
+//!
+//! # Example
+//!
+//! ```
+//! use pulsar_lint::{lint_deck, Code};
+//!
+//! let report = lint_deck("title\nV1 a a DC 1.0\nR1 a 0 1k\n.end\n");
+//! assert!(report.has_code(Code::StructuralSingular));
+//! assert!(report.has_blocking(false));
+//! ```
+
+#![warn(missing_docs)]
+// Library code must surface failures as typed errors or documented
+// panics, never ad-hoc unwraps; #[cfg(test)] modules opt back in.
+#![warn(clippy::unwrap_used)]
+
+mod checks;
+mod deck;
+mod diag;
+mod graph;
+mod matching;
+mod pulse;
+
+pub use checks::lint_circuit;
+pub use deck::{lint_deck, load_deck, LintOptions};
+pub use diag::{Code, Diagnostic, LintReport, Severity};
+pub use pulse::{lint_built_path, lint_pulse_test, PulseTestConfig};

@@ -1,0 +1,152 @@
+//! Pulse-test configuration checks: `ω_in`/`ω_th` consistency against the
+//! transient window, the step budget, and the sensing floor.
+
+use pulsar_analog::TranConfig;
+use pulsar_cells::BuiltPath;
+
+use crate::checks::lint_circuit;
+use crate::diag::{Code, Diagnostic, LintReport};
+
+/// A pulse-test configuration to verify statically.
+///
+/// Mirrors the paper's test setup: a pulse of width `w_in` is launched at
+/// `t_start` with edge time `edge`, propagates through the path, and the
+/// output is compared against the detection threshold `w_th` (the paper's
+/// ω_in/ω_th pair).
+#[derive(Debug, Clone)]
+pub struct PulseTestConfig {
+    /// Input pulse width (seconds, at 50 %).
+    pub w_in: f64,
+    /// Detection threshold on the output pulse width (seconds).
+    pub w_th: f64,
+    /// Smallest width the sensing circuit can resolve, when calibrated
+    /// (e.g. from `TransitionDetector::characterize_threshold`).
+    pub sense_floor: Option<f64>,
+    /// Time the stimulus starts (seconds).
+    pub t_start: f64,
+    /// Stimulus edge time (seconds).
+    pub edge: f64,
+    /// The transient configuration the measurement will run with.
+    pub tran: TranConfig,
+}
+
+impl PulseTestConfig {
+    /// Assembles the configuration a default measurement run over `path`
+    /// would use for the given `(w_in, w_th)` pair.
+    pub fn for_path(path: &BuiltPath, w_in: f64, w_th: f64) -> Self {
+        PulseTestConfig {
+            w_in,
+            w_th,
+            sense_floor: None,
+            t_start: path.stimulus_start(),
+            edge: path.input_edge(),
+            tran: path.default_config(if w_in.is_finite() { w_in } else { 0.0 }),
+        }
+    }
+}
+
+/// Statically checks a pulse-test configuration (no solves).
+pub fn lint_pulse_test(cfg: &PulseTestConfig) -> LintReport {
+    let mut diags = Vec::new();
+    for (name, v) in [("w_in", cfg.w_in), ("w_th", cfg.w_th)] {
+        if !(v.is_finite() && v > 0.0) {
+            diags.push(Diagnostic::new(
+                Code::WaveformDomain,
+                "pulse test",
+                format!("{name} must be finite and > 0, got {v}"),
+                "use a strictly positive, finite width",
+            ));
+        }
+    }
+    let widths_ok =
+        cfg.w_in.is_finite() && cfg.w_in > 0.0 && cfg.w_th.is_finite() && cfg.w_th > 0.0;
+
+    let mut tran_ok = true;
+    let step_ok = cfg.tran.step.is_finite() && cfg.tran.step > 0.0;
+    let stop_ok = cfg.tran.stop.is_finite() && cfg.tran.stop > 0.0;
+    if !step_ok || !stop_ok || cfg.tran.step > cfg.tran.stop {
+        diags.push(Diagnostic::new(
+            Code::TranConfigInvalid,
+            "pulse test",
+            format!(
+                "transient window is invalid: step {}, stop {}",
+                cfg.tran.step, cfg.tran.stop
+            ),
+            "use 0 < step <= stop, both finite",
+        ));
+        tran_ok = false;
+    }
+
+    if tran_ok {
+        // `step` is the max step even in adaptive mode, so stop/step is a
+        // lower bound on accepted points: exceeding the budget is certain.
+        let min_points = cfg.tran.stop / cfg.tran.step;
+        if min_points > cfg.tran.max_points as f64 {
+            diags.push(Diagnostic::new(
+                Code::StepBudget,
+                "pulse test",
+                format!(
+                    "stop/step = {min_points:.3e} points exceeds the step budget of {}",
+                    cfg.tran.max_points
+                ),
+                "increase the step, shorten the window, or raise max_points",
+            ));
+        }
+        if widths_ok {
+            // The stimulus (ramp up, flat top, ramp down) must finish
+            // inside the window, with slack for the pulse to traverse the
+            // path; the builder's trapezoid never ends later than
+            // t_start + w_in + edge.
+            let stim_end = cfg.t_start + cfg.w_in + cfg.edge;
+            if stim_end > cfg.tran.stop {
+                diags.push(Diagnostic::new(
+                    Code::PulseExceedsWindow,
+                    "pulse test",
+                    format!(
+                        "stimulus completes at t = {stim_end:.3e} s, after the transient \
+                         window ends at {:.3e} s",
+                        cfg.tran.stop
+                    ),
+                    "extend the window (larger extra) or shorten w_in",
+                ));
+            }
+        }
+    }
+
+    if widths_ok {
+        if let Some(floor) = cfg.sense_floor {
+            if cfg.w_th < floor {
+                diags.push(Diagnostic::new(
+                    Code::ThresholdBelowFloor,
+                    "pulse test",
+                    format!(
+                        "threshold w_th = {:.3e} s is below the sensing-circuit floor \
+                         {floor:.3e} s; detections at the margin are not trustworthy",
+                        cfg.w_th
+                    ),
+                    "raise w_th to at least the calibrated sensing floor",
+                ));
+            }
+        }
+        if cfg.w_in <= cfg.w_th {
+            diags.push(Diagnostic::new(
+                Code::PulseBelowThreshold,
+                "pulse test",
+                format!(
+                    "input width w_in = {:.3e} s does not exceed the threshold w_th = \
+                     {:.3e} s: even a fault-free path is classified as failing",
+                    cfg.w_in, cfg.w_th
+                ),
+                "choose w_in > w_th (the paper's ω_in/ω_th ordering)",
+            ));
+        }
+    }
+    LintReport::new(diags)
+}
+
+/// Lints the netlist a built path will actually simulate: the full
+/// circuit-level pass over its transistor-level circuit. Side inputs left
+/// unpinned surface as `PL0105` undriven-gate findings.
+pub fn lint_built_path(path: &BuiltPath) -> LintReport {
+    lint_circuit(path.circuit())
+}

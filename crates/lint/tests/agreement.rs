@@ -1,0 +1,180 @@
+//! Agreement between the lint verdict and the actual LU factorization.
+//!
+//! The contract under test (see the crate docs):
+//!
+//! * **No false negatives** — whenever the DC solve fails with
+//!   [`pulsar_analog::Error::SingularMatrix`], the lint report carries
+//!   `PL0101` or `PL0102`.
+//! * **PL0101 is exact** — every deck flagged `PL0101` reproduces
+//!   `SingularMatrix` when solved. The cancellation/duplication patterns
+//!   behind `PL0101` survive IEEE-754 elimination bit-exactly, so the
+//!   zero pivot is guaranteed, not merely likely.
+//! * **PL0102 is conservative** — a `PL0102` loop or matching deficit is
+//!   singular in exact arithmetic, but rounding may produce a tiny
+//!   nonzero pivot instead of a clean failure. Decks flagged *only*
+//!   `PL0102` are therefore allowed to solve either way; that documented
+//!   false-positive channel is the price of never missing a real one.
+
+#![allow(clippy::unwrap_used)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use proptest::prelude::*;
+use pulsar_analog::{parse_deck, Circuit, Error, Waveform};
+use pulsar_lint::{lint_circuit, lint_deck, Code};
+
+fn corpus_decks() -> Vec<(PathBuf, String)> {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint_corpus");
+    let mut decks: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("corpus directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sp"))
+        .collect();
+    decks.sort();
+    decks
+        .into_iter()
+        .map(|p| {
+            let text = fs::read_to_string(&p).unwrap();
+            (p, text)
+        })
+        .collect()
+}
+
+#[test]
+fn corpus_verdicts_agree_with_the_solver() {
+    let mut exercised_pl0101 = false;
+    let mut exercised_clean = false;
+    for (path, text) in corpus_decks() {
+        let report = lint_deck(&text);
+        let Ok(deck) = parse_deck(&text) else {
+            // Unparsable decks are covered by PL0005; there is nothing
+            // to solve.
+            assert!(
+                report.has_code(Code::MalformedCard),
+                "{path:?}: parse failed without PL0005"
+            );
+            continue;
+        };
+        let dc = deck.circuit.dc_op();
+        if report.has_code(Code::StructuralSingular) {
+            // PL0101 is a float-level guarantee, not a heuristic.
+            assert!(
+                matches!(dc, Err(Error::SingularMatrix { .. })),
+                "{path:?}: PL0101 deck did not reproduce SingularMatrix: {dc:?}"
+            );
+            exercised_pl0101 = true;
+        } else if !report.has_code(Code::VsourceLoop) {
+            // No structural finding at all: the solve must not be
+            // singular. (PL0102-only decks are exempt — conservative.)
+            assert!(
+                !matches!(dc, Err(Error::SingularMatrix { .. })),
+                "{path:?}: solver found a singularity the lint missed"
+            );
+        }
+        if report.error_count() == 0 {
+            // Lint-passing decks (warnings allowed) must DC-solve.
+            assert!(dc.is_ok(), "{path:?}: lint-passing deck failed DC: {dc:?}");
+            exercised_clean = true;
+        }
+    }
+    assert!(exercised_pl0101, "corpus lost its PL0101 decks");
+    assert!(exercised_clean, "corpus lost its lint-passing decks");
+}
+
+/// One randomly generated linear element.
+#[derive(Debug, Clone, Copy)]
+enum Elem {
+    R(usize, usize, f64),
+    C(usize, usize, f64),
+    V(usize, usize, f64),
+    I(usize, usize, f64),
+}
+
+fn build(nodes: usize, elems: &[Elem]) -> Circuit {
+    let mut ckt = Circuit::new();
+    let ids: Vec<_> = (0..nodes)
+        .map(|i| {
+            if i == 0 {
+                Circuit::GROUND
+            } else {
+                ckt.node(format!("n{i}"))
+            }
+        })
+        .collect();
+    for e in elems {
+        match *e {
+            Elem::R(a, b, ohms) => {
+                // The builder asserts on degenerate resistors; a two-
+                // terminal element needs two distinct terminals anyway.
+                if a != b {
+                    ckt.resistor(ids[a], ids[b], ohms);
+                }
+            }
+            Elem::C(a, b, f) => {
+                if a != b {
+                    ckt.capacitor(ids[a], ids[b], f);
+                }
+            }
+            Elem::V(a, b, v) => {
+                ckt.vsource(ids[a], ids[b], Waveform::dc(v));
+            }
+            Elem::I(a, b, v) => {
+                ckt.isource(ids[a], ids[b], Waveform::dc(v));
+            }
+        }
+    }
+    ckt
+}
+
+fn elem_strategy(nodes: usize) -> BoxedStrategy<Elem> {
+    let n = 0..nodes;
+    prop_oneof![
+        (n.clone(), 0..nodes, 1.0f64..1e6).prop_map(|(a, b, r)| Elem::R(a, b, r)),
+        (n.clone(), 0..nodes, 1e-15f64..1e-9).prop_map(|(a, b, c)| Elem::C(a, b, c)),
+        (n.clone(), 0..nodes, -2.0f64..2.0).prop_map(|(a, b, v)| Elem::V(a, b, v)),
+        (n, 0..nodes, -1e-3f64..1e-3).prop_map(|(a, b, i)| Elem::I(a, b, i)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The two-sided contract on random linear circuits: the solver
+    /// never fails singular without a structural finding, and PL0101
+    /// always reproduces as a solver failure.
+    #[test]
+    fn structural_verdict_agrees_with_lu(
+        nodes in 2usize..6,
+        elems in proptest::collection::vec(elem_strategy(5), 1..8),
+    ) {
+        let elems: Vec<Elem> = elems; // bind before truncating node ids
+        let ckt = build(nodes, &elems.iter().map(|e| clamp(*e, nodes)).collect::<Vec<_>>());
+        let report = lint_circuit(&ckt);
+        let dc = ckt.dc_op();
+        let flagged = report.has_code(Code::StructuralSingular)
+            || report.has_code(Code::VsourceLoop);
+        if matches!(dc, Err(Error::SingularMatrix { .. })) {
+            prop_assert!(
+                flagged,
+                "false negative: solver is singular, lint saw nothing\n{report}"
+            );
+        }
+        if report.has_code(Code::StructuralSingular) {
+            prop_assert!(
+                matches!(dc, Err(Error::SingularMatrix { .. })),
+                "PL0101 must be an exact verdict; solver said {dc:?}\n{report}"
+            );
+        }
+    }
+}
+
+/// Folds generated node indices into the actual node count.
+fn clamp(e: Elem, nodes: usize) -> Elem {
+    match e {
+        Elem::R(a, b, v) => Elem::R(a % nodes, b % nodes, v),
+        Elem::C(a, b, v) => Elem::C(a % nodes, b % nodes, v),
+        Elem::V(a, b, v) => Elem::V(a % nodes, b % nodes, v),
+        Elem::I(a, b, v) => Elem::I(a % nodes, b % nodes, v),
+    }
+}

@@ -1,0 +1,128 @@
+//! Golden-file tests for the lint renderings over the broken-deck corpus
+//! in `tests/lint_corpus/` (repository root).
+//!
+//! Every `<name>.sp` deck has `<name>.expected.txt` (human rendering) and
+//! `<name>.expected.json` (JSON rendering) next to it. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p pulsar-lint --test golden
+//! ```
+
+#![allow(clippy::unwrap_used)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use pulsar_lint::lint_deck;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/lint_corpus")
+}
+
+fn corpus_decks() -> Vec<PathBuf> {
+    let mut decks: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("corpus directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sp"))
+        .collect();
+    decks.sort();
+    assert!(decks.len() >= 10, "corpus unexpectedly small: {decks:?}");
+    decks
+}
+
+fn check_golden(rendered: &str, golden_path: &PathBuf) {
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::write(golden_path, rendered).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(golden_path).unwrap_or_else(|e| {
+        panic!("missing golden {golden_path:?} ({e}); run with UPDATE_GOLDENS=1")
+    });
+    assert_eq!(
+        rendered, expected,
+        "rendering drifted from {golden_path:?}; rerun with UPDATE_GOLDENS=1 if intentional"
+    );
+}
+
+#[test]
+fn corpus_matches_goldens() {
+    for deck in corpus_decks() {
+        let report = lint_deck(&fs::read_to_string(&deck).unwrap());
+        check_golden(&report.render_human(), &deck.with_extension("expected.txt"));
+        let mut json = report.render_json();
+        json.push('\n');
+        check_golden(&json, &deck.with_extension("expected.json"));
+    }
+}
+
+#[test]
+fn corpus_decks_flag_their_seeded_defect() {
+    use pulsar_lint::Code;
+    let table: &[(&str, Code)] = &[
+        ("clean_rc", Code::ResistorValue), // sentinel: clean deck asserted below
+        ("shorted_vsource", Code::StructuralSingular),
+        ("grounded_vsource", Code::StructuralSingular),
+        ("parallel_vsources", Code::StructuralSingular),
+        ("antiparallel_vsources", Code::StructuralSingular),
+        ("vsource_loop3", Code::VsourceLoop),
+        ("floating_cap_island", Code::NoDcPath),
+        ("disconnected_island", Code::DisconnectedIsland),
+        ("undriven_gate", Code::UndrivenGate),
+        ("negative_pulse_width", Code::WaveformDomain),
+        ("step_budget", Code::StepBudget),
+        ("bad_mos_geometry", Code::MosfetGeometry),
+        ("malformed_card", Code::MalformedCard),
+        ("pulse_exceeds_window", Code::PulseExceedsWindow),
+    ];
+    for (stem, code) in table {
+        let path = corpus_dir().join(format!("{stem}.sp"));
+        let report = lint_deck(&fs::read_to_string(&path).unwrap());
+        if *stem == "clean_rc" {
+            assert!(report.is_clean(), "clean_rc must lint clean: {report}");
+        } else {
+            assert!(
+                report.has_code(*code),
+                "{stem} must flag {code:?}: {report}"
+            );
+        }
+    }
+}
+
+#[test]
+fn rendering_is_deterministic_across_runs_and_threads() {
+    let decks = corpus_decks();
+    let baseline: Vec<(String, String)> = decks
+        .iter()
+        .map(|p| {
+            let r = lint_deck(&fs::read_to_string(p).unwrap());
+            (r.render_human(), r.render_json())
+        })
+        .collect();
+
+    // Repeated in-thread runs.
+    for _ in 0..3 {
+        for (p, base) in decks.iter().zip(&baseline) {
+            let r = lint_deck(&fs::read_to_string(p).unwrap());
+            assert_eq!((r.render_human(), r.render_json()), *base);
+        }
+    }
+
+    // Concurrent runs: same bytes from every thread.
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let decks = decks.clone();
+            std::thread::spawn(move || {
+                decks
+                    .iter()
+                    .map(|p| {
+                        let r = lint_deck(&fs::read_to_string(p).unwrap());
+                        (r.render_human(), r.render_json())
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    for h in handles {
+        assert_eq!(h.join().unwrap(), baseline);
+    }
+}

@@ -182,6 +182,7 @@ pub fn c17() -> Netlist {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::sim::simulate;
 

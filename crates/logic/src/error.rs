@@ -67,6 +67,7 @@ impl std::error::Error for LogicError {}
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

@@ -83,6 +83,7 @@ pub fn collapsed_fault_sites(nl: &Netlist) -> Vec<FaultGroup> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::benchgen::c432_like;
     use crate::netlist::GateKind;

@@ -227,6 +227,7 @@ pub fn write_iscas85(nl: &Netlist) -> String {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::sim::simulate_bool;
 

@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// Library code must surface failures as typed errors or documented
+// panics, never ad-hoc unwraps; #[cfg(test)] modules opt back in.
+#![warn(clippy::unwrap_used)]
 
 //! # pulsar-logic
 //!

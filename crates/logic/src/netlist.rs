@@ -357,6 +357,7 @@ impl Netlist {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     fn small() -> (Netlist, SignalId, SignalId, SignalId, SignalId) {

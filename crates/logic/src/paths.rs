@@ -264,6 +264,7 @@ pub fn paths_from_fanin(
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::netlist::GateKind;
 

@@ -239,6 +239,7 @@ impl Justify<'_> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::netlist::{GateKind, Netlist};
     use crate::paths::enumerate_paths;

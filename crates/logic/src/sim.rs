@@ -56,6 +56,7 @@ pub fn simulate_bool(nl: &Netlist, pi: &[bool]) -> Result<Vec<bool>, LogicError>
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::netlist::GateKind;
     use proptest::prelude::*;

@@ -136,6 +136,7 @@ pub fn calibrate_inverter(tech: &Tech) -> Result<GateTimingModel, Error> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::library::TimingLibrary;
     use crate::path_model::{PathElement, PathTimingModel};

@@ -74,6 +74,7 @@ impl Default for TimingLibrary {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
 
     #[test]

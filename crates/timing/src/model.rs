@@ -132,6 +132,7 @@ impl GateTimingModel {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use proptest::prelude::*;
 

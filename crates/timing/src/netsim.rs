@@ -358,6 +358,7 @@ impl<'a> NetSim<'a> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::path_model::PathTimingModel;
     use pulsar_logic::{c17, GateKind};

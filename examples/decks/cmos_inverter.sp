@@ -1,0 +1,10 @@
+CMOS inverter driven by a pulse
+.model nx nmos
+.model px pmos
+Vdd vdd 0 DC 1.8
+Vin in 0 PULSE(0 1.8 0.2n 50p 50p 1n)
+M1 out in vdd px W=2u L=0.18u
+M2 out in 0 nx W=1u L=0.18u
+C1 out 0 5f
+.tran 5p 3n
+.end

@@ -1,0 +1,13 @@
+two-stage inverter chain propagating a narrow pulse
+.model nx nmos
+.model px pmos
+Vdd vdd 0 DC 1.8
+Vin in 0 PULSE(0 1.8 0.3n 40p 40p 0.4n)
+M1 mid in vdd px W=2u L=0.18u
+M2 mid in 0 nx W=1u L=0.18u
+M3 out mid vdd px W=2u L=0.18u
+M4 out mid 0 nx W=1u L=0.18u
+C1 mid 0 2f
+C2 out 0 5f
+.tran 5p 3n
+.end

@@ -1,0 +1,7 @@
+two sources across the same pair, opposite orientation
+V1 a b DC 1.0
+V2 b a DC 1.0
+R1 a 0 1k
+R2 b 0 1k
+.tran 10p 4n
+.end

@@ -1,0 +1,8 @@
+mosfet with a negative channel width
+.model nx nmos
+Vdd vdd 0 DC 1.8
+Vg g 0 DC 1.8
+R1 vdd out 10k
+M1 out g 0 nx W=-1u L=0.18u
+.tran 10p 4n
+.end

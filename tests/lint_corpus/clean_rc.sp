@@ -1,0 +1,6 @@
+clean RC low-pass driven by a pulse
+V1 in 0 PULSE(0 1.8 1n 0.1n 0.1n 0.5n)
+R1 in out 1k
+C1 out 0 0.1p
+.tran 10p 4n
+.end

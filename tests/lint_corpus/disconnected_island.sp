@@ -1,0 +1,6 @@
+resistor island with no connection to the rest at all
+V1 in 0 DC 1.0
+R1 in out 1k
+R2 x y 1k
+.tran 10p 4n
+.end

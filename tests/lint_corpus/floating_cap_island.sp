@@ -1,0 +1,7 @@
+resistor pair reachable only through a capacitor
+V1 in 0 DC 1.0
+R1 in out 1k
+C1 out x 1p
+R2 x y 1k
+.tran 10p 4n
+.end

@@ -1,0 +1,6 @@
+voltage source with both terminals grounded
+V1 0 gnd DC 1.0
+R1 a 0 1k
+V2 a 0 DC 1.0
+.tran 10p 4n
+.end

@@ -1,0 +1,5 @@
+resistor card with a missing value
+V1 in 0 DC 1.0
+R1 in out
+.tran 10p 4n
+.end

@@ -1,0 +1,6 @@
+two sources across the same node pair
+V1 a 0 DC 1.0
+V2 a 0 DC 2.0
+R1 a 0 1k
+.tran 10p 4n
+.end

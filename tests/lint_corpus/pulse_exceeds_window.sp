@@ -1,0 +1,6 @@
+pulse that has not finished when the transient stops
+V1 in 0 PULSE(0 1.8 3n 0.1n 0.1n 2n)
+R1 in out 1k
+C1 out 0 0.1p
+.tran 10p 4n
+.end

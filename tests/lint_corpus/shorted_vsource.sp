@@ -1,0 +1,5 @@
+voltage source shorted onto a single node
+V1 a a DC 1.0
+R1 a 0 1k
+.tran 10p 4n
+.end

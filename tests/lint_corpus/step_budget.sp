@@ -1,0 +1,6 @@
+transient window needs more points than the budget allows
+V1 in 0 DC 1.0
+R1 in out 1k
+C1 out 0 0.1p
+.tran 1f 10m
+.end

@@ -1,0 +1,8 @@
+nmos gate driven only through a capacitor
+.model nx nmos
+Vdd vdd 0 DC 1.8
+R1 vdd out 10k
+C1 g 0 1p
+M1 out g 0 nx W=1u L=0.18u
+.tran 10p 4n
+.end

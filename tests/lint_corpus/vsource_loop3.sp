@@ -1,0 +1,9 @@
+three-source loop a-b-c-a
+V1 a b DC 0.5
+V2 b c DC 0.5
+V3 c a DC 0.5
+R1 a 0 1k
+R2 b 0 1k
+R3 c 0 1k
+.tran 10p 4n
+.end

@@ -6,7 +6,8 @@
 //! implements the subset of proptest the workspace's property tests use:
 //! the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
 //! `x in strategy` / `x: Type` parameter forms, range and tuple
-//! strategies, [`Strategy::prop_map`] / [`Strategy::prop_recursive`],
+//! strategies, [`strategy::Strategy::prop_map`] /
+//! [`strategy::Strategy::prop_recursive`],
 //! [`prop_oneof!`], `collection::vec`, `any::<T>()`, and the
 //! `prop_assert*` / [`prop_assume!`] macros.
 //!

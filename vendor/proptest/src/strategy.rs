@@ -1,7 +1,7 @@
 //! Value-generation strategies.
 //!
 //! A [`Strategy`] deterministically maps draws from a
-//! [`TestRng`](crate::test_runner::TestRng) to values. Unlike upstream
+//! [`TestRng`] to values. Unlike upstream
 //! proptest there is no value tree and no shrinking: `sample` produces a
 //! final value directly.
 
