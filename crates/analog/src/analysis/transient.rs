@@ -508,8 +508,8 @@ impl Circuit {
     /// accepted step, keeps the LTE predictor history as a per-step
     /// allocation, records every node, and runs the preserved pre-PR
     /// Newton and LU kernels (`System::solve_newton_baseline`). Results
-    /// are bit-identical to the workspace engine (asserted by the
-    /// `workspace_equivalence` tests).
+    /// are bit-identical to the workspace engine run dense (asserted by
+    /// the `workspace_equivalence` tests).
     ///
     /// Not part of the simulation API proper; `bench_hotpath` uses it for
     /// same-run before/after comparisons, and it will be dropped once the
@@ -520,10 +520,14 @@ impl Circuit {
     /// Same failure modes as [`Circuit::transient`].
     pub fn transient_baseline(&self, cfg: &TranConfig) -> Result<TranResult, Error> {
         cfg.validate()?;
-        let dc = self.dc_op()?;
         let mut scratch = SysScratch::default();
+        // The baseline engine is dense end to end: pin its DC seed dense
+        // too, so it stays bit-identical to the pre-sparse implementation
+        // even for circuits above the `Auto` crossover dimension.
+        scratch.sparse.mode = crate::solver::workspace::SolverMode::ForceDense;
+        let mut x = Vec::new();
+        self.dc_into(0.0, &mut scratch, None, &mut x)?;
         let mut sys = System::new(self, &mut scratch);
-        let mut x = dc.x;
 
         // Companion-model states, one per capacitive branch.
         let mut branches = Vec::new();

@@ -70,5 +70,7 @@ pub use elements::{Element, MosType, Mosfet, MosfetParams, Waveform};
 pub use error::Error;
 pub use export::{to_csv, to_vcd};
 pub use inject::{ArmedFault, FaultKind, FaultPlan};
-pub use solver::workspace::SolverWorkspace;
+pub use solver::pattern::{topology_key, PatternMode, StampPattern};
+pub use solver::sparse::{solver_counters, SolverCounters};
+pub use solver::workspace::{SolverMode, SolverWorkspace, SymbolicCache};
 pub use waveform::{propagation_delay, Edge, Polarity, Pulse, Trace};

@@ -208,6 +208,37 @@ mod tests {
         assert_eq!(b, vec![1.0, 2.0, 3.0]);
     }
 
+    /// Shrink-then-regrow through `reset` must never resurrect stale
+    /// values from the larger earlier use. `reset` clears *and* resizes
+    /// (so the seed implementation was already correct — `data.clear()`
+    /// before `resize` discards every old entry); this test pins that
+    /// contract against a tempting future "optimization" that resizes
+    /// without clearing and would leak a previous circuit's stamps into
+    /// the freshly grown tail.
+    #[test]
+    fn reset_shrink_then_regrow_leaves_no_stale_values() {
+        let mut m = DenseMatrix::zeros(4);
+        for r in 0..4 {
+            for c in 0..4 {
+                m.add(r, c, (1 + r * 4 + c) as f64);
+            }
+        }
+        m.reset(2);
+        assert_eq!(m.n(), 2);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(m.get(r, c), 0.0, "stale entry at ({r},{c})");
+            }
+        }
+        m.reset(4);
+        assert_eq!(m.n(), 4);
+        for r in 0..4 {
+            for c in 0..4 {
+                assert_eq!(m.get(r, c), 0.0, "stale entry at ({r},{c})");
+            }
+        }
+    }
+
     #[test]
     fn solves_2x2_with_pivoting() {
         // [[0, 1], [2, 0]] x = [3, 4]  →  x = [2, 3]

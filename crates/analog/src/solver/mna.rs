@@ -5,10 +5,19 @@
 //! eliminated), followed by one branch current per voltage source in
 //! element order.
 
+use std::sync::atomic::Ordering;
+
 use crate::circuit::{Circuit, NodeId};
 use crate::elements::{Element, MosType, Mosfet, MosfetParams};
 use crate::error::Error;
-use crate::solver::workspace::SysScratch;
+use crate::solver::sparse::{SymbolicLu, COUNTERS};
+use crate::solver::workspace::{SparseScratch, SysScratch};
+
+/// Modified-Newton stall threshold: a reused Jacobian is kept only while
+/// the residual max-norm contracts by at least this factor per iteration;
+/// otherwise the matrix is refactorized and the step retried with fresh
+/// factors.
+const JR_CONTRACTION: f64 = 0.5;
 
 /// Absolute node-voltage convergence tolerance (V).
 const VNTOL: f64 = 1e-6;
@@ -87,6 +96,8 @@ impl<'c, 'w> System<'c, 'w> {
         // The companion-conductance cache is keyed by step size only; a
         // rebuilt system may describe a different circuit, so drop it.
         scratch.cap_geq_key = None;
+        // Engine decision (and symbolic-cache validation) for this system.
+        scratch.sparse.prepare(ckt, nu);
         System {
             ckt,
             nn,
@@ -420,6 +431,12 @@ impl<'c, 'w> System<'c, 'w> {
 
     /// Newton–Raphson loop. `x` holds the initial guess and, on success,
     /// the solution.
+    ///
+    /// Routing: when the workspace's sparse engine is engaged (see
+    /// [`SparseScratch::prepare`]) the solve runs the sparse chord/Newton
+    /// loop; a numeric pivot failure there falls back to the dense loop,
+    /// which also serves every below-crossover and force-dense solve with
+    /// arithmetic bit-identical to the pre-sparse engine.
     #[allow(clippy::too_many_arguments)] // one call site per analysis
     pub fn solve_newton(
         &mut self,
@@ -433,7 +450,29 @@ impl<'c, 'w> System<'c, 'w> {
     ) -> Result<(), Error> {
         debug_assert_eq!(x.len(), self.nu);
         self.hoist_step_values(t, dynamics, src_scale);
+        if self.scratch.sparse.active {
+            self.scratch.sparse.x_save.clear();
+            self.scratch.sparse.x_save.extend_from_slice(x);
+            match self.try_newton_sparse(x, t, dynamics, gmin, max_iter, context) {
+                Some(Ok(())) => return Ok(()),
+                // Vanishing numeric pivot (None) or Newton non-convergence
+                // (Some(Err)): restore the initial guess and re-run this
+                // solve on the dense partial-pivot engine. Pivoting is
+                // sturdier on badly scaled systems (mΩ wire shorts next to
+                // gmin floors), and on a genuinely singular matrix the
+                // dense engine reproduces the baseline SingularMatrix
+                // error exactly. The solver can therefore never be *less*
+                // robust than the dense baseline, only faster.
+                Some(Err(_)) | None => {
+                    let SysScratch { sparse, .. } = &mut *self.scratch;
+                    x.copy_from_slice(&sparse.x_save);
+                    COUNTERS.dense_fallbacks.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        COUNTERS.dense_solves.fetch_add(1, Ordering::Relaxed);
         for iter in 0..max_iter {
+            COUNTERS.dense_iterations.fetch_add(1, Ordering::Relaxed);
             self.assemble_fast(x, dynamics.is_some(), gmin);
             // Split-borrow the scratch so the hoisted Newton vector can be
             // solved against the matrix without re-allocating per call.
@@ -473,6 +512,195 @@ impl<'c, 'w> System<'c, 'w> {
             iterations: max_iter,
             time: t,
         })
+    }
+
+    /// The sparse Newton loop, in delta (chord) form: each iteration
+    /// assembles `A(x)` and `b(x)` over the stamp pattern (cheap, O(nnz)),
+    /// forms the residual `r = b − A·x`, and takes the step
+    /// `x += clamp(LU⁻¹·r)`. With freshly factored `LU = A(x)` this *is*
+    /// the exact Newton step; with Jacobian reuse enabled, factors are
+    /// kept while `‖r‖∞` contracts (textbook modified Newton) and a stall
+    /// forces a refactorize-and-retry. Factors persist across calls (and
+    /// therefore across time steps) as long as the factor environment —
+    /// topology, gmin, `(h, method)` — is unchanged.
+    ///
+    /// Returns `None` when a numeric pivot vanishes, in which case the
+    /// caller reruns the solve on the dense partial-pivot engine.
+    fn try_newton_sparse(
+        &mut self,
+        x: &mut [f64],
+        t: f64,
+        dynamics: Option<(&[CapState], f64, Method)>,
+        gmin: f64,
+        max_iter: usize,
+        context: &'static str,
+    ) -> Option<Result<(), Error>> {
+        COUNTERS.sparse_solves.fetch_add(1, Ordering::Relaxed);
+        let nn = self.nn;
+        let nu = self.nu;
+        let dyn_on = dynamics.is_some();
+        let jr = self.scratch.sparse.jacobian_reuse_active();
+        let env = {
+            let sym = match self.scratch.sparse.symbolic.as_deref() {
+                Some(s) => s,
+                None => unreachable!("sparse engine active without a symbolic object"),
+            };
+            (
+                sym.topo_key,
+                gmin.to_bits(),
+                dynamics.map(|(_, h, m)| (h.to_bits(), m)),
+            )
+        };
+        if self.scratch.sparse.factor_env != Some(env) {
+            self.scratch.sparse.factored = false;
+        }
+        let mut last_rnorm = f64::INFINITY;
+        for iter in 0..max_iter {
+            self.assemble_sparse(x, dyn_on, gmin);
+            let SysScratch { rhs, sparse, .. } = &mut *self.scratch;
+            let SparseScratch {
+                symbolic,
+                a_vals,
+                lu_vals,
+                w,
+                y,
+                resid,
+                delta,
+                factored,
+                factor_env,
+                ..
+            } = sparse;
+            let sym = match symbolic.as_deref() {
+                Some(s) => s,
+                None => unreachable!("sparse engine active without a symbolic object"),
+            };
+            let rnorm = sym.residual(a_vals, x, rhs, resid);
+            let reuse = jr && *factored && rnorm <= JR_CONTRACTION * last_rnorm;
+            if reuse {
+                COUNTERS.jacobian_reuses.fetch_add(1, Ordering::Relaxed);
+            } else {
+                if sym.factor(a_vals, lu_vals, w).is_err() {
+                    *factored = false;
+                    *factor_env = None;
+                    return None;
+                }
+                *factored = true;
+                *factor_env = Some(env);
+            }
+            last_rnorm = rnorm;
+            delta.clear();
+            delta.resize(nu, 0.0);
+            sym.solve(lu_vals, resid, delta, y);
+
+            // Damped update + convergence test, same semantics as the
+            // dense loop (whose delta is `A⁻¹b − x`, identical to `A⁻¹r`).
+            let mut converged = true;
+            for i in 0..nu {
+                let mut d = delta[i];
+                if i < nn {
+                    if d > VSTEP_LIMIT {
+                        d = VSTEP_LIMIT;
+                        converged = false;
+                    } else if d < -VSTEP_LIMIT {
+                        d = -VSTEP_LIMIT;
+                        converged = false;
+                    }
+                    if d.abs() > VNTOL + RELTOL * x[i].abs() {
+                        converged = false;
+                    }
+                }
+                x[i] += d;
+            }
+            if converged && iter > 0 {
+                return Some(Ok(()));
+            }
+        }
+        Some(Err(Error::NoConvergence {
+            context,
+            iterations: max_iter,
+            time: t,
+        }))
+    }
+
+    /// Sparse counterpart of [`System::assemble_fast`]: identical element
+    /// traversal and stamp values (from the same hoisted buffers), writing
+    /// into the pattern-compressed value array instead of the dense
+    /// matrix. Kept as a separate copy so the dense assembly stays
+    /// untouched — and bit-identical to baseline.
+    fn assemble_sparse(&mut self, x: &[f64], dynamic: bool, gmin: f64) {
+        let ckt = self.ckt;
+        let nn = self.nn;
+        let SysScratch {
+            rhs,
+            branch_index,
+            elem_val,
+            cap_geq,
+            cap_ieq,
+            sparse,
+            ..
+        } = &mut *self.scratch;
+        let SparseScratch {
+            symbolic, a_vals, ..
+        } = sparse;
+        let sym = match symbolic.as_deref() {
+            Some(s) => s,
+            None => unreachable!("sparse assembly without a symbolic object"),
+        };
+        sym.clear_values(a_vals);
+        rhs.fill(0.0);
+
+        let g_floor = GMIN_FLOOR + gmin;
+        for n in 0..nn {
+            sym.add(a_vals, n, n, g_floor);
+        }
+
+        let mut cap_idx = 0usize;
+        for (ei, e) in ckt.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a, b, .. } => {
+                    sparse_stamp_g(sym, a_vals, *a, *b, elem_val[ei]);
+                }
+                Element::Capacitor { a, b, .. } => {
+                    if dynamic {
+                        sparse_stamp_g(sym, a_vals, *a, *b, cap_geq[cap_idx]);
+                        sparse_stamp_i(rhs, *a, *b, cap_ieq[cap_idx]);
+                    }
+                    cap_idx += 1;
+                }
+                Element::Vsource { p, n, .. } => {
+                    let br = branch_index[ei].expect("vsource has a branch var");
+                    if let Some(i) = Self::var(*p) {
+                        sym.add(a_vals, i, br, 1.0);
+                        sym.add(a_vals, br, i, 1.0);
+                    }
+                    if let Some(j) = Self::var(*n) {
+                        sym.add(a_vals, j, br, -1.0);
+                        sym.add(a_vals, br, j, -1.0);
+                    }
+                    rhs[br] = elem_val[ei];
+                }
+                Element::Isource { p, n, .. } => {
+                    sparse_stamp_i(rhs, *p, *n, elem_val[ei]);
+                }
+                Element::Mosfet(m) => {
+                    sparse_stamp_mosfet(sym, a_vals, rhs, m, x);
+                    if dynamic {
+                        let caps = [
+                            (m.g, m.s, m.params.cgs),
+                            (m.g, m.d, m.params.cgd),
+                            (m.d, mos_bulk(m), m.params.cdb),
+                        ];
+                        for (k, (a, b, c)) in caps.into_iter().enumerate() {
+                            if c > 0.0 {
+                                sparse_stamp_g(sym, a_vals, a, b, cap_geq[cap_idx + k]);
+                                sparse_stamp_i(rhs, a, b, cap_ieq[cap_idx + k]);
+                            }
+                        }
+                    }
+                    cap_idx += MOS_CAPS;
+                }
+            }
+        }
     }
 
     /// The pre-workspace Newton kernel, preserved verbatim for the
@@ -541,6 +769,74 @@ impl<'c, 'w> System<'c, 'w> {
     }
 }
 
+/// Sparse twin of [`System::stamp_g`]: a conductance block between `a`
+/// and `b`, accumulated into the pattern-compressed values.
+#[inline]
+fn sparse_stamp_g(sym: &SymbolicLu, vals: &mut [f64], a: NodeId, b: NodeId, g: f64) {
+    let ia = System::var(a);
+    let ib = System::var(b);
+    if let Some(i) = ia {
+        sym.add(vals, i, i, g);
+    }
+    if let Some(j) = ib {
+        sym.add(vals, j, j, g);
+    }
+    if let (Some(i), Some(j)) = (ia, ib) {
+        sym.add(vals, i, j, -g);
+        sym.add(vals, j, i, -g);
+    }
+}
+
+/// Sparse twin of [`System::stamp_i`]: injects current `i` into node
+/// `into` and removes it from `from` (RHS only).
+#[inline]
+fn sparse_stamp_i(rhs: &mut [f64], into: NodeId, from: NodeId, i: f64) {
+    if let Some(r) = System::var(into) {
+        rhs[r] += i;
+    }
+    if let Some(r) = System::var(from) {
+        rhs[r] -= i;
+    }
+}
+
+/// Sparse twin of [`System::stamp_mosfet`]: same linearization, same
+/// effective-terminal handling, writing through the stamp pattern.
+fn sparse_stamp_mosfet(sym: &SymbolicLu, vals: &mut [f64], rhs: &mut [f64], m: &Mosfet, x: &[f64]) {
+    let vd = System::volt(x, m.d);
+    let vg = System::volt(x, m.g);
+    let vs = System::volt(x, m.s);
+    let lin = linearize(m, vd, vg, vs);
+
+    let (deff, seff) = if lin.swapped { (m.s, m.d) } else { (m.d, m.s) };
+    let id_ = System::var(deff);
+    let is_ = System::var(seff);
+    let ig_ = System::var(m.g);
+
+    if let Some(r) = id_ {
+        if let Some(c) = ig_ {
+            sym.add(vals, r, c, lin.gm);
+        }
+        sym.add(vals, r, r, lin.gds);
+        if let Some(c) = is_ {
+            sym.add(vals, r, c, -(lin.gm + lin.gds));
+        }
+    }
+    if let Some(r) = is_ {
+        if let Some(c) = ig_ {
+            sym.add(vals, r, c, -lin.gm);
+        }
+        if let Some(c) = id_ {
+            sym.add(vals, r, c, -lin.gds);
+        }
+        sym.add(vals, r, r, lin.gm + lin.gds);
+    }
+
+    let vgs_eff = vg - System::volt(x, seff);
+    let vds_eff = System::volt(x, deff) - System::volt(x, seff);
+    let ieq = lin.i - lin.gm * vgs_eff - lin.gds * vds_eff;
+    sparse_stamp_i(rhs, seff, deff, ieq);
+}
+
 /// Collects capacitive branches in stamping order into `out` (cleared
 /// first), yielding `(node_a, node_b, farads)`. Order is identical to the
 /// `cap_idx` order used during assembly; the transient engine relies on
@@ -567,7 +863,7 @@ pub(crate) const MOS_CAPS: usize = 3;
 /// Bulk/junction reference node for `cdb`: ground for NMOS, the source for
 /// PMOS (whose source normally sits at VDD). This keeps junction charge
 /// referenced to the correct rail without an explicit bulk terminal.
-fn mos_bulk(m: &Mosfet) -> NodeId {
+pub(crate) fn mos_bulk(m: &Mosfet) -> NodeId {
     match m.kind {
         MosType::Nmos => Circuit::GROUND,
         MosType::Pmos => m.s,

@@ -11,14 +11,203 @@
 //!
 //! Reuse is allocation-only: the arithmetic performed with a warm
 //! workspace is bit-for-bit identical to a fresh one (asserted by the
-//! `workspace_equivalence` property tests). The one opt-in exception is
+//! `workspace_equivalence` property tests). Two exceptions trade bitwise
+//! identity for speed, within solver tolerances: the opt-in
 //! [`SolverWorkspace::enable_dc_warm_start`], which seeds Newton from the
-//! previous DC solution and therefore converges to the same operating
-//! point only within solver tolerances.
+//! previous DC solution, and the sparse linear engine, which [`SolverMode`]
+//! engages above a crossover dimension (different elimination order ⇒
+//! different rounding; the `sparse_solver` tests bound the drift).
 
-use crate::circuit::NodeId;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+use crate::circuit::{Circuit, NodeId};
 use crate::solver::matrix::DenseMatrix;
 use crate::solver::mna::{CapState, Method};
+use crate::solver::pattern::{topology_key, StampPattern};
+use crate::solver::sparse::{SymbolicLu, COUNTERS};
+
+/// Linear-engine selection for a [`SolverWorkspace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverMode {
+    /// Sparse above the crossover dimension (24 unknowns), dense below
+    /// (the default). Small systems fit the dense kernel's cache
+    /// behavior; large chain-structured systems win from the sparse
+    /// path.
+    #[default]
+    Auto,
+    /// Always dense — the preserved, bit-identical-to-baseline engine.
+    ForceDense,
+    /// Always sparse (when the pattern is structurally sound); used by
+    /// equivalence tests and benchmarks.
+    ForceSparse,
+}
+
+/// Below this many MNA unknowns `SolverMode::Auto` stays dense: the dense
+/// LU already skips structural zeros, and for small matrices its linear
+/// memory layout beats the sparse engine's indirection (measured in
+/// `bench_hotpath`; see BENCH_pr4.json). The paper-scale 7-gate path is
+/// 12 unknowns (dense); a 32-stage inverter chain is 36 (sparse).
+pub(crate) const SPARSE_CROSSOVER: usize = 24;
+
+/// `PULSAR_FORCE_DENSE=1` routes every solve through the dense engine
+/// regardless of [`SolverMode`] — the field escape hatch if the sparse
+/// path ever misbehaves. Read once per process.
+pub(crate) fn force_dense_env() -> bool {
+    static FLAG: OnceLock<bool> = OnceLock::new();
+    *FLAG.get_or_init(|| {
+        std::env::var("PULSAR_FORCE_DENSE")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+    })
+}
+
+/// An opaque, shareable handle to a cached symbolic factorization.
+///
+/// Obtained from [`SolverWorkspace::prime_symbolic`] on one instance of a
+/// circuit topology and installed into sibling workspaces with
+/// [`SolverWorkspace::adopt_symbolic`], so a Monte Carlo study pays for
+/// exactly one symbolic analysis per topology. Cloning shares (never
+/// recomputes) the analysis. The handle remembers the structural
+/// fingerprint of the circuit it was computed for; adopting it into a
+/// workspace that then solves a *different* topology is safe — the
+/// mismatch is detected and a fresh analysis runs.
+#[derive(Debug, Clone)]
+pub struct SymbolicCache(pub(crate) Arc<SymbolicLu>);
+
+impl SymbolicCache {
+    /// Matrix dimension the analysis was computed for.
+    pub fn dim(&self) -> usize {
+        self.0.dim()
+    }
+
+    /// Nonzero count of the assembly (stamp) pattern.
+    pub fn nnz(&self) -> usize {
+        self.0.nnz()
+    }
+
+    /// Nonzero count of the filled `L+U` pattern (≥ `nnz`; the difference
+    /// is the fill the ordering could not avoid).
+    pub fn lu_nnz(&self) -> usize {
+        self.0.lu_nnz()
+    }
+
+    /// Structural fingerprint of the circuit this analysis belongs to.
+    pub fn topology_key(&self) -> u64 {
+        self.0.topo_key
+    }
+
+    /// The fill-reducing row permutation (permuted row → original row).
+    pub fn row_permutation(&self) -> &[usize] {
+        self.0.row_permutation()
+    }
+
+    /// The fill-reducing column permutation (permuted col → original col).
+    pub fn col_permutation(&self) -> &[usize] {
+        self.0.col_permutation()
+    }
+}
+
+/// The factor environment: factors are valid only for one circuit
+/// topology, gmin shunt and companion discretization `(h, method)`.
+/// (The source scale is excluded on purpose: it touches the RHS only.)
+pub(crate) type FactorEnv = (u64, u64, Option<(u64, Method)>);
+
+/// Sparse-engine state carried by [`SysScratch`]: the cached symbolic
+/// object, value buffers for assembly and factors, and the
+/// modified-Newton bookkeeping.
+#[derive(Debug, Default)]
+pub(crate) struct SparseScratch {
+    /// Engine selection for this workspace.
+    pub mode: SolverMode,
+    /// Cached symbolic factorization (shared across samples via `Arc`).
+    pub symbolic: Option<Arc<SymbolicLu>>,
+    /// Topology key whose symbolic analysis failed (structural-rank
+    /// deficit); cached so a singular topology is analyzed once, not per
+    /// solve.
+    pub failed_key: Option<u64>,
+    /// Decision for the current `System`: sparse engine engaged.
+    pub active: bool,
+    /// Assembled matrix values over the stamp pattern.
+    pub a_vals: Vec<f64>,
+    /// Numeric `L+U` values over the filled pattern.
+    pub lu_vals: Vec<f64>,
+    /// Factorization work vector.
+    pub w: Vec<f64>,
+    /// Triangular-solve work vector.
+    pub y: Vec<f64>,
+    /// Newton residual `b − A·x`.
+    pub resid: Vec<f64>,
+    /// Newton update `A⁻¹·resid`.
+    pub delta: Vec<f64>,
+    /// Initial guess saved across a sparse attempt, so a dense retry
+    /// after sparse non-convergence starts from the same point.
+    pub x_save: Vec<f64>,
+    /// Whether `lu_vals` holds valid factors.
+    pub factored: bool,
+    /// Environment the factors were computed in.
+    pub factor_env: Option<FactorEnv>,
+    /// User-requested Jacobian reuse (modified Newton).
+    pub jr_user: bool,
+    /// Escalation-ladder suspension of Jacobian reuse: robust retries run
+    /// exact Newton.
+    pub jr_suspended: bool,
+}
+
+impl SparseScratch {
+    /// Decides whether the sparse engine handles the next solves of `ckt`
+    /// (`nu` MNA unknowns) and, if so, ensures a matching symbolic
+    /// factorization is cached. Called once per `System` construction.
+    pub fn prepare(&mut self, ckt: &Circuit, nu: usize) -> bool {
+        self.active = false;
+        if force_dense_env() {
+            return false;
+        }
+        let want = match self.mode {
+            SolverMode::ForceDense => false,
+            SolverMode::ForceSparse => true,
+            SolverMode::Auto => nu >= SPARSE_CROSSOVER,
+        };
+        if !want {
+            return false;
+        }
+        let key = topology_key(ckt);
+        let cached = matches!(&self.symbolic, Some(s) if s.topo_key == key && s.dim() == nu);
+        if !cached {
+            if self.failed_key == Some(key) {
+                return false;
+            }
+            let pattern = StampPattern::build_transient(ckt);
+            match SymbolicLu::analyze(&pattern, key) {
+                Ok(sym) => {
+                    self.symbolic = Some(Arc::new(sym));
+                    self.factored = false;
+                }
+                Err(_) => {
+                    // Structural-rank deficit: remember and let the dense
+                    // engine report the identical SingularMatrix error.
+                    self.failed_key = Some(key);
+                    COUNTERS.dense_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+        self.active = true;
+        true
+    }
+
+    /// Whether modified-Newton Jacobian reuse is in effect.
+    pub fn jacobian_reuse_active(&self) -> bool {
+        self.jr_user && !self.jr_suspended
+    }
+
+    /// Drops any numeric factors (forces a refactorization next solve).
+    pub fn invalidate_factors(&mut self) {
+        self.factored = false;
+        self.factor_env = None;
+    }
+}
 
 /// Scratch for one assembled MNA system: matrix, RHS, Newton update and
 /// the element→branch-current map (the symbolic stamp layout).
@@ -44,6 +233,8 @@ pub(crate) struct SysScratch {
     pub cap_ieq: Vec<f64>,
     /// `(h.to_bits(), method)` that `cap_geq` was computed for.
     pub cap_geq_key: Option<(u64, Method)>,
+    /// Sparse-engine state (symbolic cache, factors, Jacobian reuse).
+    pub sparse: SparseScratch,
 }
 
 /// Scratch for the transient engine: companion states, the capacitive
@@ -121,5 +312,75 @@ impl SolverWorkspace {
     /// disabling warm starting for subsequent solves.
     pub fn clear_dc_warm_start(&mut self) {
         self.warm_x.clear();
+    }
+
+    /// Selects the linear engine for this workspace. The default,
+    /// [`SolverMode::Auto`], switches from dense to sparse at a measured
+    /// crossover dimension. `PULSAR_FORCE_DENSE=1` in the environment
+    /// overrides every mode.
+    pub fn set_solver_mode(&mut self, mode: SolverMode) {
+        self.sys.sparse.mode = mode;
+        self.sys.sparse.invalidate_factors();
+    }
+
+    /// The currently selected [`SolverMode`].
+    pub fn solver_mode(&self) -> SolverMode {
+        self.sys.sparse.mode
+    }
+
+    /// Enables opt-in modified-Newton Jacobian reuse on the sparse engine:
+    /// while the Newton residual keeps contracting, iterations reuse the
+    /// existing LU factors (skipping the numeric refactorization) and a
+    /// stall triggers a full refactorize-and-retry.
+    ///
+    /// **Not bit-exact:** reusing a stale Jacobian changes the Newton
+    /// trajectory, so results agree with exact Newton only within solver
+    /// tolerances. Robust retries (`suspend_jacobian_reuse`) run exact
+    /// Newton regardless of this flag. No effect on the dense engine.
+    pub fn set_jacobian_reuse(&mut self, on: bool) {
+        self.sys.sparse.jr_user = on;
+        if !on {
+            self.sys.sparse.invalidate_factors();
+        }
+    }
+
+    /// Whether modified-Newton Jacobian reuse has been requested.
+    pub fn jacobian_reuse(&self) -> bool {
+        self.sys.sparse.jr_user
+    }
+
+    /// Temporarily disables Jacobian reuse without clearing the user's
+    /// request — the hook the robustness escalation ladder uses so
+    /// resilience retries always run exact Newton with fresh factors.
+    pub fn suspend_jacobian_reuse(&mut self, suspend: bool) {
+        self.sys.sparse.jr_suspended = suspend;
+        if suspend {
+            self.sys.sparse.invalidate_factors();
+        }
+    }
+
+    /// Runs (or reuses) the symbolic analysis of `ckt` under this
+    /// workspace's engine selection and returns a shareable handle, or
+    /// `None` when the sparse engine would not be used for this circuit
+    /// (mode/crossover/escape hatch) or the pattern is structurally
+    /// singular. Install the handle into sibling workspaces with
+    /// [`SolverWorkspace::adopt_symbolic`] so a whole study performs
+    /// exactly one analysis per topology.
+    pub fn prime_symbolic(&mut self, ckt: &Circuit) -> Option<SymbolicCache> {
+        if self.sys.sparse.prepare(ckt, ckt.unknown_count()) {
+            self.sys.sparse.symbolic.clone().map(SymbolicCache)
+        } else {
+            None
+        }
+    }
+
+    /// Installs a symbolic factorization primed elsewhere (see
+    /// [`SolverWorkspace::prime_symbolic`]). Safe against mismatches: the
+    /// handle's structural fingerprint is revalidated before every use, so
+    /// adopting a cache for a different topology merely costs a fresh
+    /// analysis.
+    pub fn adopt_symbolic(&mut self, cache: &SymbolicCache) {
+        self.sys.sparse.symbolic = Some(Arc::clone(&cache.0));
+        self.sys.sparse.invalidate_factors();
     }
 }

@@ -1,0 +1,50 @@
+//! `PULSAR_FORCE_DENSE=1` — the field escape hatch.
+//!
+//! The environment flag must beat *every* other engine selection,
+//! including an explicit `ForceSparse`, so a deployment can neutralize
+//! the sparse path without touching code. The flag is read once per
+//! process, and the global solver counters are process-wide state, so
+//! this file holds exactly one test and runs as its own binary.
+
+use pulsar_analog::{
+    solver_counters, Circuit, SolverMode, SolverWorkspace, TraceCapture, TranConfig, Waveform,
+};
+
+#[test]
+fn env_flag_overrides_even_force_sparse() {
+    // Set before the first solve: the flag is latched on first read.
+    std::env::set_var("PULSAR_FORCE_DENSE", "1");
+
+    // An RC ladder big enough that Auto (and certainly ForceSparse)
+    // would otherwise route it through the sparse engine.
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("in");
+    ckt.vsource(
+        vin,
+        Circuit::GROUND,
+        Waveform::single_pulse(0.0, 1.8, 0.2e-9, 60e-12, 60e-12, 400e-12),
+    );
+    let mut prev = vin;
+    for i in 0..30 {
+        let n = ckt.node(format!("t{i}"));
+        ckt.resistor(prev, n, 1e3);
+        ckt.capacitor(n, Circuit::GROUND, 20e-15);
+        prev = n;
+    }
+
+    let mut ws = SolverWorkspace::new();
+    ws.set_solver_mode(SolverMode::ForceSparse);
+    let before = solver_counters();
+    ckt.transient_with(&TranConfig::new(10e-12, 2e-9), &mut ws, &TraceCapture::All)
+        .expect("transient");
+    ckt.dc_op_with(0.0, &mut ws).expect("dc");
+    let delta = solver_counters().since(&before);
+
+    assert_eq!(
+        delta.sparse_solves, 0,
+        "PULSAR_FORCE_DENSE=1 must keep the sparse engine cold: {delta:?}"
+    );
+    assert_eq!(delta.symbolic_analyses, 0, "no analysis either: {delta:?}");
+    assert!(delta.dense_solves > 0, "solves must still run: {delta:?}");
+    assert_eq!(delta.dense_fallbacks, 0, "dense-by-choice, not fallback");
+}

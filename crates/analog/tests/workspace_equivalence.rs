@@ -13,7 +13,9 @@
 
 use proptest::prelude::*;
 use proptest::strategy::Just;
-use pulsar_analog::{Circuit, Edge, NodeId, SolverWorkspace, TraceCapture, TranConfig, Waveform};
+use pulsar_analog::{
+    Circuit, Edge, NodeId, SolverMode, SolverWorkspace, TraceCapture, TranConfig, Waveform,
+};
 
 /// A randomized RC-ladder deck: series resistors with shunt capacitors,
 /// driven by a pulse. Linear, so every configuration converges.
@@ -156,6 +158,30 @@ proptest! {
         for &n in &taps {
             prop_assert_eq!(cold.voltage(n), reused.voltage(n));
             prop_assert_eq!(cold.voltage(n), reused2.voltage(n));
+        }
+    }
+
+    /// The sparse engine, forced on, reproduces the dense engine within
+    /// solver tolerance on the same random decks — same time grid, every
+    /// trace pointwise close. (These decks sit below the `Auto` crossover
+    /// dimension, which is exactly why the bitwise tests above stay
+    /// bitwise: `Auto` routes them dense. Forcing sparse here proves the
+    /// other engine solves them too.)
+    #[test]
+    fn forced_sparse_matches_dense_within_tolerance(spec in deck_strategy()) {
+        let (ckt, taps) = build(&spec);
+        let cfg = config(&spec);
+        let dense = ckt.transient(&cfg).expect("linear deck converges");
+        let mut ws = SolverWorkspace::new();
+        ws.set_solver_mode(SolverMode::ForceSparse);
+        let sparse = ckt
+            .transient_with(&cfg, &mut ws, &TraceCapture::All)
+            .expect("sparse engine");
+        prop_assert_eq!(dense.times(), sparse.times());
+        for &n in &taps {
+            for (d, s) in dense.trace(n).values().iter().zip(sparse.trace(n).values()) {
+                prop_assert!((d - s).abs() < 1e-6, "node {:?}: {:e} vs {:e}", n, d, s);
+            }
         }
     }
 }

@@ -1,7 +1,8 @@
 //! Hot-path micro-benchmark: workspace-reusing solver vs the preserved
-//! allocation-per-step baseline engine, measured in the same process.
+//! allocation-per-step baseline engine, plus the sparse MNA engine vs the
+//! dense reuse engine, all measured in the same process.
 //!
-//! Three kernels are timed (median wall-clock ns/op plus a heap-allocation
+//! Five kernels are timed (median wall-clock ns/op plus a heap-allocation
 //! count from a counting global allocator):
 //!
 //! 1. **single_transient** — one pulse propagation through the paper's
@@ -11,13 +12,24 @@
 //!    variant, the DC warm start) amortizes across the sweep.
 //! 3. **mc_coverage_point** — one 64-sample Monte Carlo coverage point
 //!    at threads = 1 / 2 / 4.
+//! 4. **sparse_single_transient** — one pulse transient through 8-, 16-
+//!    and 32-gate inverter chains: the PR2 dense reuse engine
+//!    (`ForceDense`) vs the sparse engine with cached symbolic
+//!    factorization (`ForceSparse`, exact Newton — Jacobian reuse is an
+//!    opt-in robustness escalation and is exercised by the test suite,
+//!    not the timing arms).
+//! 5. **sparse_mc_coverage** — the Monte Carlo coverage point on the
+//!    32-gate chain at 1 thread, symbolic analysis primed once and
+//!    adopted by every sample.
 //!
 //! The baseline is not a guess: `BuiltPath::set_workspace_reuse(false)`
 //! routes every simulation through `Circuit::transient_baseline`, the
 //! pre-optimization engine preserved verbatim (per-call allocations,
-//! indexed scalar LU). Both engines run here back to back and every
-//! measured quantity is asserted **bit-identical** between them before
-//! any timing is reported, so the speedup numbers compare equal answers.
+//! indexed scalar LU). Dense arms are asserted **bit-identical** to that
+//! baseline before any timing; the sparse arm is asserted to agree within
+//! solver tolerance (measured pulse widths within 2 ps), because the
+//! permuted factorization legitimately stops at a slightly different
+//! point inside the Newton convergence ball.
 //!
 //! Baseline and optimized ops are *interleaved* within one measurement
 //! loop (A, B, A, B, ...) and summarized by their medians: on a shared
@@ -26,14 +38,17 @@
 //! the same drift.
 //!
 //! `--smoke` runs a tiny configuration for CI (no JSON output); the full
-//! run writes `BENCH_pr2.json` at the repository root and records whether
-//! the PR's ≥2× aspiration on the Monte Carlo coverage kernel was met on
-//! this machine (the measured number is reported either way).
+//! run writes `BENCH_pr4.json` at the repository root and records whether
+//! the speedup targets (PR2's ≥2× MC aspiration; PR4's ≥2× on the
+//! 32-gate transient and ≥1.5× on the sparse MC kernel) were met on this
+//! machine (the measured numbers are reported either way). With
+//! `PULSAR_FORCE_DENSE=1` in the environment the sparse arms silently run
+//! dense; the kernels then assert bitwise identity instead of a speedup.
 
-use pulsar_analog::Polarity;
+use pulsar_analog::{solver_counters, Polarity, SolverMode, SymbolicCache};
 use pulsar_bench::rop_put;
-use pulsar_cells::PulseOutcome;
-use pulsar_core::{PathInstance, PathUnderTest, VariationModel};
+use pulsar_cells::{PathSpec, PulseOutcome, Tech};
+use pulsar_core::{DefectKind, PathInstance, PathUnderTest, VariationModel};
 use pulsar_mc::MonteCarlo;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -120,6 +135,13 @@ fn bits(outcome: &PulseOutcome) -> (u64, u64, Vec<u64>) {
 const W_IN: f64 = 450e-12;
 const R_POINT: f64 = 8e3;
 const SWEEP: [f64; 4] = [1e3, 3e3, 8e3, 20e3];
+
+/// Agreement bound between the sparse and dense engines on a measured
+/// pulse width. Both engines converge every Newton solve to VNTOL, but a
+/// chord (Jacobian-reuse) step stops at a different point inside the
+/// convergence ball; the resulting vdd/2 crossing shift is well under a
+/// picosecond (see `crates/analog/tests/sparse_solver.rs`).
+const TOL_WIDTH: f64 = 2e-12;
 
 struct KernelResult {
     baseline_ns: u64,
@@ -306,17 +328,237 @@ fn mc_coverage_point(
         .collect()
 }
 
-fn json_kernel(r: &KernelResult) -> String {
+/// A straight `n`-stage inverter chain with the paper's external-ROP
+/// defect at stage 1 — the scaling axis for the sparse-vs-dense
+/// comparison. MNA dimension grows with `n`: 8 gates = 12 unknowns
+/// (below the `Auto` crossover), 32 gates = 36 (above it).
+fn chain_put(n: usize) -> PathUnderTest {
+    PathUnderTest {
+        spec: PathSpec::inverter_chain(n),
+        defect: DefectKind::ExternalRop,
+        stage: 1,
+        tech: Tech::generic_180nm(),
+    }
+}
+
+/// Asserts the sparse arm agrees with the dense arm: bitwise when
+/// `PULSAR_FORCE_DENSE=1` collapsed both arms onto the dense engine,
+/// within [`TOL_WIDTH`] otherwise.
+fn assert_sparse_agrees(dense: &PulseOutcome, sparse: &PulseOutcome, forced: bool, what: &str) {
+    if forced {
+        assert_eq!(
+            bits(dense),
+            bits(sparse),
+            "PULSAR_FORCE_DENSE=1: both {what} arms ran dense and must agree bitwise"
+        );
+        return;
+    }
+    assert!(
+        (dense.output_width - sparse.output_width).abs() < TOL_WIDTH,
+        "sparse engine off-tolerance on {what}: {} vs {}",
+        sparse.output_width,
+        dense.output_width
+    );
+    for (d, s) in dense.stage_widths.iter().zip(&sparse.stage_widths) {
+        assert!(
+            (d - s).abs() < TOL_WIDTH,
+            "sparse stage width off-tolerance on {what}: {s} vs {d}"
+        );
+    }
+}
+
+/// Kernel 4: one pulse transient through an `n`-gate chain, PR2 dense
+/// reuse engine vs the sparse engine (exact Newton). The dense arm
+/// is first asserted bit-identical to the preserved baseline engine, and
+/// the sparse arm asserted within tolerance of the dense arm, before any
+/// timing runs. Here "baseline" in the result means the *dense reuse*
+/// engine — the thing PR4 claims to beat.
+fn sparse_transient(n: usize, iters: usize, forced_dense: bool) -> KernelResult {
+    let put = chain_put(n);
+    let mut check = put.instantiate_nominal(R_POINT);
+    check.built_path().set_workspace_reuse(false);
+    let mut dense = put.instantiate_nominal(R_POINT);
+    dense.built_path().set_solver_mode(SolverMode::ForceDense);
+    // Timed in the default exact-Newton configuration: Jacobian reuse is
+    // an opt-in robustness escalation, and at these dimensions (zero-fill
+    // factorizations of ~170 nonzeros) the chord iterations it adds cost
+    // more than the refactorizations it saves.
+    let mut sparse = put.instantiate_nominal(R_POINT);
+    sparse.built_path().set_solver_mode(SolverMode::ForceSparse);
+
+    let run = |p: &mut pulsar_core::AnalogPath| {
+        p.built_path()
+            .propagate_pulse(W_IN, Polarity::PositiveGoing, None)
+            .expect("pulse run")
+    };
+    let oc = run(&mut check);
+    let od = run(&mut dense);
+    let os = run(&mut sparse);
+    assert!(
+        od.output_width > 0.0,
+        "pulse died in the {n}-gate chain; the kernel would time nothing"
+    );
+    assert_eq!(
+        bits(&oc),
+        bits(&od),
+        "dense reuse engine diverged from the baseline engine at {n} gates"
+    );
+    assert_sparse_agrees(&od, &os, forced_dense, &format!("{n}-gate transient"));
+
+    measure_pair(
+        iters,
+        || {
+            run(&mut dense);
+        },
+        || {
+            run(&mut sparse);
+        },
+    )
+}
+
+/// One Monte Carlo coverage-point run on a chain path, with the linear
+/// engine per sample chosen by `arm`.
+#[derive(Clone, Copy, PartialEq)]
+enum McArm {
+    /// Preserved allocation-per-step engine (always dense).
+    Baseline,
+    /// PR2 workspace-reuse engine, pinned dense.
+    DenseReuse,
+    /// Sparse engine (exact Newton), adopting the primed symbolic.
+    Sparse,
+}
+
+fn chain_mc_point(
+    put: &PathUnderTest,
+    variation: &VariationModel,
+    symbolic: &Option<SymbolicCache>,
+    samples: usize,
+    threads: usize,
+    arm: McArm,
+) -> Vec<f64> {
+    MonteCarlo::new(samples, 2007)
+        .with_threads(threads)
+        .run(|_, rng| {
+            let techs = variation.sample_techs(&put.tech, put.spec.len(), rng);
+            let gen_factor = variation.sample_sensor(1.0, rng);
+            let mut p = put.instantiate(&techs, R_POINT);
+            match arm {
+                McArm::Baseline => p.built_path().set_workspace_reuse(false),
+                McArm::DenseReuse => p.built_path().set_solver_mode(SolverMode::ForceDense),
+                McArm::Sparse => {
+                    p.built_path().set_solver_mode(SolverMode::ForceSparse);
+                    if let Some(c) = symbolic {
+                        p.built_path().adopt_symbolic(c);
+                    }
+                }
+            }
+            p.pulse_width_out(W_IN * gen_factor, Polarity::PositiveGoing)
+                .expect("mc sample")
+        })
+}
+
+/// Kernel 5: the Monte Carlo coverage point on the 32-gate chain at one
+/// thread, dense reuse engine vs sparse + adopted symbolic. Before
+/// timing: the dense arm is asserted bit-identical to the baseline
+/// engine *and* across 1 vs 2 threads; every sparse sample is asserted
+/// within tolerance of its dense twin; and the timed sparse arm is
+/// asserted to run **zero** fresh symbolic analyses (the adopted cache
+/// covers the whole point) and zero dense fallbacks.
+fn sparse_mc_coverage(
+    n: usize,
+    variation: &VariationModel,
+    samples: usize,
+    iters: usize,
+    forced_dense: bool,
+) -> KernelResult {
+    let put = chain_put(n);
+    // One symbolic analysis for the whole kernel, primed on a nominal
+    // instance and shared with every sample.
+    let mut nominal = put.instantiate_nominal(R_POINT);
+    nominal
+        .built_path()
+        .set_solver_mode(SolverMode::ForceSparse);
+    let symbolic = nominal.built_path().prime_symbolic();
+    assert_eq!(
+        symbolic.is_none(),
+        forced_dense,
+        "prime_symbolic must yield a cache exactly when the sparse engine is live"
+    );
+
+    let base = chain_mc_point(&put, variation, &symbolic, samples, 1, McArm::Baseline);
+    let d1 = chain_mc_point(&put, variation, &symbolic, samples, 1, McArm::DenseReuse);
+    let d2 = chain_mc_point(&put, variation, &symbolic, samples, 2, McArm::DenseReuse);
+    let base_bits: Vec<u64> = base.iter().map(|w| w.to_bits()).collect();
+    let d1_bits: Vec<u64> = d1.iter().map(|w| w.to_bits()).collect();
+    let d2_bits: Vec<u64> = d2.iter().map(|w| w.to_bits()).collect();
+    assert_eq!(
+        base_bits, d1_bits,
+        "dense reuse diverged from baseline in MC"
+    );
+    assert_eq!(
+        d1_bits, d2_bits,
+        "dense MC arm diverged across thread counts"
+    );
+
+    let before = solver_counters();
+    let s1 = chain_mc_point(&put, variation, &symbolic, samples, 1, McArm::Sparse);
+    let delta = solver_counters().since(&before);
+    for (k, (d, s)) in d1.iter().zip(&s1).enumerate() {
+        if forced_dense {
+            assert_eq!(
+                d.to_bits(),
+                s.to_bits(),
+                "forced-dense MC sample {k} diverged"
+            );
+        } else {
+            assert!(
+                (d - s).abs() < TOL_WIDTH,
+                "sparse MC sample {k} off-tolerance: {s} vs {d}"
+            );
+        }
+    }
+    if !forced_dense {
+        assert_eq!(
+            delta.symbolic_analyses, 0,
+            "adopted symbolic cache must cover every MC sample: {delta:?}"
+        );
+        assert!(
+            delta.sparse_solves > 0,
+            "sparse arm never ran sparse: {delta:?}"
+        );
+        assert_eq!(
+            delta.dense_fallbacks, 0,
+            "sparse arm fell back to dense: {delta:?}"
+        );
+    }
+
+    measure_pair(
+        iters,
+        || {
+            chain_mc_point(&put, variation, &symbolic, samples, 1, McArm::DenseReuse);
+        },
+        || {
+            chain_mc_point(&put, variation, &symbolic, samples, 1, McArm::Sparse);
+        },
+    )
+}
+
+/// Serializes one A/B kernel result with caller-chosen arm names.
+fn json_ab(r: &KernelResult, a: &str, b: &str) -> String {
     format!(
-        "{{\"baseline_median_ns\": {}, \"reuse_median_ns\": {}, \
-         \"speedup\": {:.3}, \"baseline_allocs_per_op\": {}, \
-         \"reuse_allocs_per_op\": {}}}",
+        "{{\"{a}_median_ns\": {}, \"{b}_median_ns\": {}, \
+         \"speedup\": {:.3}, \"{a}_allocs_per_op\": {}, \
+         \"{b}_allocs_per_op\": {}}}",
         r.baseline_ns,
         r.reuse_ns,
         r.speedup(),
         r.baseline_allocs,
         r.reuse_allocs
     )
+}
+
+fn json_kernel(r: &KernelResult) -> String {
+    json_ab(r, "baseline", "reuse")
 }
 
 fn main() {
@@ -378,16 +620,85 @@ fn main() {
         if meets_target { "MET" } else { "NOT MET" }
     );
 
+    // PULSAR_FORCE_DENSE=1 collapses the sparse arms onto the dense
+    // engine (same check the solver latches on first read); the kernels
+    // still run — asserting bitwise identity — but speedups are ~1.0 and
+    // the ratio asserts/targets are skipped.
+    let forced_dense = std::env::var("PULSAR_FORCE_DENSE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    if forced_dense {
+        eprintln!("PULSAR_FORCE_DENSE=1: sparse arms run dense; asserting identity, not speed");
+    }
+
+    // 64 gates is past the ISSUE's 32-gate target point; it is measured
+    // anyway because it shows where the sparse engine's win actually
+    // starts (the 32-gate matrix factors with zero fill, so shared
+    // device evaluation dominates both arms there — see DESIGN.md §5.4).
+    let chain_sizes: [usize; 4] = [8, 16, 32, 64];
+    eprintln!("# kernel 4: sparse vs dense single transient ({iters} iters)");
+    let k4: Vec<(usize, KernelResult)> = chain_sizes
+        .iter()
+        .map(|&n| (n, sparse_transient(n, iters, forced_dense)))
+        .collect();
+    for (n, r) in &k4 {
+        eprintln!(
+            "sparse_single_transient[{n} gates]: dense {} ns, sparse {} ns ({:.2}x), allocs {} -> {}",
+            r.baseline_ns,
+            r.reuse_ns,
+            r.speedup(),
+            r.baseline_allocs,
+            r.reuse_allocs
+        );
+    }
+
+    let mc_chain = 32;
+    eprintln!("# kernel 5: sparse {samples}-sample MC coverage point, {mc_chain}-gate chain, 1 thread ({mc_iters} iters)");
+    let k5 = sparse_mc_coverage(mc_chain, &variation, samples, mc_iters, forced_dense);
+    eprintln!(
+        "sparse_mc_coverage[1 thread]: dense {} ns, sparse {} ns ({:.2}x)",
+        k5.baseline_ns,
+        k5.reuse_ns,
+        k5.speedup()
+    );
+
+    let sparse32_speedup = k4
+        .iter()
+        .find(|(n, _)| *n == mc_chain)
+        .map(|(_, r)| r.speedup())
+        .unwrap_or(0.0);
+    let sparse32_met = sparse32_speedup >= 2.0;
+    let sparse_mc_speedup = k5.speedup();
+    let sparse_mc_met = sparse_mc_speedup >= 1.5;
+    if !forced_dense {
+        eprintln!(
+            "sparse 32-gate transient speedup: {sparse32_speedup:.2}x (target >= 2.0x: {})",
+            if sparse32_met { "MET" } else { "NOT MET" }
+        );
+        eprintln!(
+            "sparse MC coverage speedup at 1 thread: {sparse_mc_speedup:.2}x \
+             (target >= 1.5x: {})",
+            if sparse_mc_met { "MET" } else { "NOT MET" }
+        );
+    }
+
     if smoke {
-        eprintln!("smoke run: skipping BENCH_pr2.json");
-        // Regression guard, not the 2x aspiration: the reuse engine must
-        // never be materially *slower* than the baseline it replaces.
-        // (The slack below 1.0 absorbs scheduler noise on loaded CI
-        // runners; the full run records the real number in the JSON.)
+        eprintln!("smoke run: skipping BENCH_pr4.json");
+        // Regression guards, not the speedup aspirations: neither
+        // optimized engine may be materially *slower* than what it
+        // replaces. (The slack below 1.0 absorbs scheduler noise on
+        // loaded CI runners; the full run records the real numbers in
+        // the JSON.)
         assert!(
             single_thread_speedup > 0.8,
             "workspace engine materially slower than baseline in smoke run"
         );
+        if !forced_dense {
+            assert!(
+                sparse32_speedup > 0.8,
+                "sparse engine materially slower than dense on the 32-gate chain"
+            );
+        }
         return;
     }
 
@@ -395,31 +706,53 @@ fn main() {
         .iter()
         .map(|t| format!("\"{}\": {}", t.threads, json_kernel(&t.result)))
         .collect();
+    let sparse_json: Vec<String> = k4
+        .iter()
+        .map(|(n, r)| format!("\"{}\": {}", n, json_ab(r, "dense", "sparse")))
+        .collect();
     let json = format!(
-        "{{\n  \"pr\": 2,\n  \"description\": \"hot-path solver workspace benchmark: \
-workspace-reusing engine vs preserved allocation-per-step baseline, same process, \
-outputs asserted bit-identical before timing\",\n  \
+        "{{\n  \"pr\": 4,\n  \"description\": \"hot-path solver benchmark: workspace-reusing \
+engine vs preserved allocation-per-step baseline (bit-identical), and sparse MNA engine with \
+cached symbolic factorization vs the dense reuse engine (within solver \
+tolerance), same process, agreement asserted before timing\",\n  \
 \"config\": {{\"w_in_s\": {W_IN:e}, \"r_point_ohm\": {R_POINT}, \"samples\": {samples}, \
-\"iters\": {iters}, \"mc_iters\": {mc_iters}}},\n  \
+\"iters\": {iters}, \"mc_iters\": {mc_iters}, \"forced_dense\": {forced_dense}}},\n  \
 \"single_transient\": {},\n  \
 \"transfer_point\": {},\n  \
 \"transfer_point_warm_start\": {{\"median_ns\": {warm_ns}, \"speedup_vs_baseline\": {warm_speedup:.3}, \
 \"note\": \"opt-in; equals cold solves within solver tolerance, not bitwise\"}},\n  \
 \"mc_coverage_point\": {{\n    {}\n  }},\n  \
 \"mc_speedup_target\": {{\"target\": 2.0, \"measured_1_thread\": {single_thread_speedup:.3}, \
-\"met\": {meets_target}}}\n}}\n",
+\"met\": {meets_target}, \"note\": \"PR2 aspiration on the 7-gate paper path, dense reuse vs \
+baseline; re-measured here\"}},\n  \
+\"sparse_single_transient\": {{\n    {}\n  }},\n  \
+\"sparse_mc_coverage_1_thread\": {},\n  \
+\"sparse_speedup_targets\": {{\n    \
+\"single_transient_32_gates\": {{\"target\": 2.0, \"measured\": {sparse32_speedup:.3}, \"met\": {sparse32_met}}},\n    \
+\"mc_coverage_1_thread\": {{\"target\": 1.5, \"measured\": {sparse_mc_speedup:.3}, \"met\": {sparse_mc_met}}},\n    \
+\"note\": \"the 32-gate chain (36 unknowns) factors with zero fill, so both engines are \
+dominated by the shared device-evaluation/assembly cost and the dense zero-skipping LU is \
+already near-optimal there; the sparse win starts at the 64-gate point (see \
+sparse_single_transient) and grows with dimension\"\n  }}\n}}\n",
         json_kernel(&k1),
         json_kernel(&k2),
-        threads_json.join(",\n    ")
+        threads_json.join(",\n    "),
+        sparse_json.join(",\n    "),
+        json_ab(&k5, "dense", "sparse")
     );
-    std::fs::write("BENCH_pr2.json", &json).expect("write BENCH_pr2.json");
-    eprintln!("wrote BENCH_pr2.json");
-    if !meets_target {
-        eprintln!(
-            "note: the 2.0x aspiration was not met on this machine \
-             ({single_thread_speedup:.2}x); the JSON records the measured \
-             value honestly rather than failing the run — see the \
-             README benchmark section for what bounds the ratio here"
-        );
+    std::fs::write("BENCH_pr4.json", &json).expect("write BENCH_pr4.json");
+    eprintln!("wrote BENCH_pr4.json");
+    for (name, met, measured) in [
+        ("PR2 mc 2.0x", meets_target, single_thread_speedup),
+        ("sparse 32-gate 2.0x", sparse32_met, sparse32_speedup),
+        ("sparse mc 1.5x", sparse_mc_met, sparse_mc_speedup),
+    ] {
+        if !met && !forced_dense {
+            eprintln!(
+                "note: target {name} was not met on this machine ({measured:.2}x); \
+                 the JSON records the measured value honestly rather than \
+                 failing the run"
+            );
+        }
     }
 }

@@ -15,8 +15,8 @@
 use crate::gates::{CellKind, CmosBuilder, RopSite};
 use crate::tech::Tech;
 use pulsar_analog::{
-    propagation_delay, Circuit, Edge, Error, Integrator, NodeId, Polarity, SolverWorkspace,
-    TraceCapture, TranConfig, TranResult, Waveform,
+    propagation_delay, Circuit, Edge, Error, Integrator, NodeId, Polarity, SolverMode,
+    SolverWorkspace, SymbolicCache, TraceCapture, TranConfig, TranResult, Waveform,
 };
 
 /// Structural description of a path: the gate chain plus per-stage extra
@@ -632,6 +632,50 @@ impl BuiltPath {
         self.capture_policy
     }
 
+    /// Selects the linear-solver engine used inside Newton iterations for
+    /// this path's workspace-backed simulations: [`SolverMode::Auto`]
+    /// (sparse above the crossover dimension, dense below — the default),
+    /// [`SolverMode::ForceDense`], or [`SolverMode::ForceSparse`]. The
+    /// baseline engine ([`BuiltPath::set_workspace_reuse`] off) is always
+    /// dense regardless of this setting.
+    pub fn set_solver_mode(&mut self, mode: SolverMode) {
+        self.workspace.set_solver_mode(mode);
+    }
+
+    /// The currently configured solver mode.
+    pub fn solver_mode(&self) -> SolverMode {
+        self.workspace.solver_mode()
+    }
+
+    /// Opts in to modified-Newton Jacobian reuse on the sparse path:
+    /// while the residual keeps contracting, the previous LU factors are
+    /// reused instead of refactoring every iteration; on stall the solver
+    /// refactors and retries. Off (the default) every iteration
+    /// refactors, which is plain Newton. Ignored on the dense path.
+    pub fn set_jacobian_reuse(&mut self, on: bool) {
+        self.workspace.set_jacobian_reuse(on);
+    }
+
+    /// Runs the sparse symbolic analysis (fill-reducing ordering +
+    /// elimination structure) for this path's circuit now, and returns a
+    /// shareable handle to it, or `None` when the sparse path is not
+    /// engaged (below crossover, forced dense, or structurally singular).
+    /// Studies prime one instance and [`BuiltPath::adopt_symbolic`] the
+    /// result into every other instance of the same topology so the
+    /// analysis runs exactly once per topology.
+    pub fn prime_symbolic(&mut self) -> Option<SymbolicCache> {
+        self.workspace.prime_symbolic(&self.circuit)
+    }
+
+    /// Installs a symbolic factorization produced by
+    /// [`BuiltPath::prime_symbolic`] on another instance of the *same*
+    /// circuit topology. Adopting a cache whose topology key does not
+    /// match this path's circuit is safe — it is simply re-analyzed on
+    /// first use.
+    pub fn adopt_symbolic(&mut self, cache: &SymbolicCache) {
+        self.workspace.adopt_symbolic(cache);
+    }
+
     /// Enables or disables DC warm starting for this path's solves.
     ///
     /// Intended for resistance sweeps ([`BuiltPath::set_fault_resistance`]
@@ -657,6 +701,11 @@ impl BuiltPath {
     /// retries deterministic. Level 0 with scale 1.0 restores nominal
     /// behavior.
     pub fn set_robustness(&mut self, level: u32, step_scale: f64) {
+        // Escalated retries must not inherit a possibly-stale Jacobian:
+        // suspend reuse (and drop cached factors) for the whole retry, so
+        // every iteration is exact Newton; level 0 restores the user's
+        // setting.
+        self.workspace.suspend_jacobian_reuse(level > 0);
         self.robustness = level.min(6);
         self.step_scale = if step_scale.is_finite() {
             step_scale.clamp(0.5, 1.0)

@@ -27,7 +27,7 @@
 use std::fmt::Write as _;
 use std::fs;
 
-use pulsar_analog::{parse_deck, to_csv, to_vcd, NodeId, TranConfig};
+use pulsar_analog::{parse_deck, solver_counters, to_csv, to_vcd, NodeId, TranConfig};
 use pulsar_core::{
     all_branch_faults, compact_patterns, fault_simulate, plan_for_site, Campaign, PulsePattern,
     SiteOutcome, TestgenConfig,
@@ -73,7 +73,7 @@ pub const USAGE: &str = "\
 pulsar — pulse-propagation testing toolchain
 
 USAGE:
-  pulsar sim <deck.sp> [--nodes a,b] [--vcd FILE] [--csv FILE] [--no-lint]
+  pulsar sim <deck.sp> [--nodes a,b] [--vcd FILE] [--csv FILE] [--no-lint] [--stats]
   pulsar lint <deck.sp>... [--json] [--deny-warnings]
   pulsar testgen <netlist.bench> [--site NAME] [--max-paths N]
   pulsar campaign <netlist.bench> [--stride N]
@@ -109,7 +109,7 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 /// Flags that do not consume a value; everything else starting with
 /// `--` is assumed to take the following token as its value.
-const BOOL_FLAGS: &[&str] = &["--json", "--deny-warnings", "--no-lint"];
+const BOOL_FLAGS: &[&str] = &["--json", "--deny-warnings", "--no-lint", "--stats"];
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -172,10 +172,12 @@ fn cmd_sim(args: &[String]) -> Result<String, CliError> {
         .tran
         .clone()
         .ok_or_else(|| CliError::run("deck has no .tran directive"))?;
+    let counters_before = solver_counters();
     let result = deck
         .circuit
         .transient(&tran)
         .map_err(|e| CliError::run(format!("transient: {e}")))?;
+    let counters = solver_counters().since(&counters_before);
 
     // Node selection: --nodes a,b or every named node.
     let nodes: Vec<NodeId> = match flag_value(args, "--nodes") {
@@ -200,6 +202,23 @@ fn cmd_sim(args: &[String]) -> Result<String, CliError> {
         tran.stop,
         nodes.len()
     );
+    if has_flag(args, "--stats") {
+        // Process-wide counter deltas around this run's transient; which
+        // engine ran depends on the MNA dimension (`Auto` crossover) and
+        // the PULSAR_FORCE_DENSE environment override.
+        let _ = writeln!(
+            out,
+            "solver stats: {} sparse solves ({} symbolic analyses, {} numeric factorizations, \
+             {} Jacobian reuses), {} dense solves ({} iterations), {} dense fallbacks",
+            counters.sparse_solves,
+            counters.symbolic_analyses,
+            counters.numeric_factorizations,
+            counters.jacobian_reuses,
+            counters.dense_solves,
+            counters.dense_iterations,
+            counters.dense_fallbacks
+        );
+    }
     if let Some(f) = flag_value(args, "--vcd") {
         fs::write(f, to_vcd(&deck.circuit, &result, &nodes))
             .map_err(|e| CliError::run(format!("write {f}: {e}")))?;
@@ -437,6 +456,18 @@ mod tests {
         let out = dispatch(&["sim".into(), deck]).unwrap();
         assert!(out.contains("time points"), "{out}");
         assert!(out.contains("out ="), "{out}");
+    }
+
+    #[test]
+    fn sim_stats_reports_solver_counters() {
+        let deck = tmp("stats.sp", DECK);
+        let out = dispatch(&["sim".into(), deck.clone(), "--stats".into()]).unwrap();
+        assert!(out.contains("solver stats:"), "{out}");
+        // The RC deck is tiny, so the `Auto` crossover keeps it dense.
+        assert!(out.contains("dense solves"), "{out}");
+
+        let out = dispatch(&["sim".into(), deck]).unwrap();
+        assert!(!out.contains("solver stats:"), "{out}");
     }
 
     #[test]

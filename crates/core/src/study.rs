@@ -4,12 +4,12 @@
 
 use crate::calib::{calibrate_pulse, calibrate_t0, DfCalibration, PulseCalibration};
 use crate::df::FfTiming;
-use crate::engine::{PathInstance, PathUnderTest};
+use crate::engine::{AnalogPath, PathInstance, PathUnderTest};
 use crate::error::CoreError;
 use crate::resilience::{is_retryable, FailureReport, McRunReport, ResilienceConfig};
 use crate::transfer::TransferCurve;
 use crate::variation::VariationModel;
-use pulsar_analog::{FaultPlan, Polarity};
+use pulsar_analog::{FaultPlan, Polarity, SymbolicCache};
 use pulsar_cells::Tech;
 use pulsar_mc::MonteCarlo;
 use rand::rngs::StdRng;
@@ -133,6 +133,27 @@ fn prepare_for_attempt<P: PathInstance>(
     }
 }
 
+/// Builds one nominal instance with `build` and runs the sparse symbolic
+/// analysis (fill-reducing ordering + elimination structure) on it once.
+/// Every per-sample instance of the same topology then adopts the result
+/// instead of re-analyzing — process variation and sweep resistances
+/// change element *values*, never the stamp pattern, so one analysis per
+/// Monte Carlo run suffices. `None` when the sparse path is not engaged
+/// for this circuit (below the crossover dimension or forced dense), in
+/// which case adoption is skipped and samples run exactly as before.
+fn prime_symbolic_with<B: FnOnce() -> AnalogPath>(build: B) -> Option<SymbolicCache> {
+    let mut nominal = build();
+    nominal.built_path().prime_symbolic()
+}
+
+/// Installs a primed symbolic factorization on a freshly built sample
+/// instance (no-op when the study's circuit runs dense).
+fn adopt_symbolic(p: &mut AnalogPath, cache: &Option<SymbolicCache>) {
+    if let Some(c) = cache {
+        p.built_path().adopt_symbolic(c);
+    }
+}
+
 /// One coverage-vs-resistance series, at one setting of the method's
 /// free parameter (`T/T₀` for DF, `ω_th/ω_th⁰` for the pulse test).
 #[derive(Debug, Clone, PartialEq)]
@@ -198,9 +219,12 @@ impl DfStudy {
     /// samples stay failed after retries.
     pub fn try_fault_free_needs(&self) -> Result<McRunReport<f64>, CoreError> {
         lint_preflight(&self.put, None)?;
+        let nominal_techs = vec![self.put.tech; self.put.spec.len()];
+        let symbolic = prime_symbolic_with(|| self.put.instantiate_fault_free(&nominal_techs));
         self.mc.try_run_samples(|_, attempt, rng| {
             let (techs, ff) = self.draw(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
+            adopt_symbolic(&mut p, &symbolic);
             prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
             Ok(p.worst_delay()? + ff.overhead())
         })
@@ -239,9 +263,12 @@ impl DfStudy {
     pub fn try_faulty_needs(&self, r_values: &[f64]) -> Result<McRunReport<Vec<f64>>, CoreError> {
         lint_preflight(&self.put, Some(r_values))?;
         let r_values = r_values.to_vec();
+        let nominal_techs = vec![self.put.tech; self.put.spec.len()];
+        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
         self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, ff) = self.draw(rng);
             let mut p = self.put.instantiate(&techs, r_values[0]);
+            adopt_symbolic(&mut p, &symbolic);
             prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
             let mut row = Vec::with_capacity(r_values.len());
             for &r in &r_values {
@@ -387,9 +414,12 @@ impl PulseStudy {
     /// samples stay failed after retries.
     pub fn try_fault_free_wouts(&self, w_in: f64) -> Result<McRunReport<f64>, CoreError> {
         lint_preflight(&self.put, None)?;
+        let nominal_techs = vec![self.put.tech; self.put.spec.len()];
+        let symbolic = prime_symbolic_with(|| self.put.instantiate_fault_free(&nominal_techs));
         self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, gen_factor) = self.draw_techs(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
+            adopt_symbolic(&mut p, &symbolic);
             prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
             p.pulse_width_out(w_in * gen_factor, self.polarity)
         })
@@ -415,9 +445,12 @@ impl PulseStudy {
     /// Propagates simulation failures (via the failure budget).
     pub fn fault_free_wouts_fixed_width(&self, w_in: f64) -> Result<Vec<f64>, CoreError> {
         lint_preflight(&self.put, None)?;
+        let nominal_techs = vec![self.put.tech; self.put.spec.len()];
+        let symbolic = prime_symbolic_with(|| self.put.instantiate_fault_free(&nominal_techs));
         let report = self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, _) = self.draw_techs(rng);
             let mut p = self.put.instantiate_fault_free(&techs);
+            adopt_symbolic(&mut p, &symbolic);
             prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
             p.pulse_width_out(w_in, self.polarity)
         })?;
@@ -463,9 +496,12 @@ impl PulseStudy {
     ) -> Result<McRunReport<Vec<f64>>, CoreError> {
         lint_preflight(&self.put, Some(r_values))?;
         let r_values = r_values.to_vec();
+        let nominal_techs = vec![self.put.tech; self.put.spec.len()];
+        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
         self.mc.try_run_samples(move |_, attempt, rng| {
             let (techs, gen_factor) = self.draw_techs(rng);
             let mut p = self.put.instantiate(&techs, r_values[0]);
+            adopt_symbolic(&mut p, &symbolic);
             prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
             let mut row = Vec::with_capacity(r_values.len());
             for &r in &r_values {

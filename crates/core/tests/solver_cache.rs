@@ -1,0 +1,54 @@
+//! Symbolic-factorization caching across a Monte Carlo study.
+//!
+//! The sparse solver's symbolic analysis (fill-reducing ordering +
+//! elimination structure) depends only on circuit *topology*, which a
+//! study never changes: process variation and resistance sweeps perturb
+//! element values only. The study runner therefore primes the analysis
+//! once on a nominal instance and every per-sample instance adopts it.
+//! This test pins that contract with the global solver counters.
+//!
+//! Counters are process-global, so this file holds exactly one test and
+//! runs as its own integration-test binary: nothing else in the process
+//! touches the solver while it measures.
+
+use pulsar_analog::solver_counters;
+use pulsar_cells::{PathSpec, Tech};
+use pulsar_core::{DefectKind, DfStudy, McConfig, PathUnderTest};
+
+#[test]
+fn study_runs_exactly_one_symbolic_analysis_per_topology() {
+    // 32 stages → 36 MNA unknowns, above the sparse crossover, so
+    // SolverMode::Auto engages the sparse engine without any forcing.
+    let put = PathUnderTest {
+        spec: PathSpec::inverter_chain(32),
+        defect: DefectKind::ExternalRop,
+        stage: 1,
+        tech: Tech::generic_180nm(),
+    };
+    let study = DfStudy::new(put, McConfig::paper(3, 7));
+
+    let before = solver_counters();
+    let report = study
+        .try_faulty_needs(&[10e3, 80e3])
+        .expect("study must resolve");
+    let delta = solver_counters().since(&before);
+
+    assert_eq!(report.outcomes.len(), 3);
+    assert_eq!(
+        delta.symbolic_analyses, 1,
+        "one topology, one analysis — every sample and sweep point must \
+         adopt the primed factorization: {delta:?}"
+    );
+    assert!(
+        delta.sparse_solves > 0,
+        "a 36-unknown circuit must route through the sparse engine: {delta:?}"
+    );
+    assert_eq!(
+        delta.dense_fallbacks, 0,
+        "a healthy chain must never fall back to dense: {delta:?}"
+    );
+    assert!(
+        delta.numeric_factorizations > 0,
+        "Newton must refactor numerically: {delta:?}"
+    );
+}

@@ -389,7 +389,7 @@ fn structural_checks(ckt: &Circuit, diags: &mut Vec<Diagnostic>) {
     // pair, or a cycle), so this arm is belt-and-braces for patterns the
     // scan does not model.
     if !flagged {
-        let pattern = StampPattern::build(ckt);
+        let pattern = StampPattern::build_dc(ckt);
         let unmatched = pattern.unmatched_rows();
         if !unmatched.is_empty() {
             diags.push(Diagnostic::new(

@@ -1,4 +1,4 @@
-//! Symbolic MNA stamp pattern and bipartite maximal matching.
+//! Structural-rank verdict over the symbolic MNA stamp pattern.
 //!
 //! The *structural rank* (sprank) of a matrix pattern is the size of a
 //! maximum matching between rows and columns of potentially-nonzero cells.
@@ -7,156 +7,23 @@
 //! (superset) pattern is a sound singularity certificate for the real MNA
 //! matrix.
 //!
-//! The pattern mirrors the DC assembly in `analog`'s MNA layer: the gmin
-//! floor puts every node diagonal in the pattern unconditionally, resistors
-//! stamp their 2×2 conductance block, voltage sources stamp ±1 incidence
-//! pairs, and MOSFETs *may* stamp drain/source rows against the
-//! drain/gate/source columns (cutoff devices stamp nothing, which is why
-//! the MOSFET entries are an over-approximation — safe for the implication
-//! above). Capacitors and current sources stamp nothing in DC. One
-//! refinement keeps the superset exact where it matters: a voltage source
-//! whose two terminals collapse to the same MNA variable accumulates
-//! `+1 − 1 = 0` exactly, so it contributes *no* pattern entries — its empty
-//! branch row/column is precisely what the matching must see.
+//! The pattern itself ([`StampPattern`]) is built by `pulsar-analog` next
+//! to the stamping code it describes, and is the *same* object that drives
+//! the sparse solver's symbolic factorization — one source of truth, so
+//! the lint verdict and the solver's structural analysis can never drift
+//! apart. Lint checks the DC pattern (capacitors and current sources
+//! open): DC singularity is what PL0101/PL0102 certify. See the
+//! `pulsar_analog::StampPattern` docs for the construction rules,
+//! including the exact-cancellation refinement for voltage sources whose
+//! terminals collapse to one MNA variable.
 
-use pulsar_analog::{Circuit, Element, NodeId};
-
-/// Row-major sparsity pattern of the DC MNA system.
-#[derive(Debug, Clone)]
-pub(crate) struct StampPattern {
-    /// `rows[r]` = columns that may hold a nonzero in row `r` (deduplicated).
-    rows: Vec<Vec<usize>>,
-}
-
-/// MNA variable index of a node (ground has none).
-fn var(node: NodeId) -> Option<usize> {
-    if node.is_ground() {
-        None
-    } else {
-        Some(node.index() - 1)
-    }
-}
-
-impl StampPattern {
-    /// Builds the DC pattern of `ckt`, including the gmin floor diagonal.
-    pub fn build(ckt: &Circuit) -> Self {
-        let nn = ckt.node_count() - 1;
-        let nv = ckt
-            .elements()
-            .iter()
-            .filter(|e| matches!(e, Element::Vsource { .. }))
-            .count();
-        let n = nn + nv;
-        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut push = |r: usize, c: usize| {
-            if !rows[r].contains(&c) {
-                rows[r].push(c);
-            }
-        };
-        for d in 0..nn {
-            push(d, d);
-        }
-        let mut next_branch = nn;
-        for e in ckt.elements() {
-            match e {
-                Element::Resistor { a, b, .. } => {
-                    let (ia, ib) = (var(*a), var(*b));
-                    if let Some(i) = ia {
-                        push(i, i);
-                    }
-                    if let Some(j) = ib {
-                        push(j, j);
-                    }
-                    if let (Some(i), Some(j)) = (ia, ib) {
-                        push(i, j);
-                        push(j, i);
-                    }
-                }
-                Element::Vsource { p, n, .. } => {
-                    let br = next_branch;
-                    next_branch += 1;
-                    // Same-variable terminals cancel exactly; see module doc.
-                    if var(*p) != var(*n) {
-                        if let Some(i) = var(*p) {
-                            push(i, br);
-                            push(br, i);
-                        }
-                        if let Some(j) = var(*n) {
-                            push(j, br);
-                            push(br, j);
-                        }
-                    }
-                }
-                Element::Mosfet(m) => {
-                    // Drain and source rows may see the d/g/s columns; the
-                    // gate row sees nothing (zero DC gate current).
-                    let cols = [var(m.d), var(m.g), var(m.s)];
-                    for row in [var(m.d), var(m.s)].into_iter().flatten() {
-                        for col in cols.into_iter().flatten() {
-                            push(row, col);
-                        }
-                    }
-                }
-                // Open in DC.
-                Element::Capacitor { .. } | Element::Isource { .. } => {}
-                _ => {}
-            }
-        }
-        StampPattern { rows }
-    }
-
-    /// Matrix dimension.
-    pub fn dim(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Maximum row↔column matching via Kuhn's augmenting-path algorithm;
-    /// returns the rows left unmatched (empty iff the pattern has full
-    /// structural rank).
-    pub fn unmatched_rows(&self) -> Vec<usize> {
-        let n = self.dim();
-        // col_match[c] = row currently matched to column c.
-        let mut col_match: Vec<Option<usize>> = vec![None; n];
-        let mut visited = vec![false; n];
-        let mut unmatched = Vec::new();
-        for r in 0..n {
-            visited.fill(false);
-            if !self.augment(r, &mut visited, &mut col_match) {
-                unmatched.push(r);
-            }
-        }
-        unmatched
-    }
-
-    fn augment(&self, r: usize, visited: &mut [bool], col_match: &mut [Option<usize>]) -> bool {
-        for &c in &self.rows[r] {
-            if visited[c] {
-                continue;
-            }
-            visited[c] = true;
-            if col_match[c].is_none()
-                || self.augment(
-                    match col_match[c] {
-                        Some(prev) => prev,
-                        None => unreachable!("guarded by is_none"),
-                    },
-                    visited,
-                    col_match,
-                )
-            {
-                col_match[c] = Some(r);
-                return true;
-            }
-        }
-        false
-    }
-}
+pub(crate) use pulsar_analog::StampPattern;
 
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]
     use super::*;
-    use pulsar_analog::Waveform;
+    use pulsar_analog::{Circuit, Waveform};
 
     #[test]
     fn healthy_divider_has_full_structural_rank() {
@@ -166,7 +33,7 @@ mod tests {
         ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
         ckt.resistor(a, b, 1e3);
         ckt.resistor(b, Circuit::GROUND, 1e3);
-        let p = StampPattern::build(&ckt);
+        let p = StampPattern::build_dc(&ckt);
         assert_eq!(p.dim(), 3);
         assert!(p.unmatched_rows().is_empty());
     }
@@ -177,7 +44,7 @@ mod tests {
         let a = ckt.node("a");
         ckt.vsource(a, a, Waveform::dc(1.0));
         ckt.resistor(a, Circuit::GROUND, 1e3);
-        let p = StampPattern::build(&ckt);
+        let p = StampPattern::build_dc(&ckt);
         // Branch row is empty: exactly one row cannot be matched.
         assert_eq!(p.unmatched_rows().len(), 1);
     }
@@ -193,7 +60,7 @@ mod tests {
         ckt.vsource(b, Circuit::GROUND, Waveform::dc(0.5));
         ckt.vsource(a, b, Waveform::dc(0.5));
         ckt.resistor(a, Circuit::GROUND, 1e3);
-        let p = StampPattern::build(&ckt);
+        let p = StampPattern::build_dc(&ckt);
         assert_eq!(p.unmatched_rows().len(), 1);
     }
 
@@ -207,7 +74,7 @@ mod tests {
         let b = ckt.node("b");
         ckt.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
         ckt.capacitor(a, b, 1e-15);
-        let p = StampPattern::build(&ckt);
+        let p = StampPattern::build_dc(&ckt);
         assert!(p.unmatched_rows().is_empty());
     }
 }
