@@ -11,6 +11,7 @@ use crate::error::Error;
 use crate::solver::mna::{collect_cap_branches, CapState, Method, System};
 use crate::solver::workspace::{SolverWorkspace, SysScratch, TranScratch};
 use crate::waveform::Trace;
+use pulsar_obs::{Counter, Phase};
 
 /// Configuration of a transient run.
 #[derive(Debug, Clone, PartialEq)]
@@ -299,6 +300,9 @@ impl Circuit {
 
         // Initial condition: DC operating point into the workspace buffer.
         let warm = if *warm_dc { Some(warm_x) } else { None };
+        // Cheap handle clone (one Arc bump per run); the borrow of
+        // `sys_scratch` below would otherwise pin the recorder field.
+        let rec = sys_scratch.recorder.clone();
         self.dc_into(0.0, sys_scratch, warm, x)?;
         let mut sys = System::new(self, sys_scratch);
         let nu = x.len();
@@ -361,6 +365,9 @@ impl Circuit {
         let mut h_prev = 0.0_f64;
         let nn = self.node_count() - 1;
 
+        // Counters are bumped as the loop goes (not once at the end), so a
+        // run that dies on the step budget still journals its true spend.
+        let _step_span = rec.span(Phase::TransientStepLoop);
         while t < cfg.stop - 1e-18 {
             // Step budget: another point is needed but the budget is spent.
             if times.len() >= cfg.max_points {
@@ -431,6 +438,7 @@ impl Circuit {
                             if lte > cfg.lte_tol && h > h_min && attempts <= 10 {
                                 attempts += 1;
                                 stats.lte_rejections += 1;
+                                rec.add(Counter::LteRejections, 1);
                                 sub_t = t + h / 2.0;
                                 xn.copy_from_slice(x);
                                 continue;
@@ -442,6 +450,7 @@ impl Circuit {
                     Err(e) => {
                         attempts += 1;
                         stats.newton_retries += 1;
+                        rec.add(Counter::NewtonRetries, 1);
                         if attempts > 10 {
                             return Err(e);
                         }
@@ -488,6 +497,7 @@ impl Circuit {
             core::mem::swap(x, xn);
             t = sub_t;
             record(t, x, &mut times, &mut voltages);
+            rec.add(Counter::StepsAccepted, 1);
             after_discontinuity = hit_bp && (sub_t - tn).abs() < 1e-18;
         }
 

@@ -71,6 +71,13 @@ pub use error::Error;
 pub use export::{to_csv, to_vcd};
 pub use inject::{ArmedFault, FaultKind, FaultPlan};
 pub use solver::pattern::{topology_key, PatternMode, StampPattern};
-pub use solver::sparse::{solver_counters, SolverCounters};
+#[allow(deprecated)]
+pub use solver::sparse::solver_counters;
+pub use solver::sparse::SolverCounters;
 pub use solver::workspace::{SolverMode, SolverWorkspace, SymbolicCache};
 pub use waveform::{propagation_delay, Edge, Polarity, Pulse, Trace};
+
+// Re-exported so downstream crates can speak the observability types this
+// crate's instrumentation records into without naming `pulsar_obs`
+// directly.
+pub use pulsar_obs::{Counter as ObsCounter, Phase as ObsPhase, Recorder};

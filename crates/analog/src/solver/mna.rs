@@ -5,13 +5,12 @@
 //! eliminated), followed by one branch current per voltage source in
 //! element order.
 
-use std::sync::atomic::Ordering;
-
 use crate::circuit::{Circuit, NodeId};
 use crate::elements::{Element, MosType, Mosfet, MosfetParams};
 use crate::error::Error;
-use crate::solver::sparse::{SymbolicLu, COUNTERS};
+use crate::solver::sparse::{global_recorder, SymbolicLu};
 use crate::solver::workspace::{SparseScratch, SysScratch};
+use pulsar_obs::{Counter, Phase, Recorder};
 
 /// Modified-Newton stall threshold: a reused Jacobian is kept only while
 /// the residual max-norm contracts by at least this factor per iteration;
@@ -28,6 +27,15 @@ const VSTEP_LIMIT: f64 = 0.6;
 /// Leakage conductance from every node to ground keeping matrices
 /// well-posed even with all transistors cut off.
 const GMIN_FLOOR: f64 = 1e-12;
+
+/// Books the end of one dense Newton solve: the iteration spend goes to
+/// the process-wide registry (legacy `solver_counters()` view) and the
+/// per-run recorder, which also gets the iterations-per-solve histogram.
+fn dense_solve_done(rec: &Recorder, iters: u64) {
+    global_recorder().add(Counter::DenseIterations, iters);
+    rec.add(Counter::DenseIterations, iters);
+    rec.newton_solve_done(iters);
+}
 
 /// Dynamic (companion-model) state of one capacitor.
 #[derive(Debug, Clone, Copy)]
@@ -97,7 +105,12 @@ impl<'c, 'w> System<'c, 'w> {
         // rebuilt system may describe a different circuit, so drop it.
         scratch.cap_geq_key = None;
         // Engine decision (and symbolic-cache validation) for this system.
-        scratch.sparse.prepare(ckt, nu);
+        {
+            let SysScratch {
+                sparse, recorder, ..
+            } = &mut *scratch;
+            sparse.prepare(ckt, nu, recorder);
+        }
         System {
             ckt,
             nn,
@@ -449,6 +462,7 @@ impl<'c, 'w> System<'c, 'w> {
         context: &'static str,
     ) -> Result<(), Error> {
         debug_assert_eq!(x.len(), self.nu);
+        let _span = self.scratch.recorder.span(Phase::NewtonSolve);
         self.hoist_step_values(t, dynamics, src_scale);
         if self.scratch.sparse.active {
             self.scratch.sparse.x_save.clear();
@@ -464,15 +478,20 @@ impl<'c, 'w> System<'c, 'w> {
                 // error exactly. The solver can therefore never be *less*
                 // robust than the dense baseline, only faster.
                 Some(Err(_)) | None => {
-                    let SysScratch { sparse, .. } = &mut *self.scratch;
+                    let SysScratch {
+                        sparse, recorder, ..
+                    } = &mut *self.scratch;
                     x.copy_from_slice(&sparse.x_save);
-                    COUNTERS.dense_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    global_recorder().add(Counter::DenseFallbacks, 1);
+                    recorder.add(Counter::DenseFallbacks, 1);
                 }
             }
         }
-        COUNTERS.dense_solves.fetch_add(1, Ordering::Relaxed);
+        global_recorder().add(Counter::DenseSolves, 1);
+        self.scratch.recorder.add(Counter::DenseSolves, 1);
+        let mut iters: u64 = 0;
         for iter in 0..max_iter {
-            COUNTERS.dense_iterations.fetch_add(1, Ordering::Relaxed);
+            iters += 1;
             self.assemble_fast(x, dynamics.is_some(), gmin);
             // Split-borrow the scratch so the hoisted Newton vector can be
             // solved against the matrix without re-allocating per call.
@@ -480,10 +499,14 @@ impl<'c, 'w> System<'c, 'w> {
                 matrix,
                 rhs,
                 newton,
+                recorder,
                 ..
             } = &mut *self.scratch;
             newton.copy_from_slice(rhs);
-            matrix.solve_in_place(newton)?;
+            if let Err(e) = matrix.solve_in_place(newton) {
+                dense_solve_done(recorder, iters);
+                return Err(e);
+            }
 
             // Damped update + convergence test on node voltages.
             let mut converged = true;
@@ -504,9 +527,11 @@ impl<'c, 'w> System<'c, 'w> {
                 x[i] += delta;
             }
             if converged && iter > 0 {
+                dense_solve_done(recorder, iters);
                 return Ok(());
             }
         }
+        dense_solve_done(&self.scratch.recorder, iters);
         Err(Error::NoConvergence {
             context,
             iterations: max_iter,
@@ -535,7 +560,8 @@ impl<'c, 'w> System<'c, 'w> {
         max_iter: usize,
         context: &'static str,
     ) -> Option<Result<(), Error>> {
-        COUNTERS.sparse_solves.fetch_add(1, Ordering::Relaxed);
+        global_recorder().add(Counter::SparseSolves, 1);
+        self.scratch.recorder.add(Counter::SparseSolves, 1);
         let nn = self.nn;
         let nu = self.nu;
         let dyn_on = dynamics.is_some();
@@ -557,7 +583,12 @@ impl<'c, 'w> System<'c, 'w> {
         let mut last_rnorm = f64::INFINITY;
         for iter in 0..max_iter {
             self.assemble_sparse(x, dyn_on, gmin);
-            let SysScratch { rhs, sparse, .. } = &mut *self.scratch;
+            let SysScratch {
+                rhs,
+                sparse,
+                recorder,
+                ..
+            } = &mut *self.scratch;
             let SparseScratch {
                 symbolic,
                 a_vals,
@@ -577,11 +608,15 @@ impl<'c, 'w> System<'c, 'w> {
             let rnorm = sym.residual(a_vals, x, rhs, resid);
             let reuse = jr && *factored && rnorm <= JR_CONTRACTION * last_rnorm;
             if reuse {
-                COUNTERS.jacobian_reuses.fetch_add(1, Ordering::Relaxed);
+                global_recorder().add(Counter::JacobianReuses, 1);
+                recorder.add(Counter::JacobianReuses, 1);
             } else {
+                let _span = recorder.span(Phase::NumericRefactorize);
+                recorder.add(Counter::NumericFactorizations, 1);
                 if sym.factor(a_vals, lu_vals, w).is_err() {
                     *factored = false;
                     *factor_env = None;
+                    recorder.add(Counter::NewtonIterations, iter as u64 + 1);
                     return None;
                 }
                 *factored = true;
@@ -612,9 +647,11 @@ impl<'c, 'w> System<'c, 'w> {
                 x[i] += d;
             }
             if converged && iter > 0 {
+                recorder.newton_solve_done(iter as u64 + 1);
                 return Some(Ok(()));
             }
         }
+        self.scratch.recorder.newton_solve_done(max_iter as u64);
         Some(Err(Error::NoConvergence {
             context,
             iterations: max_iter,

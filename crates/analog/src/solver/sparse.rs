@@ -26,10 +26,11 @@
 //! that solve. All phases are deterministic, so results are bitwise
 //! reproducible across threads and runs for a fixed circuit.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 use crate::error::Error;
 use crate::solver::pattern::StampPattern;
+use pulsar_obs::{Counter, Recorder};
 
 /// Smallest usable pivot magnitude, matching the dense LU threshold.
 const PIVOT_MIN: f64 = 1e-300;
@@ -86,7 +87,7 @@ impl SymbolicLu {
     /// PL0101/PL0102 matching reports, with `row` the first uncoverable
     /// row.
     pub fn analyze(pattern: &StampPattern, topo_key: u64) -> Result<SymbolicLu, Error> {
-        COUNTERS.symbolic_analyses.fetch_add(1, Ordering::Relaxed);
+        global_recorder().add(Counter::SymbolicAnalyses, 1);
         let n = pattern.dim();
         let (col_match, unmatched) = pattern.matching();
         if let Some(&row) = unmatched.first() {
@@ -292,9 +293,7 @@ impl SymbolicLu {
         lu_vals: &mut Vec<f64>,
         w: &mut Vec<f64>,
     ) -> Result<(), usize> {
-        COUNTERS
-            .numeric_factorizations
-            .fetch_add(1, Ordering::Relaxed);
+        global_recorder().add(Counter::NumericFactorizations, 1);
         lu_vals.clear();
         lu_vals.resize(self.lu_cols.len(), 0.0);
         w.clear();
@@ -458,37 +457,29 @@ impl SolverCounters {
     }
 }
 
-#[derive(Debug, Default)]
-pub(crate) struct AtomicCounters {
-    pub symbolic_analyses: AtomicU64,
-    pub numeric_factorizations: AtomicU64,
-    pub jacobian_reuses: AtomicU64,
-    pub sparse_solves: AtomicU64,
-    pub dense_solves: AtomicU64,
-    pub dense_iterations: AtomicU64,
-    pub dense_fallbacks: AtomicU64,
+/// The process-wide, always-enabled [`Recorder`] backing the legacy
+/// [`solver_counters`] view. Every solver instrumentation point records
+/// here *and* into the per-run recorder installed on the workspace (when
+/// one is), so old global snapshots and new scoped snapshots agree.
+pub(crate) fn global_recorder() -> &'static Recorder {
+    static GLOBAL: OnceLock<Recorder> = OnceLock::new();
+    GLOBAL.get_or_init(Recorder::enabled)
 }
 
-pub(crate) static COUNTERS: AtomicCounters = AtomicCounters {
-    symbolic_analyses: AtomicU64::new(0),
-    numeric_factorizations: AtomicU64::new(0),
-    jacobian_reuses: AtomicU64::new(0),
-    sparse_solves: AtomicU64::new(0),
-    dense_solves: AtomicU64::new(0),
-    dense_iterations: AtomicU64::new(0),
-    dense_fallbacks: AtomicU64::new(0),
-};
-
 /// Snapshots the process-wide [`SolverCounters`].
+#[deprecated(note = "process-wide counters race across concurrent runs; install a \
+            per-run `pulsar_obs::Recorder` via `SolverWorkspace::set_recorder` \
+            and use `Recorder::snapshot` instead")]
 pub fn solver_counters() -> SolverCounters {
+    let snap = global_recorder().snapshot();
     SolverCounters {
-        symbolic_analyses: COUNTERS.symbolic_analyses.load(Ordering::Relaxed),
-        numeric_factorizations: COUNTERS.numeric_factorizations.load(Ordering::Relaxed),
-        jacobian_reuses: COUNTERS.jacobian_reuses.load(Ordering::Relaxed),
-        sparse_solves: COUNTERS.sparse_solves.load(Ordering::Relaxed),
-        dense_solves: COUNTERS.dense_solves.load(Ordering::Relaxed),
-        dense_iterations: COUNTERS.dense_iterations.load(Ordering::Relaxed),
-        dense_fallbacks: COUNTERS.dense_fallbacks.load(Ordering::Relaxed),
+        symbolic_analyses: snap.counter(Counter::SymbolicAnalyses),
+        numeric_factorizations: snap.counter(Counter::NumericFactorizations),
+        jacobian_reuses: snap.counter(Counter::JacobianReuses),
+        sparse_solves: snap.counter(Counter::SparseSolves),
+        dense_solves: snap.counter(Counter::DenseSolves),
+        dense_iterations: snap.counter(Counter::DenseIterations),
+        dense_fallbacks: snap.counter(Counter::DenseFallbacks),
     }
 }
 

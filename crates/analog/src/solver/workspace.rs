@@ -18,7 +18,6 @@
 //! engages above a crossover dimension (different elimination order ⇒
 //! different rounding; the `sparse_solver` tests bound the drift).
 
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::sync::OnceLock;
 
@@ -26,7 +25,8 @@ use crate::circuit::{Circuit, NodeId};
 use crate::solver::matrix::DenseMatrix;
 use crate::solver::mna::{CapState, Method};
 use crate::solver::pattern::{topology_key, StampPattern};
-use crate::solver::sparse::{SymbolicLu, COUNTERS};
+use crate::solver::sparse::{global_recorder, SymbolicLu};
+use pulsar_obs::{Counter, Phase, Recorder};
 
 /// Linear-engine selection for a [`SolverWorkspace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -159,7 +159,9 @@ impl SparseScratch {
     /// Decides whether the sparse engine handles the next solves of `ckt`
     /// (`nu` MNA unknowns) and, if so, ensures a matching symbolic
     /// factorization is cached. Called once per `System` construction.
-    pub fn prepare(&mut self, ckt: &Circuit, nu: usize) -> bool {
+    /// `rec` is the per-run recorder of the owning workspace; the
+    /// process-wide registry is updated regardless.
+    pub fn prepare(&mut self, ckt: &Circuit, nu: usize, rec: &Recorder) -> bool {
         self.active = false;
         if force_dense_env() {
             return false;
@@ -178,7 +180,9 @@ impl SparseScratch {
             if self.failed_key == Some(key) {
                 return false;
             }
+            let _span = rec.span(Phase::SymbolicAnalysis);
             let pattern = StampPattern::build_transient(ckt);
+            rec.add(Counter::SymbolicAnalyses, 1);
             match SymbolicLu::analyze(&pattern, key) {
                 Ok(sym) => {
                     self.symbolic = Some(Arc::new(sym));
@@ -188,7 +192,8 @@ impl SparseScratch {
                     // Structural-rank deficit: remember and let the dense
                     // engine report the identical SingularMatrix error.
                     self.failed_key = Some(key);
-                    COUNTERS.dense_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    global_recorder().add(Counter::DenseFallbacks, 1);
+                    rec.add(Counter::DenseFallbacks, 1);
                     return false;
                 }
             }
@@ -235,6 +240,9 @@ pub(crate) struct SysScratch {
     pub cap_geq_key: Option<(u64, Method)>,
     /// Sparse-engine state (symbolic cache, factors, Jacobian reuse).
     pub sparse: SparseScratch,
+    /// Per-run observability handle; disabled by default, so every
+    /// instrumentation call is one `Option` branch.
+    pub recorder: Recorder,
 }
 
 /// Scratch for the transient engine: companion states, the capacitive
@@ -367,7 +375,8 @@ impl SolverWorkspace {
     /// [`SolverWorkspace::adopt_symbolic`] so a whole study performs
     /// exactly one analysis per topology.
     pub fn prime_symbolic(&mut self, ckt: &Circuit) -> Option<SymbolicCache> {
-        if self.sys.sparse.prepare(ckt, ckt.unknown_count()) {
+        let rec = self.sys.recorder.clone();
+        if self.sys.sparse.prepare(ckt, ckt.unknown_count(), &rec) {
             self.sys.sparse.symbolic.clone().map(SymbolicCache)
         } else {
             None
@@ -382,5 +391,20 @@ impl SolverWorkspace {
     pub fn adopt_symbolic(&mut self, cache: &SymbolicCache) {
         self.sys.sparse.symbolic = Some(Arc::clone(&cache.0));
         self.sys.sparse.invalidate_factors();
+    }
+
+    /// Installs a per-run [`Recorder`]; every solve through this workspace
+    /// then records counters, spans, and histograms there in addition to
+    /// the process-wide registry behind the deprecated
+    /// `solver_counters()`. The default recorder is disabled, in which
+    /// case each instrumentation point costs a single `Option` branch and
+    /// never reads the clock (overhead measured in `bench_hotpath`).
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.sys.recorder = rec;
+    }
+
+    /// The per-run recorder installed on this workspace.
+    pub fn recorder(&self) -> &Recorder {
+        &self.sys.recorder
     }
 }

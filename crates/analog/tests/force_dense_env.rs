@@ -6,6 +6,10 @@
 //! process, and the global solver counters are process-wide state, so
 //! this file holds exactly one test and runs as its own binary.
 
+// The whole point of this test is the legacy process-wide counter view,
+// so the deprecated shim is exercised on purpose.
+#![allow(deprecated)]
+
 use pulsar_analog::{
     solver_counters, Circuit, SolverMode, SolverWorkspace, TraceCapture, TranConfig, Waveform,
 };

@@ -21,6 +21,12 @@
 //! 5. **sparse_mc_coverage** — the Monte Carlo coverage point on the
 //!    32-gate chain at 1 thread, symbolic analysis primed once and
 //!    adopted by every sample.
+//! 6. **obs_overhead** — the 7-gate MC coverage point with the
+//!    observability recorder absent, installed-but-disabled, and
+//!    enabled (per-sample fork + retire, the `McConfig` wiring). All
+//!    three arms are asserted bit-identical before timing: recording
+//!    never changes arithmetic. Written to `BENCH_pr5.json`
+//!    (`--obs-only` runs just this kernel and writes only that file).
 //!
 //! The baseline is not a guess: `BuiltPath::set_workspace_reuse(false)`
 //! routes every simulation through `Circuit::transient_baseline`, the
@@ -45,7 +51,12 @@
 //! `PULSAR_FORCE_DENSE=1` in the environment the sparse arms silently run
 //! dense; the kernels then assert bitwise identity instead of a speedup.
 
-use pulsar_analog::{solver_counters, Polarity, SolverMode, SymbolicCache};
+// Kernel 5 deliberately reads the process-wide legacy counter view: it
+// asserts totals across an MC fan-out whose samples never share a
+// workspace, which is exactly what the shim still exists for.
+#[allow(deprecated)]
+use pulsar_analog::solver_counters;
+use pulsar_analog::{ObsCounter, Polarity, Recorder, SolverMode, SymbolicCache};
 use pulsar_bench::rop_put;
 use pulsar_cells::{PathSpec, PulseOutcome, Tech};
 use pulsar_core::{DefectKind, PathInstance, PathUnderTest, VariationModel};
@@ -464,6 +475,7 @@ fn chain_mc_point(
 /// within tolerance of its dense twin; and the timed sparse arm is
 /// asserted to run **zero** fresh symbolic analyses (the adopted cache
 /// covers the whole point) and zero dense fallbacks.
+#[allow(deprecated)] // process-wide `solver_counters` view; see the import note
 fn sparse_mc_coverage(
     n: usize,
     variation: &VariationModel,
@@ -543,6 +555,185 @@ fn sparse_mc_coverage(
     )
 }
 
+/// The MC coverage point with an explicit observability recorder: one
+/// fork per sample installed on the instance before the pulse run, every
+/// shard retired afterwards — the same wiring `McConfig::obs` uses.
+fn mc_point_obs(
+    put: &PathUnderTest,
+    variation: &VariationModel,
+    samples: usize,
+    rec: &Recorder,
+) -> Vec<f64> {
+    let sample_recs: Vec<Recorder> = (0..samples).map(|_| rec.fork()).collect();
+    let wouts = MonteCarlo::new(samples, 2007)
+        .with_threads(1)
+        .run(|i, rng| {
+            let techs = variation.sample_techs(&put.tech, put.spec.len(), rng);
+            let gen_factor = variation.sample_sensor(1.0, rng);
+            let mut p = put.instantiate(&techs, R_POINT);
+            p.built_path().set_recorder(sample_recs[i].clone());
+            p.pulse_width_out(W_IN * gen_factor, Polarity::PositiveGoing)
+                .expect("mc sample")
+        });
+    for r in &sample_recs {
+        r.retire();
+    }
+    wouts
+}
+
+struct ObsOverheadResult {
+    plain_ns: u64,
+    plain_allocs: u64,
+    disabled_ns: u64,
+    disabled_allocs: u64,
+    enabled_ns: u64,
+    enabled_allocs: u64,
+}
+
+impl ObsOverheadResult {
+    /// Cost of carrying the disabled recorder (fork/clone/retire plus one
+    /// `Option` branch per instrumentation site) over the plain kernel.
+    fn disabled_overhead(&self) -> f64 {
+        self.disabled_ns as f64 / self.plain_ns as f64 - 1.0
+    }
+
+    /// Cost of actually recording (atomics, clock reads, shard merges)
+    /// over the disabled path.
+    fn enabled_overhead(&self) -> f64 {
+        self.enabled_ns as f64 / self.disabled_ns as f64 - 1.0
+    }
+}
+
+/// Kernel 6: observability overhead on the 7-gate MC coverage point.
+/// Three arms, interleaved per round like the other kernels: *plain*
+/// (recorder never touched — the PR2/PR4 hot path), *disabled* (per-sample
+/// fork + install + retire of a disabled recorder), *enabled* (same wiring,
+/// recorder live). Bit-identity across all three arms is asserted before
+/// timing; the enabled arm is additionally asserted to have recorded real
+/// solver work, so the timing can't silently measure a no-op.
+fn obs_overhead(
+    put: &PathUnderTest,
+    variation: &VariationModel,
+    samples: usize,
+    iters: usize,
+) -> ObsOverheadResult {
+    let plain = mc_point(put, variation, samples, 1, true);
+    let disabled = mc_point_obs(put, variation, samples, &Recorder::disabled());
+    let live = Recorder::enabled();
+    let enabled = mc_point_obs(put, variation, samples, &live);
+    let plain_bits: Vec<u64> = plain.iter().map(|w| w.to_bits()).collect();
+    let disabled_bits: Vec<u64> = disabled.iter().map(|w| w.to_bits()).collect();
+    let enabled_bits: Vec<u64> = enabled.iter().map(|w| w.to_bits()).collect();
+    assert_eq!(
+        plain_bits, disabled_bits,
+        "disabled recorder changed the MC results"
+    );
+    assert_eq!(
+        plain_bits, enabled_bits,
+        "enabled recorder changed the MC results"
+    );
+    let snap = live.snapshot();
+    assert!(
+        snap.counter(ObsCounter::NewtonIterations) > 0,
+        "enabled recorder saw no Newton work; the kernel would time a no-op"
+    );
+
+    let mut run_plain = || {
+        mc_point(put, variation, samples, 1, true);
+    };
+    let mut run_disabled = || {
+        mc_point_obs(put, variation, samples, &Recorder::disabled());
+    };
+    let mut run_enabled = || {
+        mc_point_obs(put, variation, samples, &Recorder::enabled());
+    };
+    // Warm-up round.
+    run_plain();
+    run_disabled();
+    run_enabled();
+    let plain_allocs = allocs_per_op(&mut run_plain);
+    let disabled_allocs = allocs_per_op(&mut run_disabled);
+    let enabled_allocs = allocs_per_op(&mut run_enabled);
+    let mut pns = Vec::with_capacity(iters);
+    let mut dns = Vec::with_capacity(iters);
+    let mut ens = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        run_plain();
+        pns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        run_disabled();
+        dns.push(t.elapsed().as_nanos() as u64);
+        let t = Instant::now();
+        run_enabled();
+        ens.push(t.elapsed().as_nanos() as u64);
+    }
+    ObsOverheadResult {
+        plain_ns: median(pns),
+        plain_allocs,
+        disabled_ns: median(dns),
+        disabled_allocs,
+        enabled_ns: median(ens),
+        enabled_allocs,
+    }
+}
+
+/// Prints the kernel-6 summary line and, unless `smoke`, writes
+/// `BENCH_pr5.json` with the measured numbers and an honest MET / NOT MET
+/// verdict on the ≤ 2 % disabled-path overhead contract.
+fn report_obs_overhead(k6: &ObsOverheadResult, samples: usize, iters: usize, smoke: bool) {
+    eprintln!(
+        "obs_overhead: plain {} ns, disabled {} ns ({:+.2}%), enabled {} ns \
+         ({:+.2}% vs disabled), allocs {} / {} / {}",
+        k6.plain_ns,
+        k6.disabled_ns,
+        100.0 * k6.disabled_overhead(),
+        k6.enabled_ns,
+        100.0 * k6.enabled_overhead(),
+        k6.plain_allocs,
+        k6.disabled_allocs,
+        k6.enabled_allocs
+    );
+    if smoke {
+        return;
+    }
+    let disabled_met = k6.disabled_overhead() <= 0.02;
+    let json = format!(
+        "{{\n  \"pr\": 5,\n  \"description\": \"observability overhead on the 7-gate MC \
+coverage kernel: plain hot path (recorder never touched) vs a per-sample installed-but-disabled \
+recorder vs an enabled recorder (fork + retire per sample, the McConfig wiring); all three arms \
+asserted bit-identical before timing\",\n  \
+\"config\": {{\"w_in_s\": {W_IN:e}, \"r_point_ohm\": {R_POINT}, \"samples\": {samples}, \
+\"iters\": {iters}, \"threads\": 1}},\n  \
+\"mc_coverage_point_obs\": {{\"plain_median_ns\": {}, \"disabled_median_ns\": {}, \
+\"enabled_median_ns\": {}, \"plain_allocs_per_op\": {}, \"disabled_allocs_per_op\": {}, \
+\"enabled_allocs_per_op\": {}}},\n  \
+\"disabled_overhead\": {{\"target_max\": 0.02, \"measured\": {:.4}, \"met\": {disabled_met}, \
+\"note\": \"disabled recorder vs the plain hot path; one Option branch per instrumentation \
+site plus per-sample fork/retire\"}},\n  \
+\"enabled_overhead_vs_disabled\": {{\"measured\": {:.4}, \"note\": \"no target: the enabled \
+recorder pays for atomics, monotonic clock reads and journal assembly by design\"}}\n}}\n",
+        k6.plain_ns,
+        k6.disabled_ns,
+        k6.enabled_ns,
+        k6.plain_allocs,
+        k6.disabled_allocs,
+        k6.enabled_allocs,
+        k6.disabled_overhead(),
+        k6.enabled_overhead()
+    );
+    std::fs::write("BENCH_pr5.json", &json).expect("write BENCH_pr5.json");
+    eprintln!("wrote BENCH_pr5.json");
+    if !disabled_met {
+        eprintln!(
+            "note: disabled-recorder overhead target (<= 2%) was not met on this \
+             machine ({:+.2}%); the JSON records the measured value honestly rather \
+             than failing the run",
+            100.0 * k6.disabled_overhead()
+        );
+    }
+}
+
 /// Serializes one A/B kernel result with caller-chosen arm names.
 fn json_ab(r: &KernelResult, a: &str, b: &str) -> String {
     format!(
@@ -563,6 +754,7 @@ fn json_kernel(r: &KernelResult) -> String {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    let obs_only = std::env::args().any(|a| a == "--obs-only");
     let (samples, iters, mc_iters, thread_counts): (usize, usize, usize, Vec<usize>) = if smoke {
         (8, 3, 1, vec![1, 2])
     } else {
@@ -571,6 +763,17 @@ fn main() {
 
     let put = rop_put();
     let variation = VariationModel::paper();
+
+    // Kernel 6 gets its own iteration count: its per-op cost is small
+    // enough that the shared `mc_iters` would leave the median noisy.
+    let obs_iters = if smoke { 3 } else { 7 };
+
+    if obs_only {
+        eprintln!("# kernel 6 only: observability overhead, {samples}-sample MC point ({obs_iters} iters)");
+        let k6 = obs_overhead(&put, &variation, samples, obs_iters);
+        report_obs_overhead(&k6, samples, obs_iters, smoke);
+        return;
+    }
 
     eprintln!("# kernel 1: single transient ({iters} iters)");
     let k1 = single_transient(&put, iters);
@@ -682,6 +885,10 @@ fn main() {
         );
     }
 
+    eprintln!("# kernel 6: observability overhead, {samples}-sample MC point ({obs_iters} iters)");
+    let k6 = obs_overhead(&put, &variation, samples, obs_iters);
+    report_obs_overhead(&k6, samples, obs_iters, smoke);
+
     if smoke {
         eprintln!("smoke run: skipping BENCH_pr4.json");
         // Regression guards, not the speedup aspirations: neither
@@ -699,6 +906,18 @@ fn main() {
                 "sparse engine materially slower than dense on the 32-gate chain"
             );
         }
+        // Disabled-recorder overhead must stay within noise of the PR2/PR4
+        // hot path (full runs record the real number in BENCH_pr5.json; the
+        // slack absorbs scheduler noise on loaded CI runners), and an
+        // enabled recorder must not blow past any reasonable bound.
+        assert!(
+            (k6.disabled_ns as f64) < 1.25 * k6.plain_ns as f64,
+            "disabled-recorder path materially slower than the plain hot path in smoke run"
+        );
+        assert!(
+            (k6.enabled_ns as f64) < 2.0 * k6.disabled_ns as f64,
+            "enabled-recorder overhead far beyond expectation in smoke run"
+        );
         return;
     }
 

@@ -15,7 +15,7 @@
 use crate::gates::{CellKind, CmosBuilder, RopSite};
 use crate::tech::Tech;
 use pulsar_analog::{
-    propagation_delay, Circuit, Edge, Error, Integrator, NodeId, Polarity, SolverMode,
+    propagation_delay, Circuit, Edge, Error, Integrator, NodeId, Polarity, Recorder, SolverMode,
     SolverWorkspace, SymbolicCache, TraceCapture, TranConfig, TranResult, Waveform,
 };
 
@@ -687,6 +687,16 @@ impl BuiltPath {
     /// orders matters.
     pub fn set_dc_warm_start(&mut self, on: bool) {
         self.workspace.enable_dc_warm_start(on);
+    }
+
+    /// Installs a per-run observability [`Recorder`] on this path's
+    /// workspace: every subsequent solve records its counters, spans and
+    /// histograms there (in addition to the process-wide registry). The
+    /// default recorder is disabled and costs one branch per
+    /// instrumentation point. Recording never changes the arithmetic —
+    /// waveforms are bit-identical with the recorder on or off.
+    pub fn set_recorder(&mut self, rec: Recorder) {
+        self.workspace.set_recorder(rec);
     }
 
     /// Applies the retry-escalation ladder used after Newton

@@ -26,22 +26,32 @@
 
 use std::fmt::Write as _;
 use std::fs;
+use std::time::{Instant, SystemTime};
 
-use pulsar_analog::{parse_deck, solver_counters, to_csv, to_vcd, NodeId, TranConfig};
+use pulsar_analog::{
+    parse_deck, to_csv, to_vcd, NodeId, Recorder, SolverWorkspace, TraceCapture, TranConfig,
+};
 use pulsar_core::{
     all_branch_faults, compact_patterns, fault_simulate, plan_for_site, Campaign, PulsePattern,
     SiteOutcome, TestgenConfig,
 };
 use pulsar_logic::parse_iscas85;
+use pulsar_obs::{config_digest, render_journal, Counter as ObsCounter, Event, RunManifest};
 use pulsar_timing::TimingLibrary;
 
-/// CLI-level error: a message ready for stderr plus a process exit code.
+/// CLI-level error: a message ready for stderr plus an error kind, the
+/// source chain that produced it, and a process exit code.
 #[derive(Debug)]
 pub struct CliError {
     /// Human-readable message.
     pub message: String,
     /// Suggested process exit code.
     pub code: i32,
+    /// Stable error-kind label: `"usage"` or `"runtime"`.
+    pub kind: &'static str,
+    /// Underlying causes, outermost first (empty when the message says
+    /// it all).
+    pub chain: Vec<String>,
 }
 
 impl CliError {
@@ -49,6 +59,8 @@ impl CliError {
         CliError {
             message: msg.into(),
             code: 2,
+            kind: "usage",
+            chain: Vec::new(),
         }
     }
 
@@ -56,7 +68,52 @@ impl CliError {
         CliError {
             message: msg.into(),
             code: 1,
+            kind: "runtime",
+            chain: Vec::new(),
         }
+    }
+
+    /// A runtime error wrapping `e`: the message is `context: e` and the
+    /// chain collects `e`'s `source()` ancestry.
+    fn run_err(context: &str, e: &dyn std::error::Error) -> CliError {
+        let mut chain = Vec::new();
+        let mut cause = e.source();
+        while let Some(c) = cause {
+            chain.push(c.to_string());
+            cause = c.source();
+        }
+        CliError {
+            message: format!("{context}: {e}"),
+            code: 1,
+            kind: "runtime",
+            chain,
+        }
+    }
+
+    /// The structured stderr rendering used by the `pulsar` binary for
+    /// every diagnostic — lint, sim, and campaign failures all route
+    /// through here:
+    ///
+    /// ```text
+    /// pulsar: error[runtime]: transient: no convergence at t=1e-9
+    ///   caused by: ...
+    /// exit code 1 (0 = success, 1 = runtime failure, 2 = usage error)
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(out, "pulsar: error[{}]: {}", self.kind, self.message);
+        if !out.ends_with('\n') {
+            out.push('\n');
+        }
+        for cause in &self.chain {
+            let _ = writeln!(out, "  caused by: {cause}");
+        }
+        let _ = write!(
+            out,
+            "exit code {} (0 = success, 1 = runtime failure, 2 = usage error)",
+            self.code
+        );
+        out
     }
 }
 
@@ -74,10 +131,15 @@ pulsar — pulse-propagation testing toolchain
 
 USAGE:
   pulsar sim <deck.sp> [--nodes a,b] [--vcd FILE] [--csv FILE] [--no-lint] [--stats]
+             [--trace-out FILE] [--metrics FILE]
   pulsar lint <deck.sp>... [--json] [--deny-warnings]
   pulsar testgen <netlist.bench> [--site NAME] [--max-paths N]
-  pulsar campaign <netlist.bench> [--stride N]
+  pulsar campaign <netlist.bench> [--stride N] [--trace-out FILE] [--metrics FILE]
   pulsar faultsim <netlist.bench> [--tau SECONDS]
+
+  --trace-out FILE   write the structured JSONL event journal of the run
+  --metrics FILE     write the run manifest (config digest, wall clock,
+                     metric snapshot) as JSON
 ";
 
 /// Dispatches a full argument vector (without the program name). Returns
@@ -141,6 +203,43 @@ fn read(path: &str) -> Result<String, CliError> {
     fs::read_to_string(path).map_err(|e| CliError::run(format!("cannot read `{path}`: {e}")))
 }
 
+fn unix_ms() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX))
+        .unwrap_or(0)
+}
+
+/// Completes a manifest with the run's clock fields and final journal /
+/// metric state, writes it, and appends a "wrote" line to `out`.
+fn write_manifest(
+    mut manifest: RunManifest,
+    rec: &Recorder,
+    started_unix_ms: u64,
+    t0: Instant,
+    path: &str,
+    out: &mut String,
+) -> Result<(), CliError> {
+    manifest.started_unix_ms = started_unix_ms;
+    manifest.wall_ms = u64::try_from(t0.elapsed().as_millis()).unwrap_or(u64::MAX);
+    manifest.events = rec.event_count();
+    manifest.metrics = rec.snapshot();
+    let mut doc = manifest.render_json();
+    doc.push('\n');
+    fs::write(path, doc).map_err(|e| CliError::run(format!("write {path}: {e}")))?;
+    let _ = writeln!(out, "wrote {path}");
+    Ok(())
+}
+
+/// Writes the recorder's journal as JSONL and appends a "wrote" line.
+fn write_journal(rec: &Recorder, path: &str, out: &mut String) -> Result<(), CliError> {
+    let events = rec.events();
+    fs::write(path, render_journal(&events))
+        .map_err(|e| CliError::run(format!("write {path}: {e}")))?;
+    let _ = writeln!(out, "wrote {path} ({} events)", events.len());
+    Ok(())
+}
+
 /// `pulsar sim`: lint a deck, run its `.tran`, export waveforms.
 ///
 /// The static lint pass runs before any transient: error-severity
@@ -151,7 +250,7 @@ fn cmd_sim(args: &[String]) -> Result<String, CliError> {
     let text = read(path)?;
     let mut warnings = String::new();
     let deck = if has_flag(args, "--no-lint") {
-        parse_deck(&text).map_err(|e| CliError::run(format!("parse: {e}")))?
+        parse_deck(&text).map_err(|e| CliError::run_err("parse", &e))?
     } else {
         match pulsar_lint::load_deck(&text, &pulsar_lint::LintOptions::default()) {
             Ok((deck, report)) => {
@@ -172,12 +271,32 @@ fn cmd_sim(args: &[String]) -> Result<String, CliError> {
         .tran
         .clone()
         .ok_or_else(|| CliError::run("deck has no .tran directive"))?;
-    let counters_before = solver_counters();
+
+    // Per-run observability: enabled only when some output needs it, so a
+    // plain `pulsar sim` keeps the recorder on its branch-only fast path.
+    let metrics_out = flag_value(args, "--metrics");
+    let trace_out = flag_value(args, "--trace-out");
+    let want_obs = has_flag(args, "--stats") || metrics_out.is_some() || trace_out.is_some();
+    let rec = if want_obs {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let started_unix_ms = unix_ms();
+    let t0 = Instant::now();
+    let mut ws = SolverWorkspace::new();
+    ws.set_recorder(rec.clone());
     let result = deck
         .circuit
-        .transient(&tran)
-        .map_err(|e| CliError::run(format!("transient: {e}")))?;
-    let counters = solver_counters().since(&counters_before);
+        .transient_with(&tran, &mut ws, &TraceCapture::All)
+        .map_err(|e| CliError::run_err("transient", &e))?;
+    let snap = rec.snapshot();
+    if rec.is_enabled() {
+        let mut ev = Event::new("transient", 0);
+        ev.label = Some(path.to_owned());
+        ev.counters = snap.nonzero_counters();
+        rec.event(ev);
+    }
 
     // Node selection: --nodes a,b or every named node.
     let nodes: Vec<NodeId> = match flag_value(args, "--nodes") {
@@ -203,20 +322,30 @@ fn cmd_sim(args: &[String]) -> Result<String, CliError> {
         nodes.len()
     );
     if has_flag(args, "--stats") {
-        // Process-wide counter deltas around this run's transient; which
-        // engine ran depends on the MNA dimension (`Auto` crossover) and
-        // the PULSAR_FORCE_DENSE environment override.
+        // Counters scoped to this run's recorder — concurrent runs in the
+        // same process no longer bleed into each other. Which engine ran
+        // depends on the MNA dimension (`Auto` crossover) and the
+        // PULSAR_FORCE_DENSE environment override.
         let _ = writeln!(
             out,
             "solver stats: {} sparse solves ({} symbolic analyses, {} numeric factorizations, \
              {} Jacobian reuses), {} dense solves ({} iterations), {} dense fallbacks",
-            counters.sparse_solves,
-            counters.symbolic_analyses,
-            counters.numeric_factorizations,
-            counters.jacobian_reuses,
-            counters.dense_solves,
-            counters.dense_iterations,
-            counters.dense_fallbacks
+            snap.counter(ObsCounter::SparseSolves),
+            snap.counter(ObsCounter::SymbolicAnalyses),
+            snap.counter(ObsCounter::NumericFactorizations),
+            snap.counter(ObsCounter::JacobianReuses),
+            snap.counter(ObsCounter::DenseSolves),
+            snap.counter(ObsCounter::DenseIterations),
+            snap.counter(ObsCounter::DenseFallbacks)
+        );
+        let _ = writeln!(
+            out,
+            "transient stats: {} steps accepted, {} LTE rejections, {} Newton retries, \
+             {} Newton iterations",
+            snap.counter(ObsCounter::StepsAccepted),
+            snap.counter(ObsCounter::LteRejections),
+            snap.counter(ObsCounter::NewtonRetries),
+            snap.counter(ObsCounter::NewtonIterations)
         );
     }
     if let Some(f) = flag_value(args, "--vcd") {
@@ -239,6 +368,13 @@ fn cmd_sim(args: &[String]) -> Result<String, CliError> {
                 result.trace(n).last_value()
             );
         }
+    }
+    if let Some(f) = trace_out {
+        write_journal(&rec, f, &mut out)?;
+    }
+    if let Some(f) = metrics_out {
+        let manifest = RunManifest::new("sim", config_digest(&text));
+        write_manifest(manifest, &rec, started_unix_ms, t0, f, &mut out)?;
     }
     Ok(out)
 }
@@ -278,7 +414,7 @@ fn cmd_lint(args: &[String]) -> Result<String, CliError> {
 /// `pulsar testgen`: plans for one site (or the first gate output).
 fn cmd_testgen(args: &[String]) -> Result<String, CliError> {
     let path = positional(args).ok_or_else(|| CliError::usage("testgen: missing netlist path"))?;
-    let nl = parse_iscas85(&read(path)?).map_err(|e| CliError::run(format!("parse: {e}")))?;
+    let nl = parse_iscas85(&read(path)?).map_err(|e| CliError::run_err("parse", &e))?;
     let mut cfg = TestgenConfig::default();
     if let Some(n) = flag_value(args, "--max-paths").and_then(|v| v.parse().ok()) {
         cfg.max_paths = n;
@@ -296,7 +432,7 @@ fn cmd_testgen(args: &[String]) -> Result<String, CliError> {
 
     let lib = TimingLibrary::generic();
     let plans =
-        plan_for_site(&nl, site, &lib, &cfg).map_err(|e| CliError::run(format!("testgen: {e}")))?;
+        plan_for_site(&nl, site, &lib, &cfg).map_err(|e| CliError::run_err("testgen", &e))?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -325,17 +461,28 @@ fn cmd_testgen(args: &[String]) -> Result<String, CliError> {
 /// `pulsar campaign`: whole-netlist summary.
 fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let path = positional(args).ok_or_else(|| CliError::usage("campaign: missing netlist path"))?;
-    let nl = parse_iscas85(&read(path)?).map_err(|e| CliError::run(format!("parse: {e}")))?;
+    let text = read(path)?;
+    let nl = parse_iscas85(&text).map_err(|e| CliError::run_err("parse", &e))?;
     let stride = flag_value(args, "--stride")
         .and_then(|v| v.parse().ok())
         .unwrap_or(1);
+    let metrics_out = flag_value(args, "--metrics");
+    let trace_out = flag_value(args, "--trace-out");
+    let rec = if metrics_out.is_some() || trace_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let started_unix_ms = unix_ms();
+    let t0 = Instant::now();
     let campaign = Campaign {
         stride,
+        obs: rec.clone(),
         ..Campaign::default()
     };
     let report = campaign
         .run(&nl, &TimingLibrary::generic())
-        .map_err(|e| CliError::run(format!("campaign: {e}")))?;
+        .map_err(|e| CliError::run_err("campaign", &e))?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -372,13 +519,35 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
             report.coverage_at(r)
         );
     }
+    if rec.is_enabled() {
+        let snap = rec.snapshot();
+        let _ = writeln!(
+            out,
+            "observability: {} site events journaled ({} planned, {} unsensitizable, {} failed)",
+            rec.event_count(),
+            snap.counter(ObsCounter::SitesPlanned),
+            snap.counter(ObsCounter::SitesUnsensitizable),
+            snap.counter(ObsCounter::SitesFailed)
+        );
+    }
+    if let Some(f) = trace_out {
+        write_journal(&rec, f, &mut out)?;
+    }
+    if let Some(f) = metrics_out {
+        let mut manifest = RunManifest::new(
+            "campaign",
+            config_digest(&format!("stride={stride}\n{text}")),
+        );
+        manifest.threads = campaign.threads;
+        write_manifest(manifest, &rec, started_unix_ms, t0, f, &mut out)?;
+    }
     Ok(out)
 }
 
 /// `pulsar faultsim`: campaign patterns vs every branch fault.
 fn cmd_faultsim(args: &[String]) -> Result<String, CliError> {
     let path = positional(args).ok_or_else(|| CliError::usage("faultsim: missing netlist path"))?;
-    let nl = parse_iscas85(&read(path)?).map_err(|e| CliError::run(format!("parse: {e}")))?;
+    let nl = parse_iscas85(&read(path)?).map_err(|e| CliError::run_err("parse", &e))?;
     let tau = flag_value(args, "--tau")
         .and_then(|v| v.parse().ok())
         .unwrap_or(2e-9);
@@ -386,7 +555,7 @@ fn cmd_faultsim(args: &[String]) -> Result<String, CliError> {
     let lib = TimingLibrary::generic();
     let report = Campaign::default()
         .run(&nl, &lib)
-        .map_err(|e| CliError::run(format!("campaign: {e}")))?;
+        .map_err(|e| CliError::run_err("campaign", &e))?;
     let patterns: Vec<PulsePattern> = report
         .sites
         .iter()
@@ -397,7 +566,7 @@ fn cmd_faultsim(args: &[String]) -> Result<String, CliError> {
         .collect();
     let faults = all_branch_faults(&nl);
     let fsim = fault_simulate(&nl, &lib, &patterns, &faults, tau)
-        .map_err(|e| CliError::run(format!("fault simulation: {e}")))?;
+        .map_err(|e| CliError::run_err("fault simulation", &e))?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -594,5 +763,77 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         let e = dispatch(&["sim".into(), "/definitely/not/here.sp".into()]).unwrap_err();
         assert_eq!(e.code, 1);
         assert!(e.message.contains("cannot read"));
+    }
+
+    #[test]
+    fn errors_render_kind_and_exit_code_table() {
+        let e = dispatch(&["frobnicate".into()]).unwrap_err();
+        let r = e.render();
+        assert!(r.starts_with("pulsar: error[usage]:"), "{r}");
+        assert!(r.contains("exit code 2"), "{r}");
+        assert!(
+            r.contains("0 = success, 1 = runtime failure, 2 = usage error"),
+            "{r}"
+        );
+
+        let deck = tmp("render.sp", "t\nV1 a 0 1.0\nR1 a 0 1k\n.end\n");
+        let e = dispatch(&["sim".into(), deck]).unwrap_err();
+        assert!(e.render().contains("error[runtime]"), "{}", e.render());
+    }
+
+    #[test]
+    fn sim_writes_journal_and_manifest() {
+        let deck = tmp("obs.sp", DECK);
+        let trace = tmp("obs.jsonl", "");
+        let metrics = tmp("obs_manifest.json", "");
+        let out = dispatch(&[
+            "sim".into(),
+            deck,
+            "--trace-out".into(),
+            trace.clone(),
+            "--metrics".into(),
+            metrics.clone(),
+        ])
+        .unwrap();
+        assert!(out.contains("wrote"), "{out}");
+        let journal = fs::read_to_string(&trace).unwrap();
+        assert!(journal.contains("\"kind\":\"transient\""), "{journal}");
+        assert!(journal.contains("\"counters\""), "{journal}");
+        let manifest = fs::read_to_string(&metrics).unwrap();
+        assert!(manifest.contains("\"kind\":\"sim\""), "{manifest}");
+        assert!(manifest.contains("\"schema_version\""), "{manifest}");
+        assert!(manifest.contains("\"config_digest\""), "{manifest}");
+        assert!(manifest.contains("\"metrics\""), "{manifest}");
+        // The manifest must parse with the crate's own JSON parser.
+        pulsar_obs::json::parse(manifest.trim()).expect("manifest parses");
+    }
+
+    #[test]
+    fn campaign_writes_site_journal_and_manifest() {
+        let bench = tmp("c17obs.bench", C17);
+        let trace = tmp("c17obs.jsonl", "");
+        let metrics = tmp("c17obs_manifest.json", "");
+        let out = dispatch(&[
+            "campaign".into(),
+            bench,
+            "--trace-out".into(),
+            trace.clone(),
+            "--metrics".into(),
+            metrics.clone(),
+        ])
+        .unwrap();
+        assert!(out.contains("observability:"), "{out}");
+        let journal = fs::read_to_string(&trace).unwrap();
+        assert!(journal.contains("\"kind\":\"site\""), "{journal}");
+        // One event per probed site, consistent with the summary line.
+        let probed: usize = out
+            .lines()
+            .find(|l| l.contains("sites probed"))
+            .and_then(|l| l.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .expect("summary names the probed count");
+        assert_eq!(journal.lines().count(), probed);
+        let manifest = fs::read_to_string(&metrics).unwrap();
+        assert!(manifest.contains("\"kind\":\"campaign\""), "{manifest}");
     }
 }

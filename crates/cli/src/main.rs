@@ -1,11 +1,15 @@
 //! Thin shim around [`pulsar_cli::dispatch`]: collect args, print, exit.
+//!
+//! Every failure — usage, lint, sim, campaign — is rendered through the
+//! one structured formatter ([`pulsar_cli::CliError::render`]): error
+//! kind, source chain, and the exit-code table.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match pulsar_cli::dispatch(&args) {
         Ok(out) => print!("{out}"),
         Err(e) => {
-            eprintln!("pulsar: {e}");
+            eprintln!("{}", e.render());
             std::process::exit(e.code);
         }
     }

@@ -6,10 +6,12 @@
 //! paper's conclusion points to.
 
 use crate::error::CoreError;
+use crate::resilience::error_kind;
 use crate::testgen::{plan_for_site, PathTestPlan, TestgenConfig};
 use pulsar_analog::FaultPlan;
 use pulsar_logic::{collapsed_fault_sites, Netlist, SignalId};
 use pulsar_mc::Summary;
+use pulsar_obs::{Counter as ObsCounter, Event, Phase, Recorder};
 use pulsar_timing::TimingLibrary;
 use std::fmt::Write as _;
 
@@ -54,6 +56,10 @@ pub struct Campaign {
     /// the analog solver, so the plan is honored at this level. `None`
     /// in production.
     pub fault_plan: Option<FaultPlan>,
+    /// Observability recorder for the campaign. Disabled by default;
+    /// enabled, it times site enumeration, counts per-site outcomes, and
+    /// journals one `"site"` event per probed site.
+    pub obs: Recorder,
 }
 
 impl Default for Campaign {
@@ -64,6 +70,7 @@ impl Default for Campaign {
             threads: None,
             collapse: true,
             fault_plan: None,
+            obs: Recorder::disabled(),
         }
     }
 }
@@ -184,6 +191,7 @@ impl Campaign {
     /// Only structural netlist errors (e.g. a combinational loop) abort
     /// the whole campaign.
     pub fn run(&self, nl: &Netlist, lib: &TimingLibrary) -> Result<CampaignReport, CoreError> {
+        let setup_span = self.obs.span(Phase::StudySetup);
         nl.topological_order().map_err(CoreError::from)?;
 
         // Candidate sites: PIs + gate outputs — collapsed to group
@@ -199,6 +207,7 @@ impl Campaign {
             v
         };
         let sites: Vec<SignalId> = sites.into_iter().step_by(self.stride.max(1)).collect();
+        drop(setup_span);
 
         let threads = self
             .threads
@@ -251,6 +260,28 @@ impl Campaign {
         });
 
         let sites: Vec<(SignalId, SiteOutcome)> = sites.into_iter().zip(outcomes).collect();
+        if self.obs.is_enabled() {
+            for (i, (site, o)) in sites.iter().enumerate() {
+                let mut ev = Event::new("site", i);
+                ev.label = Some(format!("{site:?}"));
+                match o {
+                    SiteOutcome::Planned(_) => {
+                        ev.outcome = "planned";
+                        self.obs.add(ObsCounter::SitesPlanned, 1);
+                    }
+                    SiteOutcome::Unsensitizable => {
+                        ev.outcome = "unsensitizable";
+                        self.obs.add(ObsCounter::SitesUnsensitizable, 1);
+                    }
+                    SiteOutcome::Failed(e) => {
+                        ev.outcome = "failed";
+                        ev.error_kind = Some(error_kind(e).to_owned());
+                        self.obs.add(ObsCounter::SitesFailed, 1);
+                    }
+                }
+                self.obs.event(ev);
+            }
+        }
         let planned = sites
             .iter()
             .filter(|(_, o)| matches!(o, SiteOutcome::Planned(_)))

@@ -4,6 +4,7 @@
 use crate::error::CoreError;
 use pulsar_analog::{Edge, Polarity};
 use pulsar_cells::{BuiltPath, PathFault, PathSpec, RopSite, Tech};
+use pulsar_obs::Recorder;
 use pulsar_timing::PathTimingModel;
 
 /// The defect class injected into a path under test.
@@ -204,6 +205,17 @@ pub trait PathInstance {
     fn set_dc_warm_start(&mut self, on: bool) {
         let _ = on;
     }
+
+    /// Installs a per-run observability recorder so this instance's
+    /// solver-level counters, histograms, and spans land in the caller's
+    /// registry. Recording never changes arithmetic: with a disabled
+    /// recorder (the default) every instrumentation call is a single
+    /// branch.
+    ///
+    /// Default: no-op — engines without instrumentation drop the handle.
+    fn set_recorder(&mut self, rec: Recorder) {
+        let _ = rec;
+    }
 }
 
 /// Transistor-level path instance (wraps [`BuiltPath`]).
@@ -246,6 +258,10 @@ impl PathInstance for AnalogPath {
 
     fn set_dc_warm_start(&mut self, on: bool) {
         self.inner.set_dc_warm_start(on);
+    }
+
+    fn set_recorder(&mut self, rec: Recorder) {
+        self.inner.set_recorder(rec);
     }
 }
 

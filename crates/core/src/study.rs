@@ -6,12 +6,13 @@ use crate::calib::{calibrate_pulse, calibrate_t0, DfCalibration, PulseCalibratio
 use crate::df::FfTiming;
 use crate::engine::{AnalogPath, PathInstance, PathUnderTest};
 use crate::error::CoreError;
-use crate::resilience::{is_retryable, FailureReport, McRunReport, ResilienceConfig};
+use crate::resilience::{error_kind, is_retryable, FailureReport, McRunReport, ResilienceConfig};
 use crate::transfer::TransferCurve;
 use crate::variation::VariationModel;
 use pulsar_analog::{FaultPlan, Polarity, SymbolicCache};
 use pulsar_cells::Tech;
-use pulsar_mc::MonteCarlo;
+use pulsar_mc::{MonteCarlo, SampleOutcome};
+use pulsar_obs::{Counter as ObsCounter, Event, Phase, Recorder};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -36,6 +37,12 @@ pub struct McConfig {
     /// only within solver tolerances, so leave it off wherever
     /// bit-identical reproducibility matters more than speed.
     pub dc_warm_start: bool,
+    /// Observability recorder for the run. Disabled by default — every
+    /// instrumentation call is then a single branch and the run is
+    /// bit-identical to an uninstrumented one. Install an enabled
+    /// recorder to collect per-sample journal events, solver counters,
+    /// and phase timings for the whole study.
+    pub obs: Recorder,
 }
 
 impl McConfig {
@@ -49,6 +56,7 @@ impl McConfig {
             resilience: ResilienceConfig::default(),
             fault_plan: None,
             dc_warm_start: false,
+            obs: Recorder::disabled(),
         }
     }
 
@@ -78,16 +86,79 @@ impl McConfig {
         T: Send,
         F: Fn(usize, u32, &mut StdRng) -> Result<T, CoreError> + Sync,
     {
+        self.try_run_samples_with("mc", move |i, attempt, rng, _rec| f(i, attempt, rng))
+    }
+
+    /// Like [`McConfig::try_run_samples`], additionally handing each
+    /// sample a private [`Recorder`] forked from [`McConfig::obs`], so
+    /// solver counters attribute to individual samples without cross-shard
+    /// contention. After the run, one `"sample"` journal event per sample
+    /// (labelled `label`, in index order) records the outcome, attempts,
+    /// escalation rung, RNG stream seed, and that sample's non-zero
+    /// counters — the raw material for post-hoc diagnosis of retries and
+    /// budget spend. With a disabled recorder all of this is inert.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`McConfig::try_run_samples`].
+    pub fn try_run_samples_with<T, F>(
+        &self,
+        label: &'static str,
+        f: F,
+    ) -> Result<McRunReport<T>, CoreError>
+    where
+        T: Send,
+        F: Fn(usize, u32, &mut StdRng, &Recorder) -> Result<T, CoreError> + Sync,
+    {
         let plan = self.fault_plan.clone().unwrap_or_default();
-        let outcomes = self.driver().try_run(
+        let driver = self.driver();
+        // Fork on the main thread so shard creation order is deterministic
+        // regardless of worker scheduling.
+        let sample_recs: Vec<Recorder> = (0..self.samples).map(|_| self.obs.fork()).collect();
+        let outcomes = driver.try_run(
             self.resilience.max_attempts,
             is_retryable,
             |i, attempt, rng| {
+                let rec = &sample_recs[i];
+                let _span = rec.span(Phase::McSample);
                 // Inert unless a test installed a plan naming sample `i`.
                 let _fault = plan.arm(i, attempt);
-                f(i, attempt, rng)
+                f(i, attempt, rng, rec)
             },
         );
+        if self.obs.is_enabled() {
+            for (i, (o, rec)) in outcomes.iter().zip(&sample_recs).enumerate() {
+                let mut ev = Event::new("sample", i);
+                ev.label = Some(label.to_owned());
+                ev.seed = Some(driver.stream_seed(i));
+                match o {
+                    SampleOutcome::Ok(_) => {
+                        self.obs.add(ObsCounter::SamplesOk, 1);
+                    }
+                    SampleOutcome::Recovered { attempts, .. } => {
+                        ev.outcome = "recovered";
+                        ev.attempts = *attempts;
+                        self.obs.add(ObsCounter::SamplesRecovered, 1);
+                    }
+                    SampleOutcome::Failed { error, attempts } => {
+                        ev.outcome = "failed";
+                        ev.attempts = *attempts;
+                        ev.error_kind = Some(error_kind(error).to_owned());
+                        self.obs.add(ObsCounter::SamplesFailed, 1);
+                    }
+                }
+                ev.escalation_rung = ev.attempts.saturating_sub(1);
+                self.obs
+                    .add(ObsCounter::RetryAttempts, u64::from(ev.escalation_rung));
+                ev.counters = rec.local_snapshot().nonzero_counters();
+                self.obs.event(ev);
+            }
+        }
+        // Fold per-sample shards into the registry accumulator so a long
+        // campaign of many runs does not grow the live set without bound.
+        for rec in &sample_recs {
+            rec.retire();
+        }
         let failures = FailureReport::from_outcomes(&outcomes, self.resilience.failure_budget);
         if failures.exceeds_budget() {
             return Err(CoreError::FailureBudgetExceeded {
@@ -221,13 +292,15 @@ impl DfStudy {
         lint_preflight(&self.put, None)?;
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
         let symbolic = prime_symbolic_with(|| self.put.instantiate_fault_free(&nominal_techs));
-        self.mc.try_run_samples(|_, attempt, rng| {
-            let (techs, ff) = self.draw(rng);
-            let mut p = self.put.instantiate_fault_free(&techs);
-            adopt_symbolic(&mut p, &symbolic);
-            prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
-            Ok(p.worst_delay()? + ff.overhead())
-        })
+        self.mc
+            .try_run_samples_with("df-fault-free", |_, attempt, rng, rec| {
+                let (techs, ff) = self.draw(rng);
+                let mut p = self.put.instantiate_fault_free(&techs);
+                p.set_recorder(rec.clone());
+                adopt_symbolic(&mut p, &symbolic);
+                prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
+                Ok(p.worst_delay()? + ff.overhead())
+            })
     }
 
     /// Fault-free slack need (worst path delay + flop overhead) of the
@@ -265,18 +338,20 @@ impl DfStudy {
         let r_values = r_values.to_vec();
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
         let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
-        self.mc.try_run_samples(move |_, attempt, rng| {
-            let (techs, ff) = self.draw(rng);
-            let mut p = self.put.instantiate(&techs, r_values[0]);
-            adopt_symbolic(&mut p, &symbolic);
-            prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
-            let mut row = Vec::with_capacity(r_values.len());
-            for &r in &r_values {
-                p.set_resistance(r)?;
-                row.push(p.worst_delay()? + ff.overhead());
-            }
-            Ok(row)
-        })
+        self.mc
+            .try_run_samples_with("df-faulty", move |_, attempt, rng, rec| {
+                let (techs, ff) = self.draw(rng);
+                let mut p = self.put.instantiate(&techs, r_values[0]);
+                p.set_recorder(rec.clone());
+                adopt_symbolic(&mut p, &symbolic);
+                prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
+                let mut row = Vec::with_capacity(r_values.len());
+                for &r in &r_values {
+                    p.set_resistance(r)?;
+                    row.push(p.worst_delay()? + ff.overhead());
+                }
+                Ok(row)
+            })
     }
 
     /// Slack needs of every *resolved* instance at every defect
@@ -416,13 +491,15 @@ impl PulseStudy {
         lint_preflight(&self.put, None)?;
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
         let symbolic = prime_symbolic_with(|| self.put.instantiate_fault_free(&nominal_techs));
-        self.mc.try_run_samples(move |_, attempt, rng| {
-            let (techs, gen_factor) = self.draw_techs(rng);
-            let mut p = self.put.instantiate_fault_free(&techs);
-            adopt_symbolic(&mut p, &symbolic);
-            prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
-            p.pulse_width_out(w_in * gen_factor, self.polarity)
-        })
+        self.mc
+            .try_run_samples_with("pulse-fault-free", move |_, attempt, rng, rec| {
+                let (techs, gen_factor) = self.draw_techs(rng);
+                let mut p = self.put.instantiate_fault_free(&techs);
+                p.set_recorder(rec.clone());
+                adopt_symbolic(&mut p, &symbolic);
+                prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
+                p.pulse_width_out(w_in * gen_factor, self.polarity)
+            })
     }
 
     /// Output widths of every *resolved* fault-free MC instance at
@@ -447,13 +524,16 @@ impl PulseStudy {
         lint_preflight(&self.put, None)?;
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
         let symbolic = prime_symbolic_with(|| self.put.instantiate_fault_free(&nominal_techs));
-        let report = self.mc.try_run_samples(move |_, attempt, rng| {
-            let (techs, _) = self.draw_techs(rng);
-            let mut p = self.put.instantiate_fault_free(&techs);
-            adopt_symbolic(&mut p, &symbolic);
-            prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
-            p.pulse_width_out(w_in, self.polarity)
-        })?;
+        let report =
+            self.mc
+                .try_run_samples_with("pulse-fixed-width", move |_, attempt, rng, rec| {
+                    let (techs, _) = self.draw_techs(rng);
+                    let mut p = self.put.instantiate_fault_free(&techs);
+                    p.set_recorder(rec.clone());
+                    adopt_symbolic(&mut p, &symbolic);
+                    prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
+                    p.pulse_width_out(w_in, self.polarity)
+                })?;
         Ok(report.into_resolved())
     }
 
@@ -498,18 +578,20 @@ impl PulseStudy {
         let r_values = r_values.to_vec();
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
         let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
-        self.mc.try_run_samples(move |_, attempt, rng| {
-            let (techs, gen_factor) = self.draw_techs(rng);
-            let mut p = self.put.instantiate(&techs, r_values[0]);
-            adopt_symbolic(&mut p, &symbolic);
-            prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
-            let mut row = Vec::with_capacity(r_values.len());
-            for &r in &r_values {
-                p.set_resistance(r)?;
-                row.push(p.pulse_width_out(w_in * gen_factor, self.polarity)?);
-            }
-            Ok(row)
-        })
+        self.mc
+            .try_run_samples_with("pulse-faulty", move |_, attempt, rng, rec| {
+                let (techs, gen_factor) = self.draw_techs(rng);
+                let mut p = self.put.instantiate(&techs, r_values[0]);
+                p.set_recorder(rec.clone());
+                adopt_symbolic(&mut p, &symbolic);
+                prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
+                let mut row = Vec::with_capacity(r_values.len());
+                for &r in &r_values {
+                    p.set_resistance(r)?;
+                    row.push(p.pulse_width_out(w_in * gen_factor, self.polarity)?);
+                }
+                Ok(row)
+            })
     }
 
     /// Output widths of every *resolved* instance at every resistance:

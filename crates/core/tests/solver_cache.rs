@@ -11,11 +11,15 @@
 //! runs as its own integration-test binary: nothing else in the process
 //! touches the solver while it measures.
 
+// This test is *about* the process-global legacy view: it pins the
+// topology-wide analysis count across samples that share no workspace.
+#[allow(deprecated)]
 use pulsar_analog::solver_counters;
 use pulsar_cells::{PathSpec, Tech};
 use pulsar_core::{DefectKind, DfStudy, McConfig, PathUnderTest};
 
 #[test]
+#[allow(deprecated)]
 fn study_runs_exactly_one_symbolic_analysis_per_topology() {
     // 32 stages → 36 MNA unknowns, above the sparse crossover, so
     // SolverMode::Auto engages the sparse engine without any forcing.

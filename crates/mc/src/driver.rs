@@ -66,7 +66,14 @@ impl MonteCarlo {
     /// The RNG sample `i` will receive — exposed so callers can regenerate
     /// a single instance (e.g. to re-simulate one outlier with tracing).
     pub fn rng_for(&self, i: usize) -> StdRng {
-        StdRng::seed_from_u64(mix(self.seed, i as u64))
+        StdRng::seed_from_u64(self.stream_seed(i))
+    }
+
+    /// The derived 64-bit seed behind sample `i`'s RNG stream. Journals
+    /// record this per sample so one instance can be replayed standalone
+    /// (`StdRng::seed_from_u64`) without re-deriving the mixing function.
+    pub fn stream_seed(&self, i: usize) -> u64 {
+        mix(self.seed, i as u64)
     }
 
     /// Runs `f(i, rng)` for `i in 0..n` and returns results in index order.

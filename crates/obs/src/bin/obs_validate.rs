@@ -1,0 +1,39 @@
+//! `obs-validate`: checks a JSON document against a subset JSON Schema.
+//!
+//! Usage: `obs-validate <schema.json> <document.json>`
+//!
+//! Exit codes: 0 valid, 1 invalid or unreadable, 2 usage error. Used by
+//! CI to hold `pulsar sim --metrics` output to the checked-in schema.
+
+use std::process::ExitCode;
+
+fn run() -> Result<(), (String, u8)> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [schema_path, doc_path] = args.as_slice() else {
+        return Err((
+            "usage: obs-validate <schema.json> <document.json>".to_owned(),
+            2,
+        ));
+    };
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| (format!("cannot read {path}: {e}"), 1))
+    };
+    let schema = pulsar_obs::json::parse(&read(schema_path)?)
+        .map_err(|e| (format!("{schema_path}: {e}"), 1))?;
+    let doc =
+        pulsar_obs::json::parse(&read(doc_path)?).map_err(|e| (format!("{doc_path}: {e}"), 1))?;
+    pulsar_obs::json::validate(&schema, &doc)
+        .map_err(|e| (format!("{doc_path}: schema violation: {e}"), 1))?;
+    println!("{doc_path}: valid");
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err((msg, code)) => {
+            eprintln!("obs-validate: {msg}");
+            ExitCode::from(code)
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Structured event journal: one JSON object per line (JSONL), with a
+//! fixed field order so renders are byte-stable across runs, platforms,
+//! and thread counts.
+//!
+//! Events deliberately carry **no wall-clock data** — durations live in
+//! the metrics histograms — so journals from deterministic runs are
+//! golden-testable.
+
+use crate::json::json_str;
+
+/// One journal entry. `kind` distinguishes the event families:
+/// `"sample"` (one Monte Carlo sample), `"site"` (one campaign defect
+/// site), `"transient"` (one standalone simulation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Event family: `"sample"`, `"site"`, or `"transient"`.
+    pub kind: &'static str,
+    /// Sample or site index within the run.
+    pub index: usize,
+    /// Optional human label (a site description, a deck name).
+    pub label: Option<String>,
+    /// RNG stream seed of the sample, when one exists.
+    pub seed: Option<u64>,
+    /// Outcome label: `"ok"`, `"recovered"`, `"failed"`, `"planned"`,
+    /// `"unsensitizable"`.
+    pub outcome: &'static str,
+    /// Attempts consumed (1 = first try succeeded).
+    pub attempts: u32,
+    /// Robustness escalation rung reached (0 = nominal configuration).
+    pub escalation_rung: u32,
+    /// Stable failure-kind label when the outcome is a failure.
+    pub error_kind: Option<String>,
+    /// Counters attributed to this event, canonical order, zeros omitted.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl Event {
+    /// A minimal `"ok"` event of the given kind and index.
+    pub fn new(kind: &'static str, index: usize) -> Event {
+        Event {
+            kind,
+            index,
+            label: None,
+            seed: None,
+            outcome: "ok",
+            attempts: 1,
+            escalation_rung: 0,
+            error_kind: None,
+            counters: Vec::new(),
+        }
+    }
+
+    /// Renders the event as one JSON line (no trailing newline). Field
+    /// order is fixed: kind, index, label?, seed?, outcome, attempts,
+    /// escalation_rung, error_kind?, counters.
+    pub fn render_jsonl(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"kind\":{},\"index\":{}",
+            json_str(self.kind),
+            self.index
+        );
+        if let Some(label) = &self.label {
+            let _ = write!(out, ",\"label\":{}", json_str(label));
+        }
+        if let Some(seed) = self.seed {
+            let _ = write!(out, ",\"seed\":{seed}");
+        }
+        let _ = write!(
+            out,
+            ",\"outcome\":{},\"attempts\":{},\"escalation_rung\":{}",
+            json_str(self.outcome),
+            self.attempts,
+            self.escalation_rung
+        );
+        if let Some(kind) = &self.error_kind {
+            let _ = write!(out, ",\"error_kind\":{}", json_str(kind));
+        }
+        out.push_str(",\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_str(name), value);
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Renders a journal as JSONL: one event per line, trailing newline after
+/// the last line (empty journals render as the empty string).
+pub fn render_journal(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&e.render_jsonl());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn minimal_event_renders_fixed_fields() {
+        let e = Event::new("transient", 0);
+        assert_eq!(
+            e.render_jsonl(),
+            "{\"kind\":\"transient\",\"index\":0,\"outcome\":\"ok\",\
+             \"attempts\":1,\"escalation_rung\":0,\"counters\":{}}"
+        );
+    }
+
+    #[test]
+    fn full_event_renders_all_fields_in_order() {
+        let e = Event {
+            kind: "sample",
+            index: 3,
+            label: Some("site \"x\"".to_owned()),
+            seed: Some(42),
+            outcome: "failed",
+            attempts: 3,
+            escalation_rung: 2,
+            error_kind: Some("non-convergence".to_owned()),
+            counters: vec![("sparse_solves", 12), ("newton_iterations", 96)],
+        };
+        assert_eq!(
+            e.render_jsonl(),
+            "{\"kind\":\"sample\",\"index\":3,\"label\":\"site \\\"x\\\"\",\
+             \"seed\":42,\"outcome\":\"failed\",\"attempts\":3,\
+             \"escalation_rung\":2,\"error_kind\":\"non-convergence\",\
+             \"counters\":{\"sparse_solves\":12,\"newton_iterations\":96}}"
+        );
+    }
+
+    #[test]
+    fn journal_is_one_line_per_event() {
+        let j = render_journal(&[Event::new("sample", 0), Event::new("sample", 1)]);
+        assert_eq!(j.lines().count(), 2);
+        assert!(j.ends_with('\n'));
+    }
+}

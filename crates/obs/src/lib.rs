@@ -1,0 +1,33 @@
+//! `pulsar-obs`: structured observability for the pulsar stack.
+//!
+//! Four pieces, threaded through solver → Monte Carlo → campaign:
+//!
+//! 1. A **metrics registry** ([`Recorder`], [`MetricsSnapshot`]): named
+//!    counters and fixed-bucket log2 histograms, sharded per thread (or
+//!    per sample) and merged on snapshot, so scoped per-run statistics
+//!    replace process-wide globals.
+//! 2. **Spans** ([`Recorder::span`], [`Phase`]): RAII timers over the hot
+//!    phases, with a disabled fast path that never reads the clock.
+//! 3. A **structured event journal** ([`Event`], [`render_journal`]):
+//!    one JSON line per sample/site outcome — seed, retry count,
+//!    escalation rung, failure kind, attributed counters — deterministic
+//!    and golden-testable.
+//! 4. **Run manifests** ([`RunManifest`]): a reproducibility record with
+//!    config digest, seeds, wall-clock, and the final metric snapshot.
+//!
+//! The [`json`] module carries the offline-friendly JSON parser and the
+//! subset schema validator behind the `obs-validate` binary.
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+pub mod journal;
+pub mod json;
+pub mod manifest;
+pub mod metrics;
+pub mod recorder;
+
+pub use journal::{render_journal, Event};
+pub use manifest::{config_digest, RunManifest, SCHEMA_VERSION};
+pub use metrics::{Counter, HistId, MetricsSnapshot, Phase, HIST_BUCKETS};
+pub use recorder::{Recorder, Span};

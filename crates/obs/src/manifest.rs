@@ -1,0 +1,135 @@
+//! Run manifests: a reproducibility record emitted at the start/end of a
+//! run — what configuration ran, with which seeds, for how long, and the
+//! final metric snapshot.
+
+use crate::json::json_str;
+use crate::metrics::MetricsSnapshot;
+
+/// Version of the manifest/metrics JSON layout; bumped on breaking change.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// FNV-1a digest of a configuration's `Debug` representation — stable for
+/// a given config on a given build, cheap, and dependency-free. Two runs
+/// with the same digest ran the same configuration.
+pub fn config_digest(debug_repr: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in debug_repr.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The reproducibility record for one run (`pulsar sim`, a Monte Carlo
+/// study, or a campaign).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    /// Run family: `"sim"`, `"study"`, or `"campaign"`.
+    pub kind: String,
+    /// [`config_digest`] of the run configuration.
+    pub config_digest: u64,
+    /// Master seed, when the run is seeded.
+    pub seed: Option<u64>,
+    /// Monte Carlo sample count, when applicable.
+    pub samples: Option<usize>,
+    /// Worker thread count, when applicable.
+    pub threads: Option<usize>,
+    /// Technology summary (name or key parameters), when applicable.
+    pub tech: Option<String>,
+    /// Wall-clock start, milliseconds since the Unix epoch.
+    pub started_unix_ms: u64,
+    /// Total wall-clock duration of the run in milliseconds.
+    pub wall_ms: u64,
+    /// Number of journal events the run emitted.
+    pub events: usize,
+    /// Merged metric snapshot at end of run.
+    pub metrics: MetricsSnapshot,
+}
+
+impl RunManifest {
+    /// A manifest with the given kind and config digest; every optional
+    /// field unset and the clock fields zeroed.
+    pub fn new(kind: impl Into<String>, config_digest: u64) -> RunManifest {
+        RunManifest {
+            kind: kind.into(),
+            config_digest,
+            seed: None,
+            samples: None,
+            threads: None,
+            tech: None,
+            started_unix_ms: 0,
+            wall_ms: 0,
+            events: 0,
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    /// Renders the manifest as a single-line JSON object with a fixed key
+    /// order. The digest is rendered as a hex string (a raw u64 can exceed
+    /// JSON's interoperable integer range).
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"schema_version\":{SCHEMA_VERSION},\"tool\":\"pulsar\",\
+             \"version\":{},\"kind\":{},\"config_digest\":\"{:#018x}\"",
+            json_str(env!("CARGO_PKG_VERSION")),
+            json_str(&self.kind),
+            self.config_digest
+        );
+        if let Some(seed) = self.seed {
+            let _ = write!(out, ",\"seed\":{seed}");
+        }
+        if let Some(samples) = self.samples {
+            let _ = write!(out, ",\"samples\":{samples}");
+        }
+        if let Some(threads) = self.threads {
+            let _ = write!(out, ",\"threads\":{threads}");
+        }
+        if let Some(tech) = &self.tech {
+            let _ = write!(out, ",\"tech\":{}", json_str(tech));
+        }
+        let _ = write!(
+            out,
+            ",\"started_unix_ms\":{},\"wall_ms\":{},\"events\":{},\"metrics\":{}}}",
+            self.started_unix_ms,
+            self.wall_ms,
+            self.events,
+            self.metrics.render_json()
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn digest_is_stable_and_input_sensitive() {
+        let a = config_digest("McConfig { samples: 100 }");
+        assert_eq!(a, config_digest("McConfig { samples: 100 }"));
+        assert_ne!(a, config_digest("McConfig { samples: 101 }"));
+    }
+
+    #[test]
+    fn manifest_renders_parseable_json() {
+        let mut m = RunManifest::new("sim", config_digest("cfg"));
+        m.seed = Some(2007);
+        m.samples = Some(64);
+        m.threads = Some(2);
+        m.tech = Some("generic 180nm".to_owned());
+        m.wall_ms = 12;
+        let doc = json::parse(&m.render_json()).unwrap();
+        assert_eq!(doc.get("kind").unwrap().as_str().unwrap(), "sim");
+        assert_eq!(doc.get("seed").unwrap().as_num().unwrap(), 2007.0);
+        assert_eq!(
+            doc.get("schema_version").unwrap().as_num().unwrap(),
+            SCHEMA_VERSION as f64
+        );
+        assert!(doc.get("metrics").unwrap().get("counters").is_some());
+    }
+}

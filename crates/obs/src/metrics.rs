@@ -1,0 +1,454 @@
+//! Sharded metrics: named counters, log2-bucket histograms, and span totals.
+//!
+//! A [`Shard`](crate::recorder::Recorder) owner increments relaxed atomics;
+//! snapshots sum shards in arbitrary order, so a merged
+//! [`MetricsSnapshot`] is independent of how work was split across threads
+//! (addition is commutative and every increment is a plain `+=`).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of log2 buckets per histogram. Bucket `b > 0` covers values in
+/// `[2^(b-1), 2^b)`; bucket `0` covers `{0, 1}` (values of 0 and 1 both
+/// land there). 32 buckets cover every nanosecond duration up to ~2 s and
+/// every iteration count the solver can produce.
+pub const HIST_BUCKETS: usize = 32;
+
+/// Scalar event counters, in canonical rendering order.
+///
+/// The first block mirrors the legacy `SolverCounters` fields one-for-one
+/// (the deprecated `solver_counters()` shim is rebuilt from these); the
+/// rest are new with this subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Newton solves dispatched to the sparse engine.
+    SparseSolves,
+    /// Newton solves run by the dense engine (including fallbacks).
+    DenseSolves,
+    /// Newton iterations executed by the dense engine.
+    DenseIterations,
+    /// Newton iterations executed by any engine.
+    NewtonIterations,
+    /// Fresh symbolic analyses (maximum transversal + ordering + pattern).
+    SymbolicAnalyses,
+    /// Numeric LU refactorizations on a cached symbolic pattern.
+    NumericFactorizations,
+    /// Newton iterations that reused the previous factorization (chord steps).
+    JacobianReuses,
+    /// Sparse attempts abandoned to the dense engine.
+    DenseFallbacks,
+    /// Transient time points accepted (step-budget spend).
+    StepsAccepted,
+    /// Transient steps rejected by local-truncation-error control.
+    LteRejections,
+    /// Transient steps retried after a Newton failure.
+    NewtonRetries,
+    /// Monte Carlo samples that succeeded on the first attempt.
+    SamplesOk,
+    /// Monte Carlo samples that succeeded after at least one retry.
+    SamplesRecovered,
+    /// Monte Carlo samples that exhausted their attempts.
+    SamplesFailed,
+    /// Extra Monte Carlo attempts beyond the first, across all samples.
+    RetryAttempts,
+    /// Campaign sites that produced a test plan.
+    SitesPlanned,
+    /// Campaign sites with no sensitizable path.
+    SitesUnsensitizable,
+    /// Campaign sites whose electrical analysis failed.
+    SitesFailed,
+}
+
+impl Counter {
+    /// Number of counters.
+    pub const COUNT: usize = 18;
+
+    /// Every counter, in canonical order.
+    pub const ALL: [Counter; Counter::COUNT] = [
+        Counter::SparseSolves,
+        Counter::DenseSolves,
+        Counter::DenseIterations,
+        Counter::NewtonIterations,
+        Counter::SymbolicAnalyses,
+        Counter::NumericFactorizations,
+        Counter::JacobianReuses,
+        Counter::DenseFallbacks,
+        Counter::StepsAccepted,
+        Counter::LteRejections,
+        Counter::NewtonRetries,
+        Counter::SamplesOk,
+        Counter::SamplesRecovered,
+        Counter::SamplesFailed,
+        Counter::RetryAttempts,
+        Counter::SitesPlanned,
+        Counter::SitesUnsensitizable,
+        Counter::SitesFailed,
+    ];
+
+    /// Stable snake_case name used in JSON output and journal events.
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::SparseSolves => "sparse_solves",
+            Counter::DenseSolves => "dense_solves",
+            Counter::DenseIterations => "dense_iterations",
+            Counter::NewtonIterations => "newton_iterations",
+            Counter::SymbolicAnalyses => "symbolic_analyses",
+            Counter::NumericFactorizations => "numeric_factorizations",
+            Counter::JacobianReuses => "jacobian_reuses",
+            Counter::DenseFallbacks => "dense_fallbacks",
+            Counter::StepsAccepted => "steps_accepted",
+            Counter::LteRejections => "lte_rejections",
+            Counter::NewtonRetries => "newton_retries",
+            Counter::SamplesOk => "samples_ok",
+            Counter::SamplesRecovered => "samples_recovered",
+            Counter::SamplesFailed => "samples_failed",
+            Counter::RetryAttempts => "retry_attempts",
+            Counter::SitesPlanned => "sites_planned",
+            Counter::SitesUnsensitizable => "sites_unsensitizable",
+            Counter::SitesFailed => "sites_failed",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Hot phases timed by spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Phase {
+    /// Fresh symbolic analysis of the MNA pattern.
+    SymbolicAnalysis,
+    /// Numeric refactorization on a cached symbolic pattern.
+    NumericRefactorize,
+    /// One full Newton solve (any engine).
+    NewtonSolve,
+    /// The transient time-step loop of one simulation.
+    TransientStepLoop,
+    /// One Monte Carlo sample body (all attempts).
+    McSample,
+    /// Study or campaign setup (lint preflight, site enumeration).
+    StudySetup,
+}
+
+impl Phase {
+    /// Number of phases.
+    pub const COUNT: usize = 6;
+
+    /// Every phase, in canonical order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::SymbolicAnalysis,
+        Phase::NumericRefactorize,
+        Phase::NewtonSolve,
+        Phase::TransientStepLoop,
+        Phase::McSample,
+        Phase::StudySetup,
+    ];
+
+    /// Stable snake_case name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::SymbolicAnalysis => "symbolic_analysis",
+            Phase::NumericRefactorize => "numeric_refactorize",
+            Phase::NewtonSolve => "newton_solve",
+            Phase::TransientStepLoop => "transient_step_loop",
+            Phase::McSample => "mc_sample",
+            Phase::StudySetup => "study_setup",
+        }
+    }
+
+    fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// Histogram identifier: one duration histogram per phase plus the Newton
+/// iterations-per-solve distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HistId {
+    /// Span duration in nanoseconds for a phase.
+    PhaseNs(Phase),
+    /// Newton iterations per solve (any engine).
+    NewtonItersPerSolve,
+}
+
+/// Total number of histograms.
+pub(crate) const HIST_COUNT: usize = Phase::COUNT + 1;
+
+impl HistId {
+    /// Every histogram, in canonical order.
+    pub const ALL: [HistId; HIST_COUNT] = [
+        HistId::PhaseNs(Phase::SymbolicAnalysis),
+        HistId::PhaseNs(Phase::NumericRefactorize),
+        HistId::PhaseNs(Phase::NewtonSolve),
+        HistId::PhaseNs(Phase::TransientStepLoop),
+        HistId::PhaseNs(Phase::McSample),
+        HistId::PhaseNs(Phase::StudySetup),
+        HistId::NewtonItersPerSolve,
+    ];
+
+    /// Stable snake_case name used in JSON output.
+    pub fn name(self) -> &'static str {
+        match self {
+            HistId::PhaseNs(Phase::SymbolicAnalysis) => "symbolic_analysis_ns",
+            HistId::PhaseNs(Phase::NumericRefactorize) => "numeric_refactorize_ns",
+            HistId::PhaseNs(Phase::NewtonSolve) => "newton_solve_ns",
+            HistId::PhaseNs(Phase::TransientStepLoop) => "transient_step_loop_ns",
+            HistId::PhaseNs(Phase::McSample) => "mc_sample_ns",
+            HistId::PhaseNs(Phase::StudySetup) => "study_setup_ns",
+            HistId::NewtonItersPerSolve => "newton_iters_per_solve",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            HistId::PhaseNs(p) => p.index(),
+            HistId::NewtonItersPerSolve => Phase::COUNT,
+        }
+    }
+}
+
+/// Log2 bucket for a value: 0 and 1 land in bucket 0, otherwise
+/// `floor(log2(v)) + 1`, saturating at the last bucket.
+pub(crate) fn bucket_of(v: u64) -> usize {
+    if v <= 1 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// One thread's (or one sample's) private slice of the registry: plain
+/// relaxed atomics, no locks on the increment path.
+pub(crate) struct Shard {
+    counters: [AtomicU64; Counter::COUNT],
+    hist: [AtomicU64; HIST_COUNT * HIST_BUCKETS],
+    span_ns: [AtomicU64; Phase::COUNT],
+    span_count: [AtomicU64; Phase::COUNT],
+}
+
+impl Shard {
+    pub(crate) fn new() -> Shard {
+        Shard {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+            hist: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_ns: std::array::from_fn(|_| AtomicU64::new(0)),
+            span_count: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    pub(crate) fn add(&self, c: Counter, n: u64) {
+        self.counters[c.index()].fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record(&self, h: HistId, value: u64) {
+        let slot = h.index() * HIST_BUCKETS + bucket_of(value);
+        self.hist[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn span_done(&self, p: Phase, ns: u64) {
+        self.span_ns[p.index()].fetch_add(ns, Ordering::Relaxed);
+        self.span_count[p.index()].fetch_add(1, Ordering::Relaxed);
+        self.record(HistId::PhaseNs(p), ns);
+    }
+
+    /// Adds this shard's totals into `dst` (used when retiring a shard).
+    pub(crate) fn fold_into(&self, dst: &Shard) {
+        for (s, d) in self.counters.iter().zip(&dst.counters) {
+            d.fetch_add(s.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for (s, d) in self.hist.iter().zip(&dst.hist) {
+            d.fetch_add(s.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for (s, d) in self.span_ns.iter().zip(&dst.span_ns) {
+            d.fetch_add(s.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for (s, d) in self.span_count.iter().zip(&dst.span_count) {
+            d.fetch_add(s.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds this shard's totals into a snapshot.
+    pub(crate) fn load_into(&self, snap: &mut MetricsSnapshot) {
+        for (s, d) in self.counters.iter().zip(&mut snap.counters) {
+            *d += s.load(Ordering::Relaxed);
+        }
+        for (s, d) in self.hist.iter().zip(&mut snap.hist) {
+            *d += s.load(Ordering::Relaxed);
+        }
+        for (s, d) in self.span_ns.iter().zip(&mut snap.span_ns) {
+            *d += s.load(Ordering::Relaxed);
+        }
+        for (s, d) in self.span_count.iter().zip(&mut snap.span_count) {
+            *d += s.load(Ordering::Relaxed);
+        }
+    }
+}
+
+/// A point-in-time sum over every shard of a registry. Plain values; safe
+/// to hold, diff, and render after the run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    counters: [u64; Counter::COUNT],
+    hist: [u64; HIST_COUNT * HIST_BUCKETS],
+    span_ns: [u64; Phase::COUNT],
+    span_count: [u64; Phase::COUNT],
+}
+
+impl Default for MetricsSnapshot {
+    fn default() -> Self {
+        MetricsSnapshot {
+            counters: [0; Counter::COUNT],
+            hist: [0; HIST_COUNT * HIST_BUCKETS],
+            span_ns: [0; Phase::COUNT],
+            span_count: [0; Phase::COUNT],
+        }
+    }
+}
+
+impl MetricsSnapshot {
+    /// Value of one counter.
+    pub fn counter(&self, c: Counter) -> u64 {
+        self.counters[c.index()]
+    }
+
+    /// The 32 log2 buckets of one histogram.
+    pub fn histogram(&self, h: HistId) -> [u64; HIST_BUCKETS] {
+        let base = h.index() * HIST_BUCKETS;
+        std::array::from_fn(|b| self.hist[base + b])
+    }
+
+    /// Total observations recorded in one histogram.
+    pub fn histogram_count(&self, h: HistId) -> u64 {
+        self.histogram(h).iter().sum()
+    }
+
+    /// Total nanoseconds spent in a phase across all spans.
+    pub fn span_ns(&self, p: Phase) -> u64 {
+        self.span_ns[p.index()]
+    }
+
+    /// Number of spans recorded for a phase.
+    pub fn span_count(&self, p: Phase) -> u64 {
+        self.span_count[p.index()]
+    }
+
+    /// Counters with non-zero values, in canonical order — the compact
+    /// form embedded in journal events.
+    pub fn nonzero_counters(&self) -> Vec<(&'static str, u64)> {
+        Counter::ALL
+            .iter()
+            .filter(|c| self.counter(**c) > 0)
+            .map(|c| (c.name(), self.counter(*c)))
+            .collect()
+    }
+
+    /// Element-wise difference (`self - earlier`), saturating at zero.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = self.clone();
+        for (d, e) in out.counters.iter_mut().zip(&earlier.counters) {
+            *d = d.saturating_sub(*e);
+        }
+        for (d, e) in out.hist.iter_mut().zip(&earlier.hist) {
+            *d = d.saturating_sub(*e);
+        }
+        for (d, e) in out.span_ns.iter_mut().zip(&earlier.span_ns) {
+            *d = d.saturating_sub(*e);
+        }
+        for (d, e) in out.span_count.iter_mut().zip(&earlier.span_count) {
+            *d = d.saturating_sub(*e);
+        }
+        out
+    }
+
+    /// Renders the snapshot as a single-line JSON object with a fixed key
+    /// order: every counter (zeros included, so the key set is stable for
+    /// schema validation), then per-phase span totals, then histograms as
+    /// full 32-bucket arrays.
+    pub fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("{\"counters\":{");
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", c.name(), self.counter(*c));
+        }
+        out.push_str("},\"spans\":{");
+        for (i, p) in Phase::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"total_ns\":{}}}",
+                p.name(),
+                self.span_count(*p),
+                self.span_ns(*p)
+            );
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in HistId::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":[", h.name());
+            for (b, v) in self.histogram(*h).iter().enumerate() {
+                if b > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{v}");
+            }
+            out.push(']');
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn counter_names_match_canonical_order() {
+        for (i, c) in Counter::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{}", c.name());
+        }
+        for (i, h) in HistId::ALL.iter().enumerate() {
+            assert_eq!(h.index(), i, "{}", h.name());
+        }
+    }
+
+    #[test]
+    fn fold_equals_load() {
+        let a = Shard::new();
+        let b = Shard::new();
+        a.add(Counter::SparseSolves, 3);
+        a.record(HistId::NewtonItersPerSolve, 5);
+        a.span_done(Phase::NewtonSolve, 1200);
+        b.add(Counter::SparseSolves, 4);
+        let mut direct = MetricsSnapshot::default();
+        a.load_into(&mut direct);
+        b.load_into(&mut direct);
+        let folded = Shard::new();
+        a.fold_into(&folded);
+        b.fold_into(&folded);
+        let mut via_fold = MetricsSnapshot::default();
+        folded.load_into(&mut via_fold);
+        assert_eq!(direct, via_fold);
+        assert_eq!(direct.counter(Counter::SparseSolves), 7);
+        assert_eq!(direct.span_count(Phase::NewtonSolve), 1);
+    }
+}

@@ -1,0 +1,113 @@
+//! Golden-file tests for journal renderings: three synthetic journals —
+//! a clean run, a run with retries, a run with hard failures and
+//! escalation — each pinned byte-for-byte against
+//! `tests/goldens/<name>.expected.jsonl`. The JSONL field order is part
+//! of the output contract (downstream `grep`/`jq` pipelines key on it),
+//! so any drift must be deliberate. Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p pulsar-obs --test journal_golden
+//! ```
+
+#![allow(clippy::unwrap_used)]
+
+use std::fs;
+use std::path::PathBuf;
+
+use pulsar_obs::{json, render_journal, Event};
+
+fn goldens_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens")
+}
+
+fn check_golden(rendered: &str, golden_path: &PathBuf) {
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::write(golden_path, rendered).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(golden_path).unwrap_or_else(|e| {
+        panic!("missing golden {golden_path:?} ({e}); run with UPDATE_GOLDENS=1")
+    });
+    assert_eq!(
+        rendered, expected,
+        "rendering drifted from {golden_path:?}; rerun with UPDATE_GOLDENS=1 if intentional"
+    );
+}
+
+/// A clean 3-sample Monte Carlo run: first-try successes, per-sample
+/// counters attributed.
+fn clean_run() -> Vec<Event> {
+    (0..3)
+        .map(|i| {
+            let mut e = Event::new("sample", i);
+            e.label = Some("pulse-faulty".to_owned());
+            e.seed = Some(0x1000 + i as u64);
+            e.counters = vec![
+                ("dense_solves", 120 + i as u64),
+                ("newton_iterations", 360 + i as u64),
+                ("steps_accepted", 88),
+            ];
+            e
+        })
+        .collect()
+}
+
+/// A run where sample 1 needed the retry ladder but recovered.
+fn retry_run() -> Vec<Event> {
+    let mut events = clean_run();
+    events[1].outcome = "recovered";
+    events[1].attempts = 3;
+    events[1].escalation_rung = 2;
+    events
+}
+
+/// A run with a hard failure (sample 2, full ladder spent) plus a
+/// campaign site journal behind it, covering every optional field and
+/// JSON string escaping in labels.
+fn failure_run() -> Vec<Event> {
+    let mut events = retry_run();
+    events[2].outcome = "failed";
+    events[2].attempts = 3;
+    events[2].escalation_rung = 2;
+    events[2].error_kind = Some("non-convergence".to_owned());
+    let mut site = Event::new("site", 0);
+    site.label = Some("Site { gate: 4, pin: \"a\" }".to_owned());
+    site.outcome = "unsensitizable";
+    events.push(site);
+    let mut failed_site = Event::new("site", 1);
+    failed_site.outcome = "failed";
+    failed_site.error_kind = Some("no-sensitizable-path".to_owned());
+    events.push(failed_site);
+    events
+}
+
+#[test]
+fn journals_match_goldens() {
+    let corpus: [(&str, Vec<Event>); 3] = [
+        ("clean", clean_run()),
+        ("retries", retry_run()),
+        ("failures", failure_run()),
+    ];
+    for (name, events) in &corpus {
+        let rendered = render_journal(events);
+        check_golden(
+            &rendered,
+            &goldens_dir().join(format!("{name}.expected.jsonl")),
+        );
+        // Independent of the golden bytes: every line must parse, and the
+        // parsed fields must round-trip the event.
+        for (line, event) in rendered.lines().zip(events.iter()) {
+            let doc = json::parse(line).expect("golden line parses");
+            assert_eq!(doc.get("kind").unwrap().as_str().unwrap(), event.kind);
+            assert_eq!(
+                doc.get("index").unwrap().as_num().unwrap(),
+                event.index as f64
+            );
+            assert_eq!(doc.get("outcome").unwrap().as_str().unwrap(), event.outcome);
+            assert_eq!(
+                doc.get("label").and_then(|l| l.as_str()),
+                event.label.as_deref()
+            );
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The rendered run manifest must validate against the checked-in schema
+//! (`tests/schemas/manifest.schema.json` at the repository root) — the
+//! same document CI holds `pulsar sim --metrics` output to via the
+//! `obs-validate` binary.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+
+use pulsar_obs::{config_digest, json, Counter, Recorder, RunManifest};
+
+fn schema() -> json::Json {
+    let path =
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/schemas/manifest.schema.json");
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path:?}: {e}"));
+    json::parse(&text).expect("schema must be valid JSON")
+}
+
+fn manifest_with_metrics() -> RunManifest {
+    let rec = Recorder::enabled();
+    rec.add(Counter::DenseSolves, 42);
+    rec.newton_solve_done(4);
+    let mut m = RunManifest::new("sim", config_digest("deck text"));
+    m.seed = Some(2007);
+    m.samples = Some(64);
+    m.threads = Some(4);
+    m.tech = Some("generic 180nm".to_owned());
+    m.started_unix_ms = 1_754_000_000_000;
+    m.wall_ms = 1234;
+    m.events = 64;
+    m.metrics = rec.snapshot();
+    m
+}
+
+#[test]
+fn rendered_manifest_validates_against_checked_in_schema() {
+    let schema = schema();
+    let doc = json::parse(&manifest_with_metrics().render_json()).expect("manifest parses");
+    json::validate(&schema, &doc).expect("manifest must satisfy the schema");
+
+    // A minimal manifest (every optional field unset) must also pass.
+    let minimal = RunManifest::new("campaign", config_digest("netlist"));
+    let doc = json::parse(&minimal.render_json()).expect("minimal manifest parses");
+    json::validate(&schema, &doc).expect("minimal manifest must satisfy the schema");
+}
+
+#[test]
+fn schema_rejects_corrupted_manifests() {
+    let schema = schema();
+    let good = manifest_with_metrics().render_json();
+
+    // Missing required key.
+    let no_kind = good.replacen("\"kind\":\"sim\",", "", 1);
+    let doc = json::parse(&no_kind).expect("still valid JSON");
+    assert!(
+        json::validate(&schema, &doc).is_err(),
+        "missing 'kind' must fail"
+    );
+
+    // Wrong type: digest as a raw number instead of a hex string.
+    let digest = config_digest("deck text");
+    let bad_digest = good.replace(
+        &format!("\"config_digest\":\"{digest:#018x}\""),
+        "\"config_digest\":12345",
+    );
+    assert_ne!(bad_digest, good, "replacement must hit");
+    let doc = json::parse(&bad_digest).expect("still valid JSON");
+    assert!(
+        json::validate(&schema, &doc).is_err(),
+        "numeric digest must fail the string type"
+    );
+
+    // Unknown top-level key trips additionalProperties: false.
+    let extra = good.replacen(
+        "{\"schema_version\"",
+        "{\"surprise\":1,\"schema_version\"",
+        1,
+    );
+    let doc = json::parse(&extra).expect("still valid JSON");
+    assert!(
+        json::validate(&schema, &doc).is_err(),
+        "unknown key must fail"
+    );
+}

@@ -1,0 +1,53 @@
+//! Property test: merged snapshots are independent of how the recording
+//! work was spread over threads. The same operation list applied through
+//! 1 shard or round-robined over k shards on k real threads must produce
+//! byte-identical snapshots — the property that makes `--metrics` output
+//! reproducible across `--threads` settings.
+
+use proptest::prelude::*;
+use pulsar_obs::{Counter, MetricsSnapshot, Recorder};
+
+/// One recording operation: `(counter_index, amount, newton_iters)`.
+/// Counter adds and histogram observations both participate, so the
+/// property covers every merge path except wall-clock spans (whose
+/// durations are inherently non-deterministic).
+type Op = (usize, u64, u64);
+
+/// Applies `ops` round-robin over `threads` forked shards, each on its own
+/// OS thread, retiring every shard before the final snapshot.
+fn run_sharded(ops: &[Op], threads: usize) -> MetricsSnapshot {
+    let rec = Recorder::enabled();
+    let forks: Vec<Recorder> = (0..threads).map(|_| rec.fork()).collect();
+    std::thread::scope(|scope| {
+        for (t, fork) in forks.iter().enumerate() {
+            let lane: Vec<Op> = ops.iter().copied().skip(t).step_by(threads).collect();
+            scope.spawn(move || {
+                for (ci, amount, iters) in lane {
+                    fork.add(Counter::ALL[ci % Counter::ALL.len()], amount);
+                    fork.newton_solve_done(iters);
+                }
+            });
+        }
+    });
+    for fork in &forks {
+        fork.retire();
+    }
+    rec.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn merged_snapshots_are_thread_count_independent(
+        ops in proptest::collection::vec((0usize..32, 0u64..1_000, 0u64..200), 1..64),
+        threads in 2usize..6,
+    ) {
+        let reference = run_sharded(&ops, 1);
+        let sharded = run_sharded(&ops, threads);
+        prop_assert_eq!(&reference, &sharded);
+        // The rendered JSON — what `--metrics` writes — is byte-identical
+        // too, not merely structurally equal.
+        prop_assert_eq!(reference.render_json(), sharded.render_json());
+    }
+}
