@@ -300,9 +300,10 @@ impl Circuit {
 
         // Initial condition: DC operating point into the workspace buffer.
         let warm = if *warm_dc { Some(warm_x) } else { None };
-        // Cheap handle clone (one Arc bump per run); the borrow of
-        // `sys_scratch` below would otherwise pin the recorder field.
+        // Cheap handle clones (one Arc bump each per run); the borrow of
+        // `sys_scratch` below would otherwise pin these fields.
         let rec = sys_scratch.recorder.clone();
+        let cancel = sys_scratch.cancel.clone();
         self.dc_into(0.0, sys_scratch, warm, x)?;
         let mut sys = System::new(self, sys_scratch);
         let nu = x.len();
@@ -375,6 +376,13 @@ impl Circuit {
                     points: times.len(),
                     time: t,
                 });
+            }
+            // Cooperative cancellation: one relaxed load per accepted
+            // point, only when a token is installed.
+            if let Some(token) = &cancel {
+                if let Some(reason) = token.cancelled() {
+                    return Err(Error::Cancelled { time: t, reason });
+                }
             }
             // Test-only injection hook (inert unless this thread armed a
             // FaultPlan); checked per accepted point, before the solve.

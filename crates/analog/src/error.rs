@@ -53,6 +53,16 @@ pub enum Error {
         /// Simulation time reached, seconds.
         time: f64,
     },
+    /// The run's [`CancelToken`](pulsar_obs::CancelToken) was tripped and
+    /// the transient step loop bailed out cooperatively — an operator
+    /// interrupt, a run deadline, or a per-sample timeout, never a
+    /// numerical failure.
+    Cancelled {
+        /// Simulation time reached when the token was observed, seconds.
+        time: f64,
+        /// Why the token was tripped.
+        reason: pulsar_obs::CancelReason,
+    },
 }
 
 impl fmt::Display for Error {
@@ -73,6 +83,11 @@ impl fmt::Display for Error {
             Error::StepBudgetExhausted { points, time } => write!(
                 f,
                 "transient step budget exhausted after {points} accepted points (t = {time:.3e} s)"
+            ),
+            Error::Cancelled { time, reason } => write!(
+                f,
+                "transient cancelled ({}) at t = {time:.3e} s",
+                reason.label()
             ),
         }
     }

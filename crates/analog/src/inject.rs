@@ -34,26 +34,48 @@ pub enum FaultKind {
     /// Injects [`Error::NoConvergence`] — modelling a Newton failure that
     /// a tightened configuration may well fix; retryable.
     NonConvergence,
+    /// Panics on the armed thread — modelling a worker crash (an index
+    /// bug, an `assert!` in device code). Exercises panic containment:
+    /// with containment off the panic unwinds the run; with it on, the
+    /// sample fails with `error_kind = "panic"`.
+    Panic,
+    /// Sleeps `millis` at every due point instead of failing — modelling
+    /// a stuck solve. Exercises per-sample timeouts and deadlines: the
+    /// stalled sample outlives its budget and the watchdog cuts it loose.
+    Stall {
+        /// How long each due point stalls, milliseconds.
+        millis: u64,
+    },
 }
 
 impl FaultKind {
     /// The error this kind injects, pinned at simulation time zero — for
     /// callers that honor a plan without reaching the transient solver
-    /// (e.g. logic-level campaign planning).
-    pub fn planned_error(self) -> Error {
-        self.into_error(0.0)
+    /// (e.g. logic-level campaign planning). Chaos kinds behave exactly
+    /// as they would in the solver: [`FaultKind::Panic`] panics here,
+    /// and [`FaultKind::Stall`] sleeps and returns `None` (the caller
+    /// proceeds normally, just late).
+    pub fn planned_outcome(self) -> Option<Error> {
+        self.fire_now(0.0)
     }
 
-    fn into_error(self, time: f64) -> Error {
+    /// What firing this kind does right now: an error to return, a panic,
+    /// or a stall followed by `None`.
+    fn fire_now(self, time: f64) -> Option<Error> {
         match self {
             // `usize::MAX` marks the row as synthetic so an injected
             // failure is distinguishable from a real pivot loss in logs.
-            FaultKind::SingularMatrix => Error::SingularMatrix { row: usize::MAX },
-            FaultKind::NonConvergence => Error::NoConvergence {
+            FaultKind::SingularMatrix => Some(Error::SingularMatrix { row: usize::MAX }),
+            FaultKind::NonConvergence => Some(Error::NoConvergence {
                 context: "injected fault",
                 iterations: 0,
                 time,
-            },
+            }),
+            FaultKind::Panic => panic!("injected panic: chaos plan fired at t={time:e} s"),
+            FaultKind::Stall { millis } => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                None
+            }
         }
     }
 }
@@ -166,10 +188,13 @@ impl Drop for ArmedFault {
 /// `accepted_points` time points are already recorded and simulation time
 /// is `time`. `None` always, unless this thread is armed.
 pub(crate) fn fire(accepted_points: usize, time: f64) -> Option<Error> {
-    ARMED.with(|a| match a.get() {
-        Some((kind, at_point)) if accepted_points >= at_point => Some(kind.into_error(time)),
+    // Read the armed state *before* acting on it: a panic kind must not
+    // unwind through the thread-local accessor.
+    let armed = ARMED.with(Cell::get);
+    match armed {
+        Some((kind, at_point)) if accepted_points >= at_point => kind.fire_now(time),
         _ => None,
-    })
+    }
 }
 
 #[cfg(test)]

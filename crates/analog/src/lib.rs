@@ -80,4 +80,6 @@ pub use waveform::{propagation_delay, Edge, Polarity, Pulse, Trace};
 // Re-exported so downstream crates can speak the observability types this
 // crate's instrumentation records into without naming `pulsar_obs`
 // directly.
-pub use pulsar_obs::{Counter as ObsCounter, Phase as ObsPhase, Recorder};
+pub use pulsar_obs::{
+    CancelReason, CancelToken, Counter as ObsCounter, Phase as ObsPhase, Recorder,
+};

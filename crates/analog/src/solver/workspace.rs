@@ -26,7 +26,7 @@ use crate::solver::matrix::DenseMatrix;
 use crate::solver::mna::{CapState, Method};
 use crate::solver::pattern::{topology_key, StampPattern};
 use crate::solver::sparse::{global_recorder, SymbolicLu};
-use pulsar_obs::{Counter, Phase, Recorder};
+use pulsar_obs::{CancelToken, Counter, Phase, Recorder};
 
 /// Linear-engine selection for a [`SolverWorkspace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -243,6 +243,10 @@ pub(crate) struct SysScratch {
     /// Per-run observability handle; disabled by default, so every
     /// instrumentation call is one `Option` branch.
     pub recorder: Recorder,
+    /// Cooperative cancellation token, checked once per accepted point in
+    /// the transient step loop. `None` (the default) skips the check
+    /// entirely, so uncancellable runs pay one `Option` branch per point.
+    pub cancel: Option<CancelToken>,
 }
 
 /// Scratch for the transient engine: companion states, the capacitive
@@ -406,5 +410,19 @@ impl SolverWorkspace {
     /// The per-run recorder installed on this workspace.
     pub fn recorder(&self) -> &Recorder {
         &self.sys.recorder
+    }
+
+    /// Installs a cooperative [`CancelToken`]; the transient step loop
+    /// then checks it once per accepted point and bails out with
+    /// [`Error::Cancelled`](crate::Error::Cancelled) when it trips. The
+    /// check is one (for a child token, two) relaxed atomic loads, so it
+    /// never contends with other workers on the hot path.
+    pub fn set_cancel_token(&mut self, token: CancelToken) {
+        self.sys.cancel = Some(token);
+    }
+
+    /// The cancellation token installed on this workspace, if any.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.sys.cancel.as_ref()
     }
 }

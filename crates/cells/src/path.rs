@@ -15,8 +15,8 @@
 use crate::gates::{CellKind, CmosBuilder, RopSite};
 use crate::tech::Tech;
 use pulsar_analog::{
-    propagation_delay, Circuit, Edge, Error, Integrator, NodeId, Polarity, Recorder, SolverMode,
-    SolverWorkspace, SymbolicCache, TraceCapture, TranConfig, TranResult, Waveform,
+    propagation_delay, CancelToken, Circuit, Edge, Error, Integrator, NodeId, Polarity, Recorder,
+    SolverMode, SolverWorkspace, SymbolicCache, TraceCapture, TranConfig, TranResult, Waveform,
 };
 
 /// Structural description of a path: the gate chain plus per-stage extra
@@ -697,6 +697,15 @@ impl BuiltPath {
     /// waveforms are bit-identical with the recorder on or off.
     pub fn set_recorder(&mut self, rec: Recorder) {
         self.workspace.set_recorder(rec);
+    }
+
+    /// Installs a cooperative cancellation token on this path's solver
+    /// workspace: every subsequent transient solve checks it once per
+    /// accepted time point and aborts with a cancellation error when it
+    /// trips. Cancellation never corrupts state — the workspace stays
+    /// reusable for the next (re-)run.
+    pub fn set_cancel(&mut self, token: CancelToken) {
+        self.workspace.set_cancel_token(token);
     }
 
     /// Applies the retry-escalation ladder used after Newton

@@ -26,17 +26,20 @@
 
 use std::fmt::Write as _;
 use std::fs;
-use std::time::{Instant, SystemTime};
+use std::time::{Duration, Instant, SystemTime};
 
 use pulsar_analog::{
     parse_deck, to_csv, to_vcd, NodeId, Recorder, SolverWorkspace, TraceCapture, TranConfig,
 };
 use pulsar_core::{
     all_branch_faults, compact_patterns, fault_simulate, plan_for_site, Campaign, PulsePattern,
-    SiteOutcome, TestgenConfig,
+    ResilienceConfig, SiteOutcome, TestgenConfig,
 };
 use pulsar_logic::parse_iscas85;
-use pulsar_obs::{config_digest, render_journal, Counter as ObsCounter, Event, RunManifest};
+use pulsar_obs::{
+    config_digest, render_journal, CancelReason, CancelToken, Counter as ObsCounter, Event,
+    RunManifest,
+};
 use pulsar_timing::TimingLibrary;
 
 /// CLI-level error: a message ready for stderr plus an error kind, the
@@ -47,11 +50,15 @@ pub struct CliError {
     pub message: String,
     /// Suggested process exit code.
     pub code: i32,
-    /// Stable error-kind label: `"usage"` or `"runtime"`.
+    /// Stable error-kind label: `"usage"`, `"runtime"`, or
+    /// `"interrupted"`.
     pub kind: &'static str,
     /// Underlying causes, outermost first (empty when the message says
     /// it all).
     pub chain: Vec<String>,
+    /// Partial stdout to print *before* the error — an interrupted
+    /// campaign's honest partial report. `None` for ordinary failures.
+    pub partial: Option<String>,
 }
 
 impl CliError {
@@ -61,6 +68,7 @@ impl CliError {
             code: 2,
             kind: "usage",
             chain: Vec::new(),
+            partial: None,
         }
     }
 
@@ -70,6 +78,20 @@ impl CliError {
             code: 1,
             kind: "runtime",
             chain: Vec::new(),
+            partial: None,
+        }
+    }
+
+    /// An operator interrupt (SIGINT): exit 130 = 128 + SIGINT, the shell
+    /// convention. The partial report still reaches stdout; `message`
+    /// tells the operator how to resume.
+    fn interrupted(msg: impl Into<String>, partial: String) -> CliError {
+        CliError {
+            message: msg.into(),
+            code: 130,
+            kind: "interrupted",
+            chain: Vec::new(),
+            partial: Some(partial),
         }
     }
 
@@ -87,6 +109,7 @@ impl CliError {
             code: 1,
             kind: "runtime",
             chain,
+            partial: None,
         }
     }
 
@@ -110,7 +133,7 @@ impl CliError {
         }
         let _ = write!(
             out,
-            "exit code {} (0 = success, 1 = runtime failure, 2 = usage error)",
+            "exit code {} (0 = success, 1 = runtime failure, 2 = usage error, 130 = interrupted)",
             self.code
         );
         out
@@ -135,30 +158,104 @@ USAGE:
   pulsar lint <deck.sp>... [--json] [--deny-warnings]
   pulsar testgen <netlist.bench> [--site NAME] [--max-paths N]
   pulsar campaign <netlist.bench> [--stride N] [--trace-out FILE] [--metrics FILE]
+                  [--checkpoint FILE] [--resume FILE] [--deadline SECONDS]
+                  [--contain-panics]
   pulsar faultsim <netlist.bench> [--tau SECONDS]
 
   --trace-out FILE   write the structured JSONL event journal of the run
   --metrics FILE     write the run manifest (config digest, wall clock,
                      metric snapshot) as JSON
+  --checkpoint FILE  append per-site completion records to FILE; an
+                     existing compatible checkpoint is resumed
+  --resume FILE      like --checkpoint, but FILE must already exist
+  --deadline SECONDS stop the campaign after a wall-clock budget and
+                     report the honest partial result (exit 0)
+  --contain-panics   turn a panicking worker into a failed site instead
+                     of aborting the whole campaign
+
+Exit codes: 0 = success, 1 = runtime failure, 2 = usage error,
+130 = interrupted (SIGINT; checkpointed work is resumable with --resume).
 ";
 
 /// Dispatches a full argument vector (without the program name). Returns
-/// the text to print on stdout.
+/// the text to print on stdout. Long-running commands observe a fresh
+/// (never-tripped) cancellation token; use [`dispatch_with_cancel`] to
+/// wire a real interrupt source.
 ///
 /// # Errors
 ///
 /// [`CliError`] with a usage (exit 2) or runtime (exit 1) failure.
 pub fn dispatch(args: &[String]) -> Result<String, CliError> {
+    dispatch_with_cancel(args, &CancelToken::new())
+}
+
+/// [`dispatch`] with an explicit run-cancellation token, tripped by the
+/// binary's SIGINT handler (see [`interrupt::install`]). An interrupted
+/// run flushes its `--trace-out` / `--metrics` outputs and any
+/// checkpoint, then fails with exit code 130 while still carrying the
+/// partial report in [`CliError::partial`].
+///
+/// # Errors
+///
+/// As for [`dispatch`], plus the interrupted (exit 130) failure.
+pub fn dispatch_with_cancel(args: &[String], token: &CancelToken) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
-        Some("sim") => cmd_sim(&args[1..]),
+        Some("sim") => cmd_sim(&args[1..], token),
         Some("lint") => cmd_lint(&args[1..]),
         Some("testgen") => cmd_testgen(&args[1..]),
-        Some("campaign") => cmd_campaign(&args[1..]),
+        Some("campaign") => cmd_campaign(&args[1..], token),
         Some("faultsim") => cmd_faultsim(&args[1..]),
         Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::usage(format!(
             "unknown subcommand `{other}`\n\n{USAGE}"
         ))),
+    }
+}
+
+/// SIGINT wiring for the `pulsar` binary.
+///
+/// The raw handler does the only async-signal-safe thing — one relaxed
+/// atomic store — and a bridge thread turns the flag into a
+/// [`CancelToken`] trip, which the solver step loops observe
+/// cooperatively. A second Ctrl-C therefore still reaches the default
+/// disposition path only after the run has flushed its checkpoint.
+pub mod interrupt {
+    use pulsar_obs::{CancelReason, CancelToken};
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static INTERRUPTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_sigint(_sig: i32) {
+        INTERRUPTED.store(true, Ordering::Relaxed);
+    }
+
+    /// Installs the SIGINT handler and returns the token it trips
+    /// (with [`CancelReason::User`]). Call once, from `main`, before
+    /// dispatching; the bridge thread is detached and dies with the
+    /// process.
+    pub fn install() -> CancelToken {
+        let token = CancelToken::new();
+        // SAFETY: `signal(2)` with a handler that only performs an
+        // atomic store is async-signal-safe; no Rust state is touched
+        // inside the handler.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+        let bridge = token.clone();
+        std::thread::spawn(move || loop {
+            if INTERRUPTED.load(Ordering::Relaxed) {
+                bridge.cancel(CancelReason::User);
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(25));
+        });
+        token
     }
 }
 
@@ -171,7 +268,13 @@ fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
 
 /// Flags that do not consume a value; everything else starting with
 /// `--` is assumed to take the following token as its value.
-const BOOL_FLAGS: &[&str] = &["--json", "--deny-warnings", "--no-lint", "--stats"];
+const BOOL_FLAGS: &[&str] = &[
+    "--json",
+    "--deny-warnings",
+    "--no-lint",
+    "--stats",
+    "--contain-panics",
+];
 
 fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
@@ -245,7 +348,7 @@ fn write_journal(rec: &Recorder, path: &str, out: &mut String) -> Result<(), Cli
 /// The static lint pass runs before any transient: error-severity
 /// findings abort the run (bypass with `--no-lint`); warnings are
 /// printed but do not block.
-fn cmd_sim(args: &[String]) -> Result<String, CliError> {
+fn cmd_sim(args: &[String], token: &CancelToken) -> Result<String, CliError> {
     let path = positional(args).ok_or_else(|| CliError::usage("sim: missing deck path"))?;
     let text = read(path)?;
     let mut warnings = String::new();
@@ -286,10 +389,27 @@ fn cmd_sim(args: &[String]) -> Result<String, CliError> {
     let t0 = Instant::now();
     let mut ws = SolverWorkspace::new();
     ws.set_recorder(rec.clone());
-    let result = deck
+    ws.set_cancel_token(token.clone());
+    let result = match deck
         .circuit
         .transient_with(&tran, &mut ws, &TraceCapture::All)
-        .map_err(|e| CliError::run_err("transient", &e))?;
+    {
+        Ok(r) => r,
+        Err(e @ pulsar_analog::Error::Cancelled { .. }) => {
+            // Ctrl-C mid-solve: flush the requested observability outputs
+            // before reporting the interrupt, so nothing is lost.
+            let mut partial = String::new();
+            if let Some(f) = trace_out {
+                write_journal(&rec, f, &mut partial)?;
+            }
+            if let Some(f) = metrics_out {
+                let manifest = RunManifest::new("sim", config_digest(&text));
+                write_manifest(manifest, &rec, started_unix_ms, t0, f, &mut partial)?;
+            }
+            return Err(CliError::interrupted(format!("transient: {e}"), partial));
+        }
+        Err(e) => return Err(CliError::run_err("transient", &e)),
+    };
     let snap = rec.snapshot();
     if rec.is_enabled() {
         let mut ev = Event::new("transient", 0);
@@ -458,8 +578,11 @@ fn cmd_testgen(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
-/// `pulsar campaign`: whole-netlist summary.
-fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
+/// `pulsar campaign`: whole-netlist summary. Runs through the durable
+/// path (cooperative cancellation, optional checkpoint/resume, wall-clock
+/// deadline, panic containment) — without any of those flags the result
+/// is outcome-identical to the plain in-process run.
+fn cmd_campaign(args: &[String], token: &CancelToken) -> Result<String, CliError> {
     let path = positional(args).ok_or_else(|| CliError::usage("campaign: missing netlist path"))?;
     let text = read(path)?;
     let nl = parse_iscas85(&text).map_err(|e| CliError::run_err("parse", &e))?;
@@ -468,6 +591,36 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
         .unwrap_or(1);
     let metrics_out = flag_value(args, "--metrics");
     let trace_out = flag_value(args, "--trace-out");
+    let deadline = match flag_value(args, "--deadline") {
+        Some(v) => Some(Duration::from_secs_f64(v.parse().map_err(|_| {
+            CliError::usage(format!(
+                "campaign: --deadline `{v}` is not a number of seconds"
+            ))
+        })?)),
+        None => None,
+    };
+    let checkpoint_path = match (
+        flag_value(args, "--checkpoint"),
+        flag_value(args, "--resume"),
+    ) {
+        (Some(_), Some(_)) => {
+            return Err(CliError::usage(
+                "campaign: --checkpoint and --resume are mutually exclusive (both name the \
+                 checkpoint file; --resume just requires it to exist)",
+            ))
+        }
+        (Some(c), None) => Some(c),
+        (None, Some(r)) => {
+            if !std::path::Path::new(r).exists() {
+                return Err(CliError::run(format!(
+                    "campaign: --resume checkpoint `{r}` does not exist \
+                     (use --checkpoint to start a fresh durable run)"
+                )));
+            }
+            Some(r)
+        }
+        (None, None) => None,
+    };
     let rec = if metrics_out.is_some() || trace_out.is_some() {
         Recorder::enabled()
     } else {
@@ -478,11 +631,19 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
     let campaign = Campaign {
         stride,
         obs: rec.clone(),
+        resilience: ResilienceConfig {
+            deadline,
+            contain_panics: has_flag(args, "--contain-panics"),
+            ..ResilienceConfig::default()
+        },
         ..Campaign::default()
     };
-    let report = campaign
-        .run(&nl, &TimingLibrary::generic())
-        .map_err(|e| CliError::run_err("campaign", &e))?;
+    let lib = TimingLibrary::generic();
+    let report = match checkpoint_path {
+        Some(p) => campaign.resume_from(&nl, &lib, token, std::path::Path::new(p)),
+        None => campaign.run_durable(&nl, &lib, token, None),
+    }
+    .map_err(|e| CliError::run_err("campaign", &e))?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -493,6 +654,22 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
         report.unsensitizable,
         report.failed
     );
+    if report.completeness.resumed > 0 {
+        let _ = writeln!(
+            out,
+            "checkpoint: {} of {} sites restored from {}",
+            report.completeness.resumed,
+            report.completeness.done,
+            checkpoint_path.unwrap_or("-"),
+        );
+    }
+    if let Some(why) = report.completeness.truncated {
+        let _ = writeln!(
+            out,
+            "TRUNCATED ({why}): {} of {} sites done",
+            report.completeness.done, report.completeness.requested
+        );
+    }
     let _ = writeln!(out, "pattern count: {}", report.pattern_count());
     let plans: Vec<_> = report
         .sites
@@ -540,6 +717,20 @@ fn cmd_campaign(args: &[String]) -> Result<String, CliError> {
         );
         manifest.threads = campaign.threads;
         write_manifest(manifest, &rec, started_unix_ms, t0, f, &mut out)?;
+    }
+    // Ctrl-C: every output above (partial report, journal, manifest, and
+    // the checkpoint itself) is already flushed — exit 130 with a resume
+    // hint. Deadline truncation is a *successful* partial run (exit 0):
+    // the operator asked for a budget and got everything it bought.
+    if token.cancelled() == Some(CancelReason::User) {
+        let msg = match checkpoint_path {
+            Some(p) => {
+                format!("campaign interrupted: checkpoint at {p} — continue with --resume {p}")
+            }
+            None => "campaign interrupted (no checkpoint; partial report above is all there is)"
+                .to_owned(),
+        };
+        return Err(CliError::interrupted(msg, out));
     }
     Ok(out)
 }
@@ -806,6 +997,114 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         assert!(manifest.contains("\"metrics\""), "{manifest}");
         // The manifest must parse with the crate's own JSON parser.
         pulsar_obs::json::parse(manifest.trim()).expect("manifest parses");
+    }
+
+    fn fresh_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pulsar-cli-tests");
+        fs::create_dir_all(&dir).expect("temp dir");
+        let p = dir.join(format!("{}-{}", std::process::id(), name));
+        let _ = fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn campaign_checkpoint_resumes_and_reports_restored_sites() {
+        let bench = tmp("c17ck.bench", C17);
+        let ck = fresh_path("c17.ckpt");
+        let ck_s = ck.to_string_lossy().into_owned();
+        let args = vec![
+            "campaign".to_owned(),
+            bench,
+            "--checkpoint".to_owned(),
+            ck_s,
+        ];
+        let first = dispatch(&args).unwrap();
+        assert!(!first.contains("restored"), "{first}");
+        assert!(ck.exists(), "checkpoint file must be written");
+        let second = dispatch(&args).unwrap();
+        assert!(second.contains("sites restored from"), "{second}");
+        // Identical campaign results either way.
+        assert_eq!(first.lines().next(), second.lines().next());
+        let _ = fs::remove_file(&ck);
+    }
+
+    #[test]
+    fn interrupted_campaign_exits_130_with_partial_report() {
+        let bench = tmp("c17int.bench", C17);
+        let ck = fresh_path("c17int.ckpt");
+        let ck_s = ck.to_string_lossy().into_owned();
+        let token = CancelToken::new();
+        token.cancel(CancelReason::User);
+        let e = dispatch_with_cancel(
+            &[
+                "campaign".to_owned(),
+                bench,
+                "--checkpoint".to_owned(),
+                ck_s.clone(),
+            ],
+            &token,
+        )
+        .unwrap_err();
+        assert_eq!(e.code, 130);
+        assert_eq!(e.kind, "interrupted");
+        assert!(
+            e.message.contains(&format!("--resume {ck_s}")),
+            "{}",
+            e.message
+        );
+        let partial = e.partial.as_deref().expect("partial report survives");
+        assert!(partial.contains("TRUNCATED (interrupted)"), "{partial}");
+        assert!(e.render().contains("130 = interrupted"), "{}", e.render());
+        let _ = fs::remove_file(&ck);
+    }
+
+    #[test]
+    fn resume_requires_an_existing_checkpoint() {
+        let bench = tmp("c17res.bench", C17);
+        let e = dispatch(&[
+            "campaign".to_owned(),
+            bench.clone(),
+            "--resume".to_owned(),
+            "/definitely/not/here.ckpt".to_owned(),
+        ])
+        .unwrap_err();
+        assert_eq!(e.code, 1);
+        assert!(e.message.contains("does not exist"), "{}", e.message);
+
+        let e = dispatch(&[
+            "campaign".to_owned(),
+            bench,
+            "--resume".to_owned(),
+            "a".to_owned(),
+            "--checkpoint".to_owned(),
+            "b".to_owned(),
+        ])
+        .unwrap_err();
+        assert_eq!(e.code, 2, "{}", e.message);
+    }
+
+    #[test]
+    fn deadline_zero_truncates_but_exits_zero() {
+        let bench = tmp("c17dl.bench", C17);
+        let out = dispatch(&[
+            "campaign".to_owned(),
+            bench,
+            "--deadline".to_owned(),
+            "0".to_owned(),
+        ])
+        .unwrap();
+        assert!(out.contains("TRUNCATED (deadline)"), "{out}");
+        assert!(out.contains("0 sites probed"), "{out}");
+
+        let bench = tmp("c17dlbad.bench", C17);
+        let e = dispatch(&[
+            "campaign".to_owned(),
+            bench,
+            "--deadline".to_owned(),
+            "soon".to_owned(),
+        ])
+        .unwrap_err();
+        assert_eq!(e.code, 2, "{}", e.message);
     }
 
     #[test]

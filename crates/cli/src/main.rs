@@ -1,14 +1,22 @@
-//! Thin shim around [`pulsar_cli::dispatch`]: collect args, print, exit.
+//! Thin shim around [`pulsar_cli::dispatch_with_cancel`]: install the
+//! SIGINT bridge, collect args, print, exit.
 //!
-//! Every failure — usage, lint, sim, campaign — is rendered through the
-//! one structured formatter ([`pulsar_cli::CliError::render`]): error
-//! kind, source chain, and the exit-code table.
+//! Every failure — usage, lint, sim, campaign, interrupt — is rendered
+//! through the one structured formatter
+//! ([`pulsar_cli::CliError::render`]): error kind, source chain, and the
+//! exit-code table. An interrupted run (exit 130) first prints its
+//! partial report to stdout, so `pulsar campaign … | tee` keeps what was
+//! computed before the Ctrl-C.
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match pulsar_cli::dispatch(&args) {
+    let token = pulsar_cli::interrupt::install();
+    match pulsar_cli::dispatch_with_cancel(&args, &token) {
         Ok(out) => print!("{out}"),
         Err(e) => {
+            if let Some(partial) = &e.partial {
+                print!("{partial}");
+            }
             eprintln!("{}", e.render());
             std::process::exit(e.code);
         }

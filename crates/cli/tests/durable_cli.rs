@@ -1,0 +1,80 @@
+//! Process-level durability: a campaign killed with SIGKILL mid-run (no
+//! atexit, no flush, no unwind) must leave a checkpoint a fresh process
+//! can `--resume` into the same report an uninterrupted run produces.
+
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pulsar")
+}
+
+const C17: &str = "\
+INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
+10 = NAND(1, 3)\n11 = NAND(3, 6)\n16 = NAND(2, 11)\n19 = NAND(11, 7)\n\
+22 = NAND(10, 16)\n23 = NAND(16, 19)\n";
+
+fn tmpfile(name: &str, content: &str) -> String {
+    let dir = std::env::temp_dir().join("pulsar-durable-cli-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let p = dir.join(format!("{}-{name}", std::process::id()));
+    std::fs::write(&p, content).expect("write temp file");
+    p.to_string_lossy().into_owned()
+}
+
+/// The campaign-report lines that must survive a kill/resume cycle.
+fn report_core(stdout: &str) -> Vec<String> {
+    stdout
+        .lines()
+        .filter(|l| {
+            l.contains("sites probed") || l.contains("pattern count") || l.contains("site coverage")
+        })
+        .map(str::to_owned)
+        .collect()
+}
+
+#[test]
+fn sigkilled_campaign_resumes_to_the_uninterrupted_report() {
+    let bench = tmpfile("kill.bench", C17);
+    let ckpt = tmpfile("kill.ckpt", "");
+    std::fs::remove_file(&ckpt).expect("start without a checkpoint");
+
+    let baseline = Command::new(bin())
+        .args(["campaign", &bench])
+        .output()
+        .expect("baseline run");
+    assert!(baseline.status.success(), "{baseline:?}");
+    let base_core = report_core(&String::from_utf8_lossy(&baseline.stdout));
+    assert!(!base_core.is_empty(), "baseline report has the core lines");
+
+    // SIGKILL the checkpointing run at a few different points. c17 is
+    // small, so some attempts may finish before the kill lands — the
+    // truncation below guarantees a genuinely partial file regardless.
+    for delay_ms in [0u64, 2, 5, 10] {
+        let mut child = Command::new(bin())
+            .args(["campaign", &bench, "--checkpoint", &ckpt])
+            .spawn()
+            .expect("spawn campaign");
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        let _ = child.kill(); // SIGKILL: no flush, no unwind
+        let _ = child.wait();
+    }
+
+    // Whatever the kills left behind, cut the file mid-record: a crash
+    // can land on any byte and the prefix must still load.
+    let bytes = std::fs::read(&ckpt).unwrap_or_default();
+    std::fs::write(&ckpt, &bytes[..bytes.len() / 2]).expect("truncate checkpoint");
+
+    let resumed = Command::new(bin())
+        .args(["campaign", &bench, "--resume", &ckpt])
+        .output()
+        .expect("resumed run");
+    assert!(resumed.status.success(), "{resumed:?}");
+    let resumed_core = report_core(&String::from_utf8_lossy(&resumed.stdout));
+    assert_eq!(
+        base_core, resumed_core,
+        "resume-equivalence across processes"
+    );
+
+    let _ = std::fs::remove_file(&bench);
+    let _ = std::fs::remove_file(&ckpt);
+}

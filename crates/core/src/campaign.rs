@@ -5,13 +5,16 @@
 //! achieves. This is the "large combinational networks" application the
 //! paper's conclusion points to.
 
+use crate::checkpoint::{decode_f64, encode_f64, Checkpoint, CheckpointSpec, CheckpointValue};
+use crate::durable::{Completeness, Watchdog};
 use crate::error::CoreError;
-use crate::resilience::error_kind;
+use crate::resilience::{error_kind, is_run_cancelled, ResilienceConfig};
 use crate::testgen::{plan_for_site, PathTestPlan, TestgenConfig};
-use pulsar_analog::FaultPlan;
-use pulsar_logic::{collapsed_fault_sites, Netlist, SignalId};
-use pulsar_mc::Summary;
-use pulsar_obs::{Counter as ObsCounter, Event, Phase, Recorder};
+use pulsar_analog::{FaultPlan, Polarity};
+use pulsar_logic::{collapsed_fault_sites, GateId, InputVector, Netlist, Path, PathStep, SignalId};
+use pulsar_mc::{MonteCarlo, RunHooks, SampleOutcome, Summary};
+use pulsar_obs::json::{json_str, Json};
+use pulsar_obs::{config_digest, CancelToken, Counter as ObsCounter, Event, Phase, Recorder};
 use pulsar_timing::TimingLibrary;
 use std::fmt::Write as _;
 
@@ -60,6 +63,12 @@ pub struct Campaign {
     /// enabled, it times site enumeration, counts per-site outcomes, and
     /// journals one `"site"` event per probed site.
     pub obs: Recorder,
+    /// Resilience knobs honored by the durable entry points
+    /// ([`Campaign::run_durable`] / [`Campaign::resume_from`]): `deadline`
+    /// truncates the run at a site boundary, `contain_panics` converts a
+    /// panicking site into a [`SiteOutcome::Failed`]. The plain
+    /// [`Campaign::run`] ignores this field.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for Campaign {
@@ -71,6 +80,7 @@ impl Default for Campaign {
             collapse: true,
             fault_plan: None,
             obs: Recorder::disabled(),
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -86,10 +96,144 @@ pub enum SiteOutcome {
     Failed(CoreError),
 }
 
+/// Checkpoint payload for one campaign site: the durable subset of
+/// [`SiteOutcome`]. `Failed` is deliberately *not* representable — a
+/// failed site re-plans deterministically on resume instead of having its
+/// error serialized.
+#[derive(Debug, Clone)]
+pub enum SitePlanRecord {
+    /// The site's best plan.
+    Planned(PathTestPlan),
+    /// No path through the site could be sensitized.
+    Unsensitizable,
+}
+
+impl SitePlanRecord {
+    fn into_site_outcome(self) -> SiteOutcome {
+        match self {
+            SitePlanRecord::Planned(p) => SiteOutcome::Planned(p),
+            SitePlanRecord::Unsensitizable => SiteOutcome::Unsensitizable,
+        }
+    }
+}
+
+/// Decodes the `"planned"` shape; `None` on any mismatch.
+fn decode_planned(v: &Json) -> Option<SitePlanRecord> {
+    let from = SignalId::from_index(crate::checkpoint::as_usize(v.get("from")?)?);
+    let steps = match v.get("steps")? {
+        Json::Arr(items) => {
+            let mut steps = Vec::with_capacity(items.len());
+            for it in items {
+                let Json::Arr(pair) = it else { return None };
+                if pair.len() != 2 {
+                    return None;
+                }
+                steps.push(PathStep {
+                    gate: GateId::from_index(crate::checkpoint::as_usize(&pair[0])?),
+                    pin: crate::checkpoint::as_usize(&pair[1])?,
+                });
+            }
+            steps
+        }
+        _ => return None,
+    };
+    let mut values = Vec::new();
+    for c in v.get("vector")?.as_str()?.chars() {
+        values.push(match c {
+            '1' => Some(true),
+            '0' => Some(false),
+            'x' => None,
+            _ => return None,
+        });
+    }
+    let polarity = match v.get("polarity")?.as_str()? {
+        "positive" => Polarity::PositiveGoing,
+        "negative" => Polarity::NegativeGoing,
+        _ => return None,
+    };
+    let w_in = decode_f64(v.get("w_in")?)?;
+    let w_th = decode_f64(v.get("w_th")?)?;
+    let r_min = match v.get("r_min")? {
+        Json::Null => None,
+        other => Some(decode_f64(other)?),
+    };
+    Some(SitePlanRecord::Planned(PathTestPlan {
+        path: Path { from, steps },
+        vector: InputVector { values },
+        polarity,
+        w_in,
+        w_th,
+        r_min,
+    }))
+}
+
+impl CheckpointValue for SitePlanRecord {
+    const TAG: &'static str = "site-plan";
+
+    fn encode_json(&self) -> String {
+        let p = match self {
+            SitePlanRecord::Unsensitizable => {
+                return "{\"site\":\"unsensitizable\"}".to_owned();
+            }
+            SitePlanRecord::Planned(p) => p,
+        };
+        let mut s = String::new();
+        let _ = write!(
+            s,
+            "{{\"site\":\"planned\",\"from\":{},\"steps\":[",
+            p.path.from.index()
+        );
+        for (i, st) in p.path.steps.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(s, "[{},{}]", st.gate.index(), st.pin);
+        }
+        // The input vector as a trit string: '0' / '1' / 'x' (don't-care),
+        // indexed by signal id like the vector itself.
+        let mut trits = String::with_capacity(p.vector.values.len());
+        for v in &p.vector.values {
+            trits.push(match v {
+                Some(true) => '1',
+                Some(false) => '0',
+                None => 'x',
+            });
+        }
+        let pol = match p.polarity {
+            Polarity::PositiveGoing => "positive",
+            Polarity::NegativeGoing => "negative",
+        };
+        let _ = write!(
+            s,
+            "],\"vector\":{},\"polarity\":{},\"w_in\":{},\"w_th\":{},\"r_min\":",
+            json_str(&trits),
+            json_str(pol),
+            encode_f64(p.w_in),
+            encode_f64(p.w_th)
+        );
+        match p.r_min {
+            Some(r) => s.push_str(&encode_f64(r)),
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        s
+    }
+
+    fn decode_json(v: &Json) -> Option<Self> {
+        match v.get("site")?.as_str()? {
+            "unsensitizable" => Some(SitePlanRecord::Unsensitizable),
+            "planned" => decode_planned(v),
+            _ => None,
+        }
+    }
+}
+
 /// Aggregated campaign result.
 #[derive(Debug)]
 pub struct CampaignReport {
-    /// Per-site outcomes, in site order.
+    /// Per-site outcomes, in site order. In a durable run truncated by a
+    /// deadline or interrupt, only the *done* sites appear — see
+    /// [`CampaignReport::completeness`].
     pub sites: Vec<(SignalId, SiteOutcome)>,
     /// Number of sites with a usable plan.
     pub planned: usize,
@@ -97,9 +241,34 @@ pub struct CampaignReport {
     pub unsensitizable: usize,
     /// Number of sites that errored.
     pub failed: usize,
+    /// How much of the campaign actually ran. Always complete for
+    /// [`Campaign::run`]; a durable run reports honest partial progress.
+    pub completeness: Completeness,
 }
 
 impl CampaignReport {
+    /// Builds a report from per-site outcomes, deriving the counts.
+    fn from_parts(sites: Vec<(SignalId, SiteOutcome)>, completeness: Completeness) -> Self {
+        let planned = sites
+            .iter()
+            .filter(|(_, o)| matches!(o, SiteOutcome::Planned(_)))
+            .count();
+        let unsensitizable = sites
+            .iter()
+            .filter(|(_, o)| matches!(o, SiteOutcome::Unsensitizable))
+            .count();
+        let failed = sites
+            .iter()
+            .filter(|(_, o)| matches!(o, SiteOutcome::Failed(_)))
+            .count();
+        CampaignReport {
+            sites,
+            planned,
+            unsensitizable,
+            failed,
+            completeness,
+        }
+    }
     /// All best plans, in site order.
     pub fn plans(&self) -> impl Iterator<Item = (&SignalId, &PathTestPlan)> {
         self.sites.iter().filter_map(|(s, o)| match o {
@@ -164,6 +333,13 @@ impl CampaignReport {
             self.unsensitizable,
             self.failed
         );
+        if let Some(why) = self.completeness.truncated {
+            let _ = writeln!(
+                s,
+                "TRUNCATED ({why}): {}/{} sites done ({} restored from checkpoint)",
+                self.completeness.done, self.completeness.requested, self.completeness.resumed
+            );
+        }
         let _ = writeln!(s, "pattern count = {}", self.pattern_count());
         if let Some(r) = self.r_min_summary() {
             let _ = writeln!(
@@ -192,38 +368,19 @@ impl Campaign {
     /// the whole campaign.
     pub fn run(&self, nl: &Netlist, lib: &TimingLibrary) -> Result<CampaignReport, CoreError> {
         let setup_span = self.obs.span(Phase::StudySetup);
-        nl.topological_order().map_err(CoreError::from)?;
-
-        // Candidate sites: PIs + gate outputs — collapsed to group
-        // representatives when enabled — then stride-sampled.
-        let sites: Vec<SignalId> = if self.collapse {
-            collapsed_fault_sites(nl)
-                .into_iter()
-                .map(|g| g.representative)
-                .collect()
-        } else {
-            let mut v: Vec<SignalId> = nl.inputs().to_vec();
-            v.extend(nl.gates().iter().map(|g| g.output));
-            v
-        };
-        let sites: Vec<SignalId> = sites.into_iter().step_by(self.stride.max(1)).collect();
+        let sites = self.probed_sites(nl)?;
         drop(setup_span);
 
-        let threads = self
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|t| t.get())
-                    .unwrap_or(1)
-            })
-            .min(sites.len().max(1));
+        let threads = self.worker_threads(sites.len());
 
         let plan_one = |index: usize, site: SignalId| -> SiteOutcome {
             // A planned fault for this probed-site index fails it here:
             // campaign planning is logic-level and never reaches the
             // analog solver, so the plan is honored at this level.
             if let Some((kind, _)) = self.fault_plan.as_ref().and_then(|p| p.due(index, 1)) {
-                return SiteOutcome::Failed(CoreError::Analog(kind.planned_error()));
+                if let Some(e) = kind.planned_outcome() {
+                    return SiteOutcome::Failed(CoreError::Analog(e));
+                }
             }
             match plan_for_site(nl, site, lib, &self.cfg) {
                 Ok(mut plans) => SiteOutcome::Planned(plans.swap_remove(0)),
@@ -251,55 +408,266 @@ impl Campaign {
                     })
                 })
                 .collect();
+            // Join *every* worker before re-raising a panic: siblings get
+            // to finish (and flush any journaling) instead of being torn
+            // down mid-site by an unwinding scope.
+            let mut first_panic = None;
             for h in handles {
                 match h.join() {
                     Ok(part) => outcomes.extend(part),
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
                 }
+            }
+            if let Some(payload) = first_panic {
+                std::panic::resume_unwind(payload);
             }
         });
 
         let sites: Vec<(SignalId, SiteOutcome)> = sites.into_iter().zip(outcomes).collect();
         if self.obs.is_enabled() {
             for (i, (site, o)) in sites.iter().enumerate() {
-                let mut ev = Event::new("site", i);
-                ev.label = Some(format!("{site:?}"));
-                match o {
-                    SiteOutcome::Planned(_) => {
-                        ev.outcome = "planned";
-                        self.obs.add(ObsCounter::SitesPlanned, 1);
-                    }
-                    SiteOutcome::Unsensitizable => {
-                        ev.outcome = "unsensitizable";
-                        self.obs.add(ObsCounter::SitesUnsensitizable, 1);
-                    }
-                    SiteOutcome::Failed(e) => {
-                        ev.outcome = "failed";
-                        ev.error_kind = Some(error_kind(e).to_owned());
-                        self.obs.add(ObsCounter::SitesFailed, 1);
-                    }
-                }
-                self.obs.event(ev);
+                self.journal_site(i, *site, o);
             }
         }
-        let planned = sites
-            .iter()
-            .filter(|(_, o)| matches!(o, SiteOutcome::Planned(_)))
-            .count();
-        let unsensitizable = sites
-            .iter()
-            .filter(|(_, o)| matches!(o, SiteOutcome::Unsensitizable))
-            .count();
-        let failed = sites
-            .iter()
-            .filter(|(_, o)| matches!(o, SiteOutcome::Failed(_)))
-            .count();
-        Ok(CampaignReport {
-            sites,
-            planned,
-            unsensitizable,
-            failed,
+        let completeness = Completeness {
+            requested: sites.len(),
+            done: sites.len(),
+            resumed: 0,
+            truncated: None,
+        };
+        Ok(CampaignReport::from_parts(sites, completeness))
+    }
+
+    /// The deterministic probed-site list for `nl` under this campaign's
+    /// collapse/stride settings. This ordering is also the checkpoint
+    /// index space: site `i` here is record index `i` in a durable run's
+    /// checkpoint file.
+    fn probed_sites(&self, nl: &Netlist) -> Result<Vec<SignalId>, CoreError> {
+        nl.topological_order().map_err(CoreError::from)?;
+        // Candidate sites: PIs + gate outputs — collapsed to group
+        // representatives when enabled — then stride-sampled.
+        let sites: Vec<SignalId> = if self.collapse {
+            collapsed_fault_sites(nl)
+                .into_iter()
+                .map(|g| g.representative)
+                .collect()
+        } else {
+            let mut v: Vec<SignalId> = nl.inputs().to_vec();
+            v.extend(nl.gates().iter().map(|g| g.output));
+            v
+        };
+        Ok(sites.into_iter().step_by(self.stride.max(1)).collect())
+    }
+
+    fn worker_threads(&self, sites: usize) -> usize {
+        self.threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|t| t.get())
+                    .unwrap_or(1)
+            })
+            .min(sites.max(1))
+    }
+
+    /// Emits one `"site"` journal event and bumps the per-outcome counter.
+    fn journal_site(&self, i: usize, site: SignalId, o: &SiteOutcome) {
+        let mut ev = Event::new("site", i);
+        ev.label = Some(format!("{site:?}"));
+        match o {
+            SiteOutcome::Planned(_) => {
+                ev.outcome = "planned";
+                self.obs.add(ObsCounter::SitesPlanned, 1);
+            }
+            SiteOutcome::Unsensitizable => {
+                ev.outcome = "unsensitizable";
+                self.obs.add(ObsCounter::SitesUnsensitizable, 1);
+            }
+            SiteOutcome::Failed(e) => {
+                ev.outcome = "failed";
+                ev.error_kind = Some(error_kind(e).to_owned());
+                if let CoreError::Panic { message } = e {
+                    ev.detail = Some(message.clone());
+                }
+                self.obs.add(ObsCounter::SitesFailed, 1);
+            }
+        }
+        self.obs.event(ev);
+    }
+
+    /// The [`CheckpointSpec`] identifying a durable run of this campaign
+    /// over `nl`: the config digest covers the testgen knobs, collapse,
+    /// stride, *and* the resolved probed-site list, so a checkpoint can
+    /// never be resumed against a different netlist or site ordering.
+    ///
+    /// # Errors
+    ///
+    /// Structural netlist errors, as for [`Campaign::run`].
+    pub fn checkpoint_spec(&self, nl: &Netlist) -> Result<CheckpointSpec, CoreError> {
+        let sites = self.probed_sites(nl)?;
+        let digest = config_digest(&format!(
+            "campaign cfg={:?} stride={} collapse={} sites={:?}",
+            self.cfg, self.stride, self.collapse, sites
+        ));
+        Ok(CheckpointSpec {
+            config_digest: digest,
+            seed: 0,
+            samples: sites.len(),
         })
+    }
+
+    /// Durable variant of [`Campaign::run`]: cooperative cancellation
+    /// through `run_token`, the [`ResilienceConfig::deadline`] wall-clock
+    /// budget, opt-in panic containment, and crash-consistent
+    /// checkpoint/resume (per-site completion records; failed sites
+    /// re-plan deterministically on resume).
+    ///
+    /// A cancelled or deadline-cut run returns the sites it finished —
+    /// [`CampaignReport::completeness`] says how many and why it stopped —
+    /// and the checkpoint (when given) holds everything needed to resume.
+    /// An uninterrupted durable run is identical to [`Campaign::run`]
+    /// outcome-for-outcome.
+    ///
+    /// # Errors
+    ///
+    /// Structural netlist errors as for [`Campaign::run`];
+    /// [`CoreError::Checkpoint`] when `checkpoint` belongs to a different
+    /// campaign or a record append failed mid-run.
+    pub fn run_durable(
+        &self,
+        nl: &Netlist,
+        lib: &TimingLibrary,
+        run_token: &CancelToken,
+        checkpoint: Option<&Checkpoint<SitePlanRecord>>,
+    ) -> Result<CampaignReport, CoreError> {
+        let setup_span = self.obs.span(Phase::StudySetup);
+        let sites = self.probed_sites(nl)?;
+        drop(setup_span);
+        if let Some(c) = checkpoint {
+            let expected = self.checkpoint_spec(nl)?;
+            if *c.spec() != expected {
+                return Err(CoreError::Checkpoint {
+                    reason: format!(
+                        "checkpoint {} was opened under a different campaign spec",
+                        c.path().display()
+                    ),
+                });
+            }
+        }
+
+        let driver = MonteCarlo::new(sites.len(), 0).with_threads(self.worker_threads(sites.len()));
+        // Deadline only: site planning is logic-level with no inner
+        // cancellation point, so a per-site timeout could never fire.
+        let watchdog = Watchdog::new(run_token.clone(), self.resilience.deadline, None);
+
+        let plan_one = |index: usize, site: SignalId| -> SiteOutcome {
+            if let Some((kind, _)) = self.fault_plan.as_ref().and_then(|p| p.due(index, 1)) {
+                if let Some(e) = kind.planned_outcome() {
+                    return SiteOutcome::Failed(CoreError::Analog(e));
+                }
+            }
+            match plan_for_site(nl, site, lib, &self.cfg) {
+                Ok(mut plans) => SiteOutcome::Planned(plans.swap_remove(0)),
+                Err(CoreError::NoSensitizablePath { .. }) => SiteOutcome::Unsensitizable,
+                Err(e) => SiteOutcome::Failed(e),
+            }
+        };
+
+        let prior = |i: usize| checkpoint.and_then(|c| c.prior().get(&i).cloned());
+        let on_done = |i: usize, o: &SampleOutcome<SitePlanRecord, CoreError>| {
+            if let Some(c) = checkpoint {
+                c.record(i, driver.stream_seed(i), o);
+            }
+        };
+        let contain = |message: String| CoreError::Panic { message };
+        let hooks = RunHooks {
+            prior: Some(&prior),
+            on_done: Some(&on_done),
+            cancel: Some(run_token),
+            contain_panics: if self.resilience.contain_panics {
+                Some(&contain)
+            } else {
+                None
+            },
+        };
+        let raw = driver.try_run_resumed(
+            1,
+            |_: &CoreError| false,
+            hooks,
+            |i, _attempt, _rng| match plan_one(i, sites[i]) {
+                SiteOutcome::Planned(p) => Ok(SitePlanRecord::Planned(p)),
+                SiteOutcome::Unsensitizable => Ok(SitePlanRecord::Unsensitizable),
+                SiteOutcome::Failed(e) => Err(e),
+            },
+        );
+        drop(watchdog);
+
+        let resumed = checkpoint.map_or(0, |c| {
+            (0..raw.len())
+                .filter(|i| raw[*i].is_some() && c.prior().contains_key(i))
+                .count()
+        });
+        let requested = sites.len();
+        let mut done_sites: Vec<(SignalId, SiteOutcome)> = Vec::with_capacity(requested);
+        for (i, slot) in raw.into_iter().enumerate() {
+            let outcome = match slot {
+                None => None,
+                Some(SampleOutcome::Failed { error, .. }) if is_run_cancelled(&error) => None,
+                Some(SampleOutcome::Ok(rec))
+                | Some(SampleOutcome::Recovered { value: rec, .. }) => {
+                    Some(rec.into_site_outcome())
+                }
+                Some(SampleOutcome::Failed { error, .. }) => Some(SiteOutcome::Failed(error)),
+            };
+            if let Some(o) = outcome {
+                if self.obs.is_enabled() {
+                    self.journal_site(i, sites[i], &o);
+                }
+                done_sites.push((sites[i], o));
+            }
+        }
+        if let Some(c) = checkpoint {
+            if !c.healthy() {
+                return Err(CoreError::Checkpoint {
+                    reason: format!("checkpoint write failed mid-run: {}", c.path().display()),
+                });
+            }
+        }
+        let completeness = Completeness {
+            requested,
+            done: done_sites.len(),
+            resumed,
+            // A cancellation that landed after the last site resolved (or
+            // when every site was restored from the checkpoint) truncated
+            // nothing: the campaign is complete.
+            truncated: (done_sites.len() < requested)
+                .then(|| run_token.cancelled().map(|r| r.label()))
+                .flatten(),
+        };
+        Ok(CampaignReport::from_parts(done_sites, completeness))
+    }
+
+    /// Opens (or creates) the checkpoint at `path` for this campaign over
+    /// `nl` and runs durably against it — the one-call version of
+    /// [`Campaign::checkpoint_spec`] + [`Checkpoint::open`] +
+    /// [`Campaign::run_durable`], and the CLI's `--resume` semantics.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Campaign::run_durable`].
+    pub fn resume_from(
+        &self,
+        nl: &Netlist,
+        lib: &TimingLibrary,
+        run_token: &CancelToken,
+        path: &std::path::Path,
+    ) -> Result<CampaignReport, CoreError> {
+        let spec = self.checkpoint_spec(nl)?;
+        let ck = Checkpoint::open(path, spec)?;
+        self.run_durable(nl, lib, run_token, Some(&ck))
     }
 }
 
@@ -463,5 +831,154 @@ mod tests {
         .run(&nl, &TimingLibrary::generic())
         .unwrap();
         assert_eq!(report.sites.len(), full_sites.div_ceil(4));
+    }
+
+    /// Canonical per-site fingerprint: exact down to f64 bit patterns for
+    /// planned sites, error kind for failures.
+    fn fingerprint(o: &SiteOutcome) -> String {
+        match o {
+            SiteOutcome::Planned(p) => SitePlanRecord::Planned(p.clone()).encode_json(),
+            SiteOutcome::Unsensitizable => "unsensitizable".to_owned(),
+            SiteOutcome::Failed(e) => format!("failed:{}", error_kind(e)),
+        }
+    }
+
+    fn report_fingerprints(r: &CampaignReport) -> Vec<(SignalId, String)> {
+        r.sites.iter().map(|(s, o)| (*s, fingerprint(o))).collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pulsar-campaign-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{}.ckpt", name, std::process::id()))
+    }
+
+    #[test]
+    fn durable_run_matches_plain_run_exactly() {
+        let nl = c432_like();
+        let campaign = Campaign {
+            stride: 8,
+            ..Campaign::default()
+        };
+        let lib = TimingLibrary::generic();
+        let plain = campaign.run(&nl, &lib).unwrap();
+        let durable = campaign
+            .run_durable(&nl, &lib, &CancelToken::new(), None)
+            .unwrap();
+        assert_eq!(report_fingerprints(&plain), report_fingerprints(&durable));
+        assert!(durable.completeness.is_complete());
+        assert_eq!(durable.completeness.resumed, 0);
+    }
+
+    #[test]
+    fn site_plan_records_round_trip_through_the_checkpoint() {
+        let nl = c432_like();
+        let campaign = Campaign {
+            stride: 8,
+            ..Campaign::default()
+        };
+        let lib = TimingLibrary::generic();
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+
+        let spec = campaign.checkpoint_spec(&nl).unwrap();
+        let ck = Checkpoint::create(&path, spec).unwrap();
+        let first = campaign
+            .run_durable(&nl, &lib, &CancelToken::new(), Some(&ck))
+            .unwrap();
+        drop(ck);
+
+        // Re-open: every site decodes back and the resumed run recomputes
+        // nothing, yet reports bit-identical outcomes.
+        let ck = Checkpoint::open(&path, spec).unwrap();
+        assert_eq!(ck.resumed_count(), first.sites.len());
+        let resumed = campaign
+            .run_durable(&nl, &lib, &CancelToken::new(), Some(&ck))
+            .unwrap();
+        assert_eq!(report_fingerprints(&first), report_fingerprints(&resumed));
+        assert_eq!(resumed.completeness.resumed, first.sites.len());
+        assert!(resumed.completeness.is_complete());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resume_from_a_truncated_checkpoint_is_bit_identical() {
+        let nl = c432_like();
+        let campaign = Campaign {
+            stride: 8,
+            ..Campaign::default()
+        };
+        let lib = TimingLibrary::generic();
+        let path = tmp("truncated");
+        let _ = std::fs::remove_file(&path);
+
+        let spec = campaign.checkpoint_spec(&nl).unwrap();
+        let ck = Checkpoint::create(&path, spec).unwrap();
+        let full = campaign
+            .run_durable(&nl, &lib, &CancelToken::new(), Some(&ck))
+            .unwrap();
+        drop(ck);
+
+        // Chop the file mid-record — a kill can land on any byte.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+
+        let resumed = campaign
+            .resume_from(&nl, &lib, &CancelToken::new(), &path)
+            .unwrap();
+        assert_eq!(report_fingerprints(&full), report_fingerprints(&resumed));
+        assert!(
+            resumed.completeness.resumed < full.sites.len(),
+            "truncation must have dropped some records"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn cancelled_run_reports_honest_truncation() {
+        let nl = c432_like();
+        let campaign = Campaign {
+            stride: 8,
+            ..Campaign::default()
+        };
+        let token = CancelToken::new();
+        token.cancel(pulsar_obs::CancelReason::User);
+        let report = campaign
+            .run_durable(&nl, &TimingLibrary::generic(), &token, None)
+            .unwrap();
+        assert_eq!(report.completeness.done, 0);
+        assert_eq!(report.completeness.truncated, Some("interrupted"));
+        assert!(!report.completeness.is_complete());
+        assert!(
+            report.summary().contains("TRUNCATED"),
+            "{}",
+            report.summary()
+        );
+    }
+
+    #[test]
+    fn checkpoint_from_a_different_campaign_is_rejected() {
+        let nl = c432_like();
+        let a = Campaign {
+            stride: 8,
+            ..Campaign::default()
+        };
+        let b = Campaign {
+            stride: 16,
+            ..Campaign::default()
+        };
+        let path = tmp("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let ck = Checkpoint::create(&path, a.checkpoint_spec(&nl).unwrap()).unwrap();
+        let err = b
+            .run_durable(
+                &nl,
+                &TimingLibrary::generic(),
+                &CancelToken::new(),
+                Some(&ck),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Checkpoint { .. }), "{err:?}");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -4,7 +4,7 @@
 use crate::error::CoreError;
 use pulsar_analog::{Edge, Polarity};
 use pulsar_cells::{BuiltPath, PathFault, PathSpec, RopSite, Tech};
-use pulsar_obs::Recorder;
+use pulsar_obs::{CancelToken, Recorder};
 use pulsar_timing::PathTimingModel;
 
 /// The defect class injected into a path under test.
@@ -216,6 +216,19 @@ pub trait PathInstance {
     fn set_recorder(&mut self, rec: Recorder) {
         let _ = rec;
     }
+
+    /// Installs a cooperative cancellation token: a cancelled token makes
+    /// the engine's next (or current, for the electrical engine's step
+    /// loop) measurement abort with a cancellation error instead of
+    /// running to completion. Used by the durable study entry points to
+    /// honor deadlines and per-sample timeouts mid-solve.
+    ///
+    /// Default: no-op — engines with no interruptible inner loop finish
+    /// their (fast) measurement and are cancelled at the next sample
+    /// boundary instead.
+    fn set_cancel(&mut self, token: CancelToken) {
+        let _ = token;
+    }
 }
 
 /// Transistor-level path instance (wraps [`BuiltPath`]).
@@ -262,6 +275,10 @@ impl PathInstance for AnalogPath {
 
     fn set_recorder(&mut self, rec: Recorder) {
         self.inner.set_recorder(rec);
+    }
+
+    fn set_cancel(&mut self, token: CancelToken) {
+        self.inner.set_cancel(token);
     }
 }
 

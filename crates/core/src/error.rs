@@ -44,6 +44,21 @@ pub enum CoreError {
         /// The full lint report (error-severity findings included).
         report: Box<pulsar_lint::LintReport>,
     },
+    /// A worker panic was caught by the opt-in containment path
+    /// ([`ResilienceConfig::contain_panics`](crate::ResilienceConfig)) and
+    /// converted into an ordinary per-sample failure, so it counts against
+    /// the failure budget instead of unwinding the whole run.
+    Panic {
+        /// The captured panic message.
+        message: String,
+    },
+    /// A checkpoint file could not be used for resume: unreadable,
+    /// malformed beyond the torn-tail tolerance, or recorded under a
+    /// different configuration (digest/seed/sample-count mismatch).
+    Checkpoint {
+        /// What was wrong with the checkpoint.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -72,6 +87,12 @@ impl fmt::Display for CoreError {
                         .map(|d| format!("[{}] {}: {}", d.code, d.subject, d.message))
                         .unwrap_or_else(|| "none".to_owned())
                 )
+            }
+            CoreError::Panic { message } => {
+                write!(f, "sample worker panicked: {message}")
+            }
+            CoreError::Checkpoint { reason } => {
+                write!(f, "checkpoint unusable: {reason}")
             }
         }
     }

@@ -9,6 +9,7 @@
 //! on the fault-free Monte Carlo sample with the usual zero-false-positive
 //! rule; what the background noise swallows is the method's blind spot.
 
+use crate::durable::Completeness;
 use crate::engine::{DefectKind, PathInstance, PathUnderTest};
 use crate::error::CoreError;
 use crate::study::{CoverageCurve, McConfig};
@@ -152,6 +153,7 @@ impl IddqStudy {
             // This study still aborts on the first solver error, so a
             // returned curve always covers every sample.
             unresolved: 0.0,
+            completeness: Completeness::full(rows.len()),
         })
     }
 }

@@ -62,8 +62,10 @@
 mod bridge;
 mod calib;
 mod campaign;
+mod checkpoint;
 mod compact;
 mod df;
+mod durable;
 mod engine;
 mod error;
 mod faultsim;
@@ -79,9 +81,11 @@ mod variation;
 
 pub use bridge::critical_resistance;
 pub use calib::{calibrate_pulse, calibrate_t0, DfCalibration, PulseCalibration};
-pub use campaign::{Campaign, CampaignReport, SiteOutcome};
+pub use campaign::{Campaign, CampaignReport, SiteOutcome, SitePlanRecord};
+pub use checkpoint::{Checkpoint, CheckpointSpec, CheckpointValue, CHECKPOINT_VERSION};
 pub use compact::{compact_patterns, TestSession};
 pub use df::{df_detects, FfTiming};
+pub use durable::{Completeness, DurableRun};
 pub use engine::{AnalogPath, DefectKind, ModelFault, ModelPath, PathInstance, PathUnderTest};
 pub use error::CoreError;
 pub use faultsim::{all_branch_faults, fault_simulate, BranchFault, FaultSimReport, PulsePattern};
@@ -89,7 +93,10 @@ pub use iddq::IddqStudy;
 pub use model_study::{ModelDfStudy, ModelPulseStudy};
 pub use ordering::{OrderingCalibration, OrderingStudy};
 pub use pulsar_lint::LintReport;
-pub use resilience::{error_kind, is_retryable, FailureReport, McRunReport, ResilienceConfig};
+pub use pulsar_obs::{CancelReason, CancelToken};
+pub use resilience::{
+    error_kind, is_retryable, is_run_cancelled, FailureReport, McRunReport, ResilienceConfig,
+};
 pub use study::{CoverageCurve, DfStudy, McConfig, PulseStudy};
 pub use testgen::{
     electrical_spec, plan_for_site, validate_plan_electrically, PathTestPlan, TestgenConfig,

@@ -6,6 +6,7 @@
 //! experiment check it tracks the electrical reference.
 
 use crate::calib::{calibrate_pulse, PulseCalibration};
+use crate::durable::Completeness;
 use crate::engine::{ModelFault, ModelPath, PathInstance};
 use crate::error::CoreError;
 use crate::study::{CoverageCurve, McConfig};
@@ -182,6 +183,7 @@ impl ModelPulseStudy {
                     coverage,
                     // The closed-form timing model cannot fail per sample.
                     unresolved: 0.0,
+                    completeness: Completeness::full(wouts.len()),
                 }
             })
             .collect())
@@ -312,6 +314,7 @@ impl ModelDfStudy {
                     coverage,
                     // The closed-form timing model cannot fail per sample.
                     unresolved: 0.0,
+                    completeness: Completeness::full(needs.len()),
                 }
             })
             .collect())

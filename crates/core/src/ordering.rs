@@ -13,6 +13,7 @@
 //! variation never flips the fault-free order, and that margin is
 //! precisely the delay defect the method cannot see.
 
+use crate::durable::Completeness;
 use crate::engine::{PathInstance, PathUnderTest};
 use crate::error::CoreError;
 use crate::study::{CoverageCurve, McConfig};
@@ -182,6 +183,7 @@ impl OrderingStudy {
             // This study still aborts on the first solver error, so a
             // returned curve always covers every sample.
             unresolved: 0.0,
+            completeness: Completeness::full(faulty.len()),
         })
     }
 }

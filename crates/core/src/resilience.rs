@@ -35,6 +35,27 @@ pub struct ResilienceConfig {
     /// the study — the legacy abort-on-error semantics, now with a full
     /// [`FailureReport`] instead of a bare first error.
     pub failure_budget: f64,
+    /// Wall-clock budget for the whole run (durable entry points only).
+    /// When it expires the run token trips with
+    /// [`CancelReason::Deadline`](pulsar_obs::CancelReason): in-flight
+    /// samples bail out at the next step-loop check, unstarted samples
+    /// never run, and the partial result is reported with honest
+    /// completeness instead of being thrown away. `None` (default) = no
+    /// deadline.
+    pub deadline: Option<std::time::Duration>,
+    /// Wall-clock budget for a single sample *attempt* (durable entry
+    /// points only). A stuck attempt is cancelled with
+    /// [`CancelReason::Timeout`](pulsar_obs::CancelReason), which is
+    /// retryable — the sample re-runs under the escalated solver ladder
+    /// with a fresh budget before it is declared failed. `None` (default)
+    /// = no per-sample watchdog.
+    pub sample_timeout: Option<std::time::Duration>,
+    /// Opt-in panic containment (durable entry points only): a panicking
+    /// sample is caught and accounted as a [`CoreError::Panic`] failure
+    /// against the failure budget. Off by default — a panic then unwinds
+    /// the run (after sibling worker shards have been joined), preserving
+    /// the legacy fail-fast behavior.
+    pub contain_panics: bool,
 }
 
 impl Default for ResilienceConfig {
@@ -42,6 +63,9 @@ impl Default for ResilienceConfig {
         ResilienceConfig {
             max_attempts: 3,
             failure_budget: 0.0,
+            deadline: None,
+            sample_timeout: None,
+            contain_panics: false,
         }
     }
 }
@@ -51,7 +75,7 @@ impl ResilienceConfig {
     pub fn strict() -> Self {
         ResilienceConfig {
             max_attempts: 1,
-            failure_budget: 0.0,
+            ..ResilienceConfig::default()
         }
     }
 
@@ -60,21 +84,47 @@ impl ResilienceConfig {
         ResilienceConfig {
             max_attempts,
             failure_budget,
+            ..ResilienceConfig::default()
         }
     }
 }
 
 /// Whether an error is worth retrying under a tightened solver
 /// configuration. Newton non-convergence and step-budget exhaustion are
-/// plausibly numerical and retryable; everything else (singular matrix,
-/// bad parameters, methodology errors) is structural and is not.
+/// plausibly numerical and retryable, as are a per-sample timeout (the
+/// retry gets a fresh wall-clock budget under the escalated ladder) and a
+/// contained panic (the hardened configuration may sidestep it);
+/// everything else — singular matrix, bad parameters, methodology errors,
+/// and run-level cancellation (interrupt/deadline, which no retry can
+/// outlive) — is not.
 pub fn is_retryable(e: &CoreError) -> bool {
+    use pulsar_obs::CancelReason;
     matches!(
         e,
         CoreError::Analog(
             pulsar_analog::Error::NoConvergence { .. }
                 | pulsar_analog::Error::StepBudgetExhausted { .. }
-        )
+                | pulsar_analog::Error::Cancelled {
+                    reason: CancelReason::Timeout,
+                    ..
+                }
+        ) | CoreError::Panic { .. }
+    )
+}
+
+/// True when the error is a *run-level* cancellation (operator interrupt
+/// or deadline expiry) rather than a per-sample failure: the sample was
+/// cut short by the run ending, so durable entry points report it as
+/// not-done (completeness accounting) instead of failed (budget
+/// accounting).
+pub fn is_run_cancelled(e: &CoreError) -> bool {
+    use pulsar_obs::CancelReason;
+    matches!(
+        e,
+        CoreError::Analog(pulsar_analog::Error::Cancelled {
+            reason: CancelReason::User | CancelReason::Deadline,
+            ..
+        })
     )
 }
 
@@ -88,6 +138,8 @@ pub fn error_kind(e: &CoreError) -> &'static str {
             pulsar_analog::Error::InvalidParameter { .. } => "invalid-parameter",
             pulsar_analog::Error::UnknownNode { .. } => "unknown-node",
             pulsar_analog::Error::InvalidTranConfig { .. } => "invalid-tran-config",
+            // "interrupted" / "deadline" / "sample-timeout".
+            pulsar_analog::Error::Cancelled { reason, .. } => reason.label(),
             _ => "analog-other",
         },
         CoreError::Logic(_) => "logic",
@@ -96,6 +148,8 @@ pub fn error_kind(e: &CoreError) -> &'static str {
         CoreError::Unsupported { .. } => "unsupported",
         CoreError::FailureBudgetExceeded { .. } => "failure-budget-exceeded",
         CoreError::LintRejected { .. } => "lint-rejected",
+        CoreError::Panic { .. } => "panic",
+        CoreError::Checkpoint { .. } => "checkpoint",
         // `CoreError` is non_exhaustive: future variants default here.
         #[allow(unreachable_patterns)]
         _ => "other",
@@ -130,12 +184,23 @@ pub struct FailureReport {
 impl FailureReport {
     /// Builds the accounting from index-aligned sample outcomes.
     pub fn from_outcomes<T>(outcomes: &[SampleOutcome<T, CoreError>], failure_budget: f64) -> Self {
+        Self::from_indexed(outcomes.iter().enumerate(), outcomes.len(), failure_budget)
+    }
+
+    /// Builds the accounting from explicitly indexed outcomes — the
+    /// durable-run path, where cancelled (not-done) samples are absent
+    /// and `samples` counts only the ones that ran to a conclusion.
+    pub fn from_indexed<'a, T: 'a>(
+        outcomes: impl IntoIterator<Item = (usize, &'a SampleOutcome<T, CoreError>)>,
+        samples: usize,
+        failure_budget: f64,
+    ) -> Self {
         let mut by_kind: BTreeMap<&'static str, usize> = BTreeMap::new();
         let mut hist: BTreeMap<u32, usize> = BTreeMap::new();
         let mut failures: Vec<(usize, u32, CoreError)> = Vec::new();
         let mut recovered = 0usize;
 
-        for (i, o) in outcomes.iter().enumerate() {
+        for (i, o) in outcomes {
             *hist.entry(o.attempts()).or_default() += 1;
             match o {
                 SampleOutcome::Ok(_) => {}
@@ -155,7 +220,7 @@ impl FailureReport {
         by_kind.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
 
         FailureReport {
-            samples: outcomes.len(),
+            samples,
             recovered,
             failed,
             failure_budget,

@@ -3,16 +3,20 @@
 //! the pulse-propagation method, over the same circuit instances.
 
 use crate::calib::{calibrate_pulse, calibrate_t0, DfCalibration, PulseCalibration};
+use crate::checkpoint::{Checkpoint, CheckpointSpec, CheckpointValue};
 use crate::df::FfTiming;
+use crate::durable::{Completeness, DurableRun, Watchdog};
 use crate::engine::{AnalogPath, PathInstance, PathUnderTest};
 use crate::error::CoreError;
-use crate::resilience::{error_kind, is_retryable, FailureReport, McRunReport, ResilienceConfig};
+use crate::resilience::{
+    error_kind, is_retryable, is_run_cancelled, FailureReport, McRunReport, ResilienceConfig,
+};
 use crate::transfer::TransferCurve;
 use crate::variation::VariationModel;
 use pulsar_analog::{FaultPlan, Polarity, SymbolicCache};
 use pulsar_cells::Tech;
-use pulsar_mc::{MonteCarlo, SampleOutcome};
-use pulsar_obs::{Counter as ObsCounter, Event, Phase, Recorder};
+use pulsar_mc::{MonteCarlo, RunHooks, SampleOutcome};
+use pulsar_obs::{CancelToken, Counter as ObsCounter, Event, Phase, Recorder};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
@@ -167,6 +171,187 @@ impl McConfig {
         }
         Ok(McRunReport { outcomes, failures })
     }
+
+    /// Durable variant of [`McConfig::try_run_samples_with`]: cooperative
+    /// cancellation through `run_token`, the wall-clock budgets from
+    /// [`ResilienceConfig::deadline`] and
+    /// [`ResilienceConfig::sample_timeout`], opt-in panic containment
+    /// ([`ResilienceConfig::contain_panics`]), and crash-consistent
+    /// checkpoint/resume. The sample closure additionally receives the
+    /// attempt's [`CancelToken`] — install it in the solver workspace so
+    /// the transient step loop observes cancellation.
+    ///
+    /// Determinism contract: a resumed run restores completed samples
+    /// from the checkpoint and recomputes the rest from the *same* seeded
+    /// RNG streams, so the final report is bit-identical to an
+    /// uninterrupted run. Samples cut short by *run* cancellation
+    /// (interrupt or deadline) come back as `None` slots: they are not
+    /// failures, never count against the failure budget or a coverage
+    /// denominator, and are reported through [`Completeness`] instead.
+    /// Per-sample timeouts, by contrast, cancel only that attempt's child
+    /// token — the sample retries under the escalation ladder and, if it
+    /// stays stuck, counts as an ordinary `"sample-timeout"` failure.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::FailureBudgetExceeded`] as for
+    /// [`McConfig::try_run_samples`], computed over the *done* samples
+    /// only; [`CoreError::Checkpoint`] when a checkpoint write failed
+    /// mid-run (the run aborts rather than report durability it does not
+    /// have).
+    pub fn try_run_samples_durable<T, F>(
+        &self,
+        label: &'static str,
+        run_token: &CancelToken,
+        checkpoint: Option<&Checkpoint<T>>,
+        f: F,
+    ) -> Result<DurableRun<T>, CoreError>
+    where
+        T: Send + Sync + Clone + CheckpointValue,
+        F: Fn(usize, u32, &mut StdRng, &Recorder, &CancelToken) -> Result<T, CoreError> + Sync,
+    {
+        let plan = self.fault_plan.clone().unwrap_or_default();
+        let driver = self.driver();
+        let watchdog = Watchdog::new(
+            run_token.clone(),
+            self.resilience.deadline,
+            self.resilience.sample_timeout,
+        );
+        // Fork on the main thread so shard creation order is deterministic
+        // regardless of worker scheduling.
+        let sample_recs: Vec<Recorder> = (0..self.samples).map(|_| self.obs.fork()).collect();
+
+        let prior = |i: usize| checkpoint.and_then(|c| c.prior().get(&i).cloned());
+        let on_done = |i: usize, o: &SampleOutcome<T, CoreError>| {
+            if let Some(c) = checkpoint {
+                c.record(i, driver.stream_seed(i), o);
+            }
+        };
+        let contain = |message: String| CoreError::Panic { message };
+        let hooks = RunHooks {
+            prior: Some(&prior),
+            on_done: Some(&on_done),
+            cancel: Some(run_token),
+            contain_panics: if self.resilience.contain_panics {
+                Some(&contain)
+            } else {
+                None
+            },
+        };
+        let raw = driver.try_run_resumed(
+            self.resilience.max_attempts,
+            is_retryable,
+            hooks,
+            |i, attempt, rng| {
+                let rec = &sample_recs[i];
+                let _span = rec.span(Phase::McSample);
+                // Inert unless a test installed a plan naming sample `i`.
+                let _fault = plan.arm(i, attempt);
+                let (token, _guard) = watchdog.attempt(i);
+                f(i, attempt, rng, rec, &token)
+            },
+        );
+        // Stop the watchdog before accounting so a deadline cannot fire
+        // between the done count and the truncation label.
+        drop(watchdog);
+
+        let resumed = checkpoint.map_or(0, |c| {
+            (0..raw.len())
+                .filter(|i| raw[*i].is_some() && c.prior().contains_key(i))
+                .count()
+        });
+
+        // Journal every sample that produced an outcome, then strip the
+        // run-cancelled ones to `None`: they were interrupted, not failed.
+        let journal = self.obs.is_enabled();
+        let mut outcomes: Vec<Option<SampleOutcome<T, CoreError>>> = Vec::with_capacity(raw.len());
+        let mut done = 0usize;
+        for (i, slot) in raw.into_iter().enumerate() {
+            let cancelled = matches!(
+                &slot,
+                Some(SampleOutcome::Failed { error, .. }) if is_run_cancelled(error)
+            );
+            if journal {
+                if let Some(o) = &slot {
+                    let mut ev = Event::new("sample", i);
+                    ev.label = Some(label.to_owned());
+                    ev.seed = Some(driver.stream_seed(i));
+                    match o {
+                        SampleOutcome::Ok(_) => {
+                            self.obs.add(ObsCounter::SamplesOk, 1);
+                        }
+                        SampleOutcome::Recovered { attempts, .. } => {
+                            ev.outcome = "recovered";
+                            ev.attempts = *attempts;
+                            self.obs.add(ObsCounter::SamplesRecovered, 1);
+                        }
+                        SampleOutcome::Failed { error, attempts } => {
+                            ev.outcome = if cancelled { "cancelled" } else { "failed" };
+                            ev.attempts = *attempts;
+                            ev.error_kind = Some(error_kind(error).to_owned());
+                            if let CoreError::Panic { message } = error {
+                                ev.detail = Some(message.clone());
+                            }
+                            if !cancelled {
+                                self.obs.add(ObsCounter::SamplesFailed, 1);
+                            }
+                        }
+                    }
+                    ev.escalation_rung = ev.attempts.saturating_sub(1);
+                    self.obs
+                        .add(ObsCounter::RetryAttempts, u64::from(ev.escalation_rung));
+                    ev.counters = sample_recs[i].local_snapshot().nonzero_counters();
+                    self.obs.event(ev);
+                }
+            }
+            let slot = if cancelled { None } else { slot };
+            if slot.is_some() {
+                done += 1;
+            }
+            outcomes.push(slot);
+        }
+        for rec in &sample_recs {
+            rec.retire();
+        }
+
+        let failures = FailureReport::from_indexed(
+            outcomes
+                .iter()
+                .enumerate()
+                .filter_map(|(i, o)| o.as_ref().map(|o| (i, o))),
+            done,
+            self.resilience.failure_budget,
+        );
+        if failures.exceeds_budget() {
+            return Err(CoreError::FailureBudgetExceeded {
+                report: Box::new(failures),
+            });
+        }
+        if let Some(c) = checkpoint {
+            if !c.healthy() {
+                return Err(CoreError::Checkpoint {
+                    reason: format!("checkpoint write failed mid-run: {}", c.path().display()),
+                });
+            }
+        }
+        let completeness = Completeness {
+            requested: self.samples,
+            done,
+            resumed,
+            // A cancellation that landed after the last sample resolved
+            // (or when everything was restored from the checkpoint)
+            // truncated nothing: the run is complete, and saying
+            // otherwise would make callers discard a full result.
+            truncated: (done < self.samples)
+                .then(|| run_token.cancelled().map(|r| r.label()))
+                .flatten(),
+        };
+        Ok(DurableRun {
+            outcomes,
+            failures,
+            completeness,
+        })
+    }
 }
 
 /// Static preflight shared by the studies: a configuration with
@@ -241,6 +426,12 @@ pub struct CoverageCurve {
     /// for a clean run; compare against the configured failure budget
     /// when judging how trustworthy the curve is.
     pub unresolved: f64,
+    /// How much of the underlying Monte Carlo run actually happened.
+    /// Always complete for the plain entry points; a durable run
+    /// truncated by a deadline or interrupt reports the honest partial
+    /// denominator here instead of silently pretending it covered
+    /// everything.
+    pub completeness: Completeness,
 }
 
 /// The reduced-clock DF-testing study (paper Figs. 6 and 8).
@@ -411,10 +602,113 @@ impl DfStudy {
                     resistance: r_values.to_vec(),
                     coverage,
                     unresolved,
+                    completeness: Completeness::full(report.failures.samples),
                 }
             })
             .collect();
         Ok((curves, report.failures))
+    }
+
+    /// The [`CheckpointSpec`] identifying a durable
+    /// [`DfStudy::try_faulty_needs_durable`] run: the digest covers the
+    /// path under test, the variation model, flop timing, and the exact
+    /// resistance sweep (bit patterns), so a checkpoint can never resume a
+    /// different experiment.
+    pub fn faulty_checkpoint_spec(&self, r_values: &[f64]) -> CheckpointSpec {
+        let digest = pulsar_obs::config_digest(&format!(
+            "df-faulty put={:?} variation={:?} ff={:?} margin={:016x} r={:?}",
+            self.put,
+            self.mc.variation,
+            self.ff,
+            self.clock_margin.to_bits(),
+            r_values.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+        ));
+        CheckpointSpec {
+            config_digest: digest,
+            seed: self.mc.seed,
+            samples: self.mc.samples,
+        }
+    }
+
+    /// Durable variant of [`DfStudy::try_faulty_needs`]: checkpoint/resume
+    /// plus deadlines, per-sample timeouts, and panic containment from
+    /// [`McConfig::try_run_samples_durable`]. The attempt's cancellation
+    /// token is installed in the solver workspace, so a deadline interrupts
+    /// a sample *mid-solve*, not just between samples.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DfStudy::try_faulty_needs`], plus
+    /// [`CoreError::Checkpoint`] on checkpoint failures.
+    pub fn try_faulty_needs_durable(
+        &self,
+        r_values: &[f64],
+        run_token: &CancelToken,
+        checkpoint: Option<&Checkpoint<Vec<f64>>>,
+    ) -> Result<DurableRun<Vec<f64>>, CoreError> {
+        lint_preflight(&self.put, Some(r_values))?;
+        let r_values = r_values.to_vec();
+        let nominal_techs = vec![self.put.tech; self.put.spec.len()];
+        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
+        self.mc.try_run_samples_durable(
+            "df-faulty",
+            run_token,
+            checkpoint,
+            move |_, attempt, rng, rec, token| {
+                let (techs, ff) = self.draw(rng);
+                let mut p = self.put.instantiate(&techs, r_values[0]);
+                p.set_recorder(rec.clone());
+                p.set_cancel(token.clone());
+                adopt_symbolic(&mut p, &symbolic);
+                prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
+                let mut row = Vec::with_capacity(r_values.len());
+                for &r in &r_values {
+                    p.set_resistance(r)?;
+                    row.push(p.worst_delay()? + ff.overhead());
+                }
+                Ok(row)
+            },
+        )
+    }
+
+    /// Durable variant of [`DfStudy::coverage_with_report`]: coverage over
+    /// whatever samples completed, with the honest denominator recorded in
+    /// each curve's [`CoverageCurve::completeness`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`DfStudy::try_faulty_needs_durable`].
+    pub fn coverage_durable(
+        &self,
+        calib: &DfCalibration,
+        r_values: &[f64],
+        t_factors: &[f64],
+        run_token: &CancelToken,
+        checkpoint: Option<&Checkpoint<Vec<f64>>>,
+    ) -> Result<(Vec<CoverageCurve>, FailureReport), CoreError> {
+        let run = self.try_faulty_needs_durable(r_values, run_token, checkpoint)?;
+        let needs: Vec<&Vec<f64>> = run.resolved_indexed().map(|(_, v)| v).collect();
+        let unresolved = run.failures.unresolved_fraction();
+        let curves = t_factors
+            .iter()
+            .map(|&f| {
+                let t_test = f * calib.t0;
+                let coverage = (0..r_values.len())
+                    .map(|ri| {
+                        let detected = needs.iter().filter(|row| t_test < row[ri]).count();
+                        detected as f64 / needs.len().max(1) as f64
+                    })
+                    .collect();
+                CoverageCurve {
+                    factor: f,
+                    resistance: r_values.to_vec(),
+                    coverage,
+                    unresolved,
+                    completeness: run.completeness,
+                }
+            })
+            .collect();
+        Ok((curves, run.failures))
     }
 }
 
@@ -654,10 +948,114 @@ impl PulseStudy {
                     resistance: r_values.to_vec(),
                     coverage,
                     unresolved,
+                    completeness: Completeness::full(report.failures.samples),
                 }
             })
             .collect();
         Ok((curves, report.failures))
+    }
+
+    /// The [`CheckpointSpec`] identifying a durable
+    /// [`PulseStudy::try_faulty_wouts_durable`] run: the digest covers the
+    /// path under test, the variation model, polarity, injected width, and
+    /// the exact resistance sweep (bit patterns).
+    pub fn faulty_checkpoint_spec(&self, w_in: f64, r_values: &[f64]) -> CheckpointSpec {
+        let digest = pulsar_obs::config_digest(&format!(
+            "pulse-faulty put={:?} variation={:?} polarity={:?} w_in={:016x} r={:?}",
+            self.put,
+            self.mc.variation,
+            self.polarity,
+            w_in.to_bits(),
+            r_values.iter().map(|r| r.to_bits()).collect::<Vec<_>>()
+        ));
+        CheckpointSpec {
+            config_digest: digest,
+            seed: self.mc.seed,
+            samples: self.mc.samples,
+        }
+    }
+
+    /// Durable variant of [`PulseStudy::try_faulty_wouts`]:
+    /// checkpoint/resume plus deadlines, per-sample timeouts, and panic
+    /// containment from [`McConfig::try_run_samples_durable`]. The
+    /// attempt's cancellation token is installed in the solver workspace,
+    /// so a deadline interrupts a sample *mid-solve*, not just between
+    /// samples.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PulseStudy::try_faulty_wouts`], plus
+    /// [`CoreError::Checkpoint`] on checkpoint failures.
+    pub fn try_faulty_wouts_durable(
+        &self,
+        w_in: f64,
+        r_values: &[f64],
+        run_token: &CancelToken,
+        checkpoint: Option<&Checkpoint<Vec<f64>>>,
+    ) -> Result<DurableRun<Vec<f64>>, CoreError> {
+        lint_preflight(&self.put, Some(r_values))?;
+        let r_values = r_values.to_vec();
+        let nominal_techs = vec![self.put.tech; self.put.spec.len()];
+        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
+        self.mc.try_run_samples_durable(
+            "pulse-faulty",
+            run_token,
+            checkpoint,
+            move |_, attempt, rng, rec, token| {
+                let (techs, gen_factor) = self.draw_techs(rng);
+                let mut p = self.put.instantiate(&techs, r_values[0]);
+                p.set_recorder(rec.clone());
+                p.set_cancel(token.clone());
+                adopt_symbolic(&mut p, &symbolic);
+                prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
+                let mut row = Vec::with_capacity(r_values.len());
+                for &r in &r_values {
+                    p.set_resistance(r)?;
+                    row.push(p.pulse_width_out(w_in * gen_factor, self.polarity)?);
+                }
+                Ok(row)
+            },
+        )
+    }
+
+    /// Durable variant of [`PulseStudy::coverage_with_report`]: coverage
+    /// over whatever samples completed, with the honest denominator
+    /// recorded in each curve's [`CoverageCurve::completeness`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`PulseStudy::try_faulty_wouts_durable`].
+    pub fn coverage_durable(
+        &self,
+        calib: &PulseCalibration,
+        r_values: &[f64],
+        th_factors: &[f64],
+        run_token: &CancelToken,
+        checkpoint: Option<&Checkpoint<Vec<f64>>>,
+    ) -> Result<(Vec<CoverageCurve>, FailureReport), CoreError> {
+        let run = self.try_faulty_wouts_durable(calib.w_in, r_values, run_token, checkpoint)?;
+        let wouts: Vec<&Vec<f64>> = run.resolved_indexed().map(|(_, v)| v).collect();
+        let unresolved = run.failures.unresolved_fraction();
+        let curves = th_factors
+            .iter()
+            .map(|&f| {
+                let th = f * calib.w_th;
+                let coverage = (0..r_values.len())
+                    .map(|ri| {
+                        let detected = wouts.iter().filter(|row| row[ri] < th).count();
+                        detected as f64 / wouts.len().max(1) as f64
+                    })
+                    .collect();
+                CoverageCurve {
+                    factor: f,
+                    resistance: r_values.to_vec(),
+                    coverage,
+                    unresolved,
+                    completeness: run.completeness,
+                }
+            })
+            .collect();
+        Ok((curves, run.failures))
     }
 }
 
@@ -789,5 +1187,161 @@ mod tests {
         }
         // Higher threshold factor ⇒ (weakly) more coverage.
         assert!(curves[2].coverage[1] >= curves[0].coverage[1] - 1e-12);
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pulsar-study-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{}.ckpt", name, std::process::id()))
+    }
+
+    fn bits(rows: &[&Vec<f64>]) -> Vec<Vec<u64>> {
+        rows.iter()
+            .map(|r| r.iter().map(|x| x.to_bits()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn durable_df_run_matches_plain_bit_for_bit() {
+        let study = DfStudy::new(put(), tiny_mc());
+        let rs = [10e3, 100e3];
+        let plain = study.try_faulty_needs(&rs).unwrap();
+        let durable = study
+            .try_faulty_needs_durable(&rs, &CancelToken::new(), None)
+            .unwrap();
+        assert!(durable.is_complete());
+        let plain_rows: Vec<&Vec<f64>> = plain.resolved().collect();
+        let durable_rows: Vec<&Vec<f64>> = durable.resolved_indexed().map(|(_, v)| v).collect();
+        assert_eq!(bits(&plain_rows), bits(&durable_rows));
+    }
+
+    #[test]
+    fn df_resume_from_truncated_checkpoint_is_bit_identical() {
+        let study = DfStudy::new(put(), tiny_mc());
+        let rs = [10e3, 100e3];
+        let path = tmp("df-trunc");
+        let _ = std::fs::remove_file(&path);
+        let spec = study.faulty_checkpoint_spec(&rs);
+        let ck = Checkpoint::create(&path, spec).unwrap();
+        let full = study
+            .try_faulty_needs_durable(&rs, &CancelToken::new(), Some(&ck))
+            .unwrap();
+        drop(ck);
+
+        // A kill can land on any byte: chop the tail mid-record.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let ck = Checkpoint::open(&path, spec).unwrap();
+        let resumed = study
+            .try_faulty_needs_durable(&rs, &CancelToken::new(), Some(&ck))
+            .unwrap();
+        let full_rows: Vec<&Vec<f64>> = full.resolved_indexed().map(|(_, v)| v).collect();
+        let resumed_rows: Vec<&Vec<f64>> = resumed.resolved_indexed().map(|(_, v)| v).collect();
+        assert_eq!(bits(&full_rows), bits(&resumed_rows));
+        assert!(resumed.is_complete());
+        assert!(
+            resumed.completeness.resumed < study.mc.samples,
+            "truncation must have dropped at least one record"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn deadline_cancelled_samples_journal_as_deadline_and_never_count() {
+        use pulsar_obs::CancelReason;
+        let mut mc = tiny_mc();
+        mc.threads = Some(1);
+        mc.obs = Recorder::enabled();
+        let run_token = CancelToken::new();
+        // Deterministic stand-in for the watchdog: samples 0 and 1 finish,
+        // sample 2's solve observes the deadline mid-flight, everything
+        // after it never starts.
+        let run = mc
+            .try_run_samples_durable(
+                "deadline-test",
+                &run_token,
+                None,
+                |i, _a, _rng, _rec, _t| {
+                    if i < 2 {
+                        Ok(i as f64)
+                    } else {
+                        run_token.cancel(CancelReason::Deadline);
+                        Err(CoreError::Analog(pulsar_analog::Error::Cancelled {
+                            time: 0.0,
+                            reason: CancelReason::Deadline,
+                        }))
+                    }
+                },
+            )
+            .unwrap();
+
+        // Interrupted samples are not-done, never failed: they stay out of
+        // both the failure accounting and any coverage denominator.
+        assert_eq!(run.completeness.requested, 6);
+        assert_eq!(run.completeness.done, 2);
+        assert_eq!(run.completeness.truncated, Some("deadline"));
+        assert_eq!(run.failures.samples, 2);
+        assert_eq!(run.failures.failed, 0);
+        assert_eq!(run.failures.unresolved_fraction(), 0.0);
+        assert!(run.outcomes[2..].iter().all(Option::is_none));
+        assert_eq!(run.resolved_indexed().count(), 2);
+
+        // The journal shows the cancelled sample as `error_kind = "deadline"`
+        // with outcome `"cancelled"`, never `"failed"`.
+        let events = mc.obs.events();
+        let samples: Vec<_> = events.iter().filter(|e| e.kind == "sample").collect();
+        assert_eq!(samples.len(), 3, "2 ok + 1 cancelled, unstarted silent");
+        let cancelled: Vec<_> = samples
+            .iter()
+            .filter(|e| e.outcome == "cancelled")
+            .collect();
+        assert_eq!(cancelled.len(), 1);
+        assert_eq!(cancelled[0].error_kind.as_deref(), Some("deadline"));
+        assert!(samples.iter().all(|e| e.outcome != "failed"));
+    }
+
+    #[test]
+    fn durable_coverage_reports_the_honest_partial_denominator() {
+        use pulsar_obs::CancelReason;
+        let study = DfStudy::new(put(), tiny_mc());
+        let cal = study.calibrate().unwrap();
+        let token = CancelToken::new();
+        token.cancel(CancelReason::User);
+        let (curves, report) = study
+            .coverage_durable(&cal, &[10e3], &[1.0], &token, None)
+            .unwrap();
+        assert_eq!(report.samples, 0, "nothing ran, nothing counted");
+        assert_eq!(curves[0].completeness.done, 0);
+        assert_eq!(curves[0].completeness.truncated, Some("interrupted"));
+        assert!(!curves[0].completeness.is_complete());
+    }
+
+    #[test]
+    fn pulse_resume_matches_the_uninterrupted_run() {
+        let study = PulseStudy::new(put(), tiny_mc(), Polarity::PositiveGoing);
+        let cal = study.calibrate().unwrap();
+        let rs = [10e3, 100e3];
+        let path = tmp("pulse-trunc");
+        let _ = std::fs::remove_file(&path);
+        let spec = study.faulty_checkpoint_spec(cal.w_in, &rs);
+        let ck = Checkpoint::create(&path, spec).unwrap();
+        let full = study
+            .try_faulty_wouts_durable(cal.w_in, &rs, &CancelToken::new(), Some(&ck))
+            .unwrap();
+        drop(ck);
+
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() * 3 / 5]).unwrap();
+
+        let ck = Checkpoint::open(&path, spec).unwrap();
+        let resumed = study
+            .try_faulty_wouts_durable(cal.w_in, &rs, &CancelToken::new(), Some(&ck))
+            .unwrap();
+        let full_rows: Vec<&Vec<f64>> = full.resolved_indexed().map(|(_, v)| v).collect();
+        let resumed_rows: Vec<&Vec<f64>> = resumed.resolved_indexed().map(|(_, v)| v).collect();
+        assert_eq!(bits(&full_rows), bits(&resumed_rows));
+        assert!(resumed.is_complete());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -1,0 +1,314 @@
+//! Chaos soak for the durable-campaign machinery: kill/resume cycles,
+//! truncated checkpoints (a kill can land on any byte), injected stalls
+//! against per-sample timeouts, and panic storms with and without
+//! containment. The invariants under test are always the same two:
+//! **resume-equivalence** (a resumed run is bit-identical to an
+//! uninterrupted one) and **no-lost-samples** (whatever was reported done
+//! stays done, and everything requested is eventually done).
+
+use proptest::prelude::*;
+use pulsar_analog::{FaultKind, FaultPlan, Polarity};
+use pulsar_cells::{PathSpec, Tech};
+use pulsar_core::{
+    CancelReason, CancelToken, Checkpoint, CheckpointSpec, CoreError, DefectKind, McConfig,
+    PathUnderTest, PulseStudy, ResilienceConfig,
+};
+use pulsar_mc::SampleOutcome;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn put() -> PathUnderTest {
+    PathUnderTest {
+        spec: PathSpec::paper_chain(),
+        defect: DefectKind::ExternalRop,
+        stage: 1,
+        tech: Tech::generic_180nm(),
+    }
+}
+
+const RS: [f64; 2] = [1e3, 100e3];
+const W_IN: f64 = 500e-12;
+
+static FILE_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+/// A fresh (non-existent) checkpoint path, unique per call.
+fn fresh_ckpt(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("pulsar-durability-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let p = dir.join(format!(
+        "{}-{}-{}.ckpt",
+        std::process::id(),
+        FILE_SEQ.fetch_add(1, Ordering::Relaxed),
+        name
+    ));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// Deterministic synthetic per-sample value: depends only on the sample's
+/// seeded RNG stream, like a real measurement.
+fn synth(rng: &mut StdRng) -> f64 {
+    rng.random::<f64>()
+}
+
+fn synth_spec(samples: usize, seed: u64) -> CheckpointSpec {
+    CheckpointSpec {
+        config_digest: 0x51AB_C0DE_D00D_F00Du64,
+        seed,
+        samples,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A kill can land on any byte of the checkpoint file. Whatever
+    /// prefix survives, the resumed run must reproduce the uninterrupted
+    /// result bit for bit and finish everything.
+    #[test]
+    fn resume_from_any_truncated_prefix_is_bit_identical(cut_permille in 0u32..=1000) {
+        let mc = McConfig { threads: Some(2), ..McConfig::paper(16, 99) };
+        let spec = synth_spec(16, 99);
+
+        let baseline = mc
+            .try_run_samples_durable("soak", &CancelToken::new(), None, |_, _, rng, _, _| {
+                Ok(synth(rng))
+            })
+            .expect("clean synthetic run");
+        let base_bits: Vec<(usize, u64)> = baseline
+            .resolved_indexed()
+            .map(|(i, v)| (i, v.to_bits()))
+            .collect();
+
+        // Write a full checkpoint, then keep only a byte prefix of it.
+        let path = fresh_ckpt("prefix");
+        {
+            let ck = Checkpoint::create(&path, spec).expect("create");
+            mc.try_run_samples_durable("soak", &CancelToken::new(), Some(&ck), |_, _, rng, _, _| {
+                Ok(synth(rng))
+            })
+            .expect("checkpointed run");
+        }
+        let bytes = std::fs::read(&path).expect("read checkpoint");
+        let cut = bytes.len() * cut_permille as usize / 1000;
+        std::fs::write(&path, &bytes[..cut]).expect("truncate checkpoint");
+
+        let ck = Checkpoint::open(&path, spec).expect("reopen truncated");
+        let restored = ck.resumed_count();
+        let resumed = mc
+            .try_run_samples_durable("soak", &CancelToken::new(), Some(&ck), |_, _, rng, _, _| {
+                Ok(synth(rng))
+            })
+            .expect("resumed run");
+
+        let resumed_bits: Vec<(usize, u64)> = resumed
+            .resolved_indexed()
+            .map(|(i, v)| (i, v.to_bits()))
+            .collect();
+        prop_assert_eq!(&base_bits, &resumed_bits, "resume-equivalence");
+        prop_assert!(resumed.is_complete(), "no lost samples");
+        prop_assert_eq!(resumed.completeness.resumed, restored);
+        prop_assert!(restored <= 16);
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn kill_resume_cycles_lose_no_samples_and_converge() {
+    let mc = McConfig {
+        threads: Some(2),
+        ..McConfig::paper(24, 7)
+    };
+    let spec = synth_spec(24, 7);
+    let baseline = mc
+        .try_run_samples_durable("soak", &CancelToken::new(), None, |_, _, rng, _, _| {
+            Ok(synth(rng))
+        })
+        .expect("clean run");
+    let base_bits: Vec<(usize, u64)> = baseline
+        .resolved_indexed()
+        .map(|(i, v)| (i, v.to_bits()))
+        .collect();
+
+    // Operator kills the run after ~6 fresh samples, over and over, always
+    // resuming from the same checkpoint file.
+    let path = fresh_ckpt("cycles");
+    let mut cycles = 0;
+    let mut last_restored = 0;
+    let finished = loop {
+        cycles += 1;
+        assert!(cycles <= 24, "kill/resume must converge, not thrash");
+        let ck = Checkpoint::open(&path, spec).expect("open checkpoint");
+        assert!(
+            ck.resumed_count() >= last_restored,
+            "done samples must never be lost across cycles"
+        );
+        last_restored = ck.resumed_count();
+        let token = CancelToken::new();
+        let fresh = AtomicUsize::new(0);
+        let run = mc
+            .try_run_samples_durable("soak", &token, Some(&ck), |_, _, rng, _, _| {
+                if fresh.fetch_add(1, Ordering::Relaxed) >= 5 {
+                    token.cancel(CancelReason::User); // the simulated kill
+                }
+                Ok(synth(rng))
+            })
+            .expect("cycle run");
+        if run.is_complete() {
+            break run;
+        }
+        assert_eq!(run.completeness.truncated, Some("interrupted"));
+    };
+
+    assert!(cycles >= 2, "the kill must actually truncate at least once");
+    let final_bits: Vec<(usize, u64)> = finished
+        .resolved_indexed()
+        .map(|(i, v)| (i, v.to_bits()))
+        .collect();
+    assert_eq!(base_bits, final_bits, "resume-equivalence after the soak");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn electrical_kill_resume_matches_uninterrupted_run() {
+    let mc = McConfig {
+        threads: Some(2),
+        ..McConfig::paper(8, 11)
+    };
+    let study = PulseStudy::new(put(), mc, Polarity::PositiveGoing);
+    let baseline = study
+        .try_faulty_wouts_durable(W_IN, &RS, &CancelToken::new(), None)
+        .expect("clean electrical run");
+    let base_bits: Vec<Vec<u64>> = baseline
+        .resolved_indexed()
+        .map(|(_, row)| row.iter().map(|x| x.to_bits()).collect())
+        .collect();
+
+    let path = fresh_ckpt("electrical");
+    let spec = study.faulty_checkpoint_spec(W_IN, &RS);
+    {
+        let ck = Checkpoint::create(&path, spec).expect("create");
+        study
+            .try_faulty_wouts_durable(W_IN, &RS, &CancelToken::new(), Some(&ck))
+            .expect("checkpointed electrical run");
+    }
+    // Kill mid-file, then resume to completion.
+    let bytes = std::fs::read(&path).expect("read");
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate");
+    let ck = Checkpoint::open(&path, spec).expect("reopen");
+    let resumed = study
+        .try_faulty_wouts_durable(W_IN, &RS, &CancelToken::new(), Some(&ck))
+        .expect("resumed electrical run");
+    let resumed_bits: Vec<Vec<u64>> = resumed
+        .resolved_indexed()
+        .map(|(_, row)| row.iter().map(|x| x.to_bits()).collect())
+        .collect();
+    assert_eq!(base_bits, resumed_bits);
+    assert!(resumed.is_complete());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn injected_stall_trips_the_sample_timeout_and_recovers_on_retry() {
+    // Sample 3 stalls 2 s per accepted time point on its first attempt
+    // only; the 500 ms per-sample timeout cuts it loose, the retry (fresh
+    // timeout budget, no stall planned) recovers it. The margins are wide
+    // on purpose: the retry must finish inside the timeout even on a
+    // loaded CI machine running the whole suite in parallel (an idle
+    // debug-build sample is ~40 ms).
+    let mc = McConfig {
+        threads: Some(2),
+        resilience: ResilienceConfig {
+            sample_timeout: Some(Duration::from_millis(500)),
+            ..ResilienceConfig::tolerant(3, 0.3)
+        },
+        fault_plan: Some(FaultPlan::new().fail_sample(3, FaultKind::Stall { millis: 2000 }, 1)),
+        ..McConfig::paper(8, 11)
+    };
+    let study = PulseStudy::new(put(), mc, Polarity::PositiveGoing);
+    let run = study
+        .try_faulty_wouts_durable(W_IN, &RS, &CancelToken::new(), None)
+        .expect("timeout must be recoverable");
+
+    assert!(
+        run.is_complete(),
+        "a sample timeout never truncates the run"
+    );
+    assert!(
+        matches!(
+            &run.outcomes[3],
+            Some(SampleOutcome::Recovered { attempts: 2, .. })
+        ),
+        "sample 3 must recover on its second attempt: {:?}",
+        run.outcomes[3].as_ref().map(|o| o.value().is_some())
+    );
+    assert_eq!(run.failures.recovered, 1);
+    assert_eq!(run.failures.failed, 0);
+    assert!(
+        run.outcomes[3].as_ref().and_then(|o| o.value()).is_some(),
+        "the recovered sample carries a real measurement"
+    );
+}
+
+#[test]
+fn panic_storm_is_contained_into_failed_samples() {
+    let mc = McConfig {
+        threads: Some(2),
+        resilience: ResilienceConfig {
+            contain_panics: true,
+            ..ResilienceConfig::tolerant(1, 0.25)
+        },
+        fault_plan: Some(
+            FaultPlan::new()
+                .fail_sample(1, FaultKind::Panic, FaultPlan::ALWAYS)
+                .fail_sample(6, FaultKind::Panic, FaultPlan::ALWAYS)
+                .fail_sample(9, FaultKind::Panic, FaultPlan::ALWAYS),
+        ),
+        ..McConfig::paper(16, 5)
+    };
+    let study = PulseStudy::new(put(), mc, Polarity::PositiveGoing);
+    let run = study
+        .try_faulty_wouts_durable(W_IN, &RS, &CancelToken::new(), None)
+        .expect("3/16 contained panics are inside a 25 % budget");
+
+    assert!(
+        run.is_complete(),
+        "contained panics do not truncate the run"
+    );
+    assert_eq!(run.failures.failed, 3);
+    for i in [1usize, 6, 9] {
+        match &run.outcomes[i] {
+            Some(SampleOutcome::Failed { error, .. }) => {
+                assert_eq!(pulsar_core::error_kind(error), "panic");
+                match error {
+                    CoreError::Panic { message } => {
+                        assert!(message.contains("injected panic"), "{message}");
+                    }
+                    other => panic!("expected CoreError::Panic, got {other:?}"),
+                }
+            }
+            other => panic!("sample {i} must fail: {:?}", other.is_some()),
+        }
+    }
+    // Every other sample resolved normally.
+    assert_eq!(run.resolved_indexed().count(), 13);
+}
+
+#[test]
+fn panic_storm_unwinds_by_default() {
+    let mc = McConfig {
+        threads: Some(2),
+        fault_plan: Some(FaultPlan::new().fail_sample(2, FaultKind::Panic, FaultPlan::ALWAYS)),
+        ..McConfig::paper(8, 5)
+    };
+    let study = PulseStudy::new(put(), mc, Polarity::PositiveGoing);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        study.try_faulty_wouts_durable(W_IN, &RS, &CancelToken::new(), None)
+    }));
+    assert!(
+        result.is_err(),
+        "without contain_panics a worker panic must unwind the caller"
+    );
+}

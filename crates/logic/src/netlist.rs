@@ -11,6 +11,14 @@ impl SignalId {
     pub fn index(self) -> usize {
         self.0
     }
+
+    /// Rebuilds a handle from a raw index — the inverse of
+    /// [`SignalId::index`], for deserializing ids recorded against a
+    /// *specific* netlist (e.g. campaign checkpoints). The caller must
+    /// guarantee the index is valid for the netlist it will be used with.
+    pub fn from_index(index: usize) -> SignalId {
+        SignalId(index)
+    }
 }
 
 /// Handle to a gate.
@@ -21,6 +29,12 @@ impl GateId {
     /// Raw index into the netlist's gate table.
     pub fn index(self) -> usize {
         self.0
+    }
+
+    /// Rebuilds a handle from a raw index — see [`SignalId::from_index`]
+    /// for the validity contract.
+    pub fn from_index(index: usize) -> GateId {
+        GateId(index)
     }
 }
 

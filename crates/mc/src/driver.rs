@@ -1,8 +1,71 @@
 //! Deterministic, parallel Monte Carlo fan-out.
 
 use crate::outcome::SampleOutcome;
+use pulsar_obs::CancelToken;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::panic::AssertUnwindSafe;
+
+/// Lookup of a completed outcome from a prior run (see [`RunHooks::prior`]).
+pub type PriorFn<'a, T, E> = &'a (dyn Fn(usize) -> Option<SampleOutcome<T, E>> + Sync);
+
+/// Checkpoint-write callback for freshly resolved samples (see
+/// [`RunHooks::on_done`]).
+pub type OnDoneFn<'a, T, E> = &'a (dyn Fn(usize, &SampleOutcome<T, E>) + Sync);
+
+/// Optional control hooks for [`MonteCarlo::try_run_resumed`]: resume from
+/// a prior run, checkpoint freshly finished samples, cancel cooperatively,
+/// and contain worker panics. The default (`RunHooks::default()`) enables
+/// none of them, in which case `try_run_resumed` behaves exactly like
+/// [`MonteCarlo::try_run`].
+pub struct RunHooks<'a, T, E> {
+    /// Completed outcomes from a prior (interrupted) run, keyed by sample
+    /// index. A sample for which this returns `Some` is **skipped** — the
+    /// stored outcome is used verbatim, so attempt accounting survives a
+    /// resume and the final report stays bit-identical to an
+    /// uninterrupted run.
+    pub prior: Option<PriorFn<'a, T, E>>,
+    /// Called from the worker thread the moment a *freshly computed*
+    /// sample resolves (never for `prior` hits). This is the checkpoint
+    /// write point: it fires per sample, not per step, so a mutex-guarded
+    /// writer behind it stays off the solver hot path.
+    pub on_done: Option<OnDoneFn<'a, T, E>>,
+    /// Run-level cancellation, checked before every sample attempt. Once
+    /// tripped, samples that have not started resolve to `None` in the
+    /// result vector (distinct from `Failed`: they were never attempted
+    /// and carry no error).
+    pub cancel: Option<&'a CancelToken>,
+    /// When set, a panicking attempt is caught (`catch_unwind`) and
+    /// converted into an ordinary error via this function — the captured
+    /// panic message in, the caller's error type out — so one poisoned
+    /// sample counts against the failure budget instead of killing the
+    /// run. When `None` (the default), a worker panic is re-raised on the
+    /// calling thread after every other worker has been joined.
+    pub contain_panics: Option<&'a (dyn Fn(String) -> E + Sync)>,
+}
+
+impl<T, E> Default for RunHooks<'_, T, E> {
+    fn default() -> Self {
+        RunHooks {
+            prior: None,
+            on_done: None,
+            cancel: None,
+            contain_panics: None,
+        }
+    }
+}
+
+/// Renders a panic payload as a message string (the common `String` and
+/// `&'static str` payloads verbatim, anything else a fixed placeholder).
+pub fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    match payload.downcast::<String>() {
+        Ok(s) => *s,
+        Err(payload) => match payload.downcast::<&'static str>() {
+            Ok(s) => (*s).to_owned(),
+            Err(_) => "non-string panic payload".to_owned(),
+        },
+    }
+}
 
 /// Runs `n` independent Monte Carlo samples of a closure, in parallel,
 /// with per-sample RNG streams derived deterministically from a master
@@ -121,22 +184,77 @@ impl MonteCarlo {
         F: Fn(usize, u32, &mut StdRng) -> Result<T, E> + Sync,
         R: Fn(&E) -> bool + Sync,
     {
+        self.try_run_resumed(max_attempts, retryable, RunHooks::default(), f)
+            .into_iter()
+            .map(|o| o.expect("no cancel hook, so every sample resolves"))
+            .collect()
+    }
+
+    /// The durable superset of [`MonteCarlo::try_run`]: identical retry
+    /// semantics, plus the [`RunHooks`] for resume, checkpointing,
+    /// cooperative cancellation and panic containment.
+    ///
+    /// Returns one entry per sample in index order. `Some(outcome)` is a
+    /// resolved/failed sample (fresh or restored from `hooks.prior`);
+    /// `None` means the run was cancelled before that sample started.
+    /// Without a `cancel` hook the result never contains `None`.
+    ///
+    /// Determinism contract: a resumed run — any subset of samples served
+    /// from `prior`, the rest recomputed — produces the same outcome
+    /// vector as an uninterrupted run, because each sample's RNG stream
+    /// depends only on `(seed, i)` and restored outcomes carry their
+    /// original attempt accounting.
+    pub fn try_run_resumed<T, E, F, R>(
+        &self,
+        max_attempts: u32,
+        retryable: R,
+        hooks: RunHooks<'_, T, E>,
+        f: F,
+    ) -> Vec<Option<SampleOutcome<T, E>>>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize, u32, &mut StdRng) -> Result<T, E> + Sync,
+        R: Fn(&E) -> bool + Sync,
+    {
         let max_attempts = max_attempts.max(1);
         self.fan_out(|i| {
+            if let Some(prior) = hooks.prior {
+                if let Some(done) = prior(i) {
+                    return Some(done);
+                }
+            }
             let mut attempt = 1u32;
-            loop {
+            let outcome = loop {
+                if let Some(token) = hooks.cancel {
+                    if token.is_cancelled() {
+                        return None;
+                    }
+                }
+                // Every attempt replays the identical stream; escalation
+                // comes from the attempt number (see `try_run`).
                 let mut rng = self.rng_for(i);
-                match f(i, attempt, &mut rng) {
-                    Ok(value) if attempt == 1 => return SampleOutcome::Ok(value),
+                let result = match hooks.contain_panics {
+                    None => f(i, attempt, &mut rng),
+                    Some(contain) => {
+                        match std::panic::catch_unwind(AssertUnwindSafe(|| f(i, attempt, &mut rng)))
+                        {
+                            Ok(result) => result,
+                            Err(payload) => Err(contain(panic_message(payload))),
+                        }
+                    }
+                };
+                match result {
+                    Ok(value) if attempt == 1 => break SampleOutcome::Ok(value),
                     Ok(value) => {
-                        return SampleOutcome::Recovered {
+                        break SampleOutcome::Recovered {
                             value,
                             attempts: attempt,
                         }
                     }
                     Err(error) => {
                         if attempt >= max_attempts || !retryable(&error) {
-                            return SampleOutcome::Failed {
+                            break SampleOutcome::Failed {
                                 error,
                                 attempts: attempt,
                             };
@@ -144,7 +262,11 @@ impl MonteCarlo {
                         attempt += 1;
                     }
                 }
+            };
+            if let Some(on_done) = hooks.on_done {
+                on_done(i, &outcome);
             }
+            Some(outcome)
         })
     }
 
@@ -152,7 +274,12 @@ impl MonteCarlo {
     /// worker threads and concatenates the per-chunk result vectors in
     /// index order. Infallible by construction — each worker returns its
     /// own `Vec`, so there are no placeholder slots to check afterwards.
-    /// A panicking worker is re-raised on the calling thread.
+    ///
+    /// A panicking worker is re-raised on the calling thread, but only
+    /// after **every** other worker has been joined — sibling shards run
+    /// to completion (and flush their checkpoint records) instead of
+    /// being torn down mid-sample by the unwind. The first panic payload
+    /// observed in chunk order is the one re-raised.
     fn fan_out<T, G>(&self, g: G) -> Vec<T>
     where
         T: Send,
@@ -168,6 +295,7 @@ impl MonteCarlo {
 
         let chunk = self.n.div_ceil(threads);
         let mut out: Vec<T> = Vec::with_capacity(self.n);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
         std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
                 .map(|t| {
@@ -183,10 +311,17 @@ impl MonteCarlo {
             for handle in handles {
                 match handle.join() {
                     Ok(part) => out.extend(part),
-                    Err(payload) => std::panic::resume_unwind(payload),
+                    Err(payload) => {
+                        if panic.is_none() {
+                            panic = Some(payload);
+                        }
+                    }
                 }
             }
         });
+        if let Some(payload) = panic {
+            std::panic::resume_unwind(payload);
+        }
         out
     }
 }
@@ -357,6 +492,179 @@ mod tests {
             assert_eq!(o.value(), Some(&baseline[i]));
         }
         assert!(out[4].is_recovered());
+    }
+
+    #[test]
+    fn resumed_run_skips_prior_and_matches_uninterrupted() {
+        let mc = MonteCarlo::new(24, 17).with_threads(4);
+        let work = |_i: usize, _attempt: u32, rng: &mut StdRng| -> Result<u64, ()> {
+            Ok(rng.random::<u64>())
+        };
+        let full = mc.try_run(1, |_: &()| false, work);
+
+        // "Resume" with the even samples already done: odd samples are
+        // recomputed, even ones restored, and the merged vector matches.
+        let computed = std::sync::Mutex::new(Vec::new());
+        let prior = |i: usize| -> Option<SampleOutcome<u64, ()>> {
+            if i.is_multiple_of(2) {
+                Some(full[i].clone())
+            } else {
+                None
+            }
+        };
+        let on_done = |i: usize, _o: &SampleOutcome<u64, ()>| {
+            computed.lock().unwrap().push(i);
+        };
+        let hooks = RunHooks {
+            prior: Some(&prior),
+            on_done: Some(&on_done),
+            ..RunHooks::default()
+        };
+        let resumed = mc.try_run_resumed(1, |_: &()| false, hooks, work);
+        let resumed: Vec<_> = resumed.into_iter().map(Option::unwrap).collect();
+        assert_eq!(resumed, full);
+        let mut fresh = computed.into_inner().unwrap();
+        fresh.sort_unstable();
+        assert_eq!(fresh, (0..24).filter(|i| i % 2 == 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancelled_run_leaves_unstarted_samples_none() {
+        use pulsar_obs::CancelReason;
+        let token = CancelToken::new();
+        token.cancel(CancelReason::User);
+        let mc = MonteCarlo::new(8, 3).with_threads(2);
+        let hooks = RunHooks {
+            cancel: Some(&token),
+            ..RunHooks::default()
+        };
+        let out = mc.try_run_resumed(
+            1,
+            |_: &()| false,
+            hooks,
+            |i, _, _| -> Result<usize, ()> { Ok(i) },
+        );
+        assert_eq!(out.len(), 8);
+        assert!(
+            out.iter().all(Option::is_none),
+            "pre-tripped token skips all"
+        );
+    }
+
+    #[test]
+    fn cancelled_samples_still_restore_from_prior() {
+        use pulsar_obs::CancelReason;
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Deadline);
+        let mc = MonteCarlo::new(4, 9).with_threads(1);
+        let prior =
+            |i: usize| -> Option<SampleOutcome<usize, ()>> { Some(SampleOutcome::Ok(i * 10)) };
+        let hooks = RunHooks {
+            prior: Some(&prior),
+            cancel: Some(&token),
+            ..RunHooks::default()
+        };
+        let out = mc.try_run_resumed(
+            1,
+            |_: &()| false,
+            hooks,
+            |_, _, _| -> Result<usize, ()> { unreachable!("all prior") },
+        );
+        let values: Vec<_> = out
+            .into_iter()
+            .map(|o| o.unwrap().into_value().unwrap())
+            .collect();
+        assert_eq!(values, vec![0, 10, 20, 30]);
+    }
+
+    #[test]
+    fn contained_panic_becomes_failed_outcome() {
+        let mc = MonteCarlo::new(6, 5).with_threads(3);
+        let contain = |msg: String| msg;
+        let hooks = RunHooks {
+            contain_panics: Some(&contain),
+            ..RunHooks::default()
+        };
+        let out = mc.try_run_resumed(
+            1,
+            |_: &String| false,
+            hooks,
+            |i, _, rng| -> Result<u64, String> {
+                if i == 2 {
+                    panic!("poisoned sample {i}");
+                }
+                Ok(rng.random::<u64>())
+            },
+        );
+        let baseline = mc.run(|_, rng| rng.random::<u64>());
+        for (i, o) in out.iter().enumerate() {
+            let o = o.as_ref().unwrap();
+            if i == 2 {
+                assert_eq!(
+                    o.error().map(String::as_str),
+                    Some("poisoned sample 2"),
+                    "panic message is captured"
+                );
+            } else {
+                assert_eq!(o.value(), Some(&baseline[i]), "siblings are unharmed");
+            }
+        }
+    }
+
+    #[test]
+    fn contained_panic_is_retryable_like_any_error() {
+        let mc = MonteCarlo::new(1, 1);
+        let contain = |msg: String| msg;
+        let hooks = RunHooks {
+            contain_panics: Some(&contain),
+            ..RunHooks::default()
+        };
+        let out = mc.try_run_resumed(
+            3,
+            |_: &String| true,
+            hooks,
+            |_, attempt, _| -> Result<u32, String> {
+                if attempt < 3 {
+                    panic!("flaky");
+                }
+                Ok(attempt)
+            },
+        );
+        assert_eq!(
+            out[0],
+            Some(SampleOutcome::Recovered {
+                value: 3,
+                attempts: 3
+            })
+        );
+    }
+
+    #[test]
+    fn uncontained_panic_joins_siblings_before_unwinding() {
+        let done = std::sync::atomic::AtomicUsize::new(0);
+        let mc = MonteCarlo::new(8, 1).with_threads(4);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            mc.run(|i, _| {
+                if i == 0 {
+                    panic!("first chunk dies");
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+                done.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            })
+        }));
+        assert!(caught.is_err(), "the panic still propagates by default");
+        assert_eq!(
+            done.load(std::sync::atomic::Ordering::SeqCst),
+            6,
+            "sibling shards ran to completion before the re-raise"
+        );
+    }
+
+    #[test]
+    fn panic_message_renders_common_payloads() {
+        assert_eq!(panic_message(Box::new("static".to_owned())), "static");
+        assert_eq!(panic_message(Box::new("str payload")), "str payload");
+        assert_eq!(panic_message(Box::new(42u32)), "non-string panic payload");
     }
 
     proptest::proptest! {

@@ -38,7 +38,7 @@ mod outcome;
 mod sampling;
 mod stats;
 
-pub use driver::MonteCarlo;
+pub use driver::{panic_message, MonteCarlo, OnDoneFn, PriorFn, RunHooks};
 pub use outcome::SampleOutcome;
 pub use sampling::{normal, Gaussian};
 pub use stats::{coverage, quantile, Summary};

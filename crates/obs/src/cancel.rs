@@ -1,0 +1,170 @@
+//! Cooperative cancellation: a lock-free token threaded from campaign
+//! drivers down into the transient step loop.
+//!
+//! A [`CancelToken`] is a shared tri-state flag (live / cancelled with a
+//! [`CancelReason`]). Checking it is one (for a chained token, two)
+//! relaxed atomic loads — cheap enough for the solver's accepted-point
+//! cadence — and tripping it is idempotent: the **first** reason wins, so
+//! a SIGINT arriving while a deadline watchdog fires reports one coherent
+//! cause.
+//!
+//! Tokens form at most two levels: a run-level parent (tripped by SIGINT
+//! or a wall-clock deadline) and per-sample children
+//! ([`CancelToken::child`], tripped by a per-sample timeout watchdog). A
+//! child observes its parent's cancellation automatically; cancelling a
+//! child never touches the parent, so one stuck sample can be cut loose
+//! without ending the run.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Why a token was tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// An operator interrupt (SIGINT / explicit cancel call).
+    User,
+    /// The run-level wall-clock deadline expired.
+    Deadline,
+    /// A single sample exceeded its per-sample timeout.
+    Timeout,
+}
+
+impl CancelReason {
+    /// Stable label used in journals and failure accounting.
+    pub fn label(self) -> &'static str {
+        match self {
+            CancelReason::User => "interrupted",
+            CancelReason::Deadline => "deadline",
+            CancelReason::Timeout => "sample-timeout",
+        }
+    }
+}
+
+const LIVE: u8 = 0;
+const USER: u8 = 1;
+const DEADLINE: u8 = 2;
+const TIMEOUT: u8 = 3;
+
+fn decode(v: u8) -> Option<CancelReason> {
+    match v {
+        USER => Some(CancelReason::User),
+        DEADLINE => Some(CancelReason::Deadline),
+        TIMEOUT => Some(CancelReason::Timeout),
+        _ => None,
+    }
+}
+
+#[derive(Debug)]
+struct Inner {
+    flag: AtomicU8,
+    parent: Option<Arc<Inner>>,
+}
+
+/// Shared cooperative-cancellation flag. Clones observe the same state.
+#[derive(Debug, Clone)]
+pub struct CancelToken(Arc<Inner>);
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A live, unparented token.
+    pub fn new() -> CancelToken {
+        CancelToken(Arc::new(Inner {
+            flag: AtomicU8::new(LIVE),
+            parent: None,
+        }))
+    }
+
+    /// A child token: cancelled when either it or its parent is. Used for
+    /// per-sample timeouts under a run-level token.
+    pub fn child(&self) -> CancelToken {
+        CancelToken(Arc::new(Inner {
+            flag: AtomicU8::new(LIVE),
+            parent: Some(self.0.clone()),
+        }))
+    }
+
+    /// Trips the token. The first reason to land sticks; later calls are
+    /// no-ops, so concurrent SIGINT/deadline/timeout races stay coherent.
+    pub fn cancel(&self, reason: CancelReason) {
+        let v = match reason {
+            CancelReason::User => USER,
+            CancelReason::Deadline => DEADLINE,
+            CancelReason::Timeout => TIMEOUT,
+        };
+        let _ = self
+            .0
+            .flag
+            .compare_exchange(LIVE, v, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// The cancellation reason, if tripped (directly or via the parent).
+    /// One relaxed load for an unparented token, two for a child — safe
+    /// to call from the transient step loop.
+    #[inline]
+    pub fn cancelled(&self) -> Option<CancelReason> {
+        if let Some(r) = decode(self.0.flag.load(Ordering::Relaxed)) {
+            return Some(r);
+        }
+        match &self.0.parent {
+            Some(p) => decode(p.flag.load(Ordering::Relaxed)),
+            None => None,
+        }
+    }
+
+    /// True when the token (or its parent) has been tripped.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_reason_wins() {
+        let t = CancelToken::new();
+        assert_eq!(t.cancelled(), None);
+        t.cancel(CancelReason::Deadline);
+        t.cancel(CancelReason::User);
+        assert_eq!(t.cancelled(), Some(CancelReason::Deadline));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel(CancelReason::User);
+        assert_eq!(t.cancelled(), Some(CancelReason::User));
+    }
+
+    #[test]
+    fn child_sees_parent_but_not_vice_versa() {
+        let parent = CancelToken::new();
+        let child = parent.child();
+        child.cancel(CancelReason::Timeout);
+        assert_eq!(child.cancelled(), Some(CancelReason::Timeout));
+        assert_eq!(parent.cancelled(), None, "child trips stay local");
+
+        let child2 = parent.child();
+        parent.cancel(CancelReason::Deadline);
+        assert_eq!(child2.cancelled(), Some(CancelReason::Deadline));
+        // A child's own trip takes precedence over the parent's state in
+        // reporting — it was cut loose first.
+        assert_eq!(child.cancelled(), Some(CancelReason::Timeout));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(CancelReason::User.label(), "interrupted");
+        assert_eq!(CancelReason::Deadline.label(), "deadline");
+        assert_eq!(CancelReason::Timeout.label(), "sample-timeout");
+    }
+}

@@ -30,6 +30,10 @@ pub struct Event {
     pub escalation_rung: u32,
     /// Stable failure-kind label when the outcome is a failure.
     pub error_kind: Option<String>,
+    /// Free-form failure detail when `error_kind` alone is too coarse —
+    /// e.g. the captured message of a contained panic. Omitted when
+    /// `None`, so existing golden journals are unaffected.
+    pub detail: Option<String>,
     /// Counters attributed to this event, canonical order, zeros omitted.
     pub counters: Vec<(&'static str, u64)>,
 }
@@ -46,13 +50,14 @@ impl Event {
             attempts: 1,
             escalation_rung: 0,
             error_kind: None,
+            detail: None,
             counters: Vec::new(),
         }
     }
 
     /// Renders the event as one JSON line (no trailing newline). Field
     /// order is fixed: kind, index, label?, seed?, outcome, attempts,
-    /// escalation_rung, error_kind?, counters.
+    /// escalation_rung, error_kind?, detail?, counters.
     pub fn render_jsonl(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -77,6 +82,9 @@ impl Event {
         );
         if let Some(kind) = &self.error_kind {
             let _ = write!(out, ",\"error_kind\":{}", json_str(kind));
+        }
+        if let Some(detail) = &self.detail {
+            let _ = write!(out, ",\"detail\":{}", json_str(detail));
         }
         out.push_str(",\"counters\":{");
         for (i, (name, value)) in self.counters.iter().enumerate() {
@@ -127,6 +135,7 @@ mod tests {
             attempts: 3,
             escalation_rung: 2,
             error_kind: Some("non-convergence".to_owned()),
+            detail: None,
             counters: vec![("sparse_solves", 12), ("newton_iterations", 96)],
         };
         assert_eq!(
@@ -135,6 +144,20 @@ mod tests {
              \"seed\":42,\"outcome\":\"failed\",\"attempts\":3,\
              \"escalation_rung\":2,\"error_kind\":\"non-convergence\",\
              \"counters\":{\"sparse_solves\":12,\"newton_iterations\":96}}"
+        );
+    }
+
+    #[test]
+    fn detail_renders_between_error_kind_and_counters() {
+        let mut e = Event::new("sample", 7);
+        e.outcome = "failed";
+        e.error_kind = Some("panic".to_owned());
+        e.detail = Some("index out of bounds".to_owned());
+        assert_eq!(
+            e.render_jsonl(),
+            "{\"kind\":\"sample\",\"index\":7,\"outcome\":\"failed\",\
+             \"attempts\":1,\"escalation_rung\":0,\"error_kind\":\"panic\",\
+             \"detail\":\"index out of bounds\",\"counters\":{}}"
         );
     }
 

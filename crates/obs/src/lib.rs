@@ -17,16 +17,25 @@
 //!
 //! The [`json`] module carries the offline-friendly JSON parser and the
 //! subset schema validator behind the `obs-validate` binary.
+//!
+//! The [`cancel`] module is the one piece that is not strictly
+//! *observation*: a lock-free [`CancelToken`] for cooperative run
+//! cancellation. It lives here because this crate is the leaf every layer
+//! (solver, Monte Carlo driver, studies, campaigns) already depends on,
+//! so the same token can be threaded end-to-end without a dependency
+//! cycle.
 
 #![warn(missing_docs)]
 #![warn(clippy::unwrap_used)]
 
+pub mod cancel;
 pub mod journal;
 pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod recorder;
 
+pub use cancel::{CancelReason, CancelToken};
 pub use journal::{render_journal, Event};
 pub use manifest::{config_digest, RunManifest, SCHEMA_VERSION};
 pub use metrics::{Counter, HistId, MetricsSnapshot, Phase, HIST_BUCKETS};
