@@ -81,7 +81,7 @@ impl TranConfig {
         }
     }
 
-    fn validate(&self) -> Result<(), Error> {
+    pub(crate) fn validate(&self) -> Result<(), Error> {
         if !(self.step.is_finite() && self.step > 0.0) {
             return Err(Error::InvalidTranConfig {
                 reason: "step must be positive and finite",
@@ -161,6 +161,22 @@ pub struct TranResult {
 }
 
 impl TranResult {
+    /// Assembles a result from raw sample storage — the batch engine's
+    /// hand-off into the same result type the scalar engine returns.
+    pub(crate) fn from_parts(
+        times: Vec<f64>,
+        voltages: Vec<Vec<f64>>,
+        captured: Option<Vec<NodeId>>,
+        stats: TranStats,
+    ) -> Self {
+        TranResult {
+            times,
+            voltages,
+            captured,
+            stats,
+        }
+    }
+
     /// Simulated time points (strictly increasing, starting at 0).
     pub fn times(&self) -> &[f64] {
         &self.times
@@ -206,7 +222,7 @@ impl TranResult {
 
 /// Collects waveform breakpoints of all sources into `out` (cleared
 /// first), sorted and deduplicated.
-fn collect_breakpoints(ckt: &Circuit, stop: f64, out: &mut Vec<f64>) {
+pub(crate) fn collect_breakpoints(ckt: &Circuit, stop: f64, out: &mut Vec<f64>) {
     out.clear();
     for e in ckt.elements() {
         match e {

@@ -63,6 +63,15 @@ pub enum Error {
         /// Why the token was tripped.
         reason: pulsar_obs::CancelReason,
     },
+    /// A solver bookkeeping invariant was violated (e.g. a voltage source
+    /// with no branch-current unknown during assembly) — a malformed
+    /// element list or corrupted scratch state, never ordinary numerics.
+    /// Reported as a typed error so one bad sample journals as a failure
+    /// instead of panicking past an entire Monte Carlo campaign.
+    Internal {
+        /// The violated invariant.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -89,6 +98,9 @@ impl fmt::Display for Error {
                 "transient cancelled ({}) at t = {time:.3e} s",
                 reason.label()
             ),
+            Error::Internal { context } => {
+                write!(f, "internal solver invariant violated: {context}")
+            }
         }
     }
 }

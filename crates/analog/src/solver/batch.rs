@@ -1,0 +1,1117 @@
+//! Batched Monte Carlo transient evaluation.
+//!
+//! A Monte Carlo study solves K perturbed instances of *one* circuit
+//! topology: the element list, node ordering, and stamp layout are shared;
+//! only parameter values (device widths, the swept resistance, the input
+//! pulse scale) differ. The scalar engine pays the full element-walk
+//! dispatch, hoist, and step-loop scaffolding K times over. The
+//! [`BatchWorkspace`] amortizes that shared structure: it advances K
+//! *lanes* in lockstep — one element walk hoists per-lane values into flat
+//! structure-of-arrays buffers, one assembly walk per Newton iteration
+//! stamps every still-unconverged lane, and K RHS columns are carried
+//! side by side — while every per-lane floating-point operation is
+//! performed by the *same* code, in the *same* order, as the scalar
+//! engine ([`dense_stamp_g`]/[`dense_stamp_i`]/[`dense_stamp_mosfet`]/
+//! [`hoist_companion`] are shared, not duplicated), so a lane that runs
+//! to completion is bit-identical to its scalar run by construction.
+//!
+//! ## Ejection
+//!
+//! The batch loop never constructs an error. Any event that would deviate
+//! from the clean fast path — a Newton solve that fails to converge or
+//! hits a singular pivot (the scalar engine would retry at half step), a
+//! tripped cancellation token, an exhausted step budget, an adaptive or
+//! otherwise unbatchable configuration, a sparse-engine circuit, a lane
+//! whose topology differs from lane 0 — *ejects* the lane:
+//! [`BatchOutcome::Ejected`] tells the caller to re-run that sample on
+//! the scalar path from attempt 1. The scalar re-run reproduces the PR 1
+//! retry/escalation ladder and the PR 6 cancellation semantics exactly,
+//! because it IS the scalar path. An ejected lane's partial batch work
+//! remains on its recorder — the sample genuinely spent it — which the
+//! per-sample journal reports as honest spend on top of the scalar
+//! re-run.
+//!
+//! ## Counter attribution
+//!
+//! Batched work is attributed per *instance*, never per pass: each lane's
+//! recorder (and the process-wide registry behind the deprecated
+//! `solver_counters()` shim) receives `DenseSolves`, `DenseIterations`,
+//! `NewtonIterations`, and `StepsAccepted` exactly as its scalar run
+//! would, plus `BatchedLaneSolves` marking work done inside the batch
+//! engine and `BatchEjections` on ejection. Phase spans are entered per
+//! lane, so span *counts* match the scalar run; span wall-clock overlaps
+//! across lanes sharing the pass and is attributed to each (documented in
+//! DESIGN.md §5.7).
+
+use crate::analysis::transient::{
+    collect_breakpoints, Integrator, TraceCapture, TranConfig, TranResult, TranStats,
+};
+use crate::circuit::{Circuit, NodeId};
+use crate::elements::Element;
+use crate::solver::matrix::DenseMatrix;
+use crate::solver::mna::{
+    branch_var, collect_cap_branches, dense_solve_done, dense_stamp_g, dense_stamp_i,
+    dense_stamp_mosfet, dense_var, hoist_companion, mos_bulk, CapState, Method, GMIN_FLOOR,
+    MOS_CAPS, RELTOL, VNTOL, VSTEP_LIMIT,
+};
+use crate::solver::sparse::global_recorder;
+use crate::solver::workspace::{force_dense_env, SolverMode, SolverWorkspace, SPARSE_CROSSOVER};
+use pulsar_obs::{CancelToken, Counter, Phase, Recorder};
+
+/// One Monte Carlo instance offered to the batch engine: the perturbed
+/// circuit plus the workspace its scalar run would use (source of the
+/// per-lane recorder, cancellation token, solver mode, and DC warm-start
+/// state).
+pub struct BatchLane<'a> {
+    /// The perturbed circuit instance.
+    pub ckt: &'a Circuit,
+    /// The workspace the scalar path would run this instance with.
+    pub ws: &'a mut SolverWorkspace,
+    /// The transient configuration the scalar path would run with.
+    /// `stop` may differ per lane (the study scales each sample's input
+    /// pulse, and the stop time tracks it); every other field must match
+    /// lane 0's or the lane ejects.
+    pub cfg: TranConfig,
+}
+
+/// Per-lane result of a batched transient run.
+#[derive(Debug)]
+pub enum BatchOutcome {
+    /// The lane ran to completion; the result is bit-identical to the
+    /// scalar run of the same instance.
+    Done(TranResult),
+    /// The lane left the clean fast path (Newton failure, cancellation,
+    /// budget, unbatchable configuration/topology). Re-run the sample on
+    /// the scalar path from attempt 1; no partial result is returned.
+    Ejected,
+}
+
+impl BatchOutcome {
+    /// True for [`BatchOutcome::Done`].
+    pub fn is_done(&self) -> bool {
+        matches!(self, BatchOutcome::Done(_))
+    }
+}
+
+/// Per-lane progress through the lockstep loop.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum LaneState {
+    /// Stepping.
+    Active,
+    /// Reached the lane's `cfg.stop`; result pieces are complete.
+    Finished,
+    /// Left the fast path; the caller re-runs this lane scalar.
+    Ejected,
+}
+
+/// Per-lane mutable state that has no batched (SoA) layout: the solution
+/// double-buffers, companion states, recorded samples, and step-loop
+/// bookkeeping.
+struct LaneCtl {
+    state: LaneState,
+    /// The lane's stop time — the one `TranConfig` field allowed to vary
+    /// across lanes.
+    stop: f64,
+    x: Vec<f64>,
+    xn: Vec<f64>,
+    caps: Vec<CapState>,
+    breakpoints: Vec<f64>,
+    next_bp: usize,
+    t: f64,
+    after_discontinuity: bool,
+    times: Vec<f64>,
+    voltages: Vec<Vec<f64>>,
+    rec: Recorder,
+    cancel: Option<CancelToken>,
+    /// Step-loop span held for the lane's whole run (RAII; dropped when
+    /// the control block is dropped at the end of `transient_batch`).
+    _loop_span: Option<pulsar_obs::Span>,
+    /// Scratch for the current solve: target time and companion step.
+    sub_t: f64,
+    h: f64,
+    hit_bp: bool,
+    method: Method,
+    /// Newton iterations spent in the current solve.
+    iters: u64,
+    /// Converged in the current solve (frozen out of later iterations).
+    solved: bool,
+    /// `(h.to_bits(), method)` the lane's `cap_geq` row was computed for.
+    cap_geq_key: Option<(u64, Method)>,
+}
+
+impl LaneCtl {
+    fn record(&mut self, t: f64, captured: &Option<Vec<NodeId>>) {
+        self.times.push(t);
+        match captured {
+            None => {
+                for (n, column) in self.voltages.iter_mut().enumerate() {
+                    column.push(match dense_var(NodeId(n)) {
+                        Some(i) => self.x[i],
+                        None => 0.0,
+                    });
+                }
+            }
+            Some(cols) => {
+                for (&node, column) in cols.iter().zip(self.voltages.iter_mut()) {
+                    column.push(match dense_var(node) {
+                        Some(i) => self.x[i],
+                        None => 0.0,
+                    });
+                }
+            }
+        }
+    }
+
+    fn eject(&mut self) {
+        self.state = LaneState::Ejected;
+        global_recorder().add(Counter::BatchEjections, 1);
+        self.rec.add(Counter::BatchEjections, 1);
+    }
+}
+
+/// Structure-of-arrays scratch for batched transient runs.
+///
+/// Owns the flat per-`(element, lane)` hoisted-value buffers, the K
+/// dense matrices, and the K RHS/Newton columns. Reusable across calls;
+/// buffers are resized on entry.
+#[derive(Debug, Default)]
+pub struct BatchWorkspace {
+    /// Hoisted per-element values, `[lane * ne + ei]`: `1/R`, scaled
+    /// source values at the lane's target time. Lane-major so every
+    /// walk — hoist, assembly, accept — streams one lane's row
+    /// contiguously while that lane's matrix is hot.
+    elem_val: Vec<f64>,
+    /// Companion conductances, `[lane * ncaps + cap]`.
+    cap_geq: Vec<f64>,
+    /// Companion history currents, `[lane * ncaps + cap]`.
+    cap_ieq: Vec<f64>,
+    /// K RHS columns, `[lane * nu ..][.. nu]`.
+    rhs: Vec<f64>,
+    /// K Newton-update columns, same layout.
+    newton: Vec<f64>,
+    /// One dense MNA matrix per lane.
+    matrices: Vec<DenseMatrix>,
+    /// Element index → branch-current unknown, shared across lanes
+    /// (identical topology).
+    branch_index: Vec<Option<usize>>,
+    /// Capacitive branches of the reference topology (node pairs are
+    /// shared across lanes; the per-lane `farads` is re-read per lane).
+    cap_branches: Vec<(NodeId, NodeId, f64)>,
+    /// Element index → first capacitive slot of that element, shared
+    /// across lanes (the prefix count `assemble_fast` tracks as
+    /// `cap_idx`).
+    cap_slot: Vec<usize>,
+}
+
+impl BatchWorkspace {
+    /// Creates an empty batch workspace; buffers are allocated on first
+    /// use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the transient analysis of every lane in lockstep, returning
+    /// one [`BatchOutcome`] per lane in order.
+    ///
+    /// A lane that completes is bit-identical to
+    /// [`Circuit::transient_with`] on the same circuit/workspace; a lane
+    /// that cannot stay on the clean dense fast path is ejected for a
+    /// scalar re-run (see the module docs for the ejection rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capture` names a node that does not belong to the
+    /// lanes' circuits — same contract as [`Circuit::transient_with`].
+    pub fn transient_batch(
+        &mut self,
+        lanes: &mut [BatchLane<'_>],
+        capture: &TraceCapture,
+    ) -> Vec<BatchOutcome> {
+        let k = lanes.len();
+        if k == 0 {
+            return Vec::new();
+        }
+
+        // Reference topology and configuration from lane 0; the shared
+        // walks are driven by the reference config's step/integrator/
+        // Newton budget, so lanes differing in those fields eject (see
+        // `batchable`). Only `stop` may vary per lane.
+        let ref_cfg = lanes[0].cfg.clone();
+        let ref_ckt: &Circuit = lanes[0].ckt;
+        let nn = ref_ckt.node_count() - 1;
+        let ne = ref_ckt.elements().len();
+        self.branch_index.clear();
+        self.branch_index.resize(ne, None);
+        let mut next = nn;
+        let mut ncaps = 0usize;
+        for (i, e) in ref_ckt.elements().iter().enumerate() {
+            match e {
+                Element::Vsource { .. } => {
+                    self.branch_index[i] = Some(next);
+                    next += 1;
+                }
+                Element::Capacitor { .. } => ncaps += 1,
+                Element::Mosfet(_) => ncaps += MOS_CAPS,
+                _ => {}
+            }
+        }
+        let nu = next;
+        self.cap_slot.clear();
+        self.cap_slot.resize(ne, 0);
+        let mut cs = 0usize;
+        for (i, e) in ref_ckt.elements().iter().enumerate() {
+            self.cap_slot[i] = cs;
+            match e {
+                Element::Capacitor { .. } => cs += 1,
+                Element::Mosfet(_) => cs += MOS_CAPS,
+                _ => {}
+            }
+        }
+
+        // Resolve the capture policy once (identical topology ⇒ shared).
+        let captured: Option<Vec<NodeId>> = match capture {
+            TraceCapture::All => None,
+            TraceCapture::Nodes(nodes) => {
+                let mut cols: Vec<NodeId> = Vec::with_capacity(nodes.len());
+                for &n in nodes {
+                    assert!(
+                        n.index() < ref_ckt.node_count(),
+                        "TraceCapture names node {} but the circuit has {} nodes",
+                        n.index(),
+                        ref_ckt.node_count()
+                    );
+                    if !cols.contains(&n) {
+                        cols.push(n);
+                    }
+                }
+                Some(cols)
+            }
+        };
+        let ncols = captured.as_ref().map_or(ref_ckt.node_count(), Vec::len);
+
+        collect_cap_branches(ref_ckt, &mut self.cap_branches);
+
+        // SoA buffers.
+        self.elem_val.clear();
+        self.elem_val.resize(ne * k, 0.0);
+        self.cap_geq.clear();
+        self.cap_geq.resize(ncaps * k, 0.0);
+        self.cap_ieq.clear();
+        self.cap_ieq.resize(ncaps * k, 0.0);
+        self.rhs.clear();
+        self.rhs.resize(nu * k, 0.0);
+        self.newton.clear();
+        self.newton.resize(nu * k, 0.0);
+        self.matrices.resize_with(k, DenseMatrix::default);
+        for m in &mut self.matrices {
+            m.reset(nu);
+        }
+
+        // Per-lane setup: batchability checks, DC seed, companion states.
+        let mut ctl: Vec<LaneCtl> = Vec::with_capacity(k);
+        for lane in lanes.iter_mut() {
+            let rec = lane.ws.sys.recorder.clone();
+            let cancel = lane.ws.sys.cancel.clone();
+            let batchable = batchable(lane.ckt, ref_ckt, lane.ws, nu, &lane.cfg, &ref_cfg);
+            let capacity = if batchable {
+                (lane.cfg.stop / lane.cfg.step) as usize + 2
+            } else {
+                0
+            };
+            let mut c = LaneCtl {
+                state: LaneState::Active,
+                stop: lane.cfg.stop,
+                x: Vec::new(),
+                xn: Vec::new(),
+                caps: Vec::new(),
+                breakpoints: Vec::new(),
+                next_bp: 0,
+                t: 0.0,
+                after_discontinuity: true,
+                times: Vec::with_capacity(capacity),
+                voltages: vec![Vec::with_capacity(capacity); ncols],
+                rec,
+                cancel,
+                _loop_span: None,
+                sub_t: 0.0,
+                h: 0.0,
+                hit_bp: false,
+                method: Method::BackwardEuler,
+                iters: 0,
+                solved: false,
+                cap_geq_key: None,
+            };
+            if !batchable {
+                c.eject();
+                ctl.push(c);
+                continue;
+            }
+            // DC operating point through the lane's own workspace — the
+            // very call the scalar engine makes, warm-start state
+            // included, so the seed is bit-identical.
+            let warm = if lane.ws.warm_dc {
+                Some(&mut lane.ws.warm_x)
+            } else {
+                None
+            };
+            if lane
+                .ckt
+                .dc_into(0.0, &mut lane.ws.sys, warm, &mut c.x)
+                .is_err()
+            {
+                c.eject();
+                ctl.push(c);
+                continue;
+            }
+            c.xn.resize(nu, 0.0);
+            c.caps.clear();
+            c.caps
+                .extend(self.cap_branches.iter().map(|&(a, b, _)| CapState {
+                    v_prev: volt(&c.x, a) - volt(&c.x, b),
+                    i_prev: 0.0,
+                }));
+            collect_breakpoints(lane.ckt, lane.cfg.stop, &mut c.breakpoints);
+            c.record(0.0, &captured);
+            c._loop_span = Some(c.rec.span(Phase::TransientStepLoop));
+            ctl.push(c);
+        }
+
+        // Lockstep step loop: one pass per step index; lanes advance at
+        // their own simulation times but share every walk. The span
+        // buffer outlives the loop: one allocation for the whole run,
+        // not one per step.
+        let mut spans: Vec<Option<pulsar_obs::Span>> = Vec::with_capacity(k);
+        while ctl.iter().any(|c| c.state == LaneState::Active) {
+            // Per-lane step admission: budget, cancellation, targeting.
+            for c in ctl.iter_mut() {
+                if c.state != LaneState::Active {
+                    continue;
+                }
+                if c.times.len() >= ref_cfg.max_points {
+                    c.eject();
+                    continue;
+                }
+                if let Some(token) = &c.cancel {
+                    if token.cancelled().is_some() {
+                        c.eject();
+                        continue;
+                    }
+                }
+                // Next target time: current step, clipped to
+                // breakpoint/stop — the scalar engine's arithmetic.
+                let mut tn = c.t + ref_cfg.step;
+                c.hit_bp = false;
+                while c.next_bp < c.breakpoints.len() && c.breakpoints[c.next_bp] <= c.t + 1e-18 {
+                    c.next_bp += 1;
+                }
+                if c.next_bp < c.breakpoints.len() && c.breakpoints[c.next_bp] < tn - 1e-18 {
+                    tn = c.breakpoints[c.next_bp];
+                    c.hit_bp = true;
+                }
+                if tn > c.stop {
+                    tn = c.stop;
+                }
+                c.method = match ref_cfg.integrator {
+                    Integrator::BackwardEuler => Method::BackwardEuler,
+                    Integrator::Trapezoidal => {
+                        if c.after_discontinuity {
+                            Method::BackwardEuler
+                        } else {
+                            Method::Trapezoidal
+                        }
+                    }
+                };
+                c.sub_t = tn;
+                c.h = tn - c.t;
+                c.xn.copy_from_slice(&c.x);
+                c.iters = 0;
+                c.solved = false;
+            }
+
+            // Hoist walk: one pass over the slot table fills every active
+            // lane's SoA row with exactly the scalar hoist expressions.
+            // Lane-major rows: each lane's writes are contiguous.
+            spans.clear();
+            for (li, c) in ctl.iter_mut().enumerate() {
+                if c.state != LaneState::Active {
+                    spans.push(None);
+                    continue;
+                }
+                spans.push(Some(c.rec.span(Phase::NewtonSolve)));
+                let key = (c.h.to_bits(), c.method);
+                let refresh = c.cap_geq_key != Some(key);
+                if refresh {
+                    c.cap_geq_key = Some(key);
+                }
+                let ev = li * ne;
+                let cb = li * ncaps;
+                let mut cap_idx = 0usize;
+                for (ei, e) in lanes[li].ckt.elements().iter().enumerate() {
+                    match e {
+                        Element::Resistor { ohms, .. } => {
+                            self.elem_val[ev + ei] = 1.0 / ohms;
+                        }
+                        Element::Vsource { wave, .. } | Element::Isource { wave, .. } => {
+                            self.elem_val[ev + ei] = wave.value_at(c.sub_t);
+                        }
+                        Element::Capacitor { farads, .. } => {
+                            hoist_companion(
+                                &mut self.cap_geq,
+                                &mut self.cap_ieq,
+                                cb + cap_idx,
+                                *farads,
+                                c.h,
+                                c.method,
+                                c.caps[cap_idx],
+                                refresh,
+                            );
+                            cap_idx += 1;
+                        }
+                        Element::Mosfet(m) => {
+                            for (j, cap) in [m.params.cgs, m.params.cgd, m.params.cdb]
+                                .into_iter()
+                                .enumerate()
+                            {
+                                hoist_companion(
+                                    &mut self.cap_geq,
+                                    &mut self.cap_ieq,
+                                    cb + cap_idx + j,
+                                    cap,
+                                    c.h,
+                                    c.method,
+                                    c.caps[cap_idx + j],
+                                    refresh,
+                                );
+                            }
+                            cap_idx += MOS_CAPS;
+                        }
+                    }
+                }
+                // Per-instance attribution, exactly as the scalar dense
+                // solve books itself at entry.
+                global_recorder().add(Counter::DenseSolves, 1);
+                c.rec.add(Counter::DenseSolves, 1);
+                global_recorder().add(Counter::BatchedLaneSolves, 1);
+                c.rec.add(Counter::BatchedLaneSolves, 1);
+            }
+
+            // Newton iterations in lockstep with per-lane convergence
+            // masks: one assembly walk per iteration stamps every lane
+            // still solving.
+            for iter in 0..ref_cfg.max_newton {
+                let mut any = false;
+                for c in ctl.iter_mut() {
+                    if c.state == LaneState::Active && !c.solved {
+                        any = true;
+                        c.iters += 1;
+                    }
+                }
+                if !any {
+                    break;
+                }
+
+                // Assembly walk: one lane at a time, clear + gmin floor +
+                // the full element walk while the lane's matrix, RHS
+                // column, and hoisted rows stay hot — structurally the
+                // scalar `assemble_fast`. A stamp error is unreachable
+                // with the layout built above; the typed escape keeps
+                // the batch loop panic-free on bookkeeping.
+                for (li, c) in ctl.iter().enumerate() {
+                    if c.state != LaneState::Active || c.solved {
+                        continue;
+                    }
+                    let _ = self.stamp_lane(li, nu, nn, ne, ncaps, lanes[li].ckt, &c.xn);
+                }
+
+                // Per-lane linear solve + damped update + convergence.
+                for (li, c) in ctl.iter_mut().enumerate() {
+                    if c.state != LaneState::Active || c.solved {
+                        continue;
+                    }
+                    let col = &self.rhs[li * nu..(li + 1) * nu];
+                    let newton = &mut self.newton[li * nu..(li + 1) * nu];
+                    newton.copy_from_slice(col);
+                    if self.matrices[li].solve_in_place(newton).is_err() {
+                        // Scalar would return SingularMatrix here; the
+                        // re-run reproduces it.
+                        dense_solve_done(&c.rec, c.iters);
+                        spans[li] = None;
+                        c.eject();
+                        continue;
+                    }
+                    let mut converged = true;
+                    for (i, &nw) in newton.iter().enumerate() {
+                        let mut delta = nw - c.xn[i];
+                        if i < nn {
+                            if delta > VSTEP_LIMIT {
+                                delta = VSTEP_LIMIT;
+                                converged = false;
+                            } else if delta < -VSTEP_LIMIT {
+                                delta = -VSTEP_LIMIT;
+                                converged = false;
+                            }
+                            if delta.abs() > VNTOL + RELTOL * c.xn[i].abs() {
+                                converged = false;
+                            }
+                        }
+                        c.xn[i] += delta;
+                    }
+                    if converged && iter > 0 {
+                        c.solved = true;
+                        dense_solve_done(&c.rec, c.iters);
+                        spans[li] = None;
+                    }
+                }
+            }
+
+            // Lanes that exhausted the iteration budget: the scalar
+            // engine would retry at half step — eject for the re-run.
+            for (li, c) in ctl.iter_mut().enumerate() {
+                if c.state == LaneState::Active && !c.solved {
+                    dense_solve_done(&c.rec, c.iters);
+                    spans[li] = None;
+                    c.eject();
+                }
+            }
+            // All per-lane solve spans are closed by now (solve, eject,
+            // or budget exhaustion); clear for the next step.
+            spans.clear();
+
+            // Accept the step on every lane that solved.
+            for (li, c) in ctl.iter_mut().enumerate() {
+                if c.state != LaneState::Active {
+                    continue;
+                }
+                for (ci, (st, &(a, b, _))) in
+                    c.caps.iter_mut().zip(self.cap_branches.iter()).enumerate()
+                {
+                    let geq = self.cap_geq[li * ncaps + ci];
+                    let v_now = volt(&c.xn, a) - volt(&c.xn, b);
+                    let i_now = match c.method {
+                        Method::BackwardEuler => geq * (v_now - st.v_prev),
+                        Method::Trapezoidal => geq * (v_now - st.v_prev) - st.i_prev,
+                    };
+                    st.v_prev = v_now;
+                    st.i_prev = i_now;
+                }
+                core::mem::swap(&mut c.x, &mut c.xn);
+                c.t = c.sub_t;
+                let t = c.t;
+                c.record(t, &captured);
+                c.rec.add(Counter::StepsAccepted, 1);
+                // sub_t == tn always (no step halving in the batch loop),
+                // so the scalar `(sub_t - tn).abs() < 1e-18` guard is
+                // identically true.
+                c.after_discontinuity = c.hit_bp;
+                if c.t >= c.stop - 1e-18 {
+                    c.state = LaneState::Finished;
+                }
+            }
+        }
+
+        ctl.into_iter()
+            .map(|c| match c.state {
+                LaneState::Finished => {
+                    let stats = TranStats {
+                        accepted_points: c.times.len(),
+                        ..TranStats::default()
+                    };
+                    BatchOutcome::Done(TranResult::from_parts(
+                        c.times,
+                        c.voltages,
+                        captured.clone(),
+                        stats,
+                    ))
+                }
+                _ => BatchOutcome::Ejected,
+            })
+            .collect()
+    }
+
+    /// Assembles lane `li`'s MNA system about its candidate solution
+    /// `xn`: clear, gmin floor, then one element walk stamping the
+    /// lane's hoisted SoA rows — structurally the scalar
+    /// `assemble_fast`, with the lane's matrix, RHS column, and
+    /// lane-major value rows resolved once and kept hot for the whole
+    /// walk. Per-lane stamping order (and therefore every rounding
+    /// step) is identical to the scalar engine's.
+    #[allow(clippy::too_many_arguments)] // pre-resolved dims, one call site
+    fn stamp_lane(
+        &mut self,
+        li: usize,
+        nu: usize,
+        nn: usize,
+        ne: usize,
+        ncaps: usize,
+        ckt: &Circuit,
+        xn: &[f64],
+    ) -> Result<(), crate::error::Error> {
+        let matrix = &mut self.matrices[li];
+        let rhs = &mut self.rhs[li * nu..(li + 1) * nu];
+        let ev = &self.elem_val[li * ne..(li + 1) * ne];
+        let geq = &self.cap_geq[li * ncaps..(li + 1) * ncaps];
+        let ieq = &self.cap_ieq[li * ncaps..(li + 1) * ncaps];
+        matrix.clear();
+        rhs.fill(0.0);
+        for n in 0..nn {
+            matrix.add(n, n, GMIN_FLOOR);
+        }
+        for (ei, e) in ckt.elements().iter().enumerate() {
+            match e {
+                Element::Resistor { a, b, .. } => {
+                    dense_stamp_g(matrix, *a, *b, ev[ei]);
+                }
+                Element::Capacitor { a, b, .. } => {
+                    let ci = self.cap_slot[ei];
+                    dense_stamp_g(matrix, *a, *b, geq[ci]);
+                    dense_stamp_i(rhs, *a, *b, ieq[ci]);
+                }
+                Element::Vsource { p, n, .. } => {
+                    let br = branch_var(&self.branch_index, ei)?;
+                    if let Some(i) = dense_var(*p) {
+                        matrix.add(i, br, 1.0);
+                        matrix.add(br, i, 1.0);
+                    }
+                    if let Some(j) = dense_var(*n) {
+                        matrix.add(j, br, -1.0);
+                        matrix.add(br, j, -1.0);
+                    }
+                    rhs[br] = ev[ei];
+                }
+                Element::Isource { p, n, .. } => {
+                    dense_stamp_i(rhs, *p, *n, ev[ei]);
+                }
+                Element::Mosfet(m) => {
+                    dense_stamp_mosfet(matrix, rhs, m, xn);
+                    let ci = self.cap_slot[ei];
+                    let caps = [
+                        (m.g, m.s, m.params.cgs),
+                        (m.g, m.d, m.params.cgd),
+                        (m.d, mos_bulk(m), m.params.cdb),
+                    ];
+                    for (j, (a, b, cv)) in caps.into_iter().enumerate() {
+                        if cv > 0.0 {
+                            dense_stamp_g(matrix, a, b, geq[ci + j]);
+                            dense_stamp_i(rhs, a, b, ieq[ci + j]);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A lane is batchable when its scalar run would take the clean dense
+/// fast path: identical topology to the reference lane, no sparse-engine
+/// engagement (different elimination order ⇒ different rounding), a
+/// valid non-adaptive configuration agreeing with the reference lane's
+/// in every field the shared walks are driven by (`stop` alone may
+/// differ per lane), and no state that changes the step loop's control
+/// flow.
+fn batchable(
+    ckt: &Circuit,
+    ref_ckt: &Circuit,
+    ws: &SolverWorkspace,
+    nu: usize,
+    cfg: &TranConfig,
+    ref_cfg: &TranConfig,
+) -> bool {
+    // Adaptive stepping re-plans each lane's step size independently (no
+    // lockstep), and an invalid config must surface the scalar engine's
+    // exact error — both leave the fast path.
+    if cfg.adaptive
+        || cfg.validate().is_err()
+        || cfg.step != ref_cfg.step
+        || cfg.integrator != ref_cfg.integrator
+        || cfg.max_newton != ref_cfg.max_newton
+        || cfg.max_points != ref_cfg.max_points
+    {
+        return false;
+    }
+    if ckt.node_count() != ref_ckt.node_count() || ckt.elements().len() != ref_ckt.elements().len()
+    {
+        return false;
+    }
+    for (a, b) in ckt.elements().iter().zip(ref_ckt.elements().iter()) {
+        let same = match (a, b) {
+            (Element::Resistor { a: a1, b: b1, .. }, Element::Resistor { a: a2, b: b2, .. }) => {
+                a1 == a2 && b1 == b2
+            }
+            (Element::Capacitor { a: a1, b: b1, .. }, Element::Capacitor { a: a2, b: b2, .. }) => {
+                a1 == a2 && b1 == b2
+            }
+            (Element::Vsource { p: p1, n: n1, .. }, Element::Vsource { p: p2, n: n2, .. }) => {
+                p1 == p2 && n1 == n2
+            }
+            (Element::Isource { p: p1, n: n1, .. }, Element::Isource { p: p2, n: n2, .. }) => {
+                p1 == p2 && n1 == n2
+            }
+            (Element::Mosfet(m1), Element::Mosfet(m2)) => {
+                m1.kind == m2.kind && m1.d == m2.d && m1.g == m2.g && m1.s == m2.s
+            }
+            _ => false,
+        };
+        if !same {
+            return false;
+        }
+    }
+    // Sparse-engine engagement mirrors `SparseScratch::prepare`: the
+    // batch path is dense-only, so any would-be-sparse lane ejects.
+    if !force_dense_env() {
+        match ws.sys.sparse.mode {
+            SolverMode::ForceSparse => return false,
+            SolverMode::Auto if nu >= SPARSE_CROSSOVER => return false,
+            _ => {}
+        }
+    }
+    true
+}
+
+/// Node voltage under the MNA ordering (ground reads 0) — local alias of
+/// the shared helper for readability.
+#[inline]
+fn volt(x: &[f64], node: NodeId) -> f64 {
+    match dense_var(node) {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::elements::{MosType, Mosfet, MosfetParams, Waveform};
+
+    /// A CMOS inverter driven by a pulse, parameterized by the NMOS width
+    /// and load capacitance — a miniature of the paper's perturbed
+    /// Monte Carlo instances.
+    fn inverter(wn: f64, cload: f64) -> (Circuit, NodeId) {
+        let params = |kind: MosType, w: f64| MosfetParams {
+            vt0: if matches!(kind, MosType::Nmos) {
+                0.4
+            } else {
+                -0.42
+            },
+            kp: if matches!(kind, MosType::Nmos) {
+                170e-6
+            } else {
+                60e-6
+            },
+            lambda: 0.06,
+            w,
+            l: 0.18e-6,
+            cgs: 1e-15,
+            cgd: 1e-15,
+            cdb: 1e-15,
+        };
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let inp = ckt.node("in");
+        let out = ckt.node("out");
+        ckt.vsource(vdd, Circuit::GROUND, Waveform::dc(1.8));
+        ckt.vsource(
+            inp,
+            Circuit::GROUND,
+            Waveform::single_pulse(0.0, 1.8, 0.5e-9, 30e-12, 30e-12, 400e-12),
+        );
+        ckt.add_mosfet(Mosfet {
+            kind: MosType::Pmos,
+            d: out,
+            g: inp,
+            s: vdd,
+            params: params(MosType::Pmos, 2.0e-6),
+        });
+        ckt.add_mosfet(Mosfet {
+            kind: MosType::Nmos,
+            d: out,
+            g: inp,
+            s: Circuit::GROUND,
+            params: params(MosType::Nmos, wn),
+        });
+        ckt.capacitor(out, Circuit::GROUND, cload);
+        (ckt, out)
+    }
+
+    fn assert_identical(res: &TranResult, scalar: &TranResult, out: NodeId, tag: &str) {
+        assert_eq!(res.times(), scalar.times(), "{tag}: time grids differ");
+        assert_eq!(
+            res.trace(out).values(),
+            scalar.trace(out).values(),
+            "{tag}: waveforms differ"
+        );
+        assert_eq!(res.stats(), scalar.stats(), "{tag}: stats differ");
+    }
+
+    #[test]
+    fn batch_of_one_is_bit_identical_to_scalar() {
+        let (ckt, out) = inverter(1.0e-6, 20e-15);
+        let cfg = TranConfig::new(5e-12, 3e-9);
+        let scalar = ckt.transient(&cfg).unwrap();
+
+        let mut ws = SolverWorkspace::new();
+        let mut bw = BatchWorkspace::new();
+        let mut lanes = [BatchLane {
+            ckt: &ckt,
+            ws: &mut ws,
+            cfg: cfg.clone(),
+        }];
+        let mut out_v = bw.transient_batch(&mut lanes, &TraceCapture::All);
+        assert_eq!(out_v.len(), 1);
+        match out_v.pop().unwrap() {
+            BatchOutcome::Done(res) => assert_identical(&res, &scalar, out, "batch-of-1"),
+            BatchOutcome::Ejected => panic!("clean lane must not eject"),
+        }
+    }
+
+    #[test]
+    fn batched_k_lanes_match_scalar_lane_for_lane() {
+        let cfg = TranConfig::new(5e-12, 3e-9);
+        let variants: Vec<(f64, f64)> = (0..6)
+            .map(|i| (0.8e-6 + 0.1e-6 * i as f64, (15.0 + 3.0 * i as f64) * 1e-15))
+            .collect();
+        let ckts: Vec<(Circuit, NodeId)> = variants.iter().map(|&(w, c)| inverter(w, c)).collect();
+
+        let scalars: Vec<TranResult> = ckts
+            .iter()
+            .map(|(ckt, _)| ckt.transient(&cfg).unwrap())
+            .collect();
+
+        let mut wss: Vec<SolverWorkspace> =
+            (0..ckts.len()).map(|_| SolverWorkspace::new()).collect();
+        let mut lanes: Vec<BatchLane<'_>> = ckts
+            .iter()
+            .zip(wss.iter_mut())
+            .map(|((ckt, _), ws)| BatchLane {
+                ckt,
+                ws,
+                cfg: cfg.clone(),
+            })
+            .collect();
+        let mut bw = BatchWorkspace::new();
+        let outs = bw.transient_batch(&mut lanes, &TraceCapture::All);
+        assert_eq!(outs.len(), ckts.len());
+        for (i, (o, s)) in outs.iter().zip(scalars.iter()).enumerate() {
+            match o {
+                BatchOutcome::Done(res) => {
+                    assert_identical(res, s, ckts[i].1, &format!("lane {i}"));
+                }
+                BatchOutcome::Ejected => panic!("clean lane {i} must not eject"),
+            }
+        }
+    }
+
+    #[test]
+    fn per_lane_stop_times_stay_bit_identical() {
+        // The study gives each sample its own stop time (the input pulse
+        // is scaled per instance); lanes must finish independently.
+        let ckts: Vec<(Circuit, NodeId)> = (0..4)
+            .map(|i| inverter(0.9e-6 + 0.05e-6 * i as f64, 20e-15))
+            .collect();
+        let cfgs: Vec<TranConfig> = (0..4)
+            .map(|i| TranConfig::new(5e-12, 1.5e-9 + 0.4e-9 * i as f64))
+            .collect();
+        let scalars: Vec<TranResult> = ckts
+            .iter()
+            .zip(cfgs.iter())
+            .map(|((ckt, _), cfg)| ckt.transient(cfg).unwrap())
+            .collect();
+
+        let mut wss: Vec<SolverWorkspace> =
+            (0..ckts.len()).map(|_| SolverWorkspace::new()).collect();
+        let mut lanes: Vec<BatchLane<'_>> = ckts
+            .iter()
+            .zip(wss.iter_mut())
+            .zip(cfgs.iter())
+            .map(|(((ckt, _), ws), cfg)| BatchLane {
+                ckt,
+                ws,
+                cfg: cfg.clone(),
+            })
+            .collect();
+        let mut bw = BatchWorkspace::new();
+        let outs = bw.transient_batch(&mut lanes, &TraceCapture::All);
+        for (i, (o, s)) in outs.iter().zip(scalars.iter()).enumerate() {
+            match o {
+                BatchOutcome::Done(res) => {
+                    assert_identical(res, s, ckts[i].1, &format!("stop-lane {i}"));
+                }
+                BatchOutcome::Ejected => panic!("clean lane {i} must not eject"),
+            }
+        }
+    }
+
+    #[test]
+    fn mismatched_step_config_ejects_lane() {
+        let (ckt_a, out) = inverter(1.0e-6, 20e-15);
+        let (ckt_b, _) = inverter(1.0e-6, 20e-15);
+        let cfg_a = TranConfig::new(5e-12, 2e-9);
+        let cfg_b = TranConfig::new(7e-12, 2e-9);
+        let mut ws_a = SolverWorkspace::new();
+        let mut ws_b = SolverWorkspace::new();
+        let mut lanes = [
+            BatchLane {
+                ckt: &ckt_a,
+                ws: &mut ws_a,
+                cfg: cfg_a.clone(),
+            },
+            BatchLane {
+                ckt: &ckt_b,
+                ws: &mut ws_b,
+                cfg: cfg_b,
+            },
+        ];
+        let mut bw = BatchWorkspace::new();
+        let outs = bw.transient_batch(&mut lanes, &TraceCapture::All);
+        assert!(outs[0].is_done(), "reference lane stays batched");
+        assert!(!outs[1].is_done(), "foreign step size must eject");
+        let scalar = ckt_a.transient(&cfg_a).unwrap();
+        match &outs[0] {
+            BatchOutcome::Done(res) => assert_identical(res, &scalar, out, "survivor"),
+            BatchOutcome::Ejected => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn capture_nodes_matches_scalar_capture() {
+        let (ckt, out) = inverter(1.1e-6, 25e-15);
+        let cfg = TranConfig::new(5e-12, 2e-9);
+        let mut ws_s = SolverWorkspace::new();
+        let scalar = ckt
+            .transient_with(&cfg, &mut ws_s, &TraceCapture::Nodes(vec![out]))
+            .unwrap();
+
+        let mut ws = SolverWorkspace::new();
+        let mut bw = BatchWorkspace::new();
+        let mut lanes = [BatchLane {
+            ckt: &ckt,
+            ws: &mut ws,
+            cfg: cfg.clone(),
+        }];
+        let mut outs = bw.transient_batch(&mut lanes, &TraceCapture::Nodes(vec![out]));
+        match outs.pop().unwrap() {
+            BatchOutcome::Done(res) => {
+                assert_eq!(res.times(), scalar.times());
+                assert_eq!(res.trace(out).values(), scalar.trace(out).values());
+            }
+            BatchOutcome::Ejected => panic!("clean lane must not eject"),
+        }
+    }
+
+    #[test]
+    fn mismatched_topology_lane_ejects_cleanly() {
+        let (ckt_a, out) = inverter(1.0e-6, 20e-15);
+        let mut ckt_b = Circuit::new();
+        let a = ckt_b.node("a");
+        ckt_b.vsource(a, Circuit::GROUND, Waveform::dc(1.0));
+        ckt_b.resistor(a, Circuit::GROUND, 1e3);
+        let cfg = TranConfig::new(5e-12, 2e-9);
+
+        let mut ws_a = SolverWorkspace::new();
+        let mut ws_b = SolverWorkspace::new();
+        let mut lanes = [
+            BatchLane {
+                ckt: &ckt_a,
+                ws: &mut ws_a,
+                cfg: cfg.clone(),
+            },
+            BatchLane {
+                ckt: &ckt_b,
+                ws: &mut ws_b,
+                cfg: cfg.clone(),
+            },
+        ];
+        let mut bw = BatchWorkspace::new();
+        let outs = bw.transient_batch(&mut lanes, &TraceCapture::All);
+        assert!(outs[0].is_done(), "reference lane stays batched");
+        assert!(!outs[1].is_done(), "foreign topology must eject");
+        // The surviving lane is still bit-identical to scalar.
+        let scalar = ckt_a.transient(&cfg).unwrap();
+        match &outs[0] {
+            BatchOutcome::Done(res) => assert_identical(res, &scalar, out, "survivor"),
+            BatchOutcome::Ejected => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn adaptive_config_ejects_every_lane() {
+        let (ckt, _) = inverter(1.0e-6, 20e-15);
+        let mut ws = SolverWorkspace::new();
+        let mut lanes = [BatchLane {
+            ckt: &ckt,
+            ws: &mut ws,
+            cfg: TranConfig::adaptive(1e-9, 3e-9),
+        }];
+        let mut bw = BatchWorkspace::new();
+        let outs = bw.transient_batch(&mut lanes, &TraceCapture::All);
+        assert!(outs.iter().all(|o| !o.is_done()));
+    }
+
+    #[test]
+    fn cancelled_token_ejects_lane() {
+        let (ckt, _) = inverter(1.0e-6, 20e-15);
+        let token = CancelToken::new();
+        token.cancel(pulsar_obs::CancelReason::User);
+        let mut ws = SolverWorkspace::new();
+        ws.set_cancel_token(token);
+        let mut lanes = [BatchLane {
+            ckt: &ckt,
+            ws: &mut ws,
+            cfg: TranConfig::new(5e-12, 2e-9),
+        }];
+        let mut bw = BatchWorkspace::new();
+        let outs = bw.transient_batch(&mut lanes, &TraceCapture::All);
+        assert!(!outs[0].is_done(), "cancelled lane must eject");
+    }
+
+    #[test]
+    fn counter_attribution_matches_scalar_per_lane() {
+        let (ckt, _) = inverter(1.0e-6, 20e-15);
+        let cfg = TranConfig::new(5e-12, 2e-9);
+
+        // Scalar run with its own recorder.
+        let rec_s = Recorder::enabled();
+        let mut ws_s = SolverWorkspace::new();
+        ws_s.set_recorder(rec_s.fork());
+        ckt.transient_with(&cfg, &mut ws_s, &TraceCapture::All)
+            .unwrap();
+
+        // Batched run of the same instance.
+        let rec_b = Recorder::enabled();
+        let mut ws_b = SolverWorkspace::new();
+        ws_b.set_recorder(rec_b.fork());
+        let mut lanes = [BatchLane {
+            ckt: &ckt,
+            ws: &mut ws_b,
+            cfg: cfg.clone(),
+        }];
+        let mut bw = BatchWorkspace::new();
+        let outs = bw.transient_batch(&mut lanes, &TraceCapture::All);
+        assert!(outs[0].is_done());
+
+        let s = rec_s.snapshot();
+        let b = rec_b.snapshot();
+        for c in [
+            Counter::DenseSolves,
+            Counter::DenseIterations,
+            Counter::NewtonIterations,
+            Counter::StepsAccepted,
+            Counter::NewtonRetries,
+        ] {
+            assert_eq!(
+                b.counter(c),
+                s.counter(c),
+                "batched {c:?} must attribute per-instance like scalar"
+            );
+        }
+        assert_eq!(b.counter(Counter::BatchEjections), 0);
+        assert!(b.counter(Counter::BatchedLaneSolves) > 0);
+        // DenseSolves also counts the scalar DC seed solves; every solve
+        // past the seed ran inside the batch loop.
+        assert!(
+            b.counter(Counter::BatchedLaneSolves) < b.counter(Counter::DenseSolves),
+            "DC seed solves are scalar dense solves"
+        );
+    }
+}

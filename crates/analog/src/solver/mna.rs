@@ -8,6 +8,7 @@
 use crate::circuit::{Circuit, NodeId};
 use crate::elements::{Element, MosType, Mosfet, MosfetParams};
 use crate::error::Error;
+use crate::solver::matrix::DenseMatrix;
 use crate::solver::sparse::{global_recorder, SymbolicLu};
 use crate::solver::workspace::{SparseScratch, SysScratch};
 use pulsar_obs::{Counter, Phase, Recorder};
@@ -19,19 +20,19 @@ use pulsar_obs::{Counter, Phase, Recorder};
 const JR_CONTRACTION: f64 = 0.5;
 
 /// Absolute node-voltage convergence tolerance (V).
-const VNTOL: f64 = 1e-6;
+pub(crate) const VNTOL: f64 = 1e-6;
 /// Relative convergence tolerance.
-const RELTOL: f64 = 1e-4;
+pub(crate) const RELTOL: f64 = 1e-4;
 /// Per-iteration clamp on node-voltage updates (V); classic NR damping.
-const VSTEP_LIMIT: f64 = 0.6;
+pub(crate) const VSTEP_LIMIT: f64 = 0.6;
 /// Leakage conductance from every node to ground keeping matrices
 /// well-posed even with all transistors cut off.
-const GMIN_FLOOR: f64 = 1e-12;
+pub(crate) const GMIN_FLOOR: f64 = 1e-12;
 
 /// Books the end of one dense Newton solve: the iteration spend goes to
 /// the process-wide registry (legacy `solver_counters()` view) and the
 /// per-run recorder, which also gets the iterations-per-solve histogram.
-fn dense_solve_done(rec: &Recorder, iters: u64) {
+pub(crate) fn dense_solve_done(rec: &Recorder, iters: u64) {
     global_recorder().add(Counter::DenseIterations, iters);
     rec.add(Counter::DenseIterations, iters);
     rec.newton_solve_done(iters);
@@ -126,11 +127,7 @@ impl<'c, 'w> System<'c, 'w> {
     /// MNA row/column of a node, or `None` for ground.
     #[inline]
     fn var(node: NodeId) -> Option<usize> {
-        if node.is_ground() {
-            None
-        } else {
-            Some(node.index() - 1)
-        }
+        dense_var(node)
     }
 
     #[inline]
@@ -143,29 +140,13 @@ impl<'c, 'w> System<'c, 'w> {
 
     #[inline]
     fn stamp_g(&mut self, a: NodeId, b: NodeId, g: f64) {
-        let ia = Self::var(a);
-        let ib = Self::var(b);
-        if let Some(i) = ia {
-            self.scratch.matrix.add(i, i, g);
-        }
-        if let Some(j) = ib {
-            self.scratch.matrix.add(j, j, g);
-        }
-        if let (Some(i), Some(j)) = (ia, ib) {
-            self.scratch.matrix.add(i, j, -g);
-            self.scratch.matrix.add(j, i, -g);
-        }
+        dense_stamp_g(&mut self.scratch.matrix, a, b, g);
     }
 
     /// Injects current `i` into node `into` and removes it from `from`.
     #[inline]
     fn stamp_i(&mut self, into: NodeId, from: NodeId, i: f64) {
-        if let Some(r) = Self::var(into) {
-            self.scratch.rhs[r] += i;
-        }
-        if let Some(r) = Self::var(from) {
-            self.scratch.rhs[r] -= i;
-        }
+        dense_stamp_i(&mut self.scratch.rhs, into, from, i);
     }
 
     /// Hoists every value that is constant across the Newton iterations of
@@ -258,7 +239,7 @@ impl<'c, 'w> System<'c, 'w> {
     /// bit-identical to [`System::assemble_baseline`] (asserted by the
     /// `workspace_equivalence` property tests and the transient baseline
     /// cross-checks); only where the constants are computed differs.
-    fn assemble_fast(&mut self, x: &[f64], dynamic: bool, gmin: f64) {
+    fn assemble_fast(&mut self, x: &[f64], dynamic: bool, gmin: f64) -> Result<(), Error> {
         self.scratch.matrix.clear();
         self.scratch.rhs.fill(0.0);
 
@@ -284,7 +265,7 @@ impl<'c, 'w> System<'c, 'w> {
                     cap_idx += 1;
                 }
                 Element::Vsource { p, n, .. } => {
-                    let br = self.scratch.branch_index[ei].expect("vsource has a branch var");
+                    let br = branch_var(&self.scratch.branch_index, ei)?;
                     if let Some(i) = Self::var(*p) {
                         self.scratch.matrix.add(i, br, 1.0);
                         self.scratch.matrix.add(br, i, 1.0);
@@ -320,6 +301,7 @@ impl<'c, 'w> System<'c, 'w> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Assembles the linearized system about candidate solution `x` at time
@@ -339,7 +321,7 @@ impl<'c, 'w> System<'c, 'w> {
         dynamics: Option<(&[CapState], f64, Method)>,
         src_scale: f64,
         gmin: f64,
-    ) {
+    ) -> Result<(), Error> {
         self.scratch.matrix.clear();
         self.scratch.rhs.fill(0.0);
 
@@ -366,7 +348,7 @@ impl<'c, 'w> System<'c, 'w> {
                     cap_idx += 1;
                 }
                 Element::Vsource { p, n, wave } => {
-                    let br = self.scratch.branch_index[ei].expect("vsource has a branch var");
+                    let br = branch_var(&self.scratch.branch_index, ei)?;
                     if let Some(i) = Self::var(*p) {
                         self.scratch.matrix.add(i, br, 1.0);
                         self.scratch.matrix.add(br, i, 1.0);
@@ -402,44 +384,11 @@ impl<'c, 'w> System<'c, 'w> {
                 }
             }
         }
+        Ok(())
     }
 
     fn stamp_mosfet(&mut self, m: &Mosfet, x: &[f64]) {
-        let vd = Self::volt(x, m.d);
-        let vg = Self::volt(x, m.g);
-        let vs = Self::volt(x, m.s);
-        let lin = linearize(m, vd, vg, vs);
-
-        let (deff, seff) = if lin.swapped { (m.s, m.d) } else { (m.d, m.s) };
-        let id_ = Self::var(deff);
-        let is_ = Self::var(seff);
-        let ig_ = Self::var(m.g);
-
-        // i(deff→seff) ≈ ieq + gm·vg + gds·vdeff − (gm+gds)·vseff
-        if let Some(r) = id_ {
-            if let Some(c) = ig_ {
-                self.scratch.matrix.add(r, c, lin.gm);
-            }
-            self.scratch.matrix.add(r, r, lin.gds);
-            if let Some(c) = is_ {
-                self.scratch.matrix.add(r, c, -(lin.gm + lin.gds));
-            }
-        }
-        if let Some(r) = is_ {
-            if let Some(c) = ig_ {
-                self.scratch.matrix.add(r, c, -lin.gm);
-            }
-            if let Some(c) = id_ {
-                self.scratch.matrix.add(r, c, -lin.gds);
-            }
-            self.scratch.matrix.add(r, r, lin.gm + lin.gds);
-        }
-
-        let vgs_eff = vg - Self::volt(x, seff);
-        let vds_eff = Self::volt(x, deff) - Self::volt(x, seff);
-        let ieq = lin.i - lin.gm * vgs_eff - lin.gds * vds_eff;
-        // ieq leaves deff and enters seff.
-        self.stamp_i(seff, deff, ieq);
+        dense_stamp_mosfet(&mut self.scratch.matrix, &mut self.scratch.rhs, m, x);
     }
 
     /// Newton–Raphson loop. `x` holds the initial guess and, on success,
@@ -492,7 +441,10 @@ impl<'c, 'w> System<'c, 'w> {
         let mut iters: u64 = 0;
         for iter in 0..max_iter {
             iters += 1;
-            self.assemble_fast(x, dynamics.is_some(), gmin);
+            if let Err(e) = self.assemble_fast(x, dynamics.is_some(), gmin) {
+                dense_solve_done(&self.scratch.recorder, iters);
+                return Err(e);
+            }
             // Split-borrow the scratch so the hoisted Newton vector can be
             // solved against the matrix without re-allocating per call.
             let SysScratch {
@@ -582,7 +534,9 @@ impl<'c, 'w> System<'c, 'w> {
         }
         let mut last_rnorm = f64::INFINITY;
         for iter in 0..max_iter {
-            self.assemble_sparse(x, dyn_on, gmin);
+            if let Err(e) = self.assemble_sparse(x, dyn_on, gmin) {
+                return Some(Err(e));
+            }
             let SysScratch {
                 rhs,
                 sparse,
@@ -664,7 +618,7 @@ impl<'c, 'w> System<'c, 'w> {
     /// into the pattern-compressed value array instead of the dense
     /// matrix. Kept as a separate copy so the dense assembly stays
     /// untouched — and bit-identical to baseline.
-    fn assemble_sparse(&mut self, x: &[f64], dynamic: bool, gmin: f64) {
+    fn assemble_sparse(&mut self, x: &[f64], dynamic: bool, gmin: f64) -> Result<(), Error> {
         let ckt = self.ckt;
         let nn = self.nn;
         let SysScratch {
@@ -705,7 +659,7 @@ impl<'c, 'w> System<'c, 'w> {
                     cap_idx += 1;
                 }
                 Element::Vsource { p, n, .. } => {
-                    let br = branch_index[ei].expect("vsource has a branch var");
+                    let br = branch_var(branch_index, ei)?;
                     if let Some(i) = Self::var(*p) {
                         sym.add(a_vals, i, br, 1.0);
                         sym.add(a_vals, br, i, 1.0);
@@ -738,6 +692,7 @@ impl<'c, 'w> System<'c, 'w> {
                 }
             }
         }
+        Ok(())
     }
 
     /// The pre-workspace Newton kernel, preserved verbatim for the
@@ -760,7 +715,7 @@ impl<'c, 'w> System<'c, 'w> {
         debug_assert_eq!(x.len(), self.nu);
         let mut xnew = vec![0.0; self.nu];
         for iter in 0..max_iter {
-            self.assemble_baseline(x, t, dynamics, src_scale, gmin);
+            self.assemble_baseline(x, t, dynamics, src_scale, gmin)?;
             xnew.copy_from_slice(&self.scratch.rhs);
             self.scratch.matrix.solve_in_place_baseline(&mut xnew)?;
 
@@ -874,6 +829,112 @@ fn sparse_stamp_mosfet(sym: &SymbolicLu, vals: &mut [f64], rhs: &mut [f64], m: &
     sparse_stamp_i(rhs, seff, deff, ieq);
 }
 
+/// MNA row/column of a node, or `None` for ground. Free-function twin of
+/// [`System::var`] shared with the batch engine.
+#[inline]
+pub(crate) fn dense_var(node: NodeId) -> Option<usize> {
+    if node.is_ground() {
+        None
+    } else {
+        Some(node.index() - 1)
+    }
+}
+
+/// Node voltage under the MNA unknown ordering (ground reads 0).
+#[inline]
+pub(crate) fn dense_volt(x: &[f64], node: NodeId) -> f64 {
+    match dense_var(node) {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+/// Stamps conductance `g` between `a` and `b`. The single implementation
+/// behind both the scalar [`System`] assembly and the batched engine, so
+/// the two cannot drift apart numerically.
+#[inline]
+pub(crate) fn dense_stamp_g(matrix: &mut DenseMatrix, a: NodeId, b: NodeId, g: f64) {
+    let ia = dense_var(a);
+    let ib = dense_var(b);
+    if let Some(i) = ia {
+        matrix.add(i, i, g);
+    }
+    if let Some(j) = ib {
+        matrix.add(j, j, g);
+    }
+    if let (Some(i), Some(j)) = (ia, ib) {
+        matrix.add(i, j, -g);
+        matrix.add(j, i, -g);
+    }
+}
+
+/// Injects current `i` into node `into` and removes it from `from`.
+#[inline]
+pub(crate) fn dense_stamp_i(rhs: &mut [f64], into: NodeId, from: NodeId, i: f64) {
+    if let Some(r) = dense_var(into) {
+        rhs[r] += i;
+    }
+    if let Some(r) = dense_var(from) {
+        rhs[r] -= i;
+    }
+}
+
+/// Linearizes and stamps one MOSFET about candidate solution `x`. Shared
+/// by the scalar [`System`] assembly and the batched engine.
+pub(crate) fn dense_stamp_mosfet(matrix: &mut DenseMatrix, rhs: &mut [f64], m: &Mosfet, x: &[f64]) {
+    let vd = dense_volt(x, m.d);
+    let vg = dense_volt(x, m.g);
+    let vs = dense_volt(x, m.s);
+    let lin = linearize(m, vd, vg, vs);
+
+    let (deff, seff) = if lin.swapped { (m.s, m.d) } else { (m.d, m.s) };
+    let id_ = dense_var(deff);
+    let is_ = dense_var(seff);
+    let ig_ = dense_var(m.g);
+
+    // i(deff→seff) ≈ ieq + gm·vg + gds·vdeff − (gm+gds)·vseff
+    if let Some(r) = id_ {
+        if let Some(c) = ig_ {
+            matrix.add(r, c, lin.gm);
+        }
+        matrix.add(r, r, lin.gds);
+        if let Some(c) = is_ {
+            matrix.add(r, c, -(lin.gm + lin.gds));
+        }
+    }
+    if let Some(r) = is_ {
+        if let Some(c) = ig_ {
+            matrix.add(r, c, -lin.gm);
+        }
+        if let Some(c) = id_ {
+            matrix.add(r, c, -lin.gds);
+        }
+        matrix.add(r, r, lin.gm + lin.gds);
+    }
+
+    let vgs_eff = vg - dense_volt(x, seff);
+    let vds_eff = dense_volt(x, deff) - dense_volt(x, seff);
+    let ieq = lin.i - lin.gm * vgs_eff - lin.gds * vds_eff;
+    // ieq leaves deff and enters seff.
+    dense_stamp_i(rhs, seff, deff, ieq);
+}
+
+/// Branch-current unknown of the voltage source at element index `ei`,
+/// reported as a typed [`Error::Internal`] instead of a panic when the
+/// bookkeeping is broken (malformed element list or corrupted scratch
+/// state): one bad sample then journals as an ordinary failure instead of
+/// unwinding past an entire Monte Carlo campaign.
+#[inline]
+pub(crate) fn branch_var(branch_index: &[Option<usize>], ei: usize) -> Result<usize, Error> {
+    branch_index
+        .get(ei)
+        .copied()
+        .flatten()
+        .ok_or(Error::Internal {
+            context: "vsource without a branch-current unknown during assembly",
+        })
+}
+
 /// Collects capacitive branches in stamping order into `out` (cleared
 /// first), yielding `(node_a, node_b, farads)`. Order is identical to the
 /// `cap_idx` order used during assembly; the transient engine relies on
@@ -911,8 +972,8 @@ pub(crate) fn mos_bulk(m: &Mosfet) -> NodeId {
 /// refreshed every solve) and, when `refresh` is set, `geq[idx]`
 /// (step-size-dependent only). The expressions mirror [`companion`]
 /// exactly, so the cached values are bit-identical to recomputing.
-#[allow(clippy::too_many_arguments)] // plain data plumbing, one call site
-fn hoist_companion(
+#[allow(clippy::too_many_arguments)] // plain data plumbing, two call sites
+pub(crate) fn hoist_companion(
     geq_v: &mut [f64],
     ieq_v: &mut [f64],
     idx: usize,
@@ -1040,6 +1101,45 @@ mod tests {
             .unwrap();
         assert!((System::node_voltage(&x, a) - 2.0).abs() < 1e-9);
         assert!((System::node_voltage(&x, b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn clobbered_branch_index_is_a_typed_error_not_a_panic() {
+        // A vsource whose branch-current slot has been wiped (malformed
+        // element list / corrupted scratch) must surface Error::Internal
+        // from every assembly path instead of panicking mid-campaign.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        ckt.vsource(a, Circuit::GROUND, Waveform::dc(2.0));
+        ckt.resistor(a, b, 1e3);
+        ckt.resistor(b, Circuit::GROUND, 1e3);
+
+        let mut ws = SysScratch::default();
+        let mut sys = System::new(&ckt, &mut ws);
+        for slot in sys.scratch.branch_index.iter_mut() {
+            *slot = None;
+        }
+
+        let mut x = vec![0.0; sys.unknowns()];
+        let err = sys
+            .solve_newton(&mut x, 0.0, None, 1.0, 0.0, 50, "test")
+            .unwrap_err();
+        assert!(matches!(err, Error::Internal { .. }), "fast path: {err:?}");
+
+        let mut x = vec![0.0; sys.unknowns()];
+        let err = sys
+            .solve_newton_baseline(&mut x, 0.0, None, 1.0, 0.0, 50, "test")
+            .unwrap_err();
+        assert!(matches!(err, Error::Internal { .. }), "baseline: {err:?}");
+    }
+
+    #[test]
+    fn branch_var_reports_truncated_table_too() {
+        // Element index past the end of the table is the same invariant
+        // violation as a cleared slot.
+        assert!(matches!(branch_var(&[], 3), Err(Error::Internal { .. })));
+        assert_eq!(branch_var(&[Some(7)], 0).unwrap(), 7);
     }
 
     #[test]

@@ -592,4 +592,53 @@ mod tests {
         assert!(tr.crossings(0.5, Edge::Rising).is_empty());
         assert_eq!(tr.crossings(0.5, Edge::Falling), vec![1.5]);
     }
+
+    #[test]
+    fn final_segment_terminating_exactly_on_threshold_is_truncated() {
+        // A pulse whose trailing edge reaches the threshold exactly at the
+        // last sample and stops there (a width-only capture clipped at
+        // `stop` can legitimately end this way): the signal never gets
+        // *strictly* past the threshold, so no trailing crossing exists
+        // and the pulse is truncated — dropped, exactly like a trace that
+        // ends beyond the threshold. Pinned so the batched width-only
+        // solve can never silently report a phantom completed pulse.
+        let t = vec![0.0, 1.0, 2.0, 3.0];
+        let v = vec![0.0, 1.0, 1.0, 0.5];
+        let tr = Trace::new(&t, &v);
+        assert_eq!(tr.crossings(0.5, Edge::Rising), vec![0.5]);
+        assert!(tr.crossings(0.5, Edge::Falling).is_empty());
+        assert!(tr.pulses(0.5, Polarity::PositiveGoing).is_empty());
+        assert_eq!(tr.widest_pulse_width(0.5, Polarity::PositiveGoing), 0.0);
+    }
+
+    #[test]
+    fn final_flat_run_on_threshold_is_also_truncated() {
+        // Same clipping, but the trace *rests* on the threshold for its
+        // final samples instead of touching it once: still no strict side
+        // change, still truncated, and crucially no zero-width phantom
+        // pulse from the flat run.
+        let t = vec![0.0, 1.0, 2.0, 3.0, 4.0];
+        let v = vec![0.0, 1.0, 0.5, 0.5, 0.5];
+        let tr = Trace::new(&t, &v);
+        assert!(tr.crossings(0.5, Edge::Falling).is_empty());
+        assert!(tr.pulses(0.5, Polarity::PositiveGoing).is_empty());
+        assert_eq!(tr.widest_pulse_width(0.5, Polarity::PositiveGoing), 0.0);
+    }
+
+    #[test]
+    fn threshold_touch_completing_later_ends_pulse_at_first_touch() {
+        // Contrast case: the same at-threshold touch, but the trace then
+        // continues strictly below. Now the crossing exists and lands at
+        // the *first touch*, so the pulse completes there — the touch
+        // itself decides nothing until the far side confirms it.
+        let t = vec![0.0, 1.0, 2.0, 3.0];
+        let v = vec![0.0, 1.0, 0.5, 0.2];
+        let tr = Trace::new(&t, &v);
+        assert_eq!(tr.crossings(0.5, Edge::Falling), vec![2.0]);
+        let pulses = tr.pulses(0.5, Polarity::PositiveGoing);
+        assert_eq!(pulses.len(), 1);
+        assert!((pulses[0].t_start - 0.5).abs() < 1e-12);
+        assert!((pulses[0].t_end - 2.0).abs() < 1e-12);
+        assert!((tr.widest_pulse_width(0.5, Polarity::PositiveGoing) - 1.5).abs() < 1e-12);
+    }
 }

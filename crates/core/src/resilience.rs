@@ -140,6 +140,7 @@ pub fn error_kind(e: &CoreError) -> &'static str {
             pulsar_analog::Error::InvalidTranConfig { .. } => "invalid-tran-config",
             // "interrupted" / "deadline" / "sample-timeout".
             pulsar_analog::Error::Cancelled { reason, .. } => reason.label(),
+            pulsar_analog::Error::Internal { .. } => "internal",
             _ => "analog-other",
         },
         CoreError::Logic(_) => "logic",

@@ -56,11 +56,18 @@ pub enum Counter {
     SitesUnsensitizable,
     /// Campaign sites whose electrical analysis failed.
     SitesFailed,
+    /// Newton step-solves completed inside the batched engine, one per
+    /// lane per accepted-or-attempted time point (per-instance
+    /// attribution: K lanes in one shared assembly walk count K).
+    BatchedLaneSolves,
+    /// Lanes ejected from a batched run back to the scalar path (Newton
+    /// failure, cancellation, budget, or an unbatchable configuration).
+    BatchEjections,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 18;
+    pub const COUNT: usize = 20;
 
     /// Every counter, in canonical order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -82,6 +89,8 @@ impl Counter {
         Counter::SitesPlanned,
         Counter::SitesUnsensitizable,
         Counter::SitesFailed,
+        Counter::BatchedLaneSolves,
+        Counter::BatchEjections,
     ];
 
     /// Stable snake_case name used in JSON output and journal events.
@@ -105,6 +114,8 @@ impl Counter {
             Counter::SitesPlanned => "sites_planned",
             Counter::SitesUnsensitizable => "sites_unsensitizable",
             Counter::SitesFailed => "sites_failed",
+            Counter::BatchedLaneSolves => "batched_lane_solves",
+            Counter::BatchEjections => "batch_ejections",
         }
     }
 
