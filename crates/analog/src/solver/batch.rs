@@ -328,8 +328,12 @@ impl BatchWorkspace {
                 next_bp: 0,
                 t: 0.0,
                 after_discontinuity: true,
+                // hot-path: per-lane setup, runs once per batch before
+                // the step loop; sized up front so the step loop itself
+                // never reallocates.
                 times: Vec::with_capacity(capacity),
-                voltages: vec![Vec::with_capacity(capacity); ncols],
+                voltages: vec![Vec::with_capacity(capacity); ncols], // hot-path: see above
+
                 rec,
                 cancel,
                 _loop_span: None,

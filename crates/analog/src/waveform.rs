@@ -121,8 +121,11 @@ impl<'a> Trace<'a> {
         if time <= self.t[0] {
             return self.v[0];
         }
+        // hot-path: `t`/`v` are non-empty by the constructor's contract
+        // (the `self.t[0]` read above already enforces it), so these
+        // `last()` calls cannot fail.
         if time >= *self.t.last().expect("non-empty") {
-            return *self.v.last().expect("non-empty");
+            return *self.v.last().expect("non-empty"); // hot-path: see above
         }
         // Binary search for the bracketing interval.
         let idx = self.t.partition_point(|&x| x < time);
@@ -136,6 +139,7 @@ impl<'a> Trace<'a> {
 
     /// Last sampled value.
     pub fn last_value(&self) -> f64 {
+        // hot-path: non-empty by the constructor's contract.
         *self.v.last().expect("non-empty")
     }
 

@@ -96,6 +96,8 @@ static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 // the counter is a relaxed atomic with no effect on allocation behavior.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // ordering: Relaxed — pure event counter read on the same
+        // thread that drove the measured ops; no publication.
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.alloc(layout) }
     }
@@ -105,6 +107,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        // ordering: Relaxed — same single-threaded event counter.
         ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
@@ -121,9 +124,10 @@ fn median(mut ns: Vec<u64>) -> u64 {
 /// Allocation calls made by one invocation of `f` (deterministic per op
 /// once warm, so a single sample suffices).
 fn allocs_per_op(mut f: impl FnMut()) -> u64 {
+    // ordering: Relaxed — both reads are on the thread that ran `f`.
     let a0 = ALLOC_CALLS.load(Ordering::Relaxed);
     f();
-    ALLOC_CALLS.load(Ordering::Relaxed) - a0
+    ALLOC_CALLS.load(Ordering::Relaxed) - a0 // ordering: see above
 }
 
 /// Times `baseline` and `reuse` *interleaved* (one of each per round) for

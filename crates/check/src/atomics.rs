@@ -1,0 +1,125 @@
+//! Modeled atomics: an [`AtomicFamily`] whose operations are simulated
+//! by the interleaving explorer in [`crate::sim`].
+//!
+//! A production protocol core written against
+//! [`pulsar_obs::sync::AtomicFamily`] can be instantiated with
+//! [`ModelAtomics`] inside a model and explored under the weak-memory
+//! semantics — the *same* generic code and the *same* shared ordering
+//! constants that ship, with only the atomic cells swapped out.
+//!
+//! The types here are only usable inside a [`crate::sim::explore`]
+//! callback (construction registers a location with the currently
+//! bound execution); using them outside one panics.
+
+use pulsar_obs::sync::{AtomicBoolLike, AtomicFamily, AtomicU64Like, AtomicU8Like};
+use std::sync::atomic::Ordering;
+
+use crate::sim;
+
+/// Modeled `AtomicU8` (a location id in the current execution).
+#[derive(Debug)]
+pub struct MAtomicU8 {
+    loc: usize,
+}
+
+/// Modeled `AtomicU64`.
+#[derive(Debug)]
+pub struct MAtomicU64 {
+    loc: usize,
+}
+
+/// Modeled `AtomicBool`.
+#[derive(Debug)]
+pub struct MAtomicBool {
+    loc: usize,
+}
+
+impl AtomicU8Like for MAtomicU8 {
+    fn new(v: u8) -> Self {
+        MAtomicU8 {
+            loc: sim::op_new_loc(u64::from(v), "u8"),
+        }
+    }
+    fn load(&self, order: Ordering) -> u8 {
+        sim::op_load(self.loc, order) as u8
+    }
+    fn store(&self, v: u8, order: Ordering) {
+        sim::op_store(self.loc, u64::from(v), order);
+    }
+    fn compare_exchange(
+        &self,
+        current: u8,
+        new: u8,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u8, u8> {
+        sim::op_cas(
+            self.loc,
+            u64::from(current),
+            u64::from(new),
+            success,
+            failure,
+        )
+        .map(|v| v as u8)
+        .map_err(|v| v as u8)
+    }
+}
+
+impl AtomicU64Like for MAtomicU64 {
+    fn new(v: u64) -> Self {
+        MAtomicU64 {
+            loc: sim::op_new_loc(v, "u64"),
+        }
+    }
+    fn load(&self, order: Ordering) -> u64 {
+        sim::op_load(self.loc, order)
+    }
+    fn store(&self, v: u64, order: Ordering) {
+        sim::op_store(self.loc, v, order);
+    }
+    fn fetch_add(&self, n: u64, order: Ordering) -> u64 {
+        sim::op_rmw(self.loc, order, |old| old.wrapping_add(n))
+    }
+}
+
+impl AtomicBoolLike for MAtomicBool {
+    fn new(v: bool) -> Self {
+        MAtomicBool {
+            loc: sim::op_new_loc(u64::from(v), "bool"),
+        }
+    }
+    fn load(&self, order: Ordering) -> bool {
+        sim::op_load(self.loc, order) != 0
+    }
+    fn store(&self, v: bool, order: Ordering) {
+        sim::op_store(self.loc, u64::from(v), order);
+    }
+    fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        sim::op_cas(
+            self.loc,
+            u64::from(current),
+            u64::from(new),
+            success,
+            failure,
+        )
+        .map(|v| v != 0)
+        .map_err(|v| v != 0)
+    }
+}
+
+/// The model-checked family: plug into any core generic over
+/// [`AtomicFamily`] to explore it with [`crate::sim::explore`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ModelAtomics;
+
+impl AtomicFamily for ModelAtomics {
+    type U8 = MAtomicU8;
+    type U64 = MAtomicU64;
+    type Bool = MAtomicBool;
+}

@@ -1,0 +1,124 @@
+//! Modeled non-atomic data ([`MCell`]) and a modeled mutex ([`MLock`]).
+//!
+//! `MCell` performs FastTrack-style happens-before race detection: any
+//! read concurrent with a write (or write concurrent with anything) is
+//! reported as a violation. `MLock` is a spinlock built from a modeled
+//! `AtomicBool` with the orderings `std::sync::Mutex` guarantees
+//! ([`MUTEX_ORDERINGS`]); because the *data* it guards is race-checked,
+//! weakening the lock's release ordering (a mutation self-test) is
+//! observable as a data race — exactly the failure a broken lock causes
+//! on real hardware.
+
+use pulsar_obs::sync::AtomicBoolLike;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+use crate::atomics::MAtomicBool;
+use crate::sim;
+
+/// The orderings a lock built over an atomic flag uses. Kept in a
+/// struct (like the production `*_ORDERINGS`) so mutation self-tests
+/// can weaken one field and assert the explorer notices.
+#[derive(Debug, Clone, Copy)]
+pub struct LockOrderings {
+    /// Success ordering of the acquiring CAS.
+    pub acquire_success: Ordering,
+    /// Failure ordering of the acquiring CAS.
+    pub acquire_failure: Ordering,
+    /// Ordering of the releasing store.
+    pub release: Ordering,
+}
+
+/// What `std::sync::Mutex` (and every sane lock) guarantees: acquire on
+/// lock, release on unlock. Models use this to stand in for the real
+/// mutexes in `Recorder` / `Checkpoint`.
+pub const MUTEX_ORDERINGS: LockOrderings = LockOrderings {
+    acquire_success: Ordering::Acquire,
+    acquire_failure: Ordering::Relaxed,
+    release: Ordering::Release,
+};
+
+/// A modeled spinlock. Models call [`MLock::lock`] / [`MLock::unlock`]
+/// explicitly (no RAII guard) so mutation tests can misuse it on
+/// purpose.
+#[derive(Debug)]
+pub struct MLock {
+    held: MAtomicBool,
+}
+
+impl MLock {
+    /// A fresh, unlocked lock (must be created inside an exploration).
+    pub fn new() -> Self {
+        MLock {
+            held: MAtomicBool::new(false),
+        }
+    }
+
+    /// Acquire the lock, spinning until it is free.
+    pub fn lock(&self, ord: &LockOrderings) {
+        loop {
+            if self
+                .held
+                .compare_exchange(false, true, ord.acquire_success, ord.acquire_failure)
+                .is_ok()
+            {
+                return;
+            }
+            sim::spin_yield();
+        }
+    }
+
+    /// Release the lock.
+    pub fn unlock(&self, ord: &LockOrderings) {
+        self.held.store(false, ord.release);
+    }
+}
+
+impl Default for MLock {
+    fn default() -> Self {
+        MLock::new()
+    }
+}
+
+/// Modeled non-atomic data with happens-before race detection.
+///
+/// The payload lives behind a real `Mutex` purely so the type is
+/// `Sync`; the mutex is uncontended by construction (the explorer runs
+/// one thread at a time) and takes no part in the modeled semantics —
+/// synchronization must come from modeled atomics or [`MLock`], and the
+/// race detector checks that it does.
+#[derive(Debug)]
+pub struct MCell<T> {
+    id: usize,
+    data: Mutex<T>,
+}
+
+impl<T> MCell<T> {
+    /// A fresh cell holding `v` (must be created inside an exploration).
+    pub fn new(v: T) -> Self {
+        MCell {
+            id: sim::op_new_cell(),
+            data: Mutex::new(v),
+        }
+    }
+
+    /// Race-checked read access.
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        sim::op_cell_read(self.id);
+        let g = self
+            .data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&g)
+    }
+
+    /// Race-checked write access.
+    pub fn write<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        sim::op_cell_write(self.id);
+        let mut g = self
+            .data
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        f(&mut g)
+    }
+}

@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+// Same policy as the rest of the workspace: library code surfaces
+// failures as typed errors or documented panics; #[cfg(test)] modules
+// opt back in.
+#![warn(clippy::unwrap_used)]
+
+//! # pulsar-check
+//!
+//! Concurrency model checking and source-level static analysis for the
+//! pulsar workspace's lock-free runtime.
+//!
+//! The Monte Carlo campaign runtime contains three small
+//! interleaving-sensitive protocols: metrics shard fork/retire/snapshot
+//! merging (`pulsar_obs::Recorder`), first-reason-wins cancellation
+//! with parent/child propagation (`pulsar_obs::CancelToken`), and
+//! checkpoint write-failure poisoning (`pulsar_core::Checkpoint`).
+//! Each is written once, generic over
+//! [`pulsar_obs::sync::AtomicFamily`], with its memory orderings in a
+//! shared `*_ORDERINGS` constant. This crate instantiates those *same*
+//! cores with modeled atomics and explores their interleavings:
+//!
+//! * [`sim`] — a vendored mini-loom: cooperative baton scheduler over
+//!   a bounded thread set, view-based weak-memory semantics for
+//!   `Relaxed`/`Acquire`/`Release` (plus an approximated `SeqCst`),
+//!   bounded-exhaustive DFS with CHESS-style preemption bounding, and
+//!   seeded-random long runs. No external dependencies.
+//! * [`atomics`] — [`atomics::ModelAtomics`], the modeled
+//!   `AtomicFamily`.
+//! * [`cell`] — modeled non-atomic data with FastTrack-style race
+//!   detection ([`cell::MCell`]) and a modeled mutex ([`cell::MLock`]).
+//! * [`models`] — the three protocol models, their invariants, and the
+//!   *mutation* variants (deliberately weakened orderings / reordered
+//!   steps) whose bugs the explorer must find — the self-tests that
+//!   prove the checker can see the failures it guards against.
+//! * [`lint_src`] — a hand-rolled source analyzer for the workspace:
+//!   atomic-ordering hygiene, hot-path bans (`unwrap`, `Instant::now`,
+//!   allocation in loops), and detached-`thread::spawn` detection.
+//!
+//! The `pulsar-check` binary exposes both: `pulsar-check models` runs
+//! the bounded-exhaustive suite and prints explored-schedule counts;
+//! `pulsar-check lint-src --deny` is the CI static-analysis gate.
+
+pub mod atomics;
+pub mod cell;
+pub mod lint_src;
+pub mod models;
+pub mod sim;
+
+#[cfg(test)]
+mod litmus;

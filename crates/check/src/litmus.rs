@@ -1,0 +1,251 @@
+//! Litmus tests for the simulator itself: classic weak-memory shapes
+//! with known-allowed and known-forbidden outcomes. These pin down the
+//! semantics of [`crate::sim`] — if the memory model regresses, these
+//! fail before any protocol model does.
+
+use crate::atomics::{MAtomicBool, MAtomicU64};
+use crate::cell::{MCell, MLock, MUTEX_ORDERINGS};
+use crate::sim::{explore, explore_outcomes, Options};
+use pulsar_obs::sync::{AtomicBoolLike, AtomicU64Like};
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release, SeqCst};
+use std::sync::Arc;
+
+/// Message passing with Release/Acquire: the classic publication
+/// pattern must never observe `flag == true, data == 0`.
+#[test]
+fn mp_release_acquire_publishes() {
+    let r = explore("litmus/mp-rel-acq", Options::exhaustive(3), |spec| {
+        let data = Arc::new(MAtomicU64::new(0));
+        let flag = Arc::new(MAtomicBool::new(false));
+        let (d2, f2) = (data.clone(), flag.clone());
+        spec.thread(move || {
+            data.store(42, Relaxed);
+            flag.store(true, Release);
+        });
+        spec.thread(move || {
+            if f2.load(Acquire) {
+                assert_eq!(d2.load(Relaxed), 42, "MP: stale data behind acquired flag");
+            }
+        });
+    });
+    let n = r.assert_pass();
+    assert!(r.exhausted, "MP space should be exhaustible");
+    assert!(n >= 4, "expected several schedules, got {n}");
+}
+
+/// The same shape with a Relaxed flag store must be caught: some
+/// schedule lets the reader see the flag without the data.
+#[test]
+fn mp_relaxed_is_caught() {
+    let r = explore("litmus/mp-relaxed", Options::exhaustive(3), |spec| {
+        let data = Arc::new(MAtomicU64::new(0));
+        let flag = Arc::new(MAtomicBool::new(false));
+        let (d2, f2) = (data.clone(), flag.clone());
+        spec.thread(move || {
+            data.store(42, Relaxed);
+            flag.store(true, Relaxed); // bug under test: no release edge
+        });
+        spec.thread(move || {
+            if f2.load(Acquire) {
+                assert_eq!(d2.load(Relaxed), 42, "MP: stale data behind acquired flag");
+            }
+        });
+    });
+    r.assert_caught("stale data");
+}
+
+/// Store buffering with Relaxed ops: the weak `r1 == r2 == 0` outcome
+/// must be reachable (stale reads model the store buffer).
+#[test]
+fn sb_relaxed_allows_both_zero() {
+    let (r, outcomes) = explore_outcomes("litmus/sb-relaxed", Options::exhaustive(3), |spec| {
+        let x = Arc::new(MAtomicU64::new(0));
+        let y = Arc::new(MAtomicU64::new(0));
+        let (x2, y2) = (x.clone(), y.clone());
+        spec.thread(move || {
+            x.store(1, Relaxed);
+            if y.load(Relaxed) == 0 {
+                // Probe: panic so the outcome tally records this branch.
+                panic!("probe: r1 == 0");
+            }
+        });
+        spec.thread(move || {
+            y2.store(1, Relaxed);
+            if x2.load(Relaxed) == 0 {
+                panic!("probe: r2 == 0");
+            }
+        });
+    });
+    assert!(r.exhausted || r.truncated);
+    // Both single-sided probes must fire somewhere in the space; the
+    // both-zero outcome shows up as either probe (first panic wins).
+    assert!(
+        outcomes.keys().any(|k| k.contains("r1 == 0"))
+            && outcomes.keys().any(|k| k.contains("r2 == 0")),
+        "SB weak outcomes missing: {outcomes:?}"
+    );
+}
+
+/// Store buffering with SeqCst: the both-zero outcome is forbidden.
+#[test]
+fn sb_seqcst_forbids_both_zero() {
+    let r = explore("litmus/sb-seqcst", Options::exhaustive(3), |spec| {
+        let x = Arc::new(MAtomicU64::new(0));
+        let y = Arc::new(MAtomicU64::new(0));
+        let r1 = Arc::new(MCell::new(0u64));
+        let r2 = Arc::new(MCell::new(0u64));
+        let (x2, y2) = (x.clone(), y.clone());
+        let (r1f, r2f) = (r1.clone(), r2.clone());
+        spec.thread(move || {
+            x.store(1, SeqCst);
+            let v = y.load(SeqCst);
+            r1.write(|r| *r = v);
+        });
+        spec.thread(move || {
+            y2.store(1, SeqCst);
+            let v = x2.load(SeqCst);
+            r2.write(|r| *r = v);
+        });
+        spec.finale(move || {
+            let a = r1f.read(|r| *r);
+            let b = r2f.read(|r| *r);
+            assert!(
+                a == 1 || b == 1,
+                "SeqCst SB produced the forbidden r1 == r2 == 0"
+            );
+        });
+    });
+    r.assert_pass();
+    assert!(r.exhausted);
+}
+
+/// Two concurrent `fetch_add`s never lose an update (RMW atomicity).
+#[test]
+fn rmw_no_lost_update() {
+    let r = explore("litmus/rmw-atomic", Options::exhaustive(3), |spec| {
+        let c = Arc::new(MAtomicU64::new(0));
+        let c2 = c.clone();
+        let cf = c.clone();
+        spec.thread(move || {
+            c.fetch_add(1, Relaxed);
+        });
+        spec.thread(move || {
+            c2.fetch_add(1, Relaxed);
+        });
+        spec.finale(move || {
+            assert_eq!(cf.load(Relaxed), 2, "lost update");
+        });
+    });
+    r.assert_pass();
+    assert!(r.exhausted);
+}
+
+/// Per-location coherence: a reader never observes values of one
+/// location going backwards, even fully Relaxed.
+#[test]
+fn coherence_no_backwards_reads() {
+    let r = explore("litmus/coherence", Options::exhaustive(3), |spec| {
+        let x = Arc::new(MAtomicU64::new(0));
+        let x2 = x.clone();
+        spec.thread(move || {
+            x.store(1, Relaxed);
+            x.store(2, Relaxed);
+        });
+        spec.thread(move || {
+            let a = x2.load(Relaxed);
+            let b = x2.load(Relaxed);
+            assert!(b >= a, "coherence violated: read {a} then {b}");
+        });
+    });
+    r.assert_pass();
+    assert!(r.exhausted);
+}
+
+/// Unsynchronized cell access is reported as a data race.
+#[test]
+fn unsynchronized_cell_races() {
+    let r = explore("litmus/cell-race", Options::exhaustive(3), |spec| {
+        let c = Arc::new(MCell::new(0u64));
+        let c2 = c.clone();
+        spec.thread(move || c.write(|v| *v = 1));
+        spec.thread(move || {
+            c2.read(|v| {
+                let _ = *v;
+            })
+        });
+    });
+    r.assert_caught("data race");
+}
+
+/// The same access pattern under a (correct) lock is race-free, and
+/// the critical sections still interleave in both orders.
+#[test]
+fn locked_cell_is_race_free() {
+    let r = explore("litmus/cell-locked", Options::exhaustive(3), |spec| {
+        let lock = Arc::new(MLock::new());
+        let c = Arc::new(MCell::new(0u64));
+        let (l2, c2) = (lock.clone(), c.clone());
+        let cf = c.clone();
+        spec.thread(move || {
+            lock.lock(&MUTEX_ORDERINGS);
+            c.write(|v| *v += 1);
+            lock.unlock(&MUTEX_ORDERINGS);
+        });
+        spec.thread(move || {
+            l2.lock(&MUTEX_ORDERINGS);
+            c2.write(|v| *v += 1);
+            l2.unlock(&MUTEX_ORDERINGS);
+        });
+        spec.finale(move || {
+            assert_eq!(cf.read(|v| *v), 2);
+        });
+    });
+    let n = r.assert_pass();
+    assert!(r.exhausted);
+    assert!(
+        n >= 2,
+        "lock model explored suspiciously few schedules: {n}"
+    );
+}
+
+/// A thread spinning on a flag nobody sets is reported as a deadlock,
+/// not an infinite loop.
+#[test]
+fn abandoned_spin_is_deadlock() {
+    let r = explore("litmus/spin-deadlock", Options::exhaustive(3), |spec| {
+        let flag = Arc::new(MAtomicBool::new(false));
+        spec.thread(move || {
+            while !flag.load(Acquire) {
+                crate::sim::spin_yield();
+            }
+        });
+    });
+    r.assert_caught("deadlock");
+}
+
+/// Seeded-random mode is deterministic per seed and finds the MP bug.
+#[test]
+fn random_mode_reproducible() {
+    let build = |spec: &mut crate::sim::ModelSpec| {
+        let data = Arc::new(MAtomicU64::new(0));
+        let flag = Arc::new(MAtomicBool::new(false));
+        let (d2, f2) = (data.clone(), flag.clone());
+        spec.thread(move || {
+            data.store(42, Relaxed);
+            flag.store(true, Relaxed);
+        });
+        spec.thread(move || {
+            if f2.load(Acquire) {
+                assert_eq!(d2.load(Relaxed), 42, "MP: stale data behind acquired flag");
+            }
+        });
+    };
+    let a = explore("litmus/mp-random-a", Options::random(0xDECAF, 400), build);
+    let b = explore("litmus/mp-random-b", Options::random(0xDECAF, 400), build);
+    a.assert_caught("stale data");
+    b.assert_caught("stale data");
+    assert_eq!(
+        a.schedules, b.schedules,
+        "same seed must fail at the same run index"
+    );
+}

@@ -1,0 +1,173 @@
+//! `pulsar-check`: the workspace's concurrency-checking and
+//! source-analysis gate.
+//!
+//! ```text
+//! pulsar-check lint-src [--deny] [--json] [--root PATH]
+//! pulsar-check models   [--long] [--seed N] [--runs N]
+//! ```
+//!
+//! * `lint-src` scans `crates/*/src` for the SRC0001–SRC0005 rules
+//!   (see `pulsar_check::lint_src`); `--deny` exits non-zero on any
+//!   finding, which is how CI uses it.
+//! * `models` runs the bounded-exhaustive interleaving suite over the
+//!   shipped protocol models plus the mutation self-tests, printing
+//!   explored-schedule counts; `--long` adds seeded-random long runs.
+//!
+//! Exit codes: 0 clean, 1 findings/violations, 2 usage or I/O error.
+
+#![warn(clippy::unwrap_used)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pulsar_check::lint_src;
+use pulsar_check::models;
+use pulsar_check::sim::Options;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pulsar-check <command>\n\n\
+         commands:\n\
+         \u{20}  lint-src [--deny] [--json] [--root PATH]   source-level rules over crates/*/src\n\
+         \u{20}  models   [--long] [--seed N] [--runs N]    interleaving suite + mutation self-tests"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint-src") => cmd_lint_src(&args[1..]),
+        Some("models") => cmd_models(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn cmd_lint_src(args: &[String]) -> ExitCode {
+    let mut deny = false;
+    let mut json = false;
+    let mut root = PathBuf::from(".");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--json" => json = true,
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    // Walk up to the workspace root if invoked from a subdirectory.
+    if !root.join("crates").is_dir() {
+        if let Some(found) = find_root(&root) {
+            root = found;
+        }
+    }
+    let report = match lint_src::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pulsar-check: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", report.render_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if deny && !report.is_clean() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn find_root(start: &std::path::Path) -> Option<PathBuf> {
+    let mut dir = start.canonicalize().ok()?;
+    loop {
+        if dir.join("crates").is_dir() && dir.join("Cargo.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn cmd_models(args: &[String]) -> ExitCode {
+    let mut long = false;
+    let mut seed: u64 = 0x70756C7365;
+    let mut runs: usize = 20_000;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--long" => long = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage(),
+            },
+            "--runs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => runs = v,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let mut failed = false;
+
+    println!(
+        "== shipped models: bounded-exhaustive (preemption bound {}) ==",
+        models::SMOKE_BOUND
+    );
+    for report in models::shipped_suite(models::smoke_options()) {
+        println!("{report}");
+        if report.violation.is_some() || !report.exhausted {
+            failed = true;
+        }
+    }
+
+    println!("== mutation self-tests: each must be caught ==");
+    for (report, needle) in models::mutation_suite(models::smoke_options()) {
+        let caught = report
+            .violation
+            .as_deref()
+            .is_some_and(|v| v.contains(needle));
+        println!("{report}");
+        if caught {
+            println!("  caught as expected (`{needle}`)");
+        } else {
+            println!("  NOT CAUGHT (expected `{needle}`)");
+            failed = true;
+        }
+    }
+
+    if long {
+        println!("== long tier: seeded-random (seed {seed:#x}, {runs} runs/model) ==");
+        for report in models::shipped_suite(Options::random(seed, runs)) {
+            println!("{report}");
+            if report.violation.is_some() {
+                failed = true;
+            }
+        }
+        for (report, needle) in models::mutation_suite(Options::random(seed, runs)) {
+            let caught = report
+                .violation
+                .as_deref()
+                .is_some_and(|v| v.contains(needle));
+            println!("{report}");
+            if !caught {
+                println!("  NOT CAUGHT (expected `{needle}`)");
+                failed = true;
+            }
+        }
+    }
+
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,160 @@
+//! Protocol model P2: first-reason-wins cancellation with parent/child
+//! propagation — the *shipped* [`CancelCore`] instantiated with modeled
+//! atomics and the shipped [`CANCEL_ORDERINGS`].
+//!
+//! Scenario: a run-level token is raced by a SIGINT trip (`User`) and a
+//! deadline watchdog trip (`Deadline`); a per-sample child token is
+//! tripped by its own timeout watchdog while readers poll both.
+//!
+//! Invariants checked:
+//!
+//! * exactly one reason lands on the run token, and a reader that once
+//!   observed it never sees it change;
+//! * a directly-tripped child reports its own reason immediately and
+//!   forever, regardless of the parent's state;
+//! * a pure child (never self-tripped) observes the parent's
+//!   cancellation, monotonically.
+//!
+//! The mutation self-test replaces the trip CAS with the racy
+//! load-then-store it guards against and asserts the explorer catches
+//! two trips both claiming the win.
+
+use pulsar_obs::sync::AtomicU8Like;
+use pulsar_obs::{CancelCore, CancelReason, CANCEL_ORDERINGS};
+use std::sync::Arc;
+
+use crate::atomics::{MAtomicU8, ModelAtomics};
+use crate::cell::MCell;
+use crate::sim::{explore, ModelSpec, Options, Report};
+
+type Core = CancelCore<ModelAtomics>;
+
+/// Run-level token raced by SIGINT and deadline, with a self-tripped
+/// child and a run-reader. Uses the shipped core + orderings.
+pub fn shipped(opts: Options) -> Report {
+    explore("cancel/shipped", opts, |spec: &mut ModelSpec| {
+        let run: Arc<Core> = Arc::new(CancelCore::new());
+        let child: Arc<Core> = Arc::new(CancelCore::child_of(&run));
+        let (r1, r2, rf) = (run.clone(), run.clone(), run.clone());
+        let (c1, cf) = (child.clone(), child.clone());
+        spec.thread(move || r1.cancel(CancelReason::User, &CANCEL_ORDERINGS));
+        spec.thread(move || r2.cancel(CancelReason::Deadline, &CANCEL_ORDERINGS));
+        spec.thread(move || {
+            // The sample's watchdog cuts the child loose, then the
+            // sample observes: its own reason, immediately and stably.
+            c1.cancel(CancelReason::Timeout, &CANCEL_ORDERINGS);
+            assert_eq!(
+                c1.cancelled(&CANCEL_ORDERINGS),
+                Some(CancelReason::Timeout),
+                "child did not observe its own trip"
+            );
+        });
+        spec.thread(move || {
+            let a = run.cancelled(&CANCEL_ORDERINGS);
+            let b = run.cancelled(&CANCEL_ORDERINGS);
+            if let Some(r) = a {
+                assert_eq!(Some(r), b, "run token reason changed between reads");
+            }
+        });
+        spec.finale(move || {
+            let r = rf.cancelled(&CANCEL_ORDERINGS);
+            assert!(
+                matches!(r, Some(CancelReason::User) | Some(CancelReason::Deadline)),
+                "run token ended with {r:?}"
+            );
+            assert_eq!(
+                cf.cancelled(&CANCEL_ORDERINGS),
+                Some(CancelReason::Timeout),
+                "child's own trip did not take precedence"
+            );
+        });
+    })
+}
+
+/// A pure child (never tripped itself) must observe parent trips
+/// monotonically: once cancelled, cancelled forever, same reason.
+pub fn child_propagation(opts: Options) -> Report {
+    explore("cancel/child-propagation", opts, |spec: &mut ModelSpec| {
+        let run: Arc<Core> = Arc::new(CancelCore::new());
+        let child: Arc<Core> = Arc::new(CancelCore::child_of(&run));
+        let (r1, r2) = (run.clone(), run.clone());
+        spec.thread(move || r1.cancel(CancelReason::User, &CANCEL_ORDERINGS));
+        spec.thread(move || r2.cancel(CancelReason::Deadline, &CANCEL_ORDERINGS));
+        spec.thread(move || {
+            let a = child.cancelled(&CANCEL_ORDERINGS);
+            let b = child.cancelled(&CANCEL_ORDERINGS);
+            if let Some(r) = a {
+                assert_eq!(Some(r), b, "child observation regressed: {a:?} then {b:?}");
+            }
+        });
+        spec.finale(move || {
+            let r = run.cancelled(&CANCEL_ORDERINGS);
+            assert!(r.is_some(), "both trips lost");
+        });
+    })
+}
+
+/// Mutation: the first-reason-wins CAS replaced by the racy
+/// load-then-store it exists to prevent. Two concurrent trips can both
+/// observe `LIVE` and both believe they won; the explorer must find
+/// that schedule.
+pub fn mut_racy_trip(opts: Options) -> Report {
+    // The protocol shape on a bare modeled AtomicU8 (the core's private
+    // flag is deliberately unreachable), with the shipped orderings.
+    fn trip_racy(flag: &MAtomicU8, reason: u8) -> bool {
+        if flag.load(CANCEL_ORDERINGS.read) == 0 {
+            flag.store(reason, CANCEL_ORDERINGS.trip_success);
+            true // this trip believes it set the reason
+        } else {
+            false
+        }
+    }
+    explore("cancel/mut-racy-trip", opts, |spec: &mut ModelSpec| {
+        let flag = Arc::new(MAtomicU8::new(0));
+        let won = Arc::new([MCell::new(false), MCell::new(false)]);
+        let (f1, f2) = (flag.clone(), flag.clone());
+        let (w1, w2, wf) = (won.clone(), won.clone(), won.clone());
+        spec.thread(move || {
+            let w = trip_racy(&f1, 1);
+            w1[0].write(|v| *v = w);
+        });
+        spec.thread(move || {
+            let w = trip_racy(&f2, 2);
+            w2[1].write(|v| *v = w);
+        });
+        spec.finale(move || {
+            let both = wf[0].read(|v| *v) && wf[1].read(|v| *v);
+            assert!(!both, "two trips both won the first-reason race");
+        });
+    })
+}
+
+/// Sanity check for the mutation's harness: the same two-tripper race
+/// through the real CAS-based core never double-wins. (The winner is
+/// whoever's `compare_exchange` returns `Ok`.)
+pub fn cas_single_winner(opts: Options) -> Report {
+    explore("cancel/cas-single-winner", opts, |spec: &mut ModelSpec| {
+        let flag = Arc::new(MAtomicU8::new(0));
+        let won = Arc::new([MCell::new(false), MCell::new(false)]);
+        let (f1, f2) = (flag.clone(), flag.clone());
+        let (w1, w2, wf) = (won.clone(), won.clone(), won.clone());
+        for (k, (f, w)) in [(f1, w1), (f2, w2)].into_iter().enumerate() {
+            spec.thread(move || {
+                let ok = f
+                    .compare_exchange(
+                        0,
+                        k as u8 + 1,
+                        CANCEL_ORDERINGS.trip_success,
+                        CANCEL_ORDERINGS.trip_failure,
+                    )
+                    .is_ok();
+                w[k].write(|v| *v = ok);
+            });
+        }
+        spec.finale(move || {
+            let a = wf[0].read(|v| *v);
+            let b = wf[1].read(|v| *v);
+            assert!(a ^ b, "expected exactly one winner, got a={a} b={b}");
+        });
+    })
+}

@@ -1,0 +1,177 @@
+//! Protocol model P3: checkpoint append / poisoning / concurrent
+//! flush — the *shipped* [`PoisonFlag`] instantiated with modeled
+//! atomics and the shipped [`POISON_ORDERINGS`].
+//!
+//! The production `Checkpoint::record` takes the file mutex, re-checks
+//! the poison flag under it (the gate), attempts the append, and
+//! poisons on a write failure so no later append can land behind a
+//! torn tail. Here the file is a race-checked [`MCell`] holding the
+//! appended records, the mutex is [`MLock`], and worker 0's second
+//! append fails by fiat (the simulated I/O error). A SIGINT-style
+//! flusher snapshots the log concurrently, mirroring the interrupt
+//! checkpoint flush in the campaign driver.
+//!
+//! Invariants checked:
+//!
+//! * a failed append never lands, and neither does anything gated
+//!   after the poison (the on-disk prefix stays loadable);
+//! * each writer's surviving records form a contiguous prefix of what
+//!   it attempted (torn-tail prefix semantics);
+//! * no data race between appenders and the flusher.
+//!
+//! Mutations: [`mut_gate_after_write`] appends before consulting the
+//! gate (a post-poison append lands — the bug the under-mutex re-check
+//! prevents); [`mut_unlock_relaxed`] weakens the file mutex's release
+//! ordering (a data race on the log).
+
+use pulsar_core::{PoisonFlag, POISON_ORDERINGS};
+use pulsar_obs::sync::AtomicFamily;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::atomics::ModelAtomics;
+use crate::cell::{LockOrderings, MCell, MLock, MUTEX_ORDERINGS};
+use crate::sim::{explore, ModelSpec, Options, Report};
+
+type Flag = PoisonFlag<<ModelAtomics as AtomicFamily>::Bool>;
+
+struct Log {
+    lock: MLock,
+    records: MCell<Vec<(u8, u8)>>,
+    poison: Flag,
+}
+
+impl Log {
+    fn new() -> Self {
+        Log {
+            lock: MLock::new(),
+            records: MCell::new(Vec::new()),
+            poison: PoisonFlag::new(),
+        }
+    }
+}
+
+/// Records writer 0 attempts; its append of seq 1 fails (simulated I/O
+/// error), so only seq 0 may ever land.
+const W0_SEQS: u8 = 3;
+const W0_FAIL_AT: u8 = 1;
+/// Records writer 1 attempts (all healthy).
+const W1_SEQS: u8 = 2;
+
+/// One `Checkpoint::record` call: gate under the mutex, then append or
+/// poison. `gate_first = false` is the mutation that appends before
+/// consulting the gate.
+fn record(log: &Log, lock_ord: &LockOrderings, k: u8, seq: u8, fails: bool, gate_first: bool) {
+    log.lock.lock(lock_ord);
+    if gate_first {
+        if log.poison.healthy(&POISON_ORDERINGS) {
+            if fails {
+                // The write attempt failed; nothing landed. Sticky.
+                log.poison.poison(&POISON_ORDERINGS);
+            } else {
+                log.records.write(|v| v.push((k, seq)));
+            }
+        }
+    } else {
+        // Seeded bug: append first, notice the poison too late.
+        if fails {
+            log.poison.poison(&POISON_ORDERINGS);
+        } else {
+            log.records.write(|v| v.push((k, seq)));
+            let _ = log.poison.healthy(&POISON_ORDERINGS);
+        }
+    }
+    log.lock.unlock(lock_ord);
+}
+
+/// Check the log's core invariants on a snapshot of the records.
+fn check_snapshot(records: &[(u8, u8)]) {
+    // The failed append and everything the writer attempted after the
+    // poison must be invisible.
+    assert!(
+        !records.iter().any(|&(k, s)| k == 0 && s >= W0_FAIL_AT),
+        "append landed after poison: {records:?}"
+    );
+    // Surviving records per writer form a contiguous prefix (the
+    // torn-tail prefix loader depends on this).
+    for k in 0..2u8 {
+        let seqs: Vec<u8> = records
+            .iter()
+            .filter(|&&(w, _)| w == k)
+            .map(|&(_, s)| s)
+            .collect();
+        for (i, &s) in seqs.iter().enumerate() {
+            assert_eq!(s as usize, i, "writer {k} records not a prefix: {seqs:?}");
+        }
+    }
+}
+
+fn build(spec: &mut ModelSpec, lock_ord: &'static LockOrderings, gate_first: bool) {
+    let log = Arc::new(Log::new());
+    let (l1, l2, l3) = (log.clone(), log.clone(), log.clone());
+    spec.thread(move || {
+        for seq in 0..W0_SEQS {
+            record(&l1, lock_ord, 0, seq, seq == W0_FAIL_AT, gate_first);
+        }
+    });
+    spec.thread(move || {
+        for seq in 0..W1_SEQS {
+            record(&l2, lock_ord, 1, seq, false, gate_first);
+        }
+    });
+    spec.thread(move || {
+        // SIGINT-style concurrent flush: observe a coherent snapshot.
+        l3.lock.lock(lock_ord);
+        let snap = l3.records.read(|v| v.clone());
+        let healthy = l3.poison.healthy(&POISON_ORDERINGS);
+        l3.lock.unlock(lock_ord);
+        check_snapshot(&snap);
+        // Once the flusher has seen the poison, writer 0's failed seq is
+        // certainly absent (already covered by check_snapshot); a healthy
+        // observation just means the failure hasn't happened yet.
+        let _ = healthy;
+    });
+    spec.finale(move || {
+        assert!(
+            !log.poison.healthy(&POISON_ORDERINGS),
+            "the failed append did not poison the checkpoint"
+        );
+        let snap = log.records.read(|v| v.clone());
+        check_snapshot(&snap);
+        assert!(
+            snap.contains(&(0, 0)),
+            "writer 0's pre-failure record was lost: {snap:?}"
+        );
+    });
+}
+
+/// The shipped protocol: gate re-checked under the file mutex before
+/// every append. Must pass bounded-exhaustive exploration.
+pub fn shipped(opts: Options) -> Report {
+    explore("checkpoint/shipped", opts, |spec| {
+        build(spec, &MUTEX_ORDERINGS, true)
+    })
+}
+
+/// Mutation: append before consulting the poison gate. A post-poison
+/// append lands and the prefix contract breaks; the explorer must find
+/// it.
+pub fn mut_gate_after_write(opts: Options) -> Report {
+    explore("checkpoint/mut-gate-after-write", opts, |spec| {
+        build(spec, &MUTEX_ORDERINGS, false)
+    })
+}
+
+/// Mutation: the file mutex releases with `Relaxed`; appends are no
+/// longer published to the flusher. The explorer must report the data
+/// race on the record log.
+pub fn mut_unlock_relaxed(opts: Options) -> Report {
+    static WEAK_LOCK: LockOrderings = LockOrderings {
+        acquire_success: Ordering::Acquire,
+        acquire_failure: Ordering::Relaxed,
+        release: Ordering::Relaxed, // seeded bug: no release edge
+    };
+    explore("checkpoint/mut-unlock-relaxed", opts, |spec| {
+        build(spec, &WEAK_LOCK, true)
+    })
+}

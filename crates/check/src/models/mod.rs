@@ -1,0 +1,54 @@
+//! Checkable models of the workspace's three lock-free protocols, plus
+//! the deliberately-broken *mutation* variants the explorer must catch.
+//!
+//! Each model instantiates the **shipped** generic protocol core
+//! (`CancelCore`, `shard_proto`, `PoisonFlag`) with
+//! [`crate::atomics::ModelAtomics`] and the shipped `*_ORDERINGS`
+//! constants, so exploration covers the code and orderings that run in
+//! production. The mutation variants weaken one ordering or reorder
+//! one step; their self-tests assert the explorer reports the seeded
+//! bug — proof the checker can see the failures it guards against.
+
+pub mod cancel;
+pub mod checkpoint;
+pub mod recorder;
+
+use crate::sim::{Options, Report};
+
+/// Preemption bound used by the CI smoke tier.
+pub const SMOKE_BOUND: usize = 2;
+
+/// Run every shipped-protocol model bounded-exhaustively and return the
+/// reports (one per model). All must pass with `exhausted = true`.
+pub fn shipped_suite(opts: Options) -> Vec<Report> {
+    vec![
+        recorder::shipped(opts),
+        cancel::shipped(opts),
+        cancel::child_propagation(opts),
+        cancel::cas_single_winner(opts),
+        checkpoint::shipped(opts),
+    ]
+}
+
+/// Run every mutation model; returns `(report, expected_needle)` pairs.
+/// Each report must contain a violation matching its needle.
+pub fn mutation_suite(opts: Options) -> Vec<(Report, &'static str)> {
+    // The racy-trip mutation needs one extra preemption to interleave
+    // the two load-then-store trips *and* still fit the readers.
+    let deeper = Options {
+        preemption_bound: opts.preemption_bound.max(3),
+        ..opts
+    };
+    vec![
+        (recorder::mut_unlock_relaxed(opts), "data race"),
+        (recorder::mut_snapshot_outside_lock(opts), "undercounted"),
+        (cancel::mut_racy_trip(deeper), "both won"),
+        (checkpoint::mut_gate_after_write(opts), "after poison"),
+        (checkpoint::mut_unlock_relaxed(opts), "data race"),
+    ]
+}
+
+/// Default smoke-tier options (the CI gate).
+pub fn smoke_options() -> Options {
+    Options::exhaustive(SMOKE_BOUND)
+}

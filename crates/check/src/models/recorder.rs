@@ -1,0 +1,156 @@
+//! Protocol model P1: `pulsar_obs::Recorder` shard fork / retire /
+//! snapshot merging.
+//!
+//! The production registry keeps per-thread `Shard`s in a mutex-guarded
+//! live list plus a `folded` accumulator shard; `retire` folds a
+//! departing shard into the accumulator under the lock, and `snapshot`
+//! sums the accumulator plus every live shard under the same lock. The
+//! atomic arithmetic is the *shipped* generic
+//! [`pulsar_obs::metrics::shard_proto`] with the shipped
+//! [`SHARD_ORDERINGS`]; the registry mutex is modeled by [`MLock`] and
+//! the live flags by race-checked [`MCell`]s.
+//!
+//! Invariants checked:
+//!
+//! * a snapshot never double-counts (total ≤ the amount added);
+//! * a snapshot taken after both shards retired sees the exact total
+//!   (this is the invariant the pre-fix production `snapshot()` broke
+//!   by reading the accumulator outside the lock — mutation
+//!   [`mut_snapshot_outside_lock`] reproduces that bug);
+//! * no data race on the live flags (mutation [`mut_unlock_relaxed`]
+//!   weakens the lock's release ordering and must be caught).
+
+use pulsar_obs::metrics::shard_proto::{self, ShardOrderings, SHARD_ORDERINGS};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use crate::atomics::MAtomicU64;
+use crate::cell::{LockOrderings, MCell, MLock, MUTEX_ORDERINGS};
+use crate::sim::{explore, ModelSpec, Options, Report};
+
+/// Counter cells per shard (one is enough to cover the protocol; more
+/// cells only multiply the schedule space).
+const CELLS: usize = 1;
+
+/// Amount worker `k` adds to its shard.
+fn amount(k: usize) -> u64 {
+    k as u64 + 1
+}
+
+/// Total added across both workers.
+const TOTAL: u64 = 3;
+
+struct Registry {
+    lock: MLock,
+    folded: [MAtomicU64; CELLS],
+    live: [MCell<bool>; 2],
+    shards: [[MAtomicU64; CELLS]; 2],
+}
+
+impl Registry {
+    fn new() -> Self {
+        use pulsar_obs::sync::AtomicU64Like;
+        Registry {
+            lock: MLock::new(),
+            folded: [MAtomicU64::new(0)],
+            live: [MCell::new(true), MCell::new(true)],
+            shards: [[MAtomicU64::new(0)], [MAtomicU64::new(0)]],
+        }
+    }
+}
+
+/// Worker `k`: record into the owned shard, then retire it (the
+/// production `Recorder::fork` drop path).
+fn worker(reg: &Registry, k: usize, lock_ord: &LockOrderings, ord: &ShardOrderings) {
+    shard_proto::add(&reg.shards[k][0], amount(k), ord);
+    reg.lock.lock(lock_ord);
+    if reg.live[k].read(|v| *v) {
+        shard_proto::fold_slice(&reg.shards[k], &reg.folded, ord);
+        reg.live[k].write(|v| *v = false);
+    }
+    reg.lock.unlock(lock_ord);
+}
+
+/// One merged snapshot: accumulator plus every still-live shard.
+/// `fold_under_lock` mirrors the fixed production code; `false`
+/// reproduces the pre-fix bug of reading the accumulator outside the
+/// registry lock.
+fn snapshot(
+    reg: &Registry,
+    lock_ord: &LockOrderings,
+    ord: &ShardOrderings,
+    fold_under_lock: bool,
+) -> (u64, bool, bool) {
+    let mut buf = [0u64; CELLS];
+    if !fold_under_lock {
+        shard_proto::load_slice(&reg.folded, &mut buf, ord);
+    }
+    reg.lock.lock(lock_ord);
+    if fold_under_lock {
+        shard_proto::load_slice(&reg.folded, &mut buf, ord);
+    }
+    let l0 = reg.live[0].read(|v| *v);
+    if l0 {
+        shard_proto::load_slice(&reg.shards[0], &mut buf, ord);
+    }
+    let l1 = reg.live[1].read(|v| *v);
+    if l1 {
+        shard_proto::load_slice(&reg.shards[1], &mut buf, ord);
+    }
+    reg.lock.unlock(lock_ord);
+    (buf[0], l0, l1)
+}
+
+fn build(spec: &mut ModelSpec, lock_ord: &'static LockOrderings, fold_under_lock: bool) {
+    let reg = Arc::new(Registry::new());
+    let (r1, r2, r3) = (reg.clone(), reg.clone(), reg.clone());
+    spec.thread(move || worker(&r1, 0, lock_ord, &SHARD_ORDERINGS));
+    spec.thread(move || worker(&r2, 1, lock_ord, &SHARD_ORDERINGS));
+    spec.thread(move || {
+        let (count, l0, l1) = snapshot(&r3, lock_ord, &SHARD_ORDERINGS, fold_under_lock);
+        assert!(count <= TOTAL, "snapshot double-counted: {count} > {TOTAL}");
+        if !l0 && !l1 {
+            assert_eq!(
+                count, TOTAL,
+                "snapshot after both retires undercounted (missed a fold)"
+            );
+        }
+    });
+    spec.finale(move || {
+        let (count, l0, l1) = snapshot(&reg, lock_ord, &SHARD_ORDERINGS, fold_under_lock);
+        assert!(!l0 && !l1, "a shard survived its retire");
+        assert_eq!(count, TOTAL, "final total wrong: {count}");
+    });
+}
+
+/// The shipped protocol: registry mutex orderings, fold read under the
+/// lock. Must pass bounded-exhaustive exploration.
+pub fn shipped(opts: Options) -> Report {
+    explore("recorder/shipped", opts, |spec| {
+        build(spec, &MUTEX_ORDERINGS, true)
+    })
+}
+
+/// Mutation: the registry lock releases with `Relaxed` — retire's fold
+/// and flag update are no longer published to the snapshot thread. The
+/// explorer must report the resulting data race on the live flag.
+pub fn mut_unlock_relaxed(opts: Options) -> Report {
+    static WEAK_LOCK: LockOrderings = LockOrderings {
+        acquire_success: Ordering::Acquire,
+        acquire_failure: Ordering::Relaxed,
+        release: Ordering::Relaxed, // seeded bug: no release edge
+    };
+    explore("recorder/mut-unlock-relaxed", opts, |spec| {
+        build(spec, &WEAK_LOCK, true)
+    })
+}
+
+/// Mutation: the snapshot reads the folded accumulator *outside* the
+/// registry lock — the production bug fixed in `Recorder::snapshot`
+/// (a concurrent retire's fold could be missed, undercounting). The
+/// explorer must find the undercount.
+pub fn mut_snapshot_outside_lock(opts: Options) -> Report {
+    explore("recorder/mut-snapshot-outside-lock", opts, |spec| {
+        build(spec, &MUTEX_ORDERINGS, false)
+    })
+}

@@ -1,0 +1,1186 @@
+//! A vendored mini-loom: deterministic interleaving exploration for the
+//! workspace's lock-free protocol cores.
+//!
+//! The explorer runs a small fixed set of model threads under a
+//! cooperative baton-passing scheduler (real OS threads, exactly one
+//! runnable at a time) and enumerates schedules by depth-first search
+//! over the recorded decision path, in the style of loom/CHESS. Two
+//! search modes are supported:
+//!
+//! * **bounded-exhaustive** — every schedule within a *preemption
+//!   bound* (CHESS-style: involuntary context switches are budgeted,
+//!   forced switches — spins, thread exit — are free). Reports the
+//!   explored-schedule count and whether the space was exhausted.
+//! * **seeded-random** — long runs driven by an xorshift PRNG for
+//!   soak-style coverage beyond the exhaustive bound.
+//!
+//! # Memory model
+//!
+//! Atomics are simulated with a view-based weak-memory semantics (a
+//! simplification of operational C11 models, close to what loom
+//! implements):
+//!
+//! * each atomic location keeps its full *modification order* — a list
+//!   of messages, each optionally carrying the writer's release view;
+//! * each thread keeps a *view*: for every location, the oldest message
+//!   it is still allowed to read. A `Relaxed` load may read **any**
+//!   message at or after the view (stale reads model store-buffer and
+//!   reordering effects; the relaxed store-buffering litmus outcome is
+//!   reachable). Coherence holds because reading advances the view;
+//! * a `Release` store attaches the writer's view and vector clock to
+//!   the message; an `Acquire` load that reads such a message joins
+//!   them (synchronizes-with);
+//! * read-modify-writes (`fetch_add`, `compare_exchange`) always read
+//!   the **latest** message, giving RMW atomicity (no lost updates);
+//! * `SeqCst` is approximated as `AcqRel` plus a join through a global
+//!   `sc` view, which forbids the classic SB/IRIW weak outcomes. This
+//!   is a sound strengthening for checking the protocols in this
+//!   workspace (none rely on `SeqCst`-only distinctions); `lint-src`
+//!   independently bans `SeqCst` in production code.
+//!
+//! Non-atomic data is modeled by [`crate::cell::MCell`], which performs
+//! FastTrack-style happens-before race detection using the vector
+//! clocks maintained here; the modeled mutex ([`crate::cell::MLock`])
+//! is a spinlock built from a modeled atomic, so lock/unlock ordering
+//! bugs surface as data races on the cells the lock guards.
+//!
+//! # Violations
+//!
+//! A model signals a violation by panicking (plain `assert!` works);
+//! the explorer also reports data races, deadlocks (every live thread
+//! spinning), and livelocks (per-schedule step budget exhausted). The
+//! offending schedule's decision path and an op-level trace are
+//! captured in the [`Report`].
+
+use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Maximum model threads per spec; keeps the schedule space bounded.
+pub const MAX_THREADS: usize = 4;
+
+/// Thread-record slot used by the setup and finale phases.
+const SETUP_SLOT: usize = MAX_THREADS;
+
+/// Panic payload used to unwind model threads when a schedule is
+/// aborted (violation found elsewhere, or budget exhausted). Not a
+/// model failure by itself.
+struct AbortSignal;
+
+/// One recorded scheduling / value choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Decision {
+    /// Number of alternatives available at this point.
+    options: usize,
+    /// The branch taken in the current schedule.
+    chosen: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TState {
+    Ready,
+    /// Parked in a spin loop; made `Ready` again by any atomic store.
+    Spinning,
+    Finished,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Single-threaded model construction; ops run without scheduling.
+    Setup,
+    /// Model threads running under the baton scheduler.
+    Running,
+    /// Post-join single-threaded checks against the joined final state.
+    Finale,
+}
+
+/// A release message's payload: the writer's view and vector clock at
+/// the time of the store.
+#[derive(Debug, Clone)]
+struct RelPayload {
+    view: Vec<usize>,
+    vc: Vec<u64>,
+}
+
+/// One entry in a location's modification order.
+#[derive(Debug)]
+struct Msg {
+    val: u64,
+    rel: Option<RelPayload>,
+}
+
+/// FastTrack-style epochs for one non-atomic cell.
+#[derive(Debug)]
+struct CellState {
+    write_tid: usize,
+    write_clock: u64,
+    /// Last read clock per thread slot.
+    reads: [u64; MAX_THREADS + 1],
+}
+
+#[derive(Debug, Clone)]
+struct ThreadRec {
+    state: TState,
+    /// Per-location index of the oldest message this thread may read.
+    view: Vec<usize>,
+    /// Vector clock, one slot per model thread plus the setup slot.
+    vc: [u64; MAX_THREADS + 1],
+    /// Global store count observed at this thread's latest operation;
+    /// lets `spin_yield` park only when nothing changed since (avoids
+    /// the lost-wakeup between a failed CAS and the park).
+    seen_seq: u64,
+}
+
+struct ExecInner {
+    phase: Phase,
+    threads: Vec<ThreadRec>,
+    /// Number of model threads registered by the spec.
+    nthreads: usize,
+    current: usize,
+    /// Per-location modification orders.
+    locs: Vec<Vec<Msg>>,
+    labels: Vec<String>,
+    cells: Vec<CellState>,
+    /// Global SeqCst view (value visibility only, not happens-before).
+    sc_view: Vec<usize>,
+    /// Total stores committed in this schedule (spin-park witness).
+    store_seq: u64,
+    /// Recorded decision path; replayed then extended within a run.
+    path: Vec<Decision>,
+    cursor: usize,
+    /// xorshift64 state for random mode (`None` = DFS replay mode).
+    rng: Option<u64>,
+    preemptions: usize,
+    steps: usize,
+    violation: Option<String>,
+    abort: bool,
+    tracing: bool,
+    trace: Vec<String>,
+    opts: Options,
+}
+
+/// One schedule's shared execution state; model threads coordinate
+/// through the mutex/condvar baton.
+pub(crate) struct Exec {
+    m: Mutex<ExecInner>,
+    cv: Condvar,
+}
+
+/// Search mode for [`explore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Depth-first enumeration of every schedule within the preemption
+    /// bound; terminates with `exhausted = true` when complete.
+    Exhaustive,
+    /// `runs` schedules driven by a seeded xorshift PRNG.
+    Random {
+        /// PRNG seed (any value; 0 is remapped internally).
+        seed: u64,
+        /// Number of random schedules to execute.
+        runs: usize,
+    },
+}
+
+/// Exploration limits and search mode.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// CHESS-style bound on involuntary context switches per schedule.
+    pub preemption_bound: usize,
+    /// Hard cap on explored schedules (guards against state explosion);
+    /// hitting it sets `truncated` in the [`Report`].
+    pub max_schedules: usize,
+    /// Per-schedule op budget; exceeding it is reported as a livelock.
+    pub max_steps: usize,
+    /// Search mode.
+    pub mode: Mode,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            preemption_bound: 2,
+            max_schedules: 250_000,
+            max_steps: 20_000,
+            mode: Mode::Exhaustive,
+        }
+    }
+}
+
+impl Options {
+    /// Exhaustive search with the given preemption bound.
+    pub fn exhaustive(preemption_bound: usize) -> Self {
+        Options {
+            preemption_bound,
+            ..Options::default()
+        }
+    }
+
+    /// Seeded-random search (unbounded preemptions) of `runs` schedules.
+    pub fn random(seed: u64, runs: usize) -> Self {
+        Options {
+            preemption_bound: usize::MAX,
+            max_schedules: runs,
+            max_steps: 20_000,
+            mode: Mode::Random { seed, runs },
+        }
+    }
+}
+
+/// Outcome of exploring one model.
+#[derive(Debug)]
+pub struct Report {
+    /// Model name (for logs and the CLI table).
+    pub name: String,
+    /// Schedules actually executed.
+    pub schedules: usize,
+    /// `true` when an exhaustive search covered the whole bounded space.
+    pub exhausted: bool,
+    /// `true` when `max_schedules` stopped the search early.
+    pub truncated: bool,
+    /// First violation found, if any.
+    pub violation: Option<String>,
+    /// Decision path of the violating schedule (replayable).
+    pub failing_path: Vec<(usize, usize)>,
+    /// Op-level trace of the violating schedule.
+    pub trace: Vec<String>,
+}
+
+impl Report {
+    /// Panic (with the trace) unless the model passed; returns the
+    /// explored-schedule count so tests can assert coverage floors.
+    pub fn assert_pass(&self) -> usize {
+        if let Some(v) = &self.violation {
+            panic!(
+                "model `{}` failed after {} schedule(s): {}\npath: {:?}\ntrace:\n  {}",
+                self.name,
+                self.schedules,
+                v,
+                self.failing_path,
+                self.trace.join("\n  ")
+            );
+        }
+        self.schedules
+    }
+
+    /// Panic unless a violation containing `needle` was found (used by
+    /// the mutation self-tests: the seeded bug *must* be detected).
+    pub fn assert_caught(&self, needle: &str) {
+        match &self.violation {
+            Some(v) if v.contains(needle) => {}
+            Some(v) => panic!(
+                "model `{}` failed, but not as expected: wanted `{}`, got `{}`",
+                self.name, needle, v
+            ),
+            None => panic!(
+                "mutation self-test `{}` missed its seeded bug after {} schedule(s) \
+                 (wanted a violation containing `{}`)",
+                self.name, self.schedules, needle
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for Report {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let status = match &self.violation {
+            Some(v) => format!("VIOLATION: {v}"),
+            None if self.truncated => "pass (truncated)".to_string(),
+            None if self.exhausted => "pass (exhausted)".to_string(),
+            None => "pass".to_string(),
+        };
+        write!(
+            f,
+            "{:<44} {:>8} schedules  {}",
+            self.name, self.schedules, status
+        )
+    }
+}
+
+/// A model under construction: the threads to interleave and an
+/// optional post-join check.
+#[derive(Default)]
+pub struct ModelSpec {
+    threads: Vec<Box<dyn FnOnce() + Send>>,
+    finale: Option<Box<dyn FnOnce() + Send>>,
+}
+
+impl ModelSpec {
+    /// Register a model thread. At most [`MAX_THREADS`] per model.
+    pub fn thread(&mut self, f: impl FnOnce() + Send + 'static) {
+        assert!(
+            self.threads.len() < MAX_THREADS,
+            "model registered more than {MAX_THREADS} threads"
+        );
+        self.threads.push(Box::new(f));
+    }
+
+    /// Register a check that runs after every thread has finished,
+    /// against the joined (fully synchronized) final state.
+    pub fn finale(&mut self, f: impl FnOnce() + Send + 'static) {
+        self.finale = Some(Box::new(f));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local binding of model code to the current execution.
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<(Arc<Exec>, usize)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Run `f` with the current execution handle; panics if called outside
+/// an exploration (modeled atomics only work under the explorer).
+pub(crate) fn with_exec<R>(f: impl FnOnce(&Exec, usize) -> R) -> R {
+    CURRENT.with(|c| {
+        let b = c.borrow();
+        let (e, me) = b
+            .as_ref()
+            .expect("modeled primitive used outside a pulsar-check exploration");
+        f(e, *me)
+    })
+}
+
+fn bind(exec: &Arc<Exec>, me: usize) {
+    CURRENT.with(|c| *c.borrow_mut() = Some((exec.clone(), me)));
+}
+
+/// Silence panic output from threads bound to an exploration: model
+/// violations are asserts whose messages the explorer captures and
+/// reports itself, and schedule aborts unwind with a non-string
+/// payload. Unbound threads keep the default hook behavior.
+fn install_quiet_panic_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let bound = CURRENT
+                .try_with(|c| c.try_borrow().map(|b| b.is_some()).unwrap_or(true))
+                .unwrap_or(false);
+            if !bound {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn unbind() {
+    CURRENT.with(|c| *c.borrow_mut() = None);
+}
+
+// ---------------------------------------------------------------------------
+// View / vector-clock helpers.
+// ---------------------------------------------------------------------------
+
+fn view_get(view: &[usize], loc: usize) -> usize {
+    view.get(loc).copied().unwrap_or(0)
+}
+
+fn view_bump(view: &mut Vec<usize>, loc: usize, idx: usize) {
+    if view.len() <= loc {
+        view.resize(loc + 1, 0);
+    }
+    view[loc] = view[loc].max(idx);
+}
+
+fn view_join(dst: &mut Vec<usize>, src: &[usize]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+fn vc_join(dst: &mut [u64; MAX_THREADS + 1], src: &[u64; MAX_THREADS + 1]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d = (*d).max(*s);
+    }
+}
+
+fn lock_inner(m: &Mutex<ExecInner>) -> MutexGuard<'_, ExecInner> {
+    // A model thread can panic (assert! violations) while a peer waits;
+    // recover the guard rather than cascading poison panics.
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Exec {
+    fn new(opts: Options, path: Vec<Decision>, rng: Option<u64>, tracing: bool) -> Exec {
+        let blank = ThreadRec {
+            state: TState::Finished,
+            view: Vec::new(),
+            vc: [0; MAX_THREADS + 1],
+            seen_seq: 0,
+        };
+        let mut threads = vec![blank; MAX_THREADS + 1];
+        threads[SETUP_SLOT].state = TState::Ready;
+        Exec {
+            m: Mutex::new(ExecInner {
+                phase: Phase::Setup,
+                threads,
+                nthreads: 0,
+                current: SETUP_SLOT,
+                locs: Vec::new(),
+                labels: Vec::new(),
+                cells: Vec::new(),
+                sc_view: Vec::new(),
+                store_seq: 0,
+                path,
+                cursor: 0,
+                rng,
+                preemptions: 0,
+                steps: 0,
+                violation: None,
+                abort: false,
+                tracing,
+                trace: Vec::new(),
+                opts,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Record a violation (first one wins) and abort the schedule.
+    fn violate(&self, g: &mut ExecInner, msg: String) {
+        if g.violation.is_none() {
+            g.violation = Some(msg);
+        }
+        g.abort = true;
+        self.cv.notify_all();
+    }
+
+    fn trace_op(g: &mut ExecInner, me: usize, line: String) {
+        if g.tracing && g.trace.len() < 400 {
+            let who = if me == SETUP_SLOT {
+                format!("{:?}", g.phase).to_lowercase()
+            } else {
+                format!("T{me}")
+            };
+            g.trace.push(format!("{who}: {line}"));
+        }
+    }
+
+    /// Resolve a choice point with `n` alternatives.
+    fn choose(&self, g: &mut ExecInner, n: usize) -> usize {
+        debug_assert!(n >= 1);
+        if n == 1 {
+            return 0;
+        }
+        if let Some(state) = g.rng.as_mut() {
+            // xorshift64 — deterministic per seed, no external deps.
+            let mut x = *state;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            *state = x;
+            return (x % n as u64) as usize;
+        }
+        if g.cursor < g.path.len() {
+            let d = g.path[g.cursor];
+            if d.options != n {
+                // The model's choice structure must be a pure function
+                // of prior decisions; anything else breaks replay.
+                self.violate(
+                    g,
+                    format!(
+                        "nondeterministic model: replay step {} expected {} options, saw {}",
+                        g.cursor, d.options, n
+                    ),
+                );
+                return 0;
+            }
+            g.cursor += 1;
+            d.chosen
+        } else {
+            g.path.push(Decision {
+                options: n,
+                chosen: 0,
+            });
+            g.cursor += 1;
+            0
+        }
+    }
+
+    /// The scheduling point executed before every operation of `me`.
+    /// May hand the baton to another thread and block until it returns.
+    fn sched_point<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, ExecInner>,
+        me: usize,
+    ) -> MutexGuard<'a, ExecInner> {
+        if g.phase != Phase::Running {
+            return g;
+        }
+        if g.abort {
+            drop(g);
+            std::panic::panic_any(AbortSignal);
+        }
+        g.steps += 1;
+        if g.steps > g.opts.max_steps {
+            let msg = format!("step budget exceeded ({} ops): livelock?", g.opts.max_steps);
+            self.violate(&mut g, msg);
+            drop(g);
+            std::panic::panic_any(AbortSignal);
+        }
+
+        let ready: Vec<usize> = (0..MAX_THREADS)
+            .filter(|&t| t != me && g.threads[t].state == TState::Ready)
+            .collect();
+        let me_ready = g.threads[me].state == TState::Ready;
+
+        let next = if me_ready {
+            // Keeping the baton is free; stealing it costs a preemption.
+            if ready.is_empty() || g.preemptions >= g.opts.preemption_bound {
+                me
+            } else {
+                let c = self.choose(&mut g, 1 + ready.len());
+                if c == 0 {
+                    me
+                } else {
+                    g.preemptions += 1;
+                    ready[c - 1]
+                }
+            }
+        } else {
+            // `me` is spinning: a switch is forced (and free).
+            match ready.len() {
+                0 => {
+                    self.violate(
+                        &mut g,
+                        "deadlock: every unfinished thread is spinning".to_string(),
+                    );
+                    drop(g);
+                    std::panic::panic_any(AbortSignal);
+                }
+                1 => ready[0],
+                k => {
+                    let c = self.choose(&mut g, k);
+                    ready[c]
+                }
+            }
+        };
+
+        if next != me {
+            g.current = next;
+            self.cv.notify_all();
+            while g.current != me && !g.abort {
+                g = self
+                    .cv
+                    .wait(g)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+            if g.abort {
+                drop(g);
+                std::panic::panic_any(AbortSignal);
+            }
+            // We were rescheduled: leave any spin state.
+            g.threads[me].state = TState::Ready;
+        }
+        // The op is about to execute: note the current store count so a
+        // later `spin_yield` knows whether anything changed in between.
+        g.threads[me].seen_seq = g.store_seq;
+        g
+    }
+
+    // -- location / cell registration ------------------------------------
+
+    fn new_loc(&self, init: u64, label: &str) -> usize {
+        let mut g = lock_inner(&self.m);
+        g.locs.push(vec![Msg {
+            val: init,
+            rel: None,
+        }]);
+        g.labels.push(label.to_string());
+        g.locs.len() - 1
+    }
+
+    fn new_cell(&self) -> usize {
+        let mut g = lock_inner(&self.m);
+        // Creation counts as a write by the creating slot at its current
+        // clock; threads started later inherit it (no false race), while
+        // unsynchronized concurrent access still trips the detector.
+        let me = g.current;
+        let clock = g.threads[me].vc[me.min(SETUP_SLOT)];
+        g.cells.push(CellState {
+            write_tid: me,
+            write_clock: clock,
+            reads: [0; MAX_THREADS + 1],
+        });
+        g.cells.len() - 1
+    }
+
+    // -- atomic operations ------------------------------------------------
+
+    /// Advance `me`'s clock for a new event and return the new stamp.
+    fn tick(g: &mut ExecInner, me: usize) -> u64 {
+        g.threads[me].vc[me] += 1;
+        g.threads[me].vc[me]
+    }
+
+    fn acquire_from(g: &mut ExecInner, me: usize, loc: usize, idx: usize) {
+        if let Some(rel) = g.locs[loc][idx].rel.clone() {
+            view_join(&mut g.threads[me].view, &rel.view);
+            let mut vc = [0u64; MAX_THREADS + 1];
+            vc.copy_from_slice(&rel.vc);
+            vc_join(&mut g.threads[me].vc, &vc);
+        }
+    }
+
+    fn sc_pre(g: &mut ExecInner, me: usize, ord: Ordering) {
+        if matches!(ord, Ordering::SeqCst) {
+            let sc = g.sc_view.clone();
+            view_join(&mut g.threads[me].view, &sc);
+        }
+    }
+
+    fn atomic_load(&self, me: usize, loc: usize, ord: Ordering) -> u64 {
+        let g = lock_inner(&self.m);
+        let mut g = self.sched_point(g, me);
+        Self::tick(&mut g, me);
+        Self::sc_pre(&mut g, me, ord);
+        let lo = view_get(&g.threads[me].view, loc);
+        let hi = g.locs[loc].len() - 1;
+        // Choice over every coherent message (stale reads included).
+        let idx = lo + self.choose(&mut g, hi - lo + 1);
+        let val = g.locs[loc][idx].val;
+        if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            Self::acquire_from(&mut g, me, loc, idx);
+        }
+        view_bump(&mut g.threads[me].view, loc, idx);
+        let line = format!(
+            "load  {} -> {val} [{ord:?}] (msg {idx}/{hi})",
+            g.labels[loc]
+        );
+        Self::trace_op(&mut g, me, line);
+        val
+    }
+
+    /// Append a message for `val` at `loc` and wake spinners. Shared by
+    /// stores and the write half of RMWs; caller has already ticked.
+    fn commit_store(&self, g: &mut ExecInner, me: usize, loc: usize, val: u64, ord: Ordering) {
+        Self::sc_pre(g, me, ord);
+        let idx = g.locs[loc].len();
+        view_bump(&mut g.threads[me].view, loc, idx);
+        let release = matches!(ord, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst);
+        let rel = release.then(|| RelPayload {
+            view: g.threads[me].view.clone(),
+            vc: g.threads[me].vc.to_vec(),
+        });
+        g.locs[loc].push(Msg { val, rel });
+        if matches!(ord, Ordering::SeqCst) {
+            let view = g.threads[me].view.clone();
+            view_join(&mut g.sc_view, &view);
+        }
+        g.store_seq += 1;
+        // Any store may be the one a spin loop is waiting for.
+        for t in 0..MAX_THREADS {
+            if g.threads[t].state == TState::Spinning {
+                g.threads[t].state = TState::Ready;
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    fn atomic_store(&self, me: usize, loc: usize, val: u64, ord: Ordering) {
+        let g = lock_inner(&self.m);
+        let mut g = self.sched_point(g, me);
+        Self::tick(&mut g, me);
+        self.commit_store(&mut g, me, loc, val, ord);
+        let line = format!("store {} <- {val} [{ord:?}]", g.labels[loc]);
+        Self::trace_op(&mut g, me, line);
+    }
+
+    /// The write half of an `Acquire`/`Relaxed` RMW is relaxed, of a
+    /// `Release`/`AcqRel` RMW is release.
+    fn rmw_write_ord(ord: Ordering) -> Ordering {
+        match ord {
+            Ordering::Acquire | Ordering::Relaxed => Ordering::Relaxed,
+            Ordering::Release | Ordering::AcqRel => Ordering::Release,
+            _ => Ordering::SeqCst,
+        }
+    }
+
+    /// Read-modify-write: always reads the latest message (atomicity).
+    fn atomic_rmw(&self, me: usize, loc: usize, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+        let g = lock_inner(&self.m);
+        let mut g = self.sched_point(g, me);
+        Self::tick(&mut g, me);
+        Self::sc_pre(&mut g, me, ord);
+        let idx = g.locs[loc].len() - 1;
+        let old = g.locs[loc][idx].val;
+        if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            Self::acquire_from(&mut g, me, loc, idx);
+        }
+        view_bump(&mut g.threads[me].view, loc, idx);
+        let newv = f(old);
+        self.commit_store(&mut g, me, loc, newv, Self::rmw_write_ord(ord));
+        let line = format!("rmw   {} {old} -> {newv} [{ord:?}]", g.labels[loc]);
+        Self::trace_op(&mut g, me, line);
+        old
+    }
+
+    /// Compare-exchange. A failed CAS is an RMW-read of the latest
+    /// message with the `fail` ordering.
+    fn atomic_cas(
+        &self,
+        me: usize,
+        loc: usize,
+        cur: u64,
+        new: u64,
+        succ: Ordering,
+        fail: Ordering,
+    ) -> Result<u64, u64> {
+        let g = lock_inner(&self.m);
+        let mut g = self.sched_point(g, me);
+        Self::tick(&mut g, me);
+        let idx = g.locs[loc].len() - 1;
+        let old = g.locs[loc][idx].val;
+        let ord = if old == cur { succ } else { fail };
+        Self::sc_pre(&mut g, me, ord);
+        if matches!(ord, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst) {
+            Self::acquire_from(&mut g, me, loc, idx);
+        }
+        view_bump(&mut g.threads[me].view, loc, idx);
+        if old == cur {
+            self.commit_store(&mut g, me, loc, new, Self::rmw_write_ord(succ));
+            let line = format!("cas   {} {cur} -> {new} ok [{succ:?}]", g.labels[loc]);
+            Self::trace_op(&mut g, me, line);
+            Ok(old)
+        } else {
+            let line = format!(
+                "cas   {} {cur} -> {new} failed, saw {old} [{fail:?}]",
+                g.labels[loc]
+            );
+            Self::trace_op(&mut g, me, line);
+            Err(old)
+        }
+    }
+
+    // -- non-atomic cells (race detection) --------------------------------
+
+    fn cell_read(&self, me: usize, cell: usize) {
+        let g = lock_inner(&self.m);
+        let mut g = self.sched_point(g, me);
+        let stamp = Self::tick(&mut g, me);
+        let (wt, wc) = {
+            let c = &g.cells[cell];
+            (c.write_tid, c.write_clock)
+        };
+        if wc > g.threads[me].vc[wt] {
+            let msg = format!(
+                "data race on cell #{cell}: read by T{me} concurrent with a write by slot {wt}"
+            );
+            self.violate(&mut g, msg);
+            drop(g);
+            std::panic::panic_any(AbortSignal);
+        }
+        g.cells[cell].reads[me] = stamp;
+        Self::trace_op(&mut g, me, format!("read  cell#{cell}"));
+    }
+
+    fn cell_write(&self, me: usize, cell: usize) {
+        let g = lock_inner(&self.m);
+        let mut g = self.sched_point(g, me);
+        let stamp = Self::tick(&mut g, me);
+        let (wt, wc, reads) = {
+            let c = &g.cells[cell];
+            (c.write_tid, c.write_clock, c.reads)
+        };
+        let mut race = wc > g.threads[me].vc[wt];
+        if !race {
+            for (t, &rc) in reads.iter().enumerate() {
+                if t != me && rc > g.threads[me].vc[t] {
+                    race = true;
+                    break;
+                }
+            }
+        }
+        if race {
+            let msg =
+                format!("data race on cell #{cell}: write by T{me} concurrent with a prior access");
+            self.violate(&mut g, msg);
+            drop(g);
+            std::panic::panic_any(AbortSignal);
+        }
+        let c = &mut g.cells[cell];
+        c.write_tid = me;
+        c.write_clock = stamp;
+        c.reads = [0; MAX_THREADS + 1];
+        c.reads[me] = stamp;
+        Self::trace_op(&mut g, me, format!("write cell#{cell}"));
+    }
+
+    /// Park the calling thread until any store happens (spin-loop hint).
+    /// If a store already happened since this thread's previous op, the
+    /// park is skipped (otherwise the wakeup would be lost).
+    fn spin_yield(&self, me: usize) {
+        let mut g = lock_inner(&self.m);
+        if g.phase != Phase::Running {
+            return;
+        }
+        if g.store_seq == g.threads[me].seen_seq {
+            g.threads[me].state = TState::Spinning;
+        }
+        let g = self.sched_point(g, me);
+        drop(g);
+    }
+
+    // -- schedule lifecycle ----------------------------------------------
+
+    /// Transition Setup -> Running once the model's threads are known.
+    fn seal(&self, n: usize) {
+        let mut g = lock_inner(&self.m);
+        debug_assert_eq!(g.phase, Phase::Setup);
+        g.nthreads = n;
+        // Model threads inherit the setup slot's final view and clock:
+        // construction happens-before every thread start.
+        let setup = g.threads[SETUP_SLOT].clone();
+        for t in 0..n {
+            g.threads[t] = ThreadRec {
+                state: TState::Ready,
+                view: setup.view.clone(),
+                vc: setup.vc,
+                seen_seq: g.store_seq,
+            };
+        }
+        g.threads[SETUP_SLOT].state = TState::Finished;
+        g.phase = Phase::Running;
+        // The initial dispatch is itself a scheduling decision.
+        let first = self.choose(&mut g, n);
+        g.current = first;
+        self.cv.notify_all();
+    }
+
+    /// Mark `me` finished and pass the baton on.
+    fn finish_thread(&self, me: usize) {
+        let mut g = lock_inner(&self.m);
+        g.threads[me].state = TState::Finished;
+        Self::trace_op(&mut g, me, "exit".to_string());
+        if g.abort {
+            self.cv.notify_all();
+            return;
+        }
+        let ready: Vec<usize> = (0..MAX_THREADS)
+            .filter(|&t| g.threads[t].state == TState::Ready)
+            .collect();
+        if ready.is_empty() {
+            let spinning = (0..MAX_THREADS).any(|t| g.threads[t].state == TState::Spinning);
+            if spinning {
+                self.violate(
+                    &mut g,
+                    "deadlock: all remaining threads are spinning after a thread exit".to_string(),
+                );
+            }
+            // else: everyone finished; nothing left to schedule.
+            self.cv.notify_all();
+            return;
+        }
+        // A switch at thread exit is forced, hence free.
+        let next = if ready.len() == 1 {
+            ready[0]
+        } else {
+            let c = self.choose(&mut g, ready.len());
+            ready[c]
+        };
+        g.current = next;
+        self.cv.notify_all();
+    }
+
+    /// Transition Running -> Finale with the joined final state.
+    fn enter_finale(&self) {
+        let mut g = lock_inner(&self.m);
+        g.phase = Phase::Finale;
+        let mut view: Vec<usize> = Vec::new();
+        let mut vc = [0u64; MAX_THREADS + 1];
+        for t in 0..MAX_THREADS {
+            let tv = g.threads[t].view.clone();
+            view_join(&mut view, &tv);
+            let tc = g.threads[t].vc;
+            vc_join(&mut vc, &tc);
+        }
+        let setup_vc = g.threads[SETUP_SLOT].vc;
+        vc_join(&mut vc, &setup_vc);
+        g.threads[SETUP_SLOT].view = view;
+        g.threads[SETUP_SLOT].vc = vc;
+        g.threads[SETUP_SLOT].state = TState::Ready;
+        g.current = SETUP_SLOT;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crate-internal op handles used by the modeled primitives.
+// ---------------------------------------------------------------------------
+
+pub(crate) fn op_new_loc(init: u64, label: &str) -> usize {
+    with_exec(|e, _| e.new_loc(init, label))
+}
+pub(crate) fn op_load(loc: usize, ord: Ordering) -> u64 {
+    with_exec(|e, me| e.atomic_load(me, loc, ord))
+}
+pub(crate) fn op_store(loc: usize, val: u64, ord: Ordering) {
+    with_exec(|e, me| e.atomic_store(me, loc, val, ord));
+}
+pub(crate) fn op_rmw(loc: usize, ord: Ordering, f: impl FnOnce(u64) -> u64) -> u64 {
+    with_exec(|e, me| e.atomic_rmw(me, loc, ord, f))
+}
+pub(crate) fn op_cas(
+    loc: usize,
+    cur: u64,
+    new: u64,
+    succ: Ordering,
+    fail: Ordering,
+) -> Result<u64, u64> {
+    with_exec(|e, me| e.atomic_cas(me, loc, cur, new, succ, fail))
+}
+pub(crate) fn op_new_cell() -> usize {
+    with_exec(|e, _| e.new_cell())
+}
+pub(crate) fn op_cell_read(cell: usize) {
+    with_exec(|e, me| e.cell_read(me, cell));
+}
+pub(crate) fn op_cell_write(cell: usize) {
+    with_exec(|e, me| e.cell_write(me, cell));
+}
+
+/// Yield inside a model spin loop; the thread is parked until another
+/// thread performs a store. Use this in any retry loop a model
+/// contains, otherwise the explorer reports a livelock when the step
+/// budget runs out.
+pub fn spin_yield() {
+    with_exec(|e, me| e.spin_yield(me));
+}
+
+// ---------------------------------------------------------------------------
+// The explorer driver.
+// ---------------------------------------------------------------------------
+
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model panicked with a non-string payload".to_string()
+    }
+}
+
+/// Execute one schedule; returns the (possibly extended) decision path,
+/// the violation if any, and the op trace.
+fn run_schedule(
+    opts: Options,
+    path: Vec<Decision>,
+    rng: Option<u64>,
+    tracing: bool,
+    build: &(dyn Fn(&mut ModelSpec) + Sync),
+) -> (Vec<Decision>, Option<String>, Vec<String>) {
+    let mut spec = ModelSpec::default();
+    // Setup runs single-threaded with ops bound to the setup slot.
+    let exec = Arc::new(Exec::new(opts, path, rng, tracing));
+    bind(&exec, SETUP_SLOT);
+    let setup = catch_unwind(AssertUnwindSafe(|| build(&mut spec)));
+    unbind();
+    if let Err(p) = setup {
+        let mut g = lock_inner(&exec.m);
+        let msg = format!("model setup panicked: {}", panic_message(p));
+        exec.violate(&mut g, msg);
+        return (g.path.clone(), g.violation.clone(), g.trace.clone());
+    }
+    let n = spec.threads.len();
+    assert!(n >= 1, "model registered no threads");
+    exec.seal(n);
+
+    std::thread::scope(|s| {
+        for (i, f) in spec.threads.drain(..).enumerate() {
+            let exec = exec.clone();
+            s.spawn(move || {
+                bind(&exec, i);
+                // Wait for the baton before the first op.
+                {
+                    let mut g = lock_inner(&exec.m);
+                    while g.current != i && !g.abort {
+                        g = exec
+                            .cv
+                            .wait(g)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    if g.abort {
+                        drop(g);
+                        unbind();
+                        return;
+                    }
+                }
+                let r = catch_unwind(AssertUnwindSafe(f));
+                match r {
+                    Ok(()) => exec.finish_thread(i),
+                    Err(p) => {
+                        let mut g = lock_inner(&exec.m);
+                        g.threads[i].state = TState::Finished;
+                        if p.is::<AbortSignal>() {
+                            exec.cv.notify_all();
+                        } else {
+                            let msg = panic_message(p);
+                            exec.violate(&mut g, msg);
+                        }
+                    }
+                }
+                unbind();
+            });
+        }
+    });
+
+    // Finale: single-threaded checks against the joined state.
+    let run_finale = {
+        let g = lock_inner(&exec.m);
+        g.violation.is_none() && spec.finale.is_some()
+    };
+    if run_finale {
+        exec.enter_finale();
+        bind(&exec, SETUP_SLOT);
+        if let Some(f) = spec.finale.take() {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(f)) {
+                let mut g = lock_inner(&exec.m);
+                let msg = format!("finale check failed: {}", panic_message(p));
+                exec.violate(&mut g, msg);
+            }
+        }
+        unbind();
+    }
+
+    let g = lock_inner(&exec.m);
+    (g.path.clone(), g.violation.clone(), g.trace.clone())
+}
+
+/// Advance a DFS decision path to the next unexplored schedule.
+/// Returns `false` when the space is exhausted.
+fn advance(path: &mut Vec<Decision>) -> bool {
+    while let Some(d) = path.last_mut() {
+        if d.chosen + 1 < d.options {
+            d.chosen += 1;
+            return true;
+        }
+        path.pop();
+    }
+    false
+}
+
+fn blank_report(name: &str) -> Report {
+    Report {
+        name: name.to_string(),
+        schedules: 0,
+        exhausted: false,
+        truncated: false,
+        violation: None,
+        failing_path: Vec::new(),
+        trace: Vec::new(),
+    }
+}
+
+/// Record a failing schedule in the report, re-running it with tracing
+/// enabled to capture the op-level trace (runs are deterministic given
+/// the same decision path / seed).
+fn record_failure(
+    report: &mut Report,
+    opts: Options,
+    used: Vec<Decision>,
+    seed: Option<u64>,
+    violation: String,
+    build: &(dyn Fn(&mut ModelSpec) + Sync),
+) {
+    report.failing_path = used.iter().map(|d| (d.options, d.chosen)).collect();
+    let replay_path = match seed {
+        Some(_) => Vec::new(),
+        None => used,
+    };
+    let (_, replay_violation, trace) = run_schedule(opts, replay_path, seed, true, build);
+    report.trace = trace;
+    // Keep the original message if the traced replay diverged (it
+    // should not; the decision path fully determines the schedule).
+    report.violation = Some(replay_violation.unwrap_or(violation));
+}
+
+/// Explore `build` under `opts` and return a [`Report`].
+///
+/// `build` is invoked once per schedule; it constructs fresh model
+/// state (modeled atomics and cells bind to that schedule's execution)
+/// and registers threads plus an optional finale on the [`ModelSpec`].
+pub fn explore(name: &str, opts: Options, build: impl Fn(&mut ModelSpec) + Sync) -> Report {
+    install_quiet_panic_hook();
+    let mut report = blank_report(name);
+    match opts.mode {
+        Mode::Exhaustive => {
+            let mut path: Vec<Decision> = Vec::new();
+            loop {
+                if report.schedules >= opts.max_schedules {
+                    report.truncated = true;
+                    break;
+                }
+                let (used, violation, _) = run_schedule(opts, path, None, false, &build);
+                report.schedules += 1;
+                if let Some(v) = violation {
+                    record_failure(&mut report, opts, used, None, v, &build);
+                    break;
+                }
+                path = used;
+                if !advance(&mut path) {
+                    report.exhausted = true;
+                    break;
+                }
+            }
+        }
+        Mode::Random { seed, runs } => {
+            let mut s = seed.max(1);
+            for _ in 0..runs {
+                // Decorrelate runs: splitmix-style seed scramble.
+                s = s
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(0x2545_F491_4F6C_DD1D);
+                let run_seed = s | 1;
+                let (used, violation, _) =
+                    run_schedule(opts, Vec::new(), Some(run_seed), false, &build);
+                report.schedules += 1;
+                if let Some(v) = violation {
+                    record_failure(&mut report, opts, used, Some(run_seed), v, &build);
+                    break;
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Exhaustively explore and tally every distinct violation message
+/// (instead of stopping at the first), for tests that want to see
+/// *which* failure modes occur across the schedule space.
+pub fn explore_outcomes(
+    name: &str,
+    opts: Options,
+    build: impl Fn(&mut ModelSpec) + Sync,
+) -> (Report, BTreeMap<String, usize>) {
+    install_quiet_panic_hook();
+    let mut outcomes: BTreeMap<String, usize> = BTreeMap::new();
+    let mut report = blank_report(name);
+    let mut path: Vec<Decision> = Vec::new();
+    loop {
+        if report.schedules >= opts.max_schedules {
+            report.truncated = true;
+            break;
+        }
+        let (used, violation, _) = run_schedule(opts, path, None, false, &build);
+        report.schedules += 1;
+        if let Some(v) = violation {
+            *outcomes.entry(v.clone()).or_insert(0) += 1;
+            if report.violation.is_none() {
+                report.violation = Some(v);
+                report.failing_path = used.iter().map(|d| (d.options, d.chosen)).collect();
+            }
+        }
+        path = used;
+        if !advance(&mut path) {
+            report.exhausted = true;
+            break;
+        }
+    }
+    (report, outcomes)
+}

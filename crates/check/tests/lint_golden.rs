@@ -1,0 +1,141 @@
+//! Golden-file tests for `lint-src` over the fixture corpus in
+//! `tests/lint_src_corpus/` (repository root), plus the workspace-clean
+//! gate: the real `crates/*/src` tree must produce zero findings.
+//!
+//! Every `<name>.rs` fixture declares the path it pretends to live at
+//! via a first-line `// lint-src-corpus-path:` directive (the rules are
+//! path-dependent: hot-path modules, the allowlist) and has
+//! `<name>.expected.txt` / `<name>.expected.json` goldens next to it.
+//! Regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p pulsar-check --test lint_golden
+//! ```
+
+#![allow(clippy::unwrap_used)]
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use pulsar_check::lint_src::{self, SrcReport, SrcRule};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn corpus_dir() -> PathBuf {
+    repo_root().join("tests/lint_src_corpus")
+}
+
+fn corpus_fixtures() -> Vec<PathBuf> {
+    let mut fixtures: Vec<PathBuf> = fs::read_dir(corpus_dir())
+        .expect("corpus directory")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        fixtures.len() >= 4,
+        "corpus unexpectedly small: {fixtures:?}"
+    );
+    fixtures
+}
+
+/// Lint one fixture under its declared pretend-path.
+fn lint_fixture(path: &Path) -> SrcReport {
+    let text = fs::read_to_string(path).unwrap();
+    let label = text
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("// lint-src-corpus-path:"))
+        .unwrap_or_else(|| panic!("{path:?} lacks a lint-src-corpus-path directive"))
+        .trim()
+        .to_string();
+    let allow = lint_src::load_allowlist(&repo_root());
+    SrcReport {
+        findings: lint_src::lint_source(&label, &text, &allow),
+        files_scanned: 1,
+    }
+}
+
+fn check_golden(rendered: &str, golden_path: &PathBuf) {
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        fs::write(golden_path, rendered).expect("write golden");
+        return;
+    }
+    let expected = fs::read_to_string(golden_path).unwrap_or_else(|e| {
+        panic!("missing golden {golden_path:?} ({e}); run with UPDATE_GOLDENS=1")
+    });
+    assert_eq!(
+        rendered, expected,
+        "rendering drifted from {golden_path:?}; rerun with UPDATE_GOLDENS=1 if intentional"
+    );
+}
+
+#[test]
+fn corpus_matches_goldens() {
+    for fixture in corpus_fixtures() {
+        let report = lint_fixture(&fixture);
+        check_golden(
+            &report.render_human(),
+            &fixture.with_extension("expected.txt"),
+        );
+        check_golden(
+            &report.render_json(),
+            &fixture.with_extension("expected.json"),
+        );
+    }
+}
+
+#[test]
+fn corpus_fixtures_flag_their_seeded_violations() {
+    // (fixture stem, expected rule histogram as (rule, count)).
+    let table: &[(&str, &[(SrcRule, usize)])] = &[
+        ("allowlisted", &[]),
+        ("ordering", &[(SrcRule::UnjustifiedOrdering, 3)]),
+        (
+            "hotpath",
+            &[
+                (SrcRule::HotPathUnwrap, 2),
+                (SrcRule::HotPathInstant, 1),
+                (SrcRule::HotPathAlloc, 2),
+            ],
+        ),
+        ("spawn", &[(SrcRule::DetachedSpawn, 2)]),
+    ];
+    for (stem, expected) in table {
+        let report = lint_fixture(&corpus_dir().join(format!("{stem}.rs")));
+        for (rule, count) in *expected {
+            let got = report.findings.iter().filter(|f| f.rule == *rule).count();
+            assert_eq!(
+                got,
+                *count,
+                "{stem}: expected {count} {} finding(s), got:\n{}",
+                rule.code(),
+                report.render_human()
+            );
+        }
+        let total: usize = expected.iter().map(|(_, c)| c).sum();
+        assert_eq!(
+            report.findings.len(),
+            total,
+            "{stem}: unexpected extra findings:\n{}",
+            report.render_human()
+        );
+    }
+}
+
+/// The enforcement gate: the real workspace must be clean. Every
+/// Relaxed/SeqCst site carries a `// ordering:` justification (and a
+/// row in DESIGN.md §5.8), hot-path modules stay allocation- and
+/// panic-free, and no thread is detached without a `// spawn:` story.
+#[test]
+fn workspace_is_clean() {
+    let report = lint_src::lint_workspace(&repo_root()).expect("scan workspace");
+    assert!(report.files_scanned > 50, "scan missed the workspace");
+    assert!(
+        report.is_clean(),
+        "lint-src findings in the workspace:\n{}",
+        report.render_human()
+    );
+}

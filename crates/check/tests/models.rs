@@ -1,0 +1,61 @@
+//! The concurrency-checking acceptance suite:
+//!
+//! * every shipped-protocol model passes **bounded-exhaustive**
+//!   exploration (the space is fully enumerated, not truncated), with
+//!   a floor on the explored-schedule count so a scheduler regression
+//!   that silently shrinks the space fails loudly;
+//! * every mutation model (one weakened ordering / reordered step per
+//!   protocol) is **caught**, with the expected violation kind;
+//! * the `--ignored` tier re-runs the shipped models under
+//!   seeded-random long runs (more preemptions than the exhaustive
+//!   bound allows).
+
+use pulsar_check::models;
+use pulsar_check::sim::Options;
+
+#[test]
+fn shipped_models_pass_bounded_exhaustive() {
+    for report in models::shipped_suite(models::smoke_options()) {
+        println!("{report}");
+        let n = report.assert_pass();
+        assert!(
+            report.exhausted && !report.truncated,
+            "model `{}` did not exhaust its schedule space",
+            report.name
+        );
+        assert!(
+            n >= 10,
+            "model `{}` explored suspiciously few schedules: {n}",
+            report.name
+        );
+    }
+}
+
+#[test]
+fn mutation_self_tests_catch_seeded_bugs() {
+    for (report, needle) in models::mutation_suite(models::smoke_options()) {
+        println!("{report}");
+        report.assert_caught(needle);
+    }
+}
+
+/// Long tier: seeded-random schedules with unbounded preemptions.
+/// Run with `cargo test -p pulsar-check -- --ignored`.
+#[test]
+#[ignore = "long seeded-random soak; run explicitly or via CI's long tier"]
+fn shipped_models_survive_random_long_runs() {
+    // Seed is arbitrary but fixed: failures must be reproducible.
+    for report in models::shipped_suite(Options::random(0x70756C7365, 20_000)) {
+        println!("{report}");
+        report.assert_pass();
+    }
+}
+
+#[test]
+#[ignore = "long seeded-random soak; run explicitly or via CI's long tier"]
+fn mutations_also_caught_by_random_runs() {
+    for (report, needle) in models::mutation_suite(Options::random(0x70756C7365, 20_000)) {
+        println!("{report}");
+        report.assert_caught(needle);
+    }
+}

@@ -232,6 +232,9 @@ pub mod interrupt {
     }
 
     extern "C" fn on_sigint(_sig: i32) {
+        // ordering: Relaxed is enough — the flag is a monotonic bool
+        // polled by the bridge thread; no other data is published
+        // through it (the CancelToken trip does its own Release).
         INTERRUPTED.store(true, Ordering::Relaxed);
     }
 
@@ -248,7 +251,11 @@ pub mod interrupt {
             signal(SIGINT, on_sigint);
         }
         let bridge = token.clone();
+        // spawn: intentionally detached — the bridge polls a
+        // process-global flag and dies with the process; there is no
+        // earlier point at which joining it would be meaningful.
         std::thread::spawn(move || loop {
+            // ordering: Relaxed — see `on_sigint`; monotonic flag only.
             if INTERRUPTED.load(Ordering::Relaxed) {
                 bridge.cancel(CancelReason::User);
                 return;

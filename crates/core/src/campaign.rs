@@ -630,11 +630,7 @@ impl Campaign {
             }
         }
         if let Some(c) = checkpoint {
-            if !c.healthy() {
-                return Err(CoreError::Checkpoint {
-                    reason: format!("checkpoint write failed mid-run: {}", c.path().display()),
-                });
-            }
+            c.ensure_healthy()?;
         }
         let completeness = Completeness {
             requested,

@@ -41,13 +41,81 @@
 use crate::error::CoreError;
 use pulsar_mc::SampleOutcome;
 use pulsar_obs::json::{self, json_str, Json};
+use pulsar_obs::sync::{AtomicBoolLike, AtomicFamily, StdAtomics};
 use std::collections::BTreeMap;
+use std::fmt;
 use std::fmt::Write as _;
 use std::fs::{File, OpenOptions};
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Mutex;
+
+/// The memory orderings the checkpoint poisoning protocol ships with.
+/// One value, shared by production ([`Checkpoint`]) and the
+/// `pulsar-check` model, so the explorer checks exactly what runs.
+#[derive(Debug, Clone, Copy)]
+pub struct PoisonOrderings {
+    /// Ordering of the store that poisons the flag on a write failure.
+    pub poison: Ordering,
+    /// Ordering of every `healthy()` load.
+    pub check: Ordering,
+}
+
+/// Shipped orderings: everything `Relaxed`.
+///
+/// The flag is a single monotonic boolean (false → true, never back).
+/// Writers set it while holding the file mutex, and the append gate in
+/// [`Checkpoint::record`] re-checks it under the same mutex, so the
+/// mutex provides the only ordering the protocol needs; the flag itself
+/// needs atomicity alone. The final `healthy()` check runs after worker
+/// joins, which also synchronize. The `pulsar-check` checkpoint model
+/// explores this protocol (DESIGN.md §5.8, protocol model P3) and its
+/// mutation self-test proves the explorer catches a post-poison append.
+pub const POISON_ORDERINGS: PoisonOrderings = PoisonOrderings {
+    poison: Ordering::Relaxed, // ordering: monotonic flag; mutex/join publish it
+    check: Ordering::Relaxed,  // ordering: monotonic flag; mutex/join publish it
+};
+
+/// The checkpoint poisoning core: a sticky failure flag that downgrades
+/// the durability promise instead of panicking mid-run. Generic over the
+/// atomics family so `pulsar-check` can model-check the shipped protocol.
+pub struct PoisonFlag<B: AtomicBoolLike> {
+    failed: B,
+}
+
+impl<B: AtomicBoolLike> fmt::Debug for PoisonFlag<B> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PoisonFlag")
+            .field("failed", &self.failed)
+            .finish()
+    }
+}
+
+impl<B: AtomicBoolLike> Default for PoisonFlag<B> {
+    fn default() -> Self {
+        PoisonFlag::new()
+    }
+}
+
+impl<B: AtomicBoolLike> PoisonFlag<B> {
+    /// A fresh, healthy flag.
+    pub fn new() -> Self {
+        PoisonFlag {
+            failed: B::new(false),
+        }
+    }
+
+    /// Marks the protected resource failed. Sticky: there is no way back.
+    pub fn poison(&self, ord: &PoisonOrderings) {
+        self.failed.store(true, ord.poison);
+    }
+
+    /// True while no failure has been recorded.
+    pub fn healthy(&self, ord: &PoisonOrderings) -> bool {
+        !self.failed.load(ord.check)
+    }
+}
 
 /// Checkpoint format version written in the header.
 pub const CHECKPOINT_VERSION: u64 = 1;
@@ -143,7 +211,7 @@ pub struct Checkpoint<T> {
     spec: CheckpointSpec,
     prior: BTreeMap<usize, SampleOutcome<T, CoreError>>,
     file: Mutex<File>,
-    write_failed: AtomicBool,
+    write_failed: PoisonFlag<<StdAtomics as AtomicFamily>::Bool>,
 }
 
 fn io_err(what: &str, path: &Path, e: &std::io::Error) -> CoreError {
@@ -198,7 +266,7 @@ impl<T: CheckpointValue> Checkpoint<T> {
             spec,
             prior: BTreeMap::new(),
             file: Mutex::new(file),
-            write_failed: AtomicBool::new(false),
+            write_failed: PoisonFlag::new(),
         })
     }
 
@@ -240,7 +308,7 @@ impl<T: CheckpointValue> Checkpoint<T> {
             spec,
             prior: loaded.into_iter().map(|(i, (_, o))| (i, o)).collect(),
             file: Mutex::new(file),
-            write_failed: AtomicBool::new(false),
+            write_failed: PoisonFlag::new(),
         })
     }
 
@@ -295,14 +363,23 @@ impl<T: CheckpointValue> Checkpoint<T> {
         let mut file = match self.file.lock() {
             Ok(f) => f,
             Err(_) => {
-                self.write_failed.store(true, Ordering::Relaxed);
+                self.write_failed.poison(&POISON_ORDERINGS);
                 return;
             }
         };
+        // Once poisoned, no further append may land: a failed write can
+        // leave a half-line on disk, and anything appended after it would
+        // concatenate into an undecodable line, turning "valid but
+        // incomplete prefix" into a prefix truncated at the failure. The
+        // gate is re-checked *under* the file mutex so a poison landed by
+        // another worker is always observed before this append.
+        if !self.write_failed.healthy(&POISON_ORDERINGS) {
+            return;
+        }
         // One write call per complete line: a kill between records never
         // tears, and a kill mid-record tears only the trailing line.
         if file.write_all(line.as_bytes()).is_err() || file.flush().is_err() {
-            self.write_failed.store(true, Ordering::Relaxed);
+            self.write_failed.poison(&POISON_ORDERINGS);
         }
     }
 
@@ -310,7 +387,24 @@ impl<T: CheckpointValue> Checkpoint<T> {
     /// valid but *incomplete* checkpoint, and the run should surface the
     /// condition instead of promising durability it no longer has.
     pub fn healthy(&self) -> bool {
-        !self.write_failed.load(Ordering::Relaxed)
+        self.write_failed.healthy(&POISON_ORDERINGS)
+    }
+
+    /// Typed form of [`Checkpoint::healthy`]: the [`CoreError::Checkpoint`]
+    /// a durable run must surface when the checkpoint was poisoned
+    /// mid-run. Called by the study/campaign finalizers.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Checkpoint`] when a record append failed.
+    pub fn ensure_healthy(&self) -> Result<(), CoreError> {
+        if self.healthy() {
+            Ok(())
+        } else {
+            Err(CoreError::Checkpoint {
+                reason: format!("checkpoint write failed mid-run: {}", self.path.display()),
+            })
+        }
     }
 }
 
@@ -560,6 +654,118 @@ mod tests {
         // Wrong payload type.
         assert!(Checkpoint::<Vec<f64>>::resume(&path, spec()).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression: a write failure mid-append poisons the checkpoint —
+    /// `healthy()` flips, `ensure_healthy()` is the typed
+    /// [`CoreError::Checkpoint`], and the on-disk prefix written before
+    /// the failure still resumes. (The `pulsar-check` checkpoint model
+    /// explores the concurrent version of this protocol.)
+    #[test]
+    fn write_failure_poisons_and_prefix_still_resumes() {
+        let path = tmp("poison");
+        let ck = Checkpoint::<f64>::create(&path, spec()).unwrap();
+        ck.record(0, 1, &SampleOutcome::Ok(0.5));
+        drop(ck);
+
+        // Reopen the same file through a read-only handle: the next
+        // append's write fails, modeling a mid-run I/O error.
+        let ro = OpenOptions::new().read(true).open(&path).unwrap();
+        let ck = Checkpoint::<f64> {
+            path: path.clone(),
+            spec: spec(),
+            prior: BTreeMap::new(),
+            file: Mutex::new(ro),
+            write_failed: PoisonFlag::new(),
+        };
+        assert!(ck.healthy());
+        ck.record(1, 2, &SampleOutcome::Ok(1.5));
+        assert!(!ck.healthy(), "failed append did not poison");
+        let e = ck.ensure_healthy().unwrap_err();
+        assert!(matches!(e, CoreError::Checkpoint { .. }), "{e:?}");
+        assert!(
+            e.to_string().contains("checkpoint write failed mid-run"),
+            "{e}"
+        );
+        drop(ck);
+
+        // The prefix appended before the failure is still a valid
+        // checkpoint: the run resumes from it.
+        let resumed = Checkpoint::<f64>::resume(&path, spec()).unwrap();
+        assert_eq!(resumed.resumed_count(), 1);
+        assert_eq!(resumed.prior()[&0], SampleOutcome::Ok(0.5));
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Regression: once poisoned, the append gate blocks even writes
+    /// that *would* succeed — nothing may land behind a possibly-torn
+    /// tail.
+    #[test]
+    fn poison_gate_blocks_healthy_appends() {
+        let path = tmp("poison-gate");
+        let ck = Checkpoint::<f64>::create(&path, spec()).unwrap();
+        ck.record(0, 1, &SampleOutcome::Ok(0.5));
+        let before = std::fs::read_to_string(&path).unwrap();
+        ck.write_failed.poison(&POISON_ORDERINGS);
+        ck.record(1, 2, &SampleOutcome::Ok(1.5)); // file handle is fine
+        let after = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(before, after, "append landed after poison");
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// A SIGINT (or any kill) inside `resume`'s compaction window must
+    /// leave a loadable checkpoint in *every* intermediate state: the
+    /// compaction writes a temporary file first and atomically renames
+    /// it over the original, so either the old file or the new file is
+    /// intact — never a torn mix.
+    #[test]
+    fn kill_during_compaction_leaves_old_or_new_intact() {
+        let path = tmp("compaction-kill");
+        let tmp_path = path.with_extension("ckpt.tmp");
+        let ck = Checkpoint::<f64>::create(&path, spec()).unwrap();
+        ck.record(0, 1, &SampleOutcome::Ok(0.5));
+        ck.record(1, 2, &SampleOutcome::Ok(1.5));
+        drop(ck);
+        let original = std::fs::read(&path).unwrap();
+        let compacted = {
+            // One clean resume to learn what the compacted file holds.
+            drop(Checkpoint::<f64>::resume(&path, spec()).unwrap());
+            std::fs::read(&path).unwrap()
+        };
+
+        // State A: killed before the rename — the original is intact
+        // and a stale (even torn) tmp file is lying around.
+        for torn_tmp in [&b"{\"kind\":\"checkp"[..], &compacted[..]] {
+            std::fs::write(&path, &original).unwrap();
+            std::fs::write(&tmp_path, torn_tmp).unwrap();
+            let resumed = Checkpoint::<f64>::resume(&path, spec()).unwrap();
+            assert_eq!(resumed.resumed_count(), 2, "stale tmp corrupted resume");
+            assert_eq!(resumed.prior()[&0], SampleOutcome::Ok(0.5));
+            assert_eq!(resumed.prior()[&1], SampleOutcome::Ok(1.5));
+        }
+
+        // State B: killed after the rename — the new file is the
+        // checkpoint; no tmp remains.
+        std::fs::write(&path, &compacted).unwrap();
+        std::fs::remove_file(&tmp_path).ok();
+        let resumed = Checkpoint::<f64>::resume(&path, spec()).unwrap();
+        assert_eq!(resumed.resumed_count(), 2);
+
+        // In both states, a half-written *record* tail (the only kind a
+        // single-line append can tear) still loads as a prefix.
+        let mut torn = original.clone();
+        torn.truncate(original.len() - 7);
+        std::fs::write(&path, &torn).unwrap();
+        let resumed = Checkpoint::<f64>::resume(&path, spec()).unwrap();
+        assert_eq!(
+            resumed.resumed_count(),
+            1,
+            "torn tail should drop last record"
+        );
+        assert_eq!(resumed.prior()[&0], SampleOutcome::Ok(0.5));
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&tmp_path).ok();
     }
 
     #[test]

@@ -60,6 +60,9 @@ impl Watchdog {
             let stop = Arc::clone(&stop);
             let started = Instant::now();
             std::thread::spawn(move || {
+                // ordering: Relaxed — `stop` is a monotonic shutdown
+                // flag; the `join()` in `Drop` provides the actual
+                // happens-before edge for everything the thread did.
                 while !stop.load(Ordering::Relaxed) {
                     if let Some(d) = deadline {
                         if started.elapsed() >= d {
@@ -143,6 +146,8 @@ impl Drop for AttemptGuard<'_> {
 
 impl Drop for Watchdog {
     fn drop(&mut self) {
+        // ordering: Relaxed — paired with the watchdog loop's Relaxed
+        // poll; the `join()` below synchronizes everything else.
         self.stop.store(true, Ordering::Relaxed);
         if let Some(t) = self.thread.take() {
             let _ = t.join();

@@ -82,7 +82,10 @@ mod variation;
 pub use bridge::critical_resistance;
 pub use calib::{calibrate_pulse, calibrate_t0, DfCalibration, PulseCalibration};
 pub use campaign::{Campaign, CampaignReport, SiteOutcome, SitePlanRecord};
-pub use checkpoint::{Checkpoint, CheckpointSpec, CheckpointValue, CHECKPOINT_VERSION};
+pub use checkpoint::{
+    Checkpoint, CheckpointSpec, CheckpointValue, PoisonFlag, PoisonOrderings, CHECKPOINT_VERSION,
+    POISON_ORDERINGS,
+};
 pub use compact::{compact_patterns, TestSession};
 pub use df::{df_detects, FfTiming};
 pub use durable::{Completeness, DurableRun};

@@ -5,6 +5,8 @@
 //! Exit codes: 0 valid, 1 invalid or unreadable, 2 usage error. Used by
 //! CI to hold `pulsar sim --metrics` output to the checked-in schema.
 
+#![warn(clippy::unwrap_used)]
+
 use std::process::ExitCode;
 
 fn run() -> Result<(), (String, u8)> {

@@ -14,8 +14,21 @@
 //! child observes its parent's cancellation automatically; cancelling a
 //! child never touches the parent, so one stuck sample can be cut loose
 //! without ending the run.
+//!
+//! ## Verified protocol core
+//!
+//! The atomic heart of the token — first-reason-wins trip, monotonic
+//! observation, child/parent propagation — lives in [`CancelCore`],
+//! generic over an [`AtomicFamily`] and reading its orderings from
+//! [`CANCEL_ORDERINGS`]. `CancelToken` instantiates the core with real
+//! `std` atomics; the `pulsar-check` interleaving explorer instantiates
+//! the *same* core with modeled atomics, so the schedule exploration
+//! covers the shipped code and the shipped orderings (DESIGN.md §5.8,
+//! protocol model P2).
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use crate::sync::{AtomicFamily, AtomicU8Like, StdAtomics};
+use std::fmt;
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Why a token was tripped.
@@ -54,15 +67,112 @@ fn decode(v: u8) -> Option<CancelReason> {
     }
 }
 
-#[derive(Debug)]
-struct Inner {
-    flag: AtomicU8,
-    parent: Option<Arc<Inner>>,
+fn encode(reason: CancelReason) -> u8 {
+    match reason {
+        CancelReason::User => USER,
+        CancelReason::Deadline => DEADLINE,
+        CancelReason::Timeout => TIMEOUT,
+    }
+}
+
+/// The memory orderings the cancellation protocol ships with. One value,
+/// shared by production ([`CancelToken`]) and the `pulsar-check` model,
+/// so the explorer checks exactly what runs.
+#[derive(Debug, Clone, Copy)]
+pub struct CancelOrderings {
+    /// Success ordering of the first-reason-wins trip CAS.
+    pub trip_success: Ordering,
+    /// Failure ordering of the trip CAS (a later trip that lost).
+    pub trip_failure: Ordering,
+    /// Ordering of every observer load.
+    pub read: Ordering,
+}
+
+/// Shipped orderings: everything `Relaxed`.
+///
+/// The token is a single atomic location carrying the whole protocol
+/// state, so plain coherence already guarantees what callers rely on:
+/// the trip CAS is atomic (exactly one reason ever lands) and per-reader
+/// observations are monotone (`None` can follow `None`, but once a
+/// reader sees `Some(r)` it sees `Some(r)` forever). No payload is
+/// published *through* the flag, so no Acquire/Release edge is needed.
+/// `pulsar-check` explores this protocol bounded-exhaustively and its
+/// mutation self-test proves the explorer would catch a weakened
+/// (load-then-store) trip.
+pub const CANCEL_ORDERINGS: CancelOrderings = CancelOrderings {
+    trip_success: Ordering::Relaxed, // ordering: single-location CAS; coherence suffices
+    trip_failure: Ordering::Relaxed, // ordering: losing CAS only learns the winner
+    read: Ordering::Relaxed,         // ordering: no data published through the flag
+};
+
+/// The cancellation protocol core: a tri-state flag with first-reason-wins
+/// tripping and an optional parent link, generic over the atomics family.
+///
+/// Production code uses it through [`CancelToken`]; `pulsar-check` drives
+/// it directly with modeled atomics.
+pub struct CancelCore<F: AtomicFamily> {
+    flag: F::U8,
+    parent: Option<Arc<CancelCore<F>>>,
+}
+
+impl<F: AtomicFamily> fmt::Debug for CancelCore<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelCore")
+            .field("flag", &self.flag)
+            .field("has_parent", &self.parent.is_some())
+            .finish()
+    }
+}
+
+impl<F: AtomicFamily> Default for CancelCore<F> {
+    fn default() -> Self {
+        CancelCore::new()
+    }
+}
+
+impl<F: AtomicFamily> CancelCore<F> {
+    /// A live, unparented core.
+    pub fn new() -> Self {
+        CancelCore {
+            flag: F::U8::new(LIVE),
+            parent: None,
+        }
+    }
+
+    /// A child core: cancelled when either it or `parent` is.
+    pub fn child_of(parent: &Arc<CancelCore<F>>) -> Self {
+        CancelCore {
+            flag: F::U8::new(LIVE),
+            parent: Some(Arc::clone(parent)),
+        }
+    }
+
+    /// Trips the core. The first reason to land sticks; later calls are
+    /// no-ops, so concurrent SIGINT/deadline/timeout races stay coherent.
+    pub fn cancel(&self, reason: CancelReason, ord: &CancelOrderings) {
+        let _ =
+            self.flag
+                .compare_exchange(LIVE, encode(reason), ord.trip_success, ord.trip_failure);
+    }
+
+    /// The cancellation reason, if tripped (directly or via the parent).
+    /// A directly-tripped child reports its *own* reason even when the
+    /// parent is also tripped — it was cut loose first.
+    #[inline]
+    pub fn cancelled(&self, ord: &CancelOrderings) -> Option<CancelReason> {
+        if let Some(r) = decode(self.flag.load(ord.read)) {
+            return Some(r);
+        }
+        match &self.parent {
+            Some(p) => decode(p.flag.load(ord.read)),
+            None => None,
+        }
+    }
 }
 
 /// Shared cooperative-cancellation flag. Clones observe the same state.
 #[derive(Debug, Clone)]
-pub struct CancelToken(Arc<Inner>);
+pub struct CancelToken(Arc<CancelCore<StdAtomics>>);
 
 impl Default for CancelToken {
     fn default() -> Self {
@@ -73,33 +183,19 @@ impl Default for CancelToken {
 impl CancelToken {
     /// A live, unparented token.
     pub fn new() -> CancelToken {
-        CancelToken(Arc::new(Inner {
-            flag: AtomicU8::new(LIVE),
-            parent: None,
-        }))
+        CancelToken(Arc::new(CancelCore::new()))
     }
 
     /// A child token: cancelled when either it or its parent is. Used for
     /// per-sample timeouts under a run-level token.
     pub fn child(&self) -> CancelToken {
-        CancelToken(Arc::new(Inner {
-            flag: AtomicU8::new(LIVE),
-            parent: Some(self.0.clone()),
-        }))
+        CancelToken(Arc::new(CancelCore::child_of(&self.0)))
     }
 
     /// Trips the token. The first reason to land sticks; later calls are
     /// no-ops, so concurrent SIGINT/deadline/timeout races stay coherent.
     pub fn cancel(&self, reason: CancelReason) {
-        let v = match reason {
-            CancelReason::User => USER,
-            CancelReason::Deadline => DEADLINE,
-            CancelReason::Timeout => TIMEOUT,
-        };
-        let _ = self
-            .0
-            .flag
-            .compare_exchange(LIVE, v, Ordering::Relaxed, Ordering::Relaxed);
+        self.0.cancel(reason, &CANCEL_ORDERINGS);
     }
 
     /// The cancellation reason, if tripped (directly or via the parent).
@@ -107,13 +203,7 @@ impl CancelToken {
     /// to call from the transient step loop.
     #[inline]
     pub fn cancelled(&self) -> Option<CancelReason> {
-        if let Some(r) = decode(self.0.flag.load(Ordering::Relaxed)) {
-            return Some(r);
-        }
-        match &self.0.parent {
-            Some(p) => decode(p.flag.load(Ordering::Relaxed)),
-            None => None,
-        }
+        self.0.cancelled(&CANCEL_ORDERINGS)
     }
 
     /// True when the token (or its parent) has been tripped.

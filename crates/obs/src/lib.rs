@@ -34,8 +34,9 @@ pub mod json;
 pub mod manifest;
 pub mod metrics;
 pub mod recorder;
+pub mod sync;
 
-pub use cancel::{CancelReason, CancelToken};
+pub use cancel::{CancelCore, CancelOrderings, CancelReason, CancelToken, CANCEL_ORDERINGS};
 pub use journal::{render_journal, Event};
 pub use manifest::{config_digest, RunManifest, SCHEMA_VERSION};
 pub use metrics::{Counter, HistId, MetricsSnapshot, Phase, HIST_BUCKETS};

@@ -5,7 +5,73 @@
 //! [`MetricsSnapshot`] is independent of how work was split across threads
 //! (addition is commutative and every increment is a plain `+=`).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use shard_proto::{add as proto_add, fold_slice, load_slice, SHARD_ORDERINGS};
+use std::sync::atomic::AtomicU64;
+
+/// The shard merge protocol, shared with the `pulsar-check` model checker.
+///
+/// A `Shard` owner bumps relaxed counters; retiring folds a shard into
+/// an accumulator under the registry mutex; snapshots sum shards in
+/// arbitrary order. These free functions — generic over the atomics
+/// family — *are* that protocol: production calls them with real
+/// `std` atomics (below), `pulsar-check` calls them with modeled atomics
+/// and explores the interleavings bounded-exhaustively (DESIGN.md §5.8,
+/// protocol model P1). The orderings live in one shared
+/// [`SHARD_ORDERINGS`] value so the explorer checks what ships.
+pub mod shard_proto {
+    use crate::sync::AtomicU64Like;
+    use std::sync::atomic::Ordering;
+
+    /// The memory orderings the shard protocol ships with.
+    #[derive(Debug, Clone, Copy)]
+    pub struct ShardOrderings {
+        /// Ordering of an owner's counter increment.
+        pub add: Ordering,
+        /// Ordering of the source-side load when folding a retired shard.
+        pub merge_read: Ordering,
+        /// Ordering of the destination-side add when folding.
+        pub merge_add: Ordering,
+        /// Ordering of a snapshot's read of a live shard.
+        pub snapshot_read: Ordering,
+    }
+
+    /// Shipped orderings: everything `Relaxed`.
+    ///
+    /// Cross-thread visibility of counts is provided by the registry
+    /// mutex (retire and snapshot both run under it), so the cells
+    /// themselves need only atomicity: increments are RMWs that can
+    /// never lose updates, and sums are commutative, which makes merged
+    /// snapshots independent of thread count. The `pulsar-check`
+    /// mutation self-test proves the explorer catches the protocol
+    /// breaking when that lock synchronization is weakened.
+    pub const SHARD_ORDERINGS: ShardOrderings = ShardOrderings {
+        add: Ordering::Relaxed, // ordering: atomic RMW; mutex publishes, sums commute
+        merge_read: Ordering::Relaxed, // ordering: runs under the registry mutex
+        merge_add: Ordering::Relaxed, // ordering: runs under the registry mutex
+        snapshot_read: Ordering::Relaxed, // ordering: runs under the registry mutex
+    };
+
+    /// One owner-side counter increment.
+    #[inline]
+    pub fn add<A: AtomicU64Like>(cell: &A, n: u64, ord: &ShardOrderings) {
+        cell.fetch_add(n, ord.add);
+    }
+
+    /// Folds `src` into `dst` cell-by-cell (retiring a shard). Totals are
+    /// preserved exactly because both sides are atomic adds.
+    pub fn fold_slice<A: AtomicU64Like>(src: &[A], dst: &[A], ord: &ShardOrderings) {
+        for (s, d) in src.iter().zip(dst) {
+            d.fetch_add(s.load(ord.merge_read), ord.merge_add);
+        }
+    }
+
+    /// Adds `src`'s current values into a plain snapshot buffer.
+    pub fn load_slice<A: AtomicU64Like>(src: &[A], dst: &mut [u64], ord: &ShardOrderings) {
+        for (s, d) in src.iter().zip(dst) {
+            *d += s.load(ord.snapshot_read);
+        }
+    }
+}
 
 /// Number of log2 buckets per histogram. Bucket `b > 0` covers values in
 /// `[2^(b-1), 2^b)`; bucket `0` covers `{0, 1}` (values of 0 and 1 both
@@ -248,50 +314,37 @@ impl Shard {
     }
 
     pub(crate) fn add(&self, c: Counter, n: u64) {
-        self.counters[c.index()].fetch_add(n, Ordering::Relaxed);
+        proto_add(&self.counters[c.index()], n, &SHARD_ORDERINGS);
     }
 
     pub(crate) fn record(&self, h: HistId, value: u64) {
         let slot = h.index() * HIST_BUCKETS + bucket_of(value);
-        self.hist[slot].fetch_add(1, Ordering::Relaxed);
+        proto_add(&self.hist[slot], 1, &SHARD_ORDERINGS);
     }
 
     pub(crate) fn span_done(&self, p: Phase, ns: u64) {
-        self.span_ns[p.index()].fetch_add(ns, Ordering::Relaxed);
-        self.span_count[p.index()].fetch_add(1, Ordering::Relaxed);
+        proto_add(&self.span_ns[p.index()], ns, &SHARD_ORDERINGS);
+        proto_add(&self.span_count[p.index()], 1, &SHARD_ORDERINGS);
         self.record(HistId::PhaseNs(p), ns);
     }
 
     /// Adds this shard's totals into `dst` (used when retiring a shard).
+    /// Runs under the registry mutex, which provides the cross-thread
+    /// visibility edge (see [`shard_proto`]).
     pub(crate) fn fold_into(&self, dst: &Shard) {
-        for (s, d) in self.counters.iter().zip(&dst.counters) {
-            d.fetch_add(s.load(Ordering::Relaxed), Ordering::Relaxed);
-        }
-        for (s, d) in self.hist.iter().zip(&dst.hist) {
-            d.fetch_add(s.load(Ordering::Relaxed), Ordering::Relaxed);
-        }
-        for (s, d) in self.span_ns.iter().zip(&dst.span_ns) {
-            d.fetch_add(s.load(Ordering::Relaxed), Ordering::Relaxed);
-        }
-        for (s, d) in self.span_count.iter().zip(&dst.span_count) {
-            d.fetch_add(s.load(Ordering::Relaxed), Ordering::Relaxed);
-        }
+        fold_slice(&self.counters, &dst.counters, &SHARD_ORDERINGS);
+        fold_slice(&self.hist, &dst.hist, &SHARD_ORDERINGS);
+        fold_slice(&self.span_ns, &dst.span_ns, &SHARD_ORDERINGS);
+        fold_slice(&self.span_count, &dst.span_count, &SHARD_ORDERINGS);
     }
 
-    /// Adds this shard's totals into a snapshot.
+    /// Adds this shard's totals into a snapshot. Runs under the registry
+    /// mutex (see [`shard_proto`]).
     pub(crate) fn load_into(&self, snap: &mut MetricsSnapshot) {
-        for (s, d) in self.counters.iter().zip(&mut snap.counters) {
-            *d += s.load(Ordering::Relaxed);
-        }
-        for (s, d) in self.hist.iter().zip(&mut snap.hist) {
-            *d += s.load(Ordering::Relaxed);
-        }
-        for (s, d) in self.span_ns.iter().zip(&mut snap.span_ns) {
-            *d += s.load(Ordering::Relaxed);
-        }
-        for (s, d) in self.span_count.iter().zip(&mut snap.span_count) {
-            *d += s.load(Ordering::Relaxed);
-        }
+        load_slice(&self.counters, &mut snap.counters, &SHARD_ORDERINGS);
+        load_slice(&self.hist, &mut snap.hist, &SHARD_ORDERINGS);
+        load_slice(&self.span_ns, &mut snap.span_ns, &SHARD_ORDERINGS);
+        load_slice(&self.span_count, &mut snap.span_count, &SHARD_ORDERINGS);
     }
 }
 

@@ -180,11 +180,17 @@ impl Recorder {
     /// A merged snapshot over the whole registry: the folded accumulator
     /// plus every live shard. Summation order cannot matter, so the result
     /// is independent of thread count and fork order.
+    ///
+    /// The folded accumulator is read *under* the `live` lock: a retire
+    /// removes a shard from `live` and folds it as one critical section,
+    /// so reading `folded` outside the lock could observe the removal but
+    /// miss the fold and undercount. The `pulsar-check` recorder model
+    /// (`snapshot_outside_lock` mutation) proves the interleaving exists.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let mut snap = MetricsSnapshot::default();
         if let Some(inner) = &self.0 {
-            inner.registry.folded.load_into(&mut snap);
             if let Ok(live) = inner.registry.live.lock() {
+                inner.registry.folded.load_into(&mut snap);
                 for shard in live.iter() {
                     shard.load_into(&mut snap);
                 }

@@ -1,0 +1,200 @@
+//! Pluggable atomics: the [`AtomicFamily`] abstraction behind every
+//! lock-free protocol core in this workspace.
+//!
+//! The Monte Carlo runtime carries three small interleaving-sensitive
+//! protocols — cancellation ([`crate::cancel`]), metrics shard merging
+//! ([`crate::metrics::shard_proto`]), and checkpoint poisoning
+//! (`pulsar_core::checkpoint`). Each is written once, generic over an
+//! [`AtomicFamily`], with its memory-ordering constants in a shared
+//! `*_ORDERINGS` value next to the core. Production wrappers instantiate
+//! the core with [`StdAtomics`] (plain `std::sync::atomic` types, zero
+//! overhead); the `pulsar-check` model checker instantiates the *very
+//! same core* with its modeled atomics and explores interleavings under
+//! a weak-memory semantics. The point of the indirection is that the
+//! explorer verifies the shipped code path and the shipped orderings —
+//! not a hand-copied model that can silently drift.
+//!
+//! The trait surface deliberately mirrors `std::sync::atomic` signatures
+//! (explicit [`Ordering`] on every operation) so the generic cores read
+//! exactly like the direct-atomics code they replaced.
+
+use std::fmt::Debug;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
+
+/// An `AtomicU8`-shaped type: the cancellation flag's carrier.
+pub trait AtomicU8Like: Send + Sync + Debug {
+    /// A fresh atomic holding `v`.
+    fn new(v: u8) -> Self;
+    /// Atomic load with the given ordering.
+    fn load(&self, order: Ordering) -> u8;
+    /// Atomic store with the given ordering.
+    fn store(&self, v: u8, order: Ordering);
+    /// Compare-and-exchange: `Ok(previous)` when the swap happened,
+    /// `Err(actual)` when `current` did not match.
+    fn compare_exchange(
+        &self,
+        current: u8,
+        new: u8,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u8, u8>;
+}
+
+/// An `AtomicU64`-shaped type: the metrics shards' counter cell.
+pub trait AtomicU64Like: Send + Sync + Debug {
+    /// A fresh atomic holding `v`.
+    fn new(v: u64) -> Self;
+    /// Atomic load with the given ordering.
+    fn load(&self, order: Ordering) -> u64;
+    /// Atomic store with the given ordering.
+    fn store(&self, v: u64, order: Ordering);
+    /// Atomic wrapping add; returns the previous value.
+    fn fetch_add(&self, n: u64, order: Ordering) -> u64;
+}
+
+/// An `AtomicBool`-shaped type: poison / stop flags.
+pub trait AtomicBoolLike: Send + Sync + Debug {
+    /// A fresh atomic holding `v`.
+    fn new(v: bool) -> Self;
+    /// Atomic load with the given ordering.
+    fn load(&self, order: Ordering) -> bool;
+    /// Atomic store with the given ordering.
+    fn store(&self, v: bool, order: Ordering);
+    /// Compare-and-exchange: `Ok(previous)` when the swap happened,
+    /// `Err(actual)` when `current` did not match.
+    fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool>;
+}
+
+/// A family of atomic types a protocol core can be instantiated over.
+pub trait AtomicFamily: 'static {
+    /// The family's `AtomicU8`.
+    type U8: AtomicU8Like;
+    /// The family's `AtomicU64`.
+    type U64: AtomicU64Like;
+    /// The family's `AtomicBool`.
+    type Bool: AtomicBoolLike;
+}
+
+/// The production family: real `std::sync::atomic` types. Every trait
+/// method is an `#[inline]` passthrough, so a core instantiated with
+/// `StdAtomics` compiles to the same code as direct atomic calls.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StdAtomics;
+
+impl AtomicU8Like for AtomicU8 {
+    #[inline]
+    fn new(v: u8) -> Self {
+        AtomicU8::new(v)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> u8 {
+        AtomicU8::load(self, order)
+    }
+    #[inline]
+    fn store(&self, v: u8, order: Ordering) {
+        AtomicU8::store(self, v, order);
+    }
+    #[inline]
+    fn compare_exchange(
+        &self,
+        current: u8,
+        new: u8,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<u8, u8> {
+        AtomicU8::compare_exchange(self, current, new, success, failure)
+    }
+}
+
+impl AtomicU64Like for AtomicU64 {
+    #[inline]
+    fn new(v: u64) -> Self {
+        AtomicU64::new(v)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> u64 {
+        AtomicU64::load(self, order)
+    }
+    #[inline]
+    fn store(&self, v: u64, order: Ordering) {
+        AtomicU64::store(self, v, order);
+    }
+    #[inline]
+    fn fetch_add(&self, n: u64, order: Ordering) -> u64 {
+        AtomicU64::fetch_add(self, n, order)
+    }
+}
+
+impl AtomicBoolLike for AtomicBool {
+    #[inline]
+    fn new(v: bool) -> Self {
+        AtomicBool::new(v)
+    }
+    #[inline]
+    fn load(&self, order: Ordering) -> bool {
+        AtomicBool::load(self, order)
+    }
+    #[inline]
+    fn store(&self, v: bool, order: Ordering) {
+        AtomicBool::store(self, v, order);
+    }
+    #[inline]
+    fn compare_exchange(
+        &self,
+        current: bool,
+        new: bool,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<bool, bool> {
+        AtomicBool::compare_exchange(self, current, new, success, failure)
+    }
+}
+
+impl AtomicFamily for StdAtomics {
+    type U8 = AtomicU8;
+    type U64 = AtomicU64;
+    type Bool = AtomicBool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family_smoke<F: AtomicFamily>() {
+        let b = F::U8::new(1);
+        assert_eq!(b.load(Ordering::Relaxed), 1);
+        b.store(3, Ordering::Relaxed);
+        assert_eq!(
+            b.compare_exchange(3, 4, Ordering::Relaxed, Ordering::Relaxed),
+            Ok(3)
+        );
+        assert_eq!(
+            b.compare_exchange(3, 5, Ordering::Relaxed, Ordering::Relaxed),
+            Err(4)
+        );
+
+        let c = F::U64::new(10);
+        assert_eq!(c.fetch_add(5, Ordering::Relaxed), 10);
+        assert_eq!(c.load(Ordering::Relaxed), 15);
+
+        let f = F::Bool::new(false);
+        assert_eq!(
+            f.compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed),
+            Ok(false)
+        );
+        assert!(f.load(Ordering::Relaxed));
+        f.store(false, Ordering::Release);
+        assert!(!f.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn std_family_round_trips() {
+        family_smoke::<StdAtomics>();
+    }
+}

@@ -1,0 +1,12 @@
+// lint-src-corpus-path: crates/check/src/fixture.rs
+//! SRC0001 fixture: the model checker's own sources are allowlisted,
+//! so bare Relaxed/SeqCst produce no findings here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static C: AtomicU64 = AtomicU64::new(0);
+
+fn weaken_for_mutation() {
+    C.store(1, Ordering::Relaxed);
+    let _ = C.load(Ordering::SeqCst);
+}

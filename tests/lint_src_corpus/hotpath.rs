@@ -1,0 +1,82 @@
+// lint-src-corpus-path: crates/analog/src/waveform.rs
+//! SRC0002–SRC0004 fixture: hot-path module rules.
+
+use std::time::Instant;
+
+fn unwrap_unjustified(v: &[f64]) -> f64 {
+    *v.last().unwrap()
+}
+
+fn expect_unjustified(v: &[f64]) -> f64 {
+    *v.first().expect("non-empty")
+}
+
+fn expect_justified(v: &[f64]) -> f64 {
+    // hot-path: non-empty by the caller's contract.
+    *v.last().expect("non-empty")
+}
+
+fn clock_in_step() -> Instant {
+    Instant::now()
+}
+
+fn alloc_in_loop(n: usize) -> Vec<Vec<f64>> {
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(vec![0.0; 8]);
+    }
+    out
+}
+
+fn alloc_in_while(mut n: usize) {
+    while n > 0 {
+        let _s = format!("lane {n}");
+        n -= 1;
+    }
+}
+
+fn alloc_in_loop_justified(n: usize) -> Vec<Vec<f64>> {
+    let mut out = Vec::new();
+    for _ in 0..n {
+        // hot-path: per-lane setup, runs once per batch.
+        out.push(Vec::with_capacity(8));
+    }
+    out
+}
+
+fn nonallocating_constructor_in_loop(n: usize) {
+    for _ in 0..n {
+        let v: Vec<f64> = Vec::new();
+        let _ = v;
+    }
+}
+
+fn alloc_outside_loop(n: usize) -> Vec<f64> {
+    let out = Vec::with_capacity(n);
+    out
+}
+
+struct Wrapper;
+
+trait Sample {
+    fn sample(&self) -> f64;
+}
+
+// `impl ... for` must not be mistaken for a loop header.
+impl Sample for Wrapper {
+    fn sample(&self) -> f64 {
+        let xs = [1.0f64; 4].to_vec();
+        xs[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_allocate_freely() {
+        for i in 0..4 {
+            let _v = vec![i; 16];
+            let _ = format!("{i}");
+        }
+    }
+}

@@ -1,0 +1,59 @@
+// lint-src-corpus-path: crates/foo/src/ordering.rs
+//! SRC0001 fixture: Relaxed/SeqCst justification rules.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static C: AtomicU64 = AtomicU64::new(0);
+
+fn unjustified_relaxed() {
+    C.fetch_add(1, Ordering::Relaxed);
+}
+
+fn unjustified_seqcst() -> u64 {
+    C.load(Ordering::SeqCst)
+}
+
+fn justified_same_line() {
+    C.fetch_add(1, Ordering::Relaxed); // ordering: pure event counter
+}
+
+fn justified_line_above() {
+    // ordering: monotonic flag, no publication through it.
+    C.fetch_add(1, Ordering::Relaxed);
+}
+
+fn justified_block_above() {
+    // The counter is read only on the writing thread, so there is
+    // nothing to publish.
+    // ordering: Relaxed suffices — single-thread observer.
+    // (See DESIGN.md §5.8.)
+    C.fetch_add(1, Ordering::Relaxed);
+}
+
+fn comment_too_far_away() {
+    // ordering: this comment is NOT adjacent to the site.
+    let x = 1;
+    C.fetch_add(x, Ordering::Relaxed);
+}
+
+fn mentions_in_string() -> &'static str {
+    "Ordering::Relaxed inside a string literal is not a finding"
+}
+
+/* Ordering::SeqCst inside a block comment is not a finding. */
+
+fn acquire_release_are_fine() {
+    C.store(1, Ordering::Release);
+    let _ = C.load(Ordering::Acquire);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_code_is_exempt() {
+        C.store(7, Ordering::SeqCst);
+        assert_eq!(C.load(Ordering::Relaxed), 7);
+    }
+}

@@ -1,0 +1,41 @@
+// lint-src-corpus-path: crates/foo/src/spawn.rs
+//! SRC0005 fixture: detached `thread::spawn` detection.
+
+use std::thread;
+
+fn detached() {
+    thread::spawn(|| {});
+}
+
+fn detached_multiline() {
+    std::thread::spawn(move || {
+        let x = 1;
+        let _ = x;
+    });
+}
+
+fn detached_justified() {
+    // spawn: dies with the process; polls a global flag, nothing to join.
+    thread::spawn(|| {});
+}
+
+fn joined() {
+    let h = thread::spawn(|| {});
+    let _ = h.join();
+}
+
+fn retained(handles: &mut Vec<thread::JoinHandle<()>>) {
+    handles.push(thread::spawn(|| {}));
+}
+
+fn returned() -> thread::JoinHandle<()> {
+    thread::spawn(|| {})
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_detach() {
+        std::thread::spawn(|| {});
+    }
+}
