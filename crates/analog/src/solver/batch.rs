@@ -169,6 +169,18 @@ impl LaneCtl {
     }
 }
 
+/// Per-lane solution and bookkeeping buffers recycled across batch
+/// calls: the DC seed / Newton double-buffers, companion states, and
+/// breakpoint list. The trace buffers (`times`/`voltages`) move into
+/// the returned [`TranResult`] and cannot be pooled.
+#[derive(Debug, Default)]
+struct LaneScratch {
+    x: Vec<f64>,
+    xn: Vec<f64>,
+    caps: Vec<CapState>,
+    breakpoints: Vec<f64>,
+}
+
 /// Structure-of-arrays scratch for batched transient runs.
 ///
 /// Owns the flat per-`(element, lane)` hoisted-value buffers, the K
@@ -201,6 +213,9 @@ pub struct BatchWorkspace {
     /// across lanes (the prefix count `assemble_fast` tracks as
     /// `cap_idx`).
     cap_slot: Vec<usize>,
+    /// Retired per-lane buffers, recycled by the next call so a
+    /// steady-state sweep allocates no per-lane scratch.
+    lane_pool: Vec<LaneScratch>,
 }
 
 impl BatchWorkspace {
@@ -318,13 +333,17 @@ impl BatchWorkspace {
             } else {
                 0
             };
+            // Recycled buffers: every consumer below clears or
+            // re-sizes-with-fill before reading, so stale contents from a
+            // previous batch cannot leak into this lane.
+            let scratch = self.lane_pool.pop().unwrap_or_default();
             let mut c = LaneCtl {
                 state: LaneState::Active,
                 stop: lane.cfg.stop,
-                x: Vec::new(),
-                xn: Vec::new(),
-                caps: Vec::new(),
-                breakpoints: Vec::new(),
+                x: scratch.x,
+                xn: scratch.xn,
+                caps: scratch.caps,
+                breakpoints: scratch.breakpoints,
                 next_bp: 0,
                 t: 0.0,
                 after_discontinuity: true,
@@ -367,6 +386,7 @@ impl BatchWorkspace {
                 ctl.push(c);
                 continue;
             }
+            c.xn.clear();
             c.xn.resize(nu, 0.0);
             c.caps.clear();
             c.caps
@@ -614,20 +634,29 @@ impl BatchWorkspace {
         }
 
         ctl.into_iter()
-            .map(|c| match c.state {
-                LaneState::Finished => {
-                    let stats = TranStats {
-                        accepted_points: c.times.len(),
-                        ..TranStats::default()
-                    };
-                    BatchOutcome::Done(TranResult::from_parts(
-                        c.times,
-                        c.voltages,
-                        captured.clone(),
-                        stats,
-                    ))
+            .map(|mut c| {
+                // Retire the lane's pooled buffers for the next call.
+                self.lane_pool.push(LaneScratch {
+                    x: core::mem::take(&mut c.x),
+                    xn: core::mem::take(&mut c.xn),
+                    caps: core::mem::take(&mut c.caps),
+                    breakpoints: core::mem::take(&mut c.breakpoints),
+                });
+                match c.state {
+                    LaneState::Finished => {
+                        let stats = TranStats {
+                            accepted_points: c.times.len(),
+                            ..TranStats::default()
+                        };
+                        BatchOutcome::Done(TranResult::from_parts(
+                            core::mem::take(&mut c.times),
+                            core::mem::take(&mut c.voltages),
+                            captured.clone(),
+                            stats,
+                        ))
+                    }
+                    _ => BatchOutcome::Ejected,
                 }
-                _ => BatchOutcome::Ejected,
             })
             .collect()
     }

@@ -35,6 +35,7 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/analog/src/solver/mna.rs",
     "crates/analog/src/solver/batch.rs",
     "crates/analog/src/waveform.rs",
+    "crates/mc/src/adaptive.rs",
 ];
 
 /// Name of the allowlist file at the repository root.

@@ -6,7 +6,7 @@
 //! # pulsar-cli
 //!
 //! Command-line front end for the pulsar toolchain. One binary,
-//! five subcommands:
+//! six subcommands:
 //!
 //! ```text
 //! pulsar sim <deck.sp> [--nodes a,b] [--vcd out.vcd] [--csv out.csv] [--no-lint]
@@ -14,26 +14,32 @@
 //! pulsar testgen <netlist.bench> [--site NAME] [--max-paths N]
 //! pulsar campaign <netlist.bench> [--stride N]
 //! pulsar faultsim <netlist.bench> [--tau SECONDS]
+//! pulsar study <df|pulse> [--samples N] [--adaptive] [--precision EPS]
 //! ```
 //!
 //! `sim` drives the SPICE-flavoured deck parser and transient engine and
 //! exports waveforms; `lint` runs the static verification pass from
 //! `pulsar-lint` without solving anything; the netlist commands parse
 //! ISCAS-85 text and run the pulse-test generation / campaign /
-//! fault-simulation flows. The command implementations are a library
-//! (this crate) so they are testable without spawning processes;
-//! `main.rs` is a thin shim.
+//! fault-simulation flows; `study` runs the paper's Monte Carlo coverage
+//! experiments on the built-in 7-gate path, with `--adaptive` switching
+//! the fixed per-point budget to the early-stopping engine. The command
+//! implementations are a library (this crate) so they are testable
+//! without spawning processes; `main.rs` is a thin shim.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::time::{Duration, Instant, SystemTime};
 
 use pulsar_analog::{
-    parse_deck, to_csv, to_vcd, NodeId, Recorder, SolverWorkspace, TraceCapture, TranConfig,
+    parse_deck, to_csv, to_vcd, NodeId, Polarity, Recorder, SolverWorkspace, TraceCapture,
+    TranConfig,
 };
+use pulsar_cells::{PathSpec, Tech};
 use pulsar_core::{
-    all_branch_faults, compact_patterns, fault_simulate, plan_for_site, Campaign, PulsePattern,
-    ResilienceConfig, SiteOutcome, TestgenConfig,
+    all_branch_faults, compact_patterns, fault_simulate, plan_for_site, AdaptivePolicy,
+    AdaptiveReport, Campaign, CoverageCurve, DefectKind, DfStudy, McConfig, PathUnderTest,
+    PulsePattern, PulseStudy, ResilienceConfig, SiteOutcome, TestgenConfig,
 };
 use pulsar_logic::parse_iscas85;
 use pulsar_obs::{
@@ -161,10 +167,19 @@ USAGE:
                   [--checkpoint FILE] [--resume FILE] [--deadline SECONDS]
                   [--contain-panics]
   pulsar faultsim <netlist.bench> [--tau SECONDS]
+  pulsar study <df|pulse> [--samples N] [--seed S] [--r LIST] [--factors LIST]
+               [--adaptive] [--precision EPS] [--max-samples N]
+               [--trace-out FILE] [--metrics FILE]
 
   --trace-out FILE   write the structured JSONL event journal of the run
   --metrics FILE     write the run manifest (config digest, wall clock,
                      metric snapshot) as JSON
+  --adaptive         early-stopping Monte Carlo: stop each grid point once
+                     its coverage CI half-width meets --precision, then
+                     refine crossover points with the saved budget
+  --precision EPS    requested CI half-width for --adaptive (default 0.15)
+  --max-samples N    per-point first-pass budget for --adaptive
+                     (default: --samples)
   --checkpoint FILE  append per-site completion records to FILE; an
                      existing compatible checkpoint is resumed
   --resume FILE      like --checkpoint, but FILE must already exist
@@ -205,6 +220,7 @@ pub fn dispatch_with_cancel(args: &[String], token: &CancelToken) -> Result<Stri
         Some("testgen") => cmd_testgen(&args[1..]),
         Some("campaign") => cmd_campaign(&args[1..], token),
         Some("faultsim") => cmd_faultsim(&args[1..]),
+        Some("study") => cmd_study(&args[1..]),
         Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::usage(format!(
             "unknown subcommand `{other}`\n\n{USAGE}"
@@ -281,6 +297,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--no-lint",
     "--stats",
     "--contain-panics",
+    "--adaptive",
 ];
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -787,6 +804,201 @@ fn cmd_faultsim(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+fn parse_f64_list(s: &str, flag: &str) -> Result<Vec<f64>, CliError> {
+    s.split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<f64>()
+                .map_err(|_| CliError::usage(format!("study: {flag} value `{v}` is not a number")))
+        })
+        .collect()
+}
+
+fn render_curves(out: &mut String, curves: &[CoverageCurve]) {
+    for c in curves {
+        let _ = write!(out, "factor {:.2}: coverage", c.factor);
+        for (r, cov) in c.resistance.iter().zip(&c.coverage) {
+            let _ = write!(out, " {cov:.3}@{r:.1e}");
+        }
+        out.push('\n');
+    }
+}
+
+fn render_adaptive(out: &mut String, report: &AdaptiveReport) {
+    let _ = writeln!(
+        out,
+        "adaptive: spent {} of {} fixed-budget evals ({:.2}x fewer), {} on refinement",
+        report.evals,
+        report.fixed_budget_evals,
+        report.fixed_budget_evals as f64 / report.evals.max(1) as f64,
+        report.refine_evals
+    );
+    for p in &report.points {
+        let _ = writeln!(
+            out,
+            "  f={:.2} r={:.1e}: coverage {:.3}, achieved hw {:.3} (requested {:.3}), n={}{}{}",
+            p.factor,
+            p.resistance,
+            p.coverage,
+            p.accuracy.achieved_halfwidth,
+            p.accuracy.requested_halfwidth,
+            p.accuracy.samples_spent,
+            if p.accuracy.stopped_early {
+                ", stopped early"
+            } else {
+                ""
+            },
+            if p.refined { ", refined" } else { "" }
+        );
+    }
+}
+
+/// `pulsar study`: the paper's Monte Carlo coverage experiment on the
+/// built-in 7-gate path — `C_del(T, R)` (`df`) or `C_pulse(ω_th, R)`
+/// (`pulse`). `--adaptive` switches the fixed per-point budget to the
+/// early-stopping engine; the summary and the `--metrics` manifest then
+/// carry the measured per-point `{requested, achieved}` precision.
+fn cmd_study(args: &[String]) -> Result<String, CliError> {
+    let kind = positional(args).ok_or_else(|| CliError::usage("study: missing kind (df|pulse)"))?;
+    if kind != "df" && kind != "pulse" {
+        return Err(CliError::usage(format!(
+            "study: unknown kind `{kind}` (expected df or pulse)"
+        )));
+    }
+    let samples: usize = match flag_value(args, "--samples") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("study: --samples `{v}` is not a count")))?,
+        None => 24,
+    };
+    let seed: u64 = match flag_value(args, "--seed") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("study: --seed `{v}` is not an integer")))?,
+        None => 2007,
+    };
+    let rs = parse_f64_list(flag_value(args, "--r").unwrap_or("1e3,30e3,100e3"), "--r")?;
+    let factors = parse_f64_list(
+        flag_value(args, "--factors").unwrap_or("0.9,1.1"),
+        "--factors",
+    )?;
+    let adaptive = has_flag(args, "--adaptive");
+    let precision: f64 = match flag_value(args, "--precision") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("study: --precision `{v}` is not a number")))?,
+        None => 0.15,
+    };
+    let max_samples: usize = match flag_value(args, "--max-samples") {
+        Some(v) => v
+            .parse()
+            .map_err(|_| CliError::usage(format!("study: --max-samples `{v}` is not a count")))?,
+        None => samples,
+    };
+    let policy = AdaptivePolicy::new(precision, max_samples);
+
+    let metrics_out = flag_value(args, "--metrics");
+    let trace_out = flag_value(args, "--trace-out");
+    let rec = if metrics_out.is_some() || trace_out.is_some() {
+        Recorder::enabled()
+    } else {
+        Recorder::disabled()
+    };
+    let started_unix_ms = unix_ms();
+    let t0 = Instant::now();
+
+    let put = PathUnderTest {
+        spec: PathSpec::paper_chain(),
+        defect: DefectKind::ExternalRop,
+        stage: 1,
+        tech: Tech::generic_180nm(),
+    };
+    let mc = McConfig {
+        obs: rec.clone(),
+        ..McConfig::paper(samples, seed)
+    };
+
+    let mut out = String::new();
+    let report: Option<AdaptiveReport>;
+    let curves: Vec<CoverageCurve>;
+    if kind == "df" {
+        let study = DfStudy::new(put, mc);
+        let calib = study
+            .calibrate()
+            .map_err(|e| CliError::run_err("study calibration", &e))?;
+        let _ = writeln!(
+            out,
+            "df study on the paper path: T0 = {:.3e} s, {} resistances x {} clock factors, \
+             N = {samples}, seed {seed}",
+            calib.t0,
+            rs.len(),
+            factors.len()
+        );
+        if adaptive {
+            let r = study
+                .coverage_adaptive(&calib, &rs, &factors, &policy, None)
+                .map_err(|e| CliError::run_err("adaptive study", &e))?;
+            curves = r.curves.clone();
+            report = Some(r);
+        } else {
+            curves = study
+                .coverage(&calib, &rs, &factors)
+                .map_err(|e| CliError::run_err("study", &e))?;
+            report = None;
+        }
+    } else {
+        let study = PulseStudy::new(put, mc, Polarity::PositiveGoing);
+        let calib = study
+            .calibrate()
+            .map_err(|e| CliError::run_err("study calibration", &e))?;
+        let _ = writeln!(
+            out,
+            "pulse study on the paper path: w_in = {:.3e} s, w_th = {:.3e} s, {} resistances \
+             x {} threshold factors, N = {samples}, seed {seed}",
+            calib.w_in,
+            calib.w_th,
+            rs.len(),
+            factors.len()
+        );
+        if adaptive {
+            let r = study
+                .coverage_adaptive(&calib, &rs, &factors, &policy, None)
+                .map_err(|e| CliError::run_err("adaptive study", &e))?;
+            curves = r.curves.clone();
+            report = Some(r);
+        } else {
+            curves = study
+                .coverage(&calib, &rs, &factors)
+                .map_err(|e| CliError::run_err("study", &e))?;
+            report = None;
+        }
+    }
+    render_curves(&mut out, &curves);
+    if let Some(r) = &report {
+        render_adaptive(&mut out, r);
+    }
+    if let Some(f) = trace_out {
+        write_journal(&rec, f, &mut out)?;
+    }
+    if let Some(f) = metrics_out {
+        let mut manifest = RunManifest::new(
+            "study",
+            config_digest(&format!(
+                "study kind={kind} samples={samples} seed={seed} r={rs:?} factors={factors:?} \
+                 adaptive={adaptive} policy={policy:?}"
+            )),
+        );
+        manifest.seed = Some(seed);
+        manifest.samples = Some(samples);
+        manifest.tech = Some("generic_180nm".to_owned());
+        if let Some(r) = &report {
+            manifest.adaptive = Some(r.to_manifest());
+        }
+        write_manifest(manifest, &rec, started_unix_ms, t0, f, &mut out)?;
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     #![allow(clippy::unwrap_used)]
@@ -1141,5 +1353,87 @@ INPUT(1)\nINPUT(2)\nINPUT(3)\nINPUT(6)\nINPUT(7)\nOUTPUT(22)\nOUTPUT(23)\n\
         assert_eq!(journal.lines().count(), probed);
         let manifest = fs::read_to_string(&metrics).unwrap();
         assert!(manifest.contains("\"kind\":\"campaign\""), "{manifest}");
+    }
+
+    #[test]
+    fn study_rejects_bad_kind_and_bad_lists() {
+        let e = dispatch(&["study".into()]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("df|pulse"), "{}", e.message);
+
+        let e = dispatch(&["study".into(), "both".into()]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("both"), "{}", e.message);
+
+        let e =
+            dispatch(&["study".into(), "df".into(), "--r".into(), "1e3,tall".into()]).unwrap_err();
+        assert_eq!(e.code, 2);
+        assert!(e.message.contains("tall"), "{}", e.message);
+    }
+
+    #[test]
+    fn study_fixed_prints_one_curve_per_factor() {
+        let out = dispatch(&[
+            "study".into(),
+            "df".into(),
+            "--samples".into(),
+            "4".into(),
+            "--r".into(),
+            "1e3,100e3".into(),
+            "--factors".into(),
+            "0.9,1.1".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("T0 ="), "{out}");
+        assert_eq!(
+            out.lines().filter(|l| l.starts_with("factor ")).count(),
+            2,
+            "{out}"
+        );
+        assert!(!out.contains("adaptive:"), "{out}");
+    }
+
+    #[test]
+    fn study_adaptive_reports_accuracy_and_writes_manifest() {
+        let metrics = tmp("study_manifest.json", "");
+        let out = dispatch(&[
+            "study".into(),
+            "df".into(),
+            "--samples".into(),
+            "6".into(),
+            "--r".into(),
+            "1e3,100e3".into(),
+            "--adaptive".into(),
+            "--precision".into(),
+            "0.4".into(),
+            "--metrics".into(),
+            metrics.clone(),
+        ])
+        .unwrap();
+        assert!(out.contains("adaptive: spent"), "{out}");
+        assert!(out.contains("achieved hw"), "{out}");
+        let manifest = fs::read_to_string(&metrics).unwrap();
+        assert!(manifest.contains("\"kind\":\"study\""), "{manifest}");
+        assert!(manifest.contains("\"adaptive\""), "{manifest}");
+        assert!(manifest.contains("\"achieved_halfwidth\""), "{manifest}");
+        pulsar_obs::json::parse(manifest.trim()).expect("manifest parses");
+    }
+
+    #[test]
+    fn study_pulse_runs_adaptively() {
+        let out = dispatch(&[
+            "study".into(),
+            "pulse".into(),
+            "--samples".into(),
+            "4".into(),
+            "--r".into(),
+            "1e3,100e3".into(),
+            "--factors".into(),
+            "1.0".into(),
+            "--adaptive".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("w_th ="), "{out}");
+        assert!(out.contains("adaptive: spent"), "{out}");
     }
 }

@@ -1,0 +1,585 @@
+//! The adaptive sequential-sampling engine behind
+//! [`DfStudy::coverage_adaptive`](crate::DfStudy::coverage_adaptive) and
+//! [`PulseStudy::coverage_adaptive`](crate::PulseStudy::coverage_adaptive).
+//!
+//! A fixed-budget coverage study spends the same N transient solves on
+//! every grid point even where 32 samples already pin the coverage down.
+//! The adaptive engine consumes the `stream_seed`-ordered sample stream
+//! in rounds and runs two phases:
+//!
+//! 1. **Early stopping** — after each round, every still-running
+//!    resistance column computes a binomial confidence interval
+//!    ([`AdaptivePolicy`] picks Wilson or Clopper–Pearson) on each
+//!    factor's coverage over the *ordered prefix* consumed so far, and
+//!    stops once the loosest factor's half-width meets the requested
+//!    precision. Workers compute a round's samples in parallel, but the
+//!    decision loop consumes rounds in stream order, so the decided
+//!    per-column sample count is bit-identical across thread counts.
+//! 2. **Crossover refinement** — the budget saved by early stops is
+//!    reallocated to the columns whose interval straddles the coverage
+//!    threshold, neighbors a sign change of `coverage − threshold`, or
+//!    (when a reference study is supplied) neighbors a sign change of
+//!    the cross-method difference `C_pulse − C_del`. Refined columns
+//!    extend their *own* sample stream — sample `i`'s instance depends
+//!    only on `(seed, i)` — toward a twice-as-tight target, capped at
+//!    [`AdaptivePolicy::refine_cap`]; the pass spends at most
+//!    [`AdaptivePolicy::refine_fraction`] of the savings, so anything
+//!    below `1.0` banks the rest as net speedup.
+//!
+//! Durability: phase-1 samples checkpoint at their stream index, phase-2
+//! extensions at `max_samples + index`, so the record spaces never
+//! collide and [`CheckpointSpec::samples`](crate::CheckpointSpec) is
+//! `3 × max_samples`. A resumed run replays the same decision loop over
+//! restored values and therefore re-derives the same per-column stopping
+//! points — the resumed curves are bit-identical to an uninterrupted run.
+//!
+//! Subset purity is the load-bearing assumption: a sample's measured
+//! value at resistance `r` must not depend on which *other* resistances
+//! the row evaluates. The study closures guarantee it by drawing the
+//! instance before any measurement and cold-starting every DC solve,
+//! which is why the engine rejects [`McConfig::dc_warm_start`].
+
+use crate::checkpoint::Checkpoint;
+use crate::durable::Completeness;
+use crate::error::CoreError;
+use crate::resilience::{error_kind, is_retryable, FailureReport};
+use crate::study::{CoverageCurve, McConfig};
+use pulsar_mc::{
+    sign_change_neighbors, AdaptivePolicy, BinomialInterval, PointAccuracy, RunHooks,
+    SampleOutcome, SequentialTally,
+};
+use pulsar_obs::{Counter as ObsCounter, Event, Phase, Recorder};
+use rand::rngs::StdRng;
+
+/// The coverage grid an adaptive run evaluates: resistance columns ×
+/// test-condition factors, with one detection threshold per factor.
+pub(crate) struct AdaptiveGrid<'a> {
+    /// Fault resistances (the columns), ohms.
+    pub r_values: &'a [f64],
+    /// Test-condition factors (`T/T₀` or `ω_th/ω_th⁰`).
+    pub factors: &'a [f64],
+    /// Absolute detection threshold per factor (`factor × T₀` or
+    /// `factor × ω_th⁰`).
+    pub thresholds: &'a [f64],
+    /// `true`: a measured value *below* the threshold detects (pulse
+    /// dampening); `false`: a value above detects (DF slack violation).
+    pub detect_below: bool,
+}
+
+/// One grid point of an adaptive run: estimate, interval, and the
+/// accuracy actually achieved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptivePoint {
+    /// Test-condition factor of the point.
+    pub factor: f64,
+    /// Fault resistance of the point, ohms.
+    pub resistance: f64,
+    /// Coverage estimate at stop (resolved samples only).
+    pub coverage: f64,
+    /// Confidence interval on the coverage at stop.
+    pub interval: BinomialInterval,
+    /// Requested vs measured precision and the spend that bought it.
+    pub accuracy: PointAccuracy,
+    /// True when the refinement pass extended this point's column.
+    pub refined: bool,
+}
+
+/// The result of an adaptive coverage run: the usual curves plus the
+/// per-point measured accuracy and the evaluation accounting.
+#[derive(Debug, Clone)]
+pub struct AdaptiveReport {
+    /// Coverage curves, one per factor — same shape as the fixed-budget
+    /// [`DfStudy::coverage`](crate::DfStudy::coverage) output.
+    pub curves: Vec<CoverageCurve>,
+    /// Per-point records in factor-major grid order.
+    pub points: Vec<AdaptivePoint>,
+    /// The first-pass precision the run was asked for.
+    pub precision: f64,
+    /// The first-pass per-column sample budget.
+    pub max_samples: usize,
+    /// `(sample, column)` evaluations actually spent, both phases.
+    pub evals: u64,
+    /// Evaluations a fixed-budget run over the same grid would spend.
+    pub fixed_budget_evals: u64,
+    /// Evaluations spent by the refinement pass alone.
+    pub refine_evals: u64,
+    /// Failure accounting over every evaluated stream sample.
+    pub failures: FailureReport,
+}
+
+impl AdaptiveReport {
+    /// The manifest block recording this run's measured accuracy.
+    pub fn to_manifest(&self) -> pulsar_obs::AdaptiveManifest {
+        pulsar_obs::AdaptiveManifest {
+            precision: self.precision,
+            max_samples: self.max_samples as u64,
+            evals: self.evals,
+            fixed_budget_evals: self.fixed_budget_evals,
+            points: self
+                .points
+                .iter()
+                .map(|p| pulsar_obs::AdaptivePointRecord {
+                    factor: p.factor,
+                    resistance: p.resistance,
+                    coverage: p.coverage,
+                    requested_halfwidth: p.accuracy.requested_halfwidth,
+                    achieved_halfwidth: p.accuracy.achieved_halfwidth,
+                    samples_spent: p.accuracy.samples_spent,
+                    stopped_early: p.accuracy.stopped_early,
+                    refined: p.refined,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Mutable state threaded through the rounds of one adaptive run.
+struct RunState {
+    /// One tally per resistance column.
+    tally: Vec<SequentialTally>,
+    /// Stream samples evaluated per column (failed ones included).
+    spent: Vec<u64>,
+    /// Every evaluated stream sample, keyed by its checkpoint record
+    /// index, for the failure report.
+    outcomes: Vec<(usize, SampleOutcome<(), CoreError>)>,
+    /// Total `(sample, column)` evaluations.
+    evals: u64,
+    /// Refinement-pass share of `evals`.
+    refine_evals: u64,
+    /// Per-sample detection scratch, reused across pushes.
+    det: Vec<bool>,
+}
+
+/// Runs one round of stream samples `[lo, hi)` over the `active` columns
+/// and folds the outcomes — in stream order — into the tallies. Phase 2
+/// passes `offset = max_samples` so its checkpoint records and journal
+/// indices never collide with phase 1's.
+#[allow(clippy::too_many_arguments)]
+fn run_round<F>(
+    mc: &McConfig,
+    grid: &AdaptiveGrid<'_>,
+    label: &'static str,
+    lo: usize,
+    hi: usize,
+    active: &[usize],
+    offset: usize,
+    checkpoint: Option<&Checkpoint<Vec<f64>>>,
+    state: &mut RunState,
+    eval: &F,
+) -> Result<(), CoreError>
+where
+    F: Fn(usize, u32, &mut StdRng, &Recorder, &[f64]) -> Result<Vec<f64>, CoreError> + Sync,
+{
+    let driver = mc.driver();
+    let plan = mc.fault_plan.clone().unwrap_or_default();
+    let active_r: Vec<f64> = active.iter().map(|&c| grid.r_values[c]).collect();
+    // Fork on the main thread so shard creation order is deterministic.
+    let recs: Vec<Recorder> = (lo..hi).map(|_| mc.obs.fork()).collect();
+    let prior = |i: usize| checkpoint.and_then(|c| c.prior().get(&(offset + i)).cloned());
+    let on_done = |i: usize, o: &SampleOutcome<Vec<f64>, CoreError>| {
+        if let Some(c) = checkpoint {
+            c.record(offset + i, driver.stream_seed(i), o);
+        }
+    };
+    let hooks = RunHooks {
+        prior: Some(&prior),
+        on_done: Some(&on_done),
+        cancel: None,
+        contain_panics: None,
+    };
+    let raw = driver.try_run_range_resumed_batched(
+        lo,
+        hi,
+        0, // rounds are narrow; the lock-step batch engine never engages
+        mc.resilience.max_attempts,
+        is_retryable,
+        hooks,
+        |_: &[usize], _: &mut [StdRng]| Vec::new(),
+        |i, attempt, rng| {
+            let rec = &recs[i - lo];
+            let _span = rec.span(Phase::McSample);
+            // Inert unless a test installed a plan naming sample `i`.
+            let _fault = plan.arm(i, attempt);
+            eval(i, attempt, rng, rec, &active_r)
+        },
+    );
+
+    let refine = offset > 0;
+    let journal = mc.obs.is_enabled();
+    for (j, slot) in raw.into_iter().enumerate() {
+        let i = lo + j;
+        let o = slot.expect("no cancel hook, so every sample resolves");
+        if journal {
+            let mut ev = Event::new("sample", offset + i);
+            ev.label = Some(if refine {
+                format!("{label}-refine")
+            } else {
+                label.to_owned()
+            });
+            ev.seed = Some(driver.stream_seed(i));
+            match &o {
+                SampleOutcome::Ok(_) => {
+                    mc.obs.add(ObsCounter::SamplesOk, 1);
+                }
+                SampleOutcome::Recovered { attempts, .. } => {
+                    ev.outcome = "recovered";
+                    ev.attempts = *attempts;
+                    mc.obs.add(ObsCounter::SamplesRecovered, 1);
+                }
+                SampleOutcome::Failed { error, attempts } => {
+                    ev.outcome = "failed";
+                    ev.attempts = *attempts;
+                    ev.error_kind = Some(error_kind(error).to_owned());
+                    mc.obs.add(ObsCounter::SamplesFailed, 1);
+                }
+            }
+            ev.escalation_rung = ev.attempts.saturating_sub(1);
+            mc.obs
+                .add(ObsCounter::RetryAttempts, u64::from(ev.escalation_rung));
+            ev.counters = recs[j].local_snapshot().nonzero_counters();
+            mc.obs.event(ev);
+        }
+        state.evals += active.len() as u64;
+        if refine {
+            state.refine_evals += active.len() as u64;
+        }
+        if let Some(row) = o.value() {
+            if row.len() != active.len() {
+                return Err(CoreError::Checkpoint {
+                    reason: format!(
+                        "record {} holds {} values but {} columns were active — \
+                         the checkpoint was written by a different sweep",
+                        offset + i,
+                        row.len(),
+                        active.len()
+                    ),
+                });
+            }
+            for (k, &c) in active.iter().enumerate() {
+                state.det.clear();
+                for &th in grid.thresholds {
+                    state.det.push(if grid.detect_below {
+                        row[k] < th
+                    } else {
+                        th < row[k]
+                    });
+                }
+                state.tally[c].push(&state.det);
+            }
+        }
+        let stripped = match o {
+            SampleOutcome::Ok(_) => SampleOutcome::Ok(()),
+            SampleOutcome::Recovered { attempts, .. } => SampleOutcome::Recovered {
+                value: (),
+                attempts,
+            },
+            SampleOutcome::Failed { error, attempts } => SampleOutcome::Failed { error, attempts },
+        };
+        state.outcomes.push((offset + i, stripped));
+    }
+    for rec in &recs {
+        rec.retire();
+    }
+    Ok(())
+}
+
+/// Which columns the refinement pass extends: any column whose interval
+/// straddles the coverage threshold at some factor, any neighbor of a
+/// sign change of `coverage − threshold` along the resistance axis, and
+/// any neighbor of a sign change of `coverage − reference` when a
+/// crossover reference study is supplied.
+fn refine_mask(
+    policy: &AdaptivePolicy,
+    grid: &AdaptiveGrid<'_>,
+    tally: &[SequentialTally],
+    crossover: Option<&[CoverageCurve]>,
+) -> Vec<bool> {
+    let ncols = grid.r_values.len();
+    let mut refine = vec![false; ncols];
+    for (c, t) in tally.iter().enumerate() {
+        for f in 0..grid.factors.len() {
+            if t.interval(policy, f).straddles(policy.threshold) {
+                refine[c] = true;
+            }
+        }
+    }
+    let mut mark_signs = |diffs: &[f64]| {
+        for (c, m) in sign_change_neighbors(diffs).into_iter().enumerate() {
+            if m {
+                refine[c] = true;
+            }
+        }
+    };
+    let mut diffs = vec![0.0; ncols];
+    for f in 0..grid.factors.len() {
+        for (c, d) in diffs.iter_mut().enumerate() {
+            *d = tally[c].coverage(f) - policy.threshold;
+        }
+        mark_signs(&diffs);
+    }
+    if let Some(reference) = crossover {
+        for (f, curve) in reference.iter().enumerate().take(grid.factors.len()) {
+            for (c, d) in diffs.iter_mut().enumerate() {
+                *d = tally[c].coverage(f) - curve.coverage[c];
+            }
+            mark_signs(&diffs);
+        }
+    }
+    refine
+}
+
+/// The generic adaptive coverage runner. `eval` measures one Monte Carlo
+/// instance at the given *active* resistance subset and must be a pure
+/// function of `(stream index, attempt, resistance)` — the same instance
+/// evaluated under a different subset must produce bit-identical values
+/// at the shared resistances.
+pub(crate) fn run_adaptive<F>(
+    mc: &McConfig,
+    policy: &AdaptivePolicy,
+    label: &'static str,
+    grid: &AdaptiveGrid<'_>,
+    crossover: Option<&[CoverageCurve]>,
+    checkpoint: Option<&Checkpoint<Vec<f64>>>,
+    eval: F,
+) -> Result<AdaptiveReport, CoreError>
+where
+    F: Fn(usize, u32, &mut StdRng, &Recorder, &[f64]) -> Result<Vec<f64>, CoreError> + Sync,
+{
+    if mc.dc_warm_start {
+        // Warm starting makes a measurement depend on the previous sweep
+        // point, which breaks the subset-purity contract above.
+        return Err(CoreError::Unsupported {
+            what: "adaptive sampling with dc_warm_start",
+        });
+    }
+    let ncols = grid.r_values.len();
+    let nfac = grid.factors.len();
+    assert_eq!(nfac, grid.thresholds.len(), "one threshold per factor");
+    if let Some(reference) = crossover {
+        if reference.iter().any(|c| c.coverage.len() != ncols) {
+            return Err(CoreError::Unsupported {
+                what: "crossover reference curves on a different resistance grid",
+            });
+        }
+    }
+    let max = policy.max_samples;
+    if let Some(ck) = checkpoint {
+        if ck.spec().samples != 3 * max {
+            return Err(CoreError::Checkpoint {
+                reason: format!(
+                    "adaptive checkpoint must reserve 3 × max_samples record slots \
+                     (expected {}, spec has {})",
+                    3 * max,
+                    ck.spec().samples
+                ),
+            });
+        }
+    }
+
+    let mut state = RunState {
+        tally: (0..ncols).map(|_| SequentialTally::new(nfac)).collect(),
+        spent: vec![0; ncols],
+        outcomes: Vec::new(),
+        evals: 0,
+        refine_evals: 0,
+        det: Vec::with_capacity(nfac),
+    };
+    let mut stopped_early = vec![false; ncols];
+
+    // Phase 1: early stopping over the shared stream prefix. All live
+    // columns consume the same rounds, so a stop decision at `cursor`
+    // means the column's prefix is exactly `cursor` samples long.
+    let mut live: Vec<usize> = (0..ncols).collect();
+    let mut cursor = 0usize;
+    while !live.is_empty() && cursor < max {
+        let len = policy.round_len(cursor, max);
+        run_round(
+            mc,
+            grid,
+            label,
+            cursor,
+            cursor + len,
+            &live,
+            0,
+            checkpoint,
+            &mut state,
+            &eval,
+        )?;
+        for &c in &live {
+            state.spent[c] += len as u64;
+        }
+        cursor += len;
+        live.retain(|&c| {
+            let t = &state.tally[c];
+            if policy.met(t.worst_halfwidth(policy), t.trials() as usize) {
+                stopped_early[c] = cursor < max;
+                false
+            } else {
+                true
+            }
+        });
+    }
+
+    // Phase 2: reallocate the saved budget to the crossover columns.
+    // Each refined column resumes its own stream where phase 1 stopped
+    // it, so the extension is a pure continuation of the same prefix.
+    let entry: Vec<usize> = state.spent.iter().map(|&s| s as usize).collect();
+    let saved: u64 = state.spent.iter().map(|&s| max as u64 - s).sum();
+    let refine = refine_mask(policy, grid, &state.tally, crossover);
+    let refine_count = refine.iter().filter(|&&b| b).count() as u64;
+    let share = policy
+        .refine_budget(saved)
+        .checked_div(refine_count)
+        .unwrap_or(0) as usize;
+    let mut refined = vec![false; ncols];
+    if share > 0 {
+        let cap: Vec<usize> = (0..ncols)
+            .map(|c| {
+                if refine[c] {
+                    (entry[c] + share).min(policy.refine_cap())
+                } else {
+                    entry[c]
+                }
+            })
+            .collect();
+        let target = policy.refined_precision();
+        let mut live: Vec<usize> = (0..ncols).filter(|&c| cap[c] > entry[c]).collect();
+        for &c in &live {
+            refined[c] = true;
+        }
+        let mut cursor = live.iter().map(|&c| entry[c]).min().unwrap_or(0);
+        while !live.is_empty() {
+            let active: Vec<usize> = live
+                .iter()
+                .copied()
+                .filter(|&c| entry[c] <= cursor)
+                .collect();
+            if active.is_empty() {
+                cursor = live
+                    .iter()
+                    .map(|&c| entry[c])
+                    .filter(|&e| e > cursor)
+                    .min()
+                    .expect("a live column either entered or has a future entry");
+                continue;
+            }
+            // Round ends at the chunk boundary, the next column entry, or
+            // the earliest active cap — whichever comes first — so the
+            // active set is constant within every driver call.
+            let mut hi = cursor + policy.chunk.max(1);
+            for &c in &live {
+                if entry[c] > cursor {
+                    hi = hi.min(entry[c]);
+                }
+            }
+            for &c in &active {
+                hi = hi.min(cap[c]);
+            }
+            debug_assert!(hi > cursor, "refinement rounds must advance");
+            run_round(
+                mc, grid, label, cursor, hi, &active, max, checkpoint, &mut state, &eval,
+            )?;
+            for &c in &active {
+                state.spent[c] += (hi - cursor) as u64;
+            }
+            cursor = hi;
+            live.retain(|&c| {
+                if entry[c] > cursor {
+                    return true;
+                }
+                let t = &state.tally[c];
+                let met = t.trials() as usize >= policy.min_samples
+                    && t.worst_halfwidth(policy) <= target;
+                if met || cursor >= cap[c] {
+                    stopped_early[c] = met && cursor < cap[c];
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+    }
+
+    let failures = FailureReport::from_indexed(
+        state.outcomes.iter().map(|(i, o)| (*i, o)),
+        state.outcomes.len(),
+        mc.resilience.failure_budget,
+    );
+    if failures.exceeds_budget() {
+        return Err(CoreError::FailureBudgetExceeded {
+            report: Box::new(failures),
+        });
+    }
+    if let Some(ck) = checkpoint {
+        ck.ensure_healthy()?;
+    }
+
+    let fixed_budget_evals = ncols as u64 * max as u64;
+    mc.obs.add(
+        ObsCounter::AdaptiveSamplesSaved,
+        fixed_budget_evals.saturating_sub(state.evals),
+    );
+    mc.obs
+        .add(ObsCounter::AdaptiveRefineSamples, state.refine_evals);
+
+    let unresolved = failures.unresolved_fraction();
+    let curves: Vec<CoverageCurve> = grid
+        .factors
+        .iter()
+        .enumerate()
+        .map(|(f, &factor)| CoverageCurve {
+            factor,
+            resistance: grid.r_values.to_vec(),
+            coverage: state.tally.iter().map(|t| t.coverage(f)).collect(),
+            unresolved,
+            completeness: Completeness::full(failures.samples),
+        })
+        .collect();
+    let mut points = Vec::with_capacity(nfac * ncols);
+    for (f, &factor) in grid.factors.iter().enumerate() {
+        for (c, &resistance) in grid.r_values.iter().enumerate() {
+            let interval = state.tally[c].interval(policy, f);
+            let accuracy = PointAccuracy {
+                requested_halfwidth: if refined[c] {
+                    policy.refined_precision()
+                } else {
+                    policy.precision
+                },
+                achieved_halfwidth: interval.halfwidth(),
+                samples_spent: state.spent[c],
+                stopped_early: stopped_early[c],
+            };
+            if mc.obs.is_enabled() {
+                let mut ev = Event::new("point", f * ncols + c);
+                ev.label = Some(format!("{label} f={factor} r={resistance}"));
+                if refined[c] {
+                    ev.detail = Some("refined".to_owned());
+                }
+                ev.requested_halfwidth = Some(accuracy.requested_halfwidth);
+                ev.achieved_halfwidth = Some(accuracy.achieved_halfwidth);
+                ev.samples_spent = Some(accuracy.samples_spent);
+                ev.stopped_early = Some(accuracy.stopped_early);
+                mc.obs.event(ev);
+            }
+            points.push(AdaptivePoint {
+                factor,
+                resistance,
+                coverage: state.tally[c].coverage(f),
+                interval,
+                accuracy,
+                refined: refined[c],
+            });
+        }
+    }
+
+    Ok(AdaptiveReport {
+        curves,
+        points,
+        precision: policy.precision,
+        max_samples: max,
+        evals: state.evals,
+        fixed_budget_evals,
+        refine_evals: state.refine_evals,
+        failures,
+    })
+}

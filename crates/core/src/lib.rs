@@ -59,6 +59,7 @@
 //! # }
 //! ```
 
+mod adaptive;
 mod bridge;
 mod calib;
 mod campaign;
@@ -79,6 +80,7 @@ mod tradeoff;
 mod transfer;
 mod variation;
 
+pub use adaptive::{AdaptivePoint, AdaptiveReport};
 pub use bridge::critical_resistance;
 pub use calib::{calibrate_pulse, calibrate_t0, DfCalibration, PulseCalibration};
 pub use campaign::{Campaign, CampaignReport, SiteOutcome, SitePlanRecord};
@@ -96,6 +98,7 @@ pub use iddq::IddqStudy;
 pub use model_study::{ModelDfStudy, ModelPulseStudy};
 pub use ordering::{OrderingCalibration, OrderingStudy};
 pub use pulsar_lint::LintReport;
+pub use pulsar_mc::{AdaptivePolicy, BinomialInterval, IntervalRule, PointAccuracy};
 pub use pulsar_obs::{CancelReason, CancelToken};
 pub use resilience::{
     error_kind, is_retryable, is_run_cancelled, FailureReport, McRunReport, ResilienceConfig,

@@ -2,6 +2,7 @@
 //! `C_del(T, R)` for reduced-clock DF testing and `C_pulse(ω_th, R)` for
 //! the pulse-propagation method, over the same circuit instances.
 
+use crate::adaptive::{run_adaptive, AdaptiveGrid, AdaptiveReport};
 use crate::calib::{calibrate_pulse, calibrate_t0, DfCalibration, PulseCalibration};
 use crate::checkpoint::{Checkpoint, CheckpointSpec, CheckpointValue};
 use crate::df::FfTiming;
@@ -15,10 +16,42 @@ use crate::transfer::TransferCurve;
 use crate::variation::VariationModel;
 use pulsar_analog::{BatchWorkspace, FaultPlan, Polarity, SymbolicCache};
 use pulsar_cells::{pulse_width_only_batch, BuiltPath, Tech};
-use pulsar_mc::{MonteCarlo, RunHooks, SampleOutcome};
+use pulsar_mc::{AdaptivePolicy, MonteCarlo, RunHooks, SampleOutcome};
 use pulsar_obs::{CancelToken, Counter as ObsCounter, Event, Phase, Recorder};
 use rand::rngs::StdRng;
 use rand::RngExt;
+
+/// A lock-guarded pool of [`BatchWorkspace`]s shared by the concurrent
+/// batch groups of one run: each group checks a workspace out for the
+/// duration of its lock-step solve and returns it afterwards, so the
+/// SoA buffers and per-lane scratch are recycled across samples instead
+/// of reallocated per group. A poisoned lock degrades to a fresh
+/// workspace (correctness never depends on reuse).
+#[derive(Default)]
+struct WorkspacePool(std::sync::Mutex<Vec<BatchWorkspace>>);
+
+impl WorkspacePool {
+    fn check_out(&self) -> BatchWorkspace {
+        self.0
+            .lock()
+            .ok()
+            .and_then(|mut v| v.pop())
+            .unwrap_or_default()
+    }
+
+    fn check_in(&self, bw: BatchWorkspace) {
+        if let Ok(mut v) = self.0.lock() {
+            v.push(bw);
+        }
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut BatchWorkspace) -> R) -> R {
+        let mut bw = self.check_out();
+        let out = f(&mut bw);
+        self.check_in(bw);
+        out
+    }
+}
 
 /// Monte Carlo configuration shared by both studies.
 #[derive(Debug, Clone)]
@@ -74,7 +107,7 @@ impl McConfig {
         }
     }
 
-    fn driver(&self) -> MonteCarlo {
+    pub(crate) fn driver(&self) -> MonteCarlo {
         let mc = MonteCarlo::new(self.samples, self.seed);
         match self.threads {
             Some(t) => mc.with_threads(t),
@@ -869,6 +902,138 @@ impl DfStudy {
             .collect();
         Ok((curves, run.failures))
     }
+
+    /// Adaptive-sampling variant of [`DfStudy::coverage`]: per resistance
+    /// column, samples stop as soon as every factor's coverage interval
+    /// meets `policy.precision` over the ordered sample prefix, and the
+    /// saved budget refines the columns near the coverage threshold (and,
+    /// when `crossover` supplies the pulse study's curves on the same
+    /// grid, near the `C_pulse − C_del` crossover). Bit-identical across
+    /// thread counts. Rejects [`McConfig::dc_warm_start`], which would
+    /// couple a measurement to the sweep points evaluated before it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DfStudy::coverage`], plus [`CoreError::Unsupported`] for
+    /// `dc_warm_start` or crossover curves on a different grid.
+    pub fn coverage_adaptive(
+        &self,
+        calib: &DfCalibration,
+        r_values: &[f64],
+        t_factors: &[f64],
+        policy: &AdaptivePolicy,
+        crossover: Option<&[CoverageCurve]>,
+    ) -> Result<AdaptiveReport, CoreError> {
+        self.coverage_adaptive_inner(calib, r_values, t_factors, policy, crossover, None)
+    }
+
+    /// Durable variant of [`DfStudy::coverage_adaptive`]: every evaluated
+    /// sample row is checkpointed (first-pass rows at their stream index,
+    /// refinement rows offset by `policy.max_samples`), and a resumed run
+    /// replays the stopping decisions over the restored values — the
+    /// curves are bit-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`DfStudy::coverage_adaptive`], plus
+    /// [`CoreError::Checkpoint`] on checkpoint failures.
+    pub fn coverage_adaptive_durable(
+        &self,
+        calib: &DfCalibration,
+        r_values: &[f64],
+        t_factors: &[f64],
+        policy: &AdaptivePolicy,
+        crossover: Option<&[CoverageCurve]>,
+        checkpoint: &Checkpoint<Vec<f64>>,
+    ) -> Result<AdaptiveReport, CoreError> {
+        self.coverage_adaptive_inner(
+            calib,
+            r_values,
+            t_factors,
+            policy,
+            crossover,
+            Some(checkpoint),
+        )
+    }
+
+    /// The [`CheckpointSpec`] identifying a durable
+    /// [`DfStudy::coverage_adaptive_durable`] run. The digest additionally
+    /// covers the stopping policy, the factor grid, and any crossover
+    /// reference curves, because all three steer which samples run; the
+    /// record space reserves `3 × policy.max_samples` slots (first pass
+    /// plus the refinement extension at its `max_samples` offset).
+    pub fn adaptive_checkpoint_spec(
+        &self,
+        r_values: &[f64],
+        t_factors: &[f64],
+        policy: &AdaptivePolicy,
+        crossover: Option<&[CoverageCurve]>,
+    ) -> CheckpointSpec {
+        let cross_bits: Vec<Vec<u64>> = crossover
+            .unwrap_or(&[])
+            .iter()
+            .map(|c| c.coverage.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let digest = pulsar_obs::config_digest(&format!(
+            "df-adaptive put={:?} variation={:?} ff={:?} margin={:016x} policy={:?} \
+             factors={:?} r={:?} crossover={:?}",
+            self.put,
+            self.mc.variation,
+            self.ff,
+            self.clock_margin.to_bits(),
+            policy,
+            t_factors.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            r_values.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            cross_bits,
+        ));
+        CheckpointSpec {
+            config_digest: digest,
+            seed: self.mc.seed,
+            samples: 3 * policy.max_samples,
+        }
+    }
+
+    fn coverage_adaptive_inner(
+        &self,
+        calib: &DfCalibration,
+        r_values: &[f64],
+        t_factors: &[f64],
+        policy: &AdaptivePolicy,
+        crossover: Option<&[CoverageCurve]>,
+        checkpoint: Option<&Checkpoint<Vec<f64>>>,
+    ) -> Result<AdaptiveReport, CoreError> {
+        lint_preflight(&self.put, Some(r_values))?;
+        let thresholds: Vec<f64> = t_factors.iter().map(|&f| f * calib.t0).collect();
+        let grid = AdaptiveGrid {
+            r_values,
+            factors: t_factors,
+            thresholds: &thresholds,
+            detect_below: false,
+        };
+        let nominal_techs = vec![self.put.tech; self.put.spec.len()];
+        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
+        run_adaptive(
+            &self.mc,
+            policy,
+            "df-adaptive",
+            &grid,
+            crossover,
+            checkpoint,
+            |_, attempt, rng, rec, active_r| {
+                let (techs, ff) = self.draw(rng);
+                let mut p = self.put.instantiate(&techs, active_r[0]);
+                p.set_recorder(rec.clone());
+                adopt_symbolic(&mut p, &symbolic);
+                prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
+                let mut row = Vec::with_capacity(active_r.len());
+                for &r in active_r {
+                    p.set_resistance(r)?;
+                    row.push(p.worst_delay()? + ff.overhead());
+                }
+                Ok(row)
+            },
+        )
+    }
 }
 
 /// The pulse-propagation study (paper Figs. 7 and 9).
@@ -964,6 +1129,7 @@ impl PulseStudy {
     /// one lock-step width measurement over all live lanes. `None` slots
     /// are lanes the batch engine could not hold; the driver reruns
     /// exactly those through the scalar ladder.
+    #[allow(clippy::too_many_arguments)]
     fn fault_free_wouts_batched(
         &self,
         idx: &[usize],
@@ -972,6 +1138,7 @@ impl PulseStudy {
         plan: &FaultPlan,
         symbolic: &Option<SymbolicCache>,
         w_in: f64,
+        pool: &WorkspacePool,
     ) -> Vec<Option<f64>> {
         let (mut paths, gen_factors) =
             self.batch_lanes(idx, rngs, recs, None, plan, symbolic, |techs| {
@@ -989,8 +1156,8 @@ impl PulseStudy {
         }
         let mut out: Vec<Option<f64>> = idx.iter().map(|_| None).collect();
         if !lanes.is_empty() {
-            let mut bw = BatchWorkspace::new();
-            let widths = pulse_width_only_batch(&mut lanes, &lane_ws, self.polarity, &mut bw);
+            let widths =
+                pool.with(|bw| pulse_width_only_batch(&mut lanes, &lane_ws, self.polarity, bw));
             for (j, w) in lane_js.into_iter().zip(widths) {
                 out[j] = w;
             }
@@ -1015,6 +1182,7 @@ impl PulseStudy {
         symbolic: &Option<SymbolicCache>,
         w_in: f64,
         r_values: &[f64],
+        pool: &WorkspacePool,
     ) -> Vec<Option<Vec<f64>>> {
         let (mut paths, gen_factors) =
             self.batch_lanes(idx, rngs, recs, tokens, plan, symbolic, |techs| {
@@ -1024,7 +1192,9 @@ impl PulseStudy {
             .iter()
             .map(|p| p.as_ref().map(|_| Vec::with_capacity(r_values.len())))
             .collect();
-        let mut bw = BatchWorkspace::new();
+        // One checked-out workspace for the whole sweep: its SoA buffers
+        // and lane scratch stay warm across the resistance points.
+        let mut bw = pool.check_out();
         for &r in r_values {
             for (j, slot) in paths.iter_mut().enumerate() {
                 if let Some(p) = slot.as_mut() {
@@ -1065,6 +1235,7 @@ impl PulseStudy {
                 }
             }
         }
+        pool.check_in(bw);
         rows
     }
 
@@ -1097,10 +1268,11 @@ impl PulseStudy {
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
         let symbolic = prime_symbolic_with(|| self.put.instantiate_fault_free(&nominal_techs));
         let plan = self.mc.fault_plan.clone().unwrap_or_default();
+        let pool = WorkspacePool::default();
         self.mc.try_run_samples_batched(
             "pulse-fault-free",
             |idx: &[usize], rngs: &mut [StdRng], recs: &[Recorder]| {
-                self.fault_free_wouts_batched(idx, rngs, recs, &plan, &symbolic, w_in)
+                self.fault_free_wouts_batched(idx, rngs, recs, &plan, &symbolic, w_in, &pool)
             },
             |_, attempt, rng, rec| {
                 let (techs, gen_factor) = self.draw_techs(rng);
@@ -1190,10 +1362,13 @@ impl PulseStudy {
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
         let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
         let plan = self.mc.fault_plan.clone().unwrap_or_default();
+        let pool = WorkspacePool::default();
         self.mc.try_run_samples_batched(
             "pulse-faulty",
             |idx: &[usize], rngs: &mut [StdRng], recs: &[Recorder]| {
-                self.faulty_rows_batched(idx, rngs, recs, None, &plan, &symbolic, w_in, &r_values)
+                self.faulty_rows_batched(
+                    idx, rngs, recs, None, &plan, &symbolic, w_in, &r_values, &pool,
+                )
             },
             |_, attempt, rng, rec| {
                 let (techs, gen_factor) = self.draw_techs(rng);
@@ -1321,6 +1496,7 @@ impl PulseStudy {
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
         let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
         let plan = self.mc.fault_plan.clone().unwrap_or_default();
+        let pool = WorkspacePool::default();
         self.mc.try_run_samples_durable_batched(
             "pulse-faulty",
             run_token,
@@ -1335,6 +1511,7 @@ impl PulseStudy {
                     &symbolic,
                     w_in,
                     &r_values,
+                    &pool,
                 )
             },
             |_, attempt, rng, rec, token| {
@@ -1392,6 +1569,141 @@ impl PulseStudy {
             })
             .collect();
         Ok((curves, run.failures))
+    }
+
+    /// Adaptive-sampling variant of [`PulseStudy::coverage`]: per
+    /// resistance column, samples stop as soon as every factor's coverage
+    /// interval meets `policy.precision` over the ordered sample prefix,
+    /// and the saved budget refines the columns near the coverage
+    /// threshold (and, when `crossover` supplies the DF study's curves on
+    /// the same grid, near the `C_pulse − C_del` crossover).
+    /// Bit-identical across thread counts. Rejects
+    /// [`McConfig::dc_warm_start`], which would couple a measurement to
+    /// the sweep points evaluated before it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PulseStudy::coverage`], plus [`CoreError::Unsupported`]
+    /// for `dc_warm_start` or crossover curves on a different grid.
+    pub fn coverage_adaptive(
+        &self,
+        calib: &PulseCalibration,
+        r_values: &[f64],
+        th_factors: &[f64],
+        policy: &AdaptivePolicy,
+        crossover: Option<&[CoverageCurve]>,
+    ) -> Result<AdaptiveReport, CoreError> {
+        self.coverage_adaptive_inner(calib, r_values, th_factors, policy, crossover, None)
+    }
+
+    /// Durable variant of [`PulseStudy::coverage_adaptive`]: every
+    /// evaluated sample row is checkpointed (first-pass rows at their
+    /// stream index, refinement rows offset by `policy.max_samples`), and
+    /// a resumed run replays the stopping decisions over the restored
+    /// values — the curves are bit-identical to an uninterrupted run.
+    ///
+    /// # Errors
+    ///
+    /// As for [`PulseStudy::coverage_adaptive`], plus
+    /// [`CoreError::Checkpoint`] on checkpoint failures.
+    pub fn coverage_adaptive_durable(
+        &self,
+        calib: &PulseCalibration,
+        r_values: &[f64],
+        th_factors: &[f64],
+        policy: &AdaptivePolicy,
+        crossover: Option<&[CoverageCurve]>,
+        checkpoint: &Checkpoint<Vec<f64>>,
+    ) -> Result<AdaptiveReport, CoreError> {
+        self.coverage_adaptive_inner(
+            calib,
+            r_values,
+            th_factors,
+            policy,
+            crossover,
+            Some(checkpoint),
+        )
+    }
+
+    /// The [`CheckpointSpec`] identifying a durable
+    /// [`PulseStudy::coverage_adaptive_durable`] run. The digest
+    /// additionally covers the calibrated injection width, the stopping
+    /// policy, the factor grid, and any crossover reference curves; the
+    /// record space reserves `3 × policy.max_samples` slots (first pass
+    /// plus the refinement extension at its `max_samples` offset).
+    pub fn adaptive_checkpoint_spec(
+        &self,
+        w_in: f64,
+        r_values: &[f64],
+        th_factors: &[f64],
+        policy: &AdaptivePolicy,
+        crossover: Option<&[CoverageCurve]>,
+    ) -> CheckpointSpec {
+        let cross_bits: Vec<Vec<u64>> = crossover
+            .unwrap_or(&[])
+            .iter()
+            .map(|c| c.coverage.iter().map(|v| v.to_bits()).collect())
+            .collect();
+        let digest = pulsar_obs::config_digest(&format!(
+            "pulse-adaptive put={:?} variation={:?} polarity={:?} w_in={:016x} policy={:?} \
+             factors={:?} r={:?} crossover={:?}",
+            self.put,
+            self.mc.variation,
+            self.polarity,
+            w_in.to_bits(),
+            policy,
+            th_factors.iter().map(|f| f.to_bits()).collect::<Vec<_>>(),
+            r_values.iter().map(|r| r.to_bits()).collect::<Vec<_>>(),
+            cross_bits,
+        ));
+        CheckpointSpec {
+            config_digest: digest,
+            seed: self.mc.seed,
+            samples: 3 * policy.max_samples,
+        }
+    }
+
+    fn coverage_adaptive_inner(
+        &self,
+        calib: &PulseCalibration,
+        r_values: &[f64],
+        th_factors: &[f64],
+        policy: &AdaptivePolicy,
+        crossover: Option<&[CoverageCurve]>,
+        checkpoint: Option<&Checkpoint<Vec<f64>>>,
+    ) -> Result<AdaptiveReport, CoreError> {
+        lint_preflight(&self.put, Some(r_values))?;
+        let thresholds: Vec<f64> = th_factors.iter().map(|&f| f * calib.w_th).collect();
+        let grid = AdaptiveGrid {
+            r_values,
+            factors: th_factors,
+            thresholds: &thresholds,
+            detect_below: true,
+        };
+        let w_in = calib.w_in;
+        let nominal_techs = vec![self.put.tech; self.put.spec.len()];
+        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
+        run_adaptive(
+            &self.mc,
+            policy,
+            "pulse-adaptive",
+            &grid,
+            crossover,
+            checkpoint,
+            |_, attempt, rng, rec, active_r| {
+                let (techs, gen_factor) = self.draw_techs(rng);
+                let mut p = self.put.instantiate(&techs, active_r[0]);
+                p.set_recorder(rec.clone());
+                adopt_symbolic(&mut p, &symbolic);
+                prepare_for_attempt(&mut p, attempt, rng, self.mc.dc_warm_start);
+                let mut row = Vec::with_capacity(active_r.len());
+                for &r in active_r {
+                    p.set_resistance(r)?;
+                    row.push(p.pulse_width_out(w_in * gen_factor, self.polarity)?);
+                }
+                Ok(row)
+            },
+        )
     }
 }
 

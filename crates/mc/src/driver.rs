@@ -255,16 +255,70 @@ impl MonteCarlo {
         B: Fn(&[usize], &mut [StdRng]) -> Vec<Option<T>> + Sync,
         R: Fn(&E) -> bool + Sync,
     {
+        self.try_run_range_resumed_batched(
+            0,
+            self.n,
+            batch,
+            max_attempts,
+            retryable,
+            hooks,
+            f_batch,
+            f,
+        )
+    }
+
+    /// Range variant of [`MonteCarlo::try_run_resumed_batched`]: resolves
+    /// only samples `lo..hi` of this driver's stream, returning one entry
+    /// per sample in that range (index order).
+    ///
+    /// This is the adaptive engine's building block: a sequential
+    /// decision loop consumes the `stream_seed`-ordered sample stream in
+    /// rounds, and each round is one contiguous range computed here —
+    /// workers fan out *within* the range while the stopping decisions
+    /// stay on ordered prefixes. Sample `lo + j` sees exactly the RNG
+    /// stream, retry ladder, and hooks it would see in a full-range run;
+    /// batch grouping restarts at `lo` and depends only on
+    /// `(lo, hi, batch)`, so the resolved outcomes for a given range are
+    /// bit-identical across thread counts.
+    #[allow(clippy::too_many_arguments)] // mirrors try_run_resumed_batched plus the range
+    pub fn try_run_range_resumed_batched<T, E, F, B, R>(
+        &self,
+        lo: usize,
+        hi: usize,
+        batch: usize,
+        max_attempts: u32,
+        retryable: R,
+        hooks: RunHooks<'_, T, E>,
+        f_batch: B,
+        f: F,
+    ) -> Vec<Option<SampleOutcome<T, E>>>
+    where
+        T: Send,
+        E: Send,
+        F: Fn(usize, u32, &mut StdRng) -> Result<T, E> + Sync,
+        B: Fn(&[usize], &mut [StdRng]) -> Vec<Option<T>> + Sync,
+        R: Fn(&E) -> bool + Sync,
+    {
         let max_attempts = max_attempts.max(1);
+        let hi = hi.max(lo);
         if batch < 2 {
-            return self.try_run_resumed(max_attempts, retryable, hooks, f);
+            // Scalar range: fan out over the range via a sub-driver (the
+            // sub-driver only partitions indices; RNG streams and hooks
+            // still come from `self`, keyed by the absolute index).
+            let range_driver = MonteCarlo {
+                n: hi - lo,
+                seed: self.seed,
+                threads: self.threads,
+            };
+            return range_driver
+                .fan_out(|j| self.resolve_one(lo + j, max_attempts, &retryable, &hooks, &f));
         }
         // Fan out over groups, not samples: group composition is a pure
-        // function of (n, batch), so the batched work — and therefore
-        // every outcome — is invariant under the thread count.
-        let groups: Vec<(usize, usize)> = (0..self.n)
+        // function of (lo, hi, batch), so the batched work — and
+        // therefore every outcome — is invariant under the thread count.
+        let groups: Vec<(usize, usize)> = (lo..hi)
             .step_by(batch)
-            .map(|lo| (lo, (lo + batch).min(self.n)))
+            .map(|g| (g, (g + batch).min(hi)))
             .collect();
         let group_driver = MonteCarlo {
             n: groups.len(),
@@ -925,6 +979,62 @@ mod tests {
             vec![4, 5, 6, 7],
             "restored samples are served from prior, not re-batched"
         );
+    }
+
+    #[test]
+    fn range_run_matches_the_full_run_slice() {
+        // A range's outcomes must equal the corresponding slice of the
+        // full run — the adaptive decision loop depends on this to take
+        // stopping decisions on ordered prefixes while extending the
+        // stream round by round.
+        let mc = MonteCarlo::new(20, 31);
+        let work = |i: usize, attempt: u32, rng: &mut StdRng| -> Result<u64, (bool, usize)> {
+            let draw = rng.random::<u64>();
+            if i % 7 == 3 {
+                Err((false, i))
+            } else if i.is_multiple_of(5) && attempt < 2 {
+                Err((true, i))
+            } else {
+                Ok(draw)
+            }
+        };
+        let batch_work = |idx: &[usize], rngs: &mut [StdRng]| -> Vec<Option<u64>> {
+            idx.iter()
+                .zip(rngs.iter_mut())
+                .map(|(&i, rng)| {
+                    let draw = rng.random::<u64>();
+                    if i % 7 == 3 || i.is_multiple_of(5) {
+                        None
+                    } else {
+                        Some(draw)
+                    }
+                })
+                .collect()
+        };
+        let retryable = |e: &(bool, usize)| e.0;
+        let full = mc.with_threads(1).try_run(3, retryable, work);
+        for (lo, hi) in [(0usize, 20usize), (3, 17), (16, 20), (5, 5), (7, 3)] {
+            for threads in [1usize, 2, 4] {
+                for batch in [0usize, 4] {
+                    let out = mc.with_threads(threads).try_run_range_resumed_batched(
+                        lo,
+                        hi,
+                        batch,
+                        3,
+                        retryable,
+                        RunHooks::default(),
+                        batch_work,
+                        work,
+                    );
+                    let out: Vec<_> = out.into_iter().map(Option::unwrap).collect();
+                    assert_eq!(
+                        out,
+                        full[lo..hi.max(lo)],
+                        "lo={lo} hi={hi} threads={threads} batch={batch}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! Binomial confidence intervals for coverage estimates.
+//!
+//! A coverage number is a binomial proportion: `k` detected instances out
+//! of `n` sampled. The adaptive sampling engine stops a grid point once
+//! the interval half-width meets the requested precision, so the interval
+//! math is the stopping rule. Two constructions are provided:
+//!
+//! * [`wilson`] — the Wilson score interval, a closed form with good
+//!   coverage properties even near p = 0/1 (where the naive Wald interval
+//!   collapses to zero width and never stops honestly),
+//! * [`clopper_pearson`] — the exact (conservative) interval obtained by
+//!   inverting the binomial tail tests; used as the reference the Wilson
+//!   form is proptested against.
+
+/// A two-sided confidence interval on a binomial proportion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BinomialInterval {
+    /// Lower confidence bound, clamped to `[0, 1]`.
+    pub lo: f64,
+    /// Upper confidence bound, clamped to `[0, 1]`.
+    pub hi: f64,
+}
+
+impl BinomialInterval {
+    /// Half of the interval width — the "precision" the adaptive stopping
+    /// rule compares against the requested half-width.
+    pub fn halfwidth(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// True when `t` lies strictly inside the interval — the point's
+    /// coverage is not yet resolved against the threshold `t`.
+    pub fn straddles(&self, t: f64) -> bool {
+        self.lo < t && t < self.hi
+    }
+}
+
+/// Wilson score interval for `k` successes in `n` trials at critical
+/// value `z` (e.g. 1.96 for 95 %).
+///
+/// With no trials the proportion is unknown: returns `[0, 1]`.
+pub fn wilson(k: u64, n: u64, z: f64) -> BinomialInterval {
+    if n == 0 {
+        return BinomialInterval { lo: 0.0, hi: 1.0 };
+    }
+    let nf = n as f64;
+    let p = k as f64 / nf;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / nf;
+    let center = (p + z2 / (2.0 * nf)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / nf + z2 / (4.0 * nf * nf)).sqrt();
+    BinomialInterval {
+        lo: (center - half).max(0.0),
+        hi: (center + half).min(1.0),
+    }
+}
+
+/// Exact Clopper–Pearson interval for `k` successes in `n` trials at
+/// two-sided level `alpha` (e.g. 0.05 for 95 %).
+///
+/// The lower bound solves `P(X ≥ k | p) = alpha/2` and the upper bound
+/// solves `P(X ≤ k | p) = alpha/2`; the edge cases `k = 0` / `k = n` pin
+/// the corresponding bound to 0 / 1. With no trials returns `[0, 1]`.
+pub fn clopper_pearson(k: u64, n: u64, alpha: f64) -> BinomialInterval {
+    if n == 0 {
+        return BinomialInterval { lo: 0.0, hi: 1.0 };
+    }
+    let half = alpha / 2.0;
+    let lo = if k == 0 {
+        0.0
+    } else {
+        // P(X ≥ k | p) increases from 0 to 1 as p goes 0 → 1.
+        bisect(|p| upper_tail(k, n, p) - half)
+    };
+    let hi = if k == n {
+        1.0
+    } else {
+        // P(X ≤ k | p) decreases from 1 to 0 as p goes 0 → 1.
+        bisect(|p| half - lower_tail(k, n, p))
+    };
+    BinomialInterval { lo, hi }
+}
+
+/// Root of a monotonically increasing `f` on `[0, 1]` by bisection.
+fn bisect(f: impl Fn(f64) -> f64) -> f64 {
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    // 80 halvings take the bracket well below f64 resolution on [0, 1].
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if f(mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// `P(X ≥ k)` for `X ~ Binomial(n, p)`, exact up to f64 rounding.
+pub fn upper_tail(k: u64, n: u64, p: f64) -> f64 {
+    tail_sum(n, p, k..=n)
+}
+
+/// `P(X ≤ k)` for `X ~ Binomial(n, p)`, exact up to f64 rounding.
+pub fn lower_tail(k: u64, n: u64, p: f64) -> f64 {
+    tail_sum(n, p, 0..=k)
+}
+
+/// Sum of binomial pmf terms over `range`, computed in log space with a
+/// max-shift so n = 512 tails do not underflow to zero term-by-term.
+fn tail_sum(n: u64, p: f64, range: std::ops::RangeInclusive<u64>) -> f64 {
+    if p <= 0.0 {
+        return if *range.start() == 0 { 1.0 } else { 0.0 };
+    }
+    if p >= 1.0 {
+        return if *range.end() == n { 1.0 } else { 0.0 };
+    }
+    let (lp, lq) = (p.ln(), (1.0 - p).ln());
+    let logs: Vec<f64> = range
+        .map(|i| ln_choose(n, i) + i as f64 * lp + (n - i) as f64 * lq)
+        .collect();
+    let m = logs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let s: f64 = logs.iter().map(|l| (l - m).exp()).sum();
+    (m.exp() * s).min(1.0)
+}
+
+/// `ln C(n, k)` via the log-gamma of factorials (Stirling with correction
+/// terms; exact enough that n ≤ 512 tail sums match direct summation).
+fn ln_choose(n: u64, k: u64) -> f64 {
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// `ln(n!)`: exact accumulation for small n, Stirling series beyond.
+fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 256 {
+        return (2..=n).map(|i| (i as f64).ln()).sum();
+    }
+    let x = n as f64;
+    // Stirling with the 1/(12x) and 1/(360x^3) corrections: error below
+    // 1e-12 for x >= 256, far inside the tail-sum tolerance.
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x * x)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Direct pmf summation without log-space tricks — the independent
+    /// reference the log-space implementation is checked against.
+    fn naive_upper_tail(k: u64, n: u64, p: f64) -> f64 {
+        let mut choose = 1.0f64;
+        let mut sum = 0.0;
+        for i in 0..=n {
+            if i > 0 {
+                choose *= (n - i + 1) as f64 / i as f64;
+            }
+            if i >= k {
+                sum += choose * p.powi(i as i32) * (1.0 - p).powi((n - i) as i32);
+            }
+        }
+        sum.min(1.0)
+    }
+
+    #[test]
+    fn zero_trials_is_unit_interval() {
+        for ci in [wilson(0, 0, 1.96), clopper_pearson(0, 0, 0.05)] {
+            assert_eq!(ci.lo, 0.0);
+            assert_eq!(ci.hi, 1.0);
+            assert!((ci.halfwidth() - 0.5).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn wilson_known_value() {
+        // k=0, n=16, z=1.96: hi = z²/(n+z²) ≈ 0.1937, lo = 0.
+        let ci = wilson(0, 16, 1.96);
+        assert_eq!(ci.lo, 0.0);
+        assert!((ci.hi - 1.96 * 1.96 / (16.0 + 1.96 * 1.96)).abs() < 1e-12);
+        // Saturated-point stopping arithmetic the bench relies on: n=16
+        // misses an ε=0.069 target, n=32 meets it.
+        assert!(ci.halfwidth() > 0.069);
+        assert!(wilson(0, 32, 1.96).halfwidth() <= 0.069);
+    }
+
+    #[test]
+    fn clopper_pearson_edges() {
+        let ci = clopper_pearson(0, 20, 0.05);
+        assert_eq!(ci.lo, 0.0);
+        // Rule of three: hi = 1 - (α/2)^(1/n).
+        assert!((ci.hi - (1.0 - 0.025f64.powf(1.0 / 20.0))).abs() < 1e-9);
+        let ci = clopper_pearson(20, 20, 0.05);
+        assert_eq!(ci.hi, 1.0);
+        assert!((ci.lo - 0.025f64.powf(1.0 / 20.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn straddles_is_strict() {
+        let ci = BinomialInterval { lo: 0.2, hi: 0.8 };
+        assert!(ci.straddles(0.5));
+        assert!(!ci.straddles(0.2));
+        assert!(!ci.straddles(0.8));
+        assert!(!ci.straddles(0.9));
+    }
+
+    #[test]
+    fn ln_factorial_matches_accumulation_across_stirling_cutover() {
+        for n in [255u64, 256, 257, 400, 512] {
+            let exact: f64 = (2..=n).map(|i| (i as f64).ln()).sum();
+            assert!(
+                (ln_factorial(n) - exact).abs() < 1e-9 * exact.max(1.0),
+                "n={n}"
+            );
+        }
+    }
+
+    proptest! {
+        /// Tail sums in log space match direct pmf summation over the
+        /// full n ≤ 512 range the adaptive engine can reach.
+        #[test]
+        fn tails_match_naive_sum(n in 1u64..=512, kf in 0.0f64..=1.0, p in 0.001f64..0.999) {
+            let k = (kf * n as f64).round() as u64;
+            let up = upper_tail(k, n, p);
+            let naive = naive_upper_tail(k, n, p);
+            prop_assert!((up - naive).abs() < 1e-9, "k={k} n={n} p={p}: {up} vs {naive}");
+            // The two tails overlap only in the pmf at k itself.
+            let pmf = naive_upper_tail(k, n, p) - if k < n { naive_upper_tail(k + 1, n, p) } else { 0.0 };
+            prop_assert!((lower_tail(k, n, p) + up - pmf - 1.0).abs() < 1e-9);
+        }
+
+        /// Clopper–Pearson bounds invert the exact tail tests: at the
+        /// returned bounds the corresponding tail equals α/2.
+        #[test]
+        fn clopper_pearson_inverts_tail_sums(n in 1u64..=512, kf in 0.0f64..=1.0) {
+            let k = (kf * n as f64).round() as u64;
+            let ci = clopper_pearson(k, n, 0.05);
+            if k > 0 {
+                prop_assert!((upper_tail(k, n, ci.lo) - 0.025).abs() < 1e-6,
+                             "k={k} n={n} lo={} tail={}", ci.lo, upper_tail(k, n, ci.lo));
+            } else {
+                prop_assert_eq!(ci.lo, 0.0);
+            }
+            if k < n {
+                prop_assert!((lower_tail(k, n, ci.hi) - 0.025).abs() < 1e-6,
+                             "k={k} n={n} hi={} tail={}", ci.hi, lower_tail(k, n, ci.hi));
+            } else {
+                prop_assert_eq!(ci.hi, 1.0);
+            }
+        }
+
+        /// Both constructions produce proper intervals containing p̂, and
+        /// the exact interval contains the Wilson one's point estimate
+        /// behaviour: both cover p̂ and stay inside [0, 1].
+        #[test]
+        fn intervals_are_proper(n in 1u64..=512, kf in 0.0f64..=1.0) {
+            let k = (kf * n as f64).round() as u64;
+            let p_hat = k as f64 / n as f64;
+            for ci in [wilson(k, n, 1.96), clopper_pearson(k, n, 0.05)] {
+                prop_assert!(ci.lo >= 0.0 && ci.hi <= 1.0);
+                prop_assert!(ci.lo <= p_hat + 1e-12 && p_hat <= ci.hi + 1e-12);
+                prop_assert!(ci.halfwidth() >= 0.0);
+            }
+        }
+
+        /// Wilson endpoints satisfy the defining score equation
+        /// (p̂ − p)² n = z² p (1 − p) unless clamped at 0/1.
+        #[test]
+        fn wilson_solves_score_equation(n in 1u64..=512, kf in 0.0f64..=1.0) {
+            let k = (kf * n as f64).round() as u64;
+            let (z, nf) = (1.96f64, n as f64);
+            let p_hat = k as f64 / nf;
+            let ci = wilson(k, n, z);
+            for p in [ci.lo, ci.hi] {
+                if p > 0.0 && p < 1.0 {
+                    let lhs = (p_hat - p) * (p_hat - p) * nf;
+                    let rhs = z * z * p * (1.0 - p);
+                    prop_assert!((lhs - rhs).abs() < 1e-6 * rhs.max(1e-3),
+                                 "k={k} n={n} p={p}: {lhs} vs {rhs}");
+                }
+            }
+        }
+
+        /// Monotonicity: doubling the evidence at fixed p̂ never widens
+        /// the interval — more samples can only sharpen the stop rule.
+        #[test]
+        fn more_samples_never_widen(n in 1u64..=256, kf in 0.0f64..=1.0) {
+            let k = (kf * n as f64).round() as u64;
+            let w1 = wilson(k, n, 1.96).halfwidth();
+            let w2 = wilson(2 * k, 2 * n, 1.96).halfwidth();
+            prop_assert!(w2 <= w1 + 1e-12, "wilson k={k} n={n}: {w2} > {w1}");
+            let c1 = clopper_pearson(k, n, 0.05).halfwidth();
+            let c2 = clopper_pearson(2 * k, 2 * n, 0.05).halfwidth();
+            prop_assert!(c2 <= c1 + 1e-6, "cp k={k} n={n}: {c2} > {c1}");
+        }
+    }
+}

@@ -33,12 +33,18 @@
 //! assert!(c > 0.3 && c < 0.7); // roughly half above the mean
 //! ```
 
+mod adaptive;
 mod driver;
+mod interval;
 mod outcome;
 mod sampling;
 mod stats;
 
+pub use adaptive::{
+    sign_change_neighbors, AdaptivePolicy, IntervalRule, PointAccuracy, SequentialTally,
+};
 pub use driver::{panic_message, MonteCarlo, OnDoneFn, PriorFn, RunHooks};
+pub use interval::{clopper_pearson, lower_tail, upper_tail, wilson, BinomialInterval};
 pub use outcome::SampleOutcome;
 pub use sampling::{normal, Gaussian};
 pub use stats::{coverage, quantile, Summary};

@@ -10,10 +10,11 @@ use crate::json::json_str;
 
 /// One journal entry. `kind` distinguishes the event families:
 /// `"sample"` (one Monte Carlo sample), `"site"` (one campaign defect
-/// site), `"transient"` (one standalone simulation).
+/// site), `"transient"` (one standalone simulation), `"point"` (one
+/// adaptive coverage grid point with its measured accuracy).
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
-    /// Event family: `"sample"`, `"site"`, or `"transient"`.
+    /// Event family: `"sample"`, `"site"`, `"transient"`, or `"point"`.
     pub kind: &'static str,
     /// Sample or site index within the run.
     pub index: usize,
@@ -34,6 +35,16 @@ pub struct Event {
     /// e.g. the captured message of a contained panic. Omitted when
     /// `None`, so existing golden journals are unaffected.
     pub detail: Option<String>,
+    /// Adaptive sampling: the CI half-width the stop rule was asked for.
+    /// The four precision fields are set together on `"point"` events and
+    /// omitted everywhere else.
+    pub requested_halfwidth: Option<f64>,
+    /// Adaptive sampling: the half-width actually achieved at stop.
+    pub achieved_halfwidth: Option<f64>,
+    /// Adaptive sampling: samples this grid point consumed.
+    pub samples_spent: Option<u64>,
+    /// Adaptive sampling: whether the point stopped before its budget.
+    pub stopped_early: Option<bool>,
     /// Counters attributed to this event, canonical order, zeros omitted.
     pub counters: Vec<(&'static str, u64)>,
 }
@@ -51,13 +62,18 @@ impl Event {
             escalation_rung: 0,
             error_kind: None,
             detail: None,
+            requested_halfwidth: None,
+            achieved_halfwidth: None,
+            samples_spent: None,
+            stopped_early: None,
             counters: Vec::new(),
         }
     }
 
     /// Renders the event as one JSON line (no trailing newline). Field
     /// order is fixed: kind, index, label?, seed?, outcome, attempts,
-    /// escalation_rung, error_kind?, detail?, counters.
+    /// escalation_rung, error_kind?, detail?, requested_halfwidth?,
+    /// achieved_halfwidth?, samples_spent?, stopped_early?, counters.
     pub fn render_jsonl(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
@@ -85,6 +101,18 @@ impl Event {
         }
         if let Some(detail) = &self.detail {
             let _ = write!(out, ",\"detail\":{}", json_str(detail));
+        }
+        if let Some(hw) = self.requested_halfwidth {
+            let _ = write!(out, ",\"requested_halfwidth\":{hw}");
+        }
+        if let Some(hw) = self.achieved_halfwidth {
+            let _ = write!(out, ",\"achieved_halfwidth\":{hw}");
+        }
+        if let Some(n) = self.samples_spent {
+            let _ = write!(out, ",\"samples_spent\":{n}");
+        }
+        if let Some(early) = self.stopped_early {
+            let _ = write!(out, ",\"stopped_early\":{early}");
         }
         out.push_str(",\"counters\":{");
         for (i, (name, value)) in self.counters.iter().enumerate() {
@@ -137,6 +165,7 @@ mod tests {
             error_kind: Some("non-convergence".to_owned()),
             detail: None,
             counters: vec![("sparse_solves", 12), ("newton_iterations", 96)],
+            ..Event::new("sample", 3)
         };
         assert_eq!(
             e.render_jsonl(),
@@ -158,6 +187,23 @@ mod tests {
             "{\"kind\":\"sample\",\"index\":7,\"outcome\":\"failed\",\
              \"attempts\":1,\"escalation_rung\":0,\"error_kind\":\"panic\",\
              \"detail\":\"index out of bounds\",\"counters\":{}}"
+        );
+    }
+
+    #[test]
+    fn point_event_renders_precision_fields_before_counters() {
+        let mut e = Event::new("point", 4);
+        e.label = Some("pulse r=12000 f=1.1".to_owned());
+        e.requested_halfwidth = Some(0.069);
+        e.achieved_halfwidth = Some(0.0536);
+        e.samples_spent = Some(32);
+        e.stopped_early = Some(true);
+        assert_eq!(
+            e.render_jsonl(),
+            "{\"kind\":\"point\",\"index\":4,\"label\":\"pulse r=12000 f=1.1\",\
+             \"outcome\":\"ok\",\"attempts\":1,\"escalation_rung\":0,\
+             \"requested_halfwidth\":0.069,\"achieved_halfwidth\":0.0536,\
+             \"samples_spent\":32,\"stopped_early\":true,\"counters\":{}}"
         );
     }
 

@@ -6,7 +6,9 @@ use crate::json::json_str;
 use crate::metrics::MetricsSnapshot;
 
 /// Version of the manifest/metrics JSON layout; bumped on breaking change.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version 2 adds the optional `adaptive` block (per-point measured
+/// precision of an adaptive coverage study).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// FNV-1a digest of a configuration's `Debug` representation — stable for
 /// a given config on a given build, cheap, and dependency-free. Two runs
@@ -18,6 +20,83 @@ pub fn config_digest(debug_repr: &str) -> u64 {
         h = h.wrapping_mul(0x0000_0100_0000_01b3);
     }
     h
+}
+
+/// One grid point of an adaptive coverage study: where it sits, what it
+/// measured, and the accuracy actually achieved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptivePointRecord {
+    /// Test-condition factor (threshold or clock factor) of the point.
+    pub factor: f64,
+    /// Fault resistance of the point, in ohms.
+    pub resistance: f64,
+    /// Coverage estimate at stop.
+    pub coverage: f64,
+    /// CI half-width the stop rule was asked for.
+    pub requested_halfwidth: f64,
+    /// CI half-width actually achieved when the point stopped.
+    pub achieved_halfwidth: f64,
+    /// Samples the point consumed (first pass + refinement).
+    pub samples_spent: u64,
+    /// True when the point stopped before exhausting its budget.
+    pub stopped_early: bool,
+    /// True when the crossover-refinement pass extended this point.
+    pub refined: bool,
+}
+
+impl AdaptivePointRecord {
+    fn render_json(&self) -> String {
+        format!(
+            "{{\"factor\":{},\"resistance\":{},\"coverage\":{},\
+             \"requested_halfwidth\":{},\"achieved_halfwidth\":{},\
+             \"samples_spent\":{},\"stopped_early\":{},\"refined\":{}}}",
+            self.factor,
+            self.resistance,
+            self.coverage,
+            self.requested_halfwidth,
+            self.achieved_halfwidth,
+            self.samples_spent,
+            self.stopped_early,
+            self.refined
+        )
+    }
+}
+
+/// The measured-accuracy record of an adaptive coverage study, embedded
+/// in the manifest when adaptive sampling ran.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdaptiveManifest {
+    /// Requested CI half-width (first-pass target).
+    pub precision: f64,
+    /// First-pass per-point sample budget.
+    pub max_samples: u64,
+    /// Total (sample, point) evaluations actually spent.
+    pub evals: u64,
+    /// Evaluations a fixed-budget run would have spent.
+    pub fixed_budget_evals: u64,
+    /// Per-point measured accuracy, grid order.
+    pub points: Vec<AdaptivePointRecord>,
+}
+
+impl AdaptiveManifest {
+    fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"precision\":{},\"max_samples\":{},\"evals\":{},\
+             \"fixed_budget_evals\":{},\"points\":[",
+            self.precision, self.max_samples, self.evals, self.fixed_budget_evals
+        );
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&p.render_json());
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// The reproducibility record for one run (`pulsar sim`, a Monte Carlo
@@ -36,6 +115,8 @@ pub struct RunManifest {
     pub threads: Option<usize>,
     /// Technology summary (name or key parameters), when applicable.
     pub tech: Option<String>,
+    /// Adaptive-sampling accuracy record, when adaptive sampling ran.
+    pub adaptive: Option<AdaptiveManifest>,
     /// Wall-clock start, milliseconds since the Unix epoch.
     pub started_unix_ms: u64,
     /// Total wall-clock duration of the run in milliseconds.
@@ -57,6 +138,7 @@ impl RunManifest {
             samples: None,
             threads: None,
             tech: None,
+            adaptive: None,
             started_unix_ms: 0,
             wall_ms: 0,
             events: 0,
@@ -89,6 +171,9 @@ impl RunManifest {
         }
         if let Some(tech) = &self.tech {
             let _ = write!(out, ",\"tech\":{}", json_str(tech));
+        }
+        if let Some(adaptive) = &self.adaptive {
+            let _ = write!(out, ",\"adaptive\":{}", adaptive.render_json());
         }
         let _ = write!(
             out,
@@ -131,5 +216,42 @@ mod tests {
             SCHEMA_VERSION as f64
         );
         assert!(doc.get("metrics").unwrap().get("counters").is_some());
+    }
+
+    #[test]
+    fn adaptive_block_renders_between_tech_and_clock_fields() {
+        let mut m = RunManifest::new("study", config_digest("cfg"));
+        m.adaptive = Some(AdaptiveManifest {
+            precision: 0.069,
+            max_samples: 200,
+            evals: 512,
+            fixed_budget_evals: 2400,
+            points: vec![AdaptivePointRecord {
+                factor: 1.1,
+                resistance: 12000.0,
+                coverage: 0.96875,
+                requested_halfwidth: 0.069,
+                achieved_halfwidth: 0.0536,
+                samples_spent: 32,
+                stopped_early: true,
+                refined: false,
+            }],
+        });
+        let rendered = m.render_json();
+        let doc = json::parse(&rendered).unwrap();
+        let a = doc.get("adaptive").unwrap();
+        assert_eq!(a.get("max_samples").unwrap().as_num().unwrap(), 200.0);
+        assert_eq!(a.get("evals").unwrap().as_num().unwrap(), 512.0);
+        let points = match a.get("points").unwrap() {
+            json::Json::Arr(v) => v,
+            other => panic!("points is {}", other.type_name()),
+        };
+        assert_eq!(points[0].get("samples_spent").unwrap().as_num(), Some(32.0));
+        assert_eq!(
+            points[0].get("stopped_early").unwrap(),
+            &json::Json::Bool(true)
+        );
+        let tech_pos = rendered.find("\"started_unix_ms\"").unwrap();
+        assert!(rendered.find("\"adaptive\"").unwrap() < tech_pos);
     }
 }

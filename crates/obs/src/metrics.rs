@@ -129,11 +129,16 @@ pub enum Counter {
     /// Lanes ejected from a batched run back to the scalar path (Newton
     /// failure, cancellation, budget, or an unbatchable configuration).
     BatchEjections,
+    /// Per-point sample evaluations the adaptive stopping rule *skipped*
+    /// relative to the fixed budget (fixed-budget evals − evals spent).
+    AdaptiveSamplesSaved,
+    /// Sample evaluations spent in the crossover-refinement pass.
+    AdaptiveRefineSamples,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 20;
+    pub const COUNT: usize = 22;
 
     /// Every counter, in canonical order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -157,6 +162,8 @@ impl Counter {
         Counter::SitesFailed,
         Counter::BatchedLaneSolves,
         Counter::BatchEjections,
+        Counter::AdaptiveSamplesSaved,
+        Counter::AdaptiveRefineSamples,
     ];
 
     /// Stable snake_case name used in JSON output and journal events.
@@ -182,6 +189,8 @@ impl Counter {
             Counter::SitesFailed => "sites_failed",
             Counter::BatchedLaneSolves => "batched_lane_solves",
             Counter::BatchEjections => "batch_ejections",
+            Counter::AdaptiveSamplesSaved => "adaptive_samples_saved",
+            Counter::AdaptiveRefineSamples => "adaptive_refine_samples",
         }
     }
 

@@ -81,12 +81,50 @@ fn failure_run() -> Vec<Event> {
     events
 }
 
+/// An adaptive sweep journal: two phase-1 samples, one `-refine`
+/// labelled phase-2 sample, then a `point` event per grid point
+/// carrying the measured `{requested, achieved}` accuracy record the
+/// manifest is built from — one early-stopped, one refined to the cap.
+fn adaptive_run() -> Vec<Event> {
+    let mut events: Vec<Event> = (0..2)
+        .map(|i| {
+            let mut e = Event::new("sample", i);
+            e.label = Some("df-adaptive".to_owned());
+            e.seed = Some(0x2000 + i as u64);
+            e.counters = vec![("dense_solves", 64 + i as u64)];
+            e
+        })
+        .collect();
+    let mut refine = Event::new("sample", 2);
+    refine.label = Some("df-adaptive-refine".to_owned());
+    refine.seed = Some(0x2002);
+    refine.counters = vec![("dense_solves", 66)];
+    events.push(refine);
+    let mut stopped = Event::new("point", 0);
+    stopped.label = Some("df-adaptive f=0.9 r=1000".to_owned());
+    stopped.requested_halfwidth = Some(0.15);
+    stopped.achieved_halfwidth = Some(0.101);
+    stopped.samples_spent = Some(32);
+    stopped.stopped_early = Some(true);
+    events.push(stopped);
+    let mut refined = Event::new("point", 1);
+    refined.label = Some("df-adaptive f=0.9 r=30000".to_owned());
+    refined.detail = Some("refined".to_owned());
+    refined.requested_halfwidth = Some(0.15);
+    refined.achieved_halfwidth = Some(0.149);
+    refined.samples_spent = Some(96);
+    refined.stopped_early = Some(false);
+    events.push(refined);
+    events
+}
+
 #[test]
 fn journals_match_goldens() {
-    let corpus: [(&str, Vec<Event>); 3] = [
+    let corpus: [(&str, Vec<Event>); 4] = [
         ("clean", clean_run()),
         ("retries", retry_run()),
         ("failures", failure_run()),
+        ("adaptive", adaptive_run()),
     ];
     for (name, events) in &corpus {
         let rendered = render_journal(events);
@@ -107,6 +145,14 @@ fn journals_match_goldens() {
             assert_eq!(
                 doc.get("label").and_then(|l| l.as_str()),
                 event.label.as_deref()
+            );
+            assert_eq!(
+                doc.get("requested_halfwidth").and_then(json::Json::as_num),
+                event.requested_halfwidth
+            );
+            assert_eq!(
+                doc.get("achieved_halfwidth").and_then(json::Json::as_num),
+                event.achieved_halfwidth
             );
         }
     }

@@ -7,7 +7,9 @@
 
 use std::path::PathBuf;
 
-use pulsar_obs::{config_digest, json, Counter, Recorder, RunManifest};
+use pulsar_obs::{
+    config_digest, json, AdaptiveManifest, AdaptivePointRecord, Counter, Recorder, RunManifest,
+};
 
 fn schema() -> json::Json {
     let path =
@@ -42,6 +44,28 @@ fn rendered_manifest_validates_against_checked_in_schema() {
     let minimal = RunManifest::new("campaign", config_digest("netlist"));
     let doc = json::parse(&minimal.render_json()).expect("minimal manifest parses");
     json::validate(&schema, &doc).expect("minimal manifest must satisfy the schema");
+
+    // An adaptive study manifest with per-point precision records.
+    let mut adaptive = manifest_with_metrics();
+    adaptive.kind = "study".to_owned();
+    adaptive.adaptive = Some(AdaptiveManifest {
+        precision: 0.069,
+        max_samples: 200,
+        evals: 512,
+        fixed_budget_evals: 2400,
+        points: vec![AdaptivePointRecord {
+            factor: 1.1,
+            resistance: 12000.0,
+            coverage: 0.96875,
+            requested_halfwidth: 0.069,
+            achieved_halfwidth: 0.0536,
+            samples_spent: 32,
+            stopped_early: true,
+            refined: false,
+        }],
+    });
+    let doc = json::parse(&adaptive.render_json()).expect("adaptive manifest parses");
+    json::validate(&schema, &doc).expect("adaptive manifest must satisfy the schema");
 }
 
 #[test]
