@@ -1,8 +1,8 @@
-//! Checkable models of the workspace's three lock-free protocols, plus
+//! Checkable models of the workspace's four lock-free protocols, plus
 //! the deliberately-broken *mutation* variants the explorer must catch.
 //!
 //! Each model instantiates the **shipped** generic protocol core
-//! (`CancelCore`, `shard_proto`, `PoisonFlag`) with
+//! (`CancelCore`, `shard_proto`, `PoisonFlag`, `FillSlot`) with
 //! [`crate::atomics::ModelAtomics`] and the shipped `*_ORDERINGS`
 //! constants, so exploration covers the code and orderings that run in
 //! production. The mutation variants weaken one ordering or reorder
@@ -12,6 +12,7 @@
 pub mod cancel;
 pub mod checkpoint;
 pub mod recorder;
+pub mod serve;
 
 use crate::sim::{Options, Report};
 
@@ -27,6 +28,8 @@ pub fn shipped_suite(opts: Options) -> Vec<Report> {
         cancel::child_propagation(opts),
         cancel::cas_single_winner(opts),
         checkpoint::shipped(opts),
+        serve::fill_shipped(opts),
+        serve::queue_shipped(opts),
     ]
 }
 
@@ -45,6 +48,8 @@ pub fn mutation_suite(opts: Options) -> Vec<(Report, &'static str)> {
         (cancel::mut_racy_trip(deeper), "both won"),
         (checkpoint::mut_gate_after_write(opts), "after poison"),
         (checkpoint::mut_unlock_relaxed(opts), "data race"),
+        (serve::mut_publish_relaxed(opts), "data race"),
+        (serve::mut_ungated_dequeue(opts), "cancelled job ran"),
     ]
 }
 

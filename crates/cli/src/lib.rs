@@ -6,7 +6,7 @@
 //! # pulsar-cli
 //!
 //! Command-line front end for the pulsar toolchain. One binary,
-//! six subcommands:
+//! seven subcommands:
 //!
 //! ```text
 //! pulsar sim <deck.sp> [--nodes a,b] [--vcd out.vcd] [--csv out.csv] [--no-lint]
@@ -15,6 +15,7 @@
 //! pulsar campaign <netlist.bench> [--stride N]
 //! pulsar faultsim <netlist.bench> [--tau SECONDS]
 //! pulsar study <df|pulse> [--samples N] [--adaptive] [--precision EPS]
+//! pulsar serve <socket> [daemon flags | one client operation]
 //! ```
 //!
 //! `sim` drives the SPICE-flavoured deck parser and transient engine and
@@ -23,7 +24,10 @@
 //! ISCAS-85 text and run the pulse-test generation / campaign /
 //! fault-simulation flows; `study` runs the paper's Monte Carlo coverage
 //! experiments on the built-in 7-gate path, with `--adaptive` switching
-//! the fixed per-point budget to the early-stopping engine. The command
+//! the fixed per-point budget to the early-stopping engine; `serve`
+//! runs the same studies and campaigns as a long-lived daemon behind a
+//! JSONL-over-Unix-socket protocol with cross-job caches (see
+//! `pulsar-serve`). The command
 //! implementations are a library (this crate) so they are testable
 //! without spawning processes; `main.rs` is a thin shim.
 
@@ -37,14 +41,18 @@ use pulsar_analog::{
 };
 use pulsar_cells::{PathSpec, Tech};
 use pulsar_core::{
-    all_branch_faults, compact_patterns, fault_simulate, plan_for_site, AdaptivePolicy,
-    AdaptiveReport, Campaign, CoverageCurve, DefectKind, DfStudy, McConfig, PathUnderTest,
-    PulsePattern, PulseStudy, ResilienceConfig, SiteOutcome, TestgenConfig,
+    all_branch_faults, campaign_digest_repr, fault_simulate, plan_for_site, study_digest_repr,
+    AdaptivePolicy, AdaptiveReport, Campaign, CoverageCurve, DefectKind, DfStudy, McConfig,
+    PathUnderTest, PulsePattern, PulseStudy, ResilienceConfig, SiteOutcome, TestgenConfig,
 };
 use pulsar_logic::parse_iscas85;
 use pulsar_obs::{
     config_digest, render_journal, CancelReason, CancelToken, Counter as ObsCounter, Event,
     RunManifest,
+};
+use pulsar_serve::{
+    Client as ServeClient, Daemon as ServeDaemon, JobOutcome, JobSpec, ServeConfig,
+    StudyKind as ServeStudyKind,
 };
 use pulsar_timing::TimingLibrary;
 
@@ -170,6 +178,14 @@ USAGE:
   pulsar study <df|pulse> [--samples N] [--seed S] [--r LIST] [--factors LIST]
                [--adaptive] [--precision EPS] [--max-samples N]
                [--trace-out FILE] [--metrics FILE]
+  pulsar serve <socket> [--workers N] [--queue-depth N] [--spool DIR]
+               [--tenant-budget N] [--metrics FILE]
+  pulsar serve <socket> --submit <df|pulse|campaign> [--samples N] [--seed S]
+               [--r LIST] [--factors LIST] [--netlist FILE] [--stride N]
+               [--tenant NAME] [--deadline SECONDS] [--failure-budget F]
+  pulsar serve <socket> --run <df|pulse|campaign> [same flags as --submit]
+  pulsar serve <socket> <--wait JOB | --status JOB | --cancel JOB |
+               --stream JOB | --stats | --shutdown>
 
   --trace-out FILE   write the structured JSONL event journal of the run
   --metrics FILE     write the run manifest (config digest, wall clock,
@@ -188,8 +204,30 @@ USAGE:
   --contain-panics   turn a panicking worker into a failed site instead
                      of aborting the whole campaign
 
+serve flags (daemon mode — no client operation given):
+  --workers N        sharded worker pool size (default 2)
+  --queue-depth N    bounded job queue depth; a full queue rejects new
+                     submissions with a typed `busy` error (default 8)
+  --spool DIR        checkpoint spool; drained and resumed jobs restart
+                     bit-identically from here after a daemon restart
+  --tenant-budget N  per-tenant failed-job budget; an over-budget tenant
+                     gets typed `tenant-budget` rejections
+serve flags (client operations):
+  --submit KIND      enqueue a df/pulse study or campaign job, print its
+                     id and config digest, return immediately
+  --run KIND         submit, wait for the result, print it (exit 1 if
+                     the job fails)
+  --tenant NAME      attribute the job to a tenant for budget accounting
+  --deadline SECONDS per-job wall-clock deadline
+  --failure-budget F per-job tolerated site-failure fraction (0..=1)
+  --wait/--status/--cancel/--stream JOB
+                     block on / report / cancel / follow the journal of
+                     a job by id; --stats and --shutdown take no value
+
 Exit codes: 0 = success, 1 = runtime failure, 2 = usage error,
-130 = interrupted (SIGINT; checkpointed work is resumable with --resume).
+130 = interrupted (SIGINT; checkpointed work is resumable with --resume,
+and an interrupted serve daemon resumes drained jobs from its --spool).
+Typed serve rejections (busy, tenant-budget, shutdown) exit 1.
 ";
 
 /// Dispatches a full argument vector (without the program name). Returns
@@ -221,6 +259,7 @@ pub fn dispatch_with_cancel(args: &[String], token: &CancelToken) -> Result<Stri
         Some("campaign") => cmd_campaign(&args[1..], token),
         Some("faultsim") => cmd_faultsim(&args[1..]),
         Some("study") => cmd_study(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..], token),
         Some("--help" | "-h" | "help") | None => Ok(USAGE.to_owned()),
         Some(other) => Err(CliError::usage(format!(
             "unknown subcommand `{other}`\n\n{USAGE}"
@@ -298,6 +337,7 @@ const BOOL_FLAGS: &[&str] = &[
     "--stats",
     "--contain-panics",
     "--adaptive",
+    "--shutdown",
 ];
 
 fn has_flag(args: &[String], name: &str) -> bool {
@@ -669,57 +709,7 @@ fn cmd_campaign(args: &[String], token: &CancelToken) -> Result<String, CliError
     }
     .map_err(|e| CliError::run_err("campaign", &e))?;
 
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{} sites probed: {} planned, {} unsensitizable, {} failed",
-        report.sites.len(),
-        report.planned,
-        report.unsensitizable,
-        report.failed
-    );
-    if report.completeness.resumed > 0 {
-        let _ = writeln!(
-            out,
-            "checkpoint: {} of {} sites restored from {}",
-            report.completeness.resumed,
-            report.completeness.done,
-            checkpoint_path.unwrap_or("-"),
-        );
-    }
-    if let Some(why) = report.completeness.truncated {
-        let _ = writeln!(
-            out,
-            "TRUNCATED ({why}): {} of {} sites done",
-            report.completeness.done, report.completeness.requested
-        );
-    }
-    let _ = writeln!(out, "pattern count: {}", report.pattern_count());
-    let plans: Vec<_> = report
-        .sites
-        .iter()
-        .filter_map(|(_, o)| match o {
-            SiteOutcome::Planned(p) => Some(p.clone()),
-            _ => None,
-        })
-        .collect();
-    let sessions = compact_patterns(&nl, &plans);
-    let _ = writeln!(out, "compacted vector-load sessions: {}", sessions.len());
-    if let Some(s) = report.r_min_summary() {
-        let _ = writeln!(
-            out,
-            "R_min: min {:.3e}, mean {:.3e}, max {:.3e} ohm",
-            s.min, s.mean, s.max
-        );
-    }
-    for r in [1e3, 10e3, 100e3, 1e6] {
-        let _ = writeln!(
-            out,
-            "site coverage at {:>9.0} ohm: {:.3}",
-            r,
-            report.coverage_at(r)
-        );
-    }
+    let mut out = report.render_report(&nl, checkpoint_path);
     if rec.is_enabled() {
         let snap = rec.snapshot();
         let _ = writeln!(
@@ -737,7 +727,7 @@ fn cmd_campaign(args: &[String], token: &CancelToken) -> Result<String, CliError
     if let Some(f) = metrics_out {
         let mut manifest = RunManifest::new(
             "campaign",
-            config_digest(&format!("stride={stride}\n{text}")),
+            config_digest(&campaign_digest_repr(stride, &text)),
         );
         manifest.threads = campaign.threads;
         write_manifest(manifest, &rec, started_unix_ms, t0, f, &mut out)?;
@@ -815,13 +805,9 @@ fn parse_f64_list(s: &str, flag: &str) -> Result<Vec<f64>, CliError> {
 }
 
 fn render_curves(out: &mut String, curves: &[CoverageCurve]) {
-    for c in curves {
-        let _ = write!(out, "factor {:.2}: coverage", c.factor);
-        for (r, cov) in c.resistance.iter().zip(&c.coverage) {
-            let _ = write!(out, " {cov:.3}@{r:.1e}");
-        }
-        out.push('\n');
-    }
+    // One renderer for every consumer (CLI, serve daemon, bench asserts):
+    // same digest ⇒ byte-identical curve text, by construction.
+    out.push_str(&CoverageCurve::render_set(curves));
 }
 
 fn render_adaptive(out: &mut String, report: &AdaptiveReport) {
@@ -983,9 +969,8 @@ fn cmd_study(args: &[String]) -> Result<String, CliError> {
     if let Some(f) = metrics_out {
         let mut manifest = RunManifest::new(
             "study",
-            config_digest(&format!(
-                "study kind={kind} samples={samples} seed={seed} r={rs:?} factors={factors:?} \
-                 adaptive={adaptive} policy={policy:?}"
+            config_digest(&study_digest_repr(
+                kind, samples, seed, &rs, &factors, adaptive, &policy,
             )),
         );
         manifest.seed = Some(seed);
@@ -997,6 +982,281 @@ fn cmd_study(args: &[String]) -> Result<String, CliError> {
         write_manifest(manifest, &rec, started_unix_ms, t0, f, &mut out)?;
     }
     Ok(out)
+}
+
+/// The serve client operations that are mutually exclusive on one
+/// invocation. `--stats` and `--shutdown` are boolean; the rest consume
+/// a value (a job id or a spec kind).
+const SERVE_OPS: &[&str] = &[
+    "--submit",
+    "--run",
+    "--wait",
+    "--status",
+    "--cancel",
+    "--stream",
+    "--stats",
+    "--shutdown",
+];
+
+/// `pulsar serve`: the async campaign daemon and its protocol client.
+///
+/// Without a client operation the command *is* the daemon: it binds the
+/// Unix socket, serves submitted jobs on a sharded worker pool with
+/// cross-job caches, and on SIGINT or a client `--shutdown` drains
+/// in-flight jobs through the checkpoint path before exiting. With a
+/// client operation it connects to an already-running daemon instead.
+fn cmd_serve(args: &[String], token: &CancelToken) -> Result<String, CliError> {
+    let socket = positional(args).ok_or_else(|| CliError::usage("serve: missing socket path"))?;
+    let sock = std::path::PathBuf::from(socket);
+    let ops: Vec<&str> = SERVE_OPS
+        .iter()
+        .copied()
+        .filter(|f| has_flag(args, f))
+        .collect();
+    if ops.len() > 1 {
+        return Err(CliError::usage(format!(
+            "serve: at most one client operation per invocation (got {})",
+            ops.join(" ")
+        )));
+    }
+    match ops.first().copied() {
+        None => serve_daemon(args, sock, token),
+        Some(op) => serve_client(op, args, &sock),
+    }
+}
+
+/// Daemon mode: start, bridge SIGINT into the daemon token, join.
+fn serve_daemon(
+    args: &[String],
+    sock: std::path::PathBuf,
+    token: &CancelToken,
+) -> Result<String, CliError> {
+    let mut cfg = ServeConfig::new(sock);
+    if let Some(v) = flag_value(args, "--workers") {
+        cfg.workers = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("serve: --workers `{v}` is not a count")))?;
+    }
+    if let Some(v) = flag_value(args, "--queue-depth") {
+        cfg.queue_depth = v
+            .parse()
+            .map_err(|_| CliError::usage(format!("serve: --queue-depth `{v}` is not a count")))?;
+    }
+    cfg.spool = flag_value(args, "--spool").map(std::path::PathBuf::from);
+    cfg.metrics_out = flag_value(args, "--metrics").map(std::path::PathBuf::from);
+    if let Some(v) = flag_value(args, "--tenant-budget") {
+        cfg.tenant_budget = Some(v.parse().map_err(|_| {
+            CliError::usage(format!("serve: --tenant-budget `{v}` is not a count"))
+        })?);
+    }
+    let workers = cfg.workers;
+    let depth = cfg.queue_depth;
+    let daemon = ServeDaemon::start(cfg)
+        .map_err(|e| CliError::run(format!("serve: cannot start daemon: {e}")))?;
+    // Readiness goes to stderr so stdout stays a clean summary stream.
+    eprintln!(
+        "pulsar serve: listening on {} ({workers} workers, queue depth {depth})",
+        daemon.socket().display()
+    );
+
+    let sig = token.clone();
+    let dtoken = daemon.token().clone();
+    // spawn: detached SIGINT bridge — it exits when either token trips,
+    // and the process exits right after `join` returns regardless.
+    std::thread::spawn(move || loop {
+        if sig.is_cancelled() {
+            dtoken.cancel(CancelReason::User);
+            return;
+        }
+        if dtoken.is_cancelled() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    });
+
+    let summary = daemon
+        .join()
+        .map_err(|e| CliError::run(format!("serve: {e}")))?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "serve summary: {} jobs admitted, {} completed, {} failed, {} drained to checkpoints, \
+         {} whole-result cache hits",
+        summary.jobs_admitted,
+        summary.jobs_completed,
+        summary.jobs_failed,
+        summary.jobs_drained,
+        summary.result_cache_hits
+    );
+    if token.is_cancelled() {
+        return Err(CliError::interrupted(
+            "serve interrupted: in-flight jobs drained to their checkpoints; restart with the \
+             same --spool to resume them",
+            out,
+        ));
+    }
+    Ok(out)
+}
+
+/// Client mode: one operation against a running daemon.
+fn serve_client(op: &str, args: &[String], sock: &std::path::Path) -> Result<String, CliError> {
+    let mut client = ServeClient::connect(sock).map_err(|e| {
+        CliError::run(format!(
+            "serve: cannot connect to `{}`: {e}",
+            sock.display()
+        ))
+    })?;
+    let fail = |e: pulsar_serve::ClientError| CliError::run(format!("serve: {e}"));
+    match op {
+        "--submit" | "--run" => {
+            let kind = flag_value(args, op)
+                .ok_or_else(|| CliError::usage(format!("serve: {op} needs a kind")))?;
+            let spec = serve_spec(args, kind)?;
+            let tenant = flag_value(args, "--tenant");
+            let deadline_ms = match flag_value(args, "--deadline") {
+                Some(v) => {
+                    let secs: f64 = v.parse().map_err(|_| {
+                        CliError::usage(format!("serve: --deadline `{v}` is not a number"))
+                    })?;
+                    Some((secs * 1e3) as u64)
+                }
+                None => None,
+            };
+            let budget = match flag_value(args, "--failure-budget") {
+                Some(v) => Some(v.parse().map_err(|_| {
+                    CliError::usage(format!("serve: --failure-budget `{v}` is not a number"))
+                })?),
+                None => None,
+            };
+            let (job, digest, cached) = client
+                .submit_with(&spec, tenant, deadline_ms, budget)
+                .map_err(fail)?;
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "job {job} digest {digest:#018x}{}",
+                if cached {
+                    " (whole-result cache hit)"
+                } else {
+                    " queued"
+                }
+            );
+            if op == "--submit" {
+                return Ok(out);
+            }
+            let o = client.wait(job).map_err(fail)?;
+            if o.state == "failed" {
+                return Err(CliError::run(format!(
+                    "serve: job {job} failed: {}",
+                    o.error.unwrap_or_default()
+                )));
+            }
+            out.push_str(&serve_render_outcome(&o));
+            Ok(out)
+        }
+        "--wait" | "--status" | "--cancel" => {
+            let job = serve_job_id(args, op)?;
+            let o = match op {
+                "--wait" => client.wait(job),
+                "--status" => client.status(job),
+                _ => client.cancel(job),
+            }
+            .map_err(fail)?;
+            Ok(serve_render_outcome(&o))
+        }
+        "--stream" => {
+            let job = serve_job_id(args, "--stream")?;
+            let mut out = String::new();
+            let state = client
+                .stream(job, |event| {
+                    out.push_str(event);
+                    out.push('\n');
+                })
+                .map_err(fail)?;
+            let _ = writeln!(out, "stream ended: job {job} {state}");
+            Ok(out)
+        }
+        "--stats" => {
+            let mut payload = client.stats().map_err(fail)?;
+            payload.push('\n');
+            Ok(payload)
+        }
+        "--shutdown" => {
+            client.shutdown().map_err(fail)?;
+            Ok("daemon shutting down\n".to_owned())
+        }
+        other => Err(CliError::usage(format!(
+            "serve: unknown client operation `{other}`"
+        ))),
+    }
+}
+
+/// Parses a submit/run spec from the CLI flags, with the same defaults
+/// as `pulsar study` / `pulsar campaign`.
+fn serve_spec(args: &[String], kind: &str) -> Result<JobSpec, CliError> {
+    if let Some(k) = ServeStudyKind::parse(kind) {
+        let samples: usize = match flag_value(args, "--samples") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("serve: --samples `{v}` is not a count")))?,
+            None => 24,
+        };
+        let seed: u64 = match flag_value(args, "--seed") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("serve: --seed `{v}` is not an integer")))?,
+            None => 2007,
+        };
+        let rs = parse_f64_list(flag_value(args, "--r").unwrap_or("1e3,30e3,100e3"), "--r")?;
+        let factors = parse_f64_list(
+            flag_value(args, "--factors").unwrap_or("0.9,1.1"),
+            "--factors",
+        )?;
+        return Ok(JobSpec::Study {
+            kind: k,
+            samples,
+            seed,
+            rs,
+            factors,
+        });
+    }
+    if kind == "campaign" {
+        let path = flag_value(args, "--netlist")
+            .ok_or_else(|| CliError::usage("serve: campaign jobs need --netlist FILE"))?;
+        let netlist = read(path)?;
+        let stride: usize = match flag_value(args, "--stride") {
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::usage(format!("serve: --stride `{v}` is not a count")))?,
+            None => 1,
+        };
+        return Ok(JobSpec::Campaign { netlist, stride });
+    }
+    Err(CliError::usage(format!(
+        "serve: unknown job kind `{kind}` (expected df, pulse, or campaign)"
+    )))
+}
+
+fn serve_job_id(args: &[String], flag: &str) -> Result<u64, CliError> {
+    let v = flag_value(args, flag)
+        .ok_or_else(|| CliError::usage(format!("serve: {flag} needs a job id")))?;
+    v.parse()
+        .map_err(|_| CliError::usage(format!("serve: {flag} `{v}` is not a job id")))
+}
+
+fn serve_render_outcome(o: &JobOutcome) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "job {}: {}", o.job, o.state);
+    if let Some(r) = &o.result {
+        out.push_str(r);
+        if !r.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    if let Some(e) = &o.error {
+        let _ = writeln!(out, "error: {e}");
+    }
+    out
 }
 
 #[cfg(test)]

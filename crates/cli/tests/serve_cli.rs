@@ -1,0 +1,155 @@
+//! Process-level tests of `pulsar serve`: a daemon killed hard (SIGKILL)
+//! mid-job must, on restart over the same spool, produce a result
+//! byte-identical to an uninterrupted run; SIGINT must exit 130.
+
+#![allow(clippy::unwrap_used)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_pulsar")
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pulsar-serve-cli-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn start_daemon(sock: &Path, spool: &Path) -> Child {
+    let child = Command::new(bin())
+        .args([
+            "serve",
+            sock.to_str().unwrap(),
+            "--workers",
+            "1",
+            "--spool",
+            spool.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !sock.exists() {
+        assert!(Instant::now() < deadline, "daemon never bound {sock:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    child
+}
+
+fn client(sock: &Path, args: &[&str]) -> Output {
+    Command::new(bin())
+        .arg("serve")
+        .arg(sock)
+        .args(args)
+        .output()
+        .unwrap()
+}
+
+/// The df spec used throughout: small enough for test time, large
+/// enough that a SIGKILL ~50 ms in lands mid-job more often than not
+/// (either way the resumed result must match the reference bytes).
+const SPEC: &[&str] = &[
+    "df",
+    "--samples",
+    "6",
+    "--seed",
+    "42",
+    "--r",
+    "1e3,30e3",
+    "--factors",
+    "0.9,1.1",
+];
+
+fn run_spec(sock: &Path) -> Output {
+    let mut args = vec!["--run"];
+    args.extend_from_slice(SPEC);
+    client(sock, &args)
+}
+
+/// Drops the leading `job N digest ...` line, leaving the result body.
+fn body(stdout: &[u8]) -> String {
+    let text = String::from_utf8(stdout.to_vec()).unwrap();
+    text.split_once('\n').map_or("", |x| x.1).to_owned()
+}
+
+#[test]
+fn sigkill_mid_job_then_restart_resumes_bit_identically() {
+    let dir = tmp_dir("sigkill");
+
+    // Reference: an uninterrupted daemon runs the spec to completion.
+    let ref_sock = dir.join("ref.sock");
+    let mut ref_daemon = start_daemon(&ref_sock, &dir.join("ref-spool"));
+    let reference = run_spec(&ref_sock);
+    assert!(reference.status.success(), "reference run failed");
+    let reference_body = body(&reference.stdout);
+    assert!(reference_body.contains("df study on the paper path"));
+    assert!(client(&ref_sock, &["--shutdown"]).status.success());
+    assert!(ref_daemon.wait().unwrap().success());
+
+    // Daemon A: submit the same spec to a shared spool, then SIGKILL it
+    // mid-job — no drain, no checkpoint flush beyond what the durable
+    // run already wrote.
+    let spool = dir.join("spool");
+    let sock_a = dir.join("a.sock");
+    let mut daemon_a = start_daemon(&sock_a, &spool);
+    let mut submit = vec!["--submit"];
+    submit.extend_from_slice(SPEC);
+    let accepted = client(&sock_a, &submit);
+    assert!(accepted.status.success(), "submit rejected");
+    assert!(String::from_utf8_lossy(&accepted.stdout).contains("queued"));
+    std::thread::sleep(Duration::from_millis(50));
+    daemon_a.kill().unwrap();
+    daemon_a.wait().unwrap();
+
+    // Daemon B over the same spool: resubmitting the identical digest
+    // resumes from the checkpoint and must reproduce the reference
+    // bytes exactly.
+    let sock_b = dir.join("b.sock");
+    let mut daemon_b = start_daemon(&sock_b, &spool);
+    let resumed = run_spec(&sock_b);
+    assert!(resumed.status.success(), "resumed run failed");
+    assert_eq!(
+        body(&resumed.stdout),
+        reference_body,
+        "resumed result is not bit-identical to the uninterrupted run"
+    );
+    assert!(client(&sock_b, &["--shutdown"]).status.success());
+    assert!(daemon_b.wait().unwrap().success());
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigint_drains_and_exits_130() {
+    let dir = tmp_dir("sigint");
+    let sock = dir.join("d.sock");
+    let daemon = start_daemon(&sock, &dir.join("spool"));
+
+    let interrupt = Command::new("kill")
+        .args(["-INT", &daemon.id().to_string()])
+        .status()
+        .unwrap();
+    assert!(interrupt.success());
+
+    let out = daemon.wait_with_output().unwrap();
+    assert_eq!(out.status.code(), Some(130), "SIGINT must exit 130");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_usage_errors_exit_2() {
+    let out = Command::new(bin()).arg("serve").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = Command::new(bin())
+        .args(["serve", "/tmp/nonexistent.sock", "--wait", "7", "--stats"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2), "two client ops must be usage");
+}

@@ -353,6 +353,68 @@ impl CampaignReport {
         }
         s
     }
+
+    /// The canonical `pulsar campaign` report text: site counts,
+    /// checkpoint/truncation accounting, pattern and compacted-session
+    /// counts, `R_min` statistics, and the fixed coverage ladder. The
+    /// one-shot CLI and the serve daemon both render through here, so an
+    /// identical config digest yields byte-identical report text
+    /// regardless of the entry point. `resumed_from` names the
+    /// checkpoint the run restored sites from, when it did.
+    pub fn render_report(&self, nl: &Netlist, resumed_from: Option<&str>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{} sites probed: {} planned, {} unsensitizable, {} failed",
+            self.sites.len(),
+            self.planned,
+            self.unsensitizable,
+            self.failed
+        );
+        if self.completeness.resumed > 0 {
+            let _ = writeln!(
+                out,
+                "checkpoint: {} of {} sites restored from {}",
+                self.completeness.resumed,
+                self.completeness.done,
+                resumed_from.unwrap_or("-"),
+            );
+        }
+        if let Some(why) = self.completeness.truncated {
+            let _ = writeln!(
+                out,
+                "TRUNCATED ({why}): {} of {} sites done",
+                self.completeness.done, self.completeness.requested
+            );
+        }
+        let _ = writeln!(out, "pattern count: {}", self.pattern_count());
+        let plans: Vec<_> = self
+            .sites
+            .iter()
+            .filter_map(|(_, o)| match o {
+                SiteOutcome::Planned(p) => Some(p.clone()),
+                _ => None,
+            })
+            .collect();
+        let sessions = crate::compact_patterns(nl, &plans);
+        let _ = writeln!(out, "compacted vector-load sessions: {}", sessions.len());
+        if let Some(s) = self.r_min_summary() {
+            let _ = writeln!(
+                out,
+                "R_min: min {:.3e}, mean {:.3e}, max {:.3e} ohm",
+                s.min, s.mean, s.max
+            );
+        }
+        for r in [1e3, 10e3, 100e3, 1e6] {
+            let _ = writeln!(
+                out,
+                "site coverage at {:>9.0} ohm: {:.3}",
+                r,
+                self.coverage_at(r)
+            );
+        }
+        out
+    }
 }
 
 impl Campaign {

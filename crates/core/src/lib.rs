@@ -66,6 +66,7 @@ mod campaign;
 mod checkpoint;
 mod compact;
 mod df;
+mod digest;
 mod durable;
 mod engine;
 mod error;
@@ -90,6 +91,7 @@ pub use checkpoint::{
 };
 pub use compact::{compact_patterns, TestSession};
 pub use df::{df_detects, FfTiming};
+pub use digest::{campaign_digest_repr, study_digest_repr};
 pub use durable::{Completeness, DurableRun};
 pub use engine::{AnalogPath, DefectKind, ModelFault, ModelPath, PathInstance, PathUnderTest};
 pub use error::CoreError;
@@ -97,6 +99,7 @@ pub use faultsim::{all_branch_faults, fault_simulate, BranchFault, FaultSimRepor
 pub use iddq::IddqStudy;
 pub use model_study::{ModelDfStudy, ModelPulseStudy};
 pub use ordering::{OrderingCalibration, OrderingStudy};
+pub use pulsar_analog::SymbolicCache;
 pub use pulsar_lint::LintReport;
 pub use pulsar_mc::{AdaptivePolicy, BinomialInterval, IntervalRule, PointAccuracy};
 pub use pulsar_obs::{CancelReason, CancelToken};

@@ -89,6 +89,16 @@ pub struct McConfig {
     /// divergence, cancellation, sparse-path circuit) falls back to the
     /// scalar retry ladder, which replays the same seeded RNG stream.
     pub batch: usize,
+    /// A pre-primed symbolic factorization adopted instead of running the
+    /// study's own one-per-topology analysis. `None` (the default) primes
+    /// as before; a long-running service that executes many studies over
+    /// the same topology installs the cache primed by an earlier run so
+    /// later jobs skip even that single analysis. Safe by construction:
+    /// the handle carries the structural fingerprint of its circuit, and
+    /// a mismatched adoption falls back to a fresh analysis
+    /// ([`pulsar_analog::SymbolicCache`]). Symbolic analysis is
+    /// value-independent, so adopting a cache never changes results.
+    pub symbolic: Option<SymbolicCache>,
 }
 
 impl McConfig {
@@ -104,6 +114,7 @@ impl McConfig {
             dc_warm_start: false,
             obs: Recorder::disabled(),
             batch: 0,
+            symbolic: None,
         }
     }
 
@@ -589,6 +600,20 @@ fn prime_symbolic_with<B: FnOnce() -> AnalogPath>(build: B) -> Option<SymbolicCa
     nominal.built_path().prime_symbolic()
 }
 
+/// Returns the pre-primed cache installed on `mc` when one is present,
+/// otherwise primes a fresh one from `build`. A service running many
+/// studies over one topology installs the cache once via
+/// [`McConfig::symbolic`] and every subsequent run adopts it here; a
+/// fingerprint mismatch inside the solver falls back to fresh analysis,
+/// so a stale handle degrades to the un-cached behavior rather than a
+/// wrong answer.
+fn prime_or_adopt<B: FnOnce() -> AnalogPath>(mc: &McConfig, build: B) -> Option<SymbolicCache> {
+    match &mc.symbolic {
+        Some(c) => Some(c.clone()),
+        None => prime_symbolic_with(build),
+    }
+}
+
 /// Installs a primed symbolic factorization on a freshly built sample
 /// instance (no-op when the study's circuit runs dense).
 fn adopt_symbolic(p: &mut AnalogPath, cache: &Option<SymbolicCache>) {
@@ -621,6 +646,34 @@ pub struct CoverageCurve {
     pub completeness: Completeness,
 }
 
+impl CoverageCurve {
+    /// The canonical one-line text rendering of this curve (no trailing
+    /// newline): `factor F.FF: coverage C.CCC@R.Re.. ...`. Every consumer
+    /// — the one-shot CLI report, the serve daemon's result payloads, and
+    /// the bench bit-identity asserts — renders through here, so "same
+    /// digest ⇒ byte-identical result text" holds by construction.
+    pub fn render_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "factor {:.2}: coverage", self.factor);
+        for (r, cov) in self.resistance.iter().zip(&self.coverage) {
+            let _ = write!(out, " {cov:.3}@{r:.1e}");
+        }
+        out
+    }
+
+    /// [`CoverageCurve::render_line`] over a whole set, one line per
+    /// curve, each newline-terminated.
+    pub fn render_set(curves: &[CoverageCurve]) -> String {
+        let mut out = String::new();
+        for c in curves {
+            out.push_str(&c.render_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
 /// The reduced-clock DF-testing study (paper Figs. 6 and 8).
 ///
 /// Runs scalar regardless of [`McConfig::batch`]: its per-sample work is
@@ -651,6 +704,17 @@ impl DfStudy {
         }
     }
 
+    /// Primes the symbolic factorization of the *faulty* topology (the
+    /// coverage phase, where all the solves go) at defect resistance `r`
+    /// and returns the shareable handle, or `None` when the sparse engine
+    /// is not engaged for this circuit. A service installs the result on
+    /// [`McConfig::symbolic`] of later same-topology jobs so they skip
+    /// even the one-per-run analysis.
+    pub fn prime_symbolic(&self, r: f64) -> Option<SymbolicCache> {
+        let nominal_techs = vec![self.put.tech; self.put.spec.len()];
+        prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r))
+    }
+
     /// Per-sample draws, in a fixed order so calibration and coverage
     /// runs see identical instances.
     fn draw(&self, rng: &mut StdRng) -> (Vec<Tech>, FfTiming) {
@@ -674,7 +738,7 @@ impl DfStudy {
     pub fn try_fault_free_needs(&self) -> Result<McRunReport<f64>, CoreError> {
         lint_preflight(&self.put, None)?;
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
-        let symbolic = prime_symbolic_with(|| self.put.instantiate_fault_free(&nominal_techs));
+        let symbolic = prime_or_adopt(&self.mc, || self.put.instantiate_fault_free(&nominal_techs));
         self.mc
             .try_run_samples_with("df-fault-free", |_, attempt, rng, rec| {
                 let (techs, ff) = self.draw(rng);
@@ -720,7 +784,9 @@ impl DfStudy {
         lint_preflight(&self.put, Some(r_values))?;
         let r_values = r_values.to_vec();
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
-        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
+        let symbolic = prime_or_adopt(&self.mc, || {
+            self.put.instantiate(&nominal_techs, r_values[0])
+        });
         self.mc
             .try_run_samples_with("df-faulty", move |_, attempt, rng, rec| {
                 let (techs, ff) = self.draw(rng);
@@ -841,7 +907,9 @@ impl DfStudy {
         lint_preflight(&self.put, Some(r_values))?;
         let r_values = r_values.to_vec();
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
-        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
+        let symbolic = prime_or_adopt(&self.mc, || {
+            self.put.instantiate(&nominal_techs, r_values[0])
+        });
         self.mc.try_run_samples_durable(
             "df-faulty",
             run_token,
@@ -1011,7 +1079,9 @@ impl DfStudy {
             detect_below: false,
         };
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
-        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
+        let symbolic = prime_or_adopt(&self.mc, || {
+            self.put.instantiate(&nominal_techs, r_values[0])
+        });
         run_adaptive(
             &self.mc,
             policy,
@@ -1071,6 +1141,15 @@ impl PulseStudy {
             sensor_margin: 1.1,
             sweep: (60e-12, 1.2e-9, 40),
         }
+    }
+
+    /// Primes the symbolic factorization of the *faulty* topology at
+    /// defect resistance `r` and returns the shareable handle, or `None`
+    /// when the sparse engine is not engaged for this circuit. See
+    /// [`DfStudy::prime_symbolic`].
+    pub fn prime_symbolic(&self, r: f64) -> Option<SymbolicCache> {
+        let nominal_techs = vec![self.put.tech; self.put.spec.len()];
+        prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r))
     }
 
     fn draw_techs(&self, rng: &mut StdRng) -> (Vec<Tech>, f64) {
@@ -1266,7 +1345,7 @@ impl PulseStudy {
     pub fn try_fault_free_wouts(&self, w_in: f64) -> Result<McRunReport<f64>, CoreError> {
         lint_preflight(&self.put, None)?;
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
-        let symbolic = prime_symbolic_with(|| self.put.instantiate_fault_free(&nominal_techs));
+        let symbolic = prime_or_adopt(&self.mc, || self.put.instantiate_fault_free(&nominal_techs));
         let plan = self.mc.fault_plan.clone().unwrap_or_default();
         let pool = WorkspacePool::default();
         self.mc.try_run_samples_batched(
@@ -1306,7 +1385,7 @@ impl PulseStudy {
     pub fn fault_free_wouts_fixed_width(&self, w_in: f64) -> Result<Vec<f64>, CoreError> {
         lint_preflight(&self.put, None)?;
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
-        let symbolic = prime_symbolic_with(|| self.put.instantiate_fault_free(&nominal_techs));
+        let symbolic = prime_or_adopt(&self.mc, || self.put.instantiate_fault_free(&nominal_techs));
         let report =
             self.mc
                 .try_run_samples_with("pulse-fixed-width", move |_, attempt, rng, rec| {
@@ -1360,7 +1439,9 @@ impl PulseStudy {
         lint_preflight(&self.put, Some(r_values))?;
         let r_values = r_values.to_vec();
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
-        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
+        let symbolic = prime_or_adopt(&self.mc, || {
+            self.put.instantiate(&nominal_techs, r_values[0])
+        });
         let plan = self.mc.fault_plan.clone().unwrap_or_default();
         let pool = WorkspacePool::default();
         self.mc.try_run_samples_batched(
@@ -1494,7 +1575,9 @@ impl PulseStudy {
         lint_preflight(&self.put, Some(r_values))?;
         let r_values = r_values.to_vec();
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
-        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
+        let symbolic = prime_or_adopt(&self.mc, || {
+            self.put.instantiate(&nominal_techs, r_values[0])
+        });
         let plan = self.mc.fault_plan.clone().unwrap_or_default();
         let pool = WorkspacePool::default();
         self.mc.try_run_samples_durable_batched(
@@ -1682,7 +1765,9 @@ impl PulseStudy {
         };
         let w_in = calib.w_in;
         let nominal_techs = vec![self.put.tech; self.put.spec.len()];
-        let symbolic = prime_symbolic_with(|| self.put.instantiate(&nominal_techs, r_values[0]));
+        let symbolic = prime_or_adopt(&self.mc, || {
+            self.put.instantiate(&nominal_techs, r_values[0])
+        });
         run_adaptive(
             &self.mc,
             policy,

@@ -39,7 +39,8 @@ pub mod sync;
 pub use cancel::{CancelCore, CancelOrderings, CancelReason, CancelToken, CANCEL_ORDERINGS};
 pub use journal::{render_journal, Event};
 pub use manifest::{
-    config_digest, AdaptiveManifest, AdaptivePointRecord, RunManifest, SCHEMA_VERSION,
+    config_digest, AdaptiveManifest, AdaptivePointRecord, RunManifest, ServeManifest,
+    SCHEMA_VERSION,
 };
 pub use metrics::{Counter, HistId, MetricsSnapshot, Phase, HIST_BUCKETS};
 pub use recorder::{Recorder, Span};

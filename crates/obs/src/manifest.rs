@@ -7,8 +7,9 @@ use crate::metrics::MetricsSnapshot;
 
 /// Version of the manifest/metrics JSON layout; bumped on breaking change.
 /// Version 2 adds the optional `adaptive` block (per-point measured
-/// precision of an adaptive coverage study).
-pub const SCHEMA_VERSION: u64 = 2;
+/// precision of an adaptive coverage study). Version 3 adds the `serve`
+/// kind and the optional `serve` block (daemon lifetime summary).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// FNV-1a digest of a configuration's `Debug` representation — stable for
 /// a given config on a given build, cheap, and dependency-free. Two runs
@@ -99,11 +100,46 @@ impl AdaptiveManifest {
     }
 }
 
+/// Lifetime summary of one `pulsar serve` daemon process, embedded in the
+/// manifest the daemon writes at shutdown. Queue/cache *rates* live in
+/// the ordinary counters block; this block records the daemon's static
+/// shape so a manifest alone says how the serving fleet was configured.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServeManifest {
+    /// Worker threads the daemon ran.
+    pub workers: u64,
+    /// Bound of the admission queue (backpressure depth).
+    pub queue_depth: u64,
+    /// Jobs admitted over the daemon's lifetime.
+    pub jobs_admitted: u64,
+    /// Jobs still queued or running when shutdown drained them.
+    pub jobs_drained: u64,
+    /// Per-tenant failure budget, when one was configured.
+    pub tenant_budget: Option<u64>,
+}
+
+impl ServeManifest {
+    fn render_json(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"workers\":{},\"queue_depth\":{},\"jobs_admitted\":{},\"jobs_drained\":{}",
+            self.workers, self.queue_depth, self.jobs_admitted, self.jobs_drained
+        );
+        if let Some(b) = self.tenant_budget {
+            let _ = write!(out, ",\"tenant_budget\":{b}");
+        }
+        out.push('}');
+        out
+    }
+}
+
 /// The reproducibility record for one run (`pulsar sim`, a Monte Carlo
-/// study, or a campaign).
+/// study, a campaign, or a serve-daemon lifetime).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RunManifest {
-    /// Run family: `"sim"`, `"study"`, or `"campaign"`.
+    /// Run family: `"sim"`, `"study"`, `"campaign"`, or `"serve"`.
     pub kind: String,
     /// [`config_digest`] of the run configuration.
     pub config_digest: u64,
@@ -117,6 +153,8 @@ pub struct RunManifest {
     pub tech: Option<String>,
     /// Adaptive-sampling accuracy record, when adaptive sampling ran.
     pub adaptive: Option<AdaptiveManifest>,
+    /// Daemon lifetime summary, when the run is a `serve` daemon.
+    pub serve: Option<ServeManifest>,
     /// Wall-clock start, milliseconds since the Unix epoch.
     pub started_unix_ms: u64,
     /// Total wall-clock duration of the run in milliseconds.
@@ -139,6 +177,7 @@ impl RunManifest {
             threads: None,
             tech: None,
             adaptive: None,
+            serve: None,
             started_unix_ms: 0,
             wall_ms: 0,
             events: 0,
@@ -174,6 +213,9 @@ impl RunManifest {
         }
         if let Some(adaptive) = &self.adaptive {
             let _ = write!(out, ",\"adaptive\":{}", adaptive.render_json());
+        }
+        if let Some(serve) = &self.serve {
+            let _ = write!(out, ",\"serve\":{}", serve.render_json());
         }
         let _ = write!(
             out,

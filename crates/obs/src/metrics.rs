@@ -134,11 +134,33 @@ pub enum Counter {
     AdaptiveSamplesSaved,
     /// Sample evaluations spent in the crossover-refinement pass.
     AdaptiveRefineSamples,
+    /// Jobs accepted into the serve daemon's queue.
+    ServeJobsSubmitted,
+    /// Serve jobs that ran to completion.
+    ServeJobsCompleted,
+    /// Serve jobs that failed (budget exceeded, lint rejection, ...).
+    ServeJobsFailed,
+    /// Serve jobs cancelled before or during execution.
+    ServeJobsCancelled,
+    /// Submissions rejected with `busy` because the queue was full.
+    ServeBusyRejections,
+    /// Submissions rejected because the tenant's failure budget ran out.
+    ServeTenantRejections,
+    /// Submissions answered from the whole-result cache (zero solves).
+    ServeResultCacheHits,
+    /// Submissions that had to execute (result-cache miss).
+    ServeResultCacheMisses,
+    /// Jobs that adopted a cached calibration instead of re-calibrating.
+    ServeCalibCacheHits,
+    /// Jobs that adopted a cached symbolic factorization.
+    ServeSymbolicCacheHits,
+    /// Jobs whose lint preflight verdict came from the cross-job cache.
+    ServeLintCacheHits,
 }
 
 impl Counter {
     /// Number of counters.
-    pub const COUNT: usize = 22;
+    pub const COUNT: usize = 33;
 
     /// Every counter, in canonical order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -164,6 +186,17 @@ impl Counter {
         Counter::BatchEjections,
         Counter::AdaptiveSamplesSaved,
         Counter::AdaptiveRefineSamples,
+        Counter::ServeJobsSubmitted,
+        Counter::ServeJobsCompleted,
+        Counter::ServeJobsFailed,
+        Counter::ServeJobsCancelled,
+        Counter::ServeBusyRejections,
+        Counter::ServeTenantRejections,
+        Counter::ServeResultCacheHits,
+        Counter::ServeResultCacheMisses,
+        Counter::ServeCalibCacheHits,
+        Counter::ServeSymbolicCacheHits,
+        Counter::ServeLintCacheHits,
     ];
 
     /// Stable snake_case name used in JSON output and journal events.
@@ -191,6 +224,17 @@ impl Counter {
             Counter::BatchEjections => "batch_ejections",
             Counter::AdaptiveSamplesSaved => "adaptive_samples_saved",
             Counter::AdaptiveRefineSamples => "adaptive_refine_samples",
+            Counter::ServeJobsSubmitted => "serve_jobs_submitted",
+            Counter::ServeJobsCompleted => "serve_jobs_completed",
+            Counter::ServeJobsFailed => "serve_jobs_failed",
+            Counter::ServeJobsCancelled => "serve_jobs_cancelled",
+            Counter::ServeBusyRejections => "serve_busy_rejections",
+            Counter::ServeTenantRejections => "serve_tenant_rejections",
+            Counter::ServeResultCacheHits => "serve_result_cache_hits",
+            Counter::ServeResultCacheMisses => "serve_result_cache_misses",
+            Counter::ServeCalibCacheHits => "serve_calib_cache_hits",
+            Counter::ServeSymbolicCacheHits => "serve_symbolic_cache_hits",
+            Counter::ServeLintCacheHits => "serve_lint_cache_hits",
         }
     }
 

@@ -9,6 +9,7 @@ use std::path::PathBuf;
 
 use pulsar_obs::{
     config_digest, json, AdaptiveManifest, AdaptivePointRecord, Counter, Recorder, RunManifest,
+    ServeManifest,
 };
 
 fn schema() -> json::Json {
@@ -66,6 +67,21 @@ fn rendered_manifest_validates_against_checked_in_schema() {
     });
     let doc = json::parse(&adaptive.render_json()).expect("adaptive manifest parses");
     json::validate(&schema, &doc).expect("adaptive manifest must satisfy the schema");
+
+    // A serve-daemon lifetime manifest with the `serve` block.
+    let mut serve = manifest_with_metrics();
+    serve.kind = "serve".to_owned();
+    serve.seed = None;
+    serve.samples = None;
+    serve.serve = Some(ServeManifest {
+        workers: 4,
+        queue_depth: 16,
+        jobs_admitted: 9,
+        jobs_drained: 2,
+        tenant_budget: Some(3),
+    });
+    let doc = json::parse(&serve.render_json()).expect("serve manifest parses");
+    json::validate(&schema, &doc).expect("serve manifest must satisfy the schema");
 }
 
 #[test]

@@ -1,0 +1,275 @@
+//! Blocking client for the daemon's JSONL-over-Unix-socket protocol.
+//!
+//! One [`Client`] wraps one connection. Requests and responses are
+//! strictly request/response on this connection except for
+//! [`Client::stream`], which occupies the connection with event lines
+//! until the terminal marker — open a second client for control while
+//! streaming.
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::Duration;
+
+use crate::job::JobOutcome;
+use crate::proto::{Request, Response};
+use crate::spec::JobSpec;
+
+/// A connected protocol client.
+pub struct Client {
+    writer: UnixStream,
+    reader: BufReader<UnixStream>,
+}
+
+/// A client-side protocol failure: transport error, malformed response,
+/// or a typed error response from the daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientError {
+    /// Stable kind: the daemon's error kind (`busy`, `tenant-budget`,
+    /// ...) or `transport` / `protocol` for local failures.
+    pub kind: String,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl ClientError {
+    fn transport(e: impl std::fmt::Display) -> ClientError {
+        ClientError {
+            kind: "transport".to_owned(),
+            message: e.to_string(),
+        }
+    }
+
+    fn protocol(msg: impl Into<String>) -> ClientError {
+        ClientError {
+            kind: "protocol".to_owned(),
+            message: msg.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.kind, self.message)
+    }
+}
+
+impl Client {
+    /// Connects to a daemon socket.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors (socket missing, daemon gone).
+    pub fn connect(socket: &Path) -> Result<Client, ClientError> {
+        let stream = UnixStream::connect(socket).map_err(ClientError::transport)?;
+        let reader = stream.try_clone().map_err(ClientError::transport)?;
+        Ok(Client {
+            writer: stream,
+            reader: BufReader::new(reader),
+        })
+    }
+
+    /// Connects, retrying for up to `timeout` while the socket does not
+    /// exist yet — for racing a just-started daemon.
+    ///
+    /// # Errors
+    ///
+    /// The last transport error when the deadline passes.
+    pub fn connect_within(socket: &Path, timeout: Duration) -> Result<Client, ClientError> {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            match Client::connect(socket) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if std::time::Instant::now() >= deadline {
+                        return Err(e);
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    /// Sends one request line and reads one response line.
+    ///
+    /// # Errors
+    ///
+    /// Transport or protocol failures; typed daemon errors are returned
+    /// as `Ok(Response::Error { .. })`.
+    pub fn request(&mut self, req: &Request) -> Result<Response, ClientError> {
+        let mut line = req.render();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(ClientError::transport)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<Response, ClientError> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(ClientError::transport)?;
+        if n == 0 {
+            return Err(ClientError::transport("connection closed by daemon"));
+        }
+        Response::parse(line.trim_end()).map_err(ClientError::protocol)
+    }
+
+    /// Submits a job; returns `(job id, digest, answered-from-cache)`.
+    ///
+    /// # Errors
+    ///
+    /// Typed daemon rejections (`busy`, `tenant-budget`, `shutdown`,
+    /// ...) and transport failures.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<(u64, u64, bool), ClientError> {
+        self.submit_with(spec, None, None, None)
+    }
+
+    /// [`Client::submit`] with tenant / deadline / failure-budget
+    /// attribution.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::submit`].
+    pub fn submit_with(
+        &mut self,
+        spec: &JobSpec,
+        tenant: Option<&str>,
+        deadline_ms: Option<u64>,
+        failure_budget: Option<f64>,
+    ) -> Result<(u64, u64, bool), ClientError> {
+        let req = Request::Submit {
+            spec: spec.clone(),
+            tenant: tenant.map(str::to_owned),
+            deadline_ms,
+            failure_budget,
+        };
+        match self.request(&req)? {
+            Response::Accepted {
+                job,
+                digest,
+                cached,
+                ..
+            } => Ok((job, digest, cached)),
+            Response::Error { kind, message } => Err(ClientError { kind, message }),
+            other => Err(ClientError::protocol(format!(
+                "unexpected response to submit: {other:?}"
+            ))),
+        }
+    }
+
+    /// Reports a job's current state.
+    ///
+    /// # Errors
+    ///
+    /// `unknown-job` and transport failures.
+    pub fn status(&mut self, job: u64) -> Result<JobOutcome, ClientError> {
+        self.expect_status(&Request::Status { job })
+    }
+
+    /// Blocks until the job is terminal, then reports it.
+    ///
+    /// # Errors
+    ///
+    /// `unknown-job` and transport failures.
+    pub fn wait(&mut self, job: u64) -> Result<JobOutcome, ClientError> {
+        self.expect_status(&Request::Wait { job })
+    }
+
+    /// Cancels a job and reports the state after the cancel landed.
+    ///
+    /// # Errors
+    ///
+    /// `unknown-job` and transport failures.
+    pub fn cancel(&mut self, job: u64) -> Result<JobOutcome, ClientError> {
+        self.expect_status(&Request::Cancel { job })
+    }
+
+    fn expect_status(&mut self, req: &Request) -> Result<JobOutcome, ClientError> {
+        match self.request(req)? {
+            Response::Status {
+                job,
+                state,
+                result,
+                error,
+            } => {
+                let terminal = matches!(state.as_str(), "done" | "failed" | "cancelled");
+                Ok(JobOutcome {
+                    job,
+                    state,
+                    result,
+                    error,
+                    terminal,
+                })
+            }
+            Response::Error { kind, message } => Err(ClientError { kind, message }),
+            other => Err(ClientError::protocol(format!(
+                "unexpected response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Streams the job's journal events, invoking `on_event` with each
+    /// raw event JSON object, until the terminal marker; returns the
+    /// terminal state. Occupies this connection for the duration.
+    ///
+    /// # Errors
+    ///
+    /// `unknown-job` and transport failures.
+    pub fn stream(
+        &mut self,
+        job: u64,
+        mut on_event: impl FnMut(&str),
+    ) -> Result<String, ClientError> {
+        let mut line = Request::Stream { job }.render();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .map_err(ClientError::transport)?;
+        loop {
+            match self.read_response()? {
+                Response::Event { payload } => on_event(&payload),
+                Response::StreamEnd { state, .. } => return Ok(state),
+                Response::Error { kind, message } => return Err(ClientError { kind, message }),
+                other => {
+                    return Err(ClientError::protocol(format!(
+                        "unexpected response while streaming: {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Fetches the daemon's counter snapshot and cache occupancy as a
+    /// raw JSON object.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn stats(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { payload } => Ok(payload),
+            Response::Error { kind, message } => Err(ClientError { kind, message }),
+            other => Err(ClientError::protocol(format!(
+                "unexpected response to stats: {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            Response::Error { kind, message } => Err(ClientError { kind, message }),
+            other => Err(ClientError::protocol(format!(
+                "unexpected response to shutdown: {other:?}"
+            ))),
+        }
+    }
+}

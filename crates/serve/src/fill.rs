@@ -1,0 +1,159 @@
+//! The single-fill publication protocol of a digest-keyed cache slot.
+//!
+//! A cross-job cache entry goes through three states: `EMPTY` (nobody has
+//! computed the value), `FILLING` (exactly one job claimed the fill and is
+//! computing), and `READY` (the value is published). The core guarantees:
+//!
+//! 1. **Single fill** — the `EMPTY → FILLING` transition is a CAS, so at
+//!    most one claimer ever computes the value, no matter how many jobs
+//!    race on a cold key.
+//! 2. **Race-free publication** — the filler writes the value *before*
+//!    the `Release` store of `READY`; an observer that sees `READY` via
+//!    an `Acquire` load therefore sees the completed value.
+//!
+//! Like the shard-merge and cancellation cores, this is a *shipped
+//! generic* protocol: generic over [`AtomicFamily`] so the `pulsar-check`
+//! explorer can instantiate the exact code that runs in production with
+//! modeled atomics and check both guarantees bounded-exhaustively
+//! (protocol model P4), including a mutation self-test that weakening
+//! [`FillOrderings::publish`] to `Relaxed` is caught as a data race.
+
+use pulsar_obs::sync::{AtomicFamily, AtomicU8Like, StdAtomics};
+use std::sync::atomic::Ordering;
+
+/// Slot is empty: no job has claimed the fill yet.
+pub const EMPTY: u8 = 0;
+/// Exactly one job holds the fill claim and is computing the value.
+pub const FILLING: u8 = 1;
+/// The value is published and safe to read.
+pub const READY: u8 = 2;
+
+/// The memory orderings the fill protocol ships with. Kept in a struct
+/// (one shared constant, [`FILL_ORDERINGS`]) so the model checker
+/// explores exactly what production runs, and so a mutation self-test
+/// can weaken a single field and assert the explorer notices.
+#[derive(Debug, Clone, Copy)]
+pub struct FillOrderings {
+    /// Success ordering of the claiming `EMPTY → FILLING` CAS.
+    pub claim: Ordering,
+    /// Failure ordering of the claiming CAS. A loser that observes
+    /// `READY` here proceeds to read the value, so this load must pair
+    /// with [`FillOrderings::publish`].
+    pub claim_failure: Ordering,
+    /// Ordering of the `READY` store; publishes the value written before.
+    pub publish: Ordering,
+    /// Ordering of a standalone readiness poll before reading the value.
+    pub observe: Ordering,
+}
+
+/// Shipped orderings: `Release` publication, `Acquire` observation.
+///
+/// The claim CAS itself needs only atomicity — at the moment of a
+/// successful claim nothing has been published yet, so `Relaxed` is
+/// sound there; its *failure* load doubles as an observation and
+/// therefore acquires. The publish/observe pair is the load-bearing
+/// edge: it orders the filler's value write before every reader's value
+/// read, which the `pulsar-check` model P4 verifies (and whose `Relaxed`
+/// mutation it catches as a data race).
+pub const FILL_ORDERINGS: FillOrderings = FillOrderings {
+    claim: Ordering::Relaxed, // ordering: CAS atomicity alone gives single-fill; no data published yet
+    claim_failure: Ordering::Acquire, // ordering: pairs with `publish` when the loser sees READY
+    publish: Ordering::Release, // ordering: publishes the filled value to observers
+    observe: Ordering::Acquire, // ordering: pairs with `publish`
+};
+
+/// What a fill claim attempt found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Claim {
+    /// The caller won the `EMPTY → FILLING` CAS and must fill (then
+    /// [`FillSlot::publish`]) — it is the only thread that ever will.
+    Won,
+    /// Another job holds the claim; the value is on its way.
+    InProgress,
+    /// The value is already published and safe to read.
+    Ready,
+}
+
+/// The tri-state fill flag of one cache slot, generic over the atomics
+/// family ([`StdAtomics`] in production, modeled atomics under
+/// `pulsar-check`).
+#[derive(Debug)]
+pub struct FillSlot<F: AtomicFamily = StdAtomics> {
+    state: F::U8,
+}
+
+impl<F: AtomicFamily> FillSlot<F> {
+    /// A fresh, empty slot.
+    pub fn new() -> Self {
+        FillSlot {
+            state: F::U8::new(EMPTY),
+        }
+    }
+
+    /// Attempts to claim the fill.
+    pub fn try_claim(&self, ord: &FillOrderings) -> Claim {
+        match self
+            .state
+            .compare_exchange(EMPTY, FILLING, ord.claim, ord.claim_failure)
+        {
+            Ok(_) => Claim::Won,
+            Err(READY) => Claim::Ready,
+            Err(_) => Claim::InProgress,
+        }
+    }
+
+    /// Publishes the value the claim winner filled in. Must be called
+    /// exactly once, by the thread whose [`FillSlot::try_claim`] returned
+    /// [`Claim::Won`], *after* the value write.
+    pub fn publish(&self, ord: &FillOrderings) {
+        self.state.store(READY, ord.publish);
+    }
+
+    /// Abandons a won claim (the fill failed), returning the slot to
+    /// `EMPTY` so a later job can retry the computation.
+    pub fn abandon(&self, ord: &FillOrderings) {
+        self.state.store(EMPTY, ord.publish);
+    }
+
+    /// True when the value is published; pairs with the publishing store
+    /// so a `true` result licenses reading the value.
+    pub fn ready(&self, ord: &FillOrderings) -> bool {
+        self.state.load(ord.observe) == READY
+    }
+
+    /// The raw state ([`EMPTY`] | [`FILLING`] | [`READY`]), loaded with
+    /// the observe ordering so a `READY` result licenses a value read.
+    pub fn peek(&self, ord: &FillOrderings) -> u8 {
+        self.state.load(ord.observe)
+    }
+}
+
+impl<F: AtomicFamily> Default for FillSlot<F> {
+    fn default() -> Self {
+        FillSlot::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_is_exclusive_and_publish_is_observed() {
+        let slot: FillSlot = FillSlot::new();
+        assert_eq!(slot.try_claim(&FILL_ORDERINGS), Claim::Won);
+        assert_eq!(slot.try_claim(&FILL_ORDERINGS), Claim::InProgress);
+        assert!(!slot.ready(&FILL_ORDERINGS));
+        slot.publish(&FILL_ORDERINGS);
+        assert!(slot.ready(&FILL_ORDERINGS));
+        assert_eq!(slot.try_claim(&FILL_ORDERINGS), Claim::Ready);
+    }
+
+    #[test]
+    fn abandon_reopens_the_slot() {
+        let slot: FillSlot = FillSlot::new();
+        assert_eq!(slot.try_claim(&FILL_ORDERINGS), Claim::Won);
+        slot.abandon(&FILL_ORDERINGS);
+        assert_eq!(slot.try_claim(&FILL_ORDERINGS), Claim::Won);
+    }
+}

@@ -1,0 +1,549 @@
+//! The JSONL wire protocol: one request or response object per line.
+//!
+//! Hand-rolled over the `pulsar-obs` JSON writer/parser — no new
+//! dependencies, no framing beyond newline termination. A malformed
+//! line produces a typed error *response* on the same connection, never
+//! a dropped connection; the full request/response corpus is pinned by
+//! the golden tests in `tests/proto_golden.rs` (protocol spec in
+//! DESIGN.md §5.10).
+
+use crate::spec::{JobSpec, StudyKind};
+use pulsar_obs::json::{self, json_str, Json};
+use std::fmt::Write as _;
+
+/// One request line, client → daemon.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job for execution (or a whole-result cache hit).
+    Submit {
+        /// What to run.
+        spec: JobSpec,
+        /// Tenant name for per-tenant failure budgets; `None` bills the
+        /// anonymous tenant.
+        tenant: Option<String>,
+        /// Per-job wall-clock deadline, milliseconds.
+        deadline_ms: Option<u64>,
+        /// Per-job Monte Carlo failure budget (fraction, 0.0–1.0).
+        failure_budget: Option<f64>,
+    },
+    /// Report a job's current state.
+    Status {
+        /// Job id from the submit response.
+        job: u64,
+    },
+    /// Block until the job reaches a terminal state, then report it.
+    Wait {
+        /// Job id from the submit response.
+        job: u64,
+    },
+    /// Forward the job's journal events live, then a terminal marker.
+    Stream {
+        /// Job id from the submit response.
+        job: u64,
+    },
+    /// Cancel a queued or running job.
+    Cancel {
+        /// Job id from the submit response.
+        job: u64,
+    },
+    /// Report daemon counters and cache occupancy.
+    Stats,
+    /// Stop accepting work, drain (checkpoint) in-flight jobs, exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the line is not valid JSON or not a
+    /// well-formed request; the daemon turns it into a typed `malformed`
+    /// / `usage` error response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let doc = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `op`")?;
+        match op {
+            "submit" => Self::parse_submit(&doc),
+            "status" => Ok(Request::Status { job: job_id(&doc)? }),
+            "wait" => Ok(Request::Wait { job: job_id(&doc)? }),
+            "stream" => Ok(Request::Stream { job: job_id(&doc)? }),
+            "cancel" => Ok(Request::Cancel { job: job_id(&doc)? }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(format!("unknown op `{other}`")),
+        }
+    }
+
+    fn parse_submit(doc: &Json) -> Result<Request, String> {
+        let kind = doc
+            .get("kind")
+            .and_then(Json::as_str)
+            .ok_or("submit: missing string field `kind`")?;
+        let tenant = doc.get("tenant").and_then(Json::as_str).map(str::to_owned);
+        let deadline_ms = doc
+            .get("deadline_ms")
+            .and_then(Json::as_num)
+            .map(|n| n as u64);
+        let failure_budget = doc.get("failure_budget").and_then(Json::as_num);
+        let spec = if kind == "campaign" {
+            let netlist = doc
+                .get("netlist")
+                .and_then(Json::as_str)
+                .ok_or("submit campaign: missing string field `netlist`")?
+                .to_owned();
+            let stride = doc
+                .get("stride")
+                .and_then(Json::as_num)
+                .map(|n| n as usize)
+                .unwrap_or(1);
+            if stride == 0 {
+                return Err("submit campaign: `stride` must be >= 1".to_owned());
+            }
+            JobSpec::Campaign { netlist, stride }
+        } else {
+            let kind = StudyKind::parse(kind)
+                .ok_or_else(|| format!("submit: unknown kind `{kind}` (df|pulse|campaign)"))?;
+            let samples = doc
+                .get("samples")
+                .and_then(Json::as_num)
+                .map(|n| n as usize)
+                .unwrap_or(24);
+            let seed = doc
+                .get("seed")
+                .and_then(Json::as_num)
+                .map(|n| n as u64)
+                .unwrap_or(2007);
+            let rs = num_list(doc, "r").unwrap_or_else(|| vec![1e3, 30e3, 100e3]);
+            let factors = num_list(doc, "factors").unwrap_or_else(|| vec![0.9, 1.1]);
+            if samples == 0 {
+                return Err("submit: `samples` must be >= 1".to_owned());
+            }
+            if rs.is_empty() || factors.is_empty() {
+                return Err("submit: `r` and `factors` must be non-empty".to_owned());
+            }
+            JobSpec::Study {
+                kind,
+                samples,
+                seed,
+                rs,
+                factors,
+            }
+        };
+        Ok(Request::Submit {
+            spec,
+            tenant,
+            deadline_ms,
+            failure_budget,
+        })
+    }
+
+    /// Renders the request as one JSONL line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Request::Submit {
+                spec,
+                tenant,
+                deadline_ms,
+                failure_budget,
+            } => {
+                let mut out = String::from("{\"op\":\"submit\"");
+                match spec {
+                    JobSpec::Study {
+                        kind,
+                        samples,
+                        seed,
+                        rs,
+                        factors,
+                    } => {
+                        let _ = write!(
+                            out,
+                            ",\"kind\":{},\"samples\":{samples},\"seed\":{seed},\"r\":{},\
+                             \"factors\":{}",
+                            json_str(kind.as_str()),
+                            num_array(rs),
+                            num_array(factors)
+                        );
+                    }
+                    JobSpec::Campaign { netlist, stride } => {
+                        let _ = write!(
+                            out,
+                            ",\"kind\":\"campaign\",\"stride\":{stride},\"netlist\":{}",
+                            json_str(netlist)
+                        );
+                    }
+                }
+                if let Some(t) = tenant {
+                    let _ = write!(out, ",\"tenant\":{}", json_str(t));
+                }
+                if let Some(d) = deadline_ms {
+                    let _ = write!(out, ",\"deadline_ms\":{d}");
+                }
+                if let Some(b) = failure_budget {
+                    let _ = write!(out, ",\"failure_budget\":{b}");
+                }
+                out.push('}');
+                out
+            }
+            Request::Status { job } => format!("{{\"op\":\"status\",\"job\":{job}}}"),
+            Request::Wait { job } => format!("{{\"op\":\"wait\",\"job\":{job}}}"),
+            Request::Stream { job } => format!("{{\"op\":\"stream\",\"job\":{job}}}"),
+            Request::Cancel { job } => format!("{{\"op\":\"cancel\",\"job\":{job}}}"),
+            Request::Stats => "{\"op\":\"stats\"}".to_owned(),
+            Request::Shutdown => "{\"op\":\"shutdown\"}".to_owned(),
+        }
+    }
+}
+
+fn job_id(doc: &Json) -> Result<u64, String> {
+    doc.get("job")
+        .and_then(Json::as_num)
+        .map(|n| n as u64)
+        .ok_or_else(|| "missing numeric field `job`".to_owned())
+}
+
+fn num_list(doc: &Json, key: &str) -> Option<Vec<f64>> {
+    match doc.get(key) {
+        Some(Json::Arr(items)) => items.iter().map(Json::as_num).collect(),
+        _ => None,
+    }
+}
+
+fn num_array(vs: &[f64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in vs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+/// One response line, daemon → client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Submit accepted (queued, or answered from the whole-result cache).
+    Accepted {
+        /// Assigned job id.
+        job: u64,
+        /// Config digest of the job.
+        digest: u64,
+        /// True when the whole-result cache answered with zero solves.
+        cached: bool,
+        /// Initial job state (`"queued"`, or `"done"` on a cache hit).
+        state: String,
+    },
+    /// Job status (also the response to `wait` and `cancel`).
+    Status {
+        /// Job id.
+        job: u64,
+        /// `queued` | `running` | `done` | `failed` | `cancelled`.
+        state: String,
+        /// Report text, present when `done`.
+        result: Option<String>,
+        /// Error message, present when `failed` or `cancelled`.
+        error: Option<String>,
+    },
+    /// One forwarded journal event (during `stream`).
+    Event {
+        /// The event object, exactly as the journal renders it.
+        payload: String,
+    },
+    /// Terminal marker ending a `stream`.
+    StreamEnd {
+        /// Job id.
+        job: u64,
+        /// Terminal state of the job.
+        state: String,
+    },
+    /// Daemon counter snapshot and cache occupancy.
+    Stats {
+        /// `{"counters":{...},"caches":{...},...}` payload object.
+        payload: String,
+    },
+    /// Shutdown acknowledged; the daemon drains and exits.
+    Bye,
+    /// Typed failure. `kind` is stable for scripting:
+    /// `malformed` | `usage` | `busy` | `tenant-budget` | `unknown-job` |
+    /// `lint` | `shutdown`.
+    Error {
+        /// Stable machine-readable failure kind.
+        kind: String,
+        /// Human-readable message.
+        message: String,
+    },
+}
+
+impl Response {
+    /// Renders the response as one JSONL line (no trailing newline).
+    pub fn render(&self) -> String {
+        match self {
+            Response::Accepted {
+                job,
+                digest,
+                cached,
+                state,
+            } => format!(
+                "{{\"ok\":true,\"op\":\"submit\",\"job\":{job},\"digest\":\"{digest:#018x}\",\
+                 \"cached\":{cached},\"state\":{}}}",
+                json_str(state)
+            ),
+            Response::Status {
+                job,
+                state,
+                result,
+                error,
+            } => {
+                let mut out = format!(
+                    "{{\"ok\":true,\"op\":\"status\",\"job\":{job},\"state\":{}",
+                    json_str(state)
+                );
+                if let Some(r) = result {
+                    let _ = write!(out, ",\"result\":{}", json_str(r));
+                }
+                if let Some(e) = error {
+                    let _ = write!(out, ",\"error\":{}", json_str(e));
+                }
+                out.push('}');
+                out
+            }
+            Response::Event { payload } => {
+                format!("{{\"ok\":true,\"op\":\"event\",\"event\":{payload}}}")
+            }
+            Response::StreamEnd { job, state } => format!(
+                "{{\"ok\":true,\"op\":\"stream-end\",\"job\":{job},\"state\":{}}}",
+                json_str(state)
+            ),
+            Response::Stats { payload } => {
+                format!("{{\"ok\":true,\"op\":\"stats\",\"stats\":{payload}}}")
+            }
+            Response::Bye => "{\"ok\":true,\"op\":\"shutdown\"}".to_owned(),
+            Response::Error { kind, message } => format!(
+                "{{\"ok\":false,\"kind\":{},\"error\":{}}}",
+                json_str(kind),
+                json_str(message)
+            ),
+        }
+    }
+
+    /// Parses one response line (client side).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the line is not a well-formed
+    /// response.
+    pub fn parse(line: &str) -> Result<Response, String> {
+        let doc = json::parse(line).map_err(|e| format!("malformed JSON: {e}"))?;
+        let ok = match doc.get("ok") {
+            Some(Json::Bool(b)) => *b,
+            _ => return Err("missing boolean field `ok`".to_owned()),
+        };
+        if !ok {
+            return Ok(Response::Error {
+                kind: doc
+                    .get("kind")
+                    .and_then(Json::as_str)
+                    .unwrap_or("unknown")
+                    .to_owned(),
+                message: doc
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_owned(),
+            });
+        }
+        let op = doc
+            .get("op")
+            .and_then(Json::as_str)
+            .ok_or("missing string field `op`")?;
+        match op {
+            "submit" => {
+                let digest_hex = doc
+                    .get("digest")
+                    .and_then(Json::as_str)
+                    .ok_or("submit response: missing `digest`")?;
+                let digest = parse_hex_digest(digest_hex)?;
+                Ok(Response::Accepted {
+                    job: job_id(&doc)?,
+                    digest,
+                    cached: matches!(doc.get("cached"), Some(Json::Bool(true))),
+                    state: doc
+                        .get("state")
+                        .and_then(Json::as_str)
+                        .unwrap_or("queued")
+                        .to_owned(),
+                })
+            }
+            "status" => Ok(Response::Status {
+                job: job_id(&doc)?,
+                state: doc
+                    .get("state")
+                    .and_then(Json::as_str)
+                    .ok_or("status response: missing `state`")?
+                    .to_owned(),
+                result: doc.get("result").and_then(Json::as_str).map(str::to_owned),
+                error: doc.get("error").and_then(Json::as_str).map(str::to_owned),
+            }),
+            "event" => {
+                let ev = doc.get("event").ok_or("event response: missing `event`")?;
+                Ok(Response::Event {
+                    payload: render_json(ev),
+                })
+            }
+            "stream-end" => Ok(Response::StreamEnd {
+                job: job_id(&doc)?,
+                state: doc
+                    .get("state")
+                    .and_then(Json::as_str)
+                    .unwrap_or("done")
+                    .to_owned(),
+            }),
+            "stats" => {
+                let s = doc.get("stats").ok_or("stats response: missing `stats`")?;
+                Ok(Response::Stats {
+                    payload: render_json(s),
+                })
+            }
+            "shutdown" => Ok(Response::Bye),
+            other => Err(format!("unknown response op `{other}`")),
+        }
+    }
+}
+
+fn parse_hex_digest(s: &str) -> Result<u64, String> {
+    let hex = s.strip_prefix("0x").unwrap_or(s);
+    u64::from_str_radix(hex, 16).map_err(|e| format!("bad digest `{s}`: {e}"))
+}
+
+/// Re-renders a parsed [`Json`] value (used to carry nested objects
+/// opaquely through the client).
+fn render_json(v: &Json) -> String {
+    match v {
+        Json::Null => "null".to_owned(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => {
+            if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                format!("{}", *n as i64)
+            } else {
+                format!("{n}")
+            }
+        }
+        Json::Str(s) => json_str(s),
+        Json::Arr(items) => {
+            let mut out = String::from("[");
+            for (i, it) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&render_json(it));
+            }
+            out.push(']');
+            out
+        }
+        Json::Obj(pairs) => {
+            let mut out = String::from("{");
+            for (i, (k, val)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}:{}", json_str(k), render_json(val));
+            }
+            out.push('}');
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_round_trips() {
+        let reqs = [
+            Request::Submit {
+                spec: JobSpec::Study {
+                    kind: StudyKind::Df,
+                    samples: 8,
+                    seed: 7,
+                    rs: vec![1000.0, 30000.0],
+                    factors: vec![0.9, 1.1],
+                },
+                tenant: Some("t1".into()),
+                deadline_ms: Some(5000),
+                failure_budget: Some(0.25),
+            },
+            Request::Submit {
+                spec: JobSpec::Campaign {
+                    netlist: "# c17\n".into(),
+                    stride: 2,
+                },
+                tenant: None,
+                deadline_ms: None,
+                failure_budget: None,
+            },
+            Request::Status { job: 3 },
+            Request::Wait { job: 3 },
+            Request::Stream { job: 4 },
+            Request::Cancel { job: 5 },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for r in reqs {
+            let line = r.render();
+            assert_eq!(Request::parse(&line).expect("parse"), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn response_round_trips() {
+        let resps = [
+            Response::Accepted {
+                job: 1,
+                digest: 0xdead_beef_0123_4567,
+                cached: true,
+                state: "done".into(),
+            },
+            Response::Status {
+                job: 1,
+                state: "failed".into(),
+                result: None,
+                error: Some("budget exceeded".into()),
+            },
+            Response::StreamEnd {
+                job: 2,
+                state: "done".into(),
+            },
+            Response::Bye,
+            Response::Error {
+                kind: "busy".into(),
+                message: "queue full (depth 4)".into(),
+            },
+        ];
+        for r in resps {
+            let line = r.render();
+            assert_eq!(Response::parse(&line).expect("parse"), r, "{line}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_typed_errors_not_panics() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            "{\"op\":\"nope\"}",
+            "{\"op\":\"submit\"}",
+            "{\"op\":\"submit\",\"kind\":\"df\",\"samples\":0}",
+            "{\"op\":\"status\"}",
+            "[1,2,3]",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should be rejected");
+        }
+    }
+}
